@@ -1,0 +1,87 @@
+"""Figure 4 — average range-query latency of *all* indexes considered.
+
+The paper's Figure 4 motivates discarding the rank-space baselines (Zpgm,
+HRR, QUILTS, RSMI) because they perform significantly worse than the other
+indexes.  This benchmark reproduces the comparison with every index in this
+library (the six main indexes plus Zpgm, the dynamic R-tree, the quad-tree
+and the k-d tree) on the default dataset and a mixed-selectivity workload,
+and checks the shape: WaZI is at or near the front, Zpgm at or near the
+back.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    DEFAULT_LEAF_CAPACITY,
+    DEFAULT_SEED,
+    dataset,
+    measure_index,
+    print_results_table,
+    print_section,
+    range_workload,
+)
+
+ALL_INDEXES = (
+    "Base", "CUR", "Flood", "QUASII", "STR", "WaZI", "Zpgm", "R-tree", "QuadTree", "k-d tree"
+)
+NUM_POINTS = 12_000
+REGION = "newyork"
+
+
+@pytest.fixture(scope="module")
+def mixed_workload():
+    """A workload mixing the paper's low/mid/high selectivities."""
+    queries = []
+    for selectivity in (0.0016, 0.0256, 0.1024):
+        queries.extend(range_workload(REGION, selectivity, 50).queries)
+    return queries
+
+
+@pytest.fixture(scope="module")
+def figure4_results(mixed_workload):
+    points = dataset(REGION, NUM_POINTS)
+    return {
+        name: measure_index(name, points, mixed_workload, leaf_capacity=DEFAULT_LEAF_CAPACITY,
+                            seed=DEFAULT_SEED)
+        for name in ALL_INDEXES
+    }
+
+
+def test_fig04_average_range_latency(benchmark, figure4_results, mixed_workload):
+    points = dataset(REGION, NUM_POINTS)
+    wazi = None
+
+    def run_wazi_workload():
+        nonlocal wazi
+        if wazi is None:
+            from benchmarks.common import build_named_index
+
+            wazi = build_named_index("WaZI", points, mixed_workload)
+        for query in mixed_workload:
+            wazi.range_query(query)
+
+    benchmark.pedantic(run_wazi_workload, rounds=2, iterations=1)
+
+    rows = []
+    for name in ALL_INDEXES:
+        result = figure4_results[name]
+        rows.append([
+            name,
+            result.range_mean_micros,
+            result.range_stats.per_query("points_filtered"),
+            result.range_stats.per_query("excess_points"),
+        ])
+    rows.sort(key=lambda row: row[1])
+    print_section(f"Figure 4: average range query latency, all indexes ({REGION}, n={NUM_POINTS})")
+    print_results_table(
+        "sorted by mean latency (us/query)",
+        ["Index", "mean latency (us)", "points filtered/query", "excess points/query"],
+        rows,
+    )
+
+    latencies = {name: figure4_results[name].range_mean_micros for name in ALL_INDEXES}
+    # Shape check: WaZI must beat the rank-space Zpgm baseline and the
+    # classic R-tree bulk loads, mirroring the figure.
+    assert latencies["WaZI"] < latencies["Zpgm"]
+    assert latencies["WaZI"] < latencies["STR"]
+    assert latencies["WaZI"] < latencies["CUR"]

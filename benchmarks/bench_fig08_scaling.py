@@ -1,0 +1,80 @@
+"""Figure 8 — range-query time as the dataset size grows.
+
+The paper varies the dataset from 4 to 64 million points at the mid
+selectivity (0.0256 %) and observes that every index scales roughly
+linearly, with WaZI in front throughout.  The reproduction sweeps the
+scaled-down sizes from ``benchmarks.common.SCALING_SIZES``.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    MAIN_INDEXES,
+    MID_SELECTIVITY,
+    SCALING_SIZES,
+    dataset,
+    measure_index,
+    print_results_table,
+    print_section,
+    range_workload,
+)
+
+REGION = "newyork"
+NUM_QUERIES = 100
+
+
+@pytest.fixture(scope="module")
+def scaling_results():
+    results = {}
+    workload = range_workload(REGION, MID_SELECTIVITY, NUM_QUERIES)
+    for size in SCALING_SIZES:
+        points = dataset(REGION, size)
+        results[size] = {
+            name: measure_index(name, points, workload.queries) for name in MAIN_INDEXES
+        }
+    return results
+
+
+def test_fig08_range_query_scaling(benchmark, scaling_results):
+    workload = range_workload(REGION, MID_SELECTIVITY, NUM_QUERIES)
+    points = dataset(REGION, SCALING_SIZES[2])
+    from benchmarks.common import build_named_index
+
+    index = build_named_index("WaZI", points, workload.queries)
+    benchmark.pedantic(
+        lambda: [index.range_query(q) for q in workload.queries], rounds=3, iterations=1
+    )
+
+    print_section(
+        f"Figure 8: range query time vs dataset size ({REGION}, selectivity {MID_SELECTIVITY}%)"
+    )
+    rows = []
+    for size in SCALING_SIZES:
+        rows.append(
+            [size] + [scaling_results[size][name].range_mean_micros for name in MAIN_INDEXES]
+        )
+    print_results_table("mean range-query latency (us)", ["Size"] + list(MAIN_INDEXES), rows)
+
+    excess_rows = []
+    for size in SCALING_SIZES:
+        excess_rows.append(
+            [size]
+            + [
+                scaling_results[size][name].range_stats.per_query("excess_points")
+                for name in MAIN_INDEXES
+            ]
+        )
+    print_results_table(
+        "excess points per query", ["Size"] + list(MAIN_INDEXES), excess_rows
+    )
+
+    # Shape checks: work grows with dataset size for every index, and WaZI
+    # stays ahead of (or level with) Base on the logical metric at every size.
+    for name in MAIN_INDEXES:
+        small = scaling_results[SCALING_SIZES[0]][name].range_stats.per_query("points_filtered")
+        large = scaling_results[SCALING_SIZES[-1]][name].range_stats.per_query("points_filtered")
+        assert large > small
+    for size in SCALING_SIZES:
+        wazi = scaling_results[size]["WaZI"].range_stats.per_query("excess_points")
+        base = scaling_results[size]["Base"].range_stats.per_query("excess_points")
+        assert wazi <= base * 1.05

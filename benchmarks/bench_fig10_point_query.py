@@ -1,0 +1,83 @@
+"""Figure 10 — point-query latency as the dataset size grows.
+
+Point queries are sampled from the data distribution (Section 6.4).  The
+paper finds WaZI and Base fastest (cheap per-node computations in the
+quaternary tree), Flood close behind, the R-tree packings slower, and
+QUASII slowest because of its fractured layout.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    MAIN_INDEXES,
+    MID_SELECTIVITY,
+    SCALING_SIZES,
+    build_named_index,
+    dataset,
+    measure_index,
+    point_workload,
+    print_results_table,
+    print_section,
+    range_workload,
+)
+
+REGION = "japan"
+NUM_QUERIES = 100
+
+
+@pytest.fixture(scope="module")
+def point_query_results():
+    results = {}
+    workload = range_workload(REGION, MID_SELECTIVITY, NUM_QUERIES)
+    for size in SCALING_SIZES:
+        points = dataset(REGION, size)
+        queries = point_workload(REGION, size)
+        results[size] = {
+            name: measure_index(name, points, workload.queries, point_queries=queries)
+            for name in MAIN_INDEXES
+        }
+    return results
+
+
+def test_fig10_point_query_scaling(benchmark, point_query_results):
+    size = SCALING_SIZES[2]
+    points = dataset(REGION, size)
+    workload = range_workload(REGION, MID_SELECTIVITY, NUM_QUERIES)
+    queries = point_workload(REGION, size)
+    index = build_named_index("WaZI", points, workload.queries)
+    benchmark.pedantic(
+        lambda: [index.point_query(q) for q in queries], rounds=3, iterations=1
+    )
+
+    print_section(f"Figure 10: point query latency vs dataset size ({REGION})")
+    rows = []
+    for size in SCALING_SIZES:
+        rows.append(
+            [size] + [point_query_results[size][name].point_mean_micros for name in MAIN_INDEXES]
+        )
+    print_results_table("mean point-query latency (us)", ["Size"] + list(MAIN_INDEXES), rows)
+
+    filtered_rows = []
+    for size in SCALING_SIZES:
+        filtered_rows.append(
+            [size]
+            + [
+                point_query_results[size][name].point_stats.per_query("points_filtered")
+                for name in MAIN_INDEXES
+            ]
+        )
+    print_results_table(
+        "points inspected per point query", ["Size"] + list(MAIN_INDEXES), filtered_rows
+    )
+
+    # Shape checks: the Z-index family answers point queries with less point
+    # inspection than QUASII's fractured layout at the largest size, and
+    # WaZI stays within a small factor of Base.
+    largest = SCALING_SIZES[-1]
+    wazi = point_query_results[largest]["WaZI"]
+    base = point_query_results[largest]["Base"]
+    quasii = point_query_results[largest]["QUASII"]
+    assert wazi.point_stats.per_query("points_filtered") <= 2.0 * base.point_stats.per_query(
+        "points_filtered"
+    )
+    assert wazi.point_mean_micros < quasii.point_mean_micros

@@ -1,0 +1,98 @@
+"""Figure 11 — insert latency and range-query latency over incremental inserts.
+
+The paper inserts 25 % extra points (uniform over the data space) in five
+equal batches into WaZI, CUR and Flood, recording the insert latency of
+each batch and the range-query latency after it.  Findings the
+reproduction checks: WaZI's inserts are the slowest of the three (leaf
+splits force LeafList and look-ahead pointer maintenance), and range-query
+latency degrades only mildly as inserts accumulate.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.common import (
+    MID_SELECTIVITY,
+    build_named_index,
+    dataset,
+    print_results_table,
+    print_section,
+    range_workload,
+)
+from repro.evaluation import measure_range_queries
+from repro.workloads import generate_insert_points
+
+REGION = "newyork"
+NUM_POINTS = 12_000
+NUM_QUERIES = 100
+INSERT_FRACTION = 0.25
+NUM_BATCHES = 5
+COMPARED = ("WaZI", "CUR", "Flood")
+
+
+@pytest.fixture(scope="module")
+def insert_results():
+    points = dataset(REGION, NUM_POINTS)
+    workload = range_workload(REGION, MID_SELECTIVITY, NUM_QUERIES)
+    inserts = generate_insert_points(REGION, int(INSERT_FRACTION * NUM_POINTS), seed=31)
+    batch_size = len(inserts) // NUM_BATCHES
+    results = {}
+    for name in COMPARED:
+        index = build_named_index(name, points, workload.queries)
+        batches = []
+        for batch_number in range(NUM_BATCHES):
+            batch = inserts[batch_number * batch_size:(batch_number + 1) * batch_size]
+            start = time.perf_counter()
+            for point in batch:
+                index.insert(point)
+            insert_seconds = time.perf_counter() - start
+            range_stats = measure_range_queries(index, workload.queries)
+            batches.append(
+                {
+                    "inserted_fraction": (batch_number + 1) * INSERT_FRACTION / NUM_BATCHES,
+                    "insert_micros": insert_seconds / max(1, len(batch)) * 1e6,
+                    "range_micros": range_stats.mean_micros,
+                }
+            )
+        results[name] = batches
+    return results
+
+
+def test_fig11_insert_and_range_latency(benchmark, insert_results):
+    points = dataset(REGION, NUM_POINTS)
+    workload = range_workload(REGION, MID_SELECTIVITY, NUM_QUERIES)
+    flood = build_named_index("Flood", points, workload.queries)
+    inserts = generate_insert_points(REGION, 200, seed=32)
+    benchmark.pedantic(lambda: [flood.insert(p) for p in inserts], rounds=1, iterations=1)
+
+    print_section(
+        f"Figure 11: insert latency and range latency over inserts "
+        f"({REGION}, n={NUM_POINTS}, +{int(INSERT_FRACTION * 100)}% uniform inserts)"
+    )
+    insert_rows = []
+    range_rows = []
+    fractions = [batch["inserted_fraction"] for batch in insert_results[COMPARED[0]]]
+    for row_index, fraction in enumerate(fractions):
+        insert_rows.append(
+            [f"{fraction * 100:.0f}%"]
+            + [insert_results[name][row_index]["insert_micros"] for name in COMPARED]
+        )
+        range_rows.append(
+            [f"{fraction * 100:.0f}%"]
+            + [insert_results[name][row_index]["range_micros"] for name in COMPARED]
+        )
+    print_results_table("insert latency (us/insert)", ["% inserted"] + list(COMPARED), insert_rows)
+    print_results_table("range latency after inserts (us/query)",
+                        ["% inserted"] + list(COMPARED), range_rows)
+
+    # Shape checks: WaZI inserts are the most expensive of the three, and its
+    # range latency does not blow up (stays within 2x of the first batch).
+    mean_insert = {
+        name: sum(b["insert_micros"] for b in insert_results[name]) / NUM_BATCHES
+        for name in COMPARED
+    }
+    assert mean_insert["WaZI"] >= mean_insert["Flood"]
+    first = insert_results["WaZI"][0]["range_micros"]
+    last = insert_results["WaZI"][-1]["range_micros"]
+    assert last <= 2.0 * first

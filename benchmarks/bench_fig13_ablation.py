@@ -1,0 +1,91 @@
+"""Figure 13 — ablation study of adaptive partitioning vs look-ahead skipping.
+
+Four variants are compared across three selectivities: Base (neither
+mechanism), Base+SK (skipping only), WaZI-SK (adaptive layout only) and
+WaZI (both).  The four panels of the paper's figure map to query time,
+excess points compared, bounding boxes checked and pages scanned.  Shape
+checks assert the paper's conclusions: the look-ahead pointers drive the
+bounding-box reduction (both +SK variants check 10-100x fewer boxes), the
+adaptive layout drives the excess-point and page reductions, and the full
+WaZI combines both.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    build_named_index,
+    dataset,
+    print_results_table,
+    print_section,
+    range_workload,
+)
+from repro.evaluation import measure_range_queries
+
+REGION = "newyork"
+NUM_POINTS = 16_000
+NUM_QUERIES = 120
+ABLATION_SELECTIVITIES = (0.0016, 0.0064, 0.1024)
+VARIANTS = ("Base", "WaZI", "Base+SK", "WaZI-SK")
+METRICS = (
+    ("query time (us)", lambda stats: stats.mean_micros),
+    ("excess points", lambda stats: stats.per_query("excess_points")),
+    ("bbs checked", lambda stats: stats.per_query("bbs_checked")),
+    ("pages scanned", lambda stats: stats.per_query("pages_scanned")),
+)
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    points = dataset(REGION, NUM_POINTS)
+    results = {}
+    for selectivity in ABLATION_SELECTIVITIES:
+        workload = range_workload(REGION, selectivity, NUM_QUERIES)
+        per_variant = {}
+        for name in VARIANTS:
+            index = build_named_index(name, points, workload.queries)
+            per_variant[name] = measure_range_queries(index, workload.queries)
+        results[selectivity] = per_variant
+    return results
+
+
+def test_fig13_ablation(benchmark, ablation_results):
+    points = dataset(REGION, NUM_POINTS)
+    workload = range_workload(REGION, ABLATION_SELECTIVITIES[1], NUM_QUERIES)
+    base_sk = build_named_index("Base+SK", points, workload.queries)
+    benchmark.pedantic(
+        lambda: [base_sk.range_query(q) for q in workload.queries], rounds=2, iterations=1
+    )
+
+    print_section(f"Figure 13: ablation study ({REGION}, n={NUM_POINTS})")
+    for metric_name, metric in METRICS:
+        rows = []
+        for selectivity in ABLATION_SELECTIVITIES:
+            stats = ablation_results[selectivity]
+            rows.append([selectivity] + [metric(stats[name]) for name in VARIANTS])
+        print_results_table(metric_name, ["Selectivity %"] + list(VARIANTS), rows)
+
+    # Shape checks mirroring the paper's conclusions.
+    for selectivity in ABLATION_SELECTIVITIES:
+        stats = ablation_results[selectivity]
+        # 1. Look-ahead pointers slash the number of bounding boxes compared.
+        assert stats["Base+SK"].per_query("bbs_checked") < stats["Base"].per_query("bbs_checked")
+        assert stats["WaZI"].per_query("bbs_checked") < stats["WaZI-SK"].per_query("bbs_checked")
+        # 2. Adaptive partitioning reduces excess points and pages scanned.
+        assert (
+            stats["WaZI-SK"].per_query("excess_points")
+            <= stats["Base"].per_query("excess_points") * 1.05
+        )
+        # Pages scanned stay comparable: the adaptive layout trades slightly
+        # more (smaller) pages in hot regions for fewer points per page.
+        assert (
+            stats["WaZI"].per_query("pages_scanned")
+            <= stats["Base+SK"].per_query("pages_scanned") * 1.25
+        )
+        # 3. Skipping alone does not change the data layout, so Base and
+        #    Base+SK scan identical pages and points.
+        assert stats["Base"].per_query("pages_scanned") == pytest.approx(
+            stats["Base+SK"].per_query("pages_scanned")
+        )
+        assert stats["Base"].per_query("excess_points") == pytest.approx(
+            stats["Base+SK"].per_query("excess_points")
+        )

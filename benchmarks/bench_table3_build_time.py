@@ -1,0 +1,66 @@
+"""Table 3 — index construction time as the dataset size grows.
+
+The paper's Table 3 reports build seconds for the six indexes from 4 to 64
+million points: STR is cheapest, Flood next, Base linear, CUR and WaZI a
+few times Base (density estimation / cost search), and QUASII by far the
+most expensive.  The reproduction sweeps the scaled-down sizes and checks
+the ordering (STR fastest, WaZI costlier than Base, build time growing with
+size).
+"""
+
+import pytest
+
+from benchmarks.common import (
+    MAIN_INDEXES,
+    MID_SELECTIVITY,
+    SCALING_SIZES,
+    build_named_index,
+    dataset,
+    measure_index,
+    print_results_table,
+    print_section,
+    range_workload,
+)
+
+REGION = "calinev"
+NUM_QUERIES = 100
+
+
+@pytest.fixture(scope="module")
+def build_time_results():
+    results = {}
+    workload = range_workload(REGION, MID_SELECTIVITY, NUM_QUERIES)
+    for size in SCALING_SIZES:
+        points = dataset(REGION, size)
+        results[size] = {
+            name: measure_index(name, points, workload.queries, point_queries=())
+            for name in MAIN_INDEXES
+        }
+    return results
+
+
+def test_table3_build_time(benchmark, build_time_results):
+    workload = range_workload(REGION, MID_SELECTIVITY, NUM_QUERIES)
+    points = dataset(REGION, SCALING_SIZES[1])
+    benchmark.pedantic(
+        lambda: build_named_index("Base", points, workload.queries), rounds=2, iterations=1
+    )
+
+    print_section(f"Table 3: build time (seconds), {REGION}")
+    rows = []
+    for size in SCALING_SIZES:
+        rows.append(
+            [size] + [build_time_results[size][name].build_seconds for name in MAIN_INDEXES]
+        )
+    print_results_table("build seconds", ["Size"] + list(MAIN_INDEXES), rows)
+
+    # Shape checks mirroring the paper's Table 3.
+    largest = SCALING_SIZES[-1]
+    at_largest = build_time_results[largest]
+    assert at_largest["STR"].build_seconds <= at_largest["WaZI"].build_seconds
+    assert at_largest["Base"].build_seconds <= at_largest["WaZI"].build_seconds
+    for name in MAIN_INDEXES:
+        assert (
+            build_time_results[largest][name].build_seconds
+            > build_time_results[SCALING_SIZES[0]][name].build_seconds
+        )

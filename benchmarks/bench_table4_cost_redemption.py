@@ -1,0 +1,85 @@
+"""Table 4 — cost redemption against the Base Z-index.
+
+Cost redemption asks: after how many query executions does an index's
+faster querying pay back its more expensive construction (relative to
+Base)?  The paper finds WaZI redeems itself after roughly 0.2-0.8 million
+queries, STR/Flood are cheaper to build but slower to query (so they win
+only for short workloads), and QUASII never redeems its construction cost.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    DEFAULT_NUM_POINTS,
+    MID_SELECTIVITY,
+    REGIONS,
+    dataset,
+    measure_index,
+    print_results_table,
+    print_section,
+    range_workload,
+)
+from repro.evaluation import cost_redemption
+
+COMPARED = ("CUR", "Flood", "QUASII", "STR", "WaZI")
+NUM_QUERIES = 120
+
+
+@pytest.fixture(scope="module")
+def redemption_results():
+    results = {}
+    for region in REGIONS:
+        points = dataset(region, DEFAULT_NUM_POINTS)
+        workload = range_workload(region, MID_SELECTIVITY, NUM_QUERIES)
+        cell = {"Base": measure_index("Base", points, workload.queries)}
+        for name in COMPARED:
+            cell[name] = measure_index(name, points, workload.queries)
+        results[region] = cell
+    return results
+
+
+def test_table4_cost_redemption(benchmark, redemption_results):
+    base = redemption_results[REGIONS[0]]["Base"]
+    wazi = redemption_results[REGIONS[0]]["WaZI"]
+    benchmark.pedantic(
+        lambda: cost_redemption(
+            "WaZI",
+            wazi.build_seconds,
+            wazi.range_stats.mean_seconds,
+            base.build_seconds,
+            base.range_stats.mean_seconds,
+        ),
+        rounds=5,
+        iterations=1,
+    )
+
+    print_section("Table 4: cost redemption against Base (number of queries to break even)")
+    rows = []
+    entries = {}
+    for region in REGIONS:
+        cell = redemption_results[region]
+        base_result = cell["Base"]
+        row = [region]
+        for name in COMPARED:
+            entry = cost_redemption(
+                name,
+                cell[name].build_seconds,
+                cell[name].range_stats.mean_seconds,
+                base_result.build_seconds,
+                base_result.range_stats.mean_seconds,
+            )
+            entries[(region, name)] = entry
+            row.append(entry.render())
+        rows.append(row)
+    print_results_table("(+) eventually/always better, (-) eventually/always worse",
+                        ["Region"] + list(COMPARED), rows)
+
+    # Shape checks: WaZI builds slower than Base, so wherever it is faster
+    # per query it must report a finite positive break-even count; STR builds
+    # faster than Base, so it never reports a "(+) with count" cell.
+    for region in REGIONS:
+        wazi_entry = entries[(region, "WaZI")]
+        if wazi_entry.sign == "+":
+            assert wazi_entry.queries_to_break_even is None or wazi_entry.queries_to_break_even > 0
+        str_entry = entries[(region, "STR")]
+        assert not (str_entry.sign == "+" and str_entry.queries_to_break_even is not None)

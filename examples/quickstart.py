@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: build a WaZI index and answer spatial queries.
+
+This example walks through the core workflow of the library:
+
+1. generate a dataset (a synthetic stand-in for the paper's OpenStreetMap
+   points of interest),
+2. describe the anticipated range-query workload (skewed "check-in"
+   centers, as in the paper's semi-synthetic setup),
+3. build the workload-aware WaZI index and the plain Base Z-index,
+4. run range, point and kNN queries,
+5. compare the logical work the two indexes perform.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    WaZI,
+    BaseZIndex,
+    Point,
+    generate_dataset,
+    generate_range_workload,
+    run_range_workload,
+)
+from repro.api import workload_summary
+
+
+def main() -> None:
+    # 1. A dataset: 20 000 points of interest from the synthetic NewYork region.
+    data = generate_dataset("newyork", 20_000, seed=1)
+    print(f"dataset: {len(data)} points, e.g. {data[0]}")
+
+    # 2. An anticipated workload: 300 range queries whose centers follow a
+    #    skewed check-in distribution, each covering 0.0256 % of the data space.
+    workload = generate_range_workload(
+        "newyork", 300, selectivity_percent=0.0256, seed=1
+    )
+    print(f"workload: {len(workload)} queries, first query = {workload[0]}")
+
+    # 3. Build the indexes.  WaZI consumes the workload; Base ignores it.
+    wazi = WaZI(data, workload.queries, leaf_capacity=64, seed=1)
+    base = BaseZIndex(data, leaf_capacity=64)
+    print(f"WaZI: {len(wazi)} points, {len(wazi.leaflist)} leaves, depth {wazi.depth()}")
+    print(f"Base: {len(base)} points, {len(base.leaflist)} leaves, depth {base.depth()}")
+
+    # 4. Queries.
+    query = workload.queries[0]
+    hits = wazi.range_query(query)
+    print(f"range query {query} -> {len(hits)} points")
+
+    probe = data[123]
+    print(f"point query {probe} -> {wazi.point_query(probe)}")
+    print(f"point query (missing) -> {wazi.point_query(Point(-1.0, -1.0))}")
+
+    neighbours = wazi.knn(Point(30.0, 32.0), k=5)
+    print("5 nearest neighbours of (30, 32):")
+    for neighbour in neighbours:
+        print(f"  {neighbour}")
+
+    # 5. Compare the logical work on the full workload.
+    for index in (base, wazi):
+        stats = run_range_workload(index, workload.queries)
+        summary = workload_summary(stats)
+        print(
+            f"{summary['index']:>5s}: {summary['mean_micros']:8.1f} us/query, "
+            f"{summary['excess_points_per_query']:7.1f} excess points/query, "
+            f"{summary['bbs_checked_per_query']:6.1f} bounding boxes/query"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Workload drift: when does a workload-aware index need rebuilding?
+
+WaZI is optimised for the workload it was built with (Section 6.8 of the
+paper).  This example reproduces that experiment as an application scenario:
+an index built for last month's query log serves queries while the workload
+gradually drifts, and an operator wants to know when the index has lost its
+edge and should be rebuilt.
+
+The example:
+
+1. builds Base and WaZI for the original skewed workload,
+2. evaluates both under increasing drift towards (a) a uniform workload and
+   (b) a differently skewed workload,
+3. uses the drift detector from ``repro.analysis`` to flag when the observed
+   workload has departed from the training workload enough that a rebuild is
+   recommended, and
+4. rebuilds WaZI on the drifted workload to show the advantage is recovered.
+
+Run with::
+
+    python examples/workload_shift.py
+"""
+
+from repro import BaseZIndex, WaZI, generate_dataset, generate_range_workload, uniform_range_workload
+from repro.analysis import WorkloadDriftDetector
+from repro.evaluation import format_table, measure_range_queries
+from repro.workloads import blend_workloads
+
+REGION = "newyork"
+NUM_POINTS = 20_000
+NUM_QUERIES = 300
+SELECTIVITY = 0.0256
+
+
+def evaluate(index, queries):
+    stats = measure_range_queries(index, queries)
+    return stats.mean_micros, stats.per_query("excess_points")
+
+
+def main() -> None:
+    data = generate_dataset(REGION, NUM_POINTS, seed=3)
+    original = generate_range_workload(REGION, NUM_QUERIES, SELECTIVITY, seed=3)
+    differently_skewed = generate_range_workload(REGION, NUM_QUERIES, SELECTIVITY, seed=999)
+    uniform = uniform_range_workload(REGION, NUM_QUERIES, SELECTIVITY, seed=555)
+
+    base = BaseZIndex(data, leaf_capacity=64)
+    wazi = WaZI(data, original.queries, leaf_capacity=64, seed=3)
+    detector = WorkloadDriftDetector.from_workload(original.queries, grid=12)
+
+    rows = []
+    for label, replacement in (("uniform", uniform), ("skewed", differently_skewed)):
+        for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+            drifted = blend_workloads(original, replacement, fraction, seed=11)
+            base_micros, base_excess = evaluate(base, drifted.queries)
+            wazi_micros, wazi_excess = evaluate(wazi, drifted.queries)
+            drift_score = detector.drift_score(drifted.queries)
+            rows.append([
+                f"{label} {fraction:.0%}",
+                base_micros,
+                wazi_micros,
+                base_excess,
+                wazi_excess,
+                drift_score,
+                "rebuild" if detector.should_rebuild(drifted.queries) else "keep",
+            ])
+
+    print(format_table(
+        ["drift", "Base us", "WaZI us", "Base excess", "WaZI excess", "drift score", "advice"],
+        rows,
+        title=f"Workload drift on '{REGION}' (index built for the original workload)",
+    ))
+
+    # Rebuild WaZI for the fully drifted skewed workload and show recovery.
+    drifted = blend_workloads(original, differently_skewed, 1.0, seed=11)
+    stale_micros, stale_excess = evaluate(wazi, drifted.queries)
+    rebuilt = WaZI(data, drifted.queries, leaf_capacity=64, seed=3)
+    fresh_micros, fresh_excess = evaluate(rebuilt, drifted.queries)
+    print("\nAfter 100% drift to the differently skewed workload:")
+    print(f"  stale WaZI : {stale_micros:8.1f} us/query, {stale_excess:7.1f} excess points/query")
+    print(f"  rebuilt    : {fresh_micros:8.1f} us/query, {fresh_excess:7.1f} excess points/query")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in the
+offline development environment (legacy ``pip install -e . --no-use-pep517``
+needs a ``setup.py``; all metadata lives in ``pyproject.toml``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,87 @@
+"""WaZI: a learned and workload-aware Z-index — full Python reproduction.
+
+This package reproduces the system described in "WaZI: A Learned and
+Workload-aware Z-Index" (EDBT 2024) together with every substrate and
+baseline its evaluation depends on:
+
+* :mod:`repro.core` — the WaZI index (adaptive partitioning + ordering,
+  retrieval-cost model, look-ahead skipping) and its ablation variants,
+* :mod:`repro.zindex` — the base Z-index structure (Section 3),
+* :mod:`repro.zorder`, :mod:`repro.geometry`, :mod:`repro.storage`,
+  :mod:`repro.density` — the substrates (Morton codes and BIGMIN, planar
+  geometry, paged storage, RFDE density estimation),
+* :mod:`repro.baselines` — STR, CUR, Flood, QUASII, Zpgm and reference
+  indexes,
+* :mod:`repro.workloads` — synthetic datasets and skewed query workloads
+  standing in for the paper's OSM/Gowalla data,
+* :mod:`repro.evaluation` — the measurement harness behind every table and
+  figure of the evaluation.
+
+Quickstart::
+
+    from repro import WaZI, generate_dataset, generate_range_workload
+
+    data = generate_dataset("newyork", 20_000, seed=1)
+    workload = generate_range_workload("newyork", 200, selectivity_percent=0.0256, seed=1)
+    index = WaZI(data, workload.queries, seed=1)
+    hits = index.range_query(workload.queries[0])
+"""
+
+from repro.analysis import RebuildAdvisor, WorkloadDriftDetector
+from repro.api import build_index, compare_indexes, run_point_workload, run_range_workload
+from repro.joins import box_join, knn_join, radius_join
+from repro.baselines import (
+    CURTree,
+    FloodIndex,
+    KDTreeIndex,
+    QuadTreeIndex,
+    QUASIIIndex,
+    RTree,
+    STRRTree,
+    ZPGMIndex,
+)
+from repro.core import BaseWithSkipping, WaZI, WaZIWithoutSkipping
+from repro.geometry import Point, Rect
+from repro.interfaces import SpatialIndex
+from repro.workloads import (
+    generate_dataset,
+    generate_point_queries,
+    generate_range_workload,
+    uniform_range_workload,
+)
+from repro.zindex import BaseZIndex, ZIndex
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Point",
+    "Rect",
+    "SpatialIndex",
+    "WaZI",
+    "WaZIWithoutSkipping",
+    "BaseWithSkipping",
+    "BaseZIndex",
+    "ZIndex",
+    "STRRTree",
+    "CURTree",
+    "FloodIndex",
+    "QUASIIIndex",
+    "ZPGMIndex",
+    "RTree",
+    "QuadTreeIndex",
+    "KDTreeIndex",
+    "build_index",
+    "compare_indexes",
+    "run_range_workload",
+    "run_point_workload",
+    "generate_dataset",
+    "generate_range_workload",
+    "uniform_range_workload",
+    "generate_point_queries",
+    "WorkloadDriftDetector",
+    "RebuildAdvisor",
+    "box_join",
+    "radius_join",
+    "knn_join",
+]

@@ -1,0 +1,21 @@
+"""Workload analysis utilities (the paper's future-work directions).
+
+Section 6.8 of the paper shows that WaZI degrades when the query workload
+drifts away from the workload it was built for, and the conclusion lists
+"mechanisms to decide when to retrain an index" as future work, pointing at
+the concept-drift literature.  This subpackage provides a concrete,
+lightweight realisation of that direction:
+
+* :class:`~repro.analysis.drift.WorkloadDriftDetector` — summarises a
+  training workload as a coarse spatial histogram of query footprints and
+  scores how far an observed workload has drifted (total-variation
+  distance), with a configurable rebuild threshold.
+* :class:`~repro.analysis.advisor.RebuildAdvisor` — combines the drift
+  score with the cost-redemption arithmetic of Table 4 to advise whether a
+  rebuild would pay for itself over an expected number of future queries.
+"""
+
+from repro.analysis.drift import WorkloadDriftDetector
+from repro.analysis.advisor import RebuildAdvisor, RebuildRecommendation
+
+__all__ = ["WorkloadDriftDetector", "RebuildAdvisor", "RebuildRecommendation"]

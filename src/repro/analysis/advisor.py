@@ -1,0 +1,105 @@
+"""Deciding whether a rebuild pays for itself.
+
+Detecting drift (``WorkloadDriftDetector``) answers "has the workload
+changed?"; this module answers the operational follow-up: "is it worth
+rebuilding?".  Following the cost-redemption arithmetic of Table 4, a
+rebuild is worthwhile when the expected number of future queries times the
+per-query latency saved by a fresh index exceeds the rebuild cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.drift import WorkloadDriftDetector
+from repro.geometry import Rect
+
+
+@dataclass(frozen=True)
+class RebuildRecommendation:
+    """The advisor's verdict and the numbers behind it."""
+
+    should_rebuild: bool
+    drift_score: float
+    estimated_break_even_queries: Optional[float]
+    reason: str
+
+
+class RebuildAdvisor:
+    """Combines drift detection with a break-even estimate.
+
+    Parameters
+    ----------
+    detector:
+        A fitted :class:`WorkloadDriftDetector` for the index's training
+        workload.
+    rebuild_seconds:
+        Measured (or estimated) cost of rebuilding the index.
+    stale_query_seconds / fresh_query_seconds:
+        Per-query latencies of the current (stale) index and of a freshly
+        rebuilt index on the *current* workload.  In practice these come
+        from sampling a few hundred queries against the live index and
+        against a rebuilt index on a data sample.
+    """
+
+    def __init__(
+        self,
+        detector: WorkloadDriftDetector,
+        rebuild_seconds: float,
+        stale_query_seconds: float,
+        fresh_query_seconds: float,
+    ) -> None:
+        if rebuild_seconds < 0:
+            raise ValueError("rebuild_seconds must be non-negative")
+        if stale_query_seconds < 0 or fresh_query_seconds < 0:
+            raise ValueError("query latencies must be non-negative")
+        self.detector = detector
+        self.rebuild_seconds = rebuild_seconds
+        self.stale_query_seconds = stale_query_seconds
+        self.fresh_query_seconds = fresh_query_seconds
+
+    def recommend(
+        self, observed: Sequence[Rect], expected_future_queries: float
+    ) -> RebuildRecommendation:
+        """Advise whether to rebuild given the observed workload and horizon."""
+        drift = self.detector.drift_score(observed)
+        gain_per_query = self.stale_query_seconds - self.fresh_query_seconds
+        if gain_per_query <= 0:
+            return RebuildRecommendation(
+                should_rebuild=False,
+                drift_score=drift,
+                estimated_break_even_queries=None,
+                reason="a rebuilt index would not be faster on the observed workload",
+            )
+        break_even = self.rebuild_seconds / gain_per_query
+        if not self.detector.should_rebuild(observed):
+            return RebuildRecommendation(
+                should_rebuild=False,
+                drift_score=drift,
+                estimated_break_even_queries=break_even,
+                reason=(
+                    f"drift {drift:.2f} below threshold "
+                    f"{self.detector.rebuild_threshold:.2f}"
+                ),
+            )
+        if expected_future_queries < break_even:
+            return RebuildRecommendation(
+                should_rebuild=False,
+                drift_score=drift,
+                estimated_break_even_queries=break_even,
+                reason=(
+                    f"rebuild would only pay off after {break_even:,.0f} queries, "
+                    f"but only {expected_future_queries:,.0f} are expected"
+                ),
+            )
+        return RebuildRecommendation(
+            should_rebuild=True,
+            drift_score=drift,
+            estimated_break_even_queries=break_even,
+            reason=(
+                f"drift {drift:.2f} exceeds the threshold and the rebuild pays off "
+                f"after {break_even:,.0f} of the expected "
+                f"{expected_future_queries:,.0f} queries"
+            ),
+        )

@@ -1,0 +1,117 @@
+"""Detecting query-workload drift.
+
+A workload-aware index is only as good as the workload it was built for.
+The detector here summarises the *spatial footprint* of a workload — which
+parts of the data space its queries touch, and how heavily — as a coarse
+grid histogram, and measures drift between the training workload and an
+observed workload as the total-variation distance between their normalised
+footprints.  The measure is 0 for identical workloads and approaches 1 when
+the observed queries touch completely different regions; the workload-change
+experiment (Figure 12) shows WaZI's advantage eroding once roughly half the
+workload has moved, which motivates the default rebuild threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry import Rect, bounding_box_of_rects
+
+
+@dataclass(frozen=True)
+class _Footprint:
+    """Normalised spatial footprint of a workload over a fixed grid."""
+
+    weights: np.ndarray
+
+    def distance(self, other: "_Footprint") -> float:
+        """Total-variation distance between two footprints (in ``[0, 1]``)."""
+        return float(np.abs(self.weights - other.weights).sum() / 2.0)
+
+
+class WorkloadDriftDetector:
+    """Scores how far an observed workload has drifted from a reference one.
+
+    Parameters
+    ----------
+    extent:
+        The data-space rectangle over which footprints are histogrammed.
+    grid:
+        Histogram resolution per axis (``grid x grid`` cells).
+    rebuild_threshold:
+        Drift score above which :meth:`should_rebuild` returns ``True``.
+        The default of 0.35 corresponds to roughly half of a skewed workload
+        having moved to different hot spots in the Figure 12 experiment.
+    """
+
+    def __init__(self, extent: Rect, grid: int = 16, rebuild_threshold: float = 0.35) -> None:
+        if grid <= 0:
+            raise ValueError(f"grid must be positive, got {grid}")
+        if not 0.0 < rebuild_threshold <= 1.0:
+            raise ValueError(f"rebuild_threshold must be in (0, 1], got {rebuild_threshold}")
+        self.extent = extent
+        self.grid = grid
+        self.rebuild_threshold = rebuild_threshold
+        self._reference: Optional[_Footprint] = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_workload(
+        cls,
+        queries: Sequence[Rect],
+        grid: int = 16,
+        rebuild_threshold: float = 0.35,
+        extent: Optional[Rect] = None,
+    ) -> "WorkloadDriftDetector":
+        """Build a detector whose reference footprint is the given workload."""
+        if extent is None:
+            if not queries:
+                raise ValueError("Cannot infer an extent from an empty workload")
+            extent = bounding_box_of_rects(queries)
+        detector = cls(extent, grid=grid, rebuild_threshold=rebuild_threshold)
+        detector.fit(queries)
+        return detector
+
+    def fit(self, queries: Sequence[Rect]) -> None:
+        """Set (or reset) the reference workload."""
+        self._reference = self._footprint(queries)
+
+    # ------------------------------------------------------------------
+    def _footprint(self, queries: Sequence[Rect]) -> _Footprint:
+        weights = np.zeros((self.grid, self.grid), dtype=np.float64)
+        span_x = self.extent.width if self.extent.width > 0 else 1.0
+        span_y = self.extent.height if self.extent.height > 0 else 1.0
+        for query in queries:
+            clipped = query.intersection(self.extent)
+            if clipped is None:
+                continue
+            ix_lo = self._cell(clipped.xmin, self.extent.xmin, span_x)
+            ix_hi = self._cell(clipped.xmax, self.extent.xmin, span_x)
+            iy_lo = self._cell(clipped.ymin, self.extent.ymin, span_y)
+            iy_hi = self._cell(clipped.ymax, self.extent.ymin, span_y)
+            # Spread one unit of mass over the touched cells so large and
+            # small queries contribute equally to the footprint.
+            touched = (ix_hi - ix_lo + 1) * (iy_hi - iy_lo + 1)
+            weights[ix_lo:ix_hi + 1, iy_lo:iy_hi + 1] += 1.0 / touched
+        total = weights.sum()
+        if total > 0:
+            weights = weights / total
+        return _Footprint(weights.ravel())
+
+    def _cell(self, value: float, origin: float, span: float) -> int:
+        index = int((value - origin) / span * self.grid)
+        return max(0, min(self.grid - 1, index))
+
+    # ------------------------------------------------------------------
+    def drift_score(self, observed: Sequence[Rect]) -> float:
+        """Total-variation distance between the observed and reference footprints."""
+        if self._reference is None:
+            raise RuntimeError("Detector has no reference workload; call fit() first")
+        return self._reference.distance(self._footprint(observed))
+
+    def should_rebuild(self, observed: Sequence[Rect]) -> bool:
+        """Whether the observed workload has drifted past the rebuild threshold."""
+        return self.drift_score(observed) >= self.rebuild_threshold

@@ -1,0 +1,148 @@
+"""High-level convenience API.
+
+Most users only need three things: generate (or load) a dataset, describe
+the anticipated query workload, and build an index.  This module offers a
+single :func:`build_index` factory covering every index in the library and
+small helpers for running a workload and summarising the outcome, so the
+examples and quick experiments stay short.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    CURTree,
+    FloodIndex,
+    KDTreeIndex,
+    QuadTreeIndex,
+    QUASIIIndex,
+    RTree,
+    STRRTree,
+    ZPGMIndex,
+)
+from repro.core import BaseWithSkipping, WaZI, WaZIWithoutSkipping
+from repro.evaluation import (
+    ComparisonRunner,
+    measure_point_queries,
+    measure_range_queries,
+)
+from repro.geometry import Point, Rect
+from repro.interfaces import SpatialIndex
+from repro.zindex import BaseZIndex
+
+#: Index names accepted by :func:`build_index`.  Workload-aware indexes use
+#: the ``workload`` argument; the rest ignore it.
+INDEX_NAMES = (
+    "wazi",
+    "wazi-sk",
+    "base",
+    "base+sk",
+    "str",
+    "cur",
+    "flood",
+    "quasii",
+    "zpgm",
+    "rtree",
+    "quadtree",
+    "kdtree",
+)
+
+
+def build_index(
+    name: str,
+    points: Sequence[Point],
+    workload: Sequence[Rect] = (),
+    leaf_capacity: int = 64,
+    seed: Optional[int] = 0,
+    **kwargs,
+) -> SpatialIndex:
+    """Build any index in the library by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`INDEX_NAMES` (case-insensitive).
+    points:
+        The dataset.
+    workload:
+        Anticipated range queries; required for the workload-aware indexes
+        (``wazi``, ``wazi-sk``, ``cur``, ``flood``, ``quasii``) to have any
+        effect, ignored by the others.
+    leaf_capacity:
+        Page size ``L`` (or the grid cell target for Flood).
+    seed:
+        Seed for the learned / randomised components.
+    kwargs:
+        Forwarded to the index constructor for index-specific options.
+    """
+    key = name.lower()
+    if key == "wazi":
+        return WaZI(points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs)
+    if key in ("wazi-sk", "wazi_nosk", "wazi-noskip"):
+        return WaZIWithoutSkipping(points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs)
+    if key == "base":
+        return BaseZIndex(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key in ("base+sk", "base_sk", "basesk"):
+        return BaseWithSkipping(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "str":
+        return STRRTree(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "cur":
+        return CURTree(points, workload, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "flood":
+        return FloodIndex(points, workload, cell_target=leaf_capacity, seed=seed or 0, **kwargs)
+    if key == "quasii":
+        return QUASIIIndex(points, workload, **kwargs)
+    if key == "zpgm":
+        return ZPGMIndex(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "rtree":
+        return RTree(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "quadtree":
+        return QuadTreeIndex(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "kdtree":
+        return KDTreeIndex(points, leaf_capacity=leaf_capacity, **kwargs)
+    raise ValueError(f"Unknown index name {name!r}; expected one of {INDEX_NAMES}")
+
+
+def compare_indexes(
+    names: Sequence[str],
+    points: Sequence[Point],
+    workload: Sequence[Rect],
+    point_queries: Sequence[Point] = (),
+    leaf_capacity: int = 64,
+    seed: int = 0,
+) -> Dict[str, "object"]:
+    """Build and measure several indexes on the same data and workload.
+
+    Returns a mapping from index name to
+    :class:`~repro.evaluation.runner.ComparisonResult`.
+    """
+    factories = {
+        name: (lambda n=name: build_index(n, points, workload, leaf_capacity=leaf_capacity, seed=seed))
+        for name in names
+    }
+    runner = ComparisonRunner(factories)
+    return runner.run_dict(range_queries=list(workload), point_queries=list(point_queries))
+
+
+def run_range_workload(index: SpatialIndex, workload: Sequence[Rect]):
+    """Measure a range workload on an already-built index (wall clock + counters)."""
+    return measure_range_queries(index, list(workload))
+
+
+def run_point_workload(index: SpatialIndex, queries: Sequence[Point]):
+    """Measure a point-query workload on an already-built index."""
+    return measure_point_queries(index, list(queries))
+
+
+def workload_summary(stats) -> Dict[str, float]:
+    """A compact dictionary summary of a :class:`QueryStats` measurement."""
+    return {
+        "index": stats.index_name,
+        "queries": stats.num_queries,
+        "mean_micros": stats.mean_micros,
+        "bbs_checked_per_query": stats.per_query("bbs_checked"),
+        "pages_scanned_per_query": stats.per_query("pages_scanned"),
+        "points_filtered_per_query": stats.per_query("points_filtered"),
+        "excess_points_per_query": stats.per_query("excess_points"),
+    }

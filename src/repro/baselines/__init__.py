@@ -1,0 +1,44 @@
+"""Baseline spatial indexes the paper compares WaZI against.
+
+Every baseline the evaluation section uses is implemented from scratch on
+top of the same :class:`~repro.interfaces.SpatialIndex` protocol and the
+same cost counters, so the comparison harness treats them uniformly:
+
+* :class:`~repro.baselines.str_rtree.STRRTree` — the Sort-Tile-Recursive
+  bulk-loaded R-tree (``STR``),
+* :class:`~repro.baselines.cur.CURTree` — the cost-based, workload-weighted
+  unbalanced R-tree (``CUR``), packed with a weighted density estimator,
+* :class:`~repro.baselines.flood.FloodIndex` — the simplified 2-D Flood
+  grid index with a cost-model layout search (``Flood``),
+* :class:`~repro.baselines.quasii.QUASIIIndex` — the converged query-aware
+  cracking index (``QUASII``),
+* :class:`~repro.baselines.zpgm.ZPGMIndex` — the rank-space Z-order +
+  piecewise-linear learned index (``Zpgm``), one of the baselines Figure 4
+  discards for poor performance,
+* :class:`~repro.baselines.rtree.RTree` — a dynamic Guttman R-tree used by
+  the update experiments and as the shared substrate of STR/CUR,
+* :class:`~repro.baselines.quadtree.QuadTreeIndex` and
+  :class:`~repro.baselines.kdtree_index.KDTreeIndex` — classical
+  space-partitioning references used in tests and sanity checks.
+"""
+
+from repro.baselines.rtree import RTree, RTreeNode
+from repro.baselines.str_rtree import STRRTree
+from repro.baselines.cur import CURTree
+from repro.baselines.flood import FloodIndex
+from repro.baselines.quasii import QUASIIIndex
+from repro.baselines.zpgm import ZPGMIndex
+from repro.baselines.quadtree import QuadTreeIndex
+from repro.baselines.kdtree_index import KDTreeIndex
+
+__all__ = [
+    "RTree",
+    "RTreeNode",
+    "STRRTree",
+    "CURTree",
+    "FloodIndex",
+    "QUASIIIndex",
+    "ZPGMIndex",
+    "QuadTreeIndex",
+    "KDTreeIndex",
+]

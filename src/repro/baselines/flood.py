@@ -1,0 +1,265 @@
+"""Flood: a learned grid index with a cost-model layout search (Nathan et al.).
+
+The paper implements a simplified two-dimensional Flood: the data space is
+divided into a ``columns x rows`` grid, points are stored per cell (sorted
+by y inside a cell), and the grid resolution is chosen by evaluating a
+query-processing cost model on a sub-sample of the training workload.
+Projection is a constant-time arithmetic computation (no tree traversal),
+which is why Flood has by far the fastest projection phase in Figure 9,
+while its scan cost depends on how well the single global grid fits the
+workload — the weakness WaZI's per-node adaptivity addresses.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry import Point, Rect, bounding_box
+from repro.interfaces import SpatialIndex
+
+_CELL_OVERHEAD_BYTES = 48
+_POINT_BYTES = 16
+
+#: Candidate grid aspect factors explored by the layout search.  Each factor
+#: ``f`` produces a candidate layout with ``columns ~ sqrt(n_cells) * f`` and
+#: ``rows ~ sqrt(n_cells) / f``.
+_DEFAULT_ASPECT_FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0)
+
+
+class FloodIndex(SpatialIndex):
+    """A 2-D grid index whose layout is chosen by a workload cost model.
+
+    Parameters
+    ----------
+    points:
+        The dataset to index.
+    workload:
+        Range queries used by the layout search.  With an empty workload the
+        grid defaults to the square layout.
+    cell_target:
+        Desired average number of points per grid cell (plays the role the
+        page size plays for the tree indexes).
+    layout_sample:
+        How many workload queries are used to score each candidate layout.
+    aspect_factors:
+        The column/row aspect ratios the layout search explores.
+    """
+
+    name = "Flood"
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        workload: Sequence[Rect] = (),
+        cell_target: int = 64,
+        layout_sample: int = 100,
+        aspect_factors: Tuple[float, ...] = _DEFAULT_ASPECT_FACTORS,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if cell_target <= 0:
+            raise ValueError(f"cell_target must be positive, got {cell_target}")
+        self._points = list(points)
+        self._extent = bounding_box(self._points) if self._points else Rect(0, 0, 1, 1)
+        self.cell_target = cell_target
+        rng = np.random.default_rng(seed)
+        sample = self._sample_queries(list(workload), layout_sample, rng)
+        self.columns, self.rows = self._search_layout(sample, aspect_factors)
+        self._build_grid()
+
+    # ------------------------------------------------------------------
+    # layout search
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _sample_queries(workload: List[Rect], layout_sample: int, rng) -> List[Rect]:
+        if not workload or len(workload) <= layout_sample:
+            return workload
+        indices = rng.choice(len(workload), size=layout_sample, replace=False)
+        return [workload[i] for i in indices]
+
+    def _candidate_layouts(self, aspect_factors: Tuple[float, ...]) -> List[Tuple[int, int]]:
+        n = max(1, len(self._points))
+        num_cells = max(1, n // self.cell_target)
+        side = math.sqrt(num_cells)
+        layouts = []
+        for factor in aspect_factors:
+            columns = max(1, int(round(side * factor)))
+            rows = max(1, int(round(side / factor)))
+            layouts.append((columns, rows))
+        return sorted(set(layouts))
+
+    def _search_layout(
+        self, sample: List[Rect], aspect_factors: Tuple[float, ...]
+    ) -> Tuple[int, int]:
+        layouts = self._candidate_layouts(aspect_factors)
+        if not sample:
+            # No workload: prefer the square grid.
+            return layouts[len(layouts) // 2] if layouts else (1, 1)
+        best_layout = layouts[0]
+        best_cost = float("inf")
+        array = np.array([(p.x, p.y) for p in self._points]) if self._points else np.empty((0, 2))
+        for columns, rows in layouts:
+            cost = self._estimate_layout_cost(array, columns, rows, sample)
+            if cost < best_cost:
+                best_cost = cost
+                best_layout = (columns, rows)
+        return best_layout
+
+    def _estimate_layout_cost(
+        self, array: np.ndarray, columns: int, rows: int, sample: List[Rect]
+    ) -> float:
+        """Estimated points touched per query: cells overlapped x average cell load."""
+        if array.shape[0] == 0:
+            return 0.0
+        counts, _, _ = np.histogram2d(
+            array[:, 0],
+            array[:, 1],
+            bins=[columns, rows],
+            range=[
+                [self._extent.xmin, self._extent.xmin + self._span_x()],
+                [self._extent.ymin, self._extent.ymin + self._span_y()],
+            ],
+        )
+        total = 0.0
+        for query in sample:
+            ix_lo, ix_hi = self._column_range_for(query, columns)
+            iy_lo, iy_hi = self._row_range_for(query, rows)
+            total += float(counts[ix_lo:ix_hi + 1, iy_lo:iy_hi + 1].sum())
+            # A small per-cell access charge models the projection overhead of
+            # touching many tiny cells.
+            total += 0.5 * (ix_hi - ix_lo + 1) * (iy_hi - iy_lo + 1)
+        return total / max(1, len(sample))
+
+    # ------------------------------------------------------------------
+    # grid construction
+    # ------------------------------------------------------------------
+    def _span_x(self) -> float:
+        return self._extent.width if self._extent.width > 0 else 1.0
+
+    def _span_y(self) -> float:
+        return self._extent.height if self._extent.height > 0 else 1.0
+
+    def _build_grid(self) -> None:
+        self._cells: List[List[Point]] = [[] for _ in range(self.columns * self.rows)]
+        for point in self._points:
+            self._cells[self._cell_index(point.x, point.y)].append(point)
+        # Points inside a cell are kept sorted by y so scans can stop early.
+        for cell in self._cells:
+            cell.sort(key=lambda p: (p.y, p.x))
+        self._cell_y_keys: List[List[float]] = [[p.y for p in cell] for cell in self._cells]
+
+    def _cell_index(self, x: float, y: float) -> int:
+        column = self._column_of(x)
+        row = self._row_of(y)
+        return column * self.rows + row
+
+    def _column_of(self, x: float) -> int:
+        column = int((x - self._extent.xmin) / self._span_x() * self.columns)
+        return max(0, min(self.columns - 1, column))
+
+    def _row_of(self, y: float) -> int:
+        row = int((y - self._extent.ymin) / self._span_y() * self.rows)
+        return max(0, min(self.rows - 1, row))
+
+    def _column_range_for(self, query: Rect, columns: Optional[int] = None) -> Tuple[int, int]:
+        columns = columns if columns is not None else self.columns
+        span = self._span_x()
+        lo = int((query.xmin - self._extent.xmin) / span * columns)
+        hi = int((query.xmax - self._extent.xmin) / span * columns)
+        return max(0, min(columns - 1, lo)), max(0, min(columns - 1, hi))
+
+    def _row_range_for(self, query: Rect, rows: Optional[int] = None) -> Tuple[int, int]:
+        rows = rows if rows is not None else self.rows
+        span = self._span_y()
+        lo = int((query.ymin - self._extent.ymin) / span * rows)
+        hi = int((query.ymax - self._extent.ymin) / span * rows)
+        return max(0, min(rows - 1, lo)), max(0, min(rows - 1, hi))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_query(self, query: Rect) -> List[Point]:
+        results: List[Point] = []
+        ix_lo, ix_hi = self._column_range_for(query)
+        iy_lo, iy_hi = self._row_range_for(query)
+        for column in range(ix_lo, ix_hi + 1):
+            for row in range(iy_lo, iy_hi + 1):
+                self.counters.nodes_visited += 1
+                index = column * self.rows + row
+                cell = self._cells[index]
+                if not cell:
+                    continue
+                self.counters.pages_scanned += 1
+                # Binary search the sorted-by-y cell for the query's y band.
+                y_keys = self._cell_y_keys[index]
+                start = bisect.bisect_left(y_keys, query.ymin)
+                stop = bisect.bisect_right(y_keys, query.ymax)
+                self.counters.points_filtered += stop - start
+                for point in cell[start:stop]:
+                    if query.xmin <= point.x <= query.xmax:
+                        results.append(point)
+                        self.counters.points_returned += 1
+        return results
+
+    def point_query(self, point: Point) -> bool:
+        self.counters.nodes_visited += 1
+        index = self._cell_index(point.x, point.y)
+        cell = self._cells[index]
+        y_keys = self._cell_y_keys[index]
+        start = bisect.bisect_left(y_keys, point.y)
+        stop = bisect.bisect_right(y_keys, point.y)
+        self.counters.pages_scanned += 1
+        self.counters.points_filtered += stop - start
+        for stored in cell[start:stop]:
+            if stored.x == point.x:
+                self.counters.points_returned += 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        """Insert into the owning cell, keeping the cell's y-order."""
+        self._points.append(point)
+        if not self._extent.contains_point(point):
+            self._extent = self._extent.expand_to_point(point)
+            self._build_grid()
+            return
+        index = self._cell_index(point.x, point.y)
+        position = bisect.bisect_left(self._cell_y_keys[index], point.y)
+        self._cells[index].insert(position, point)
+        self._cell_y_keys[index].insert(position, point.y)
+
+    def delete(self, point: Point) -> bool:
+        index = self._cell_index(point.x, point.y)
+        cell = self._cells[index]
+        for position, stored in enumerate(cell):
+            if stored.x == point.x and stored.y == point.y:
+                cell.pop(position)
+                self._cell_y_keys[index].pop(position)
+                self._points.remove(stored)
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def extent(self) -> Optional[Rect]:
+        return self._extent
+
+    def size_bytes(self) -> int:
+        cells = self.columns * self.rows
+        return cells * _CELL_OVERHEAD_BYTES + len(self._points) * (_POINT_BYTES + 8)
+
+    @property
+    def grid_shape(self) -> Tuple[int, int]:
+        """The chosen layout as ``(columns, rows)``."""
+        return (self.columns, self.rows)

@@ -1,0 +1,132 @@
+"""A bulk-loaded k-d tree index: the classical data-partitioning reference.
+
+Like the quad-tree, this is a reference index rather than one of the
+paper's headline baselines.  It doubles as a correctness oracle in the
+integration tests (its query results must match every other index's) and
+as the "traditional spatial index" arm in a couple of sanity benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.geometry import Point, Rect, bounding_box
+from repro.interfaces import SpatialIndex
+
+_NODE_BYTES = 2 * 8 + 2 * 8
+_POINT_BYTES = 16
+
+
+class _KDIndexNode:
+    __slots__ = ("bbox", "split_dim", "split_value", "left", "right", "points")
+
+    def __init__(self) -> None:
+        self.bbox: Optional[Rect] = None
+        self.split_dim: int = -1
+        self.split_value: float = 0.0
+        self.left: Optional["_KDIndexNode"] = None
+        self.right: Optional["_KDIndexNode"] = None
+        self.points: Optional[List[Point]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.points is not None
+
+
+class KDTreeIndex(SpatialIndex):
+    """A median-split k-d tree with leaf buckets, bulk loaded from the data."""
+
+    name = "k-d tree"
+
+    def __init__(self, points: Sequence[Point], leaf_capacity: int = 64) -> None:
+        super().__init__()
+        if leaf_capacity <= 0:
+            raise ValueError(f"leaf_capacity must be positive, got {leaf_capacity}")
+        self.leaf_capacity = leaf_capacity
+        self._points = list(points)
+        self._extent = bounding_box(self._points) if self._points else None
+        self._root = self._build(list(self._points), depth=0) if self._points else None
+
+    def _build(self, points: List[Point], depth: int) -> _KDIndexNode:
+        node = _KDIndexNode()
+        node.bbox = bounding_box(points)
+        if len(points) <= self.leaf_capacity:
+            node.points = points
+            return node
+        dim = depth % 2
+        points.sort(key=(lambda p: p.x) if dim == 0 else (lambda p: p.y))
+        mid = len(points) // 2
+        node.split_dim = dim
+        node.split_value = points[mid].x if dim == 0 else points[mid].y
+        left_points = points[:mid]
+        right_points = points[mid:]
+        if not left_points or not right_points:
+            node.points = points
+            node.split_dim = -1
+            return node
+        node.left = self._build(left_points, depth + 1)
+        node.right = self._build(right_points, depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def range_query(self, query: Rect) -> List[Point]:
+        results: List[Point] = []
+        if self._root is not None:
+            self._range_recursive(self._root, query, results)
+        return results
+
+    def _range_recursive(self, node: _KDIndexNode, query: Rect, out: List[Point]) -> None:
+        self.counters.nodes_visited += 1
+        if node.bbox is None or not node.bbox.overlaps(query):
+            return
+        if node.is_leaf:
+            self.counters.pages_scanned += 1
+            self.counters.points_filtered += len(node.points)
+            for point in node.points:
+                if query.contains_xy(point.x, point.y):
+                    out.append(point)
+                    self.counters.points_returned += 1
+            return
+        for child in (node.left, node.right):
+            if child is not None:
+                self.counters.bbs_checked += 1
+                if child.bbox is not None and child.bbox.overlaps(query):
+                    self._range_recursive(child, query, out)
+
+    def point_query(self, point: Point) -> bool:
+        if self._root is None:
+            return False
+        return self._point_recursive(self._root, point)
+
+    def _point_recursive(self, node: _KDIndexNode, point: Point) -> bool:
+        self.counters.nodes_visited += 1
+        if node.bbox is None or not node.bbox.contains_point(point):
+            return False
+        if node.is_leaf:
+            self.counters.pages_scanned += 1
+            self.counters.points_filtered += len(node.points)
+            found = any(p.x == point.x and p.y == point.y for p in node.points)
+            if found:
+                self.counters.points_returned += 1
+            return found
+        for child in (node.left, node.right):
+            if child is not None and self._point_recursive(child, point):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def extent(self) -> Optional[Rect]:
+        return self._extent
+
+    def size_bytes(self) -> int:
+        def size(node: Optional[_KDIndexNode]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return _NODE_BYTES + _POINT_BYTES * len(node.points)
+            return _NODE_BYTES + size(node.left) + size(node.right)
+
+        return size(self._root)

@@ -1,0 +1,166 @@
+"""A point-region quad-tree: a classical space-partitioning reference index.
+
+Not one of the paper's headline baselines, but a useful reference point in
+tests and sanity benchmarks: it shares the quaternary branching of the
+Z-index family while splitting at cell midpoints instead of data medians,
+so comparing the two isolates the effect of data-aware split placement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.geometry import Point, Rect, bounding_box
+from repro.interfaces import SpatialIndex
+
+_NODE_BYTES = 4 * 8 + 4 * 8
+_POINT_BYTES = 16
+
+
+class _QuadNode:
+    __slots__ = ("cell", "points", "children")
+
+    def __init__(self, cell: Rect) -> None:
+        self.cell = cell
+        self.points: List[Point] = []
+        self.children: Optional[List["_QuadNode"]] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadTreeIndex(SpatialIndex):
+    """A PR quad-tree with midpoint splits and a fixed leaf capacity."""
+
+    name = "QuadTree"
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        leaf_capacity: int = 64,
+        max_depth: int = 24,
+    ) -> None:
+        super().__init__()
+        if leaf_capacity <= 0:
+            raise ValueError(f"leaf_capacity must be positive, got {leaf_capacity}")
+        self.leaf_capacity = leaf_capacity
+        self.max_depth = max_depth
+        self._count = 0
+        point_list = list(points)
+        extent = bounding_box(point_list) if point_list else Rect(0.0, 0.0, 1.0, 1.0)
+        self._root = _QuadNode(extent)
+        for point in point_list:
+            self.insert(point)
+
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        if not self._root.cell.contains_point(point):
+            self._expand_root(point)
+        self._insert_into(self._root, point, depth=0)
+        self._count += 1
+
+    def _expand_root(self, point: Point) -> None:
+        """Grow the root cell to cover an out-of-bounds insert, rebuilding the tree."""
+        all_points = self._collect(self._root)
+        new_extent = self._root.cell.expand_to_point(point)
+        self._root = _QuadNode(new_extent)
+        for existing in all_points:
+            self._insert_into(self._root, existing, depth=0)
+
+    def _insert_into(self, node: _QuadNode, point: Point, depth: int) -> None:
+        while not node.is_leaf:
+            node = self._child_for(node, point)
+            depth += 1
+        node.points.append(point)
+        if len(node.points) > self.leaf_capacity and depth < self.max_depth:
+            self._split(node)
+
+    @staticmethod
+    def _child_for(node: _QuadNode, point: Point) -> _QuadNode:
+        center = node.cell.center
+        index = (1 if point.x > center.x else 0) + (2 if point.y > center.y else 0)
+        return node.children[index]
+
+    def _split(self, node: _QuadNode) -> None:
+        center = node.cell.center
+        quadrants = node.cell.split(center.x, center.y)
+        node.children = [_QuadNode(cell) for cell in quadrants]
+        points = node.points
+        node.points = []
+        for point in points:
+            self._child_for(node, point).points.append(point)
+
+    # ------------------------------------------------------------------
+    def range_query(self, query: Rect) -> List[Point]:
+        results: List[Point] = []
+        self._range_recursive(self._root, query, results)
+        return results
+
+    def _range_recursive(self, node: _QuadNode, query: Rect, out: List[Point]) -> None:
+        self.counters.nodes_visited += 1
+        if not node.cell.overlaps(query):
+            return
+        if node.is_leaf:
+            if node.points:
+                self.counters.pages_scanned += 1
+                self.counters.points_filtered += len(node.points)
+                for point in node.points:
+                    if query.contains_xy(point.x, point.y):
+                        out.append(point)
+                        self.counters.points_returned += 1
+            return
+        for child in node.children:
+            self.counters.bbs_checked += 1
+            if child.cell.overlaps(query):
+                self._range_recursive(child, query, out)
+
+    def point_query(self, point: Point) -> bool:
+        node = self._root
+        if not node.cell.contains_point(point):
+            return False
+        while not node.is_leaf:
+            self.counters.nodes_visited += 1
+            node = self._child_for(node, point)
+        self.counters.pages_scanned += 1
+        self.counters.points_filtered += len(node.points)
+        found = any(p.x == point.x and p.y == point.y for p in node.points)
+        if found:
+            self.counters.points_returned += 1
+        return found
+
+    def delete(self, point: Point) -> bool:
+        node = self._root
+        if not node.cell.contains_point(point):
+            return False
+        while not node.is_leaf:
+            node = self._child_for(node, point)
+        for index, stored in enumerate(node.points):
+            if stored.x == point.x and stored.y == point.y:
+                node.points.pop(index)
+                self._count -= 1
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _collect(self, node: _QuadNode) -> List[Point]:
+        if node.is_leaf:
+            return list(node.points)
+        collected: List[Point] = []
+        for child in node.children:
+            collected.extend(self._collect(child))
+        return collected
+
+    def __len__(self) -> int:
+        return self._count
+
+    def extent(self) -> Optional[Rect]:
+        return self._root.cell if self._count else None
+
+    def size_bytes(self) -> int:
+        def size(node: _QuadNode) -> int:
+            if node.is_leaf:
+                return _NODE_BYTES + _POINT_BYTES * len(node.points)
+            return _NODE_BYTES + sum(size(child) for child in node.children)
+
+        return size(self._root)

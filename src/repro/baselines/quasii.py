@@ -1,0 +1,244 @@
+"""QUASII: the query-aware spatial incremental (cracking) index, converged.
+
+QUASII (Pavlovic et al.) adapts its layout to the queries it actually
+receives: every incoming range query "cracks" the touched data slices along
+the query's boundaries, one dimension per level of a small hierarchy, so
+that frequently queried regions end up in small, tightly fitting slices.
+The paper evaluates the *converged* index — the state reached after the
+whole training workload has been processed and no further cracking is
+needed — which is what this class builds eagerly in its constructor.
+
+The converged layout mirrors the original system's two-level hierarchy for
+2-D data: the x-axis is cracked into column slices at the x-boundaries of
+the training queries, and each column is cracked along y at the boundaries
+of the queries overlapping that column.  The resulting pieces are uneven
+and can be very small in heavily queried regions — which is exactly why the
+paper observes a heavily "fractured" layout with fast in-workload range
+queries but slow point queries and very high construction cost.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import Point, Rect, bounding_box
+from repro.interfaces import SpatialIndex
+
+_SLICE_OVERHEAD_BYTES = 64
+_POINT_BYTES = 16
+
+
+class _ColumnSlice:
+    """One cracked column: an x-interval, its y-boundaries and per-piece points."""
+
+    __slots__ = ("x_low", "x_high", "y_boundaries", "pieces", "piece_bounds")
+
+    def __init__(self, x_low: float, x_high: float) -> None:
+        self.x_low = x_low
+        self.x_high = x_high
+        self.y_boundaries: List[float] = []
+        self.pieces: List[List[Point]] = []
+        self.piece_bounds: List[Optional[Rect]] = []
+
+
+class QUASIIIndex(SpatialIndex):
+    """The converged QUASII cracking index (the paper's ``QUASII`` baseline)."""
+
+    name = "QUASII"
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        workload: Sequence[Rect],
+        min_piece_size: int = 16,
+        max_boundaries: int = 512,
+    ) -> None:
+        super().__init__()
+        if min_piece_size <= 0:
+            raise ValueError(f"min_piece_size must be positive, got {min_piece_size}")
+        self._points = list(points)
+        self._extent = bounding_box(self._points) if self._points else Rect(0, 0, 1, 1)
+        self.min_piece_size = min_piece_size
+        self.max_boundaries = max_boundaries
+        self._columns: List[_ColumnSlice] = []
+        self._column_boundaries: List[float] = []
+        self._converge(list(workload))
+
+    # ------------------------------------------------------------------
+    # convergence (eager cracking on the whole training workload)
+    # ------------------------------------------------------------------
+    def _converge(self, workload: List[Rect]) -> None:
+        x_boundaries = self._crack_boundaries(
+            [query.xmin for query in workload] + [query.xmax for query in workload],
+            self._extent.xmin,
+            self._extent.xmax,
+        )
+        self._column_boundaries = x_boundaries
+        edges = [self._extent.xmin] + x_boundaries + [self._extent.xmax]
+        self._columns = [
+            _ColumnSlice(edges[i], edges[i + 1]) for i in range(len(edges) - 1)
+        ]
+        # Distribute points into columns (last column takes the right edge).
+        for column in self._columns:
+            column.pieces = [[]]
+            column.y_boundaries = []
+        for point in self._points:
+            self._column_of(point.x).pieces[0].append(point)
+        # Crack each column along y using the queries that overlap it.
+        for column in self._columns:
+            column_rect = Rect(column.x_low, self._extent.ymin, column.x_high, self._extent.ymax)
+            y_values: List[float] = []
+            for query in workload:
+                if query.overlaps(column_rect):
+                    y_values.extend((query.ymin, query.ymax))
+            boundaries = self._crack_boundaries(y_values, self._extent.ymin, self._extent.ymax)
+            self._apply_y_cracks(column, boundaries)
+
+    def _crack_boundaries(self, values: List[float], low: float, high: float) -> List[float]:
+        """Unique, in-range crack positions, capped at ``max_boundaries``."""
+        unique = sorted({v for v in values if low < v < high})
+        if len(unique) <= self.max_boundaries:
+            return unique
+        step = len(unique) / self.max_boundaries
+        return [unique[int(i * step)] for i in range(self.max_boundaries)]
+
+    def _apply_y_cracks(self, column: _ColumnSlice, boundaries: List[float]) -> None:
+        points = column.pieces[0]
+        points.sort(key=lambda p: p.y)
+        column.y_boundaries = boundaries
+        edges = [self._extent.ymin] + boundaries + [self._extent.ymax]
+        pieces: List[List[Point]] = []
+        keys = [p.y for p in points]
+        for i in range(len(edges) - 1):
+            start = bisect.bisect_left(keys, edges[i]) if i > 0 else 0
+            stop = bisect.bisect_left(keys, edges[i + 1]) if i + 1 < len(edges) - 1 else len(points)
+            pieces.append(points[start:stop])
+        # Merge tiny neighbouring pieces so the layout does not fragment below
+        # the minimum piece size (the original system's leaf threshold).
+        merged: List[List[Point]] = []
+        merged_boundaries: List[float] = []
+        for index, piece in enumerate(pieces):
+            if merged and len(merged[-1]) < self.min_piece_size:
+                merged[-1].extend(piece)
+            else:
+                merged.append(list(piece))
+                if index > 0 and index - 1 < len(boundaries):
+                    merged_boundaries.append(boundaries[index - 1])
+        column.pieces = merged
+        column.y_boundaries = merged_boundaries[: max(0, len(merged) - 1)]
+        column.piece_bounds = [
+            bounding_box(piece) if piece else None for piece in column.pieces
+        ]
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    def _column_of(self, x: float) -> _ColumnSlice:
+        index = bisect.bisect_right(self._column_boundaries, x)
+        return self._columns[index]
+
+    def _column_range(self, query: Rect) -> Tuple[int, int]:
+        low = bisect.bisect_right(self._column_boundaries, query.xmin)
+        high = bisect.bisect_right(self._column_boundaries, query.xmax)
+        return low, min(high, len(self._columns) - 1)
+
+    @staticmethod
+    def _piece_range(column: _ColumnSlice, query: Rect) -> Tuple[int, int]:
+        low = bisect.bisect_right(column.y_boundaries, query.ymin)
+        high = bisect.bisect_right(column.y_boundaries, query.ymax)
+        return low, min(high, len(column.pieces) - 1)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_query(self, query: Rect) -> List[Point]:
+        results: List[Point] = []
+        col_lo, col_hi = self._column_range(query)
+        for column_index in range(col_lo, col_hi + 1):
+            column = self._columns[column_index]
+            self.counters.nodes_visited += 1
+            piece_lo, piece_hi = self._piece_range(column, query)
+            for piece_index in range(piece_lo, piece_hi + 1):
+                piece = column.pieces[piece_index]
+                bounds = column.piece_bounds[piece_index]
+                self.counters.bbs_checked += 1
+                if not piece or bounds is None or not bounds.overlaps(query):
+                    continue
+                self.counters.pages_scanned += 1
+                self.counters.points_filtered += len(piece)
+                for point in piece:
+                    if query.contains_xy(point.x, point.y):
+                        results.append(point)
+                        self.counters.points_returned += 1
+        return results
+
+    def point_query(self, point: Point) -> bool:
+        column = self._column_of(point.x)
+        self.counters.nodes_visited += 1
+        piece_index = bisect.bisect_right(column.y_boundaries, point.y)
+        piece_index = min(piece_index, len(column.pieces) - 1)
+        piece = column.pieces[piece_index] if column.pieces else []
+        self.counters.pages_scanned += 1
+        self.counters.points_filtered += len(piece)
+        found = any(p.x == point.x and p.y == point.y for p in piece)
+        if found:
+            self.counters.points_returned += 1
+        return found
+
+    # ------------------------------------------------------------------
+    # updates: cracked layouts accept inserts into the owning piece
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        self._points.append(point)
+        if not self._extent.contains_point(point):
+            self._extent = self._extent.expand_to_point(point)
+        column = self._column_of(point.x)
+        if not column.pieces:
+            column.pieces = [[]]
+            column.piece_bounds = [None]
+        piece_index = bisect.bisect_right(column.y_boundaries, point.y)
+        piece_index = min(piece_index, len(column.pieces) - 1)
+        column.pieces[piece_index].append(point)
+        bounds = column.piece_bounds[piece_index]
+        column.piece_bounds[piece_index] = (
+            Rect(point.x, point.y, point.x, point.y)
+            if bounds is None
+            else bounds.expand_to_point(point)
+        )
+
+    def delete(self, point: Point) -> bool:
+        column = self._column_of(point.x)
+        piece_index = bisect.bisect_right(column.y_boundaries, point.y)
+        piece_index = min(piece_index, len(column.pieces) - 1)
+        if not column.pieces:
+            return False
+        piece = column.pieces[piece_index]
+        for index, stored in enumerate(piece):
+            if stored.x == point.x and stored.y == point.y:
+                piece.pop(index)
+                self._points.remove(stored)
+                column.piece_bounds[piece_index] = bounding_box(piece) if piece else None
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def extent(self) -> Optional[Rect]:
+        return self._extent
+
+    def size_bytes(self) -> int:
+        num_pieces = sum(len(column.pieces) for column in self._columns)
+        return (
+            num_pieces * _SLICE_OVERHEAD_BYTES
+            + len(self._points) * _POINT_BYTES
+            + len(self._columns) * _SLICE_OVERHEAD_BYTES
+        )
+
+    def num_pieces(self) -> int:
+        """Total number of cracked pieces (a measure of layout fragmentation)."""
+        return sum(len(column.pieces) for column in self._columns)

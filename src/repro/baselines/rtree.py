@@ -1,0 +1,308 @@
+"""A dynamic R-tree (Guttman) and the node structure shared with STR/CUR.
+
+The R-tree is the substrate for two of the paper's baselines: ``STR`` bulk
+loads it with the Sort-Tile-Recursive algorithm and ``CUR`` with a
+workload-weighted variant.  The dynamic insert path (ChooseLeaf by minimum
+enlargement + quadratic split) is what the insert experiment of Section 6.7
+exercises for the R-tree family.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.geometry import Point, Rect
+from repro.interfaces import SpatialIndex
+
+_NODE_OVERHEAD_BYTES = 4 * 8 + 8 + 8
+_POINT_BYTES = 16
+
+DEFAULT_FANOUT = 16
+DEFAULT_LEAF_CAPACITY = 64
+
+
+class RTreeNode:
+    """A node of an R-tree: either a leaf of points or an internal node of children."""
+
+    __slots__ = ("bbox", "children", "points", "is_leaf")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.bbox: Optional[Rect] = None
+        self.children: List["RTreeNode"] = []
+        self.points: List[Point] = []
+
+    # -- bounding-box maintenance ------------------------------------------
+    def recompute_bbox(self) -> None:
+        if self.is_leaf:
+            if not self.points:
+                self.bbox = None
+                return
+            xs = [p.x for p in self.points]
+            ys = [p.y for p in self.points]
+            self.bbox = Rect(min(xs), min(ys), max(xs), max(ys))
+        else:
+            boxes = [child.bbox for child in self.children if child.bbox is not None]
+            if not boxes:
+                self.bbox = None
+                return
+            self.bbox = Rect(
+                min(b.xmin for b in boxes),
+                min(b.ymin for b in boxes),
+                max(b.xmax for b in boxes),
+                max(b.ymax for b in boxes),
+            )
+
+    def include_point(self, point: Point) -> None:
+        if self.bbox is None:
+            self.bbox = Rect(point.x, point.y, point.x, point.y)
+        else:
+            self.bbox = self.bbox.expand_to_point(point)
+
+    def include_rect(self, rect: Rect) -> None:
+        self.bbox = rect if self.bbox is None else self.bbox.union(rect)
+
+    def size_bytes(self) -> int:
+        size = _NODE_OVERHEAD_BYTES
+        if self.is_leaf:
+            size += _POINT_BYTES * len(self.points)
+        else:
+            size += 8 * len(self.children)
+            size += sum(child.size_bytes() for child in self.children)
+        return size
+
+    def count_points(self) -> int:
+        if self.is_leaf:
+            return len(self.points)
+        return sum(child.count_points() for child in self.children)
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+
+class RTree(SpatialIndex):
+    """A dynamic R-tree with ChooseLeaf-by-enlargement inserts and quadratic splits."""
+
+    name = "R-tree"
+
+    def __init__(
+        self,
+        points: Sequence[Point] = (),
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        super().__init__()
+        if leaf_capacity <= 1:
+            raise ValueError(f"leaf_capacity must exceed 1, got {leaf_capacity}")
+        if fanout <= 2:
+            raise ValueError(f"fanout must exceed 2, got {fanout}")
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.root = RTreeNode(is_leaf=True)
+        self._count = 0
+        for point in points:
+            self.insert(point)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def range_query(self, query: Rect) -> List[Point]:
+        results: List[Point] = []
+        self._range_recursive(self.root, query, results)
+        return results
+
+    def _range_recursive(self, node: RTreeNode, query: Rect, out: List[Point]) -> None:
+        self.counters.nodes_visited += 1
+        if node.bbox is None or not node.bbox.overlaps(query):
+            return
+        if node.is_leaf:
+            self.counters.pages_scanned += 1
+            self.counters.points_filtered += len(node.points)
+            for point in node.points:
+                if query.contains_xy(point.x, point.y):
+                    out.append(point)
+                    self.counters.points_returned += 1
+            return
+        for child in node.children:
+            self.counters.bbs_checked += 1
+            if child.bbox is not None and child.bbox.overlaps(query):
+                self._range_recursive(child, query, out)
+
+    def point_query(self, point: Point) -> bool:
+        return self._point_recursive(self.root, point)
+
+    def _point_recursive(self, node: RTreeNode, point: Point) -> bool:
+        self.counters.nodes_visited += 1
+        if node.bbox is None or not node.bbox.contains_point(point):
+            return False
+        if node.is_leaf:
+            self.counters.pages_scanned += 1
+            self.counters.points_filtered += len(node.points)
+            found = any(p.x == point.x and p.y == point.y for p in node.points)
+            if found:
+                self.counters.points_returned += 1
+            return found
+        for child in node.children:
+            self.counters.bbs_checked += 1
+            if child.bbox is not None and child.bbox.contains_point(point):
+                if self._point_recursive(child, point):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # inserts (Guttman)
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        self._count += 1
+        split = self._insert_recursive(self.root, point)
+        if split is not None:
+            new_root = RTreeNode(is_leaf=False)
+            new_root.children = [self.root, split]
+            new_root.recompute_bbox()
+            self.root = new_root
+
+    def _insert_recursive(self, node: RTreeNode, point: Point) -> Optional[RTreeNode]:
+        """Insert and return a sibling node when ``node`` had to split."""
+        if node.is_leaf:
+            node.points.append(point)
+            node.include_point(point)
+            if len(node.points) > self.leaf_capacity:
+                return self._split_leaf(node)
+            return None
+        child = self._choose_subtree(node, point)
+        split = self._insert_recursive(child, point)
+        node.include_point(point)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.fanout:
+                return self._split_internal(node)
+        return None
+
+    @staticmethod
+    def _choose_subtree(node: RTreeNode, point: Point) -> RTreeNode:
+        """The child whose bounding box needs the least enlargement (ties by area)."""
+        best_child = node.children[0]
+        best_enlargement = float("inf")
+        best_area = float("inf")
+        target = Rect(point.x, point.y, point.x, point.y)
+        for child in node.children:
+            if child.bbox is None:
+                return child
+            enlargement = child.bbox.enlargement(target)
+            area = child.bbox.area
+            if enlargement < best_enlargement or (
+                enlargement == best_enlargement and area < best_area
+            ):
+                best_child = child
+                best_enlargement = enlargement
+                best_area = area
+        return best_child
+
+    def _split_leaf(self, node: RTreeNode) -> RTreeNode:
+        """Quadratic split of an overflowing leaf; ``node`` keeps one group."""
+        points = node.points
+        seed_a, seed_b = self._pick_seeds([Rect(p.x, p.y, p.x, p.y) for p in points])
+        group_a = [points[seed_a]]
+        group_b = [points[seed_b]]
+        box_a = Rect(points[seed_a].x, points[seed_a].y, points[seed_a].x, points[seed_a].y)
+        box_b = Rect(points[seed_b].x, points[seed_b].y, points[seed_b].x, points[seed_b].y)
+        for index, point in enumerate(points):
+            if index in (seed_a, seed_b):
+                continue
+            grow_a = box_a.expand_to_point(point).area - box_a.area
+            grow_b = box_b.expand_to_point(point).area - box_b.area
+            if grow_a <= grow_b:
+                group_a.append(point)
+                box_a = box_a.expand_to_point(point)
+            else:
+                group_b.append(point)
+                box_b = box_b.expand_to_point(point)
+        node.points = group_a
+        node.recompute_bbox()
+        sibling = RTreeNode(is_leaf=True)
+        sibling.points = group_b
+        sibling.recompute_bbox()
+        return sibling
+
+    def _split_internal(self, node: RTreeNode) -> RTreeNode:
+        children = node.children
+        boxes = [child.bbox if child.bbox is not None else Rect(0, 0, 0, 0) for child in children]
+        seed_a, seed_b = self._pick_seeds(boxes)
+        group_a = [children[seed_a]]
+        group_b = [children[seed_b]]
+        box_a = boxes[seed_a]
+        box_b = boxes[seed_b]
+        for index, child in enumerate(children):
+            if index in (seed_a, seed_b):
+                continue
+            child_box = boxes[index]
+            grow_a = box_a.union(child_box).area - box_a.area
+            grow_b = box_b.union(child_box).area - box_b.area
+            if grow_a <= grow_b:
+                group_a.append(child)
+                box_a = box_a.union(child_box)
+            else:
+                group_b.append(child)
+                box_b = box_b.union(child_box)
+        node.children = group_a
+        node.recompute_bbox()
+        sibling = RTreeNode(is_leaf=False)
+        sibling.children = group_b
+        sibling.recompute_bbox()
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(boxes: List[Rect]):
+        """Guttman's quadratic seed pick: the pair wasting the most area together."""
+        best_pair = (0, min(1, len(boxes) - 1))
+        worst_waste = -float("inf")
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                waste = boxes[i].union(boxes[j]).area - boxes[i].area - boxes[j].area
+                if waste > worst_waste:
+                    worst_waste = waste
+                    best_pair = (i, j)
+        return best_pair
+
+    # ------------------------------------------------------------------
+    # deletes
+    # ------------------------------------------------------------------
+    def delete(self, point: Point) -> bool:
+        removed = self._delete_recursive(self.root, point)
+        if removed:
+            self._count -= 1
+        return removed
+
+    def _delete_recursive(self, node: RTreeNode, point: Point) -> bool:
+        if node.bbox is None or not node.bbox.contains_point(point):
+            return False
+        if node.is_leaf:
+            for index, stored in enumerate(node.points):
+                if stored.x == point.x and stored.y == point.y:
+                    node.points.pop(index)
+                    node.recompute_bbox()
+                    return True
+            return False
+        for child in node.children:
+            if self._delete_recursive(child, point):
+                node.children = [c for c in node.children if c.bbox is not None or c.is_leaf and c.points]
+                node.recompute_bbox()
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def extent(self) -> Optional[Rect]:
+        return self.root.bbox
+
+    def size_bytes(self) -> int:
+        return self.root.size_bytes()
+
+    def depth(self) -> int:
+        return self.root.depth()

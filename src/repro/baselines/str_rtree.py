@@ -1,0 +1,95 @@
+"""STR: the Sort-Tile-Recursive bulk-loaded R-tree (Leutenegger et al.).
+
+STR packs ``n`` points into leaves of capacity ``L`` by sorting the points
+by x, cutting the sorted sequence into roughly ``sqrt(n / L)`` vertical
+slices, sorting each slice by y and packing consecutive runs of ``L``
+points into leaves.  Upper levels are built the same way over the leaf
+bounding-box centers.  The result is a balanced R-tree with low overlap and
+the fastest build time of all the paper's baselines (Table 3), but it is
+data-aware only — the query workload plays no role.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.baselines.rtree import DEFAULT_FANOUT, DEFAULT_LEAF_CAPACITY, RTree, RTreeNode
+from repro.geometry import Point, Rect
+
+
+def _pack_leaves(points: List[Point], leaf_capacity: int) -> List[RTreeNode]:
+    """Sort-tile-recursive packing of points into leaf nodes."""
+    n = len(points)
+    if n == 0:
+        return []
+    num_leaves = math.ceil(n / leaf_capacity)
+    num_slices = max(1, math.ceil(math.sqrt(num_leaves)))
+    slice_size = math.ceil(n / num_slices) if num_slices else n
+    by_x = sorted(points, key=lambda p: (p.x, p.y))
+    leaves: List[RTreeNode] = []
+    for slice_start in range(0, n, slice_size):
+        vertical_slice = sorted(
+            by_x[slice_start:slice_start + slice_size], key=lambda p: (p.y, p.x)
+        )
+        for leaf_start in range(0, len(vertical_slice), leaf_capacity):
+            leaf = RTreeNode(is_leaf=True)
+            leaf.points = vertical_slice[leaf_start:leaf_start + leaf_capacity]
+            leaf.recompute_bbox()
+            leaves.append(leaf)
+    return leaves
+
+
+def _pack_level(nodes: List[RTreeNode], fanout: int) -> List[RTreeNode]:
+    """Pack one level of nodes into parents using the STR tiling on node centers."""
+    n = len(nodes)
+    num_parents = math.ceil(n / fanout)
+    num_slices = max(1, math.ceil(math.sqrt(num_parents)))
+    slice_size = math.ceil(n / num_slices)
+
+    def center_x(node: RTreeNode) -> float:
+        return node.bbox.center.x if node.bbox is not None else 0.0
+
+    def center_y(node: RTreeNode) -> float:
+        return node.bbox.center.y if node.bbox is not None else 0.0
+
+    by_x = sorted(nodes, key=center_x)
+    parents: List[RTreeNode] = []
+    for slice_start in range(0, n, slice_size):
+        vertical_slice = sorted(by_x[slice_start:slice_start + slice_size], key=center_y)
+        for group_start in range(0, len(vertical_slice), fanout):
+            parent = RTreeNode(is_leaf=False)
+            parent.children = vertical_slice[group_start:group_start + fanout]
+            parent.recompute_bbox()
+            parents.append(parent)
+    return parents
+
+
+class STRRTree(RTree):
+    """R-tree bulk loaded with Sort-Tile-Recursive packing (the ``STR`` baseline)."""
+
+    name = "STR"
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        fanout: int = DEFAULT_FANOUT,
+    ) -> None:
+        # Initialise the dynamic machinery with no points, then replace the
+        # root with the bulk-loaded structure.
+        super().__init__((), leaf_capacity=leaf_capacity, fanout=fanout)
+        point_list = list(points)
+        self._count = len(point_list)
+        self.root = self._bulk_load(point_list)
+
+    def _bulk_load(self, points: List[Point]) -> RTreeNode:
+        leaves = _pack_leaves(points, self.leaf_capacity)
+        if not leaves:
+            return RTreeNode(is_leaf=True)
+        if len(leaves) == 1:
+            return leaves[0]
+        level = leaves
+        while len(level) > 1:
+            level = _pack_level(level, self.fanout)
+        return level[0]

@@ -1,0 +1,211 @@
+"""Zpgm: a rank-space Z-order index with a piecewise-linear learned model.
+
+This is one of the baselines Figure 4 of the paper discards for poor range
+query performance: points are quantised onto an integer grid, sorted by
+their Morton (Z-order) address, and a PGM-style piecewise linear model with
+a bounded prediction error maps a Z-address to an approximate position in
+the sorted array.  Range queries locate the Z-addresses of the query's two
+corners and scan the array between them (page by page, with bounding-box
+checks and optional BIGMIN jumps) — paying the classic price of rank-space
+Z-ordering: the scanned interval can contain large runs of irrelevant
+points, which is precisely the weakness WaZI's data-space layout avoids.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence, Tuple
+
+from repro.geometry import Point, Rect, bounding_box
+from repro.interfaces import SpatialIndex
+from repro.zorder import ZOrderMapper, bigmin
+
+_SEGMENT_BYTES = 3 * 8
+_POINT_BYTES = 16 + 8  # coordinates plus the stored Z-address
+_PAGE_OVERHEAD_BYTES = 48
+
+
+class _LinearSegment:
+    """One segment of the piecewise-linear approximation: position ~ slope*z + intercept."""
+
+    __slots__ = ("start_key", "slope", "intercept")
+
+    def __init__(self, start_key: int, slope: float, intercept: float) -> None:
+        self.start_key = start_key
+        self.slope = slope
+        self.intercept = intercept
+
+    def predict(self, key: int) -> float:
+        return self.slope * key + self.intercept
+
+
+def _fit_segments(keys: List[int], epsilon: int) -> List[_LinearSegment]:
+    """Greedy bounded-error piecewise-linear fit over a sorted key array.
+
+    A simplified shrinking-cone construction: a segment grows while a single
+    line through its first key can predict every covered position within
+    ``epsilon``; when the cone collapses a new segment starts.
+    """
+    segments: List[_LinearSegment] = []
+    n = len(keys)
+    if n == 0:
+        return segments
+    start = 0
+    while start < n:
+        start_key = keys[start]
+        slope_low, slope_high = float("-inf"), float("inf")
+        end = start + 1
+        while end < n:
+            dx = keys[end] - start_key
+            if dx == 0:
+                end += 1
+                continue
+            dy = end - start
+            slope_low = max(slope_low, (dy - epsilon) / dx)
+            slope_high = min(slope_high, (dy + epsilon) / dx)
+            if slope_low > slope_high:
+                break
+            end += 1
+        if end == start + 1 or slope_low == float("-inf"):
+            slope = 0.0
+        else:
+            slope = (max(slope_low, 0.0) + slope_high) / 2.0 if slope_high != float("inf") else max(slope_low, 0.0)
+        segments.append(_LinearSegment(start_key, slope, start - slope * start_key))
+        start = end
+    return segments
+
+
+class ZPGMIndex(SpatialIndex):
+    """Rank-space Z-order + learned one-dimensional index (the ``Zpgm`` baseline)."""
+
+    name = "Zpgm"
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        leaf_capacity: int = 64,
+        epsilon: int = 32,
+        bits: int = 16,
+        use_bigmin: bool = True,
+    ) -> None:
+        super().__init__()
+        if leaf_capacity <= 0:
+            raise ValueError(f"leaf_capacity must be positive, got {leaf_capacity}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.leaf_capacity = leaf_capacity
+        self.epsilon = epsilon
+        self.bits = bits
+        self.use_bigmin = use_bigmin
+        self._extent = bounding_box(list(points)) if points else Rect(0, 0, 1, 1)
+        self.mapper = ZOrderMapper(self._extent, bits=bits)
+        decorated = sorted(
+            ((self.mapper.z_address(p), p) for p in points), key=lambda item: item[0]
+        )
+        self._keys = [key for key, _ in decorated]
+        self._sorted_points = [point for _, point in decorated]
+        self._segments = _fit_segments(self._keys, epsilon)
+        self._segment_keys = [segment.start_key for segment in self._segments]
+        self._page_bounds = self._build_pages()
+
+    # ------------------------------------------------------------------
+    def _build_pages(self) -> List[Optional[Rect]]:
+        bounds: List[Optional[Rect]] = []
+        for start in range(0, len(self._sorted_points), self.leaf_capacity):
+            page = self._sorted_points[start:start + self.leaf_capacity]
+            bounds.append(bounding_box(page) if page else None)
+        return bounds
+
+    def _predict_position(self, key: int) -> int:
+        """Model-predicted position of ``key``, corrected by a local binary search."""
+        if not self._segments:
+            return 0
+        segment_index = max(0, bisect.bisect_right(self._segment_keys, key) - 1)
+        predicted = int(round(self._segments[segment_index].predict(key)))
+        low = max(0, predicted - self.epsilon)
+        high = min(len(self._keys), predicted + self.epsilon + 1)
+        # The model guarantees the true position lies within epsilon; a local
+        # binary search inside the window pins it down exactly.
+        position = bisect.bisect_left(self._keys, key, lo=low, hi=high)
+        if (position == low and position > 0) or (position == high and high < len(self._keys)):
+            position = bisect.bisect_left(self._keys, key)
+        return position
+
+    # ------------------------------------------------------------------
+    def range_query(self, query: Rect) -> List[Point]:
+        if not self._sorted_points:
+            return []
+        z_low, z_high = self.mapper.z_range_of_query(query)
+        low = self._predict_position(z_low)
+        high = self._predict_position(z_high)
+        if high < len(self._keys) and self._keys[high] <= z_high:
+            high = bisect.bisect_right(self._keys, z_high)
+        results: List[Point] = []
+        page_low = low // self.leaf_capacity
+        page_high = min((max(high, low)) // self.leaf_capacity, len(self._page_bounds) - 1)
+        page = page_low
+        while page <= page_high:
+            self.counters.bbs_checked += 1
+            bounds = self._page_bounds[page]
+            if bounds is not None and bounds.overlaps(query):
+                start = page * self.leaf_capacity
+                stop = min(start + self.leaf_capacity, len(self._sorted_points))
+                self.counters.pages_scanned += 1
+                self.counters.points_filtered += stop - start
+                for point in self._sorted_points[start:stop]:
+                    if query.contains_xy(point.x, point.y):
+                        results.append(point)
+                        self.counters.points_returned += 1
+                page += 1
+                continue
+            if self.use_bigmin and bounds is not None:
+                # Jump the scan to the page holding the next Z-address that
+                # can still fall inside the query rectangle.
+                last_key = self._keys[min((page + 1) * self.leaf_capacity, len(self._keys)) - 1]
+                next_key = bigmin(last_key, z_low, z_high, bits=self.bits)
+                next_position = bisect.bisect_left(self._keys, next_key)
+                next_page = next_position // self.leaf_capacity
+                if next_page > page:
+                    self.counters.leaves_skipped += next_page - page - 1
+                    page = next_page
+                    continue
+            page += 1
+        return results
+
+    def point_query(self, point: Point) -> bool:
+        if not self._sorted_points:
+            return False
+        key = self.mapper.z_address(point)
+        position = self._predict_position(key)
+        self.counters.nodes_visited += 1
+        found = False
+        index = position
+        while index < len(self._keys) and self._keys[index] == key:
+            self.counters.points_filtered += 1
+            stored = self._sorted_points[index]
+            if stored.x == point.x and stored.y == point.y:
+                found = True
+                break
+            index += 1
+        if found:
+            self.counters.points_returned += 1
+        return found
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._sorted_points)
+
+    def extent(self) -> Optional[Rect]:
+        return self._extent if self._sorted_points else None
+
+    def size_bytes(self) -> int:
+        return (
+            len(self._segments) * _SEGMENT_BYTES
+            + len(self._sorted_points) * _POINT_BYTES
+            + len(self._page_bounds) * _PAGE_OVERHEAD_BYTES
+        )
+
+    @property
+    def num_segments(self) -> int:
+        """Number of linear segments in the learned model."""
+        return len(self._segments)

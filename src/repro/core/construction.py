@@ -1,0 +1,193 @@
+"""Greedy workload-aware construction (Algorithm 3 of the paper).
+
+The greedy construction decides, for one node at a time and from the root
+downwards, where to place the node's split point and which of the two
+monotonicity-preserving orderings ("abcd" / "acbd") to use.  For each node
+it
+
+1. collects the workload queries that overlap the node's cell (clipped to
+   the cell, since only the part of a query inside the cell matters for the
+   node's decision),
+2. samples ``kappa`` candidate split points uniformly at random from the
+   cell (plus the data median, a strong default when the workload gives no
+   signal),
+3. estimates the number of data points in each of the four child cells of
+   every candidate using a learned density estimator (RFDE by default),
+4. evaluates the simplified retrieval cost of Eq. 5 for both orderings, and
+5. keeps the minimiser.
+
+The decision plugs into the generic recursive builder of
+:class:`repro.zindex.ZIndex` through the :class:`SplitStrategy` interface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.cost import (
+    ALPHA_WITH_SKIPPING,
+    QuadrantCounts,
+    best_ordering,
+)
+from repro.density import DensityEstimator, ExactDensity, RandomForestDensity
+from repro.geometry import Rect
+from repro.zindex.node import ORDER_ABCD
+from repro.zindex.splitters import SplitDecision, SplitStrategy
+
+DEFAULT_NUM_CANDIDATES = 16
+
+
+class GreedySplitStrategy(SplitStrategy):
+    """Cost-minimising split selection driven by a query workload.
+
+    Parameters
+    ----------
+    workload:
+        The anticipated range queries (historical log or representative
+        sample) the index should be optimised for.
+    density:
+        Range-count estimator over the data.  Defaults to an RFDE model
+        built lazily from the points handed to the first ``choose`` call is
+        *not* done — the caller builds the estimator once over the full
+        dataset and passes it in, mirroring the paper where the model is fit
+        once before construction starts.
+    num_candidates:
+        ``kappa`` — how many random split points are tried per node.
+    alpha:
+        Skip-cost fraction used in Eq. 5.  Use
+        :data:`~repro.core.cost.ALPHA_WITH_SKIPPING` when the index will be
+        built with look-ahead pointers and a larger value otherwise.
+    seed:
+        Seed of the candidate-sampling generator (construction is
+        deterministic given the seed).
+    min_queries:
+        Below this number of relevant queries the node falls back to the
+        median split: with almost no workload signal the adaptive choice
+        would just chase noise.
+    """
+
+    def __init__(
+        self,
+        workload: Sequence[Rect],
+        density: Optional[DensityEstimator] = None,
+        num_candidates: int = DEFAULT_NUM_CANDIDATES,
+        alpha: float = ALPHA_WITH_SKIPPING,
+        seed: Optional[int] = None,
+        min_queries: int = 1,
+    ) -> None:
+        if num_candidates <= 0:
+            raise ValueError(f"num_candidates must be positive, got {num_candidates}")
+        if alpha < 0:
+            raise ValueError(f"alpha must be non-negative, got {alpha}")
+        self.workload = list(workload)
+        self.density = density
+        self.num_candidates = num_candidates
+        self.alpha = alpha
+        self.min_queries = min_queries
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def choose(self, cell: Rect, points: np.ndarray, depth: int) -> SplitDecision:
+        relevant = self._relevant_queries(cell)
+        if len(relevant) < self.min_queries or points.shape[0] == 0:
+            return self._median_decision(cell, points)
+        candidates = self._candidate_splits(cell, points)
+        estimator = self._estimator_for(points)
+        best: Optional[SplitDecision] = None
+        best_cost = float("inf")
+        for split_x, split_y in candidates:
+            counts = self._quadrant_counts(cell, split_x, split_y, estimator)
+            ordering, cost = best_ordering(relevant, counts, split_x, split_y, self.alpha)
+            if cost < best_cost:
+                best_cost = cost
+                best = SplitDecision(split_x, split_y, ordering)
+        if best is None:
+            return self._median_decision(cell, points)
+        return best
+
+    # ------------------------------------------------------------------
+    def _relevant_queries(self, cell: Rect) -> List[Rect]:
+        """Workload queries overlapping the cell, clipped to the cell."""
+        clipped = []
+        for query in self.workload:
+            overlap = query.intersection(cell)
+            if overlap is not None:
+                clipped.append(overlap)
+        return clipped
+
+    def _candidate_splits(self, cell: Rect, points: np.ndarray) -> List[tuple]:
+        """``kappa`` uniform samples from the cell, plus the data median."""
+        candidates: List[tuple] = []
+        if points.shape[0] > 0:
+            median_x = float(np.clip(np.median(points[:, 0]), cell.xmin, cell.xmax))
+            median_y = float(np.clip(np.median(points[:, 1]), cell.ymin, cell.ymax))
+            candidates.append((median_x, median_y))
+        xs = self._rng.uniform(cell.xmin, cell.xmax, size=self.num_candidates)
+        ys = self._rng.uniform(cell.ymin, cell.ymax, size=self.num_candidates)
+        candidates.extend((float(x), float(y)) for x, y in zip(xs, ys))
+        return candidates
+
+    def _estimator_for(self, points: np.ndarray) -> DensityEstimator:
+        """The density estimator used to count points per child cell.
+
+        When the caller supplied a global estimator it is reused for every
+        node (the paper's setup); otherwise exact counting over the node's
+        own points is used, which is the ``density="exact"`` ablation arm.
+        """
+        if self.density is not None:
+            return self.density
+        return ExactDensity([_RowPoint(x, y) for x, y in points])
+
+    def _quadrant_counts(
+        self, cell: Rect, split_x: float, split_y: float, estimator: DensityEstimator
+    ) -> QuadrantCounts:
+        quad_a, quad_b, quad_c, quad_d = cell.split(
+            min(max(split_x, cell.xmin), cell.xmax),
+            min(max(split_y, cell.ymin), cell.ymax),
+        )
+        return QuadrantCounts(
+            estimator.estimate(quad_a),
+            estimator.estimate(quad_b),
+            estimator.estimate(quad_c),
+            estimator.estimate(quad_d),
+        )
+
+    @staticmethod
+    def _median_decision(cell: Rect, points: np.ndarray) -> SplitDecision:
+        if points.shape[0] == 0:
+            center = cell.center
+            return SplitDecision(center.x, center.y, ORDER_ABCD)
+        split_x = float(np.clip(np.median(points[:, 0]), cell.xmin, cell.xmax))
+        split_y = float(np.clip(np.median(points[:, 1]), cell.ymin, cell.ymax))
+        return SplitDecision(split_x, split_y, ORDER_ABCD)
+
+
+class _RowPoint:
+    """Minimal point adaptor so numpy rows can feed :class:`ExactDensity`."""
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float) -> None:
+        self.x = float(x)
+        self.y = float(y)
+
+
+def build_density_estimator(
+    points,
+    kind: str = "rfde",
+    num_trees: int = 4,
+    leaf_size: int = 64,
+    seed: Optional[int] = None,
+) -> DensityEstimator:
+    """Construct the density estimator used during WaZI construction.
+
+    ``kind`` is ``"rfde"`` (the paper's choice), or ``"exact"`` for the
+    no-learning ablation arm.
+    """
+    if kind == "rfde":
+        return RandomForestDensity(points, num_trees=num_trees, leaf_size=leaf_size, seed=seed)
+    if kind == "exact":
+        return ExactDensity(points)
+    raise ValueError(f"Unknown density estimator kind: {kind!r}")

@@ -1,0 +1,23 @@
+"""Look-ahead skipping (Section 5) — public re-export.
+
+The look-ahead pointer machinery operates purely on the
+:class:`~repro.storage.LeafList`, so its implementation lives next to the
+leaf list in :mod:`repro.zindex.skipping`; this module re-exports it under
+the package where the paper's Section 5 contribution conceptually belongs,
+so downstream code can write ``from repro.core.skipping import
+build_lookahead_pointers``.
+"""
+
+from repro.zindex.skipping import (
+    build_lookahead_pointers,
+    choose_skip_target,
+    disqualifying_criteria,
+    leaf_box,
+)
+
+__all__ = [
+    "build_lookahead_pointers",
+    "choose_skip_target",
+    "disqualifying_criteria",
+    "leaf_box",
+]

@@ -1,0 +1,186 @@
+"""The WaZI index and its ablation variants.
+
+:class:`WaZI` combines the two mechanisms the paper contributes on top of
+the base Z-index:
+
+1. **Adaptive partitioning and ordering** (Section 4): each node's split
+   point and child ordering are chosen greedily to minimise the retrieval
+   cost of an anticipated range-query workload, with point counts supplied
+   by a learned density estimator (RFDE).
+2. **Look-ahead skipping** (Section 5): leaves carry four look-ahead
+   pointers so range-query scans jump over runs of irrelevant pages.
+
+The ablation study of Section 6.9 isolates the two mechanisms;
+:class:`BaseWithSkipping` (``Base+SK``) keeps median splits but adds the
+pointers, and :class:`WaZIWithoutSkipping` (``WaZI−SK``) keeps the adaptive
+layout but scans leaves one by one.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.construction import (
+    DEFAULT_NUM_CANDIDATES,
+    GreedySplitStrategy,
+    build_density_estimator,
+)
+from repro.core.cost import ALPHA_WITH_SKIPPING, ALPHA_WITHOUT_SKIPPING
+from repro.density import DensityEstimator
+from repro.geometry import Point, Rect
+from repro.zindex.base import DEFAULT_LEAF_CAPACITY, DEFAULT_MAX_DEPTH, ZIndex
+from repro.zindex.splitters import MedianSplitStrategy
+
+
+class WaZI(ZIndex):
+    """The learned, workload-aware Z-index.
+
+    Parameters
+    ----------
+    points:
+        The dataset to index.
+    workload:
+        The anticipated range queries (rectangles) the layout is optimised
+        for.  An empty workload degrades gracefully to median splits, i.e.
+        the base Z-index layout plus skipping pointers.
+    leaf_capacity:
+        Page size ``L``.
+    num_candidates:
+        ``kappa``, the number of random candidate split points evaluated per
+        node during greedy construction.
+    alpha:
+        Skip-cost fraction in the retrieval-cost objective.  Defaults to the
+        paper's ``1e-5`` because WaZI is built with skipping enabled; pass
+        a larger value to study the skip-unaware objective.
+    density:
+        Either a pre-built :class:`~repro.density.DensityEstimator`, or one
+        of the strings ``"rfde"`` (default) / ``"exact"`` selecting how data
+        densities are estimated during construction.
+    density_trees:
+        Number of trees of the RFDE forest (ignored for ``"exact"``).
+    use_skipping:
+        Whether to build and use look-ahead pointers.  ``True`` for the full
+        WaZI; :class:`WaZIWithoutSkipping` sets it to ``False``.
+    adaptive:
+        Whether to use the greedy workload-aware split strategy.  ``True``
+        for the full WaZI; :class:`BaseWithSkipping` sets it to ``False``.
+    seed:
+        Seed controlling both the candidate sampling and the RFDE forest;
+        construction is deterministic given the seed.
+    """
+
+    name = "WaZI"
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        workload: Sequence[Rect],
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        num_candidates: int = DEFAULT_NUM_CANDIDATES,
+        alpha: Optional[float] = None,
+        density="rfde",
+        density_trees: int = 4,
+        use_skipping: bool = True,
+        adaptive: bool = True,
+        seed: Optional[int] = None,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> None:
+        self.workload = list(workload)
+        if alpha is None:
+            alpha = ALPHA_WITH_SKIPPING if use_skipping else ALPHA_WITHOUT_SKIPPING
+        self.alpha = alpha
+        if adaptive and self.workload:
+            estimator = self._resolve_density(points, density, density_trees, leaf_capacity, seed)
+            strategy = GreedySplitStrategy(
+                self.workload,
+                density=estimator,
+                num_candidates=num_candidates,
+                alpha=alpha,
+                seed=seed,
+            )
+            self.density_estimator: Optional[DensityEstimator] = estimator
+        else:
+            strategy = MedianSplitStrategy()
+            self.density_estimator = None
+        super().__init__(
+            points,
+            leaf_capacity=leaf_capacity,
+            split_strategy=strategy,
+            use_skipping=use_skipping,
+            max_depth=max_depth,
+        )
+
+    @staticmethod
+    def _resolve_density(points, density, density_trees, leaf_capacity, seed):
+        if isinstance(density, DensityEstimator):
+            return density
+        if isinstance(density, str):
+            return build_density_estimator(
+                points,
+                kind=density,
+                num_trees=density_trees,
+                leaf_size=leaf_capacity,
+                seed=seed,
+            )
+        raise TypeError(
+            "density must be a DensityEstimator instance or one of the strings "
+            f"'rfde'/'exact', got {density!r}"
+        )
+
+    def size_bytes(self) -> int:
+        """Index footprint.
+
+        Following the paper (Table 5 reports WaZI at essentially the same
+        size as Base), the density estimator is a construction-time artefact
+        and is not counted as part of the deployed index; only the tree, the
+        leaf list (including the four look-ahead pointers per leaf) and the
+        pages are.
+        """
+        return super().size_bytes()
+
+
+class BaseWithSkipping(ZIndex):
+    """``Base+SK`` — median splits and "abcd" ordering, plus look-ahead pointers."""
+
+    name = "Base+SK"
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> None:
+        super().__init__(
+            points,
+            leaf_capacity=leaf_capacity,
+            split_strategy=MedianSplitStrategy(),
+            use_skipping=True,
+            max_depth=max_depth,
+        )
+
+
+class WaZIWithoutSkipping(WaZI):
+    """``WaZI−SK`` — adaptive partitioning and ordering, but no look-ahead pointers."""
+
+    name = "WaZI-SK"
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        workload: Sequence[Rect],
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        num_candidates: int = DEFAULT_NUM_CANDIDATES,
+        density="rfde",
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            points,
+            workload,
+            leaf_capacity=leaf_capacity,
+            num_candidates=num_candidates,
+            alpha=ALPHA_WITHOUT_SKIPPING,
+            density=density,
+            use_skipping=False,
+            adaptive=True,
+            seed=seed,
+        )

@@ -1,0 +1,39 @@
+"""Density estimators — the "learned" component of WaZI's construction.
+
+The greedy construction of Section 4.3 repeatedly asks "how many data
+points (and how many query corners) would fall in each of the four child
+cells of this candidate split?".  Answering those questions exactly over
+the full dataset for every candidate split would dominate construction
+time, so the paper fits density models once and evaluates the cost function
+against the models.  The paper uses Random Forest Density Estimation
+(RFDE): a forest of k-d trees with randomised split dimensions whose nodes
+store the cardinality of the region they cover.
+
+This subpackage provides:
+
+* :class:`~repro.density.estimator.ExactDensity` — exact counting against a
+  numpy array, the "no learning" reference used in ablations and tests,
+* :class:`~repro.density.kdtree.KDTreeDensity` — one randomised
+  cardinality-annotated k-d tree,
+* :class:`~repro.density.rfde.RandomForestDensity` — the RFDE forest used
+  by WaZI and (in weighted form) by the CUR baseline,
+* :class:`~repro.density.grid.GridHistogramDensity` — an equi-width
+  histogram estimator used by the Flood baseline's cost model,
+* :class:`~repro.density.weighted.WeightedPointSet` — per-point query
+  weights used by the CUR baseline.
+"""
+
+from repro.density.estimator import DensityEstimator, ExactDensity
+from repro.density.kdtree import KDTreeDensity
+from repro.density.rfde import RandomForestDensity
+from repro.density.grid import GridHistogramDensity
+from repro.density.weighted import WeightedPointSet
+
+__all__ = [
+    "DensityEstimator",
+    "ExactDensity",
+    "KDTreeDensity",
+    "RandomForestDensity",
+    "GridHistogramDensity",
+    "WeightedPointSet",
+]

@@ -1,0 +1,121 @@
+"""Equi-width grid histogram density estimator.
+
+The Flood baseline's layout search evaluates candidate grids against an
+estimate of how many points and queries each column/cell would receive.
+A simple equi-width two-dimensional histogram is sufficient for that cost
+model and is also a useful sanity baseline for the RFDE estimator in tests:
+on smooth densities both should agree to within histogram resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry import Point, Rect
+from repro.density.estimator import DensityEstimator, points_to_array
+
+
+class GridHistogramDensity(DensityEstimator):
+    """A fixed-resolution 2-D histogram supporting range-count estimation.
+
+    Cells fully covered by a query contribute their full count; cells partly
+    covered contribute proportionally to the covered area, which assumes
+    uniformity inside a cell (the usual histogram assumption).
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        bins_x: int = 64,
+        bins_y: int = 64,
+        extent: Optional[Rect] = None,
+    ) -> None:
+        if bins_x <= 0 or bins_y <= 0:
+            raise ValueError(f"bins must be positive, got ({bins_x}, {bins_y})")
+        array = points_to_array(points)
+        self._bins_x = bins_x
+        self._bins_y = bins_y
+        if extent is None:
+            if array.shape[0] == 0:
+                extent = Rect(0.0, 0.0, 1.0, 1.0)
+            else:
+                extent = Rect(
+                    float(array[:, 0].min()),
+                    float(array[:, 1].min()),
+                    float(array[:, 0].max()),
+                    float(array[:, 1].max()),
+                )
+        self.extent = extent
+        span_x = extent.width if extent.width > 0 else 1.0
+        span_y = extent.height if extent.height > 0 else 1.0
+        self._cell_w = span_x / bins_x
+        self._cell_h = span_y / bins_y
+        if array.shape[0] == 0:
+            self._counts = np.zeros((bins_x, bins_y), dtype=np.float64)
+        else:
+            self._counts, _, _ = np.histogram2d(
+                array[:, 0],
+                array[:, 1],
+                bins=[bins_x, bins_y],
+                range=[
+                    [extent.xmin, extent.xmin + span_x],
+                    [extent.ymin, extent.ymin + span_y],
+                ],
+            )
+        self._total = float(self._counts.sum())
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def shape(self):
+        """Histogram resolution as ``(bins_x, bins_y)``."""
+        return (self._bins_x, self._bins_y)
+
+    def estimate(self, query: Rect) -> float:
+        if self._total == 0:
+            return 0.0
+        clipped = query.intersection(self.extent)
+        if clipped is None:
+            return 0.0
+        # Indices of the cells touched by the clipped query.
+        ix_lo = self._cell_index(clipped.xmin, self.extent.xmin, self._cell_w, self._bins_x)
+        ix_hi = self._cell_index(clipped.xmax, self.extent.xmin, self._cell_w, self._bins_x)
+        iy_lo = self._cell_index(clipped.ymin, self.extent.ymin, self._cell_h, self._bins_y)
+        iy_hi = self._cell_index(clipped.ymax, self.extent.ymin, self._cell_h, self._bins_y)
+        total = 0.0
+        for ix in range(ix_lo, ix_hi + 1):
+            cell_xmin = self.extent.xmin + ix * self._cell_w
+            cell_xmax = cell_xmin + self._cell_w
+            frac_x = self._overlap_fraction(clipped.xmin, clipped.xmax, cell_xmin, cell_xmax)
+            if frac_x == 0.0:
+                continue
+            for iy in range(iy_lo, iy_hi + 1):
+                count = self._counts[ix, iy]
+                if count == 0.0:
+                    continue
+                cell_ymin = self.extent.ymin + iy * self._cell_h
+                cell_ymax = cell_ymin + self._cell_h
+                frac_y = self._overlap_fraction(clipped.ymin, clipped.ymax, cell_ymin, cell_ymax)
+                total += count * frac_x * frac_y
+        return total
+
+    @staticmethod
+    def _cell_index(value: float, origin: float, cell_size: float, bins: int) -> int:
+        index = int((value - origin) / cell_size)
+        return max(0, min(bins - 1, index))
+
+    @staticmethod
+    def _overlap_fraction(lo: float, hi: float, cell_lo: float, cell_hi: float) -> float:
+        overlap = min(hi, cell_hi) - max(lo, cell_lo)
+        width = cell_hi - cell_lo
+        if overlap <= 0 or width <= 0:
+            return 0.0
+        return min(1.0, overlap / width)
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the histogram."""
+        return int(self._counts.nbytes) + 64

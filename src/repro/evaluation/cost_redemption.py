@@ -1,0 +1,68 @@
+"""Cost redemption (Table 4 of the paper).
+
+A learned or workload-aware index typically pays a higher construction cost
+in exchange for faster queries.  The paper quantifies the trade-off as the
+number of query executions after which the cumulative (build + query) time
+of an index matches that of the base Z-index:
+
+    red_X = (X.build - Base.build) / (Base.query - X.query)
+
+where ``query`` is the per-query latency.  Four regimes arise, mirroring
+the (+)/(−)/blank annotations of Table 4:
+
+* build slower, queries faster  → a positive break-even count (reported
+  with ``"+"``: the index redeems itself after that many queries),
+* build faster, queries slower  → a positive count with ``"-"``: the index
+  is better *until* that many queries, worse afterwards,
+* build faster and queries faster → always better (``"+"``, no count),
+* build slower and queries slower → never better (``"-"``, no count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CostRedemption:
+    """Break-even analysis of one index against the baseline."""
+
+    index_name: str
+    sign: str                      # "+" when the index eventually/always wins, "-" otherwise
+    queries_to_break_even: Optional[float]  # None when one index dominates outright
+
+    def render(self) -> str:
+        """Human-readable cell matching the paper's Table 4 formatting."""
+        if self.queries_to_break_even is None:
+            return f"({self.sign})"
+        if self.queries_to_break_even >= 1_000_000:
+            return f"({self.sign}) {self.queries_to_break_even / 1_000_000:.1f}M"
+        if self.queries_to_break_even >= 1_000:
+            return f"({self.sign}) {self.queries_to_break_even / 1_000:.0f}k"
+        return f"({self.sign}) {self.queries_to_break_even:.0f}"
+
+
+def cost_redemption(
+    index_name: str,
+    index_build_seconds: float,
+    index_query_seconds: float,
+    base_build_seconds: float,
+    base_query_seconds: float,
+) -> CostRedemption:
+    """Compute the cost-redemption entry of one index against the Base index.
+
+    ``*_query_seconds`` are per-query latencies; ``*_build_seconds`` are
+    one-off construction times.
+    """
+    build_delta = index_build_seconds - base_build_seconds
+    query_gain = base_query_seconds - index_query_seconds
+    if build_delta > 0 and query_gain > 0:
+        return CostRedemption(index_name, "+", build_delta / query_gain)
+    if build_delta < 0 and query_gain < 0:
+        # Cheaper to build but slower per query: better only for the first
+        # |build_delta| / |query_gain| queries.
+        return CostRedemption(index_name, "-", abs(build_delta) / abs(query_gain))
+    if build_delta <= 0 and query_gain >= 0:
+        return CostRedemption(index_name, "+", None)
+    return CostRedemption(index_name, "-", None)

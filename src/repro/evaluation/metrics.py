@@ -1,0 +1,171 @@
+"""Logical cost counters and phase timers.
+
+Figure 9 of the paper splits range-query latency into a *Projection* phase
+(walking the search structure to find candidate pages) and a *Scan* phase
+(filtering points on those pages).  Figure 13 reports bounding boxes
+checked, excess points compared and pages scanned.  Every index in this
+library increments a :class:`CostCounters` instance while answering
+queries so that those metrics can be reproduced exactly, independently of
+Python's wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CostCounters:
+    """Logical work performed while answering queries.
+
+    Attributes
+    ----------
+    nodes_visited:
+        Internal search-structure nodes touched (tree nodes, grid cells).
+    bbs_checked:
+        Leaf/page bounding boxes compared against the query rectangle
+        (Figure 13 bottom-left).
+    pages_scanned:
+        Pages whose points were actually filtered (Figure 13 bottom-right).
+    points_filtered:
+        Points compared against the query rectangle during filtering.
+    points_returned:
+        Points that satisfied the query (the result size).
+    leaves_skipped:
+        Leaves jumped over via look-ahead pointers (WaZI's skipping
+        mechanism) or BIGMIN jumps, without a bounding-box comparison.
+    """
+
+    nodes_visited: int = 0
+    bbs_checked: int = 0
+    pages_scanned: int = 0
+    points_filtered: int = 0
+    points_returned: int = 0
+    leaves_skipped: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter (called between workloads)."""
+        self.nodes_visited = 0
+        self.bbs_checked = 0
+        self.pages_scanned = 0
+        self.points_filtered = 0
+        self.points_returned = 0
+        self.leaves_skipped = 0
+
+    @property
+    def excess_points(self) -> int:
+        """Points filtered but not part of the result (Figure 13 top-right)."""
+        return max(0, self.points_filtered - self.points_returned)
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of the counters, convenient for reporting."""
+        return {
+            "nodes_visited": self.nodes_visited,
+            "bbs_checked": self.bbs_checked,
+            "pages_scanned": self.pages_scanned,
+            "points_filtered": self.points_filtered,
+            "points_returned": self.points_returned,
+            "leaves_skipped": self.leaves_skipped,
+            "excess_points": self.excess_points,
+        }
+
+    def add(self, other: "CostCounters") -> None:
+        """Accumulate another counter set into this one."""
+        self.nodes_visited += other.nodes_visited
+        self.bbs_checked += other.bbs_checked
+        self.pages_scanned += other.pages_scanned
+        self.points_filtered += other.points_filtered
+        self.points_returned += other.points_returned
+        self.leaves_skipped += other.leaves_skipped
+
+    def __sub__(self, other: "CostCounters") -> "CostCounters":
+        return CostCounters(
+            nodes_visited=self.nodes_visited - other.nodes_visited,
+            bbs_checked=self.bbs_checked - other.bbs_checked,
+            pages_scanned=self.pages_scanned - other.pages_scanned,
+            points_filtered=self.points_filtered - other.points_filtered,
+            points_returned=self.points_returned - other.points_returned,
+            leaves_skipped=self.leaves_skipped - other.leaves_skipped,
+        )
+
+    def copy(self) -> "CostCounters":
+        return CostCounters(**{k: v for k, v in self.snapshot().items() if k != "excess_points"})
+
+
+class PhaseTimer:
+    """Accumulates wall-clock time per named phase (Projection / Scan).
+
+    Usage::
+
+        timer = PhaseTimer()
+        with timer.phase("projection"):
+            ...identify candidate pages...
+        with timer.phase("scan"):
+            ...filter points...
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+
+    def phase(self, name: str) -> "_PhaseContext":
+        return _PhaseContext(self, name)
+
+    def record(self, name: str, seconds: float) -> None:
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+
+    def total(self, name: str) -> float:
+        """Accumulated seconds spent in ``name`` (0.0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def totals(self) -> Dict[str, float]:
+        return dict(self._totals)
+
+    def reset(self) -> None:
+        self._totals.clear()
+
+
+class _PhaseContext:
+    """Context manager recording the elapsed time of one phase entry."""
+
+    def __init__(self, timer: PhaseTimer, name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_PhaseContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._timer.record(self._name, time.perf_counter() - self._start)
+
+
+@dataclass
+class QueryStats:
+    """Aggregated statistics for one measured workload on one index."""
+
+    index_name: str
+    num_queries: int
+    total_seconds: float
+    counters: CostCounters = field(default_factory=CostCounters)
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average seconds per query."""
+        if self.num_queries == 0:
+            return 0.0
+        return self.total_seconds / self.num_queries
+
+    @property
+    def mean_micros(self) -> float:
+        """Average microseconds per query (closer to the paper's scale)."""
+        return self.mean_seconds * 1e6
+
+    def per_query(self, counter_name: str) -> float:
+        """Average per-query value of a logical counter."""
+        if self.num_queries == 0:
+            return 0.0
+        return self.counters.snapshot()[counter_name] / self.num_queries

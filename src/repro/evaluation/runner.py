@@ -1,0 +1,135 @@
+"""Experiment runner: build indexes, run workloads, collect statistics.
+
+The runner is deliberately free of any dependency on concrete index
+classes: it works with *factories* (zero-argument callables returning a
+freshly built index) and with the small duck-typed surface of
+:class:`~repro.interfaces.SpatialIndex` (``range_query``, ``point_query``,
+``reset_counters``, ``counters``, ``size_bytes``).  Benchmarks compose it
+with the index constructors and the workload generators to regenerate each
+of the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.evaluation.metrics import CostCounters, PhaseTimer, QueryStats
+from repro.geometry import Point, Rect
+
+#: A factory producing a freshly built index (build time is measured around it).
+IndexFactory = Callable[[], object]
+
+
+@dataclass
+class ComparisonResult:
+    """Everything measured for one index on one dataset/workload combination."""
+
+    index_name: str
+    build_seconds: float
+    size_bytes: int
+    num_points: int
+    range_stats: Optional[QueryStats] = None
+    point_stats: Optional[QueryStats] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def range_mean_micros(self) -> float:
+        return self.range_stats.mean_micros if self.range_stats else 0.0
+
+    @property
+    def point_mean_micros(self) -> float:
+        return self.point_stats.mean_micros if self.point_stats else 0.0
+
+
+def measure_build(factory: IndexFactory):
+    """Build an index through its factory, returning ``(index, seconds)``."""
+    start = time.perf_counter()
+    index = factory()
+    return index, time.perf_counter() - start
+
+
+def measure_range_queries(index, queries: Sequence[Rect], repeats: int = 1) -> QueryStats:
+    """Run a range-query workload, recording wall-clock and logical counters."""
+    index.reset_counters()
+    timer = PhaseTimer()
+    previous_timer = getattr(index, "phase_timer", None)
+    if hasattr(index, "phase_timer"):
+        index.phase_timer = timer
+    start = time.perf_counter()
+    for _ in range(max(1, repeats)):
+        for query in queries:
+            index.range_query(query)
+    elapsed = time.perf_counter() - start
+    if hasattr(index, "phase_timer"):
+        index.phase_timer = previous_timer
+    counters: CostCounters = index.counters.copy()
+    return QueryStats(
+        index_name=getattr(index, "name", type(index).__name__),
+        num_queries=len(queries) * max(1, repeats),
+        total_seconds=elapsed,
+        counters=counters,
+        phase_seconds=timer.totals(),
+    )
+
+
+def measure_point_queries(index, points: Sequence[Point], repeats: int = 1) -> QueryStats:
+    """Run a point-query workload, recording wall-clock and logical counters."""
+    index.reset_counters()
+    start = time.perf_counter()
+    for _ in range(max(1, repeats)):
+        for point in points:
+            index.point_query(point)
+    elapsed = time.perf_counter() - start
+    return QueryStats(
+        index_name=getattr(index, "name", type(index).__name__),
+        num_queries=len(points) * max(1, repeats),
+        total_seconds=elapsed,
+        counters=index.counters.copy(),
+    )
+
+
+class ComparisonRunner:
+    """Builds and measures a set of competing indexes on one workload.
+
+    Usage::
+
+        runner = ComparisonRunner({
+            "Base": lambda: BaseZIndex(data),
+            "WaZI": lambda: WaZI(data, workload.queries),
+        })
+        results = runner.run(range_queries=workload.queries,
+                             point_queries=point_workload)
+    """
+
+    def __init__(self, factories: Dict[str, IndexFactory]) -> None:
+        if not factories:
+            raise ValueError("ComparisonRunner needs at least one index factory")
+        self.factories = dict(factories)
+
+    def run(
+        self,
+        range_queries: Sequence[Rect] = (),
+        point_queries: Sequence[Point] = (),
+        repeats: int = 1,
+    ) -> List[ComparisonResult]:
+        results: List[ComparisonResult] = []
+        for name, factory in self.factories.items():
+            index, build_seconds = measure_build(factory)
+            result = ComparisonResult(
+                index_name=name,
+                build_seconds=build_seconds,
+                size_bytes=index.size_bytes(),
+                num_points=len(index),
+            )
+            if range_queries:
+                result.range_stats = measure_range_queries(index, range_queries, repeats)
+            if point_queries:
+                result.point_stats = measure_point_queries(index, point_queries, repeats)
+            results.append(result)
+        return results
+
+    def run_dict(self, **kwargs) -> Dict[str, ComparisonResult]:
+        """Like :meth:`run` but keyed by index name."""
+        return {result.index_name: result for result in self.run(**kwargs)}

@@ -1,0 +1,35 @@
+"""Two-dimensional geometry primitives used by every index in the library.
+
+The spatial indexes in this package (the base Z-index, WaZI, and all the
+baselines) operate on two-dimensional points and axis-aligned rectangles.
+This subpackage provides those primitives together with the predicates the
+paper relies on:
+
+* containment and overlap tests between rectangles and points,
+* the *domination* partial order used to state the Z-index monotonicity
+  property (Section 3 of the paper),
+* bounding-box computation for collections of points,
+* the quadrant classification of a rectangle with respect to a split point,
+  which underlies the retrieval-cost model of Section 4.2.
+"""
+
+from repro.geometry.point import Point, dominates
+from repro.geometry.rect import (
+    Rect,
+    bounding_box,
+    bounding_box_of_rects,
+    classify_quadrants,
+    rect_from_center,
+    rect_from_points,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "dominates",
+    "bounding_box",
+    "bounding_box_of_rects",
+    "classify_quadrants",
+    "rect_from_center",
+    "rect_from_points",
+]

@@ -1,0 +1,70 @@
+"""Points in the plane and the domination partial order.
+
+The paper's Z-index monotonicity property (Section 3) is stated in terms of
+*domination*: point ``a`` is dominated by point ``b`` when ``a.x <= b.x`` and
+``a.y <= b.y`` with at least one strict inequality.  The property says that a
+dominated point never appears later in the Z-order than the point dominating
+it when the two points fall in different leaf cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True, order=False)
+class Point:
+    """An immutable point in the plane.
+
+    Points are hashable so they can be collected in sets (useful when
+    checking range-query results against a brute-force scan in tests).
+    """
+
+    x: float
+    y: float
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Return the point as an ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __getitem__(self, index: int) -> float:
+        if index == 0:
+            return self.x
+        if index == 1:
+            return self.y
+        raise IndexError(f"Point index out of range: {index}")
+
+    def __len__(self) -> int:
+        return 2
+
+    def translate(self, dx: float, dy: float) -> "Point":
+        """Return a new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def distance_squared(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other`` (used by kNN helpers)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+
+def dominates(a: Point, b: Point) -> bool:
+    """Return ``True`` when ``a`` dominates ``b``.
+
+    ``a`` dominates ``b`` if ``b.x <= a.x`` and ``b.y <= a.y`` with at least
+    one coordinate strictly smaller.  This mirrors the definition used in the
+    paper to state Z-order monotonicity; equal points dominate neither way.
+    """
+    if b.x > a.x or b.y > a.y:
+        return False
+    return b.x < a.x or b.y < a.y
+
+
+def as_points(coords: Iterable[Tuple[float, float]]) -> list:
+    """Convert an iterable of ``(x, y)`` tuples into a list of :class:`Point`."""
+    return [Point(float(x), float(y)) for x, y in coords]

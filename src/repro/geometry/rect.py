@@ -1,0 +1,238 @@
+"""Axis-aligned rectangles and quadrant classification.
+
+Range queries throughout the paper are axis-aligned rectangles described by
+their bottom-left (``BL``) and top-right (``TR``) corners.  The retrieval
+cost model of Section 4.2 additionally needs to know, for a candidate split
+point ``(sx, sy)``, which quadrant contains each of the query's two corners;
+the pair of quadrants (for example "bottom-left corner in A, top-right
+corner in C") selects which of the cost terms of Eq. 1/2 applies.
+:func:`classify_quadrants` implements exactly that classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.geometry.point import Point
+
+# Quadrant labels follow the paper's Figure 1: with a split point (sx, sy),
+# A is the lower-left quadrant, B the lower-right, C the upper-left and D
+# the upper-right.  The "abcd" ordering visits them A, B, C, D; the
+# alternative "acbd" ordering visits them A, C, B, D.
+QUADRANT_A = 0
+QUADRANT_B = 1
+QUADRANT_C = 2
+QUADRANT_D = 3
+
+QUADRANT_NAMES = ("A", "B", "C", "D")
+
+
+@dataclass(frozen=True)
+class Rect:
+    """An axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``.
+
+    The rectangle is closed on every side; a point lying exactly on the
+    boundary counts as contained.  Degenerate rectangles (zero width or
+    height) are allowed and behave as segments or points.
+    """
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(
+                f"Malformed rectangle: ({self.xmin}, {self.ymin}, "
+                f"{self.xmax}, {self.ymax})"
+            )
+
+    # -- corners -------------------------------------------------------
+    @property
+    def bottom_left(self) -> Point:
+        """The ``BL`` corner used by the Z-index range-query algorithm."""
+        return Point(self.xmin, self.ymin)
+
+    @property
+    def top_right(self) -> Point:
+        """The ``TR`` corner used by the Z-index range-query algorithm."""
+        return Point(self.xmax, self.ymax)
+
+    # -- measures ------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    # -- predicates ----------------------------------------------------
+    def contains_point(self, point: Point) -> bool:
+        """Whether ``point`` lies inside (or on the boundary of) the rectangle."""
+        return (
+            self.xmin <= point.x <= self.xmax
+            and self.ymin <= point.y <= self.ymax
+        )
+
+    def contains_xy(self, x: float, y: float) -> bool:
+        """Coordinate-level containment check, avoiding a Point allocation."""
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """Whether ``other`` lies entirely inside this rectangle."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and other.xmax <= self.xmax
+            and other.ymax <= self.ymax
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """Whether the two closed rectangles share at least one point."""
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    def intersection(self, other: "Rect") -> Optional["Rect"]:
+        """The overlapping region, or ``None`` when the rectangles are disjoint."""
+        if not self.overlaps(other):
+            return None
+        return Rect(
+            max(self.xmin, other.xmin),
+            max(self.ymin, other.ymin),
+            min(self.xmax, other.xmax),
+            min(self.ymax, other.ymax),
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """The smallest rectangle enclosing both rectangles."""
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def expand_to_point(self, point: Point) -> "Rect":
+        """The smallest rectangle enclosing this rectangle and ``point``."""
+        return Rect(
+            min(self.xmin, point.x),
+            min(self.ymin, point.y),
+            max(self.xmax, point.x),
+            max(self.ymax, point.y),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase needed to enclose ``other`` (R-tree ChooseSubtree metric)."""
+        return self.union(other).area - self.area
+
+    # -- directional relations (skipping criteria, Section 5.1) ---------
+    def is_below(self, query: "Rect") -> bool:
+        """Whether this rectangle lies entirely below ``query`` (TR.y < BL(R).y)."""
+        return self.ymax < query.ymin
+
+    def is_above(self, query: "Rect") -> bool:
+        """Whether this rectangle lies entirely above ``query``."""
+        return self.ymin > query.ymax
+
+    def is_left_of(self, query: "Rect") -> bool:
+        """Whether this rectangle lies entirely to the left of ``query``."""
+        return self.xmax < query.xmin
+
+    def is_right_of(self, query: "Rect") -> bool:
+        """Whether this rectangle lies entirely to the right of ``query``."""
+        return self.xmin > query.xmax
+
+    # -- partitioning helpers -------------------------------------------
+    def quadrant_of_point(self, x: float, y: float, sx: float, sy: float) -> int:
+        """Quadrant (A/B/C/D) of the cell point ``(x, y)`` relative to split ``(sx, sy)``.
+
+        A point exactly on a split line is assigned to the lower/left side,
+        matching the strict ``>`` comparisons of Algorithm 1 in the paper.
+        """
+        bit_x = 1 if x > sx else 0
+        bit_y = 1 if y > sy else 0
+        return 2 * bit_y + bit_x
+
+    def split(self, sx: float, sy: float) -> Tuple["Rect", "Rect", "Rect", "Rect"]:
+        """Split into the four child quadrants (A, B, C, D) at ``(sx, sy)``.
+
+        The split point must lie within the rectangle.  Quadrants follow the
+        paper's layout: A lower-left, B lower-right, C upper-left, D
+        upper-right.
+        """
+        if not self.contains_xy(sx, sy):
+            raise ValueError(
+                f"Split point ({sx}, {sy}) outside rectangle {self}"
+            )
+        quad_a = Rect(self.xmin, self.ymin, sx, sy)
+        quad_b = Rect(sx, self.ymin, self.xmax, sy)
+        quad_c = Rect(self.xmin, sy, sx, self.ymax)
+        quad_d = Rect(sx, sy, self.xmax, self.ymax)
+        return (quad_a, quad_b, quad_c, quad_d)
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.xmin, self.ymin, self.xmax, self.ymax)
+
+
+def rect_from_points(bl: Point, tr: Point) -> Rect:
+    """Build a rectangle from its bottom-left and top-right corners."""
+    return Rect(bl.x, bl.y, tr.x, tr.y)
+
+
+def rect_from_center(center: Point, width: float, height: float) -> Rect:
+    """Build a rectangle centered on ``center`` with the given side lengths."""
+    half_w = width / 2.0
+    half_h = height / 2.0
+    return Rect(center.x - half_w, center.y - half_h, center.x + half_w, center.y + half_h)
+
+
+def bounding_box(points: Sequence[Point]) -> Rect:
+    """The smallest rectangle enclosing a non-empty sequence of points."""
+    if not points:
+        raise ValueError("bounding_box requires at least one point")
+    xs = [p.x for p in points]
+    ys = [p.y for p in points]
+    return Rect(min(xs), min(ys), max(xs), max(ys))
+
+
+def bounding_box_of_rects(rects: Iterable[Rect]) -> Rect:
+    """The smallest rectangle enclosing every rectangle in ``rects``."""
+    rects = list(rects)
+    if not rects:
+        raise ValueError("bounding_box_of_rects requires at least one rectangle")
+    return Rect(
+        min(r.xmin for r in rects),
+        min(r.ymin for r in rects),
+        max(r.xmax for r in rects),
+        max(r.ymax for r in rects),
+    )
+
+
+def classify_quadrants(query: Rect, sx: float, sy: float) -> Tuple[int, int]:
+    """Quadrants containing the query's BL and TR corners for a split point.
+
+    Returns a pair ``(q_bl, q_tr)`` of quadrant ids.  This is the
+    ``delta_{R in XY}`` indicator of Eq. 1/2 in the paper: a range query is
+    "in AD" when its bottom-left corner falls in quadrant A and its top-right
+    corner falls in quadrant D, and so on.  Because BL is dominated by TR the
+    pair is always one of the ten combinations appearing in the cost model
+    (AA, AB, AC, AD, BB, BD, CC, CD, DD and the degenerate BC never occurs).
+    """
+    q_bl = query.quadrant_of_point(query.xmin, query.ymin, sx, sy)
+    q_tr = query.quadrant_of_point(query.xmax, query.ymax, sx, sy)
+    return (q_bl, q_tr)

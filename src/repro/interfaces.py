@@ -1,0 +1,118 @@
+"""The common interface implemented by every spatial index in the library.
+
+The evaluation harness (and the example applications) treat WaZI, the base
+Z-index and every baseline uniformly through this small protocol: build
+from a point set, answer range and point queries, optionally support
+inserts/deletes, and report an approximate in-memory size.  Each index owns
+a :class:`~repro.evaluation.metrics.CostCounters` instance so logical work
+(bounding boxes checked, pages scanned, points filtered) is recorded in a
+uniform way.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+from repro.evaluation.metrics import CostCounters
+from repro.geometry import Point, Rect
+
+
+class SpatialIndex(abc.ABC):
+    """Abstract base class for the spatial indexes in this library."""
+
+    #: Human-readable name used in reports and benchmark tables.
+    name: str = "index"
+
+    def __init__(self) -> None:
+        self.counters = CostCounters()
+
+    # -- queries --------------------------------------------------------
+    @abc.abstractmethod
+    def range_query(self, query: Rect) -> List[Point]:
+        """Return every indexed point inside the query rectangle."""
+
+    @abc.abstractmethod
+    def point_query(self, point: Point) -> bool:
+        """Whether an indexed point with exactly these coordinates exists."""
+
+    # -- updates ---------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        """Insert a point.  Indexes without update support raise."""
+        raise NotImplementedError(f"{self.name} does not support inserts")
+
+    def delete(self, point: Point) -> bool:
+        """Delete one occurrence of a point; returns whether it was found."""
+        raise NotImplementedError(f"{self.name} does not support deletes")
+
+    # -- introspection -----------------------------------------------------
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of indexed points."""
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the index structure."""
+
+    def reset_counters(self) -> None:
+        """Zero the logical cost counters before a measured workload."""
+        self.counters.reset()
+
+    # -- derived conveniences -----------------------------------------------
+    def range_count(self, query: Rect) -> int:
+        """Number of indexed points inside the query rectangle."""
+        return len(self.range_query(query))
+
+    def knn(self, center: Point, k: int, initial_radius: Optional[float] = None) -> List[Point]:
+        """k nearest neighbours via expanding range queries.
+
+        The paper notes (Section 6.3, "Remark on kNN and Spatial-Join
+        Queries") that indexes without a specialised kNN path process kNN as
+        a sequence of range queries; this default implementation does
+        exactly that, doubling the search window until ``k`` points are
+        found and then pruning by exact distance.
+        """
+        if k <= 0:
+            return []
+        total = len(self)
+        if total == 0:
+            return []
+        k = min(k, total)
+        radius = initial_radius if initial_radius and initial_radius > 0 else self._default_radius()
+        while True:
+            window = Rect(
+                center.x - radius, center.y - radius, center.x + radius, center.y + radius
+            )
+            candidates = self.range_query(window)
+            if len(candidates) >= k or self._window_covers_everything(window):
+                candidates.sort(key=lambda p: p.distance_squared(center))
+                within = [p for p in candidates if p.distance_squared(center) <= radius * radius]
+                if len(within) >= k or self._window_covers_everything(window):
+                    return (within if len(within) >= k else candidates)[:k]
+            radius *= 2.0
+
+    def _default_radius(self) -> float:
+        extent = self.extent()
+        if extent is None:
+            return 1.0
+        span = max(extent.width, extent.height)
+        return max(span / 64.0, 1e-9)
+
+    def _window_covers_everything(self, window: Rect) -> bool:
+        extent = self.extent()
+        return extent is None or window.contains_rect(extent)
+
+    def extent(self) -> Optional[Rect]:
+        """Bounding box of the indexed data, when known (used by kNN)."""
+        return None
+
+
+def brute_force_range(points: Sequence[Point], query: Rect) -> List[Point]:
+    """Reference range query by linear scan (ground truth in tests)."""
+    return [p for p in points if query.contains_xy(p.x, p.y)]
+
+
+def brute_force_knn(points: Sequence[Point], center: Point, k: int) -> List[Point]:
+    """Reference kNN by full sort (ground truth in tests)."""
+    ordered = sorted(points, key=lambda p: p.distance_squared(center))
+    return ordered[:k]

@@ -1,0 +1,90 @@
+"""Saving and loading indexed datasets and workloads.
+
+A production deployment of WaZI builds the index offline (the paper notes
+it is "suited for workflows where index construction can be performed
+offline ... and deployed for an extended amount of time") and ships it to
+query servers.  This module provides a small, dependency-free persistence
+format for that workflow:
+
+* datasets and workloads are stored as compact JSON (portable, diffable,
+  easy to inspect),
+* built indexes are stored with :mod:`pickle` (they are plain Python object
+  graphs; rebuilding from the stored dataset + workload is always possible
+  as a fallback and is the recommended path across library versions).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from pathlib import Path
+from typing import List, Sequence, Union
+
+from repro.geometry import Point, Rect
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_points(points: Sequence[Point], path: PathLike) -> None:
+    """Write a dataset to a JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "points",
+        "points": [[p.x, p.y] for p in points],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_points(path: PathLike) -> List[Point]:
+    """Read a dataset written by :func:`save_points`."""
+    payload = _read_payload(path, expected_kind="points")
+    return [Point(float(x), float(y)) for x, y in payload["points"]]
+
+
+def save_queries(queries: Sequence[Rect], path: PathLike) -> None:
+    """Write a range-query workload to a JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "queries",
+        "queries": [[q.xmin, q.ymin, q.xmax, q.ymax] for q in queries],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_queries(path: PathLike) -> List[Rect]:
+    """Read a workload written by :func:`save_queries`."""
+    payload = _read_payload(path, expected_kind="queries")
+    return [Rect(*map(float, values)) for values in payload["queries"]]
+
+
+def save_index(index, path: PathLike) -> None:
+    """Pickle a built index to disk.
+
+    Note: the pickle is tied to the library version that produced it; for
+    long-lived deployments prefer persisting the dataset and workload and
+    rebuilding, which is deterministic given the construction seed.
+    """
+    with open(path, "wb") as handle:
+        pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_index(path: PathLike):
+    """Load an index pickled by :func:`save_index`."""
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+def _read_payload(path: PathLike, expected_kind: str) -> dict:
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ValueError(f"{path} is not a repro persistence file")
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path} has format version {payload.get('format_version')}, "
+            f"expected {_FORMAT_VERSION}"
+        )
+    if payload["kind"] != expected_kind:
+        raise ValueError(f"{path} stores {payload['kind']!r}, expected {expected_kind!r}")
+    return payload

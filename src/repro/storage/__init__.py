@@ -1,0 +1,19 @@
+"""Paged storage layer shared by the Z-index family of indexes.
+
+The paper models a clustered index: data points belonging to consecutive
+leaf cells are stored on consecutive pages, each page holding at most ``L``
+points, and the leaf cells form a linked list (the *LeafList*) in curve
+order.  This subpackage provides
+
+* :class:`~repro.storage.page.Page` — a fixed-capacity container of points
+  with its bounding box,
+* :class:`~repro.storage.leaflist.LeafEntry` — a leaf cell (bounding box +
+  page + next pointer + the four look-ahead pointers of Section 5),
+* :class:`~repro.storage.leaflist.LeafList` — the ordered collection of leaf
+  entries with helpers for scans, size accounting and consistency checks.
+"""
+
+from repro.storage.page import Page
+from repro.storage.leaflist import LeafEntry, LeafList
+
+__all__ = ["Page", "LeafEntry", "LeafList"]

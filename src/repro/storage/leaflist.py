@@ -1,0 +1,181 @@
+"""Leaf entries and the ordered LeafList of a Z-index.
+
+The leaf layer of a Z-index (Section 3, Figure 2 of the paper) is a linked
+list of leaf cells ordered by the space-filling curve.  Each leaf holds a
+bounding box of the area it spans, a pointer to its page of points, and a
+pointer to the next leaf in curve order.  WaZI additionally equips each
+leaf with four *look-ahead pointers* (Section 5) that allow range-query
+processing to skip over runs of irrelevant leaves.
+
+The :class:`LeafList` here stores leaves in a Python list (positions double
+as the curve order ``Ord``) while each :class:`LeafEntry` also carries the
+explicit ``next``/look-ahead indices so the skipping algorithms read exactly
+like the paper's pseudocode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.geometry import Point, Rect
+from repro.storage.page import Page
+
+# Per-leaf overhead: bounding box (4 doubles), page pointer, next pointer and
+# the four look-ahead pointers.
+_LEAF_OVERHEAD_BYTES = 4 * 8 + 8 + 8 + 4 * 8
+
+# Sentinel "index" meaning "past the end of the LeafList".
+END_OF_LIST = -1
+
+# Names of the four skipping criteria, in the order used throughout.
+SKIP_BELOW = "below"
+SKIP_ABOVE = "above"
+SKIP_LEFT = "left"
+SKIP_RIGHT = "right"
+SKIP_CRITERIA = (SKIP_BELOW, SKIP_ABOVE, SKIP_LEFT, SKIP_RIGHT)
+
+
+@dataclass
+class LeafEntry:
+    """A leaf cell of a Z-index.
+
+    Attributes
+    ----------
+    cell:
+        The region of the data space covered by the leaf (the cell produced
+        by the hierarchical partitioning).  Used for cost accounting.
+    page:
+        The page of data points belonging to this leaf.
+    order:
+        Position of the leaf in curve order (``Ord`` in the paper).
+    next_index:
+        Index of the next leaf in the LeafList, or :data:`END_OF_LIST`.
+    below, above, left, right:
+        Look-ahead pointer targets for the four irrelevancy criteria of
+        Section 5.1, or :data:`END_OF_LIST` when not yet built.
+    """
+
+    cell: Rect
+    page: Page
+    order: int = 0
+    next_index: int = END_OF_LIST
+    below: int = END_OF_LIST
+    above: int = END_OF_LIST
+    left: int = END_OF_LIST
+    right: int = END_OF_LIST
+
+    @property
+    def bbox(self) -> Optional[Rect]:
+        """Bounding box of the points actually stored in the leaf's page.
+
+        The paper compares range queries against the bounding box of the
+        *data* in the leaf (``bbs``), which can be tighter than the cell.
+        Empty leaves have no data bounding box and never overlap a query.
+        """
+        return self.page.bbox
+
+    @property
+    def num_points(self) -> int:
+        return len(self.page)
+
+    def overlaps(self, query: Rect) -> bool:
+        """Whether the leaf's data bounding box overlaps the query rectangle."""
+        box = self.page.bbox
+        return box is not None and box.overlaps(query)
+
+    def skip_pointer(self, criterion: str) -> int:
+        """The look-ahead pointer associated with ``criterion``."""
+        if criterion == SKIP_BELOW:
+            return self.below
+        if criterion == SKIP_ABOVE:
+            return self.above
+        if criterion == SKIP_LEFT:
+            return self.left
+        if criterion == SKIP_RIGHT:
+            return self.right
+        raise ValueError(f"Unknown skip criterion: {criterion!r}")
+
+    def set_skip_pointer(self, criterion: str, target: int) -> None:
+        """Assign the look-ahead pointer associated with ``criterion``."""
+        if criterion == SKIP_BELOW:
+            self.below = target
+        elif criterion == SKIP_ABOVE:
+            self.above = target
+        elif criterion == SKIP_LEFT:
+            self.left = target
+        elif criterion == SKIP_RIGHT:
+            self.right = target
+        else:
+            raise ValueError(f"Unknown skip criterion: {criterion!r}")
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the leaf and its page."""
+        return _LEAF_OVERHEAD_BYTES + self.page.size_bytes()
+
+
+@dataclass
+class LeafList:
+    """The ordered collection of leaf entries of a Z-index."""
+
+    entries: List[LeafEntry] = field(default_factory=list)
+
+    def append(self, entry: LeafEntry) -> int:
+        """Append ``entry``, fixing up its order and the predecessor's next pointer."""
+        index = len(self.entries)
+        entry.order = index
+        entry.next_index = END_OF_LIST
+        if self.entries:
+            self.entries[-1].next_index = index
+        self.entries.append(entry)
+        return index
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[LeafEntry]:
+        return iter(self.entries)
+
+    def __getitem__(self, index: int) -> LeafEntry:
+        return self.entries[index]
+
+    @property
+    def num_points(self) -> int:
+        """Total number of points stored across all leaves."""
+        return sum(entry.num_points for entry in self.entries)
+
+    def iter_range(self, low: int, high: int) -> Iterator[LeafEntry]:
+        """Iterate leaves with order in ``[low, high]`` inclusive."""
+        for index in range(max(low, 0), min(high, len(self.entries) - 1) + 1):
+            yield self.entries[index]
+
+    def all_points(self) -> List[Point]:
+        """Every stored point in curve order (page order within a leaf)."""
+        points: List[Point] = []
+        for entry in self.entries:
+            points.extend(entry.page.points)
+        return points
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the leaf layer."""
+        return sum(entry.size_bytes() for entry in self.entries)
+
+    # -- consistency checks (used by tests and debug assertions) ----------
+    def check_linked(self) -> bool:
+        """Verify the next pointers form a single chain in list order."""
+        for index, entry in enumerate(self.entries):
+            expected = index + 1 if index + 1 < len(self.entries) else END_OF_LIST
+            if entry.next_index != expected:
+                return False
+            if entry.order != index:
+                return False
+        return True
+
+    def check_skip_pointers_forward(self) -> bool:
+        """Verify every look-ahead pointer targets a strictly later leaf (or the end)."""
+        for index, entry in enumerate(self.entries):
+            for criterion in SKIP_CRITERIA:
+                target = entry.skip_pointer(criterion)
+                if target != END_OF_LIST and target <= index:
+                    return False
+        return True

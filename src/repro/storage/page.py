@@ -1,0 +1,124 @@
+"""Fixed-capacity data pages.
+
+A page is the unit of storage scanned during the filtering phase of range
+query processing.  The paper assumes points within a page are stored in
+arbitrary order, so a range query that touches a page must compare the query
+rectangle against every point on it; those comparisons are the quantity the
+WaZI cost model minimises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.geometry import Point, Rect, bounding_box
+
+# Rough in-memory size accounting, mirroring the paper's Table 5.  A stored
+# point is two 8-byte doubles; per-page overhead covers the bounding box and
+# bookkeeping fields.
+_BYTES_PER_POINT = 16
+_PAGE_OVERHEAD_BYTES = 48
+
+
+class PageOverflowError(RuntimeError):
+    """Raised when adding a point to a page that is already at capacity."""
+
+
+class Page:
+    """A bounded container of points with a maintained bounding box."""
+
+    __slots__ = ("capacity", "_points", "_bbox")
+
+    def __init__(self, capacity: int, points: Optional[Iterable[Point]] = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"Page capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._points: List[Point] = []
+        self._bbox: Optional[Rect] = None
+        if points is not None:
+            for point in points:
+                self.add(point)
+
+    # -- container protocol ---------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._points)
+
+    def __contains__(self, point: Point) -> bool:
+        return point in self._points
+
+    @property
+    def points(self) -> List[Point]:
+        """The points stored on the page (live list, treat as read-only)."""
+        return self._points
+
+    @property
+    def bbox(self) -> Optional[Rect]:
+        """Bounding box of the stored points, or ``None`` for an empty page."""
+        return self._bbox
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._points) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._points
+
+    # -- mutation ---------------------------------------------------------
+    def add(self, point: Point) -> None:
+        """Append a point, growing the bounding box.
+
+        Raises :class:`PageOverflowError` when the page is already full; the
+        caller (leaf node) is responsible for splitting.
+        """
+        if self.is_full:
+            raise PageOverflowError(
+                f"Page already holds {len(self._points)}/{self.capacity} points"
+            )
+        self._points.append(point)
+        if self._bbox is None:
+            self._bbox = Rect(point.x, point.y, point.x, point.y)
+        else:
+            self._bbox = self._bbox.expand_to_point(point)
+
+    def remove(self, point: Point) -> bool:
+        """Remove one occurrence of ``point``.
+
+        Returns ``True`` if the point was present.  The bounding box is
+        recomputed from the remaining points (removal is rare relative to
+        scans, so the linear recomputation is acceptable).
+        """
+        try:
+            self._points.remove(point)
+        except ValueError:
+            return False
+        self._bbox = bounding_box(self._points) if self._points else None
+        return True
+
+    # -- queries ----------------------------------------------------------
+    def filter_range(self, query: Rect) -> List[Point]:
+        """Return the points on this page that fall inside ``query``.
+
+        This is the ``Filter(P)`` step of Algorithm 2 in the paper: every
+        point on the page is compared against the query rectangle.
+        """
+        return [p for p in self._points if query.contains_xy(p.x, p.y)]
+
+    def count_in_range(self, query: Rect) -> int:
+        """Number of stored points inside ``query`` without materialising them."""
+        return sum(1 for p in self._points if query.contains_xy(p.x, p.y))
+
+    def contains_exact(self, point: Point) -> bool:
+        """Exact-match lookup used by point queries."""
+        return any(p.x == point.x and p.y == point.y for p in self._points)
+
+    # -- accounting --------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Approximate in-memory footprint of the page."""
+        return _PAGE_OVERHEAD_BYTES + _BYTES_PER_POINT * len(self._points)
+
+    def __repr__(self) -> str:
+        return f"Page(n={len(self._points)}, capacity={self.capacity}, bbox={self._bbox})"

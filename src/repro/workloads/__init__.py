@@ -1,0 +1,54 @@
+"""Datasets and query workloads.
+
+The paper evaluates on OpenStreetMap points of interest from four regions
+(California/Nevada coast, New York City, Japan, the Iberian peninsula) and
+on skewed range-query workloads whose centers follow Gowalla check-in
+locations — i.e. the query distribution is skewed *differently* from the
+data distribution.  Neither dataset ships with this offline reproduction,
+so this subpackage provides deterministic synthetic generators with the
+same qualitative structure:
+
+* :mod:`repro.workloads.datasets` — per-region point generators (clustered
+  urban cores + sparse background, with region-specific cluster layouts),
+* :mod:`repro.workloads.checkins` — "check-in" generators producing query
+  centers concentrated on a popularity-reweighted subset of the clusters,
+* :mod:`repro.workloads.queries` — range-query workloads at a target
+  selectivity, point-query workloads, uniform insert streams, and the
+  workload-drift blending used by the workload-change experiment.
+
+Every generator takes an explicit seed, so all experiments are reproducible.
+"""
+
+from repro.workloads.datasets import (
+    REGION_NAMES,
+    RegionSpec,
+    dataset_extent,
+    generate_dataset,
+    region_spec,
+)
+from repro.workloads.checkins import generate_checkin_centers
+from repro.workloads.queries import (
+    Workload,
+    blend_workloads,
+    generate_insert_points,
+    generate_point_queries,
+    generate_range_workload,
+    range_queries_from_centers,
+    uniform_range_workload,
+)
+
+__all__ = [
+    "REGION_NAMES",
+    "RegionSpec",
+    "region_spec",
+    "generate_dataset",
+    "dataset_extent",
+    "generate_checkin_centers",
+    "Workload",
+    "range_queries_from_centers",
+    "generate_range_workload",
+    "uniform_range_workload",
+    "generate_point_queries",
+    "generate_insert_points",
+    "blend_workloads",
+]

@@ -1,0 +1,112 @@
+"""Synthetic "check-in" locations that drive the skewed query workloads.
+
+The paper samples range-query centers from Gowalla check-ins restricted to
+each region, so the *query* distribution is skewed towards popular venues
+and differs from the underlying POI distribution.  This module reproduces
+that setup synthetically: check-in centers are drawn from the same
+region's clusters but with a *re-weighted* popularity distribution (a few
+clusters dominate, most clusters receive almost no check-ins) plus a small
+uniform component, giving a workload that overlaps the data but concentrates
+on different hot spots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry import Point
+from repro.workloads.datasets import RegionSpec, region_spec, sample_from_spec
+
+
+def _popularity_weights(num_clusters: int, rng: np.random.Generator,
+                        concentration: float) -> np.ndarray:
+    """A heavy-tailed popularity vector over clusters.
+
+    A Zipf-like profile (rank ``r`` gets weight ``1 / r**concentration``)
+    randomly permuted over the clusters, so the popular check-in clusters
+    generally differ from the heaviest data clusters.
+    """
+    ranks = np.arange(1, num_clusters + 1, dtype=np.float64)
+    profile = 1.0 / np.power(ranks, concentration)
+    permutation = rng.permutation(num_clusters)
+    weights = np.empty(num_clusters, dtype=np.float64)
+    weights[permutation] = profile
+    return weights / weights.sum()
+
+
+def generate_checkin_centers(
+    region: str,
+    num_centers: int,
+    seed: int = 0,
+    concentration: float = 1.6,
+    uniform_fraction: float = 0.05,
+    spec: Optional[RegionSpec] = None,
+) -> List[Point]:
+    """Generate skewed query centers ("check-ins") for a named region.
+
+    Parameters
+    ----------
+    region:
+        Name of the region (see :data:`repro.workloads.datasets.REGION_NAMES`).
+    num_centers:
+        How many check-in locations to produce.
+    seed:
+        Seed of the generator.  The cluster popularity permutation depends on
+        the seed, so different seeds produce *differently* skewed workloads —
+        exactly what the workload-change experiment (Figure 12) needs.
+    concentration:
+        Zipf exponent of the popularity profile; larger values concentrate
+        check-ins on fewer clusters.
+    uniform_fraction:
+        Fraction of check-ins scattered uniformly over the region.
+    spec:
+        Optional explicit :class:`RegionSpec` overriding the named lookup.
+    """
+    if num_centers < 0:
+        raise ValueError(f"num_centers must be non-negative, got {num_centers}")
+    base_spec = spec if spec is not None else region_spec(region)
+    rng = np.random.default_rng(seed)
+    if not base_spec.clusters:
+        return sample_from_spec(base_spec, num_centers, rng)
+    popularity = _popularity_weights(len(base_spec.clusters), rng, concentration)
+    reweighted_clusters = tuple(
+        type(cluster)(
+            cluster.center_x,
+            cluster.center_y,
+            # Check-ins hug the venue more tightly than POIs spread around it.
+            cluster.std_x * 0.6,
+            cluster.std_y * 0.6,
+            float(weight),
+        )
+        for cluster, weight in zip(base_spec.clusters, popularity)
+    )
+    checkin_spec = RegionSpec(
+        name=f"{base_spec.name}-checkins",
+        extent=base_spec.extent,
+        clusters=reweighted_clusters,
+        background_fraction=uniform_fraction,
+    )
+    return sample_from_spec(checkin_spec, num_centers, rng)
+
+
+def popularity_histogram(centers: Sequence[Point], spec: RegionSpec) -> List[int]:
+    """Count how many check-ins fall nearest to each cluster center.
+
+    Used by tests to verify the check-in distribution is genuinely skewed
+    (a few clusters should absorb most of the mass).
+    """
+    counts = [0] * len(spec.clusters)
+    for center in centers:
+        best_index = 0
+        best_distance = float("inf")
+        for index, cluster in enumerate(spec.clusters):
+            dx = center.x - cluster.center_x
+            dy = center.y - cluster.center_y
+            distance = dx * dx + dy * dy
+            if distance < best_distance:
+                best_distance = distance
+                best_index = index
+        counts[best_index] += 1
+    return counts

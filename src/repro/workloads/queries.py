@@ -1,0 +1,217 @@
+"""Query-workload construction: range queries, point queries, inserts, drift.
+
+The paper's range-query workloads are built by sampling query centers from
+check-in locations and growing a rectangle around each center until it
+covers a target fraction of the *data space* (selectivity is expressed as a
+percentage of the data-space area, Section 6.2).  Point queries are sampled
+from the data itself (Section 6.4), insert streams are uniform over the
+data space (Section 6.7), and the workload-change experiment (Section 6.8)
+evaluates an index built for one workload on progressively blended
+replacement workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry import Point, Rect
+from repro.workloads.checkins import generate_checkin_centers
+from repro.workloads.datasets import dataset_extent, generate_dataset
+
+#: The selectivities (percent of data-space area) used throughout Section 6.
+PAPER_SELECTIVITIES = (0.0016, 0.0064, 0.0256, 0.1024)
+
+
+@dataclass
+class Workload:
+    """A range-query workload plus the metadata describing how it was made."""
+
+    queries: List[Rect]
+    region: str = ""
+    selectivity_percent: float = 0.0
+    seed: int = 0
+    description: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> Rect:
+        return self.queries[index]
+
+
+def _clamp_interval(low: float, high: float, bound_low: float, bound_high: float):
+    """Shift an interval to lie inside ``[bound_low, bound_high]`` keeping its length."""
+    length = high - low
+    span = bound_high - bound_low
+    if length >= span:
+        return bound_low, bound_high
+    if low < bound_low:
+        return bound_low, bound_low + length
+    if high > bound_high:
+        return bound_high - length, bound_high
+    return low, high
+
+
+def range_queries_from_centers(
+    centers: Sequence[Point],
+    extent: Rect,
+    selectivity_percent: float,
+    aspect_jitter: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Rect]:
+    """Grow a query rectangle around each center to a target data-space coverage.
+
+    ``selectivity_percent`` is the area of the query as a percentage of the
+    data-space area (the paper's convention).  Queries near the boundary are
+    shifted inwards so every query lies inside the data space and keeps its
+    full area.  With ``aspect_jitter > 0``, query aspect ratios vary
+    log-uniformly in ``[1/(1+jitter), 1+jitter]`` instead of being square.
+    """
+    if selectivity_percent <= 0:
+        raise ValueError(f"selectivity_percent must be positive, got {selectivity_percent}")
+    if aspect_jitter < 0:
+        raise ValueError(f"aspect_jitter must be non-negative, got {aspect_jitter}")
+    area = extent.area * selectivity_percent / 100.0
+    rng = rng if rng is not None else np.random.default_rng(0)
+    queries: List[Rect] = []
+    for center in centers:
+        if aspect_jitter > 0:
+            aspect = float(np.exp(rng.uniform(-np.log1p(aspect_jitter), np.log1p(aspect_jitter))))
+        else:
+            aspect = 1.0
+        width = float(np.sqrt(area * aspect))
+        height = area / width
+        xmin, xmax = _clamp_interval(
+            center.x - width / 2.0, center.x + width / 2.0, extent.xmin, extent.xmax
+        )
+        ymin, ymax = _clamp_interval(
+            center.y - height / 2.0, center.y + height / 2.0, extent.ymin, extent.ymax
+        )
+        queries.append(Rect(xmin, ymin, xmax, ymax))
+    return queries
+
+
+def generate_range_workload(
+    region: str,
+    num_queries: int,
+    selectivity_percent: float,
+    seed: int = 0,
+    aspect_jitter: float = 0.0,
+) -> Workload:
+    """The paper's semi-synthetic workload: check-in centers + fixed selectivity."""
+    extent = dataset_extent(region)
+    centers = generate_checkin_centers(region, num_queries, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    queries = range_queries_from_centers(
+        centers, extent, selectivity_percent, aspect_jitter=aspect_jitter, rng=rng
+    )
+    return Workload(
+        queries=queries,
+        region=region,
+        selectivity_percent=selectivity_percent,
+        seed=seed,
+        description=f"{region} check-in workload @ {selectivity_percent}%",
+    )
+
+
+def uniform_range_workload(
+    region: str,
+    num_queries: int,
+    selectivity_percent: float,
+    seed: int = 0,
+) -> Workload:
+    """Range queries with centers uniform over the data space (Figure 12, left)."""
+    extent = dataset_extent(region)
+    rng = np.random.default_rng(seed)
+    centers = [
+        Point(float(x), float(y))
+        for x, y in zip(
+            rng.uniform(extent.xmin, extent.xmax, size=num_queries),
+            rng.uniform(extent.ymin, extent.ymax, size=num_queries),
+        )
+    ]
+    queries = range_queries_from_centers(centers, extent, selectivity_percent, rng=rng)
+    return Workload(
+        queries=queries,
+        region=region,
+        selectivity_percent=selectivity_percent,
+        seed=seed,
+        description=f"{region} uniform workload @ {selectivity_percent}%",
+    )
+
+
+def generate_point_queries(
+    region: str,
+    num_queries: int,
+    num_points: int,
+    seed: int = 0,
+    hit_fraction: float = 1.0,
+) -> List[Point]:
+    """Point queries sampled from the data distribution (Section 6.4).
+
+    ``hit_fraction`` controls how many of the queries are existing data
+    points (the rest are fresh samples from the same distribution and will
+    usually miss), letting tests exercise both outcomes.
+    """
+    if not 0.0 <= hit_fraction <= 1.0:
+        raise ValueError(f"hit_fraction must be in [0, 1], got {hit_fraction}")
+    data = generate_dataset(region, num_points, seed=seed)
+    rng = np.random.default_rng(seed + 7)
+    num_hits = int(round(hit_fraction * num_queries))
+    hits: List[Point] = []
+    if data and num_hits > 0:
+        indices = rng.integers(0, len(data), size=num_hits)
+        hits = [data[i] for i in indices]
+    misses = generate_dataset(region, num_queries - num_hits, seed=seed + 13)
+    return hits + misses
+
+
+def generate_insert_points(region: str, num_inserts: int, seed: int = 0) -> List[Point]:
+    """Insert stream: points uniform over the region's data space (Section 6.7)."""
+    extent = dataset_extent(region)
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(extent.xmin, extent.xmax, size=num_inserts)
+    ys = rng.uniform(extent.ymin, extent.ymax, size=num_inserts)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def blend_workloads(
+    original: Workload,
+    replacement: Workload,
+    change_fraction: float,
+    seed: int = 0,
+) -> Workload:
+    """Replace a fraction of the original workload's queries (Section 6.8).
+
+    ``change_fraction = 0`` returns the original workload, ``1`` returns the
+    replacement; in between, a random ``change_fraction`` of positions is
+    substituted with queries from the replacement workload.
+    """
+    if not 0.0 <= change_fraction <= 1.0:
+        raise ValueError(f"change_fraction must be in [0, 1], got {change_fraction}")
+    rng = np.random.default_rng(seed)
+    num_queries = len(original.queries)
+    num_changed = int(round(change_fraction * num_queries))
+    queries = list(original.queries)
+    if num_changed > 0 and replacement.queries:
+        positions = rng.choice(num_queries, size=num_changed, replace=False)
+        for position in positions:
+            queries[position] = replacement.queries[int(rng.integers(0, len(replacement.queries)))]
+    return Workload(
+        queries=queries,
+        region=original.region,
+        selectivity_percent=original.selectivity_percent,
+        seed=seed,
+        description=(
+            f"{original.description} blended {change_fraction:.0%} with "
+            f"{replacement.description}"
+        ),
+        extra={"change_fraction": change_fraction},
+    )

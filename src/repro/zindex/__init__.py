@@ -1,0 +1,42 @@
+"""The generalized Z-index structure (quaternary tree + clustered leaf list).
+
+This subpackage contains the index *structure* shared by the base Z-index
+of Section 3 and by WaZI: a quaternary tree whose internal nodes store a
+split point and a child ordering ("abcd" or "acbd"), and whose leaves form
+a clustered, linked :class:`~repro.storage.LeafList`.  What distinguishes
+the base variant from WaZI is *how* the split point and ordering of each
+node are chosen (median + "abcd" versus the greedy cost-minimising search
+of Section 4.3) and whether range queries use the look-ahead skipping
+pointers of Section 5 — both of which are pluggable here.
+"""
+
+from repro.zindex.node import (
+    InternalNode,
+    LeafNode,
+    ORDER_ABCD,
+    ORDER_ACBD,
+    ORDERINGS,
+    visit_sequence,
+)
+from repro.zindex.splitters import (
+    MedianSplitStrategy,
+    MidpointSplitStrategy,
+    SplitDecision,
+    SplitStrategy,
+)
+from repro.zindex.base import BaseZIndex, ZIndex
+
+__all__ = [
+    "InternalNode",
+    "LeafNode",
+    "ORDER_ABCD",
+    "ORDER_ACBD",
+    "ORDERINGS",
+    "visit_sequence",
+    "SplitDecision",
+    "SplitStrategy",
+    "MedianSplitStrategy",
+    "MidpointSplitStrategy",
+    "ZIndex",
+    "BaseZIndex",
+]

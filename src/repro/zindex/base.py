@@ -1,0 +1,437 @@
+"""The generalized Z-index: construction, queries and updates.
+
+:class:`ZIndex` is the shared structure behind both the base Z-index of
+Section 3 and WaZI (Section 4): a quaternary tree over the data space, a
+clustered :class:`~repro.storage.LeafList`, Algorithm 1 tree traversal for
+point queries, Algorithm 2 interval scanning for range queries, and the
+optional look-ahead skipping of Section 5.  The strategy that picks each
+node's split point and ordering is pluggable, which is exactly the degree of
+freedom WaZI exploits.
+
+:class:`BaseZIndex` is the paper's ``Base`` baseline: median splits,
+"abcd" ordering everywhere, no skipping pointers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.evaluation.metrics import PhaseTimer
+from repro.geometry import Point, Rect, bounding_box
+from repro.interfaces import SpatialIndex
+from repro.storage import LeafEntry, LeafList, Page
+from repro.storage.leaflist import END_OF_LIST
+from repro.zindex.node import (
+    InternalNode,
+    LeafNode,
+    ZNode,
+    count_nodes,
+    iter_leaves_in_curve_order,
+    structure_size_bytes,
+    tree_depth,
+)
+from repro.zindex.skipping import build_lookahead_pointers
+from repro.zindex.splitters import (
+    MedianSplitStrategy,
+    SplitStrategy,
+    partition_by_quadrant,
+)
+
+DEFAULT_LEAF_CAPACITY = 64
+DEFAULT_MAX_DEPTH = 32
+
+
+class ZIndex(SpatialIndex):
+    """A Z-index with pluggable split strategy and optional skipping.
+
+    Parameters
+    ----------
+    points:
+        The dataset to index.  The index is clustered: points are stored in
+        pages following the curve order induced by the tree.
+    leaf_capacity:
+        Maximum number of points per leaf page (``L`` in the paper; the
+        authors use 256 on multi-million-point data, the default here is 64
+        to keep laptop-scale trees comparably deep).
+    split_strategy:
+        How each node's split point and child ordering are chosen.  Defaults
+        to the base Z-index's median strategy.
+    use_skipping:
+        Whether to build and use the look-ahead pointers of Section 5 during
+        range-query processing.
+    max_depth:
+        Safety bound on tree depth; a cell that still exceeds the leaf
+        capacity at this depth becomes an oversized leaf (this only happens
+        with heavily duplicated coordinates).
+    """
+
+    name = "ZIndex"
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        split_strategy: Optional[SplitStrategy] = None,
+        use_skipping: bool = False,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> None:
+        super().__init__()
+        if leaf_capacity <= 0:
+            raise ValueError(f"leaf_capacity must be positive, got {leaf_capacity}")
+        self.leaf_capacity = leaf_capacity
+        self.max_depth = max_depth
+        self.use_skipping = use_skipping
+        self.split_strategy = split_strategy or MedianSplitStrategy()
+        self.phase_timer: Optional[PhaseTimer] = None
+        self._points = [Point(float(p.x), float(p.y)) if not isinstance(p, Point) else p
+                        for p in points]
+        self._extent = bounding_box(self._points) if self._points else None
+        self.leaflist = LeafList()
+        self.root: Optional[ZNode] = None
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        if not self._points:
+            self.root = None
+            return
+        array = np.array([(p.x, p.y) for p in self._points], dtype=np.float64)
+        self.root = self._build_node(self._extent, array, depth=0)
+        self._rebuild_leaflist()
+
+    def _build_node(self, cell: Rect, array: np.ndarray, depth: int) -> ZNode:
+        n = array.shape[0]
+        if n <= self.leaf_capacity or depth >= self.max_depth or self._all_identical(array):
+            return self._make_leaf(cell, array)
+        decision = self.split_strategy.choose(cell, array, depth)
+        split_x = min(max(decision.split_x, cell.xmin), cell.xmax)
+        split_y = min(max(decision.split_y, cell.ymin), cell.ymax)
+        node = InternalNode(cell, split_x, split_y, decision.ordering)
+        child_cells = node.child_cells()
+        quadrant_arrays = partition_by_quadrant(array, split_x, split_y)
+        # A split that fails to separate the points (all land in one quadrant
+        # whose cell equals the parent) would recurse forever; fall back to a
+        # leaf in that degenerate case.
+        largest = max(quad.shape[0] for quad in quadrant_arrays)
+        if largest == n and any(
+            quadrant_arrays[q].shape[0] == n and child_cells[q] == cell for q in range(4)
+        ):
+            return self._make_leaf(cell, array)
+        for quadrant in range(4):
+            node.children[quadrant] = self._build_node(
+                child_cells[quadrant], quadrant_arrays[quadrant], depth + 1
+            )
+        return node
+
+    @staticmethod
+    def _all_identical(array: np.ndarray) -> bool:
+        if array.shape[0] <= 1:
+            return True
+        return bool((array == array[0]).all())
+
+    def _make_leaf(self, cell: Rect, array: np.ndarray) -> LeafNode:
+        leaf = LeafNode(cell)
+        capacity = max(self.leaf_capacity, array.shape[0])
+        page = Page(capacity)
+        for x, y in array:
+            page.add(Point(float(x), float(y)))
+        # The page is attached later when the leaf list is rebuilt; stash it
+        # on the node temporarily.
+        leaf._pending_page = page  # type: ignore[attr-defined]
+        return leaf
+
+    def _rebuild_leaflist(self) -> None:
+        """Recreate the LeafList (and skip pointers) from the current tree."""
+        self.leaflist = LeafList()
+        for leaf in iter_leaves_in_curve_order(self.root):
+            page = getattr(leaf, "_pending_page", None)
+            if page is None:
+                # Leaf already had an entry in a previous list: reuse its page.
+                page = self._page_of_existing_leaf(leaf)
+            entry = LeafEntry(cell=leaf.cell, page=page)
+            leaf.leaf_index = self.leaflist.append(entry)
+            if hasattr(leaf, "_pending_page"):
+                del leaf._pending_page
+            leaf._entry = entry  # type: ignore[attr-defined]
+        if self.use_skipping:
+            build_lookahead_pointers(self.leaflist)
+
+    @staticmethod
+    def _page_of_existing_leaf(leaf: LeafNode) -> Page:
+        entry = getattr(leaf, "_entry", None)
+        if entry is None:
+            raise RuntimeError("Leaf node has neither a pending page nor an existing entry")
+        return entry.page
+
+    # ------------------------------------------------------------------
+    # point queries (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _leaf_for(self, x: float, y: float) -> Optional[LeafNode]:
+        node = self.root
+        if node is None:
+            return None
+        while not node.is_leaf:
+            self.counters.nodes_visited += 1
+            node = node.children[node.quadrant_of(x, y)]
+        return node  # type: ignore[return-value]
+
+    def point_query(self, point: Point) -> bool:
+        leaf = self._leaf_for(point.x, point.y)
+        if leaf is None:
+            return False
+        entry = self.leaflist[leaf.leaf_index]
+        self.counters.pages_scanned += 1
+        self.counters.points_filtered += len(entry.page)
+        found = entry.page.contains_exact(point)
+        if found:
+            self.counters.points_returned += 1
+        return found
+
+    # ------------------------------------------------------------------
+    # range queries (Algorithm 2 + Section 5 skipping)
+    # ------------------------------------------------------------------
+    def range_query(self, query: Rect) -> List[Point]:
+        if self.root is None:
+            return []
+        timer = self.phase_timer
+        if timer is not None:
+            with timer.phase("projection"):
+                low, high, relevant = self._project(query)
+            with timer.phase("scan"):
+                return self._scan_pages(relevant, query)
+        low, high, relevant = self._project(query)
+        return self._scan_pages(relevant, query)
+
+    def _project(self, query: Rect):
+        """Projection phase: find the leaf interval and the overlapping leaves.
+
+        Returns ``(low, high, relevant_entries)`` where ``relevant_entries``
+        are the leaves whose bounding box overlaps the query.  Separating the
+        projection from the page scan mirrors the split reported in Figure 9
+        of the paper.
+        """
+        low_leaf = self._leaf_for(query.xmin, query.ymin)
+        high_leaf = self._leaf_for(query.xmax, query.ymax)
+        low = low_leaf.leaf_index if low_leaf is not None else 0
+        high = high_leaf.leaf_index if high_leaf is not None else len(self.leaflist) - 1
+        if low > high:
+            low, high = high, low
+        relevant: List[LeafEntry] = []
+        entries = self.leaflist.entries
+        counters = self.counters
+        use_skipping = self.use_skipping
+        bbs_checked = 0
+        index = low
+        while 0 <= index <= high:
+            entry = entries[index]
+            bbs_checked += 1
+            box = entry.page.bbox
+            if box is None:
+                # Empty leaf: nothing to scan and no data bounding box to skip
+                # from; fall back to the cell for the skip decision.
+                box = entry.cell
+                overlaps = False
+            else:
+                overlaps = box.overlaps(query)
+            if overlaps:
+                relevant.append(entry)
+                index += 1
+                continue
+            if not use_skipping:
+                index += 1
+                continue
+            # Inline equivalent of choose_skip_target: among the criteria that
+            # disqualify this leaf, follow the look-ahead pointer that jumps
+            # farthest (END_OF_LIST terminates the scan outright).
+            target = index + 1
+            disqualified = False
+            ends = False
+            if box.ymax < query.ymin:            # Below
+                pointer = entry.below
+                disqualified = True
+                ends = ends or pointer == END_OF_LIST
+                if pointer > target:
+                    target = pointer
+            if box.ymin > query.ymax:            # Above
+                pointer = entry.above
+                disqualified = True
+                ends = ends or pointer == END_OF_LIST
+                if pointer > target:
+                    target = pointer
+            if box.xmax < query.xmin:            # Left
+                pointer = entry.left
+                disqualified = True
+                ends = ends or pointer == END_OF_LIST
+                if pointer > target:
+                    target = pointer
+            if box.xmin > query.xmax:            # Right
+                pointer = entry.right
+                disqualified = True
+                ends = ends or pointer == END_OF_LIST
+                if pointer > target:
+                    target = pointer
+            if not disqualified:
+                index += 1
+                continue
+            if ends:
+                counters.leaves_skipped += max(0, high - index)
+                break
+            counters.leaves_skipped += target - index - 1
+            index = target
+        counters.bbs_checked += bbs_checked
+        return low, high, relevant
+
+    def _scan_pages(self, entries: List[LeafEntry], query: Rect) -> List[Point]:
+        """Scanning phase: filter the points of every relevant page."""
+        results: List[Point] = []
+        for entry in entries:
+            self.counters.pages_scanned += 1
+            self.counters.points_filtered += len(entry.page)
+            matches = entry.page.filter_range(query)
+            self.counters.points_returned += len(matches)
+            results.extend(matches)
+        return results
+
+    # ------------------------------------------------------------------
+    # updates (Section 6.7)
+    # ------------------------------------------------------------------
+    def insert(self, point: Point) -> None:
+        """Insert a point, splitting the enclosing leaf when its page overflows."""
+        if self.root is None:
+            self._points = [point]
+            self._extent = Rect(point.x, point.y, point.x, point.y)
+            self._build()
+            return
+        self._points.append(point)
+        if self._extent is not None:
+            self._extent = self._extent.expand_to_point(point)
+        leaf, parent, quadrant = self._descend_with_parent(point.x, point.y)
+        entry = self.leaflist[leaf.leaf_index]
+        if not entry.page.is_full:
+            entry.page.add(point)
+            return
+        self._split_leaf(leaf, parent, quadrant, point)
+
+    def _descend_with_parent(self, x: float, y: float):
+        node = self.root
+        parent: Optional[InternalNode] = None
+        quadrant = -1
+        while node is not None and not node.is_leaf:
+            parent = node
+            quadrant = node.quadrant_of(x, y)
+            node = node.children[quadrant]
+        return node, parent, quadrant
+
+    def _split_leaf(
+        self, leaf: LeafNode, parent: Optional[InternalNode], quadrant: int, new_point: Point
+    ) -> None:
+        entry = self.leaflist[leaf.leaf_index]
+        points = list(entry.page.points) + [new_point]
+        array = np.array([(p.x, p.y) for p in points], dtype=np.float64)
+        replacement = self._build_node(leaf.cell, array, depth=0)
+        if parent is None:
+            self.root = replacement
+        else:
+            parent.children[quadrant] = replacement
+        self._rebuild_leaflist()
+
+    def delete(self, point: Point) -> bool:
+        """Delete one occurrence of ``point``; merges underfull sibling leaves."""
+        leaf = self._leaf_for(point.x, point.y)
+        if leaf is None:
+            return False
+        entry = self.leaflist[leaf.leaf_index]
+        removed = entry.page.remove(point)
+        if removed:
+            try:
+                self._points.remove(point)
+            except ValueError:
+                pass
+            self._maybe_merge()
+        return removed
+
+    def _maybe_merge(self) -> None:
+        """Merge groups of four sibling leaves that jointly fit in one page."""
+        merged = self._merge_recursive(self.root, None, -1)
+        if merged:
+            self._rebuild_leaflist()
+
+    def _merge_recursive(
+        self, node: Optional[ZNode], parent: Optional[InternalNode], quadrant: int
+    ) -> bool:
+        if node is None or node.is_leaf:
+            return False
+        changed = False
+        for child_quadrant, child in enumerate(node.children):
+            if self._merge_recursive(child, node, child_quadrant):
+                changed = True
+        if all(child is not None and child.is_leaf for child in node.children):
+            total = sum(
+                len(self.leaflist[child.leaf_index].page) for child in node.children
+            )
+            if total <= self.leaf_capacity:
+                merged_leaf = LeafNode(node.cell)
+                page = Page(max(self.leaf_capacity, total))
+                for child in node.children_in_curve_order():
+                    for stored in self.leaflist[child.leaf_index].page:
+                        page.add(stored)
+                merged_leaf._pending_page = page  # type: ignore[attr-defined]
+                if parent is None:
+                    self.root = merged_leaf
+                else:
+                    parent.children[quadrant] = merged_leaf
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.leaflist.num_points
+
+    def extent(self) -> Optional[Rect]:
+        return self._extent
+
+    def size_bytes(self) -> int:
+        """Tree structure plus leaf list plus pages (the paper's Table 5 metric)."""
+        return structure_size_bytes(self.root) + self.leaflist.size_bytes()
+
+    def depth(self) -> int:
+        """Height of the quaternary tree."""
+        return tree_depth(self.root)
+
+    def node_counts(self):
+        """``(internal_nodes, leaf_nodes)`` of the tree."""
+        return count_nodes(self.root)
+
+    def leaf_sizes(self) -> List[int]:
+        """Number of points per leaf, in curve order."""
+        return [len(entry.page) for entry in self.leaflist]
+
+    def all_points(self) -> List[Point]:
+        """Every indexed point in curve (storage) order."""
+        return self.leaflist.all_points()
+
+
+class BaseZIndex(ZIndex):
+    """The paper's ``Base`` index: median splits, "abcd" order, no skipping."""
+
+    name = "Base"
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> None:
+        super().__init__(
+            points,
+            leaf_capacity=leaf_capacity,
+            split_strategy=MedianSplitStrategy(),
+            use_skipping=False,
+            max_depth=max_depth,
+        )

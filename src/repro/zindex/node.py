@@ -1,0 +1,171 @@
+"""Nodes of the quaternary Z-index tree.
+
+An internal node stores the split point at which its cell is divided into
+four quadrants (A lower-left, B lower-right, C upper-left, D upper-right)
+and the ordering of those quadrants along the space-filling curve.  The
+paper allows two orderings, both of which preserve the domination
+monotonicity required by the range-query algorithm:
+
+* ``"abcd"`` — A, B, C, D (the classic Z / N-shaped curve),
+* ``"acbd"`` — A, C, B, D (the transposed curve).
+
+Leaf nodes simply remember their position in the
+:class:`~repro.storage.LeafList`, which owns the pages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.geometry import Rect
+from repro.geometry.rect import QUADRANT_A, QUADRANT_B, QUADRANT_C, QUADRANT_D
+
+ORDER_ABCD = "abcd"
+ORDER_ACBD = "acbd"
+ORDERINGS = (ORDER_ABCD, ORDER_ACBD)
+
+# For each ordering, the sequence of quadrant ids visited along the curve.
+_VISIT_SEQUENCES = {
+    ORDER_ABCD: (QUADRANT_A, QUADRANT_B, QUADRANT_C, QUADRANT_D),
+    ORDER_ACBD: (QUADRANT_A, QUADRANT_C, QUADRANT_B, QUADRANT_D),
+}
+
+# Per-node overhead used by size accounting: split point (2 doubles), the
+# ordering flag, four child pointers and the cell bounding box.
+_INTERNAL_NODE_BYTES = 2 * 8 + 1 + 4 * 8 + 4 * 8
+_LEAF_NODE_BYTES = 8 + 4 * 8
+
+
+def visit_sequence(ordering: str) -> Tuple[int, int, int, int]:
+    """Quadrant ids in curve order for the given ordering string."""
+    try:
+        return _VISIT_SEQUENCES[ordering]
+    except KeyError:
+        raise ValueError(
+            f"Unknown ordering {ordering!r}; expected one of {ORDERINGS}"
+        ) from None
+
+
+def curve_rank(ordering: str, quadrant: int) -> int:
+    """Position of ``quadrant`` along the curve under ``ordering`` (0..3)."""
+    return visit_sequence(ordering).index(quadrant)
+
+
+@dataclass
+class LeafNode:
+    """A leaf of the Z-index tree.
+
+    The leaf's data (page, bounding box, skip pointers) lives in the
+    :class:`~repro.storage.LeafList`; the tree node only records the cell it
+    covers and its position (``Ord``) in that list.
+    """
+
+    cell: Rect
+    leaf_index: int = -1
+
+    @property
+    def is_leaf(self) -> bool:
+        return True
+
+    def size_bytes(self) -> int:
+        return _LEAF_NODE_BYTES
+
+
+@dataclass
+class InternalNode:
+    """An internal node: split point, ordering and four children.
+
+    ``children`` is indexed by *quadrant id* (A=0, B=1, C=2, D=3), not by
+    curve position; use :func:`visit_sequence` to iterate children in curve
+    order.  Children may be ``None`` transiently during construction only.
+    """
+
+    cell: Rect
+    split_x: float
+    split_y: float
+    ordering: str = ORDER_ABCD
+    children: List[Optional[Union["InternalNode", LeafNode]]] = field(
+        default_factory=lambda: [None, None, None, None]
+    )
+
+    def __post_init__(self) -> None:
+        if self.ordering not in ORDERINGS:
+            raise ValueError(
+                f"Unknown ordering {self.ordering!r}; expected one of {ORDERINGS}"
+            )
+
+    @property
+    def is_leaf(self) -> bool:
+        return False
+
+    def quadrant_of(self, x: float, y: float) -> int:
+        """Quadrant id of a point relative to this node's split (Algorithm 1).
+
+        Points exactly on a split line fall on the lower/left side, matching
+        the strict ``>`` comparisons of the paper's pseudocode.
+        """
+        bit_x = 1 if x > self.split_x else 0
+        bit_y = 1 if y > self.split_y else 0
+        return 2 * bit_y + bit_x
+
+    def child_for_point(self, x: float, y: float):
+        """The child covering the given point."""
+        return self.children[self.quadrant_of(x, y)]
+
+    def children_in_curve_order(self):
+        """Children ordered along the space-filling curve."""
+        return [self.children[q] for q in visit_sequence(self.ordering)]
+
+    def child_cells(self) -> Tuple[Rect, Rect, Rect, Rect]:
+        """The four quadrant rectangles (indexed by quadrant id)."""
+        return self.cell.split(self.split_x, self.split_y)
+
+    def size_bytes(self) -> int:
+        return _INTERNAL_NODE_BYTES
+
+
+ZNode = Union[InternalNode, LeafNode]
+
+
+def count_nodes(root: Optional[ZNode]) -> Tuple[int, int]:
+    """Count ``(internal, leaf)`` nodes in the subtree rooted at ``root``."""
+    if root is None:
+        return (0, 0)
+    if root.is_leaf:
+        return (0, 1)
+    internal, leaves = 1, 0
+    for child in root.children:
+        child_internal, child_leaves = count_nodes(child)
+        internal += child_internal
+        leaves += child_leaves
+    return (internal, leaves)
+
+
+def tree_depth(root: Optional[ZNode]) -> int:
+    """Height of the subtree rooted at ``root`` (leaves have height 1)."""
+    if root is None:
+        return 0
+    if root.is_leaf:
+        return 1
+    return 1 + max(tree_depth(child) for child in root.children)
+
+
+def iter_leaves_in_curve_order(root: Optional[ZNode]):
+    """Yield the leaf nodes of the subtree in space-filling-curve order."""
+    if root is None:
+        return
+    if root.is_leaf:
+        yield root
+        return
+    for child in root.children_in_curve_order():
+        yield from iter_leaves_in_curve_order(child)
+
+
+def structure_size_bytes(root: Optional[ZNode]) -> int:
+    """Approximate footprint of the tree structure (excluding the leaf list)."""
+    if root is None:
+        return 0
+    if root.is_leaf:
+        return root.size_bytes()
+    return root.size_bytes() + sum(structure_size_bytes(child) for child in root.children)

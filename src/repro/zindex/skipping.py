@@ -1,0 +1,142 @@
+"""Look-ahead pointers: construction and use during range-query scans.
+
+This module implements the skipping mechanism of Section 5 of the paper.
+
+A leaf is irrelevant to a range query ``R`` for one of four reasons — it lies
+entirely *below*, *above*, *left of* or *right of* ``R``.  For each reason,
+every leaf stores a look-ahead pointer to the earliest later leaf that
+"improves" the corresponding coordinate bound; any leaf between the two is
+guaranteed to be irrelevant for the same reason, so the scan can jump
+directly to the pointer's target (Figure 3 of the paper).
+
+``build_lookahead_pointers`` is Algorithm 4: it walks the LeafList backwards
+and, for each criterion, starts from the next pointer and follows already
+computed pointers of that same criterion until the bound improves.
+``choose_skip_target`` is the query-time rule: among the criteria that
+disqualify the current leaf, follow the pointer that jumps farthest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.geometry import Rect
+from repro.storage.leaflist import (
+    END_OF_LIST,
+    LeafEntry,
+    LeafList,
+    SKIP_ABOVE,
+    SKIP_BELOW,
+    SKIP_CRITERIA,
+    SKIP_LEFT,
+    SKIP_RIGHT,
+)
+
+
+def leaf_box(entry: LeafEntry) -> Rect:
+    """The rectangle a leaf is compared with: its data bounding box.
+
+    Empty leaves (possible under WaZI's arbitrary split points) fall back to
+    their cell so the skipping criteria remain well defined; an empty leaf
+    never overlaps a query anyway.
+    """
+    return entry.bbox if entry.bbox is not None else entry.cell
+
+
+def _criterion_value(entry: LeafEntry, criterion: str) -> float:
+    """The coordinate bound a criterion compares (Section 5.2 "improvement").
+
+    * ``below``: the leaf's top edge — a later leaf improves if it is higher;
+    * ``above``: the leaf's bottom edge — improves if it is lower;
+    * ``left``:  the leaf's right edge — improves if it is further right;
+    * ``right``: the leaf's left edge — improves if it is further left.
+    """
+    box = leaf_box(entry)
+    if criterion == SKIP_BELOW:
+        return box.ymax
+    if criterion == SKIP_ABOVE:
+        return box.ymin
+    if criterion == SKIP_LEFT:
+        return box.xmax
+    if criterion == SKIP_RIGHT:
+        return box.xmin
+    raise ValueError(f"Unknown skip criterion: {criterion!r}")
+
+
+def _improves(criterion: str, candidate_value: float, reference_value: float) -> bool:
+    """Whether a candidate leaf's bound improves on the reference leaf's bound."""
+    if criterion in (SKIP_BELOW, SKIP_LEFT):
+        return candidate_value > reference_value
+    return candidate_value < reference_value
+
+
+def build_lookahead_pointers(leaflist: LeafList) -> None:
+    """Populate the four look-ahead pointers of every leaf (Algorithm 4).
+
+    The construction iterates the LeafList backwards.  For the last leaf all
+    pointers refer to the end-of-list sentinel.  For every earlier leaf the
+    pointer starts at the next leaf and repeatedly follows the *same
+    criterion's* pointer of the pointed-to leaf until the criterion's bound
+    improves (or the end of the list is reached).
+    """
+    entries = leaflist.entries
+    n = len(entries)
+    for position in range(n - 1, -1, -1):
+        entry = entries[position]
+        reference_values = {
+            criterion: _criterion_value(entry, criterion) for criterion in SKIP_CRITERIA
+        }
+        for criterion in SKIP_CRITERIA:
+            target = position + 1 if position + 1 < n else END_OF_LIST
+            reference = reference_values[criterion]
+            while target != END_OF_LIST:
+                candidate = entries[target]
+                if _improves(criterion, _criterion_value(candidate, criterion), reference):
+                    break
+                target = candidate.skip_pointer(criterion)
+            entry.set_skip_pointer(criterion, target)
+
+
+def disqualifying_criteria(entry: LeafEntry, query: Rect) -> Tuple[str, ...]:
+    """The criteria under which ``entry`` is irrelevant to ``query``.
+
+    Returns an empty tuple when the leaf overlaps the query (and hence must
+    be scanned).  A leaf can satisfy several criteria at once, e.g. lie both
+    below and to the right of the query (leaf ``f`` in Figure 3a).
+    """
+    box = leaf_box(entry)
+    criteria = []
+    if box.is_below(query):
+        criteria.append(SKIP_BELOW)
+    if box.is_above(query):
+        criteria.append(SKIP_ABOVE)
+    if box.is_left_of(query):
+        criteria.append(SKIP_LEFT)
+    if box.is_right_of(query):
+        criteria.append(SKIP_RIGHT)
+    return tuple(criteria)
+
+
+def choose_skip_target(entry: LeafEntry, query: Rect) -> Optional[int]:
+    """The LeafList index the scan should jump to after an irrelevant leaf.
+
+    Among the look-ahead pointers of the criteria that disqualify the leaf,
+    the one skipping over the greatest number of leaves is chosen (the paper's
+    tie-breaking rule).  Returns ``None`` when the leaf is *not* disqualified
+    (the caller must scan it) and :data:`END_OF_LIST` (-1 mapped to ``None``
+    by the caller's loop bound) semantics are preserved by returning the raw
+    pointer value, which may be ``END_OF_LIST``.
+    """
+    criteria = disqualifying_criteria(entry, query)
+    if not criteria:
+        return None
+    best_target = entry.order + 1
+    found = False
+    for criterion in criteria:
+        target = entry.skip_pointer(criterion)
+        if target == END_OF_LIST:
+            return END_OF_LIST
+        if not found or target > best_target:
+            best_target = target
+            found = True
+    return best_target if found else entry.order + 1

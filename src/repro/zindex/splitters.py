@@ -1,0 +1,110 @@
+"""Split strategies: how a Z-index chooses each node's partition and ordering.
+
+The recursive construction in :mod:`repro.zindex.base` is agnostic to how
+the split point and child ordering of a node are picked; it delegates that
+decision to a :class:`SplitStrategy`.  The base Z-index of Section 3 uses
+:class:`MedianSplitStrategy` (medians along both axes, always "abcd");
+WaZI plugs in the greedy cost-minimising strategy from
+:mod:`repro.core.construction`.  A midpoint strategy is included as a
+simple space-partitioning reference used in tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.zindex.node import ORDER_ABCD
+
+
+@dataclass(frozen=True)
+class SplitDecision:
+    """The outcome of a split decision for one node.
+
+    ``split_x``/``split_y`` locate the partition point inside the node's
+    cell and ``ordering`` is either ``"abcd"`` or ``"acbd"``.
+    """
+
+    split_x: float
+    split_y: float
+    ordering: str = ORDER_ABCD
+
+
+class SplitStrategy(abc.ABC):
+    """Chooses the partition point and child ordering for a cell."""
+
+    @abc.abstractmethod
+    def choose(self, cell: Rect, points: np.ndarray, depth: int) -> SplitDecision:
+        """Decide how to split ``cell`` containing ``points`` at tree ``depth``.
+
+        ``points`` is an ``(n, 2)`` array of the points inside the cell;
+        implementations must return a split point lying within ``cell``.
+        """
+
+
+class MedianSplitStrategy(SplitStrategy):
+    """The base Z-index rule: split at the medians, always order "abcd"."""
+
+    def choose(self, cell: Rect, points: np.ndarray, depth: int) -> SplitDecision:
+        if points.shape[0] == 0:
+            center = cell.center
+            return SplitDecision(center.x, center.y, ORDER_ABCD)
+        split_x = float(np.median(points[:, 0]))
+        split_y = float(np.median(points[:, 1]))
+        # Clamp into the cell: with duplicated coordinates the median can sit
+        # exactly on the boundary, which Rect.split rejects.
+        split_x = min(max(split_x, cell.xmin), cell.xmax)
+        split_y = min(max(split_y, cell.ymin), cell.ymax)
+        return SplitDecision(split_x, split_y, ORDER_ABCD)
+
+
+class MidpointSplitStrategy(SplitStrategy):
+    """Split every cell at its geometric center (a regular quad-tree layout)."""
+
+    def choose(self, cell: Rect, points: np.ndarray, depth: int) -> SplitDecision:
+        center = cell.center
+        return SplitDecision(center.x, center.y, ORDER_ABCD)
+
+
+class FixedDecisionStrategy(SplitStrategy):
+    """Always return the same decision — a deterministic stub for unit tests."""
+
+    def __init__(self, decision: SplitDecision) -> None:
+        self._decision = decision
+
+    def choose(self, cell: Rect, points: np.ndarray, depth: int) -> SplitDecision:
+        return self._decision
+
+
+def points_in_cell(points: np.ndarray, cell: Rect) -> np.ndarray:
+    """Rows of ``points`` lying inside ``cell`` (closed on all sides)."""
+    if points.shape[0] == 0:
+        return points
+    xs = points[:, 0]
+    ys = points[:, 1]
+    mask = (xs >= cell.xmin) & (xs <= cell.xmax) & (ys >= cell.ymin) & (ys <= cell.ymax)
+    return points[mask]
+
+
+def partition_by_quadrant(
+    points: np.ndarray, split_x: float, split_y: float
+) -> Sequence[np.ndarray]:
+    """Partition point rows into the four quadrants (A, B, C, D) of a split.
+
+    Points exactly on a split line go to the lower/left quadrant, matching
+    the strict ``>`` comparisons of the paper's Algorithm 1, so that tree
+    descent and construction agree on which child owns a boundary point.
+    """
+    xs = points[:, 0]
+    ys = points[:, 1]
+    right = xs > split_x
+    up = ys > split_y
+    quadrant_a = points[~right & ~up]
+    quadrant_b = points[right & ~up]
+    quadrant_c = points[~right & up]
+    quadrant_d = points[right & up]
+    return (quadrant_a, quadrant_b, quadrant_c, quadrant_d)

@@ -1,0 +1,33 @@
+"""Z-order (Morton) curve utilities.
+
+These routines back the classical, grid-based view of the Z-curve: points
+are mapped to integer cell coordinates, the coordinates are bit-interleaved
+into a one-dimensional *Z-address*, and range queries on the resulting
+sorted order are accelerated with the BIGMIN computation of Tropf and
+Herzog.  The base Z-index and WaZI operate directly in the data space
+(they never materialise Z-addresses), but the Z-address machinery is needed
+for the rank-space baselines the paper discards in Figure 4 (Zpgm) and is a
+useful reference implementation for tests of the monotonicity property.
+"""
+
+from repro.zorder.morton import (
+    deinterleave,
+    interleave,
+    morton_decode,
+    morton_encode,
+    z_less,
+)
+from repro.zorder.bigmin import bigmin, litmax, z_range_overlaps
+from repro.zorder.mapper import ZOrderMapper
+
+__all__ = [
+    "interleave",
+    "deinterleave",
+    "morton_encode",
+    "morton_decode",
+    "z_less",
+    "bigmin",
+    "litmax",
+    "z_range_overlaps",
+    "ZOrderMapper",
+]

@@ -1,0 +1,128 @@
+"""BIGMIN / LITMAX computation for Z-order range queries.
+
+When a range query ``[min_z, max_z]`` (the Z-addresses of its bottom-left
+and top-right corners) is scanned in Z-order, large runs of the scanned
+interval can lie entirely outside the query rectangle.  Tropf and Herzog's
+BIGMIN algorithm computes, for a Z-address ``z`` known to lie outside the
+rectangle, the smallest Z-address greater than ``z`` that can lie inside it
+— allowing the scan to jump ahead.  LITMAX is the symmetric "largest
+address below ``z`` still inside" value.
+
+These routines are used by the rank-space baseline (``Zpgm``) and by tests
+that validate the geometric skipping machinery of WaZI against the
+classical bit-level machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.zorder.morton import DEFAULT_BITS, deinterleave, interleave
+
+
+def bigmin(z_current: int, z_min: int, z_max: int, bits: int = DEFAULT_BITS) -> int:
+    """Smallest Z-address in ``[z_min, z_max]``'s rectangle greater than ``z_current``.
+
+    ``z_min`` and ``z_max`` are the Z-addresses of the query rectangle's
+    bottom-left and top-right corners.  The returned address is the next
+    candidate position a Z-order scan should jump to after encountering
+    ``z_current`` outside the rectangle.  The implementation follows the
+    standard bit-by-bit case analysis of Tropf and Herzog (1981).
+    """
+    if not (z_min <= z_max):
+        raise ValueError("z_min must not exceed z_max")
+    bigmin_value = 0
+    total_bits = 2 * bits
+    for position in range(total_bits - 1, -1, -1):
+        bit_current = (z_current >> position) & 1
+        bit_min = (z_min >> position) & 1
+        bit_max = (z_max >> position) & 1
+        key = (bit_current, bit_min, bit_max)
+        if key == (0, 0, 0):
+            continue
+        if key == (0, 0, 1):
+            bigmin_value = _with_dimension_pattern(z_min, position, high_one=True)
+            z_max = _with_dimension_pattern(z_max, position, high_one=False)
+        elif key == (0, 1, 0):
+            raise ValueError("Inconsistent Z-range: min bit above max bit")
+        elif key == (0, 1, 1):
+            return z_min
+        elif key == (1, 0, 0):
+            return bigmin_value
+        elif key == (1, 0, 1):
+            z_min = _with_dimension_pattern(z_min, position, high_one=True)
+        elif key == (1, 1, 0):
+            raise ValueError("Inconsistent Z-range: min bit above max bit")
+        elif key == (1, 1, 1):
+            continue
+    return bigmin_value
+
+
+def litmax(z_current: int, z_min: int, z_max: int, bits: int = DEFAULT_BITS) -> int:
+    """Largest Z-address in the query rectangle smaller than ``z_current``.
+
+    Symmetric counterpart of :func:`bigmin`, used when scanning backwards.
+    """
+    if not (z_min <= z_max):
+        raise ValueError("z_min must not exceed z_max")
+    litmax_value = 0
+    total_bits = 2 * bits
+    for position in range(total_bits - 1, -1, -1):
+        bit_current = (z_current >> position) & 1
+        bit_min = (z_min >> position) & 1
+        bit_max = (z_max >> position) & 1
+        key = (bit_current, bit_min, bit_max)
+        if key == (1, 1, 1):
+            continue
+        if key == (1, 0, 1):
+            litmax_value = _with_dimension_pattern(z_max, position, high_one=False)
+            z_min = _with_dimension_pattern(z_min, position, high_one=True)
+        elif key == (1, 0, 0):
+            return z_max
+        elif key == (0, 1, 1):
+            return litmax_value
+        elif key == (0, 0, 1):
+            z_max = _with_dimension_pattern(z_max, position, high_one=False)
+        elif key == (0, 0, 0):
+            continue
+        else:
+            raise ValueError("Inconsistent Z-range: min bit above max bit")
+    return litmax_value
+
+
+def _with_dimension_pattern(value: int, position: int, high_one: bool) -> int:
+    """Rewrite the bits of one dimension at and below ``position``.
+
+    With ``high_one=True`` the bit at ``position`` becomes 1 and the lower
+    bits of the same dimension become 0 ("1000..." pattern); otherwise the
+    bit at ``position`` becomes 0 and the lower bits become 1 ("0111...").
+    Bits of the other dimension are untouched.
+    """
+    dimension_mask = 0
+    bit = position
+    while bit >= 0:
+        dimension_mask |= 1 << bit
+        bit -= 2
+    lower_mask = dimension_mask & ((1 << position) - 1)
+    value &= ~dimension_mask
+    if high_one:
+        value |= 1 << position
+    else:
+        value |= lower_mask
+    return value
+
+
+def z_range_overlaps(z: int, query_min: Tuple[int, int], query_max: Tuple[int, int],
+                     bits: int = DEFAULT_BITS) -> bool:
+    """Whether the cell with Z-address ``z`` lies inside the integer query box."""
+    x, y = deinterleave(z, bits)
+    return query_min[0] <= x <= query_max[0] and query_min[1] <= y <= query_max[1]
+
+
+def z_range_of_rect(query_min: Tuple[int, int], query_max: Tuple[int, int],
+                    bits: int = DEFAULT_BITS) -> Tuple[int, int]:
+    """Z-addresses of the bottom-left and top-right corners of an integer box."""
+    return (
+        interleave(query_min[0], query_min[1], bits),
+        interleave(query_max[0], query_max[1], bits),
+    )

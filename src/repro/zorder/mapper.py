@@ -1,0 +1,73 @@
+"""Mapping between continuous data space and the integer Z-order grid.
+
+The classical Z-curve machinery (Morton codes, BIGMIN) operates on integer
+grid cells.  Real datasets live in a continuous bounding box, so the
+rank-space baselines first quantise coordinates onto a ``2^bits`` per-side
+grid.  :class:`ZOrderMapper` packages the quantisation together with the
+encoding so callers never juggle scale factors by hand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.geometry import Point, Rect
+from repro.zorder.morton import DEFAULT_BITS, interleave, deinterleave
+
+
+class ZOrderMapper:
+    """Quantises points in a bounding box onto a Z-ordered integer grid."""
+
+    def __init__(self, extent: Rect, bits: int = DEFAULT_BITS) -> None:
+        if bits <= 0:
+            raise ValueError(f"bits must be positive, got {bits}")
+        self.extent = extent
+        self.bits = bits
+        self.grid_size = 1 << bits
+        # Degenerate extents (all points share a coordinate) still map cleanly
+        # by falling back to a unit-length span.
+        self._span_x = extent.width if extent.width > 0 else 1.0
+        self._span_y = extent.height if extent.height > 0 else 1.0
+
+    # -- quantisation ------------------------------------------------------
+    def cell_of(self, point: Point) -> Tuple[int, int]:
+        """The integer grid cell containing ``point`` (clamped to the extent)."""
+        return (self._quantise_x(point.x), self._quantise_y(point.y))
+
+    def _quantise_x(self, x: float) -> int:
+        ratio = (x - self.extent.xmin) / self._span_x
+        return self._clamp(int(ratio * (self.grid_size - 1) + 0.5))
+
+    def _quantise_y(self, y: float) -> int:
+        ratio = (y - self.extent.ymin) / self._span_y
+        return self._clamp(int(ratio * (self.grid_size - 1) + 0.5))
+
+    def _clamp(self, value: int) -> int:
+        return max(0, min(self.grid_size - 1, value))
+
+    # -- encoding ------------------------------------------------------------
+    def z_address(self, point: Point) -> int:
+        """The Z-address of the grid cell containing ``point``."""
+        cx, cy = self.cell_of(point)
+        return interleave(cx, cy, self.bits)
+
+    def z_addresses(self, points: Sequence[Point]) -> List[int]:
+        """Z-addresses of a sequence of points."""
+        return [self.z_address(p) for p in points]
+
+    def cell_center(self, z: int) -> Point:
+        """The data-space center of the grid cell with Z-address ``z``."""
+        cx, cy = deinterleave(z, self.bits)
+        x = self.extent.xmin + (cx + 0.5) / self.grid_size * self._span_x
+        y = self.extent.ymin + (cy + 0.5) / self.grid_size * self._span_y
+        return Point(x, y)
+
+    def z_range_of_query(self, query: Rect) -> Tuple[int, int]:
+        """Z-addresses of a range query's bottom-left and top-right cells."""
+        low = self.z_address(query.bottom_left)
+        high = self.z_address(query.top_right)
+        return (low, high)
+
+    def integer_query(self, query: Rect) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Integer grid box ``(min_cell, max_cell)`` covering a query rectangle."""
+        return (self.cell_of(query.bottom_left), self.cell_of(query.top_right))

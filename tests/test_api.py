@@ -1,0 +1,77 @@
+"""Tests for the high-level convenience API."""
+
+import pytest
+
+from repro import build_index, compare_indexes
+from repro.api import INDEX_NAMES, run_point_workload, run_range_workload, workload_summary
+from repro.baselines import FloodIndex, STRRTree
+from repro.core import WaZI
+from repro.geometry import Point, Rect
+from repro.interfaces import brute_force_range
+from repro.zindex import BaseZIndex
+
+
+class TestBuildIndex:
+    def test_unknown_name_rejected(self, uniform_points):
+        with pytest.raises(ValueError):
+            build_index("btree", uniform_points)
+
+    @pytest.mark.parametrize("name", INDEX_NAMES)
+    def test_every_registered_name_builds(self, name, clustered_points, small_workload):
+        index = build_index(name, clustered_points[:600], small_workload.queries[:20], seed=1)
+        assert len(index) == 600
+
+    def test_returns_expected_types(self, clustered_points, small_workload):
+        assert isinstance(build_index("wazi", clustered_points[:200], small_workload.queries), WaZI)
+        assert isinstance(build_index("base", clustered_points[:200]), BaseZIndex)
+        assert isinstance(build_index("str", clustered_points[:200]), STRRTree)
+        assert isinstance(build_index("flood", clustered_points[:200]), FloodIndex)
+
+    def test_name_case_insensitive(self, uniform_points):
+        index = build_index("BASE", uniform_points[:100])
+        assert isinstance(index, BaseZIndex)
+
+    @pytest.mark.parametrize("name", ["wazi", "base", "str", "cur", "flood", "quasii"])
+    def test_built_indexes_answer_queries_correctly(self, name, clustered_points, small_workload):
+        data = clustered_points[:800]
+        index = build_index(name, data, small_workload.queries, seed=2)
+        for query in small_workload.queries[:10]:
+            expected = sorted((p.x, p.y) for p in brute_force_range(data, query))
+            got = sorted((p.x, p.y) for p in index.range_query(query))
+            assert got == expected
+
+
+class TestCompareIndexes:
+    def test_compare_two_indexes(self, clustered_points, small_workload):
+        results = compare_indexes(
+            ["base", "wazi"],
+            clustered_points[:800],
+            small_workload.queries[:20],
+            point_queries=clustered_points[:10],
+            seed=1,
+        )
+        assert set(results) == {"base", "wazi"}
+        for result in results.values():
+            assert result.range_stats is not None
+            assert result.point_stats is not None
+
+
+class TestWorkloadHelpers:
+    def test_run_range_workload(self, uniform_points, sample_queries):
+        index = build_index("base", uniform_points)
+        stats = run_range_workload(index, sample_queries[:10])
+        assert stats.num_queries == 10
+
+    def test_run_point_workload(self, uniform_points):
+        index = build_index("base", uniform_points)
+        stats = run_point_workload(index, uniform_points[:10])
+        assert stats.counters.points_returned == 10
+
+    def test_workload_summary_keys(self, uniform_points, sample_queries):
+        index = build_index("base", uniform_points)
+        stats = run_range_workload(index, sample_queries[:10])
+        summary = workload_summary(stats)
+        assert summary["index"] == "Base"
+        assert summary["queries"] == 10
+        assert summary["mean_micros"] > 0
+        assert summary["points_filtered_per_query"] >= summary["excess_points_per_query"]

@@ -1,0 +1,144 @@
+"""Tests for the Flood grid index and the converged QUASII cracking index."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FloodIndex, QUASIIIndex
+from repro.geometry import Point, Rect
+from repro.interfaces import brute_force_range
+
+
+def result_set(points):
+    return sorted((p.x, p.y) for p in points)
+
+
+class TestFloodIndex:
+    def test_invalid_cell_target(self):
+        with pytest.raises(ValueError):
+            FloodIndex([Point(0, 0)], cell_target=0)
+
+    def test_matches_brute_force(self, clustered_points, small_workload):
+        index = FloodIndex(clustered_points, small_workload.queries, cell_target=32)
+        for query in small_workload.queries[:20]:
+            expected = brute_force_range(clustered_points, query)
+            assert result_set(index.range_query(query)) == result_set(expected)
+
+    def test_point_queries(self, clustered_points, small_workload):
+        index = FloodIndex(clustered_points, small_workload.queries, cell_target=32)
+        assert all(index.point_query(p) for p in clustered_points[:100])
+        assert not index.point_query(Point(-999.0, -999.0))
+
+    def test_empty_dataset(self):
+        index = FloodIndex([], [])
+        assert len(index) == 0
+        assert index.range_query(Rect(0, 0, 1, 1)) == []
+
+    def test_grid_shape_reflects_cell_target(self, clustered_points):
+        fine = FloodIndex(clustered_points, [], cell_target=16)
+        coarse = FloodIndex(clustered_points, [], cell_target=128)
+        assert fine.columns * fine.rows > coarse.columns * coarse.rows
+
+    def test_layout_search_adapts_to_tall_queries(self):
+        rng = np.random.default_rng(0)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 1, size=(4000, 2))]
+        tall = [Rect(0.4, 0.0, 0.45, 1.0)] * 60
+        wide = [Rect(0.0, 0.4, 1.0, 0.45)] * 60
+        tall_index = FloodIndex(points, tall, cell_target=64, seed=0)
+        wide_index = FloodIndex(points, wide, cell_target=64, seed=0)
+        # Tall queries favour more columns than rows and vice versa.
+        assert tall_index.columns >= tall_index.rows
+        assert wide_index.rows >= wide_index.columns
+
+    def test_no_tree_traversal_for_projection(self, clustered_points, small_workload):
+        index = FloodIndex(clustered_points, small_workload.queries, cell_target=32)
+        index.reset_counters()
+        index.range_query(small_workload.queries[0])
+        assert index.counters.bbs_checked == 0
+
+    def test_insert_and_delete(self, clustered_points, small_workload):
+        index = FloodIndex(clustered_points, small_workload.queries, cell_target=32)
+        inserted = Point(30.0, 30.0)
+        index.insert(inserted)
+        assert index.point_query(inserted)
+        assert index.delete(inserted)
+        assert not index.point_query(inserted)
+
+    def test_insert_outside_extent_rebuilds(self, uniform_points):
+        index = FloodIndex(uniform_points, [], cell_target=32)
+        outsider = Point(5.0, 5.0)
+        index.insert(outsider)
+        assert index.point_query(outsider)
+        assert len(index) == len(uniform_points) + 1
+
+    def test_range_queries_after_inserts(self, uniform_points, sample_queries):
+        index = FloodIndex(uniform_points[:300], [], cell_target=32)
+        for point in uniform_points[300:]:
+            index.insert(point)
+        for query in sample_queries[:10]:
+            expected = brute_force_range(uniform_points, query)
+            assert result_set(index.range_query(query)) == result_set(expected)
+
+    def test_size_bytes_positive(self, clustered_points):
+        assert FloodIndex(clustered_points, [], cell_target=32).size_bytes() > 0
+
+
+class TestQUASIIIndex:
+    def test_invalid_min_piece_size(self):
+        with pytest.raises(ValueError):
+            QUASIIIndex([Point(0, 0)], [], min_piece_size=0)
+
+    def test_matches_brute_force_on_training_workload(self, clustered_points, small_workload):
+        index = QUASIIIndex(clustered_points, small_workload.queries)
+        for query in small_workload.queries[:20]:
+            expected = brute_force_range(clustered_points, query)
+            assert result_set(index.range_query(query)) == result_set(expected)
+
+    def test_matches_brute_force_on_unseen_queries(self, clustered_points, small_workload, sample_queries):
+        index = QUASIIIndex(clustered_points, small_workload.queries)
+        extent = index.extent()
+        for query in sample_queries[:10]:
+            scaled = Rect(
+                extent.xmin + query.xmin * extent.width,
+                extent.ymin + query.ymin * extent.height,
+                extent.xmin + query.xmax * extent.width,
+                extent.ymin + query.ymax * extent.height,
+            )
+            expected = brute_force_range(clustered_points, scaled)
+            assert result_set(index.range_query(scaled)) == result_set(expected)
+
+    def test_point_queries(self, clustered_points, small_workload):
+        index = QUASIIIndex(clustered_points, small_workload.queries)
+        assert all(index.point_query(p) for p in clustered_points[:100])
+        assert not index.point_query(Point(-1.0, -1.0))
+
+    def test_empty_workload_means_single_column(self, uniform_points):
+        index = QUASIIIndex(uniform_points, [])
+        assert index.num_pieces() >= 1
+        assert len(index.range_query(Rect(-1, -1, 2, 2))) == len(uniform_points)
+
+    def test_converged_layout_is_fragmented(self, clustered_points, small_workload):
+        """More training queries crack the layout into more pieces."""
+        few = QUASIIIndex(clustered_points, small_workload.queries[:5])
+        many = QUASIIIndex(clustered_points, small_workload.queries)
+        assert many.num_pieces() >= few.num_pieces()
+
+    def test_max_boundaries_caps_fragmentation(self, clustered_points, small_workload):
+        capped = QUASIIIndex(clustered_points, small_workload.queries, max_boundaries=4)
+        assert capped.num_pieces() <= (4 + 1) * (4 + 2)
+
+    def test_insert_and_delete(self, clustered_points, small_workload):
+        index = QUASIIIndex(clustered_points, small_workload.queries)
+        inserted = Point(31.0, 29.0)
+        index.insert(inserted)
+        assert index.point_query(inserted)
+        assert index.delete(inserted)
+        assert not index.point_query(inserted)
+
+    def test_all_points_preserved(self, clustered_points, small_workload):
+        index = QUASIIIndex(clustered_points, small_workload.queries)
+        assert len(index) == len(clustered_points)
+        everything = index.range_query(index.extent())
+        assert len(everything) == len(clustered_points)
+
+    def test_size_bytes_positive(self, clustered_points, small_workload):
+        assert QUASIIIndex(clustered_points, small_workload.queries).size_bytes() > 0

@@ -1,0 +1,195 @@
+"""Tests for the R-tree family: dynamic R-tree, STR bulk loading and CUR."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import CURTree, RTree, STRRTree
+from repro.baselines.rtree import RTreeNode
+from repro.geometry import Point, Rect
+from repro.interfaces import brute_force_range
+
+
+def result_set(points):
+    return sorted((p.x, p.y) for p in points)
+
+
+class TestRTreeNode:
+    def test_leaf_bbox_recomputation(self):
+        node = RTreeNode(is_leaf=True)
+        node.points = [Point(0, 0), Point(2, 3)]
+        node.recompute_bbox()
+        assert node.bbox == Rect(0, 0, 2, 3)
+
+    def test_empty_leaf_bbox_is_none(self):
+        node = RTreeNode(is_leaf=True)
+        node.recompute_bbox()
+        assert node.bbox is None
+
+    def test_internal_bbox_unions_children(self):
+        parent = RTreeNode(is_leaf=False)
+        for rect in (Rect(0, 0, 1, 1), Rect(3, 3, 4, 4)):
+            child = RTreeNode(is_leaf=True)
+            child.bbox = rect
+            parent.children.append(child)
+        parent.recompute_bbox()
+        assert parent.bbox == Rect(0, 0, 4, 4)
+
+    def test_count_points_and_depth(self):
+        node = RTreeNode(is_leaf=True)
+        node.points = [Point(0, 0)]
+        assert node.count_points() == 1
+        assert node.depth() == 1
+
+
+class TestDynamicRTree:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RTree(leaf_capacity=1)
+        with pytest.raises(ValueError):
+            RTree(fanout=2)
+
+    def test_incremental_inserts_remain_correct(self, uniform_points, sample_queries):
+        tree = RTree(leaf_capacity=16, fanout=8)
+        for point in uniform_points:
+            tree.insert(point)
+        assert len(tree) == len(uniform_points)
+        for query in sample_queries[:15]:
+            expected = brute_force_range(uniform_points, query)
+            assert result_set(tree.range_query(query)) == result_set(expected)
+
+    def test_point_queries(self, uniform_points):
+        tree = RTree(uniform_points, leaf_capacity=16)
+        assert all(tree.point_query(p) for p in uniform_points[:50])
+        assert not tree.point_query(Point(5.0, 5.0))
+
+    def test_delete(self, uniform_points):
+        tree = RTree(uniform_points, leaf_capacity=16)
+        victim = uniform_points[10]
+        assert tree.delete(victim)
+        assert not tree.point_query(victim)
+        assert len(tree) == len(uniform_points) - 1
+        assert not tree.delete(Point(42.0, 42.0))
+
+    def test_bbox_contains_all_points(self, uniform_points):
+        tree = RTree(uniform_points, leaf_capacity=16)
+        extent = tree.extent()
+        assert all(extent.contains_xy(p.x, p.y) for p in uniform_points)
+
+    def test_depth_grows_with_data(self):
+        rng = np.random.default_rng(0)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 1, size=(2000, 2))]
+        small = RTree(points[:100], leaf_capacity=8, fanout=4)
+        large = RTree(points, leaf_capacity=8, fanout=4)
+        assert large.depth() >= small.depth()
+
+    def test_counters_updated(self, uniform_points, sample_queries):
+        tree = RTree(uniform_points, leaf_capacity=16)
+        tree.reset_counters()
+        tree.range_query(sample_queries[0])
+        assert tree.counters.nodes_visited > 0
+
+
+class TestSTRRTree:
+    def test_matches_brute_force(self, clustered_points, small_workload):
+        tree = STRRTree(clustered_points, leaf_capacity=32)
+        for query in small_workload.queries[:20]:
+            expected = brute_force_range(clustered_points, query)
+            assert result_set(tree.range_query(query)) == result_set(expected)
+
+    def test_leaf_capacity_respected(self, clustered_points):
+        tree = STRRTree(clustered_points, leaf_capacity=32)
+
+        def max_leaf(node):
+            if node.is_leaf:
+                return len(node.points)
+            return max(max_leaf(child) for child in node.children)
+
+        assert max_leaf(tree.root) <= 32
+
+    def test_fanout_respected(self, clustered_points):
+        tree = STRRTree(clustered_points, leaf_capacity=32, fanout=8)
+
+        def max_fanout(node):
+            if node.is_leaf:
+                return 0
+            return max(len(node.children), max(max_fanout(child) for child in node.children))
+
+        assert max_fanout(tree.root) <= 8
+
+    def test_empty_and_single_point(self):
+        assert len(STRRTree([])) == 0
+        single = STRRTree([Point(1, 1)])
+        assert single.point_query(Point(1, 1))
+
+    def test_supports_inserts_after_bulk_load(self, uniform_points):
+        tree = STRRTree(uniform_points[:200], leaf_capacity=16)
+        tree.insert(Point(0.5, 0.123))
+        assert tree.point_query(Point(0.5, 0.123))
+
+    def test_build_is_balanced(self, clustered_points):
+        tree = STRRTree(clustered_points, leaf_capacity=32)
+
+        def leaf_depths(node, depth=1):
+            if node.is_leaf:
+                return [depth]
+            depths = []
+            for child in node.children:
+                depths.extend(leaf_depths(child, depth + 1))
+            return depths
+
+        depths = leaf_depths(tree.root)
+        assert max(depths) - min(depths) <= 1
+
+
+class TestCURTree:
+    def test_matches_brute_force(self, clustered_points, small_workload):
+        tree = CURTree(clustered_points, small_workload.queries, leaf_capacity=32)
+        for query in small_workload.queries[:20]:
+            expected = brute_force_range(clustered_points, query)
+            assert result_set(tree.range_query(query)) == result_set(expected)
+
+    def test_all_points_present(self, clustered_points, small_workload):
+        tree = CURTree(clustered_points, small_workload.queries, leaf_capacity=32)
+        assert tree.root.count_points() == len(clustered_points)
+
+    def test_leaf_capacity_respected(self, clustered_points, small_workload):
+        tree = CURTree(clustered_points, small_workload.queries, leaf_capacity=32)
+
+        def max_leaf(node):
+            if node.is_leaf:
+                return len(node.points)
+            return max(max_leaf(child) for child in node.children)
+
+        assert max_leaf(tree.root) <= 32
+
+    def test_empty_workload_still_builds(self, uniform_points, sample_queries):
+        tree = CURTree(uniform_points, [], leaf_capacity=16)
+        for query in sample_queries[:10]:
+            expected = brute_force_range(uniform_points, query)
+            assert result_set(tree.range_query(query)) == result_set(expected)
+
+    def test_hot_region_gets_smaller_leaves(self):
+        rng = np.random.default_rng(4)
+        points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 1, size=(3000, 2))]
+        hot_query = Rect(0.0, 0.0, 0.15, 0.15)
+        tree = CURTree(points, [hot_query] * 50, leaf_capacity=64)
+
+        hot_sizes, cold_sizes = [], []
+
+        def collect(node):
+            if node.is_leaf:
+                if node.bbox is not None and node.bbox.overlaps(hot_query):
+                    hot_sizes.append(len(node.points))
+                else:
+                    cold_sizes.append(len(node.points))
+                return
+            for child in node.children:
+                collect(child)
+
+        collect(tree.root)
+        assert hot_sizes and cold_sizes
+        assert np.mean(hot_sizes) <= np.mean(cold_sizes)
+
+    def test_weighted_point_set_exposed(self, clustered_points, small_workload):
+        tree = CURTree(clustered_points, small_workload.queries, leaf_capacity=32)
+        assert tree.weighted.total_weight >= 0

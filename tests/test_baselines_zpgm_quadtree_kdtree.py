@@ -1,0 +1,136 @@
+"""Tests for the Zpgm rank-space index and the quad-tree / k-d tree references."""
+
+import pytest
+
+from repro.baselines import KDTreeIndex, QuadTreeIndex, ZPGMIndex
+from repro.geometry import Point, Rect
+from repro.interfaces import brute_force_range
+
+
+def result_set(points):
+    return sorted((p.x, p.y) for p in points)
+
+
+class TestZPGMIndex:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZPGMIndex([Point(0, 0)], leaf_capacity=0)
+        with pytest.raises(ValueError):
+            ZPGMIndex([Point(0, 0)], epsilon=0)
+
+    def test_matches_brute_force(self, clustered_points, small_workload):
+        index = ZPGMIndex(clustered_points, leaf_capacity=32)
+        for query in small_workload.queries[:20]:
+            expected = brute_force_range(clustered_points, query)
+            assert result_set(index.range_query(query)) == result_set(expected)
+
+    def test_matches_brute_force_without_bigmin(self, clustered_points, small_workload):
+        index = ZPGMIndex(clustered_points, leaf_capacity=32, use_bigmin=False)
+        for query in small_workload.queries[:10]:
+            expected = brute_force_range(clustered_points, query)
+            assert result_set(index.range_query(query)) == result_set(expected)
+
+    def test_point_queries(self, clustered_points):
+        index = ZPGMIndex(clustered_points, leaf_capacity=32)
+        assert all(index.point_query(p) for p in clustered_points[:100])
+        assert not index.point_query(Point(-5.0, -5.0))
+
+    def test_empty_dataset(self):
+        index = ZPGMIndex([])
+        assert len(index) == 0
+        assert index.range_query(Rect(0, 0, 1, 1)) == []
+        assert not index.point_query(Point(0, 0))
+        assert index.extent() is None
+
+    def test_model_has_bounded_segments(self, clustered_points):
+        index = ZPGMIndex(clustered_points, leaf_capacity=32, epsilon=16)
+        assert 1 <= index.num_segments <= len(clustered_points)
+
+    def test_larger_epsilon_means_fewer_segments(self, clustered_points):
+        fine = ZPGMIndex(clustered_points, epsilon=4)
+        coarse = ZPGMIndex(clustered_points, epsilon=256)
+        assert coarse.num_segments <= fine.num_segments
+
+    def test_bigmin_skips_pages(self, clustered_points, small_workload):
+        index = ZPGMIndex(clustered_points, leaf_capacity=16, use_bigmin=True)
+        index.reset_counters()
+        for query in small_workload.queries:
+            index.range_query(query)
+        assert index.counters.leaves_skipped >= 0
+
+    def test_size_bytes_positive(self, clustered_points):
+        assert ZPGMIndex(clustered_points).size_bytes() > 0
+
+
+class TestQuadTreeIndex:
+    def test_invalid_leaf_capacity(self):
+        with pytest.raises(ValueError):
+            QuadTreeIndex([], leaf_capacity=0)
+
+    def test_matches_brute_force(self, uniform_points, sample_queries):
+        index = QuadTreeIndex(uniform_points, leaf_capacity=16)
+        for query in sample_queries[:15]:
+            expected = brute_force_range(uniform_points, query)
+            assert result_set(index.range_query(query)) == result_set(expected)
+
+    def test_point_queries(self, uniform_points):
+        index = QuadTreeIndex(uniform_points, leaf_capacity=16)
+        assert all(index.point_query(p) for p in uniform_points[:50])
+        assert not index.point_query(Point(3.0, 3.0))
+
+    def test_insert_outside_extent_expands_root(self, uniform_points):
+        index = QuadTreeIndex(uniform_points, leaf_capacity=16)
+        outsider = Point(5.0, -3.0)
+        index.insert(outsider)
+        assert index.point_query(outsider)
+        assert index.extent().contains_point(outsider)
+
+    def test_delete(self, uniform_points):
+        index = QuadTreeIndex(uniform_points, leaf_capacity=16)
+        victim = uniform_points[7]
+        assert index.delete(victim)
+        assert not index.point_query(victim)
+        assert not index.delete(Point(9.0, 9.0))
+
+    def test_len_and_size(self, uniform_points):
+        index = QuadTreeIndex(uniform_points, leaf_capacity=16)
+        assert len(index) == len(uniform_points)
+        assert index.size_bytes() > 0
+
+    def test_duplicate_points_bounded_by_max_depth(self):
+        duplicates = [Point(0.5, 0.5)] * 500
+        index = QuadTreeIndex(duplicates, leaf_capacity=8, max_depth=6)
+        assert len(index) == 500
+        assert len(index.range_query(Rect(0, 0, 1, 1))) == 500
+
+
+class TestKDTreeIndex:
+    def test_invalid_leaf_capacity(self):
+        with pytest.raises(ValueError):
+            KDTreeIndex([], leaf_capacity=0)
+
+    def test_matches_brute_force(self, clustered_points, small_workload):
+        index = KDTreeIndex(clustered_points, leaf_capacity=32)
+        for query in small_workload.queries[:20]:
+            expected = brute_force_range(clustered_points, query)
+            assert result_set(index.range_query(query)) == result_set(expected)
+
+    def test_point_queries(self, clustered_points):
+        index = KDTreeIndex(clustered_points, leaf_capacity=32)
+        assert all(index.point_query(p) for p in clustered_points[:100])
+        assert not index.point_query(Point(-77.0, 0.0))
+
+    def test_empty_dataset(self):
+        index = KDTreeIndex([])
+        assert len(index) == 0
+        assert index.range_query(Rect(0, 0, 1, 1)) == []
+        assert not index.point_query(Point(0, 0))
+
+    def test_duplicate_points(self):
+        duplicates = [Point(1.0, 1.0)] * 200
+        index = KDTreeIndex(duplicates, leaf_capacity=16)
+        assert len(index.range_query(Rect(0, 0, 2, 2))) == 200
+        assert index.point_query(Point(1.0, 1.0))
+
+    def test_size_bytes_positive(self, clustered_points):
+        assert KDTreeIndex(clustered_points).size_bytes() > 0

@@ -1,0 +1,122 @@
+"""Unit tests for the greedy workload-aware split strategy (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.construction import GreedySplitStrategy, build_density_estimator
+from repro.density import ExactDensity, RandomForestDensity
+from repro.geometry import Point, Rect
+from repro.zindex.node import ORDER_ABCD, ORDER_ACBD, ORDERINGS
+
+
+def uniform_array(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(0.0, 1.0, size=(n, 2))
+
+
+class TestGreedySplitStrategy:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GreedySplitStrategy([], num_candidates=0)
+        with pytest.raises(ValueError):
+            GreedySplitStrategy([], alpha=-0.1)
+
+    def test_falls_back_to_median_without_queries(self):
+        strategy = GreedySplitStrategy([], num_candidates=8, seed=0)
+        points = np.array([(0.1, 0.1), (0.2, 0.6), (0.9, 0.9)])
+        decision = strategy.choose(Rect(0, 0, 1, 1), points, depth=0)
+        assert decision.split_x == pytest.approx(np.median(points[:, 0]))
+        assert decision.split_y == pytest.approx(np.median(points[:, 1]))
+        assert decision.ordering == ORDER_ABCD
+
+    def test_split_point_inside_cell(self):
+        workload = [Rect(0.1, 0.1, 0.3, 0.3)] * 5
+        strategy = GreedySplitStrategy(workload, num_candidates=16, seed=1)
+        cell = Rect(0.0, 0.0, 1.0, 1.0)
+        decision = strategy.choose(cell, uniform_array(200), depth=0)
+        assert cell.contains_xy(decision.split_x, decision.split_y)
+        assert decision.ordering in ORDERINGS
+
+    def test_deterministic_given_seed(self):
+        workload = [Rect(0.2, 0.2, 0.4, 0.8)] * 10
+        points = uniform_array(300, seed=3)
+        first = GreedySplitStrategy(workload, num_candidates=12, seed=7).choose(
+            Rect(0, 0, 1, 1), points, 0
+        )
+        second = GreedySplitStrategy(workload, num_candidates=12, seed=7).choose(
+            Rect(0, 0, 1, 1), points, 0
+        )
+        assert first == second
+
+    def test_prefers_split_that_isolates_hot_region(self):
+        """A workload confined to the lower-left corner should pull the split
+        towards (or past) that corner so the hot region is isolated."""
+        points = uniform_array(500, seed=5)
+        hot = Rect(0.0, 0.0, 0.25, 0.25)
+        workload = [hot] * 50
+        strategy = GreedySplitStrategy(workload, num_candidates=64, alpha=1e-5, seed=2)
+        decision = strategy.choose(Rect(0, 0, 1, 1), points, depth=0)
+        counts = ExactDensity([Point(x, y) for x, y in points])
+        # Cost of the chosen split must not exceed the median split's cost.
+        from repro.core.cost import best_ordering, QuadrantCounts
+
+        def cost_of(split_x, split_y):
+            quads = Rect(0, 0, 1, 1).split(split_x, split_y)
+            quad_counts = QuadrantCounts(*(counts.estimate(q) for q in quads))
+            return best_ordering(workload, quad_counts, split_x, split_y, 1e-5)[1]
+
+        median_x = float(np.median(points[:, 0]))
+        median_y = float(np.median(points[:, 1]))
+        assert cost_of(decision.split_x, decision.split_y) <= cost_of(median_x, median_y) + 1e-9
+
+    def test_vertical_queries_prefer_acbd_ordering(self):
+        points = uniform_array(400, seed=9)
+        workload = [Rect(0.05, 0.05, 0.15, 0.95)] * 30
+        strategy = GreedySplitStrategy(workload, num_candidates=32, seed=4)
+        decision = strategy.choose(Rect(0, 0, 1, 1), points, depth=0)
+        # Tall queries spanning A and C favour the ordering that keeps A and C
+        # adjacent whenever the split separates the hot column.
+        if decision.split_x > 0.15:
+            assert decision.ordering == ORDER_ACBD
+
+    def test_relevant_queries_clipped_to_cell(self):
+        strategy = GreedySplitStrategy([Rect(0.0, 0.0, 2.0, 2.0)], seed=0)
+        clipped = strategy._relevant_queries(Rect(0.5, 0.5, 1.0, 1.0))
+        assert clipped == [Rect(0.5, 0.5, 1.0, 1.0)]
+
+    def test_irrelevant_queries_dropped(self):
+        strategy = GreedySplitStrategy([Rect(5.0, 5.0, 6.0, 6.0)], seed=0)
+        assert strategy._relevant_queries(Rect(0.0, 0.0, 1.0, 1.0)) == []
+
+    def test_candidate_splits_include_median_and_samples(self):
+        strategy = GreedySplitStrategy([Rect(0, 0, 1, 1)], num_candidates=5, seed=0)
+        points = uniform_array(50)
+        candidates = strategy._candidate_splits(Rect(0, 0, 1, 1), points)
+        assert len(candidates) == 6
+        assert candidates[0][0] == pytest.approx(float(np.median(points[:, 0])))
+
+    def test_external_density_estimator_used(self):
+        points = uniform_array(200, seed=11)
+        point_objects = [Point(x, y) for x, y in points]
+        estimator = RandomForestDensity(point_objects, num_trees=2, seed=0)
+        strategy = GreedySplitStrategy(
+            [Rect(0.2, 0.2, 0.5, 0.5)] * 5, density=estimator, num_candidates=8, seed=0
+        )
+        decision = strategy.choose(Rect(0, 0, 1, 1), points, depth=0)
+        assert Rect(0, 0, 1, 1).contains_xy(decision.split_x, decision.split_y)
+
+
+class TestBuildDensityEstimator:
+    def test_rfde(self):
+        points = [Point(0.1, 0.2), Point(0.3, 0.4)]
+        estimator = build_density_estimator(points, kind="rfde", num_trees=2, seed=0)
+        assert isinstance(estimator, RandomForestDensity)
+        assert estimator.total == 2
+
+    def test_exact(self):
+        estimator = build_density_estimator([Point(0, 0)], kind="exact")
+        assert isinstance(estimator, ExactDensity)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            build_density_estimator([], kind="neural")

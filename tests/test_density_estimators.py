@@ -1,0 +1,210 @@
+"""Unit tests for the density estimators (exact, k-d tree, RFDE, grid, weighted)."""
+
+import numpy as np
+import pytest
+
+from repro.density import (
+    ExactDensity,
+    GridHistogramDensity,
+    KDTreeDensity,
+    RandomForestDensity,
+    WeightedPointSet,
+)
+from repro.geometry import Point, Rect
+
+
+@pytest.fixture(scope="module")
+def grid_points():
+    """A deterministic 40x40 lattice of points in the unit square."""
+    return [
+        Point(x / 39.0, y / 39.0)
+        for x in range(40)
+        for y in range(40)
+    ]
+
+
+class TestExactDensity:
+    def test_total(self, grid_points):
+        assert ExactDensity(grid_points).total == len(grid_points)
+
+    def test_estimate_counts_exactly(self, grid_points):
+        estimator = ExactDensity(grid_points)
+        query = Rect(0.0, 0.0, 0.5, 0.5)
+        expected = sum(1 for p in grid_points if query.contains_xy(p.x, p.y))
+        assert estimator.estimate(query) == expected
+
+    def test_empty_dataset(self):
+        estimator = ExactDensity([])
+        assert estimator.total == 0
+        assert estimator.estimate(Rect(0, 0, 1, 1)) == 0
+        assert estimator.selectivity(Rect(0, 0, 1, 1)) == 0.0
+
+    def test_selectivity_fraction(self, grid_points):
+        estimator = ExactDensity(grid_points)
+        assert estimator.selectivity(Rect(-1, -1, 2, 2)) == pytest.approx(1.0)
+
+
+class TestKDTreeDensity:
+    def test_total_matches_dataset(self, grid_points):
+        tree = KDTreeDensity(grid_points, leaf_size=32, rng=np.random.default_rng(0))
+        assert tree.total == len(grid_points)
+
+    def test_full_extent_estimate_is_total(self, grid_points):
+        tree = KDTreeDensity(grid_points, leaf_size=32, rng=np.random.default_rng(0))
+        assert tree.estimate(Rect(-1, -1, 2, 2)) == pytest.approx(tree.total)
+
+    def test_exact_leaves_give_exact_counts(self, grid_points):
+        tree = KDTreeDensity(grid_points, leaf_size=16, rng=np.random.default_rng(1))
+        exact = ExactDensity(grid_points)
+        for query in [Rect(0.1, 0.1, 0.4, 0.6), Rect(0.5, 0.0, 1.0, 0.2)]:
+            assert tree.estimate(query) == pytest.approx(exact.estimate(query))
+
+    def test_interpolated_leaves_approximate(self, grid_points):
+        tree = KDTreeDensity(
+            grid_points, leaf_size=200, rng=np.random.default_rng(2), exact_leaves=False
+        )
+        exact = ExactDensity(grid_points)
+        query = Rect(0.2, 0.2, 0.8, 0.8)
+        estimate = tree.estimate(query)
+        truth = exact.estimate(query)
+        assert abs(estimate - truth) <= 0.25 * truth
+
+    def test_disjoint_query_estimates_zero(self, grid_points):
+        tree = KDTreeDensity(grid_points, leaf_size=32, rng=np.random.default_rng(0))
+        assert tree.estimate(Rect(5.0, 5.0, 6.0, 6.0)) == 0.0
+
+    def test_empty_dataset(self):
+        tree = KDTreeDensity([], leaf_size=8)
+        assert tree.total == 0.0
+        assert tree.estimate(Rect(0, 0, 1, 1)) == 0.0
+
+    def test_invalid_leaf_size(self):
+        with pytest.raises(ValueError):
+            KDTreeDensity([Point(0, 0)], leaf_size=0)
+
+    def test_node_count_and_depth_positive(self, grid_points):
+        tree = KDTreeDensity(grid_points, leaf_size=64, rng=np.random.default_rng(3))
+        assert tree.node_count() >= 1
+        assert tree.depth() >= 1
+        assert tree.size_bytes() > 0
+
+    def test_duplicate_points_do_not_recurse_forever(self):
+        duplicates = [Point(0.5, 0.5)] * 500
+        tree = KDTreeDensity(duplicates, leaf_size=16, rng=np.random.default_rng(4))
+        assert tree.estimate(Rect(0.4, 0.4, 0.6, 0.6)) == pytest.approx(500.0)
+
+
+class TestRandomForestDensity:
+    def test_total(self, grid_points):
+        forest = RandomForestDensity(grid_points, num_trees=3, seed=0)
+        assert forest.total == len(grid_points)
+        assert forest.num_trees == 3
+
+    def test_estimate_close_to_exact(self, grid_points):
+        forest = RandomForestDensity(grid_points, num_trees=4, leaf_size=32, seed=0)
+        exact = ExactDensity(grid_points)
+        for query in [Rect(0.0, 0.0, 0.3, 0.3), Rect(0.25, 0.4, 0.9, 0.8)]:
+            truth = exact.estimate(query)
+            assert abs(forest.estimate(query) - truth) <= max(10.0, 0.15 * truth)
+
+    def test_deterministic_given_seed(self, grid_points):
+        query = Rect(0.1, 0.2, 0.6, 0.9)
+        first = RandomForestDensity(grid_points, num_trees=3, seed=42).estimate(query)
+        second = RandomForestDensity(grid_points, num_trees=3, seed=42).estimate(query)
+        assert first == second
+
+    def test_subsampled_forest_scales_estimates(self, grid_points):
+        forest = RandomForestDensity(
+            grid_points, num_trees=4, sample_fraction=0.5, leaf_size=32, seed=1
+        )
+        full = forest.estimate(Rect(-1, -1, 2, 2))
+        assert full == pytest.approx(forest.total, rel=0.05)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomForestDensity([Point(0, 0)], num_trees=0)
+        with pytest.raises(ValueError):
+            RandomForestDensity([Point(0, 0)], sample_fraction=0.0)
+        with pytest.raises(ValueError):
+            RandomForestDensity([Point(0, 0)], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            RandomForestDensity([Point(0, 0)], weights=[-1.0])
+
+    def test_weighted_total_and_estimates(self):
+        points = [Point(0.1, 0.1), Point(0.9, 0.9)]
+        forest = RandomForestDensity(points, num_trees=4, seed=0, weights=[3.0, 1.0])
+        assert forest.total == pytest.approx(4.0)
+        left = forest.estimate(Rect(0.0, 0.0, 0.5, 0.5))
+        right = forest.estimate(Rect(0.5, 0.5, 1.0, 1.0))
+        assert left > right
+
+    def test_empty_dataset(self):
+        forest = RandomForestDensity([], num_trees=2, seed=0)
+        assert forest.total == 0.0
+        assert forest.estimate(Rect(0, 0, 1, 1)) == 0.0
+
+
+class TestGridHistogramDensity:
+    def test_total(self, grid_points):
+        histogram = GridHistogramDensity(grid_points, bins_x=16, bins_y=16)
+        assert histogram.total == len(grid_points)
+        assert histogram.shape == (16, 16)
+
+    def test_full_extent_estimate(self, grid_points):
+        histogram = GridHistogramDensity(grid_points, bins_x=16, bins_y=16)
+        assert histogram.estimate(Rect(-1, -1, 2, 2)) == pytest.approx(len(grid_points))
+
+    def test_half_plane_estimate_close(self, grid_points):
+        histogram = GridHistogramDensity(grid_points, bins_x=20, bins_y=20)
+        truth = ExactDensity(grid_points).estimate(Rect(0.0, 0.0, 0.5, 1.0))
+        assert abs(histogram.estimate(Rect(0.0, 0.0, 0.5, 1.0)) - truth) <= 0.1 * len(grid_points)
+
+    def test_disjoint_query(self, grid_points):
+        histogram = GridHistogramDensity(grid_points, bins_x=8, bins_y=8)
+        assert histogram.estimate(Rect(3.0, 3.0, 4.0, 4.0)) == 0.0
+
+    def test_empty_dataset(self):
+        histogram = GridHistogramDensity([], bins_x=4, bins_y=4)
+        assert histogram.total == 0.0
+        assert histogram.estimate(Rect(0, 0, 1, 1)) == 0.0
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            GridHistogramDensity([], bins_x=0, bins_y=4)
+
+    def test_size_bytes_positive(self, grid_points):
+        assert GridHistogramDensity(grid_points, bins_x=8, bins_y=8).size_bytes() > 0
+
+
+class TestWeightedPointSet:
+    def test_weights_count_matching_queries(self):
+        points = [Point(0.25, 0.25), Point(0.75, 0.75)]
+        queries = [Rect(0, 0, 0.5, 0.5), Rect(0, 0, 1, 1), Rect(0.6, 0.6, 1, 1)]
+        weighted = WeightedPointSet(points, queries)
+        assert list(weighted.weights) == [2.0, 2.0]
+        assert weighted.total_weight == 4.0
+
+    def test_smoothing_adds_floor(self):
+        weighted = WeightedPointSet([Point(0, 0)], [])
+        assert list(weighted.smoothed_weights(epsilon=0.5)) == [0.5]
+
+    def test_estimator_prefers_heavily_queried_regions(self):
+        points = [Point(0.1, 0.1)] * 20 + [Point(0.9, 0.9)] * 20
+        queries = [Rect(0.0, 0.0, 0.2, 0.2)] * 10
+        weighted = WeightedPointSet(points, queries)
+        estimator = weighted.estimator(num_trees=4, seed=0, epsilon=0.1)
+        hot = estimator.estimate(Rect(0.0, 0.0, 0.2, 0.2))
+        cold = estimator.estimate(Rect(0.8, 0.8, 1.0, 1.0))
+        assert hot > cold
+
+    def test_top_weighted(self):
+        points = [Point(0.1, 0.1), Point(0.9, 0.9)]
+        queries = [Rect(0, 0, 0.2, 0.2)]
+        weighted = WeightedPointSet(points, queries)
+        assert weighted.top_weighted(1) == [Point(0.1, 0.1)]
+        assert weighted.top_weighted(0) == []
+
+    def test_empty_points(self):
+        weighted = WeightedPointSet([], [Rect(0, 0, 1, 1)])
+        assert weighted.total_weight == 0.0
+        assert weighted.top_weighted(3) == []

@@ -1,0 +1,148 @@
+"""Tests for the comparison runner, cost redemption and reporting helpers."""
+
+import pytest
+
+from repro.evaluation import (
+    ComparisonRunner,
+    cost_redemption,
+    format_table,
+    index_properties_table,
+    measure_build,
+    measure_point_queries,
+    measure_range_queries,
+    percent_improvement,
+)
+from repro.evaluation.reporting import INDEX_PROPERTIES, improvement_table
+from repro.geometry import Point, Rect
+from repro.zindex import BaseZIndex
+from repro.core import WaZI
+
+
+class TestMeasurementHelpers:
+    def test_measure_build_returns_index_and_time(self, uniform_points):
+        index, seconds = measure_build(lambda: BaseZIndex(uniform_points, leaf_capacity=16))
+        assert len(index) == len(uniform_points)
+        assert seconds > 0
+
+    def test_measure_range_queries(self, uniform_points, sample_queries):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        stats = measure_range_queries(index, sample_queries)
+        assert stats.num_queries == len(sample_queries)
+        assert stats.total_seconds > 0
+        assert stats.counters.points_returned >= 0
+        assert "projection" in stats.phase_seconds
+        assert "scan" in stats.phase_seconds
+
+    def test_measure_range_queries_with_repeats(self, uniform_points, sample_queries):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        stats = measure_range_queries(index, sample_queries[:5], repeats=3)
+        assert stats.num_queries == 15
+
+    def test_measure_point_queries(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        stats = measure_point_queries(index, uniform_points[:30])
+        assert stats.num_queries == 30
+        assert stats.counters.points_returned == 30
+
+    def test_phase_timer_restored_after_measurement(self, uniform_points, sample_queries):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        assert index.phase_timer is None
+        measure_range_queries(index, sample_queries[:3])
+        assert index.phase_timer is None
+
+
+class TestComparisonRunner:
+    def test_empty_factories_rejected(self):
+        with pytest.raises(ValueError):
+            ComparisonRunner({})
+
+    def test_runs_all_indexes(self, clustered_points, small_workload):
+        runner = ComparisonRunner(
+            {
+                "Base": lambda: BaseZIndex(clustered_points, leaf_capacity=32),
+                "WaZI": lambda: WaZI(
+                    clustered_points, small_workload.queries, leaf_capacity=32, seed=1
+                ),
+            }
+        )
+        results = runner.run_dict(
+            range_queries=small_workload.queries[:20],
+            point_queries=clustered_points[:20],
+        )
+        assert set(results) == {"Base", "WaZI"}
+        for result in results.values():
+            assert result.build_seconds > 0
+            assert result.size_bytes > 0
+            assert result.num_points == len(clustered_points)
+            assert result.range_stats is not None
+            assert result.point_stats is not None
+            assert result.range_mean_micros > 0
+            assert result.point_mean_micros > 0
+
+    def test_range_only_run(self, uniform_points, sample_queries):
+        runner = ComparisonRunner({"Base": lambda: BaseZIndex(uniform_points, leaf_capacity=16)})
+        (result,) = runner.run(range_queries=sample_queries[:5])
+        assert result.point_stats is None
+        assert result.range_stats.num_queries == 5
+
+
+class TestCostRedemption:
+    def test_slower_build_faster_query_breaks_even(self):
+        entry = cost_redemption("WaZI", 10.0, 0.001, 2.0, 0.002)
+        assert entry.sign == "+"
+        assert entry.queries_to_break_even == pytest.approx(8000.0)
+
+    def test_faster_build_slower_query(self):
+        entry = cost_redemption("STR", 1.0, 0.003, 2.0, 0.002)
+        assert entry.sign == "-"
+        assert entry.queries_to_break_even == pytest.approx(1000.0)
+
+    def test_dominating_index(self):
+        entry = cost_redemption("Flood", 1.0, 0.001, 2.0, 0.002)
+        assert entry.sign == "+"
+        assert entry.queries_to_break_even is None
+
+    def test_dominated_index(self):
+        entry = cost_redemption("QUASII", 10.0, 0.003, 2.0, 0.002)
+        assert entry.sign == "-"
+        assert entry.queries_to_break_even is None
+
+    def test_render_formats(self):
+        assert cost_redemption("x", 10.0, 0.001, 2.0, 0.002).render().startswith("(+)")
+        assert "k" in cost_redemption("x", 10.0, 0.001, 2.0, 0.002).render()
+        millions = cost_redemption("x", 2_000_001.0, 0.000, 1.0, 0.001)
+        assert "M" in millions.render()
+        assert cost_redemption("x", 1.0, 0.001, 2.0, 0.002).render() == "(+)"
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"], [["a", 1.23456], ["bbbb", 2.0]], title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_percent_improvement(self):
+        assert percent_improvement(100.0, 60.0) == pytest.approx(40.0)
+        assert percent_improvement(100.0, 150.0) == pytest.approx(-50.0)
+        assert percent_improvement(0.0, 10.0) == 0.0
+
+    def test_index_properties_table_matches_paper(self):
+        assert INDEX_PROPERTIES["WaZI"] == {
+            "sfc_based": True,
+            "query_aware": True,
+            "learned": True,
+        }
+        assert INDEX_PROPERTIES["STR"] == {
+            "sfc_based": False,
+            "query_aware": False,
+            "learned": False,
+        }
+        table = index_properties_table()
+        assert "WaZI" in table and "QUASII" in table
+
+    def test_improvement_table(self):
+        table = improvement_table("Base", {"Base": 10.0, "WaZI": 6.0}, title="fig7")
+        assert "fig7" in table
+        assert "40.000" in table

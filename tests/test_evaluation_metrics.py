@@ -1,0 +1,107 @@
+"""Unit tests for cost counters, phase timers and query statistics."""
+
+import time
+
+import pytest
+
+from repro.evaluation import CostCounters, PhaseTimer, QueryStats
+
+
+class TestCostCounters:
+    def test_defaults_to_zero(self):
+        counters = CostCounters()
+        assert counters.snapshot() == {
+            "nodes_visited": 0,
+            "bbs_checked": 0,
+            "pages_scanned": 0,
+            "points_filtered": 0,
+            "points_returned": 0,
+            "leaves_skipped": 0,
+            "excess_points": 0,
+        }
+
+    def test_excess_points(self):
+        counters = CostCounters(points_filtered=10, points_returned=3)
+        assert counters.excess_points == 7
+
+    def test_excess_points_never_negative(self):
+        counters = CostCounters(points_filtered=1, points_returned=5)
+        assert counters.excess_points == 0
+
+    def test_reset(self):
+        counters = CostCounters(nodes_visited=5, bbs_checked=3)
+        counters.reset()
+        assert counters.nodes_visited == 0
+        assert counters.bbs_checked == 0
+
+    def test_add_accumulates(self):
+        first = CostCounters(nodes_visited=1, pages_scanned=2)
+        second = CostCounters(nodes_visited=3, pages_scanned=4, leaves_skipped=5)
+        first.add(second)
+        assert first.nodes_visited == 4
+        assert first.pages_scanned == 6
+        assert first.leaves_skipped == 5
+
+    def test_subtraction(self):
+        after = CostCounters(nodes_visited=10, points_filtered=20)
+        before = CostCounters(nodes_visited=4, points_filtered=5)
+        delta = after - before
+        assert delta.nodes_visited == 6
+        assert delta.points_filtered == 15
+
+    def test_copy_is_independent(self):
+        original = CostCounters(bbs_checked=2)
+        duplicate = original.copy()
+        duplicate.bbs_checked += 1
+        assert original.bbs_checked == 2
+
+
+class TestPhaseTimer:
+    def test_records_elapsed_time(self):
+        timer = PhaseTimer()
+        with timer.phase("scan"):
+            time.sleep(0.01)
+        assert timer.total("scan") >= 0.005
+
+    def test_accumulates_over_entries(self):
+        timer = PhaseTimer()
+        for _ in range(3):
+            with timer.phase("projection"):
+                pass
+        assert timer.total("projection") >= 0.0
+        assert set(timer.totals()) == {"projection"}
+
+    def test_unknown_phase_is_zero(self):
+        assert PhaseTimer().total("missing") == 0.0
+
+    def test_reset(self):
+        timer = PhaseTimer()
+        with timer.phase("scan"):
+            pass
+        timer.reset()
+        assert timer.totals() == {}
+
+
+class TestQueryStats:
+    def test_mean_latency(self):
+        stats = QueryStats(index_name="x", num_queries=4, total_seconds=2.0)
+        assert stats.mean_seconds == 0.5
+        assert stats.mean_micros == pytest.approx(500_000.0)
+
+    def test_mean_with_zero_queries(self):
+        stats = QueryStats(index_name="x", num_queries=0, total_seconds=1.0)
+        assert stats.mean_seconds == 0.0
+
+    def test_per_query_counter(self):
+        stats = QueryStats(
+            index_name="x",
+            num_queries=10,
+            total_seconds=1.0,
+            counters=CostCounters(bbs_checked=50, points_filtered=200, points_returned=40),
+        )
+        assert stats.per_query("bbs_checked") == 5.0
+        assert stats.per_query("excess_points") == 16.0
+
+    def test_per_query_with_zero_queries(self):
+        stats = QueryStats(index_name="x", num_queries=0, total_seconds=0.0)
+        assert stats.per_query("bbs_checked") == 0.0

@@ -1,0 +1,81 @@
+"""Unit tests for points and the domination partial order."""
+
+import pytest
+
+from repro.geometry import Point, dominates
+from repro.geometry.point import as_points
+
+
+class TestPointBasics:
+    def test_as_tuple(self):
+        assert Point(1.0, 2.0).as_tuple() == (1.0, 2.0)
+
+    def test_iteration_and_unpacking(self):
+        x, y = Point(3.0, 4.0)
+        assert (x, y) == (3.0, 4.0)
+
+    def test_indexing(self):
+        point = Point(5.0, 6.0)
+        assert point[0] == 5.0
+        assert point[1] == 6.0
+
+    def test_indexing_out_of_range(self):
+        with pytest.raises(IndexError):
+            Point(0.0, 0.0)[2]
+
+    def test_len(self):
+        assert len(Point(0.0, 0.0)) == 2
+
+    def test_equality_and_hash(self):
+        assert Point(1.0, 2.0) == Point(1.0, 2.0)
+        assert hash(Point(1.0, 2.0)) == hash(Point(1.0, 2.0))
+        assert Point(1.0, 2.0) != Point(2.0, 1.0)
+
+    def test_points_usable_in_sets(self):
+        points = {Point(0.0, 0.0), Point(0.0, 0.0), Point(1.0, 1.0)}
+        assert len(points) == 2
+
+    def test_translate(self):
+        assert Point(1.0, 1.0).translate(2.0, -1.0) == Point(3.0, 0.0)
+
+    def test_distance_squared(self):
+        assert Point(0.0, 0.0).distance_squared(Point(3.0, 4.0)) == 25.0
+
+    def test_distance_squared_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-0.5, 3.5)
+        assert a.distance_squared(b) == b.distance_squared(a)
+
+
+class TestDomination:
+    def test_strictly_greater_dominates(self):
+        assert dominates(Point(2.0, 2.0), Point(1.0, 1.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates(Point(1.0, 1.0), Point(1.0, 1.0))
+
+    def test_one_axis_equal_still_dominates(self):
+        assert dominates(Point(2.0, 1.0), Point(1.0, 1.0))
+        assert dominates(Point(1.0, 2.0), Point(1.0, 1.0))
+
+    def test_incomparable_points(self):
+        assert not dominates(Point(2.0, 0.0), Point(1.0, 1.0))
+        assert not dominates(Point(1.0, 1.0), Point(2.0, 0.0))
+
+    def test_domination_is_antisymmetric(self):
+        a, b = Point(3.0, 3.0), Point(1.0, 2.0)
+        assert dominates(a, b)
+        assert not dominates(b, a)
+
+
+class TestAsPoints:
+    def test_converts_tuples(self):
+        points = as_points([(0, 0), (1, 2)])
+        assert points == [Point(0.0, 0.0), Point(1.0, 2.0)]
+
+    def test_empty_input(self):
+        assert as_points([]) == []
+
+    def test_coerces_to_float(self):
+        (point,) = as_points([(1, 2)])
+        assert isinstance(point.x, float)
+        assert isinstance(point.y, float)

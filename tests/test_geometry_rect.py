@@ -1,0 +1,179 @@
+"""Unit tests for rectangles, overlap predicates and quadrant classification."""
+
+import pytest
+
+from repro.geometry import Point, Rect, bounding_box, classify_quadrants, rect_from_center
+from repro.geometry.rect import (
+    QUADRANT_A,
+    QUADRANT_B,
+    QUADRANT_C,
+    QUADRANT_D,
+    bounding_box_of_rects,
+    rect_from_points,
+)
+
+
+class TestRectConstruction:
+    def test_malformed_rectangle_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_degenerate_rectangle_allowed(self):
+        rect = Rect(1.0, 1.0, 1.0, 1.0)
+        assert rect.area == 0.0
+        assert rect.contains_point(Point(1.0, 1.0))
+
+    def test_corners(self):
+        rect = Rect(0.0, 1.0, 2.0, 3.0)
+        assert rect.bottom_left == Point(0.0, 1.0)
+        assert rect.top_right == Point(2.0, 3.0)
+
+    def test_measures(self):
+        rect = Rect(0.0, 0.0, 2.0, 4.0)
+        assert rect.width == 2.0
+        assert rect.height == 4.0
+        assert rect.area == 8.0
+        assert rect.center == Point(1.0, 2.0)
+
+    def test_from_points_and_center(self):
+        assert rect_from_points(Point(0, 0), Point(1, 2)) == Rect(0, 0, 1, 2)
+        assert rect_from_center(Point(1.0, 1.0), 2.0, 4.0) == Rect(0.0, -1.0, 2.0, 3.0)
+
+
+class TestContainmentAndOverlap:
+    def test_contains_point_boundary_inclusive(self):
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert rect.contains_point(Point(0.0, 0.0))
+        assert rect.contains_point(Point(1.0, 1.0))
+        assert rect.contains_xy(0.5, 1.0)
+        assert not rect.contains_point(Point(1.00001, 0.5))
+
+    def test_contains_rect(self):
+        outer = Rect(0.0, 0.0, 10.0, 10.0)
+        assert outer.contains_rect(Rect(1.0, 1.0, 2.0, 2.0))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5.0, 5.0, 11.0, 6.0))
+
+    def test_overlap_positive(self):
+        assert Rect(0, 0, 2, 2).overlaps(Rect(1, 1, 3, 3))
+
+    def test_overlap_touching_edge_counts(self):
+        assert Rect(0, 0, 1, 1).overlaps(Rect(1, 0, 2, 1))
+
+    def test_overlap_disjoint(self):
+        assert not Rect(0, 0, 1, 1).overlaps(Rect(2, 2, 3, 3))
+
+    def test_overlap_is_symmetric(self):
+        a, b = Rect(0, 0, 2, 2), Rect(1.5, -1, 5, 0.5)
+        assert a.overlaps(b) == b.overlaps(a)
+
+    def test_intersection(self):
+        inter = Rect(0, 0, 2, 2).intersection(Rect(1, 1, 3, 3))
+        assert inter == Rect(1, 1, 2, 2)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_expand_to_point(self):
+        assert Rect(0, 0, 1, 1).expand_to_point(Point(2, -1)) == Rect(0, -1, 2, 1)
+
+    def test_enlargement(self):
+        base = Rect(0, 0, 1, 1)
+        assert base.enlargement(Rect(0, 0, 1, 1)) == 0.0
+        assert base.enlargement(Rect(0, 0, 2, 1)) == pytest.approx(1.0)
+
+
+class TestDirectionalRelations:
+    query = Rect(2.0, 2.0, 4.0, 4.0)
+
+    def test_below(self):
+        assert Rect(0, 0, 1, 1).is_below(self.query)
+        assert not Rect(0, 3, 1, 5).is_below(self.query)
+
+    def test_above(self):
+        assert Rect(0, 5, 1, 6).is_above(self.query)
+
+    def test_left_of(self):
+        assert Rect(0, 0, 1, 6).is_left_of(self.query)
+
+    def test_right_of(self):
+        assert Rect(5, 0, 6, 6).is_right_of(self.query)
+
+    def test_overlapping_satisfies_no_criterion(self):
+        overlapping = Rect(3, 3, 5, 5)
+        assert not overlapping.is_below(self.query)
+        assert not overlapping.is_above(self.query)
+        assert not overlapping.is_left_of(self.query)
+        assert not overlapping.is_right_of(self.query)
+
+
+class TestSplitAndQuadrants:
+    def test_split_produces_four_quadrants(self):
+        cell = Rect(0.0, 0.0, 4.0, 4.0)
+        quad_a, quad_b, quad_c, quad_d = cell.split(1.0, 3.0)
+        assert quad_a == Rect(0.0, 0.0, 1.0, 3.0)
+        assert quad_b == Rect(1.0, 0.0, 4.0, 3.0)
+        assert quad_c == Rect(0.0, 3.0, 1.0, 4.0)
+        assert quad_d == Rect(1.0, 3.0, 4.0, 4.0)
+
+    def test_split_areas_sum_to_cell_area(self):
+        cell = Rect(0.0, 0.0, 10.0, 6.0)
+        quadrants = cell.split(2.5, 4.0)
+        assert sum(q.area for q in quadrants) == pytest.approx(cell.area)
+
+    def test_split_point_outside_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).split(2.0, 0.5)
+
+    def test_quadrant_of_point_boundary_goes_low(self):
+        cell = Rect(0, 0, 4, 4)
+        assert cell.quadrant_of_point(2.0, 2.0, 2.0, 2.0) == QUADRANT_A
+        assert cell.quadrant_of_point(2.0001, 2.0, 2.0, 2.0) == QUADRANT_B
+        assert cell.quadrant_of_point(2.0, 2.0001, 2.0, 2.0) == QUADRANT_C
+        assert cell.quadrant_of_point(3.0, 3.0, 2.0, 2.0) == QUADRANT_D
+
+
+class TestClassifyQuadrants:
+    def test_query_within_one_quadrant(self):
+        assert classify_quadrants(Rect(0, 0, 1, 1), 2.0, 2.0) == (QUADRANT_A, QUADRANT_A)
+
+    def test_query_spanning_bottom_half(self):
+        assert classify_quadrants(Rect(1, 0, 3, 1), 2.0, 2.0) == (QUADRANT_A, QUADRANT_B)
+
+    def test_query_spanning_left_half(self):
+        assert classify_quadrants(Rect(0, 1, 1, 3), 2.0, 2.0) == (QUADRANT_A, QUADRANT_C)
+
+    def test_query_spanning_all(self):
+        assert classify_quadrants(Rect(1, 1, 3, 3), 2.0, 2.0) == (QUADRANT_A, QUADRANT_D)
+
+    def test_query_in_top_right(self):
+        assert classify_quadrants(Rect(3, 3, 4, 4), 2.0, 2.0) == (QUADRANT_D, QUADRANT_D)
+
+    def test_bottom_left_always_dominated(self):
+        # The BL corner quadrant never ranks above the TR corner quadrant in
+        # the component-wise sense required by the cost model.
+        pair = classify_quadrants(Rect(1.9, 2.1, 2.5, 3.0), 2.0, 2.0)
+        assert pair == (QUADRANT_C, QUADRANT_D)
+
+
+class TestBoundingBoxes:
+    def test_bounding_box_of_points(self):
+        box = bounding_box([Point(1, 5), Point(-2, 3), Point(4, 4)])
+        assert box == Rect(-2, 3, 4, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_bounding_box_of_rects(self):
+        box = bounding_box_of_rects([Rect(0, 0, 1, 1), Rect(2, -1, 3, 0.5)])
+        assert box == Rect(0, -1, 3, 1)
+
+    def test_bounding_box_of_rects_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box_of_rects([])

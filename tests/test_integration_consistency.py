@@ -1,0 +1,110 @@
+"""Cross-index integration tests: every index must agree with brute force.
+
+These tests treat the whole library as a black box: for each region, build
+every index on the same data and check that range queries, point queries
+and kNN agree with the brute-force oracle (and therefore with each other).
+"""
+
+import pytest
+
+from repro import build_index
+from repro.geometry import Point, Rect
+from repro.interfaces import brute_force_knn, brute_force_range
+from repro.workloads import (
+    dataset_extent,
+    generate_dataset,
+    generate_range_workload,
+)
+
+ALL_INDEXES = [
+    "base",
+    "base+sk",
+    "wazi",
+    "wazi-sk",
+    "str",
+    "cur",
+    "flood",
+    "quasii",
+    "zpgm",
+    "rtree",
+    "quadtree",
+    "kdtree",
+]
+
+
+def result_set(points):
+    return sorted((p.x, p.y) for p in points)
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    data = generate_dataset("iberia", 1500, seed=21)
+    workload = generate_range_workload("iberia", 40, selectivity_percent=0.0256, seed=21)
+    return data, workload
+
+
+@pytest.fixture(scope="module")
+def built_indexes(scenario):
+    data, workload = scenario
+    return {
+        name: build_index(name, data, workload.queries, leaf_capacity=32, seed=5)
+        for name in ALL_INDEXES
+    }
+
+
+class TestRangeQueryConsistency:
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_workload_queries_match_brute_force(self, name, scenario, built_indexes):
+        data, workload = scenario
+        index = built_indexes[name]
+        for query in workload.queries[:15]:
+            expected = result_set(brute_force_range(data, query))
+            assert result_set(index.range_query(query)) == expected
+
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_full_extent_query_returns_everything(self, name, scenario, built_indexes):
+        data, _ = scenario
+        extent = dataset_extent("iberia")
+        assert len(built_indexes[name].range_query(extent)) == len(data)
+
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_empty_query_returns_nothing(self, name, built_indexes):
+        empty_region = Rect(-50.0, -50.0, -40.0, -40.0)
+        assert built_indexes[name].range_query(empty_region) == []
+
+
+class TestPointQueryConsistency:
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_existing_points_found(self, name, scenario, built_indexes):
+        data, _ = scenario
+        index = built_indexes[name]
+        assert all(index.point_query(p) for p in data[::50])
+
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_missing_point_not_found(self, name, built_indexes):
+        assert not built_indexes[name].point_query(Point(-123.0, -321.0))
+
+
+class TestSizeAndCardinality:
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_len_matches_data(self, name, scenario, built_indexes):
+        data, _ = scenario
+        assert len(built_indexes[name]) == len(data)
+
+    @pytest.mark.parametrize("name", ALL_INDEXES)
+    def test_size_bytes_positive(self, name, built_indexes):
+        assert built_indexes[name].size_bytes() > 0
+
+
+class TestKnnConsistency:
+    @pytest.mark.parametrize("name", ["base", "wazi", "str", "flood", "quasii"])
+    def test_knn_matches_brute_force(self, name, scenario, built_indexes):
+        data, _ = scenario
+        index = built_indexes[name]
+        center = Point(55.0, 45.0)
+        expected = brute_force_knn(data, center, 10)
+        got = index.knn(center, 10)
+        expected_distances = sorted(p.distance_squared(center) for p in expected)
+        got_distances = sorted(p.distance_squared(center) for p in got)
+        assert len(got) == 10
+        assert got_distances == pytest.approx(expected_distances)

@@ -1,0 +1,82 @@
+"""Tests for the SpatialIndex protocol defaults and the brute-force oracles."""
+
+import pytest
+
+from repro.baselines import ZPGMIndex
+from repro.geometry import Point, Rect
+from repro.interfaces import brute_force_knn, brute_force_range
+from repro.zindex import BaseZIndex
+
+
+class TestBruteForceOracles:
+    def test_brute_force_range(self, uniform_points):
+        query = Rect(0.25, 0.25, 0.75, 0.75)
+        result = brute_force_range(uniform_points, query)
+        assert all(query.contains_xy(p.x, p.y) for p in result)
+        outside = [p for p in uniform_points if not query.contains_xy(p.x, p.y)]
+        assert len(result) + len(outside) == len(uniform_points)
+
+    def test_brute_force_knn_ordering(self, uniform_points):
+        center = Point(0.5, 0.5)
+        neighbours = brute_force_knn(uniform_points, center, 7)
+        distances = [p.distance_squared(center) for p in neighbours]
+        assert distances == sorted(distances)
+        assert len(neighbours) == 7
+
+    def test_brute_force_knn_k_larger_than_data(self):
+        points = [Point(0, 0), Point(1, 1)]
+        assert len(brute_force_knn(points, Point(0, 0), 10)) == 2
+
+
+class TestSpatialIndexDefaults:
+    def test_updates_unsupported_by_default(self, clustered_points):
+        index = ZPGMIndex(clustered_points[:200])
+        with pytest.raises(NotImplementedError):
+            index.insert(Point(0.0, 0.0))
+        with pytest.raises(NotImplementedError):
+            index.delete(Point(0.0, 0.0))
+
+    def test_range_count_matches_range_query(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        query = Rect(0.1, 0.1, 0.6, 0.4)
+        assert index.range_count(query) == len(index.range_query(query))
+
+    def test_knn_zero_or_negative_k(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        assert index.knn(Point(0.5, 0.5), 0) == []
+        assert index.knn(Point(0.5, 0.5), -3) == []
+
+    def test_knn_on_empty_index(self):
+        index = BaseZIndex([])
+        assert index.knn(Point(0.0, 0.0), 5) == []
+
+    def test_knn_k_larger_than_dataset(self):
+        points = [Point(float(i), float(i)) for i in range(6)]
+        index = BaseZIndex(points, leaf_capacity=4)
+        assert len(index.knn(Point(0.0, 0.0), 50)) == 6
+
+    def test_knn_with_explicit_initial_radius(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        center = Point(0.4, 0.6)
+        expected = brute_force_knn(uniform_points, center, 3)
+        got = index.knn(center, 3, initial_radius=0.001)
+        expected_distances = sorted(p.distance_squared(center) for p in expected)
+        got_distances = sorted(p.distance_squared(center) for p in got)
+        assert got_distances == pytest.approx(expected_distances)
+
+    def test_reset_counters(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        index.range_query(Rect(0, 0, 1, 1))
+        assert index.counters.points_filtered > 0
+        index.reset_counters()
+        assert index.counters.points_filtered == 0
+
+    def test_far_away_knn_still_finds_neighbours(self, uniform_points):
+        """The expanding window must keep doubling until it reaches the data."""
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        center = Point(10.0, 10.0)
+        expected = brute_force_knn(uniform_points, center, 2)
+        got = index.knn(center, 2)
+        expected_distances = sorted(p.distance_squared(center) for p in expected)
+        got_distances = sorted(p.distance_squared(center) for p in got)
+        assert got_distances == pytest.approx(expected_distances)

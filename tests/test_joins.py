@@ -1,0 +1,108 @@
+"""Tests for the range-query-based spatial join operators."""
+
+import pytest
+
+from repro import WaZI, BaseZIndex, build_index
+from repro.geometry import Point
+from repro.joins import box_join, join_selectivity, knn_join, radius_join
+from repro.interfaces import brute_force_knn
+
+
+def brute_force_radius_join(data, probes, radius):
+    pairs = []
+    for probe in probes:
+        for point in data:
+            if point.distance_squared(probe) <= radius * radius:
+                pairs.append((probe, point))
+    return pairs
+
+
+class TestBoxJoin:
+    def test_invalid_widths(self, uniform_points):
+        index = BaseZIndex(uniform_points)
+        with pytest.raises(ValueError):
+            box_join(index, uniform_points[:2], -1.0)
+        with pytest.raises(ValueError):
+            box_join(index, uniform_points[:2], 1.0, -1.0)
+
+    def test_matches_brute_force(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        probes = uniform_points[:20]
+        pairs = box_join(index, probes, 0.05)
+        expected = set()
+        for probe in probes:
+            for point in uniform_points:
+                if abs(point.x - probe.x) <= 0.05 and abs(point.y - probe.y) <= 0.05:
+                    expected.add((probe.as_tuple(), point.as_tuple()))
+        got = {(a.as_tuple(), b.as_tuple()) for a, b in pairs}
+        assert got == expected
+
+    def test_each_probe_matches_itself(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        pairs = box_join(index, uniform_points[:10], 0.01)
+        matched = {probe.as_tuple() for probe, match in pairs if probe == match}
+        assert matched == {p.as_tuple() for p in uniform_points[:10]}
+
+    def test_zero_window_is_exact_match_join(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        pairs = box_join(index, [uniform_points[0], Point(5.0, 5.0)], 0.0)
+        assert (uniform_points[0], uniform_points[0]) in pairs
+        assert all(probe != Point(5.0, 5.0) for probe, _ in pairs)
+
+
+class TestRadiusJoin:
+    def test_invalid_radius(self, uniform_points):
+        index = BaseZIndex(uniform_points)
+        with pytest.raises(ValueError):
+            radius_join(index, uniform_points[:2], -0.1)
+
+    def test_matches_brute_force(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        probes = uniform_points[:15]
+        pairs = radius_join(index, probes, 0.07)
+        expected = brute_force_radius_join(uniform_points, probes, 0.07)
+        as_set = lambda items: {(a.as_tuple(), b.as_tuple()) for a, b in items}
+        assert as_set(pairs) == as_set(expected)
+
+    def test_radius_join_subset_of_box_join(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        probes = uniform_points[:10]
+        circle = {(a.as_tuple(), b.as_tuple()) for a, b in radius_join(index, probes, 0.05)}
+        square = {(a.as_tuple(), b.as_tuple()) for a, b in box_join(index, probes, 0.05)}
+        assert circle <= square
+
+    def test_same_result_for_wazi_and_base(self, clustered_points, small_workload):
+        base = BaseZIndex(clustered_points, leaf_capacity=32)
+        wazi = WaZI(clustered_points, small_workload.queries, leaf_capacity=32, seed=1)
+        probes = clustered_points[:20]
+        as_set = lambda items: {(a.as_tuple(), b.as_tuple()) for a, b in items}
+        assert as_set(radius_join(base, probes, 1.0)) == as_set(radius_join(wazi, probes, 1.0))
+
+
+class TestKnnJoin:
+    def test_invalid_k(self, uniform_points):
+        index = BaseZIndex(uniform_points)
+        with pytest.raises(ValueError):
+            knn_join(index, uniform_points[:2], 0)
+
+    def test_matches_brute_force_distances(self, uniform_points):
+        index = build_index("str", uniform_points, leaf_capacity=16)
+        probes = uniform_points[:10]
+        result = knn_join(index, probes, 4)
+        for probe in probes:
+            expected = brute_force_knn(uniform_points, probe, 4)
+            got = result[probe]
+            assert len(got) == 4
+            expected_distances = sorted(p.distance_squared(probe) for p in expected)
+            got_distances = sorted(p.distance_squared(probe) for p in got)
+            assert got_distances == pytest.approx(expected_distances)
+
+
+class TestJoinSelectivity:
+    def test_fraction_of_cross_product(self):
+        pairs = [(Point(0, 0), Point(1, 1))] * 5
+        assert join_selectivity(pairs, num_probes=10, num_indexed=10) == pytest.approx(0.05)
+
+    def test_degenerate_inputs(self):
+        assert join_selectivity([], 0, 10) == 0.0
+        assert join_selectivity([], 10, 0) == 0.0

@@ -1,0 +1,92 @@
+"""Tests for dataset/workload/index persistence."""
+
+import json
+
+import pytest
+
+from repro import WaZI, build_index
+from repro.geometry import Point, Rect
+from repro.interfaces import brute_force_range
+from repro.persistence import (
+    load_index,
+    load_points,
+    load_queries,
+    save_index,
+    save_points,
+    save_queries,
+)
+
+
+class TestPointsRoundtrip:
+    def test_roundtrip(self, tmp_path, uniform_points):
+        path = tmp_path / "points.json"
+        save_points(uniform_points, path)
+        loaded = load_points(path)
+        assert loaded == uniform_points
+
+    def test_empty_dataset(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_points([], path)
+        assert load_points(path) == []
+
+    def test_file_is_json(self, tmp_path, uniform_points):
+        path = tmp_path / "points.json"
+        save_points(uniform_points[:3], path)
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "points"
+        assert len(payload["points"]) == 3
+
+
+class TestQueriesRoundtrip:
+    def test_roundtrip(self, tmp_path, sample_queries):
+        path = tmp_path / "queries.json"
+        save_queries(sample_queries, path)
+        assert load_queries(path) == sample_queries
+
+    def test_kind_mismatch_rejected(self, tmp_path, uniform_points):
+        path = tmp_path / "points.json"
+        save_points(uniform_points[:2], path)
+        with pytest.raises(ValueError):
+            load_queries(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "kind": "queries", "queries": []}))
+        with pytest.raises(ValueError):
+            load_queries(path)
+
+    def test_non_persistence_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ValueError):
+            load_points(path)
+
+
+class TestIndexRoundtrip:
+    def test_wazi_roundtrip_preserves_answers(self, tmp_path, clustered_points, small_workload):
+        index = WaZI(clustered_points[:800], small_workload.queries, leaf_capacity=32, seed=1)
+        path = tmp_path / "wazi.pickle"
+        save_index(index, path)
+        restored = load_index(path)
+        for query in small_workload.queries[:10]:
+            expected = sorted((p.x, p.y) for p in index.range_query(query))
+            got = sorted((p.x, p.y) for p in restored.range_query(query))
+            assert got == expected
+        assert len(restored) == len(index)
+
+    def test_baseline_roundtrip(self, tmp_path, uniform_points, sample_queries):
+        index = build_index("str", uniform_points)
+        path = tmp_path / "str.pickle"
+        save_index(index, path)
+        restored = load_index(path)
+        query = sample_queries[0]
+        expected = sorted((p.x, p.y) for p in brute_force_range(uniform_points, query))
+        assert sorted((p.x, p.y) for p in restored.range_query(query)) == expected
+
+    def test_restored_index_supports_updates(self, tmp_path, uniform_points):
+        index = build_index("base", uniform_points)
+        path = tmp_path / "base.pickle"
+        save_index(index, path)
+        restored = load_index(path)
+        restored.insert(Point(0.123, 0.987))
+        assert restored.point_query(Point(0.123, 0.987))

@@ -1,0 +1,94 @@
+"""Unit tests for fixed-capacity data pages."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.storage import Page
+from repro.storage.page import PageOverflowError
+
+
+class TestPageBasics:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Page(0)
+
+    def test_empty_page(self):
+        page = Page(4)
+        assert len(page) == 0
+        assert page.is_empty
+        assert not page.is_full
+        assert page.bbox is None
+
+    def test_add_and_len(self):
+        page = Page(4, [Point(0, 0), Point(1, 1)])
+        assert len(page) == 2
+        assert Point(1, 1) in page
+
+    def test_iteration_preserves_insertion_order(self):
+        points = [Point(3, 1), Point(0, 0), Point(2, 2)]
+        page = Page(8, points)
+        assert list(page) == points
+
+    def test_overflow_raises(self):
+        page = Page(2, [Point(0, 0), Point(1, 1)])
+        assert page.is_full
+        with pytest.raises(PageOverflowError):
+            page.add(Point(2, 2))
+
+    def test_bbox_grows_with_adds(self):
+        page = Page(8)
+        page.add(Point(1, 1))
+        assert page.bbox == Rect(1, 1, 1, 1)
+        page.add(Point(-1, 3))
+        assert page.bbox == Rect(-1, 1, 1, 3)
+
+
+class TestPageQueries:
+    def test_filter_range(self):
+        page = Page(8, [Point(0, 0), Point(2, 2), Point(5, 5)])
+        inside = page.filter_range(Rect(1, 1, 3, 3))
+        assert inside == [Point(2, 2)]
+
+    def test_filter_range_inclusive_boundaries(self):
+        page = Page(8, [Point(1, 1), Point(3, 3)])
+        assert len(page.filter_range(Rect(1, 1, 3, 3))) == 2
+
+    def test_count_in_range_matches_filter(self):
+        points = [Point(float(i), float(i % 3)) for i in range(8)]
+        page = Page(8, points)
+        query = Rect(2, 0, 6, 2)
+        assert page.count_in_range(query) == len(page.filter_range(query))
+
+    def test_contains_exact(self):
+        page = Page(4, [Point(1.5, 2.5)])
+        assert page.contains_exact(Point(1.5, 2.5))
+        assert not page.contains_exact(Point(1.5, 2.500001))
+
+
+class TestPageMutation:
+    def test_remove_existing(self):
+        page = Page(4, [Point(0, 0), Point(1, 1)])
+        assert page.remove(Point(0, 0))
+        assert len(page) == 1
+        assert page.bbox == Rect(1, 1, 1, 1)
+
+    def test_remove_missing_returns_false(self):
+        page = Page(4, [Point(0, 0)])
+        assert not page.remove(Point(9, 9))
+        assert len(page) == 1
+
+    def test_remove_last_point_clears_bbox(self):
+        page = Page(4, [Point(0, 0)])
+        page.remove(Point(0, 0))
+        assert page.bbox is None
+        assert page.is_empty
+
+
+class TestPageAccounting:
+    def test_size_bytes_grows_with_points(self):
+        empty = Page(16)
+        half = Page(16, [Point(i, i) for i in range(8)])
+        assert half.size_bytes() > empty.size_bytes()
+
+    def test_repr_mentions_count(self):
+        assert "n=2" in repr(Page(4, [Point(0, 0), Point(1, 1)]))

@@ -1,0 +1,211 @@
+"""Tests for dataset generators, check-in centers and query workloads."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.workloads import (
+    REGION_NAMES,
+    blend_workloads,
+    dataset_extent,
+    generate_checkin_centers,
+    generate_dataset,
+    generate_insert_points,
+    generate_point_queries,
+    generate_range_workload,
+    range_queries_from_centers,
+    region_spec,
+    uniform_range_workload,
+)
+from repro.workloads.checkins import popularity_histogram
+from repro.workloads.datasets import dataset_summary
+from repro.workloads.queries import PAPER_SELECTIVITIES
+
+
+class TestRegions:
+    def test_all_four_paper_regions_exist(self):
+        assert set(REGION_NAMES) == {"calinev", "newyork", "japan", "iberia"}
+
+    def test_region_lookup_case_insensitive(self):
+        assert region_spec("NewYork").name == "newyork"
+
+    def test_unknown_region_rejected(self):
+        with pytest.raises(KeyError):
+            region_spec("atlantis")
+
+    def test_cluster_weights_positive(self):
+        for name in REGION_NAMES:
+            spec = region_spec(name)
+            assert spec.total_cluster_weight > 0
+            assert 0 <= spec.background_fraction < 1
+
+
+class TestGenerateDataset:
+    @pytest.mark.parametrize("region", REGION_NAMES)
+    def test_points_inside_extent(self, region):
+        points = generate_dataset(region, 500, seed=1)
+        extent = dataset_extent(region)
+        assert len(points) == 500
+        assert all(extent.contains_xy(p.x, p.y) for p in points)
+
+    def test_deterministic_given_seed(self):
+        first = generate_dataset("japan", 200, seed=9)
+        second = generate_dataset("japan", 200, seed=9)
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = generate_dataset("japan", 200, seed=1)
+        second = generate_dataset("japan", 200, seed=2)
+        assert first != second
+
+    def test_zero_points(self):
+        assert generate_dataset("iberia", 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_dataset("iberia", -1)
+
+    def test_distribution_is_clustered(self):
+        """Most points must concentrate in a minority of coarse grid cells."""
+        points = generate_dataset("newyork", 4000, seed=3)
+        grid = dataset_summary(points, dataset_extent("newyork"), grid=8)
+        sorted_counts = np.sort(grid.ravel())[::-1]
+        top_quarter = sorted_counts[: len(sorted_counts) // 4].sum()
+        assert top_quarter >= 0.6 * len(points)
+
+
+class TestCheckinCenters:
+    def test_centers_within_extent(self):
+        centers = generate_checkin_centers("calinev", 300, seed=2)
+        extent = dataset_extent("calinev")
+        assert len(centers) == 300
+        assert all(extent.contains_xy(c.x, c.y) for c in centers)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            generate_checkin_centers("calinev", -5)
+
+    def test_popularity_is_skewed(self):
+        spec = region_spec("japan")
+        centers = generate_checkin_centers("japan", 2000, seed=4)
+        histogram = popularity_histogram(centers, spec)
+        histogram.sort(reverse=True)
+        top_two = sum(histogram[:2])
+        assert top_two >= 0.4 * len(centers)
+
+    def test_different_seed_changes_popular_clusters(self):
+        spec = region_spec("iberia")
+        first = popularity_histogram(generate_checkin_centers("iberia", 1000, seed=1), spec)
+        second = popularity_histogram(generate_checkin_centers("iberia", 1000, seed=99), spec)
+        assert int(np.argmax(first)) != int(np.argmax(second)) or first != second
+
+
+class TestRangeWorkloads:
+    def test_paper_selectivities_constant(self):
+        assert PAPER_SELECTIVITIES == (0.0016, 0.0064, 0.0256, 0.1024)
+
+    def test_query_area_matches_selectivity(self):
+        extent = dataset_extent("newyork")
+        centers = [Point(30.0, 30.0)] * 10
+        queries = range_queries_from_centers(centers, extent, 0.0256)
+        target = extent.area * 0.0256 / 100.0
+        for query in queries:
+            assert query.area == pytest.approx(target, rel=1e-6)
+
+    def test_queries_inside_data_space(self):
+        workload = generate_range_workload("calinev", 200, 0.1024, seed=5)
+        extent = dataset_extent("calinev")
+        assert len(workload) == 200
+        for query in workload:
+            assert extent.contains_rect(query)
+
+    def test_boundary_centers_shifted_inwards(self):
+        extent = Rect(0.0, 0.0, 10.0, 10.0)
+        queries = range_queries_from_centers([Point(0.0, 0.0)], extent, 1.0)
+        assert extent.contains_rect(queries[0])
+        assert queries[0].area == pytest.approx(1.0)
+
+    def test_invalid_selectivity_rejected(self):
+        with pytest.raises(ValueError):
+            range_queries_from_centers([Point(0, 0)], Rect(0, 0, 1, 1), 0.0)
+
+    def test_aspect_jitter_varies_shapes(self):
+        extent = dataset_extent("newyork")
+        centers = [Point(30.0, 30.0)] * 50
+        rng = np.random.default_rng(0)
+        queries = range_queries_from_centers(centers, extent, 0.0256, aspect_jitter=1.0, rng=rng)
+        widths = {round(q.width, 6) for q in queries}
+        assert len(widths) > 1
+
+    def test_uniform_workload_covers_space(self):
+        workload = uniform_range_workload("japan", 300, 0.0256, seed=0)
+        extent = dataset_extent("japan")
+        xs = [q.center.x for q in workload]
+        assert min(xs) < extent.xmin + 0.3 * extent.width
+        assert max(xs) > extent.xmax - 0.3 * extent.width
+
+    def test_workload_metadata(self):
+        workload = generate_range_workload("iberia", 10, 0.0064, seed=3)
+        assert workload.region == "iberia"
+        assert workload.selectivity_percent == 0.0064
+        assert "iberia" in workload.description
+        assert workload[0].area > 0
+
+    def test_workload_deterministic(self):
+        first = generate_range_workload("newyork", 50, 0.0064, seed=7)
+        second = generate_range_workload("newyork", 50, 0.0064, seed=7)
+        assert first.queries == second.queries
+
+
+class TestPointAndInsertWorkloads:
+    def test_point_queries_hit_fraction_one(self):
+        queries = generate_point_queries("newyork", 100, num_points=500, seed=1, hit_fraction=1.0)
+        data = set(generate_dataset("newyork", 500, seed=1))
+        assert len(queries) == 100
+        assert all(q in data for q in queries)
+
+    def test_point_queries_hit_fraction_zero(self):
+        queries = generate_point_queries("newyork", 50, num_points=500, seed=1, hit_fraction=0.0)
+        assert len(queries) == 50
+
+    def test_invalid_hit_fraction(self):
+        with pytest.raises(ValueError):
+            generate_point_queries("newyork", 10, 100, hit_fraction=1.5)
+
+    def test_insert_points_uniform_over_extent(self):
+        inserts = generate_insert_points("iberia", 400, seed=2)
+        extent = dataset_extent("iberia")
+        assert len(inserts) == 400
+        assert all(extent.contains_xy(p.x, p.y) for p in inserts)
+
+
+class TestWorkloadBlending:
+    def test_zero_change_returns_original_queries(self):
+        original = generate_range_workload("newyork", 40, 0.0256, seed=1)
+        replacement = uniform_range_workload("newyork", 40, 0.0256, seed=2)
+        blended = blend_workloads(original, replacement, 0.0)
+        assert blended.queries == original.queries
+
+    def test_full_change_uses_replacement_queries(self):
+        original = generate_range_workload("newyork", 40, 0.0256, seed=1)
+        replacement = uniform_range_workload("newyork", 40, 0.0256, seed=2)
+        blended = blend_workloads(original, replacement, 1.0, seed=0)
+        replacement_set = set(replacement.queries)
+        assert all(query in replacement_set for query in blended.queries)
+
+    def test_partial_change_fraction(self):
+        original = generate_range_workload("newyork", 100, 0.0256, seed=1)
+        replacement = uniform_range_workload("newyork", 100, 0.0256, seed=2)
+        blended = blend_workloads(original, replacement, 0.3, seed=0)
+        changed = sum(1 for a, b in zip(original.queries, blended.queries) if a != b)
+        assert changed == 30
+
+    def test_invalid_fraction_rejected(self):
+        original = generate_range_workload("newyork", 10, 0.0256, seed=1)
+        with pytest.raises(ValueError):
+            blend_workloads(original, original, 1.5)
+
+    def test_metadata_records_change(self):
+        original = generate_range_workload("newyork", 10, 0.0256, seed=1)
+        blended = blend_workloads(original, original, 0.5, seed=3)
+        assert blended.extra["change_fraction"] == 0.5

@@ -1,0 +1,122 @@
+"""Unit tests for the quaternary-tree node structures."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.geometry.rect import QUADRANT_A, QUADRANT_B, QUADRANT_C, QUADRANT_D
+from repro.zindex.node import (
+    InternalNode,
+    LeafNode,
+    ORDER_ABCD,
+    ORDER_ACBD,
+    count_nodes,
+    curve_rank,
+    iter_leaves_in_curve_order,
+    structure_size_bytes,
+    tree_depth,
+    visit_sequence,
+)
+
+
+class TestVisitSequence:
+    def test_abcd(self):
+        assert visit_sequence(ORDER_ABCD) == (QUADRANT_A, QUADRANT_B, QUADRANT_C, QUADRANT_D)
+
+    def test_acbd(self):
+        assert visit_sequence(ORDER_ACBD) == (QUADRANT_A, QUADRANT_C, QUADRANT_B, QUADRANT_D)
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            visit_sequence("abdc")
+
+    def test_curve_rank(self):
+        assert curve_rank(ORDER_ABCD, QUADRANT_C) == 2
+        assert curve_rank(ORDER_ACBD, QUADRANT_C) == 1
+
+    def test_both_orderings_start_with_a_and_end_with_d(self):
+        # Both allowed orderings preserve monotonicity precisely because A is
+        # always first and D always last.
+        for ordering in (ORDER_ABCD, ORDER_ACBD):
+            sequence = visit_sequence(ordering)
+            assert sequence[0] == QUADRANT_A
+            assert sequence[-1] == QUADRANT_D
+
+
+class TestInternalNode:
+    def make_node(self, ordering=ORDER_ABCD):
+        cell = Rect(0.0, 0.0, 4.0, 4.0)
+        node = InternalNode(cell, 2.0, 2.0, ordering)
+        for quadrant, child_cell in enumerate(node.child_cells()):
+            node.children[quadrant] = LeafNode(child_cell, leaf_index=quadrant)
+        return node
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            InternalNode(Rect(0, 0, 1, 1), 0.5, 0.5, "zzzz")
+
+    def test_quadrant_of_matches_algorithm1(self):
+        node = self.make_node()
+        assert node.quadrant_of(1.0, 1.0) == QUADRANT_A
+        assert node.quadrant_of(3.0, 1.0) == QUADRANT_B
+        assert node.quadrant_of(1.0, 3.0) == QUADRANT_C
+        assert node.quadrant_of(3.0, 3.0) == QUADRANT_D
+
+    def test_boundary_points_go_to_lower_quadrant(self):
+        node = self.make_node()
+        assert node.quadrant_of(2.0, 2.0) == QUADRANT_A
+        assert node.quadrant_of(2.0, 3.0) == QUADRANT_C
+
+    def test_child_for_point(self):
+        node = self.make_node()
+        assert node.child_for_point(3.5, 0.5).leaf_index == QUADRANT_B
+
+    def test_children_in_curve_order_respects_ordering(self):
+        abcd = self.make_node(ORDER_ABCD)
+        acbd = self.make_node(ORDER_ACBD)
+        assert [c.leaf_index for c in abcd.children_in_curve_order()] == [0, 1, 2, 3]
+        assert [c.leaf_index for c in acbd.children_in_curve_order()] == [0, 2, 1, 3]
+
+    def test_child_cells_partition_cell(self):
+        node = self.make_node()
+        cells = node.child_cells()
+        assert sum(c.area for c in cells) == pytest.approx(node.cell.area)
+
+
+class TestTreeHelpers:
+    def build_two_level_tree(self):
+        root = InternalNode(Rect(0, 0, 4, 4), 2.0, 2.0, ORDER_ABCD)
+        for quadrant, cell in enumerate(root.child_cells()):
+            root.children[quadrant] = LeafNode(cell, leaf_index=quadrant)
+        # Replace quadrant B with another internal node to create depth 3.
+        inner_cell = root.child_cells()[1]
+        inner = InternalNode(inner_cell, inner_cell.center.x, inner_cell.center.y, ORDER_ACBD)
+        for quadrant, cell in enumerate(inner.child_cells()):
+            inner.children[quadrant] = LeafNode(cell, leaf_index=10 + quadrant)
+        root.children[1] = inner
+        return root
+
+    def test_count_nodes(self):
+        root = self.build_two_level_tree()
+        internal, leaves = count_nodes(root)
+        assert internal == 2
+        assert leaves == 7
+
+    def test_count_nodes_of_leaf(self):
+        assert count_nodes(LeafNode(Rect(0, 0, 1, 1))) == (0, 1)
+        assert count_nodes(None) == (0, 0)
+
+    def test_tree_depth(self):
+        assert tree_depth(self.build_two_level_tree()) == 3
+        assert tree_depth(LeafNode(Rect(0, 0, 1, 1))) == 1
+        assert tree_depth(None) == 0
+
+    def test_iter_leaves_in_curve_order(self):
+        root = self.build_two_level_tree()
+        order = [leaf.leaf_index for leaf in iter_leaves_in_curve_order(root)]
+        # Root ordering abcd: A leaf, then B subtree (acbd: a, c, b, d), then C, D.
+        assert order == [0, 10, 12, 11, 13, 2, 3]
+
+    def test_structure_size_bytes(self):
+        root = self.build_two_level_tree()
+        assert structure_size_bytes(root) > structure_size_bytes(LeafNode(Rect(0, 0, 1, 1)))
+        assert structure_size_bytes(None) == 0

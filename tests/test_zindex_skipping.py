@@ -1,0 +1,170 @@
+"""Unit tests for look-ahead pointer construction and skip-target selection."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.interfaces import brute_force_range
+from repro.storage import LeafEntry, LeafList, Page
+from repro.storage.leaflist import END_OF_LIST, SKIP_ABOVE, SKIP_BELOW, SKIP_CRITERIA, SKIP_LEFT, SKIP_RIGHT
+from repro.zindex.skipping import (
+    build_lookahead_pointers,
+    choose_skip_target,
+    disqualifying_criteria,
+    leaf_box,
+)
+from repro.core import BaseWithSkipping
+from repro.zindex import BaseZIndex
+
+
+def make_leaflist(boxes):
+    """Build a LeafList whose leaves have the given data bounding boxes."""
+    leaflist = LeafList()
+    for (xmin, ymin, xmax, ymax) in boxes:
+        page = Page(4, [Point(xmin, ymin), Point(xmax, ymax)])
+        leaflist.append(LeafEntry(cell=Rect(xmin, ymin, xmax, ymax), page=page))
+    return leaflist
+
+
+class TestLeafBox:
+    def test_uses_data_bbox_when_present(self):
+        entry = LeafEntry(cell=Rect(0, 0, 10, 10), page=Page(4, [Point(1, 1)]))
+        assert leaf_box(entry) == Rect(1, 1, 1, 1)
+
+    def test_falls_back_to_cell_when_empty(self):
+        entry = LeafEntry(cell=Rect(0, 0, 10, 10), page=Page(4))
+        assert leaf_box(entry) == Rect(0, 0, 10, 10)
+
+
+class TestDisqualifyingCriteria:
+    def test_overlapping_leaf_has_no_criteria(self):
+        entry = LeafEntry(cell=Rect(0, 0, 4, 4), page=Page(4, [Point(2, 2)]))
+        assert disqualifying_criteria(entry, Rect(1, 1, 3, 3)) == ()
+
+    def test_below_and_right_simultaneously(self):
+        entry = LeafEntry(cell=Rect(5, 0, 6, 1), page=Page(4, [Point(5.5, 0.5)]))
+        criteria = disqualifying_criteria(entry, Rect(0, 2, 4, 4))
+        assert SKIP_BELOW in criteria
+        assert SKIP_RIGHT in criteria
+
+    @pytest.mark.parametrize(
+        "box, expected",
+        [
+            ((0, 0, 1, 1), SKIP_BELOW),
+            ((0, 9, 1, 10), SKIP_ABOVE),
+            ((0, 4, 1, 6), SKIP_LEFT),
+            ((9, 4, 10, 6), SKIP_RIGHT),
+        ],
+    )
+    def test_single_criterion(self, box, expected):
+        entry = LeafEntry(cell=Rect(*box), page=Page(4, [Point(box[0], box[1]), Point(box[2], box[3])]))
+        criteria = disqualifying_criteria(entry, Rect(3, 3, 7, 7))
+        assert expected in criteria
+
+
+class TestBuildLookaheadPointers:
+    def test_last_leaf_points_to_end(self):
+        leaflist = make_leaflist([(0, 0, 1, 1), (2, 2, 3, 3)])
+        build_lookahead_pointers(leaflist)
+        last = leaflist[-1]
+        assert all(last.skip_pointer(c) == END_OF_LIST for c in SKIP_CRITERIA)
+
+    def test_pointers_always_forward(self):
+        rng = np.random.default_rng(5)
+        boxes = []
+        for _ in range(30):
+            x, y = rng.uniform(0, 10, size=2)
+            boxes.append((x, y, x + rng.uniform(0, 2), y + rng.uniform(0, 2)))
+        leaflist = make_leaflist(boxes)
+        build_lookahead_pointers(leaflist)
+        assert leaflist.check_skip_pointers_forward()
+
+    def test_below_pointer_targets_strictly_higher_leaf(self):
+        rng = np.random.default_rng(8)
+        boxes = []
+        for _ in range(40):
+            x, y = rng.uniform(0, 10, size=2)
+            boxes.append((x, y, x + 1.0, y + 1.0))
+        leaflist = make_leaflist(boxes)
+        build_lookahead_pointers(leaflist)
+        for entry in leaflist:
+            target = entry.below
+            if target != END_OF_LIST:
+                assert leaf_box(leaflist[target]).ymax > leaf_box(entry).ymax
+
+    def test_skipped_leaves_do_not_improve_criterion(self):
+        """Every leaf jumped over by a below-pointer is at most as high as the source."""
+        rng = np.random.default_rng(13)
+        boxes = []
+        for _ in range(40):
+            x, y = rng.uniform(0, 10, size=2)
+            boxes.append((x, y, x + 1.0, y + 1.0))
+        leaflist = make_leaflist(boxes)
+        build_lookahead_pointers(leaflist)
+        for entry in leaflist:
+            target = entry.below
+            stop = target if target != END_OF_LIST else len(leaflist)
+            for skipped_index in range(entry.order + 1, stop):
+                assert leaf_box(leaflist[skipped_index]).ymax <= leaf_box(entry).ymax
+
+    def test_monotone_staircase_points_far_ahead(self):
+        # Leaves stacked bottom-to-top: each below-pointer is simply the next
+        # leaf, each above-pointer the end of the list.
+        leaflist = make_leaflist([(0, float(i), 1, float(i) + 0.5) for i in range(10)])
+        build_lookahead_pointers(leaflist)
+        for entry in leaflist[:-1]:
+            assert entry.below == entry.order + 1
+            assert entry.above == END_OF_LIST
+
+
+class TestChooseSkipTarget:
+    def test_returns_none_for_overlapping_leaf(self):
+        leaflist = make_leaflist([(0, 0, 4, 4), (5, 5, 6, 6)])
+        build_lookahead_pointers(leaflist)
+        assert choose_skip_target(leaflist[0], Rect(1, 1, 2, 2)) is None
+
+    def test_prefers_farthest_pointer(self):
+        leaflist = make_leaflist([(0, 0, 1, 1), (2, 0, 3, 1), (0, 5, 1, 6), (8, 8, 9, 9)])
+        build_lookahead_pointers(leaflist)
+        entry = leaflist[0]
+        # Query far above and to the right: both Below and Left disqualify the
+        # first leaf; the chosen target must be the farther of the two pointers.
+        query = Rect(6, 6, 9.5, 9.5)
+        target = choose_skip_target(entry, query)
+        assert target == max(entry.below, entry.left)
+
+    def test_end_of_list_signal(self):
+        leaflist = make_leaflist([(0, 5, 1, 6), (0, 4, 1, 4.5), (0, 3, 1, 3.5)])
+        build_lookahead_pointers(leaflist)
+        # Query above every leaf except the first; from leaf 1 the Above
+        # criterion can never improve, so the scan can stop.
+        target = choose_skip_target(leaflist[1], Rect(0, 5.2, 1, 6.0))
+        assert target == END_OF_LIST
+
+
+class TestSkippingEndToEnd:
+    def test_base_sk_results_match_base(self, clustered_points, small_workload):
+        plain = BaseZIndex(clustered_points, leaf_capacity=32)
+        skipping = BaseWithSkipping(clustered_points, leaf_capacity=32)
+        for query in small_workload.queries:
+            expected = sorted((p.x, p.y) for p in plain.range_query(query))
+            got = sorted((p.x, p.y) for p in skipping.range_query(query))
+            assert got == expected
+
+    def test_skipping_reduces_bbs_checked(self, clustered_points, small_workload):
+        plain = BaseZIndex(clustered_points, leaf_capacity=32)
+        skipping = BaseWithSkipping(clustered_points, leaf_capacity=32)
+        plain.reset_counters()
+        skipping.reset_counters()
+        for query in small_workload.queries:
+            plain.range_query(query)
+            skipping.range_query(query)
+        assert skipping.counters.bbs_checked < plain.counters.bbs_checked
+        assert skipping.counters.leaves_skipped > 0
+
+    def test_skipping_correct_against_brute_force(self, clustered_points, small_workload):
+        skipping = BaseWithSkipping(clustered_points, leaf_capacity=32)
+        for query in small_workload.queries[:20]:
+            expected = sorted((p.x, p.y) for p in brute_force_range(clustered_points, query))
+            got = sorted((p.x, p.y) for p in skipping.range_query(query))
+            assert got == expected

@@ -1,0 +1,91 @@
+"""Unit tests for split strategies and quadrant partitioning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.zindex.node import ORDER_ABCD
+from repro.zindex.splitters import (
+    FixedDecisionStrategy,
+    MedianSplitStrategy,
+    MidpointSplitStrategy,
+    SplitDecision,
+    partition_by_quadrant,
+    points_in_cell,
+)
+
+
+def array_of(*pairs):
+    return np.array(pairs, dtype=np.float64)
+
+
+class TestMedianSplitStrategy:
+    def test_splits_at_medians(self):
+        points = array_of((0, 0), (1, 2), (2, 4), (3, 6), (4, 8))
+        decision = MedianSplitStrategy().choose(Rect(0, 0, 10, 10), points, depth=0)
+        assert decision.split_x == 2.0
+        assert decision.split_y == 4.0
+        assert decision.ordering == ORDER_ABCD
+
+    def test_median_clamped_into_cell(self):
+        points = array_of((5, 5), (6, 6), (7, 7))
+        decision = MedianSplitStrategy().choose(Rect(0, 0, 4, 4), points, depth=0)
+        assert 0 <= decision.split_x <= 4
+        assert 0 <= decision.split_y <= 4
+
+    def test_empty_points_fall_back_to_center(self):
+        decision = MedianSplitStrategy().choose(Rect(0, 0, 4, 2), np.empty((0, 2)), depth=0)
+        assert decision.split_x == 2.0
+        assert decision.split_y == 1.0
+
+
+class TestMidpointSplitStrategy:
+    def test_always_cell_center(self):
+        points = array_of((0, 0), (0.1, 0.1))
+        decision = MidpointSplitStrategy().choose(Rect(0, 0, 8, 4), points, depth=3)
+        assert decision.split_x == 4.0
+        assert decision.split_y == 2.0
+
+
+class TestFixedDecisionStrategy:
+    def test_returns_configured_decision(self):
+        decision = SplitDecision(1.0, 2.0, ORDER_ABCD)
+        strategy = FixedDecisionStrategy(decision)
+        assert strategy.choose(Rect(0, 0, 4, 4), np.empty((0, 2)), 0) is decision
+
+
+class TestPartitionHelpers:
+    def test_points_in_cell_closed_boundaries(self):
+        points = array_of((0, 0), (1, 1), (2, 2), (3, 3))
+        inside = points_in_cell(points, Rect(1, 1, 2, 2))
+        assert inside.shape[0] == 2
+
+    def test_points_in_cell_empty_input(self):
+        empty = np.empty((0, 2))
+        assert points_in_cell(empty, Rect(0, 0, 1, 1)).shape[0] == 0
+
+    def test_partition_by_quadrant_counts(self):
+        points = array_of((1, 1), (3, 1), (1, 3), (3, 3), (2, 2))
+        quadrant_a, quadrant_b, quadrant_c, quadrant_d = partition_by_quadrant(points, 2.0, 2.0)
+        # The boundary point (2, 2) goes to A, matching the strict > comparisons.
+        assert quadrant_a.shape[0] == 2
+        assert quadrant_b.shape[0] == 1
+        assert quadrant_c.shape[0] == 1
+        assert quadrant_d.shape[0] == 1
+
+    def test_partition_preserves_all_points(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(200, 2))
+        parts = partition_by_quadrant(points, 0.4, 0.6)
+        assert sum(p.shape[0] for p in parts) == 200
+
+    def test_partition_is_consistent_with_quadrant_of(self):
+        from repro.zindex.node import InternalNode
+
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 1, size=(100, 2))
+        node = InternalNode(Rect(0, 0, 1, 1), 0.5, 0.5, ORDER_ABCD)
+        parts = partition_by_quadrant(points, 0.5, 0.5)
+        for quadrant, part in enumerate(parts):
+            for x, y in part:
+                assert node.quadrant_of(x, y) == quadrant

@@ -1,0 +1,119 @@
+"""Unit tests for the BIGMIN / LITMAX computation."""
+
+import numpy as np
+import pytest
+
+from repro.zorder import bigmin, litmax, z_range_overlaps
+from repro.zorder.bigmin import z_range_of_rect
+from repro.zorder.morton import deinterleave, interleave
+
+
+def brute_force_bigmin(z_current, z_min, z_max, bits):
+    """Reference implementation: scan all addresses above z_current."""
+    (min_x, min_y) = deinterleave(z_min, bits)
+    (max_x, max_y) = deinterleave(z_max, bits)
+    candidates = [
+        interleave(x, y, bits)
+        for x in range(min_x, max_x + 1)
+        for y in range(min_y, max_y + 1)
+    ]
+    above = [z for z in candidates if z > z_current]
+    return min(above) if above else 0
+
+
+def brute_force_litmax(z_current, z_min, z_max, bits):
+    (min_x, min_y) = deinterleave(z_min, bits)
+    (max_x, max_y) = deinterleave(z_max, bits)
+    candidates = [
+        interleave(x, y, bits)
+        for x in range(min_x, max_x + 1)
+        for y in range(min_y, max_y + 1)
+    ]
+    below = [z for z in candidates if z < z_current]
+    return max(below) if below else 0
+
+
+class TestBigminAgainstBruteForce:
+    def test_randomised_rectangles(self):
+        bits = 4
+        rng = np.random.default_rng(3)
+        for _ in range(200):
+            x1, x2 = sorted(rng.integers(0, 16, size=2))
+            y1, y2 = sorted(rng.integers(0, 16, size=2))
+            z_min = interleave(int(x1), int(y1), bits)
+            z_max = interleave(int(x2), int(y2), bits)
+            z_current = int(rng.integers(0, 1 << (2 * bits)))
+            if z_range_overlaps(z_current, (int(x1), int(y1)), (int(x2), int(y2)), bits):
+                continue  # BIGMIN is only queried for addresses outside the box
+            expected = brute_force_bigmin(z_current, z_min, z_max, bits)
+            if expected == 0:
+                continue
+            assert bigmin(z_current, z_min, z_max, bits) == expected
+
+    def test_litmax_randomised(self):
+        bits = 4
+        rng = np.random.default_rng(9)
+        for _ in range(200):
+            x1, x2 = sorted(rng.integers(0, 16, size=2))
+            y1, y2 = sorted(rng.integers(0, 16, size=2))
+            z_min = interleave(int(x1), int(y1), bits)
+            z_max = interleave(int(x2), int(y2), bits)
+            z_current = int(rng.integers(0, 1 << (2 * bits)))
+            if z_range_overlaps(z_current, (int(x1), int(y1)), (int(x2), int(y2)), bits):
+                continue
+            expected = brute_force_litmax(z_current, z_min, z_max, bits)
+            if expected == 0:
+                continue
+            assert litmax(z_current, z_min, z_max, bits) == expected
+
+
+class TestBigminProperties:
+    def test_known_example(self):
+        # Query box covering cells (1..2, 1..2) in a 4x4 grid; the address
+        # just after the bottom-left corner that lies outside the box must
+        # jump to the next in-box address.
+        bits = 2
+        z_min = interleave(1, 1, bits)
+        z_max = interleave(2, 2, bits)
+        z_current = interleave(3, 1, bits)  # outside (x too large)
+        result = bigmin(z_current, z_min, z_max, bits)
+        x, y = deinterleave(result, bits)
+        assert 1 <= x <= 2 and 1 <= y <= 2
+        assert result > z_current
+
+    def test_result_is_inside_box_and_above_current(self):
+        bits = 5
+        rng = np.random.default_rng(21)
+        for _ in range(100):
+            x1, x2 = sorted(rng.integers(0, 32, size=2))
+            y1, y2 = sorted(rng.integers(0, 32, size=2))
+            z_min = interleave(int(x1), int(y1), bits)
+            z_max = interleave(int(x2), int(y2), bits)
+            z_current = int(rng.integers(0, 1 << (2 * bits)))
+            if z_range_overlaps(z_current, (int(x1), int(y1)), (int(x2), int(y2)), bits):
+                continue
+            if z_current >= z_max:
+                continue
+            result = bigmin(z_current, z_min, z_max, bits)
+            x, y = deinterleave(result, bits)
+            assert x1 <= x <= x2
+            assert y1 <= y <= y2
+            assert result > z_current
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            bigmin(0, 10, 5)
+        with pytest.raises(ValueError):
+            litmax(0, 10, 5)
+
+
+class TestZRangeHelpers:
+    def test_z_range_of_rect(self):
+        low, high = z_range_of_rect((1, 1), (2, 3), bits=3)
+        assert low == interleave(1, 1, 3)
+        assert high == interleave(2, 3, 3)
+
+    def test_z_range_overlaps(self):
+        z = interleave(2, 2, 3)
+        assert z_range_overlaps(z, (1, 1), (3, 3), bits=3)
+        assert not z_range_overlaps(z, (3, 3), (4, 4), bits=3)

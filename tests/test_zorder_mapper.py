@@ -1,0 +1,56 @@
+"""Unit tests for the continuous-to-grid Z-order mapper."""
+
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.zorder import ZOrderMapper
+
+
+class TestMapperQuantisation:
+    def test_corners_map_to_grid_extremes(self):
+        mapper = ZOrderMapper(Rect(0.0, 0.0, 1.0, 1.0), bits=4)
+        assert mapper.cell_of(Point(0.0, 0.0)) == (0, 0)
+        assert mapper.cell_of(Point(1.0, 1.0)) == (15, 15)
+
+    def test_out_of_extent_points_clamped(self):
+        mapper = ZOrderMapper(Rect(0.0, 0.0, 1.0, 1.0), bits=4)
+        assert mapper.cell_of(Point(-5.0, 2.0)) == (0, 15)
+
+    def test_degenerate_extent_does_not_divide_by_zero(self):
+        mapper = ZOrderMapper(Rect(1.0, 1.0, 1.0, 1.0), bits=4)
+        assert mapper.cell_of(Point(1.0, 1.0)) == (0, 0)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            ZOrderMapper(Rect(0, 0, 1, 1), bits=0)
+
+
+class TestMapperAddresses:
+    def test_z_address_monotone_in_domination(self):
+        mapper = ZOrderMapper(Rect(0.0, 0.0, 1.0, 1.0), bits=8)
+        low = mapper.z_address(Point(0.2, 0.3))
+        high = mapper.z_address(Point(0.6, 0.7))
+        assert low < high
+
+    def test_z_addresses_batch_matches_single(self):
+        mapper = ZOrderMapper(Rect(0.0, 0.0, 10.0, 10.0), bits=6)
+        points = [Point(1.0, 2.0), Point(9.0, 9.0), Point(5.0, 0.1)]
+        assert mapper.z_addresses(points) == [mapper.z_address(p) for p in points]
+
+    def test_cell_center_roundtrip_stays_in_cell(self):
+        mapper = ZOrderMapper(Rect(0.0, 0.0, 1.0, 1.0), bits=5)
+        point = Point(0.37, 0.81)
+        z = mapper.z_address(point)
+        center = mapper.cell_center(z)
+        assert mapper.z_address(center) == z
+
+    def test_z_range_of_query_ordered(self):
+        mapper = ZOrderMapper(Rect(0.0, 0.0, 1.0, 1.0), bits=8)
+        low, high = mapper.z_range_of_query(Rect(0.1, 0.1, 0.9, 0.9))
+        assert low < high
+
+    def test_integer_query_covers_query_cells(self):
+        mapper = ZOrderMapper(Rect(0.0, 0.0, 1.0, 1.0), bits=4)
+        (min_cell, max_cell) = mapper.integer_query(Rect(0.2, 0.2, 0.8, 0.8))
+        assert min_cell[0] <= max_cell[0]
+        assert min_cell[1] <= max_cell[1]

@@ -1,0 +1,86 @@
+"""Unit tests for Morton encoding and Z-order comparison."""
+
+import pytest
+
+from repro.zorder import interleave, deinterleave, morton_encode, morton_decode, z_less
+
+
+class TestInterleave:
+    def test_known_values(self):
+        # Interleaving places x on even bits and y on odd bits.
+        assert interleave(0, 0) == 0
+        assert interleave(1, 0) == 1
+        assert interleave(0, 1) == 2
+        assert interleave(1, 1) == 3
+        assert interleave(2, 0) == 4
+        assert interleave(0, 2) == 8
+        assert interleave(3, 3) == 15
+
+    def test_roundtrip_exhaustive_small(self):
+        for x in range(16):
+            for y in range(16):
+                assert deinterleave(interleave(x, y, bits=4), bits=4) == (x, y)
+
+    def test_aliases(self):
+        assert morton_encode(5, 9) == interleave(5, 9)
+        assert morton_decode(interleave(5, 9)) == (5, 9)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            interleave(-1, 0)
+        with pytest.raises(ValueError):
+            deinterleave(-1)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            interleave(16, 0, bits=4)
+
+    def test_large_coordinates_fit_default_bits(self):
+        x = y = (1 << 21) - 1
+        z = interleave(x, y)
+        assert deinterleave(z) == (x, y)
+        assert z < (1 << 42)
+
+
+class TestZOrderGrid:
+    def test_first_level_quadrant_order_is_z(self):
+        # Within a 2x2 grid the Z-order is (0,0), (1,0), (0,1), (1,1).
+        cells = [(0, 0), (1, 0), (0, 1), (1, 1)]
+        addresses = [interleave(x, y, bits=1) for x, y in cells]
+        assert addresses == sorted(addresses)
+
+    def test_full_grid_visits_each_cell_once(self):
+        addresses = {interleave(x, y, bits=3) for x in range(8) for y in range(8)}
+        assert addresses == set(range(64))
+
+
+class TestZLess:
+    def test_matches_encoded_comparison_exhaustive(self):
+        for ax in range(8):
+            for ay in range(8):
+                for bx in range(8):
+                    for by in range(8):
+                        expected = interleave(ax, ay, bits=3) < interleave(bx, by, bits=3)
+                        assert z_less((ax, ay), (bx, by), bits=3) == expected
+
+    def test_equal_cells_not_less(self):
+        assert not z_less((5, 5), (5, 5))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            z_less((16, 0), (1, 1), bits=4)
+
+
+class TestZOrderMonotonicity:
+    def test_dominated_cell_has_smaller_address(self):
+        # The defining monotonicity property of the Z-order: a cell dominated
+        # component-wise by another never receives a larger Z-address.
+        for x in range(8):
+            for y in range(8):
+                for dx in range(8 - x):
+                    for dy in range(8 - y):
+                        if dx == 0 and dy == 0:
+                            continue
+                        low = interleave(x, y, bits=3)
+                        high = interleave(x + dx, y + dy, bits=3)
+                        assert low < high

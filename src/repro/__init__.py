@@ -28,7 +28,12 @@ Quickstart::
 """
 
 from repro.analysis import RebuildAdvisor, WorkloadDriftDetector
-from repro.api import build_index, compare_indexes, run_point_workload, run_range_workload
+from repro.api import (
+    build_index,
+    compare_indexes,
+    run_point_workload,
+    run_range_workload,
+)
 from repro.joins import box_join, knn_join, radius_join
 from repro.baselines import (
     CURTree,

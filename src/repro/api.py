@@ -125,9 +125,14 @@ def compare_indexes(
     return runner.run_dict(range_queries=list(workload), point_queries=list(point_queries))
 
 
-def run_range_workload(index: SpatialIndex, workload: Sequence[Rect]):
-    """Measure a range workload on an already-built index (wall clock + counters)."""
-    return measure_range_queries(index, list(workload))
+def run_range_workload(index: SpatialIndex, workload: Sequence[Rect], batch: bool = False):
+    """Measure a range workload on an already-built index (wall clock + counters).
+
+    ``batch=True`` submits the workload through
+    :meth:`~repro.interfaces.SpatialIndex.batch_range_query`, the amortised
+    path benchmark workloads should prefer.
+    """
+    return measure_range_queries(index, list(workload), batch=batch)
 
 
 def run_point_workload(index: SpatialIndex, queries: Sequence[Point]):

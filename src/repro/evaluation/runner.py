@@ -50,17 +50,30 @@ def measure_build(factory: IndexFactory):
     return index, time.perf_counter() - start
 
 
-def measure_range_queries(index, queries: Sequence[Rect], repeats: int = 1) -> QueryStats:
-    """Run a range-query workload, recording wall-clock and logical counters."""
+def measure_range_queries(
+    index, queries: Sequence[Rect], repeats: int = 1, batch: bool = False
+) -> QueryStats:
+    """Run a range-query workload, recording wall-clock and logical counters.
+
+    With ``batch=True`` the workload is submitted through
+    :meth:`~repro.interfaces.SpatialIndex.batch_range_query` instead of one
+    call per query, measuring the amortised path the columnar indexes
+    optimise.  Logical counters are identical either way; phase timings are
+    only collected in per-query mode (the batch path bypasses the timer).
+    """
     index.reset_counters()
     timer = PhaseTimer()
     previous_timer = getattr(index, "phase_timer", None)
     if hasattr(index, "phase_timer"):
         index.phase_timer = timer
     start = time.perf_counter()
-    for _ in range(max(1, repeats)):
-        for query in queries:
-            index.range_query(query)
+    if batch:
+        for _ in range(max(1, repeats)):
+            index.batch_range_query(queries)
+    else:
+        for _ in range(max(1, repeats)):
+            for query in queries:
+                index.range_query(query)
     elapsed = time.perf_counter() - start
     if hasattr(index, "phase_timer"):
         index.phase_timer = previous_timer
@@ -113,6 +126,7 @@ class ComparisonRunner:
         range_queries: Sequence[Rect] = (),
         point_queries: Sequence[Point] = (),
         repeats: int = 1,
+        batch_ranges: bool = False,
     ) -> List[ComparisonResult]:
         results: List[ComparisonResult] = []
         for name, factory in self.factories.items():
@@ -124,7 +138,9 @@ class ComparisonRunner:
                 num_points=len(index),
             )
             if range_queries:
-                result.range_stats = measure_range_queries(index, range_queries, repeats)
+                result.range_stats = measure_range_queries(
+                    index, range_queries, repeats, batch=batch_ranges
+                )
             if point_queries:
                 result.point_stats = measure_point_queries(index, point_queries, repeats)
             results.append(result)

@@ -13,7 +13,7 @@ paper relies on:
   which underlies the retrieval-cost model of Section 4.2.
 """
 
-from repro.geometry.point import Point, dominates
+from repro.geometry.point import Point, as_points, dominates, points_to_arrays
 from repro.geometry.rect import (
     Rect,
     bounding_box,
@@ -26,10 +26,12 @@ from repro.geometry.rect import (
 __all__ = [
     "Point",
     "Rect",
+    "as_points",
     "dominates",
     "bounding_box",
     "bounding_box_of_rects",
     "classify_quadrants",
+    "points_to_arrays",
     "rect_from_center",
     "rect_from_points",
 ]

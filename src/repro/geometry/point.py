@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True, order=False)
 class Point:
@@ -68,3 +70,16 @@ def dominates(a: Point, b: Point) -> bool:
 def as_points(coords: Iterable[Tuple[float, float]]) -> list:
     """Convert an iterable of ``(x, y)`` tuples into a list of :class:`Point`."""
     return [Point(float(x), float(y)) for x, y in coords]
+
+
+def points_to_arrays(points):
+    """Split a sequence of points into ``(xs, ys)`` float64 coordinate columns.
+
+    The inverse of :func:`as_points` for the columnar code paths: the two
+    arrays are freshly allocated and contiguous, suitable for vectorized
+    predicates and for :meth:`repro.storage.Page.from_arrays`.
+    """
+    n = len(points)
+    xs = np.fromiter((p.x for p in points), dtype=np.float64, count=n)
+    ys = np.fromiter((p.y for p in points), dtype=np.float64, count=n)
+    return xs, ys

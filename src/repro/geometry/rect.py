@@ -89,6 +89,18 @@ class Rect:
         """Coordinate-level containment check, avoiding a Point allocation."""
         return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
 
+    def contains_arrays(self, xs, ys):
+        """Vectorized containment: a boolean mask over coordinate columns.
+
+        ``xs``/``ys`` are equally shaped NumPy arrays; element ``i`` of the
+        result equals ``contains_xy(xs[i], ys[i])``.  This is the predicate
+        the columnar page scan evaluates.
+        """
+        return (
+            (xs >= self.xmin) & (xs <= self.xmax)
+            & (ys >= self.ymin) & (ys <= self.ymax)
+        )
+
     def contains_rect(self, other: "Rect") -> bool:
         """Whether ``other`` lies entirely inside this rectangle."""
         return (

@@ -32,6 +32,17 @@ class SpatialIndex(abc.ABC):
     def range_query(self, query: Rect) -> List[Point]:
         """Return every indexed point inside the query rectangle."""
 
+    def batch_range_query(self, queries: Sequence[Rect]) -> List[List[Point]]:
+        """Answer a whole workload of range queries at once.
+
+        Returns one result list per query, in workload order, with exactly
+        the same contents as issuing the queries one by one.  The default
+        implementation does just that; indexes with a columnar engine (the
+        Z-index family) override it to amortise cache priming and dispatch
+        across the batch.
+        """
+        return [self.range_query(query) for query in queries]
+
     @abc.abstractmethod
     def point_query(self, point: Point) -> bool:
         """Whether an indexed point with exactly these coordinates exists."""

@@ -5,15 +5,20 @@ leaf cells are stored on consecutive pages, each page holding at most ``L``
 points, and the leaf cells form a linked list (the *LeafList*) in curve
 order.  This subpackage provides
 
-* :class:`~repro.storage.page.Page` — a fixed-capacity container of points
-  with its bounding box,
+* :class:`~repro.storage.page.Page` — a fixed-capacity *columnar* container
+  of points (contiguous float64 coordinate arrays) with an incrementally
+  maintained bounding box and vectorized filtering,
 * :class:`~repro.storage.leaflist.LeafEntry` — a leaf cell (bounding box +
   page + next pointer + the four look-ahead pointers of Section 5),
 * :class:`~repro.storage.leaflist.LeafList` — the ordered collection of leaf
-  entries with helpers for scans, size accounting and consistency checks.
+  entries with helpers for scans, size accounting, consistency checks, an
+  incremental :meth:`~repro.storage.leaflist.LeafList.splice` repair, and
+* :class:`~repro.storage.leaflist.PackedLeaves` — the packed per-leaf
+  metadata (one ``(n, 4)`` bbox array plus int64 pointer arrays) the
+  vectorized projection phase operates on.
 """
 
 from repro.storage.page import Page
-from repro.storage.leaflist import LeafEntry, LeafList
+from repro.storage.leaflist import LeafEntry, LeafList, PackedLeaves
 
-__all__ = ["Page", "LeafEntry", "LeafList"]
+__all__ = ["Page", "LeafEntry", "LeafList", "PackedLeaves"]

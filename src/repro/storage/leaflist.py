@@ -11,12 +11,24 @@ The :class:`LeafList` here stores leaves in a Python list (positions double
 as the curve order ``Ord``) while each :class:`LeafEntry` also carries the
 explicit ``next``/look-ahead indices so the skipping algorithms read exactly
 like the paper's pseudocode.
+
+Packed representation
+---------------------
+For the vectorized query paths the LeafList additionally maintains a
+*packed* copy of the per-leaf metadata (:class:`PackedLeaves`): one
+``(n_leaves, 4)`` float64 array of effective bounding boxes, a boolean
+non-empty mask, and one int64 array per look-ahead criterion.  Overlap tests and skip-target selection then run as NumPy
+array expressions instead of attribute-chasing ``LeafEntry`` objects.  The
+packed copy is built lazily and invalidated (or repaired in place) by the
+mutation entry points, so callers simply ask for :meth:`LeafList.packed`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
 
 from repro.geometry import Point, Rect
 from repro.storage.page import Page
@@ -54,6 +66,10 @@ class LeafEntry:
     below, above, left, right:
         Look-ahead pointer targets for the four irrelevancy criteria of
         Section 5.1, or :data:`END_OF_LIST` when not yet built.
+    node:
+        Optional back-reference to the tree's leaf node, used by the
+        incremental splice repair to renumber ``leaf_index`` fields without
+        re-walking the whole tree.
     """
 
     cell: Rect
@@ -64,6 +80,7 @@ class LeafEntry:
     above: int = END_OF_LIST
     left: int = END_OF_LIST
     right: int = END_OF_LIST
+    node: Optional[object] = None
 
     @property
     def bbox(self) -> Optional[Rect]:
@@ -114,11 +131,87 @@ class LeafEntry:
         return _LEAF_OVERHEAD_BYTES + self.page.size_bytes()
 
 
+class PackedLeaves:
+    """Columnar copy of the LeafList metadata for vectorized projection.
+
+    Attributes
+    ----------
+    boxes:
+        ``(n, 4)`` float64 array of *effective* boxes ``[xmin, ymin, xmax,
+        ymax]`` — the data bounding box of each leaf, or the leaf's cell for
+        empty leaves (matching :func:`repro.zindex.skipping.leaf_box`).
+    nonempty:
+        ``(n,)`` boolean mask: whether the leaf stores any points.  Empty
+        leaves never overlap a query but still participate in the skip
+        criteria through their cell.
+    below, above, left, right:
+        ``(n,)`` int64 look-ahead pointer targets (:data:`END_OF_LIST`
+        terminated).
+    """
+
+    __slots__ = (
+        "boxes", "nonempty", "below", "above", "left", "right", "_lists"
+    )
+
+    def __init__(self, entries: Sequence[LeafEntry]) -> None:
+        n = len(entries)
+        self.boxes = np.empty((n, 4), dtype=np.float64)
+        self.nonempty = np.empty(n, dtype=bool)
+        self.below = np.empty(n, dtype=np.int64)
+        self.above = np.empty(n, dtype=np.int64)
+        self.left = np.empty(n, dtype=np.int64)
+        self.right = np.empty(n, dtype=np.int64)
+        self._lists = None
+        for index, entry in enumerate(entries):
+            self.refresh(index, entry)
+            self.below[index] = entry.below
+            self.above[index] = entry.above
+            self.left[index] = entry.left
+            self.right[index] = entry.right
+
+    def refresh(self, index: int, entry: LeafEntry) -> None:
+        """Re-read one leaf's box row (after its page was mutated)."""
+        box = entry.page.bbox_tuple()
+        if box is None:
+            cell = entry.cell
+            box = (cell.xmin, cell.ymin, cell.xmax, cell.ymax)
+            nonempty = False
+        else:
+            nonempty = True
+        self.nonempty[index] = nonempty
+        self.boxes[index] = box
+        if self._lists is not None:
+            boxes_l, nonempty_l = self._lists[:2]
+            boxes_l[index] = list(box)
+            nonempty_l[index] = nonempty
+
+    def lists(self):
+        """The packed metadata as plain Python lists, for scalar walks.
+
+        Scalar indexing of NumPy arrays is several times slower than list
+        indexing, so the sequential skip walk of the projection phase reads
+        from this cached tuple ``(boxes, nonempty, below, above, left,
+        right)`` instead, where ``boxes`` is a list of
+        ``[xmin, ymin, xmax, ymax]`` rows.
+        """
+        if self._lists is None:
+            self._lists = (
+                self.boxes.tolist(),
+                self.nonempty.tolist(),
+                self.below.tolist(),
+                self.above.tolist(),
+                self.left.tolist(),
+                self.right.tolist(),
+            )
+        return self._lists
+
+
 @dataclass
 class LeafList:
     """The ordered collection of leaf entries of a Z-index."""
 
     entries: List[LeafEntry] = field(default_factory=list)
+    _packed: Optional[PackedLeaves] = field(default=None, repr=False, compare=False)
 
     def append(self, entry: LeafEntry) -> int:
         """Append ``entry``, fixing up its order and the predecessor's next pointer."""
@@ -128,6 +221,7 @@ class LeafList:
         if self.entries:
             self.entries[-1].next_index = index
         self.entries.append(entry)
+        self._packed = None
         return index
 
     def __len__(self) -> int:
@@ -159,6 +253,65 @@ class LeafList:
     def size_bytes(self) -> int:
         """Approximate in-memory footprint of the leaf layer."""
         return sum(entry.size_bytes() for entry in self.entries)
+
+    # -- packed representation -------------------------------------------
+    def packed(self) -> PackedLeaves:
+        """The packed columnar metadata, (re)built lazily after mutations."""
+        if self._packed is None:
+            self._packed = PackedLeaves(self.entries)
+        return self._packed
+
+    def invalidate_packed(self) -> None:
+        """Drop the packed copy; the next :meth:`packed` call rebuilds it.
+
+        Called after bulk pointer rewrites (Algorithm 4 passes) and any
+        structural change not covered by :meth:`refresh_entry`.
+        """
+        self._packed = None
+
+    def refresh_entry(self, index: int) -> None:
+        """Repair the packed row of one leaf after an in-place page mutation."""
+        if self._packed is not None:
+            self._packed.refresh(index, self.entries[index])
+
+    # -- incremental structural repair ------------------------------------
+    def splice(self, index: int, replacements: Sequence[LeafEntry]) -> None:
+        """Replace the entry at ``index`` with ``replacements`` in place.
+
+        Repairs orders, next pointers, look-ahead pointer *targets* (shifted
+        by the size delta) and the ``leaf_index`` of back-referenced tree
+        nodes for the unchanged suffix.  Look-ahead pointers of the prefix
+        and of the new entries are left for the caller to recompute (they
+        can legitimately point into the replaced region); see
+        :func:`repro.zindex.skipping.repair_lookahead_pointers`.
+        """
+        if not replacements:
+            raise ValueError("splice requires at least one replacement entry")
+        shift = len(replacements) - 1
+        entries = self.entries
+        entries[index : index + 1] = list(replacements)
+        n = len(entries)
+        for position in range(index, n):
+            entry = entries[position]
+            entry.order = position
+            entry.next_index = position + 1 if position + 1 < n else END_OF_LIST
+            node = entry.node
+            if node is not None:
+                node.leaf_index = position
+        if shift:
+            # Suffix pointers only ever aim forward (targets were > index in
+            # the old numbering), so a uniform shift keeps them valid.
+            for position in range(index + len(replacements), n):
+                entry = entries[position]
+                if entry.below != END_OF_LIST:
+                    entry.below += shift
+                if entry.above != END_OF_LIST:
+                    entry.above += shift
+                if entry.left != END_OF_LIST:
+                    entry.left += shift
+                if entry.right != END_OF_LIST:
+                    entry.right += shift
+        self._packed = None
 
     # -- consistency checks (used by tests and debug assertions) ----------
     def check_linked(self) -> bool:

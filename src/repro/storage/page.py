@@ -1,17 +1,34 @@
-"""Fixed-capacity data pages.
+"""Fixed-capacity columnar data pages.
 
 A page is the unit of storage scanned during the filtering phase of range
 query processing.  The paper assumes points within a page are stored in
 arbitrary order, so a range query that touches a page must compare the query
 rectangle against every point on it; those comparisons are the quantity the
 WaZI cost model minimises.
+
+Storage layout
+--------------
+Points are stored *columnar*: two contiguous ``float64`` NumPy arrays hold
+the x and y coordinates in insertion (curve) order.  The filtering step of
+Algorithm 2 therefore runs as a handful of vectorized comparisons over the
+whole page instead of a per-point Python loop, and the coordinate columns
+can be handed to callers (:class:`~repro.storage.LeafList`, the Z-index's
+flat scan cache) without re-boxing every point into a
+:class:`~repro.geometry.Point`.
+
+The page keeps the same logical interface as a list-of-points container —
+``add`` / ``remove`` / iteration yield :class:`Point` objects — so callers
+that are not on the hot path do not need to know about the columnar layout.
+The bounding box is maintained incrementally on ``add``.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional
 
-from repro.geometry import Point, Rect, bounding_box
+import numpy as np
+
+from repro.geometry import Point, Rect
 
 # Rough in-memory size accounting, mirroring the paper's Table 5.  A stored
 # point is two 8-byte doubles; per-page overhead covers the bounding box and
@@ -25,47 +42,91 @@ class PageOverflowError(RuntimeError):
 
 
 class Page:
-    """A bounded container of points with a maintained bounding box."""
+    """A bounded columnar container of points with a maintained bounding box."""
 
-    __slots__ = ("capacity", "_points", "_bbox")
+    __slots__ = ("capacity", "_xs", "_ys", "_n", "_bxmin", "_bymin", "_bxmax", "_bymax")
 
     def __init__(self, capacity: int, points: Optional[Iterable[Point]] = None) -> None:
         if capacity <= 0:
             raise ValueError(f"Page capacity must be positive, got {capacity}")
         self.capacity = capacity
-        self._points: List[Point] = []
-        self._bbox: Optional[Rect] = None
+        self._xs = np.empty(capacity, dtype=np.float64)
+        self._ys = np.empty(capacity, dtype=np.float64)
+        self._n = 0
+        self._bxmin = self._bymin = self._bxmax = self._bymax = 0.0
         if points is not None:
             for point in points:
                 self.add(point)
 
+    @classmethod
+    def from_arrays(cls, capacity: int, xs: np.ndarray, ys: np.ndarray) -> "Page":
+        """Build a page directly from coordinate columns (no Point boxing).
+
+        ``capacity`` is raised to ``len(xs)`` if needed, mirroring the
+        oversized-leaf escape hatch of the tree construction.
+        """
+        n = int(xs.shape[0])
+        page = cls(max(capacity, n, 1))
+        if n:
+            page._xs[:n] = xs
+            page._ys[:n] = ys
+            page._n = n
+            page._bxmin = float(xs.min())
+            page._bxmax = float(xs.max())
+            page._bymin = float(ys.min())
+            page._bymax = float(ys.max())
+        return page
+
     # -- container protocol ---------------------------------------------
     def __len__(self) -> int:
-        return len(self._points)
+        return self._n
 
     def __iter__(self) -> Iterator[Point]:
-        return iter(self._points)
+        xs, ys = self._xs, self._ys
+        for i in range(self._n):
+            yield Point(xs[i].item(), ys[i].item())
 
     def __contains__(self, point: Point) -> bool:
-        return point in self._points
+        return self.contains_exact(point)
 
     @property
     def points(self) -> List[Point]:
-        """The points stored on the page (live list, treat as read-only)."""
-        return self._points
+        """The stored points as a freshly built list (page order)."""
+        return [
+            Point(x, y)
+            for x, y in zip(self._xs[: self._n].tolist(), self._ys[: self._n].tolist())
+        ]
+
+    @property
+    def xs(self) -> np.ndarray:
+        """Read-only view of the x-coordinate column (length ``len(self)``)."""
+        return self._xs[: self._n]
+
+    @property
+    def ys(self) -> np.ndarray:
+        """Read-only view of the y-coordinate column (length ``len(self)``)."""
+        return self._ys[: self._n]
 
     @property
     def bbox(self) -> Optional[Rect]:
         """Bounding box of the stored points, or ``None`` for an empty page."""
-        return self._bbox
+        if self._n == 0:
+            return None
+        return Rect(self._bxmin, self._bymin, self._bxmax, self._bymax)
+
+    def bbox_tuple(self):
+        """The bounding box as ``(xmin, ymin, xmax, ymax)`` floats, or ``None``."""
+        if self._n == 0:
+            return None
+        return (self._bxmin, self._bymin, self._bxmax, self._bymax)
 
     @property
     def is_full(self) -> bool:
-        return len(self._points) >= self.capacity
+        return self._n >= self.capacity
 
     @property
     def is_empty(self) -> bool:
-        return not self._points
+        return self._n == 0
 
     # -- mutation ---------------------------------------------------------
     def add(self, point: Point) -> None:
@@ -74,15 +135,28 @@ class Page:
         Raises :class:`PageOverflowError` when the page is already full; the
         caller (leaf node) is responsible for splitting.
         """
-        if self.is_full:
+        if self._n >= self.capacity:
             raise PageOverflowError(
-                f"Page already holds {len(self._points)}/{self.capacity} points"
+                f"Page already holds {self._n}/{self.capacity} points"
             )
-        self._points.append(point)
-        if self._bbox is None:
-            self._bbox = Rect(point.x, point.y, point.x, point.y)
+        x = float(point.x)
+        y = float(point.y)
+        index = self._n
+        self._xs[index] = x
+        self._ys[index] = y
+        if index == 0:
+            self._bxmin = self._bxmax = x
+            self._bymin = self._bymax = y
         else:
-            self._bbox = self._bbox.expand_to_point(point)
+            if x < self._bxmin:
+                self._bxmin = x
+            elif x > self._bxmax:
+                self._bxmax = x
+            if y < self._bymin:
+                self._bymin = y
+            elif y > self._bymax:
+                self._bymax = y
+        self._n = index + 1
 
     def remove(self, point: Point) -> bool:
         """Remove one occurrence of ``point``.
@@ -91,34 +165,74 @@ class Page:
         recomputed from the remaining points (removal is rare relative to
         scans, so the linear recomputation is acceptable).
         """
-        try:
-            self._points.remove(point)
-        except ValueError:
+        n = self._n
+        if n == 0:
             return False
-        self._bbox = bounding_box(self._points) if self._points else None
+        matches = np.flatnonzero(
+            (self._xs[:n] == float(point.x)) & (self._ys[:n] == float(point.y))
+        )
+        if matches.size == 0:
+            return False
+        index = int(matches[0])
+        # Shift the tail left by one to preserve page order.
+        self._xs[index : n - 1] = self._xs[index + 1 : n]
+        self._ys[index : n - 1] = self._ys[index + 1 : n]
+        self._n = n - 1
+        self._recompute_bbox()
         return True
 
+    def _recompute_bbox(self) -> None:
+        n = self._n
+        if n == 0:
+            self._bxmin = self._bymin = self._bxmax = self._bymax = 0.0
+            return
+        xs = self._xs[:n]
+        ys = self._ys[:n]
+        self._bxmin = float(xs.min())
+        self._bxmax = float(xs.max())
+        self._bymin = float(ys.min())
+        self._bymax = float(ys.max())
+
     # -- queries ----------------------------------------------------------
+    def range_mask(self, query: Rect) -> np.ndarray:
+        """Boolean mask over the page's points selecting those inside ``query``."""
+        return query.contains_arrays(self._xs[: self._n], self._ys[: self._n])
+
     def filter_range(self, query: Rect) -> List[Point]:
         """Return the points on this page that fall inside ``query``.
 
         This is the ``Filter(P)`` step of Algorithm 2 in the paper: every
-        point on the page is compared against the query rectangle.
+        point on the page is compared against the query rectangle — here as
+        four vectorized comparisons over the coordinate columns.
         """
-        return [p for p in self._points if query.contains_xy(p.x, p.y)]
+        if self._n == 0:
+            return []
+        mask = self.range_mask(query)
+        if not mask.any():
+            return []
+        sel_x = self._xs[: self._n][mask].tolist()
+        sel_y = self._ys[: self._n][mask].tolist()
+        return [Point(x, y) for x, y in zip(sel_x, sel_y)]
 
     def count_in_range(self, query: Rect) -> int:
         """Number of stored points inside ``query`` without materialising them."""
-        return sum(1 for p in self._points if query.contains_xy(p.x, p.y))
+        if self._n == 0:
+            return 0
+        return int(self.range_mask(query).sum())
 
     def contains_exact(self, point: Point) -> bool:
         """Exact-match lookup used by point queries."""
-        return any(p.x == point.x and p.y == point.y for p in self._points)
+        n = self._n
+        if n == 0:
+            return False
+        return bool(
+            ((self._xs[:n] == float(point.x)) & (self._ys[:n] == float(point.y))).any()
+        )
 
     # -- accounting --------------------------------------------------------
     def size_bytes(self) -> int:
         """Approximate in-memory footprint of the page."""
-        return _PAGE_OVERHEAD_BYTES + _BYTES_PER_POINT * len(self._points)
+        return _PAGE_OVERHEAD_BYTES + _BYTES_PER_POINT * self._n
 
     def __repr__(self) -> str:
-        return f"Page(n={len(self._points)}, capacity={self.capacity}, bbox={self._bbox})"
+        return f"Page(n={self._n}, capacity={self.capacity}, bbox={self.bbox})"

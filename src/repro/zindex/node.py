@@ -25,10 +25,21 @@ ORDER_ABCD = "abcd"
 ORDER_ACBD = "acbd"
 ORDERINGS = (ORDER_ABCD, ORDER_ACBD)
 
+# A deliberately *non-monotone* ordering (B before A, D before C).  The two
+# paper orderings above always visit A first and D last, which is what makes
+# the two-corner interval projection of Algorithm 2 sound.  Custom split
+# strategies are free to emit this ordering; the Z-index remains correct
+# because its projection descends all four query corners (see
+# ``ZIndex._project``).  It is registered primarily so regression tests can
+# build adversarial trees that would silently drop results under a
+# corner-pair-only projection.
+ORDER_BADC = "badc"
+
 # For each ordering, the sequence of quadrant ids visited along the curve.
 _VISIT_SEQUENCES = {
     ORDER_ABCD: (QUADRANT_A, QUADRANT_B, QUADRANT_C, QUADRANT_D),
     ORDER_ACBD: (QUADRANT_A, QUADRANT_C, QUADRANT_B, QUADRANT_D),
+    ORDER_BADC: (QUADRANT_B, QUADRANT_A, QUADRANT_D, QUADRANT_C),
 }
 
 # Per-node overhead used by size accounting: split point (2 doubles), the
@@ -43,7 +54,7 @@ def visit_sequence(ordering: str) -> Tuple[int, int, int, int]:
         return _VISIT_SEQUENCES[ordering]
     except KeyError:
         raise ValueError(
-            f"Unknown ordering {ordering!r}; expected one of {ORDERINGS}"
+            f"Unknown ordering {ordering!r}; expected one of {tuple(_VISIT_SEQUENCES)}"
         ) from None
 
 
@@ -90,9 +101,10 @@ class InternalNode:
     )
 
     def __post_init__(self) -> None:
-        if self.ordering not in ORDERINGS:
+        if self.ordering not in _VISIT_SEQUENCES:
             raise ValueError(
-                f"Unknown ordering {self.ordering!r}; expected one of {ORDERINGS}"
+                f"Unknown ordering {self.ordering!r}; expected one of "
+                f"{tuple(_VISIT_SEQUENCES)}"
             )
 
     @property

@@ -70,6 +70,21 @@ def _improves(criterion: str, candidate_value: float, reference_value: float) ->
     return candidate_value < reference_value
 
 
+def _first_improver(entries, begin: int, criterion: str, reference: float) -> int:
+    """First position at or after ``begin`` whose bound improves ``reference``.
+
+    Walks the criterion's own pointer chain, so later pointers must already
+    be final.  ``begin`` past the end of the list yields :data:`END_OF_LIST`.
+    """
+    target = begin if begin < len(entries) else END_OF_LIST
+    while target != END_OF_LIST:
+        candidate = entries[target]
+        if _improves(criterion, _criterion_value(candidate, criterion), reference):
+            break
+        target = candidate.skip_pointer(criterion)
+    return target
+
+
 def build_lookahead_pointers(leaflist: LeafList) -> None:
     """Populate the four look-ahead pointers of every leaf (Algorithm 4).
 
@@ -95,6 +110,102 @@ def build_lookahead_pointers(leaflist: LeafList) -> None:
                     break
                 target = candidate.skip_pointer(criterion)
             entry.set_skip_pointer(criterion, target)
+    leaflist.invalidate_packed()
+
+
+def repair_lookahead_pointers(leaflist: LeafList, start: int, num_new: int) -> None:
+    """Repair look-ahead pointers after a splice replaced one leaf.
+
+    :meth:`~repro.storage.LeafList.splice` substituted the single entry at
+    ``start`` with ``num_new`` entries and already shifted the pointer
+    *targets* of the unchanged suffix.  This repairs the rest incrementally:
+
+    1. pointers of the ``num_new`` new entries are built with the backward
+       pass of Algorithm 4 (their chains run into the already-final suffix);
+    2. for every earlier leaf ``q``, a criterion pointer is left untouched
+       when its old target lies *before* the replaced region — the leaves
+       between ``q`` and the region did not change, so the first improving
+       leaf did not either.  Only pointers that aimed at or past the region
+       (where bounds did change) are resolved again, by chain-walking from
+       ``start`` through the now-final later pointers.
+
+    The common case therefore costs four integer comparisons per earlier
+    leaf plus a few short chain walks, instead of the full Algorithm 4 pass
+    (let alone the seed's rebuild of the entire LeafList per overflow).
+    """
+    entries = leaflist.entries
+    n = len(entries)
+
+    # Pass 1: the new entries themselves (backwards, chains hit final state).
+    end = min(start + num_new - 1, n - 1)
+    for position in range(end, start - 1, -1):
+        entry = entries[position]
+        for criterion in SKIP_CRITERIA:
+            reference = _criterion_value(entry, criterion)
+            entry.set_skip_pointer(
+                criterion, _first_improver(entries, position + 1, criterion, reference)
+            )
+
+    # Pass 2: earlier leaves.  Old targets < start are still the first
+    # improvers; everything else is re-resolved starting at the region.
+    for position in range(start - 1, -1, -1):
+        entry = entries[position]
+        for criterion in SKIP_CRITERIA:
+            old_target = entry.skip_pointer(criterion)
+            if old_target != END_OF_LIST and old_target < start:
+                continue
+            reference = _criterion_value(entry, criterion)
+            entry.set_skip_pointer(
+                criterion, _first_improver(entries, start, criterion, reference)
+            )
+    leaflist.invalidate_packed()
+
+
+def refresh_lookahead_for_leaf(leaflist: LeafList, position: int) -> None:
+    """Restore pointer exactness after a leaf's effective box changed in place.
+
+    A non-overflow insert expands the bounding box of one page without
+    touching the list structure (and inserting into a previously *empty*
+    leaf switches its effective box from the cell to the data bbox, which
+    can move bounds in either direction).  That invalidates (a) the leaf's
+    own look-ahead pointers (its reference bounds moved) and (b) pointers
+    of *earlier* leaves aimed at or past this leaf.  Leaving those stale is
+    not merely suboptimal: a later scan could skip this leaf even though
+    its grown box overlaps the query, silently dropping results (a latent
+    bug in the pre-columnar implementation, which only rebuilt pointers on
+    leaf splits).
+
+    Earlier leaves are repaired with a handful of comparisons each: a
+    pointer targeting *before* ``position`` is still the first improver
+    (nothing between changed); one targeting ``position`` stays only if the
+    new bounds still improve, otherwise it is re-resolved past the leaf;
+    and one aiming beyond moves back to ``position`` exactly when the new
+    bounds now improve on that leaf's reference.
+    """
+    entries = leaflist.entries
+    entry = entries[position]
+    for criterion in SKIP_CRITERIA:
+        reference = _criterion_value(entry, criterion)
+        entry.set_skip_pointer(
+            criterion, _first_improver(entries, position + 1, criterion, reference)
+        )
+    for criterion in SKIP_CRITERIA:
+        new_value = _criterion_value(entry, criterion)
+        for earlier in range(position - 1, -1, -1):
+            earlier_entry = entries[earlier]
+            target = earlier_entry.skip_pointer(criterion)
+            if target != END_OF_LIST and target < position:
+                continue
+            reference = _criterion_value(earlier_entry, criterion)
+            if _improves(criterion, new_value, reference):
+                if target != position:
+                    earlier_entry.set_skip_pointer(criterion, position)
+            elif target == position:
+                earlier_entry.set_skip_pointer(
+                    criterion,
+                    _first_improver(entries, position + 1, criterion, reference),
+                )
+    leaflist.invalidate_packed()
 
 
 def disqualifying_criteria(entry: LeafEntry, query: Rect) -> Tuple[str, ...]:

@@ -12,7 +12,9 @@ useful reference implementation for tests of the monotonicity property.
 
 from repro.zorder.morton import (
     deinterleave,
+    deinterleave_array,
     interleave,
+    interleave_array,
     morton_decode,
     morton_encode,
     z_less,
@@ -22,7 +24,9 @@ from repro.zorder.mapper import ZOrderMapper
 
 __all__ = [
     "interleave",
+    "interleave_array",
     "deinterleave",
+    "deinterleave_array",
     "morton_encode",
     "morton_decode",
     "z_less",

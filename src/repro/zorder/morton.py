@@ -7,13 +7,37 @@ encoding is exact for arbitrary-precision Python integers; the default
 resolution used elsewhere in the library is 21 bits per dimension so that a
 full Z-address fits comfortably in a 64-bit machine word, as a C++
 implementation would require.
+
+Two interfaces are provided:
+
+* the scalar functions (:func:`interleave`, :func:`deinterleave`, …) work
+  on plain Python ints of any width and keep the original API;
+* the array functions (:func:`interleave_array`,
+  :func:`deinterleave_array`) vectorise the encoding over NumPy ``uint64``
+  arrays with the classic parallel-bit-spread ("magic masks") technique,
+  encoding millions of cells per second for bulk loading and rank-space
+  baselines.  They support up to 32 bits per dimension (a 64-bit address).
 """
 
 from __future__ import annotations
 
 from typing import Tuple
 
+import numpy as np
+
 DEFAULT_BITS = 21
+
+# Magic masks spreading the low 32 bits of a word into the even bit
+# positions of a 64-bit word (x | x<<16 … pattern), used by the vectorized
+# encoder.  See "Bit Twiddling Hacks" / Morton code literature.
+_SPREAD_SHIFTS = (16, 8, 4, 2, 1)
+_SPREAD_MASKS = (
+    np.uint64(0x0000FFFF0000FFFF),
+    np.uint64(0x00FF00FF00FF00FF),
+    np.uint64(0x0F0F0F0F0F0F0F0F),
+    np.uint64(0x3333333333333333),
+    np.uint64(0x5555555555555555),
+)
 
 
 def _check_coordinate(value: int, bits: int, name: str) -> None:
@@ -49,6 +73,75 @@ def deinterleave(z: int, bits: int = DEFAULT_BITS) -> Tuple[int, int]:
         x |= ((z >> (2 * i)) & 1) << i
         y |= ((z >> (2 * i + 1)) & 1) << i
     return (x, y)
+
+
+def _spread_bits(values: np.ndarray) -> np.ndarray:
+    """Spread the low 32 bits of each ``uint64`` into the even positions."""
+    result = values & np.uint64(0xFFFFFFFF)
+    for shift, mask in zip(_SPREAD_SHIFTS, _SPREAD_MASKS):
+        result = (result | (result << np.uint64(shift))) & mask
+    return result
+
+
+_COMPACT_STEPS = (
+    (1, np.uint64(0x3333333333333333)),
+    (2, np.uint64(0x0F0F0F0F0F0F0F0F)),
+    (4, np.uint64(0x00FF00FF00FF00FF)),
+    (8, np.uint64(0x0000FFFF0000FFFF)),
+    (16, np.uint64(0x00000000FFFFFFFF)),
+)
+
+
+def _compact_bits(values: np.ndarray) -> np.ndarray:
+    """Invert :func:`_spread_bits`: gather the even bits back into the low half."""
+    result = values & _SPREAD_MASKS[-1]
+    for shift, mask in _COMPACT_STEPS:
+        result = (result | (result >> np.uint64(shift))) & mask
+    return result
+
+
+def _check_coordinate_array(values: np.ndarray, bits: int, name: str) -> np.ndarray:
+    if bits <= 0 or bits > 32:
+        raise ValueError(f"bits must be in 1..32 for array encoding, got {bits}")
+    values = np.asarray(values)
+    if values.size and (values.min() < 0 or int(values.max()) >= (1 << bits)):
+        raise ValueError(f"{name} values must lie in [0, 2^{bits})")
+    return values.astype(np.uint64, copy=False)
+
+
+def interleave_array(
+    xs: np.ndarray, ys: np.ndarray, bits: int = DEFAULT_BITS
+) -> np.ndarray:
+    """Vectorized :func:`interleave` over coordinate arrays.
+
+    Returns a ``uint64`` array of Z-addresses; element ``i`` equals
+    ``interleave(xs[i], ys[i], bits)``.
+    """
+    xs = _check_coordinate_array(xs, bits, "x")
+    ys = _check_coordinate_array(ys, bits, "y")
+    if xs.shape != ys.shape:
+        raise ValueError(f"Shape mismatch: {xs.shape} vs {ys.shape}")
+    return _spread_bits(xs) | (_spread_bits(ys) << np.uint64(1))
+
+
+def deinterleave_array(
+    z: np.ndarray, bits: int = DEFAULT_BITS
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`deinterleave`: recover ``(xs, ys)`` arrays from Z-addresses.
+
+    Matches the scalar function bit-for-bit: only the low ``2 * bits`` bits
+    of each address are decoded, so out-of-range high bits are ignored
+    rather than leaking into the coordinates.
+    """
+    if bits <= 0 or bits > 32:
+        raise ValueError(f"bits must be in 1..32 for array encoding, got {bits}")
+    z = np.asarray(z)
+    if z.size and int(z.min()) < 0:
+        raise ValueError("Z-addresses must be non-negative")
+    z = z.astype(np.uint64, copy=False)
+    if bits < 32:
+        z = z & np.uint64((1 << (2 * bits)) - 1)
+    return _compact_bits(z), _compact_bits(z >> np.uint64(1))
 
 
 def morton_encode(x: int, y: int, bits: int = DEFAULT_BITS) -> int:

@@ -214,3 +214,62 @@ class TestIndexProperties:
         box = bounding_box(everything)
         got = sorted((p.x, p.y) for p in index.range_query(box))
         assert got == sorted((p.x, p.y) for p in everything)
+
+
+# --------------------------------------------------------------------------
+# columnar / batch engine properties
+# --------------------------------------------------------------------------
+@st.composite
+def skewed_points_strategy(draw, min_size=5, max_size=120):
+    """Points concentrated towards the origin (quadratically skewed)."""
+    n = draw(st.integers(min_value=min_size, max_value=max_size))
+    xs = draw(st.lists(coordinates, min_size=n, max_size=n))
+    ys = draw(st.lists(coordinates, min_size=n, max_size=n))
+    return [Point(x * x / 100.0, y * y / 100.0) for x, y in zip(xs, ys)]
+
+
+class TestColumnarEngineProperties:
+    """WaZI's vectorized single and batch query paths are exact."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(points_strategy(min_size=5, max_size=120),
+           st.lists(rect_strategy(), min_size=1, max_size=4),
+           st.lists(rect_strategy(), min_size=1, max_size=6))
+    def test_wazi_batch_matches_brute_force(self, points, workload, queries):
+        index = WaZI(points, workload, leaf_capacity=8, num_candidates=4, seed=0)
+        batch = index.batch_range_query(queries)
+        for query, got in zip(queries, batch):
+            expected = sorted((p.x, p.y) for p in brute_force_range(points, query))
+            assert sorted((p.x, p.y) for p in got) == expected
+        assert batch == [index.range_query(query) for query in queries]
+
+    @settings(max_examples=10, deadline=None)
+    @given(skewed_points_strategy(min_size=10, max_size=120),
+           st.lists(rect_strategy(), min_size=1, max_size=4), rect_strategy())
+    def test_wazi_exact_on_skewed_data(self, points, workload, query):
+        index = WaZI(points, workload, leaf_capacity=8, num_candidates=4, seed=1)
+        expected = sorted((p.x, p.y) for p in brute_force_range(points, query))
+        assert sorted((p.x, p.y) for p in index.range_query(query)) == expected
+        (batch_result,) = index.batch_range_query([query])
+        assert sorted((p.x, p.y) for p in batch_result) == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(points_strategy(min_size=8, max_size=80),
+           points_strategy(min_size=1, max_size=20),
+           st.lists(rect_strategy(), min_size=1, max_size=4), rect_strategy())
+    def test_wazi_exact_after_inserts_and_deletes(
+        self, initial, inserts, workload, query
+    ):
+        index = WaZI(initial, workload, leaf_capacity=8, num_candidates=4, seed=2)
+        live = list(initial)
+        for point in inserts:
+            index.insert(point)
+            live.append(point)
+        for victim in initial[::3]:
+            if index.delete(victim):
+                live.remove(victim)
+        expected = sorted((p.x, p.y) for p in brute_force_range(live, query))
+        assert sorted((p.x, p.y) for p in index.range_query(query)) == expected
+        (batch_result,) = index.batch_range_query([query])
+        assert sorted((p.x, p.y) for p in batch_result) == expected
+        assert len(index) == len(live)

@@ -97,3 +97,64 @@ class TestLeafList:
     def test_size_bytes_sums_entries(self):
         leaflist = self.build_list(3)
         assert leaflist.size_bytes() == sum(e.size_bytes() for e in leaflist)
+
+
+class TestPackedLeaves:
+    def build_list(self, count=5):
+        leaflist = LeafList()
+        for i in range(count):
+            leaflist.append(make_entry(i, 0, i + 1, 1, [Point(i + 0.5, 0.5)]))
+        return leaflist
+
+    def test_packed_boxes_match_entries(self):
+        leaflist = self.build_list(4)
+        packed = leaflist.packed()
+        assert packed.boxes.shape == (4, 4)
+        for i, entry in enumerate(leaflist):
+            assert tuple(packed.boxes[i]) == entry.page.bbox_tuple()
+            assert packed.nonempty[i]
+
+    def test_packed_empty_leaf_uses_cell(self):
+        leaflist = self.build_list(2)
+        leaflist.append(make_entry(7, 0, 8, 1))
+        packed = leaflist.packed()
+        assert not packed.nonempty[2]
+        assert tuple(packed.boxes[2]) == (7.0, 0.0, 8.0, 1.0)
+
+    def test_refresh_entry_updates_row_and_lists(self):
+        leaflist = self.build_list(3)
+        packed = leaflist.packed()
+        lists = packed.lists()
+        leaflist[1].page.add(Point(1.9, 0.9))
+        leaflist.refresh_entry(1)
+        assert tuple(packed.boxes[1]) == leaflist[1].page.bbox_tuple()
+        assert lists[0][1] == list(leaflist[1].page.bbox_tuple())
+        assert lists[1][1] is True
+
+    def test_append_invalidates_packed(self):
+        leaflist = self.build_list(2)
+        first = leaflist.packed()
+        leaflist.append(make_entry(5, 0, 6, 1, [Point(5.5, 0.5)]))
+        second = leaflist.packed()
+        assert second is not first
+        assert second.boxes.shape[0] == 3
+
+    def test_splice_renumbers_and_shifts_pointers(self):
+        leaflist = self.build_list(5)
+        for entry in leaflist:
+            entry.below = entry.order + 2 if entry.order + 2 < 5 else END_OF_LIST
+        replacements = [
+            make_entry(2.0, 0, 2.5, 1, [Point(2.2, 0.5)]),
+            make_entry(2.5, 0, 3.0, 1, [Point(2.7, 0.5)]),
+        ]
+        leaflist.splice(2, replacements)
+        assert len(leaflist) == 6
+        assert leaflist.check_linked()
+        # Suffix pointers (old targets 5/EOL, > spliced index) shifted by +1.
+        assert leaflist[4].below == END_OF_LIST or leaflist[4].below == 6
+        assert leaflist[5].below == END_OF_LIST
+
+    def test_splice_requires_replacements(self):
+        leaflist = self.build_list(3)
+        with pytest.raises(ValueError):
+            leaflist.splice(1, [])

@@ -92,3 +92,59 @@ class TestPageAccounting:
 
     def test_repr_mentions_count(self):
         assert "n=2" in repr(Page(4, [Point(0, 0), Point(1, 1)]))
+
+
+class TestColumnarPage:
+    def test_from_arrays_roundtrip(self):
+        import numpy as np
+
+        xs = np.array([0.5, 1.5, 2.5])
+        ys = np.array([3.0, 1.0, 2.0])
+        page = Page.from_arrays(8, xs, ys)
+        assert len(page) == 3
+        assert page.points == [Point(0.5, 3.0), Point(1.5, 1.0), Point(2.5, 2.0)]
+        assert page.bbox == Rect(0.5, 1.0, 2.5, 3.0)
+
+    def test_from_arrays_grows_capacity_for_oversized_input(self):
+        import numpy as np
+
+        xs = np.arange(10, dtype=float)
+        page = Page.from_arrays(4, xs, xs)
+        assert len(page) == 10
+        assert page.capacity >= 10
+
+    def test_coordinate_views_track_mutations(self):
+        page = Page(4, [Point(1.0, 2.0)])
+        assert page.xs.tolist() == [1.0]
+        assert page.ys.tolist() == [2.0]
+        page.add(Point(3.0, 4.0))
+        assert page.xs.tolist() == [1.0, 3.0]
+        assert page.ys.tolist() == [2.0, 4.0]
+        page.remove(Point(1.0, 2.0))
+        assert page.xs.tolist() == [3.0]
+
+    def test_range_mask_matches_filter(self):
+        points = [Point(float(i), float(i % 4)) for i in range(12)]
+        page = Page(16, points)
+        query = Rect(2.0, 1.0, 9.0, 2.0)
+        mask = page.range_mask(query)
+        selected = [p for p, keep in zip(points, mask.tolist()) if keep]
+        assert selected == page.filter_range(query)
+
+    def test_bbox_tuple(self):
+        page = Page(4)
+        assert page.bbox_tuple() is None
+        page.add(Point(2.0, 5.0))
+        assert page.bbox_tuple() == (2.0, 5.0, 2.0, 5.0)
+
+    def test_remove_preserves_order_of_remaining_points(self):
+        points = [Point(0.0, 0.0), Point(1.0, 1.0), Point(2.0, 2.0), Point(3.0, 3.0)]
+        page = Page(8, points)
+        page.remove(Point(1.0, 1.0))
+        assert page.points == [Point(0.0, 0.0), Point(2.0, 2.0), Point(3.0, 3.0)]
+
+    def test_remove_duplicate_removes_single_occurrence(self):
+        page = Page(8, [Point(1.0, 1.0), Point(1.0, 1.0), Point(2.0, 2.0)])
+        assert page.remove(Point(1.0, 1.0))
+        assert len(page) == 2
+        assert page.contains_exact(Point(1.0, 1.0))

@@ -84,3 +84,72 @@ class TestZOrderMonotonicity:
                         low = interleave(x, y, bits=3)
                         high = interleave(x + dx, y + dy, bits=3)
                         assert low < high
+
+
+class TestVectorizedMorton:
+    def test_interleave_array_matches_scalar(self):
+        import numpy as np
+
+        from repro.zorder import interleave_array
+
+        rng = np.random.default_rng(21)
+        xs = rng.integers(0, 1 << 21, size=500)
+        ys = rng.integers(0, 1 << 21, size=500)
+        encoded = interleave_array(xs, ys, bits=21)
+        assert encoded.dtype == np.uint64
+        for x, y, z in zip(xs.tolist(), ys.tolist(), encoded.tolist()):
+            assert z == interleave(x, y, bits=21)
+
+    def test_deinterleave_array_roundtrip(self):
+        import numpy as np
+
+        from repro.zorder import deinterleave_array, interleave_array
+
+        rng = np.random.default_rng(22)
+        xs = rng.integers(0, 1 << 32, size=300)
+        ys = rng.integers(0, 1 << 32, size=300)
+        back_x, back_y = deinterleave_array(interleave_array(xs, ys, bits=32), bits=32)
+        assert (back_x == xs.astype("uint64")).all()
+        assert (back_y == ys.astype("uint64")).all()
+
+    def test_interleave_array_rejects_out_of_range(self):
+        import numpy as np
+
+        from repro.zorder import interleave_array
+
+        with pytest.raises(ValueError):
+            interleave_array(np.array([16]), np.array([0]), bits=4)
+        with pytest.raises(ValueError):
+            interleave_array(np.array([-1]), np.array([0]), bits=4)
+        with pytest.raises(ValueError):
+            interleave_array(np.array([0]), np.array([0]), bits=33)
+
+    def test_interleave_array_shape_mismatch(self):
+        import numpy as np
+
+        from repro.zorder import interleave_array
+
+        with pytest.raises(ValueError):
+            interleave_array(np.array([1, 2]), np.array([1]), bits=8)
+
+    def test_mapper_vectorized_addresses_match_scalar(self):
+        import numpy as np
+
+        from repro.geometry import Point, Rect
+        from repro.zorder.mapper import ZOrderMapper
+
+        rng = np.random.default_rng(23)
+        points = [Point(float(x), float(y)) for x, y in rng.random((200, 2)) * 7.0]
+        mapper = ZOrderMapper(Rect(0.0, 0.0, 7.0, 7.0), bits=12)
+        vectorized = mapper.z_addresses(points)
+        scalar = [mapper.z_address(p) for p in points]
+        assert vectorized == scalar
+
+    def test_deinterleave_array_masks_out_of_range_bits_like_scalar(self):
+        import numpy as np
+
+        from repro.zorder import deinterleave_array
+
+        z = np.array([0b11110000], dtype=np.uint64)
+        xs, ys = deinterleave_array(z, bits=2)
+        assert (int(xs[0]), int(ys[0])) == deinterleave(0b11110000, bits=2)

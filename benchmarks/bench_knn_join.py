@@ -1,0 +1,255 @@
+"""Smoke benchmark: correctness + speedup canary for the kNN/join engine.
+
+Companion to ``bench_smoke.py`` for the two non-range scenarios of the
+paper's Section 6.3 remark.  Runs in seconds (``--quick``) or under a
+minute (full) and checks two things for every index in the Z-index family:
+
+1. **Exactness** — ``batch_knn``, ``batch_radius_query`` and the batched
+   join operators return *byte-identical* results (contents and order) to
+   the scalar expanding-window / filter-and-refine decomposition the seed
+   implemented (``SpatialIndex.knn`` + one ``range_query`` per probe), and
+   kNN distances match a NumPy brute-force oracle.
+2. **Speedup** — the aggregate wall-clock of the batched scenarios beats
+   the scalar decomposition by at least ``--min-speedup``.  kNN dominates
+   the aggregate (the scalar path pays a Python distance sort per window);
+   the joins contribute smaller amortisation/refinement gains.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_knn_join.py            # full
+    PYTHONPATH=src python benchmarks/bench_knn_join.py --quick    # CI canary
+
+A full run also writes the measurement table to
+``results/bench_knn_join.txt`` (``--report`` overrides the path; pass
+``--report ""`` to skip).  Exit status is non-zero on a correctness
+failure or when the aggregate speedup falls below the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.core import WaZI
+from repro.geometry import Point, Rect
+from repro.interfaces import SpatialIndex
+from repro.joins import box_join, knn_join, radius_join
+from repro.workloads import (
+    dataset_extent,
+    generate_dataset,
+    generate_probe_points,
+    generate_range_workload,
+)
+from repro.zindex import BaseZIndex
+
+#: Query-window selectivity (percent of data-space area) of the join windows.
+JOIN_SELECTIVITY_PERCENT = 0.0256
+
+
+# ---------------------------------------------------------------------------
+# scalar reference decompositions (the seed's per-probe hot paths, pinned)
+# ---------------------------------------------------------------------------
+def scalar_knn_workload(index, probes, k):
+    """One ``SpatialIndex.knn`` (expanding window + Python sort) per probe."""
+    knn = SpatialIndex.knn
+    return [knn(index, probe, k) for probe in probes]
+
+
+def scalar_box_join(index, probes, half_width):
+    pairs = []
+    for probe in probes:
+        window = Rect(
+            probe.x - half_width, probe.y - half_width,
+            probe.x + half_width, probe.y + half_width,
+        )
+        for match in index.range_query(window):
+            pairs.append((probe, match))
+    return pairs
+
+
+def scalar_radius_join(index, probes, radius):
+    radius_squared = radius * radius
+    pairs = []
+    for probe in probes:
+        window = Rect(probe.x - radius, probe.y - radius, probe.x + radius, probe.y + radius)
+        for candidate in index.range_query(window):
+            if candidate.distance_squared(probe) <= radius_squared:
+                pairs.append((probe, candidate))
+    return pairs
+
+
+def scalar_knn_join(index, probes, k):
+    knn = SpatialIndex.knn
+    return [(probe, knn(index, probe, k)) for probe in probes]
+
+
+# ---------------------------------------------------------------------------
+# measurement helpers
+# ---------------------------------------------------------------------------
+@contextmanager
+def _gc_paused():
+    """Collect once, then keep the collector out of the timed region."""
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def measure_millis(fn, repeats):
+    """Best-of-``repeats`` wall clock of ``fn()`` in milliseconds."""
+    best = float("inf")
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def knn_oracle_distances(xs, ys, center, k):
+    """Sorted squared distances of the true k nearest points (NumPy oracle)."""
+    dx = xs - center.x
+    dy = ys - center.y
+    d2 = dx * dx
+    d2 += dy * dy
+    k = min(k, d2.size)
+    return np.sort(np.partition(d2, k - 1)[:k]).tolist()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: 20k points, fewer probes, relaxed threshold")
+    parser.add_argument("--region", default="newyork")
+    parser.add_argument("--num-points", type=int, default=None)
+    parser.add_argument("--num-probes", type=int, default=None)
+    parser.add_argument("--k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="Fail when the aggregate batch/scalar speedup drops "
+                             "below this (default 2.0, or 1.2 with --quick)")
+    parser.add_argument("--report", default=None,
+                        help="Write the measurement table to this path "
+                             "(default results/bench_knn_join.txt on full runs)")
+    args = parser.parse_args(argv)
+
+    num_points = args.num_points or (20_000 if args.quick else 100_000)
+    num_probes = args.num_probes or (30 if args.quick else 100)
+    min_speedup = args.min_speedup if args.min_speedup is not None else (
+        1.2 if args.quick else 2.0
+    )
+    repeats = 2 if args.quick else 3
+    report_path = args.report
+    if report_path is None and not args.quick:
+        report_path = "results/bench_knn_join.txt"
+
+    lines = []
+
+    def emit(text=""):
+        print(text)
+        lines.append(text)
+
+    emit(f"dataset: {args.region} n={num_points} probes={num_probes} "
+         f"k={args.k} seed={args.seed}")
+    points = generate_dataset(args.region, num_points, seed=args.seed)
+    xs = np.fromiter((p.x for p in points), dtype=np.float64, count=num_points)
+    ys = np.fromiter((p.y for p in points), dtype=np.float64, count=num_points)
+    probes = generate_probe_points(args.region, num_probes, seed=args.seed)
+    extent = dataset_extent(args.region)
+    half_width = float(np.sqrt(extent.area * JOIN_SELECTIVITY_PERCENT / 100.0)) / 2.0
+    workload = generate_range_workload(args.region, 50, JOIN_SELECTIVITY_PERCENT,
+                                       seed=args.seed)
+
+    failures = 0
+    scalar_total = 0.0
+    batch_total = 0.0
+    emit(f"{'index':>6} {'scenario':>12} {'scalar':>10} {'batch':>10} "
+         f"{'speedup':>8}  result")
+    for index_name, factory in (
+        ("WaZI", lambda: WaZI(points, workload.queries, leaf_capacity=64, seed=args.seed)),
+        ("Base", lambda: BaseZIndex(points, leaf_capacity=64)),
+    ):
+        index = factory()
+
+        # -- exactness ---------------------------------------------------
+        batch_neighbours = index.batch_knn(probes, args.k)
+        if batch_neighbours != scalar_knn_workload(index, probes, args.k):
+            emit(f"FAIL: {index_name} batch_knn differs from the scalar decomposition")
+            failures += 1
+        if [index.knn(p, args.k) for p in probes] != batch_neighbours:
+            emit(f"FAIL: {index_name} knn differs from batch_knn")
+            failures += 1
+        for probe, neighbours in zip(probes[:20], batch_neighbours):
+            got = [p.distance_squared(probe) for p in neighbours]
+            if got != knn_oracle_distances(xs, ys, probe, args.k):
+                emit(f"FAIL: {index_name} kNN distances differ from brute force at {probe}")
+                failures += 1
+                break
+        if box_join(index, probes, half_width) != scalar_box_join(index, probes, half_width):
+            emit(f"FAIL: {index_name} box_join differs from the scalar decomposition")
+            failures += 1
+        if radius_join(index, probes, half_width) != scalar_radius_join(index, probes, half_width):
+            emit(f"FAIL: {index_name} radius_join differs from the scalar decomposition")
+            failures += 1
+        if knn_join(index, probes, args.k) != scalar_knn_join(index, probes, args.k):
+            emit(f"FAIL: {index_name} knn_join differs from the scalar decomposition")
+            failures += 1
+
+        # -- latency -----------------------------------------------------
+        scenarios = (
+            (f"knn k={args.k}",
+             lambda: scalar_knn_workload(index, probes, args.k),
+             lambda: index.batch_knn(probes, args.k),
+             f"{sum(len(r) for r in batch_neighbours)} neighbours"),
+            ("box join",
+             lambda: scalar_box_join(index, probes, half_width),
+             lambda: box_join(index, probes, half_width),
+             f"{len(box_join(index, probes, half_width))} pairs"),
+            ("radius join",
+             lambda: scalar_radius_join(index, probes, half_width),
+             lambda: radius_join(index, probes, half_width),
+             f"{len(radius_join(index, probes, half_width))} pairs"),
+            (f"knn join k={args.k}",
+             lambda: scalar_knn_join(index, probes, args.k),
+             lambda: knn_join(index, probes, args.k),
+             f"{num_probes * args.k} pairs"),
+        )
+        for label, scalar_fn, batch_fn, result_note in scenarios:
+            scalar_ms = measure_millis(scalar_fn, repeats=repeats)
+            batch_ms = measure_millis(batch_fn, repeats=repeats)
+            scalar_total += scalar_ms
+            batch_total += batch_ms
+            emit(f"{index_name:>6} {label:>12} {scalar_ms:>8.1f}ms {batch_ms:>8.1f}ms "
+                 f"{scalar_ms / batch_ms:>7.2f}x  {result_note}")
+
+    speedup = scalar_total / batch_total
+    emit()
+    emit(f"aggregate speedup (scalar / batch over all scenarios): "
+         f"{speedup:.2f}x  (threshold {min_speedup:.1f}x)")
+
+    if report_path:
+        with open(report_path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        print(f"report written to {report_path}")
+
+    if failures:
+        print(f"\nFAILED: {failures} correctness failure(s)")
+        return 1
+    if speedup < min_speedup:
+        print(f"\nFAILED: aggregate speedup {speedup:.2f}x below {min_speedup:.1f}x")
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

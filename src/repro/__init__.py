@@ -31,10 +31,12 @@ from repro.analysis import RebuildAdvisor, WorkloadDriftDetector
 from repro.api import (
     build_index,
     compare_indexes,
+    run_join_workload,
+    run_knn_workload,
     run_point_workload,
     run_range_workload,
 )
-from repro.joins import box_join, knn_join, radius_join
+from repro.joins import box_join, knn_join, knn_join_pairs, radius_join
 from repro.baselines import (
     CURTree,
     FloodIndex,
@@ -50,7 +52,9 @@ from repro.geometry import Point, Rect
 from repro.interfaces import SpatialIndex
 from repro.workloads import (
     generate_dataset,
+    generate_knn_workload,
     generate_point_queries,
+    generate_probe_points,
     generate_range_workload,
     uniform_range_workload,
 )
@@ -80,13 +84,18 @@ __all__ = [
     "compare_indexes",
     "run_range_workload",
     "run_point_workload",
+    "run_knn_workload",
+    "run_join_workload",
     "generate_dataset",
     "generate_range_workload",
     "uniform_range_workload",
     "generate_point_queries",
+    "generate_probe_points",
+    "generate_knn_workload",
     "WorkloadDriftDetector",
     "RebuildAdvisor",
     "box_join",
     "radius_join",
     "knn_join",
+    "knn_join_pairs",
 ]

@@ -24,6 +24,8 @@ from repro.baselines import (
 from repro.core import BaseWithSkipping, WaZI, WaZIWithoutSkipping
 from repro.evaluation import (
     ComparisonRunner,
+    measure_join_workload,
+    measure_knn_queries,
     measure_point_queries,
     measure_range_queries,
 )
@@ -111,8 +113,21 @@ def compare_indexes(
     point_queries: Sequence[Point] = (),
     leaf_capacity: int = 64,
     seed: int = 0,
+    *,
+    knn_queries: Sequence[Point] = (),
+    knn_k: int = 10,
+    repeats: int = 1,
+    batch_ranges: bool = False,
+    batch_knn: bool = False,
 ) -> Dict[str, "object"]:
     """Build and measure several indexes on the same data and workload.
+
+    ``repeats`` and ``batch_ranges`` are forwarded to
+    :meth:`~repro.evaluation.runner.ComparisonRunner.run` (earlier
+    revisions dropped them, which made the batch engine unreachable from
+    this entry point).  ``knn_queries`` adds the kNN scenario measured per
+    index; ``batch_knn`` routes it through the amortised
+    :meth:`~repro.interfaces.SpatialIndex.batch_knn` path.
 
     Returns a mapping from index name to
     :class:`~repro.evaluation.runner.ComparisonResult`.
@@ -122,7 +137,15 @@ def compare_indexes(
         for name in names
     }
     runner = ComparisonRunner(factories)
-    return runner.run_dict(range_queries=list(workload), point_queries=list(point_queries))
+    return runner.run_dict(
+        range_queries=list(workload),
+        point_queries=list(point_queries),
+        knn_queries=list(knn_queries),
+        knn_k=knn_k,
+        repeats=repeats,
+        batch_ranges=batch_ranges,
+        batch_knn=batch_knn,
+    )
 
 
 def run_range_workload(index: SpatialIndex, workload: Sequence[Rect], batch: bool = False):
@@ -138,6 +161,38 @@ def run_range_workload(index: SpatialIndex, workload: Sequence[Rect], batch: boo
 def run_point_workload(index: SpatialIndex, queries: Sequence[Point]):
     """Measure a point-query workload on an already-built index."""
     return measure_point_queries(index, list(queries))
+
+
+def run_knn_workload(
+    index: SpatialIndex, centers: Sequence[Point], k: int = 10, batch: bool = False
+):
+    """Measure a kNN workload on an already-built index (wall clock + counters).
+
+    ``batch=True`` submits the probes through
+    :meth:`~repro.interfaces.SpatialIndex.batch_knn`, the amortised path
+    the Z-index family answers with its vectorized columnar kernel.
+    """
+    return measure_knn_queries(index, list(centers), k, batch=batch)
+
+
+def run_join_workload(
+    index: SpatialIndex,
+    probes: Sequence[Point],
+    kind: str = "box",
+    *,
+    half_width: Optional[float] = None,
+    radius: Optional[float] = None,
+    k: Optional[int] = None,
+):
+    """Measure a spatial-join workload (box / radius / knn) on an index.
+
+    Thin wrapper over
+    :func:`~repro.evaluation.runner.measure_join_workload`; see there for
+    the per-kind parameters.
+    """
+    return measure_join_workload(
+        index, list(probes), kind, half_width=half_width, radius=radius, k=k
+    )
 
 
 def workload_summary(stats) -> Dict[str, float]:

@@ -19,6 +19,8 @@ from repro.evaluation.runner import (
     ComparisonRunner,
     IndexFactory,
     measure_build,
+    measure_join_workload,
+    measure_knn_queries,
     measure_point_queries,
     measure_range_queries,
 )
@@ -33,6 +35,8 @@ __all__ = [
     "ComparisonRunner",
     "IndexFactory",
     "measure_build",
+    "measure_join_workload",
+    "measure_knn_queries",
     "measure_point_queries",
     "measure_range_queries",
     "cost_redemption",

@@ -151,6 +151,8 @@ class QueryStats:
     total_seconds: float
     counters: CostCounters = field(default_factory=CostCounters)
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Workload-specific scalars (e.g. join pair counts / selectivity).
+    extra: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mean_seconds(self) -> float:

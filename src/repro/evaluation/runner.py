@@ -32,6 +32,8 @@ class ComparisonResult:
     num_points: int
     range_stats: Optional[QueryStats] = None
     point_stats: Optional[QueryStats] = None
+    knn_stats: Optional[QueryStats] = None
+    join_stats: Optional[QueryStats] = None
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -41,6 +43,14 @@ class ComparisonResult:
     @property
     def point_mean_micros(self) -> float:
         return self.point_stats.mean_micros if self.point_stats else 0.0
+
+    @property
+    def knn_mean_micros(self) -> float:
+        return self.knn_stats.mean_micros if self.knn_stats else 0.0
+
+    @property
+    def join_mean_micros(self) -> float:
+        return self.join_stats.mean_micros if self.join_stats else 0.0
 
 
 def measure_build(factory: IndexFactory):
@@ -87,6 +97,86 @@ def measure_range_queries(
     )
 
 
+def measure_knn_queries(
+    index, centers: Sequence[Point], k: int, repeats: int = 1, batch: bool = False
+) -> QueryStats:
+    """Run a kNN workload, recording wall-clock and logical counters.
+
+    With ``batch=True`` the probes are submitted through
+    :meth:`~repro.interfaces.SpatialIndex.batch_knn` instead of one
+    :meth:`~repro.interfaces.SpatialIndex.knn` call per center, measuring
+    the amortised path the columnar indexes optimise.  Logical counters
+    (and results) are identical either way.
+    """
+    index.reset_counters()
+    start = time.perf_counter()
+    if batch:
+        for _ in range(max(1, repeats)):
+            index.batch_knn(centers, k)
+    else:
+        for _ in range(max(1, repeats)):
+            for center in centers:
+                index.knn(center, k)
+    elapsed = time.perf_counter() - start
+    return QueryStats(
+        index_name=getattr(index, "name", type(index).__name__),
+        num_queries=len(centers) * max(1, repeats),
+        total_seconds=elapsed,
+        counters=index.counters.copy(),
+        extra={"k": float(k)},
+    )
+
+
+def measure_join_workload(
+    index,
+    probes: Sequence[Point],
+    kind: str = "box",
+    *,
+    half_width: Optional[float] = None,
+    radius: Optional[float] = None,
+    k: Optional[int] = None,
+    repeats: int = 1,
+) -> QueryStats:
+    """Run one of the spatial-join operators as a measured workload.
+
+    ``kind`` selects the operator: ``"box"`` (requires ``half_width``),
+    ``"radius"`` (requires ``radius``) or ``"knn"`` (requires ``k``).  The
+    returned stats count one query per probe; ``extra`` carries the number
+    of result pairs and the join selectivity.
+    """
+    from repro.joins import box_join, join_selectivity, knn_join_pairs, radius_join
+
+    if kind == "box":
+        if half_width is None:
+            raise ValueError("box join needs half_width")
+        run = lambda: box_join(index, probes, half_width)
+    elif kind == "radius":
+        if radius is None:
+            raise ValueError("radius join needs radius")
+        run = lambda: radius_join(index, probes, radius)
+    elif kind == "knn":
+        if k is None:
+            raise ValueError("knn join needs k")
+        run = lambda: knn_join_pairs(index, probes, k)
+    else:
+        raise ValueError(f"Unknown join kind {kind!r}; expected box, radius or knn")
+    index.reset_counters()
+    start = time.perf_counter()
+    for _ in range(max(1, repeats)):
+        pairs = run()
+    elapsed = time.perf_counter() - start
+    return QueryStats(
+        index_name=getattr(index, "name", type(index).__name__),
+        num_queries=len(probes) * max(1, repeats),
+        total_seconds=elapsed,
+        counters=index.counters.copy(),
+        extra={
+            "num_pairs": float(len(pairs)),
+            "selectivity": join_selectivity(pairs, len(probes), len(index)),
+        },
+    )
+
+
 def measure_point_queries(index, points: Sequence[Point], repeats: int = 1) -> QueryStats:
     """Run a point-query workload, recording wall-clock and logical counters."""
     index.reset_counters()
@@ -127,7 +217,22 @@ class ComparisonRunner:
         point_queries: Sequence[Point] = (),
         repeats: int = 1,
         batch_ranges: bool = False,
+        *,
+        knn_queries: Sequence[Point] = (),
+        knn_k: int = 10,
+        join_probes: Sequence[Point] = (),
+        join_half_width: Optional[float] = None,
+        batch_knn: bool = False,
     ) -> List[ComparisonResult]:
+        """Build and measure every index on the supplied workloads.
+
+        ``knn_queries`` adds a kNN scenario (``knn_k`` neighbours per
+        center; ``batch_knn=True`` submits it through the amortised batch
+        path).  ``join_probes`` plus ``join_half_width`` adds a box-join
+        scenario measured through :func:`measure_join_workload`.
+        """
+        if join_probes and join_half_width is None:
+            raise ValueError("join_probes requires join_half_width")
         results: List[ComparisonResult] = []
         for name, factory in self.factories.items():
             index, build_seconds = measure_build(factory)
@@ -143,6 +248,14 @@ class ComparisonRunner:
                 )
             if point_queries:
                 result.point_stats = measure_point_queries(index, point_queries, repeats)
+            if knn_queries:
+                result.knn_stats = measure_knn_queries(
+                    index, knn_queries, knn_k, repeats, batch=batch_knn
+                )
+            if join_probes:
+                result.join_stats = measure_join_workload(
+                    index, join_probes, "box", half_width=join_half_width, repeats=repeats
+                )
             results.append(result)
         return results
 

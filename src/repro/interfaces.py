@@ -12,10 +12,36 @@ uniform way.
 from __future__ import annotations
 
 import abc
+import math
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.evaluation.metrics import CostCounters
-from repro.geometry import Point, Rect
+from repro.geometry import Point, Rect, points_to_arrays
+
+
+def require_finite_center(center: Point) -> None:
+    """Reject NaN/inf query centers before they reach a search loop.
+
+    A NaN coordinate builds an all-NaN window rectangle that every overlap
+    and containment test rejects, so the expanding-window kNN loop would
+    never find candidates *and* never observe that the window covers the
+    extent — an infinite loop instead of an error.
+    """
+    if not (math.isfinite(center.x) and math.isfinite(center.y)):
+        raise ValueError(f"query center coordinates must be finite, got {center!r}")
+
+
+def require_valid_radius(radius: float) -> None:
+    """Reject NaN/inf/negative query radii.
+
+    Like a NaN center, a NaN radius builds a window that silently matches
+    nothing; a negative radius would raise a confusing malformed-rectangle
+    error from deep inside the window construction.
+    """
+    if not math.isfinite(radius) or radius < 0:
+        raise ValueError(f"radius must be finite and non-negative, got {radius}")
 
 
 class SpatialIndex(abc.ABC):
@@ -83,6 +109,7 @@ class SpatialIndex(abc.ABC):
         exactly that, doubling the search window until ``k`` points are
         found and then pruning by exact distance.
         """
+        require_finite_center(center)
         if k <= 0:
             return []
         total = len(self)
@@ -101,6 +128,58 @@ class SpatialIndex(abc.ABC):
                 if len(within) >= k or self._window_covers_everything(window):
                     return (within if len(within) >= k else candidates)[:k]
             radius *= 2.0
+
+    def batch_radius_query(
+        self, centers: Sequence[Point], radius: float
+    ) -> List[List[Point]]:
+        """For every center, the indexed points within Euclidean ``radius``.
+
+        The classic filter-and-refine decomposition: a square window query
+        per center followed by an exact distance filter.  The default
+        refines with one vectorized mask over the candidate coordinate
+        columns; the Z-index family overrides it to evaluate both the
+        window and the distance predicate on its flat columns before any
+        candidate point is materialised.  Result lists preserve the
+        index's range-query order.
+        """
+        require_valid_radius(radius)
+        for center in centers:
+            require_finite_center(center)
+        radius_squared = radius * radius
+        results: List[List[Point]] = []
+        for center in centers:
+            window = Rect(
+                center.x - radius, center.y - radius, center.x + radius, center.y + radius
+            )
+            candidates = self.range_query(window)
+            if not candidates:
+                results.append([])
+                continue
+            xs, ys = points_to_arrays(candidates)
+            dx = xs - center.x
+            dy = ys - center.y
+            d2 = dx * dx
+            d2 += dy * dy
+            keep = np.flatnonzero(d2 <= radius_squared)
+            if keep.size == len(candidates):
+                results.append(candidates)
+            else:
+                results.append([candidates[i] for i in keep.tolist()])
+        return results
+
+    def batch_knn(
+        self, centers: Sequence[Point], k: int, initial_radius: Optional[float] = None
+    ) -> List[List[Point]]:
+        """Answer a whole workload of kNN queries at once.
+
+        Returns one neighbour list per center, in workload order, with
+        exactly the same contents (and ordering) as calling :meth:`knn`
+        once per center.  The default implementation does just that;
+        indexes with a columnar engine (the Z-index family) override it to
+        answer every probe through the vectorized kNN kernel with the
+        packed-leaf and flat-scan caches primed once up front.
+        """
+        return [self.knn(center, k, initial_radius) for center in centers]
 
     def _default_radius(self) -> float:
         extent = self.extent()

@@ -1,4 +1,4 @@
-"""Spatial joins and kNN joins on top of range queries.
+"""Spatial joins and kNN joins on top of (batched) range queries.
 
 Section 6.3 of the paper remarks that, for spatial indexes without a
 specialised kNN or join path (all the indexes evaluated), kNN and spatial
@@ -14,20 +14,65 @@ against any index in the library:
   followed by an exact distance filter),
 * :func:`knn_join` — for every probe point, its k nearest indexed
   neighbours, using the index's expanding-window kNN.
+
+All three helpers submit the whole probe set through the index's batch
+entry points (:meth:`~repro.interfaces.SpatialIndex.batch_range_query` /
+:meth:`~repro.interfaces.SpatialIndex.batch_knn`), so the Z-index family
+answers joins through its vectorized columnar engine while every other
+index transparently falls back to the scalar per-probe decomposition.  The
+refinement step of :func:`radius_join` filters candidate distances with
+NumPy array expressions instead of a per-pair Python loop.  Results are
+identical (contents *and* order) to the scalar decomposition.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+import math
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-from repro.geometry import Point, Rect
-from repro.interfaces import SpatialIndex
+import numpy as np
+
+from repro.geometry import Point, Rect, points_to_arrays
+from repro.interfaces import SpatialIndex, require_valid_radius
 
 JoinPairs = List[Tuple[Point, Point]]
 
+#: Per-probe kNN-join result: ``(probe, neighbours)`` in probe order.
+KnnJoinResult = List[Tuple[Point, List[Point]]]
+
+
+def _require_finite(name: str, value: float) -> None:
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+
+
+def _probe_columns(probes: Sequence[Point]):
+    """Probe coordinates as float64 columns, rejecting NaN/inf probes.
+
+    A NaN coordinate would otherwise build a window rectangle that every
+    containment test silently rejects (all comparisons with NaN are false),
+    making the probe vanish from the join result instead of failing loudly.
+    """
+    xs, ys = points_to_arrays(probes)
+    if not (np.isfinite(xs).all() and np.isfinite(ys).all()):
+        bad = int(np.flatnonzero(~(np.isfinite(xs) & np.isfinite(ys)))[0])
+        raise ValueError(
+            f"probe coordinates must be finite, got {probes[bad]!r} at position {bad}"
+        )
+    return xs, ys
+
+
+def _probe_windows(
+    xs: np.ndarray, ys: np.ndarray, half_width: float, half_height: float
+) -> List[Rect]:
+    return [
+        Rect(x - half_width, y - half_height, x + half_width, y + half_height)
+        for x, y in zip(xs.tolist(), ys.tolist())
+    ]
+
 
 def box_join(index: SpatialIndex, probes: Sequence[Point], half_width: float,
-             half_height: float = None) -> JoinPairs:
+             half_height: Optional[float] = None) -> JoinPairs:
     """Join probe points with indexed points inside an axis-aligned window.
 
     For each probe ``p`` the window is
@@ -35,21 +80,24 @@ def box_join(index: SpatialIndex, probes: Sequence[Point], half_width: float,
     (``half_height`` defaults to ``half_width``).  Returns the list of
     ``(probe, match)`` pairs, in probe order.
     """
+    _require_finite("half_width", half_width)
     if half_width < 0:
         raise ValueError(f"half_width must be non-negative, got {half_width}")
     if half_height is None:
         half_height = half_width
+    _require_finite("half_height", half_height)
     if half_height < 0:
         raise ValueError(f"half_height must be non-negative, got {half_height}")
-    pairs: JoinPairs = []
-    for probe in probes:
-        window = Rect(
-            probe.x - half_width, probe.y - half_height,
-            probe.x + half_width, probe.y + half_height,
-        )
-        for match in index.range_query(window):
-            pairs.append((probe, match))
-    return pairs
+    if not probes:
+        return []
+    xs, ys = _probe_columns(probes)
+    windows = _probe_windows(xs, ys, half_width, half_height)
+    results = index.batch_range_query(windows)
+    return [
+        (probe, match)
+        for probe, matches in zip(probes, results)
+        for match in matches
+    ]
 
 
 def radius_join(index: SpatialIndex, probes: Sequence[Point], radius: float) -> JoinPairs:
@@ -57,29 +105,51 @@ def radius_join(index: SpatialIndex, probes: Sequence[Point], radius: float) -> 
 
     Implemented as a square window query (the index does the heavy lifting)
     followed by an exact distance filter, which is the classic
-    filter-and-refine decomposition the paper's remark describes.
+    filter-and-refine decomposition the paper's remark describes.  The
+    refinement masks each probe's candidate distances in one vectorized
+    expression, with the same float arithmetic (and therefore the same
+    accept/reject decisions) as ``Point.distance_squared``.
     """
-    if radius < 0:
-        raise ValueError(f"radius must be non-negative, got {radius}")
-    radius_squared = radius * radius
-    pairs: JoinPairs = []
-    for probe in probes:
-        window = Rect(probe.x - radius, probe.y - radius, probe.x + radius, probe.y + radius)
-        for candidate in index.range_query(window):
-            if candidate.distance_squared(probe) <= radius_squared:
-                pairs.append((probe, candidate))
-    return pairs
+    require_valid_radius(radius)
+    if not probes:
+        return []
+    # batch_radius_query validates probe coordinates (require_finite_center).
+    results = index.batch_radius_query(probes, radius)
+    return [
+        (probe, match)
+        for probe, matches in zip(probes, results)
+        for match in matches
+    ]
 
 
-def knn_join(index: SpatialIndex, probes: Sequence[Point], k: int) -> Dict[Point, List[Point]]:
+def knn_join(index: SpatialIndex, probes: Sequence[Point], k: int) -> KnnJoinResult:
     """For every probe point, its ``k`` nearest indexed neighbours.
 
-    Returns a mapping from probe point to its neighbour list (closest
-    first).  Probes that share coordinates share one dictionary entry.
+    Returns one ``(probe, neighbours)`` entry per probe, in probe order,
+    with neighbours closest-first.  Every probe keeps its own entry:
+    earlier revisions returned a ``dict`` keyed by probe, which silently
+    collapsed duplicate-coordinate probes into one entry and made pair
+    counts (and :func:`join_selectivity`) wrong.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    return {probe: index.knn(probe, k) for probe in probes}
+    if not probes:
+        return []
+    # batch_knn validates probe coordinates (require_finite_center).
+    neighbour_lists = index.batch_knn(probes, k)
+    return list(zip(probes, neighbour_lists))
+
+
+def knn_join_pairs(index: SpatialIndex, probes: Sequence[Point], k: int) -> JoinPairs:
+    """:func:`knn_join` flattened to ``(probe, neighbour)`` pairs.
+
+    Convenient for feeding :func:`join_selectivity`, which counts pairs.
+    """
+    return [
+        (probe, neighbour)
+        for probe, neighbours in knn_join(index, probes, k)
+        for neighbour in neighbours
+    ]
 
 
 def join_selectivity(pairs: Iterable[Tuple[Point, Point]], num_probes: int, num_indexed: int) -> float:

@@ -28,10 +28,13 @@ from repro.workloads.datasets import (
 )
 from repro.workloads.checkins import generate_checkin_centers
 from repro.workloads.queries import (
+    ProbeWorkload,
     Workload,
     blend_workloads,
     generate_insert_points,
+    generate_knn_workload,
     generate_point_queries,
+    generate_probe_points,
     generate_range_workload,
     range_queries_from_centers,
     uniform_range_workload,
@@ -50,5 +53,8 @@ __all__ = [
     "uniform_range_workload",
     "generate_point_queries",
     "generate_insert_points",
+    "generate_probe_points",
+    "generate_knn_workload",
+    "ProbeWorkload",
     "blend_workloads",
 ]

@@ -173,6 +173,86 @@ def generate_point_queries(
     return hits + misses
 
 
+@dataclass
+class ProbeWorkload:
+    """A kNN / join probe workload plus the metadata describing it.
+
+    ``probes`` are the query centers (kNN) or the outer relation (joins);
+    ``k`` is the neighbour count for kNN scenarios (0 when unused).
+    """
+
+    probes: List[Point]
+    region: str = ""
+    k: int = 0
+    seed: int = 0
+    source: str = "checkins"
+    description: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.probes)
+
+    def __iter__(self):
+        return iter(self.probes)
+
+    def __getitem__(self, index: int) -> Point:
+        return self.probes[index]
+
+
+def generate_probe_points(
+    region: str, num_probes: int, seed: int = 0, source: str = "checkins"
+) -> List[Point]:
+    """Probe points for the kNN and spatial-join scenarios.
+
+    The paper's Section 6.3 remark treats kNN and joins as sets of range
+    queries, so their probes play the role the range-query *centers* play
+    in Section 6.2.  ``source`` selects the probe distribution:
+
+    * ``"checkins"`` (default) — probes follow the skewed check-in
+      distribution, i.e. the same skew-differs-from-data regime as the
+      paper's range workloads,
+    * ``"data"`` — probes sampled from the data distribution itself
+      (self-join flavour),
+    * ``"uniform"`` — probes uniform over the region's data space.
+    """
+    if num_probes < 0:
+        raise ValueError(f"num_probes must be non-negative, got {num_probes}")
+    if source == "checkins":
+        return generate_checkin_centers(region, num_probes, seed=seed)
+    if source == "data":
+        return generate_dataset(region, num_probes, seed=seed + 23)
+    if source == "uniform":
+        extent = dataset_extent(region)
+        rng = np.random.default_rng(seed)
+        return [
+            Point(float(x), float(y))
+            for x, y in zip(
+                rng.uniform(extent.xmin, extent.xmax, size=num_probes),
+                rng.uniform(extent.ymin, extent.ymax, size=num_probes),
+            )
+        ]
+    raise ValueError(
+        f"Unknown probe source {source!r}; expected checkins, data or uniform"
+    )
+
+
+def generate_knn_workload(
+    region: str, num_probes: int, k: int = 10, seed: int = 0, source: str = "checkins"
+) -> ProbeWorkload:
+    """A kNN probe workload: ``num_probes`` centers asking for ``k`` neighbours."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    probes = generate_probe_points(region, num_probes, seed=seed, source=source)
+    return ProbeWorkload(
+        probes=probes,
+        region=region,
+        k=k,
+        seed=seed,
+        source=source,
+        description=f"{region} {source} kNN workload @ k={k}",
+    )
+
+
 def generate_insert_points(region: str, num_inserts: int, seed: int = 0) -> List[Point]:
     """Insert stream: points uniform over the region's data space (Section 6.7)."""
     extent = dataset_extent(region)

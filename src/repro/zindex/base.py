@@ -40,7 +40,7 @@ import numpy as np
 
 from repro.evaluation.metrics import PhaseTimer
 from repro.geometry import Point, Rect, bounding_box, points_to_arrays
-from repro.interfaces import SpatialIndex
+from repro.interfaces import SpatialIndex, require_finite_center, require_valid_radius
 from repro.storage import LeafEntry, LeafList, Page
 from repro.storage.leaflist import END_OF_LIST
 from repro.zindex.node import (
@@ -313,12 +313,152 @@ class ZIndex(SpatialIndex):
         """
         if self.root is None:
             return [[] for _ in queries]
-        if not self.use_skipping:
-            self.leaflist.packed()
-        self._ensure_flat()
+        self._prime_query_caches()
         scan = self._scan_pages
         project = self._project
         return [scan(project(query)[2], query) for query in queries]
+
+    # ------------------------------------------------------------------
+    # kNN queries (Section 6.3 remark: decomposed into range queries)
+    # ------------------------------------------------------------------
+    def knn(self, center: Point, k: int, initial_radius: Optional[float] = None) -> List[Point]:
+        """k nearest neighbours through the vectorized columnar kernel.
+
+        Same expanding-window decomposition as the
+        :meth:`~repro.interfaces.SpatialIndex.knn` default — and identical
+        results, result ordering and cost counters — but each window is
+        answered with NumPy distance arithmetic over the flat coordinate
+        columns: candidate points are never boxed, squared distances are
+        computed in one array expression, and the neighbour ordering is a
+        stable ``argsort`` instead of a Python sort of ``Point`` objects.
+        """
+        require_finite_center(center)
+        if k <= 0 or self.root is None or len(self) == 0:
+            return []
+        if self._flat_starts is None and self._stale_scan_budget > 0:
+            # Recently mutated: fall back to the scalar decomposition, whose
+            # range queries honour the stale-scan budget — mixed insert/kNN
+            # workloads keep the per-page scan instead of paying an O(N)
+            # flat-cache rebuild per probe (mirrors range_query).
+            return SpatialIndex.knn(self, center, k, initial_radius)
+        self._prime_query_caches()
+        radius = initial_radius if initial_radius and initial_radius > 0 else self._default_radius()
+        return self._knn_columnar(center, min(k, len(self)), radius)
+
+    def batch_knn(
+        self, centers: Sequence[Point], k: int, initial_radius: Optional[float] = None
+    ) -> List[List[Point]]:
+        """Answer a workload of kNN queries through the columnar kernel.
+
+        Equivalent to ``[self.knn(c, k, initial_radius) for c in centers]``
+        (identical neighbour lists and cost counters) but primes the packed
+        leaf arrays and the flat scan cache once up front and resolves the
+        default search radius once for the whole batch.
+        """
+        for center in centers:
+            require_finite_center(center)
+        if k <= 0 or self.root is None or len(self) == 0:
+            return [[] for _ in centers]
+        self._prime_query_caches()
+        radius = initial_radius if initial_radius and initial_radius > 0 else self._default_radius()
+        kernel = self._knn_columnar
+        capped = min(k, len(self))
+        return [kernel(center, capped, radius) for center in centers]
+
+    def batch_radius_query(
+        self, centers: Sequence[Point], radius: float
+    ) -> List[List[Point]]:
+        """Euclidean within-radius queries evaluated on the flat columns.
+
+        Same results, ordering and cost counters as the filter-and-refine
+        default (window query + exact distance filter), but the distance
+        refinement happens on the flat coordinate columns *before* any
+        candidate point is boxed: only the points that survive both
+        predicates are gathered from the object cache.
+        """
+        require_valid_radius(radius)
+        for center in centers:
+            require_finite_center(center)
+        if self.root is None:
+            return [[] for _ in centers]
+        self._prime_query_caches()
+        counters = self.counters
+        radius_squared = radius * radius
+        results: List[List[Point]] = []
+        for center in centers:
+            cx = float(center.x)
+            cy = float(center.y)
+            window = Rect(cx - radius, cy - radius, cx + radius, cy + radius)
+            relevant = self._project(window)[2]
+            if not relevant:
+                results.append([])
+                continue
+            lo, hi, total = self._flat_span(relevant)
+            counters.pages_scanned += len(relevant)
+            counters.points_filtered += total
+            mask = self._window_mask(lo, hi, window)
+            candidate_x = self._flat_x[lo:hi][mask]
+            counters.points_returned += int(candidate_x.size)
+            if not candidate_x.size:
+                results.append([])
+                continue
+            candidate_y = self._flat_y[lo:hi][mask]
+            dx = candidate_x - cx
+            dy = candidate_y - cy
+            d2 = dx * dx
+            d2 += dy * dy
+            keep = d2 <= radius_squared
+            results.append(self._flat_points[lo:hi][mask][keep].tolist())
+        return results
+
+    def _prime_query_caches(self) -> None:
+        """Build the packed-leaf and flat-scan caches ahead of a query burst."""
+        if not self.use_skipping:
+            self.leaflist.packed()
+        self._ensure_flat()
+
+    def _knn_columnar(self, center: Point, k: int, radius: float) -> List[Point]:
+        """Expanding-window kNN over the flat columns (``k`` pre-capped).
+
+        Mirrors the scalar decomposition iteration for iteration, including
+        the per-window counter accounting of :meth:`_scan_pages`, so the
+        kernel is byte-compatible with ``SpatialIndex.knn`` on both results
+        and Figure 13 metrics.
+        """
+        cx = float(center.x)
+        cy = float(center.y)
+        counters = self.counters
+        while True:
+            window = Rect(cx - radius, cy - radius, cx + radius, cy + radius)
+            covers = self._window_covers_everything(window)
+            relevant = self._project(window)[2]
+            if relevant:
+                lo, hi, total = self._flat_span(relevant)
+                counters.pages_scanned += len(relevant)
+                counters.points_filtered += total
+                mask = self._window_mask(lo, hi, window)
+                candidate_x = self._flat_x[lo:hi][mask]
+                num_candidates = int(candidate_x.size)
+                counters.points_returned += num_candidates
+                if num_candidates >= k or covers:
+                    candidate_y = self._flat_y[lo:hi][mask]
+                    dx = candidate_x - cx
+                    dy = candidate_y - cy
+                    d2 = dx * dx
+                    d2 += dy * dy
+                    # Stable sort ⇒ ties keep candidate (curve) order, the
+                    # exact tie-break of the scalar ``list.sort``.  The
+                    # scalar path returns the distance-sorted candidate
+                    # prefix in both of its branches (``within`` is itself a
+                    # sorted prefix), so one argsort covers both.
+                    order = np.argsort(d2, kind="stable")
+                    within = int(np.searchsorted(d2[order], radius * radius, side="right"))
+                    if within >= k or covers:
+                        chosen = self._flat_points[lo:hi][mask][order[:k]]
+                        return chosen.tolist()
+            elif covers:
+                return []
+            radius *= 2.0
 
     def _project(self, query: Rect):
         """Projection phase: find the leaf interval and the overlapping leaves.
@@ -474,6 +614,27 @@ class ZIndex(SpatialIndex):
             self._stale_scan_budget -= 1
             return self._scan_pages_direct(indices, query)
         self._ensure_flat()
+        lo, hi, total = self._flat_span(indices)
+        counters.pages_scanned += len(indices)
+        counters.points_filtered += total
+        # A point matching the query necessarily lives in a leaf whose data
+        # bounding box overlaps the query, i.e. in one of the relevant
+        # leaves, so masking the whole contiguous span [first, last] returns
+        # exactly the points of the relevant pages that fall in the query —
+        # without a per-leaf gather.  (points_filtered above still counts
+        # only the relevant pages, preserving the Figure 13 metric.)
+        mask = self._window_mask(lo, hi, query)
+        results: List[Point] = self._flat_points[lo:hi][mask].tolist()
+        counters.points_returned += len(results)
+        return results
+
+    def _flat_span(self, indices: Sequence[int]):
+        """``(lo, hi, total)`` of the flat rows covered by the given leaves.
+
+        ``[lo, hi)`` is the contiguous flat-column span from the first to
+        the last leaf; ``total`` counts only the rows belonging to the
+        listed leaves themselves (the Figure 13 ``points_filtered`` metric).
+        """
         starts_l = self._flat_starts_list
         first = indices[0]
         last = indices[-1]
@@ -488,14 +649,14 @@ class ZIndex(SpatialIndex):
             starts = self._flat_starts
             idx = np.asarray(indices, dtype=np.int64)
             total = int((starts[idx + 1] - starts[idx]).sum())
-        counters.pages_scanned += num_pages
-        counters.points_filtered += total
-        # A point matching the query necessarily lives in a leaf whose data
-        # bounding box overlaps the query, i.e. in one of the relevant
-        # leaves, so masking the whole contiguous span [first, last] returns
-        # exactly the points of the relevant pages that fall in the query —
-        # without a per-leaf gather.  (points_filtered above still counts
-        # only the relevant pages, preserving the Figure 13 metric.)
+        return lo, hi, total
+
+    def _window_mask(self, lo: int, hi: int, query: Rect) -> np.ndarray:
+        """Containment mask of flat rows ``[lo, hi)`` against ``query``.
+
+        Writes into the reusable mask buffers; the returned view is only
+        valid until the next call.
+        """
         xs = self._flat_x[lo:hi]
         ys = self._flat_y[lo:hi]
         mask = self._mask_a[: hi - lo]
@@ -504,9 +665,7 @@ class ZIndex(SpatialIndex):
         np.logical_and(mask, np.less_equal(xs, query.xmax, out=scratch), out=mask)
         np.logical_and(mask, np.greater_equal(ys, query.ymin, out=scratch), out=mask)
         np.logical_and(mask, np.less_equal(ys, query.ymax, out=scratch), out=mask)
-        results: List[Point] = self._flat_points[lo:hi][mask].tolist()
-        counters.points_returned += len(results)
-        return results
+        return mask
 
     def _scan_pages_direct(self, indices: Sequence[int], query: Rect) -> List[Point]:
         """Per-page scan used while the flat cache is stale after updates.

@@ -3,7 +3,14 @@
 import pytest
 
 from repro import build_index, compare_indexes
-from repro.api import INDEX_NAMES, run_point_workload, run_range_workload, workload_summary
+from repro.api import (
+    INDEX_NAMES,
+    run_join_workload,
+    run_knn_workload,
+    run_point_workload,
+    run_range_workload,
+    workload_summary,
+)
 from repro.baselines import FloodIndex, STRRTree
 from repro.core import WaZI
 from repro.geometry import Point, Rect
@@ -55,6 +62,34 @@ class TestCompareIndexes:
             assert result.range_stats is not None
             assert result.point_stats is not None
 
+    def test_forwards_repeats_and_batch_ranges(self, clustered_points, small_workload):
+        """Regression: repeats/batch_ranges used to be silently dropped,
+        making the batch engine unreachable from the top-level API."""
+        results = compare_indexes(
+            ["base"],
+            clustered_points[:400],
+            small_workload.queries[:6],
+            seed=1,
+            repeats=3,
+            batch_ranges=True,
+        )
+        assert results["base"].range_stats.num_queries == 18
+
+    def test_measures_knn_scenario(self, clustered_points, small_workload):
+        results = compare_indexes(
+            ["base", "str"],
+            clustered_points[:400],
+            small_workload.queries[:6],
+            knn_queries=clustered_points[:8],
+            knn_k=4,
+            seed=1,
+            batch_knn=True,
+        )
+        for result in results.values():
+            assert result.knn_stats is not None
+            assert result.knn_stats.num_queries == 8
+            assert result.knn_stats.extra["k"] == 4.0
+
 
 class TestWorkloadHelpers:
     def test_run_range_workload(self, uniform_points, sample_queries):
@@ -66,6 +101,19 @@ class TestWorkloadHelpers:
         index = build_index("base", uniform_points)
         stats = run_point_workload(index, uniform_points[:10])
         assert stats.counters.points_returned == 10
+
+    def test_run_knn_workload(self, uniform_points):
+        index = build_index("base", uniform_points)
+        for batch in (False, True):
+            stats = run_knn_workload(index, uniform_points[:10], k=5, batch=batch)
+            assert stats.num_queries == 10
+            assert stats.counters.points_returned > 0
+
+    def test_run_join_workload(self, uniform_points):
+        index = build_index("base", uniform_points)
+        stats = run_join_workload(index, uniform_points[:10], "radius", radius=0.05)
+        assert stats.num_queries == 10
+        assert stats.extra["num_pairs"] >= 10  # every probe matches itself
 
     def test_workload_summary_keys(self, uniform_points, sample_queries):
         index = build_index("base", uniform_points)

@@ -8,6 +8,8 @@ from repro.evaluation import (
     format_table,
     index_properties_table,
     measure_build,
+    measure_join_workload,
+    measure_knn_queries,
     measure_point_queries,
     measure_range_queries,
     percent_improvement,
@@ -84,6 +86,83 @@ class TestComparisonRunner:
         (result,) = runner.run(range_queries=sample_queries[:5])
         assert result.point_stats is None
         assert result.range_stats.num_queries == 5
+
+
+class TestKnnAndJoinMeasurement:
+    def test_measure_knn_queries(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        centers = uniform_points[:12]
+        stats = measure_knn_queries(index, centers, k=5)
+        assert stats.num_queries == 12
+        assert stats.total_seconds > 0
+        assert stats.extra["k"] == 5.0
+        assert stats.counters.points_returned > 0
+
+    def test_measure_knn_queries_batch_counters_identical(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        centers = uniform_points[:12]
+        scalar = measure_knn_queries(index, centers, k=5, batch=False)
+        batch = measure_knn_queries(index, centers, k=5, batch=True)
+        assert scalar.counters.snapshot() == batch.counters.snapshot()
+        assert batch.num_queries == 12
+
+    def test_measure_knn_queries_repeats(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        stats = measure_knn_queries(index, uniform_points[:4], k=3, repeats=3, batch=True)
+        assert stats.num_queries == 12
+
+    @pytest.mark.parametrize(
+        "kind,params",
+        [
+            ("box", {"half_width": 0.05}),
+            ("radius", {"radius": 0.05}),
+            ("knn", {"k": 3}),
+        ],
+    )
+    def test_measure_join_workload(self, uniform_points, kind, params):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        probes = uniform_points[:10]
+        stats = measure_join_workload(index, probes, kind, **params)
+        assert stats.num_queries == 10
+        assert stats.extra["num_pairs"] > 0
+        assert 0.0 < stats.extra["selectivity"] <= 1.0
+
+    def test_measure_join_workload_validates_arguments(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        with pytest.raises(ValueError):
+            measure_join_workload(index, uniform_points[:3], "box")
+        with pytest.raises(ValueError):
+            measure_join_workload(index, uniform_points[:3], "radius")
+        with pytest.raises(ValueError):
+            measure_join_workload(index, uniform_points[:3], "knn")
+        with pytest.raises(ValueError):
+            measure_join_workload(index, uniform_points[:3], "hash", half_width=0.1)
+
+    def test_runner_measures_knn_and_join_scenarios(self, uniform_points, sample_queries):
+        runner = ComparisonRunner({
+            "base": lambda: BaseZIndex(uniform_points, leaf_capacity=16),
+        })
+        (result,) = runner.run(
+            range_queries=sample_queries[:5],
+            knn_queries=uniform_points[:8],
+            knn_k=4,
+            join_probes=uniform_points[:6],
+            join_half_width=0.05,
+            batch_knn=True,
+        )
+        assert result.knn_stats is not None
+        assert result.knn_stats.num_queries == 8
+        assert result.knn_mean_micros > 0
+        assert result.join_stats is not None
+        assert result.join_stats.num_queries == 6
+        assert result.join_mean_micros > 0
+
+    def test_runner_join_probes_require_half_width(self, uniform_points):
+        runner = ComparisonRunner({
+            "base": lambda: BaseZIndex(uniform_points, leaf_capacity=16),
+        })
+        with pytest.raises(ValueError):
+            runner.run(join_probes=uniform_points[:4])
 
 
 class TestCostRedemption:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.baselines import ZPGMIndex
 from repro.geometry import Point, Rect
-from repro.interfaces import brute_force_knn, brute_force_range
+from repro.interfaces import SpatialIndex, brute_force_knn, brute_force_range
 from repro.zindex import BaseZIndex
 
 
@@ -63,6 +63,38 @@ class TestSpatialIndexDefaults:
         expected_distances = sorted(p.distance_squared(center) for p in expected)
         got_distances = sorted(p.distance_squared(center) for p in got)
         assert got_distances == pytest.approx(expected_distances)
+
+    def test_batch_knn_default_equals_per_center_loop(self, uniform_points):
+        index = ZPGMIndex(uniform_points)
+        centers = uniform_points[:8]
+        assert index.batch_knn(centers, 4) == [index.knn(c, 4) for c in centers]
+
+    def test_batch_radius_query_default_is_exact(self, uniform_points):
+        index = ZPGMIndex(uniform_points)
+        centers = uniform_points[:8]
+        results = index.batch_radius_query(centers, 0.08)
+        for center, got in zip(centers, results):
+            expected = [
+                p for p in index.range_query(
+                    Rect(center.x - 0.08, center.y - 0.08, center.x + 0.08, center.y + 0.08)
+                )
+                if p.distance_squared(center) <= 0.08 * 0.08
+            ]
+            assert got == expected
+
+    def test_batch_radius_query_override_matches_default(self, uniform_points):
+        """The Z-index columnar override agrees with the protocol default,
+        results and counters alike."""
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        centers = uniform_points[:10] + [Point(5.0, 5.0)]
+        index.reset_counters()
+        got = index.batch_radius_query(centers, 0.06)
+        override_counters = index.counters.snapshot()
+        index.reset_counters()
+        expected = SpatialIndex.batch_radius_query(index, centers, 0.06)
+        default_counters = index.counters.snapshot()
+        assert got == expected
+        assert override_counters == default_counters
 
     def test_reset_counters(self, uniform_points):
         index = BaseZIndex(uniform_points, leaf_capacity=16)

@@ -3,9 +3,15 @@
 import pytest
 
 from repro import WaZI, BaseZIndex, build_index
-from repro.geometry import Point
-from repro.joins import box_join, join_selectivity, knn_join, radius_join
-from repro.interfaces import brute_force_knn
+from repro.geometry import Point, Rect
+from repro.joins import (
+    box_join,
+    join_selectivity,
+    knn_join,
+    knn_join_pairs,
+    radius_join,
+)
+from repro.interfaces import SpatialIndex, brute_force_knn
 
 
 def brute_force_radius_join(data, probes, radius):
@@ -14,6 +20,33 @@ def brute_force_radius_join(data, probes, radius):
         for point in data:
             if point.distance_squared(probe) <= radius * radius:
                 pairs.append((probe, point))
+    return pairs
+
+
+def scalar_box_join(index, probes, half_width, half_height=None):
+    """The seed's per-probe, per-pair box-join decomposition (reference)."""
+    if half_height is None:
+        half_height = half_width
+    pairs = []
+    for probe in probes:
+        window = Rect(
+            probe.x - half_width, probe.y - half_height,
+            probe.x + half_width, probe.y + half_height,
+        )
+        for match in index.range_query(window):
+            pairs.append((probe, match))
+    return pairs
+
+
+def scalar_radius_join(index, probes, radius):
+    """The seed's per-probe, per-pair radius-join decomposition (reference)."""
+    radius_squared = radius * radius
+    pairs = []
+    for probe in probes:
+        window = Rect(probe.x - radius, probe.y - radius, probe.x + radius, probe.y + radius)
+        for candidate in index.range_query(window):
+            if candidate.distance_squared(probe) <= radius_squared:
+                pairs.append((probe, candidate))
     return pairs
 
 
@@ -89,13 +122,91 @@ class TestKnnJoin:
         index = build_index("str", uniform_points, leaf_capacity=16)
         probes = uniform_points[:10]
         result = knn_join(index, probes, 4)
-        for probe in probes:
+        assert [probe for probe, _ in result] == probes
+        for probe, got in result:
             expected = brute_force_knn(uniform_points, probe, 4)
-            got = result[probe]
             assert len(got) == 4
             expected_distances = sorted(p.distance_squared(probe) for p in expected)
             got_distances = sorted(p.distance_squared(probe) for p in got)
             assert got_distances == pytest.approx(expected_distances)
+
+    def test_duplicate_probes_keep_their_own_entries(self, uniform_points):
+        """Regression: duplicate-coordinate probes used to collapse into one
+        dict entry, silently dropping pairs and corrupting selectivity."""
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        probe = uniform_points[0]
+        probes = [probe, Point(probe.x, probe.y), probe]
+        result = knn_join(index, probes, 3)
+        assert len(result) == len(probes)
+        first_neighbours = result[0][1]
+        for returned_probe, neighbours in result:
+            assert returned_probe == probe
+            assert neighbours == first_neighbours
+        pairs = knn_join_pairs(index, probes, 3)
+        assert len(pairs) == len(probes) * 3
+        selectivity = join_selectivity(pairs, len(probes), len(uniform_points))
+        assert selectivity == pytest.approx(9 / (3 * len(uniform_points)))
+
+    def test_matches_scalar_expanding_window_decomposition(self, clustered_points):
+        index = BaseZIndex(clustered_points, leaf_capacity=32)
+        probes = clustered_points[:25]
+        result = knn_join(index, probes, 5)
+        for probe, neighbours in result:
+            assert neighbours == SpatialIndex.knn(index, probe, 5)
+
+
+class TestProbeValidation:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_non_finite_probe_rejected_everywhere(self, uniform_points, bad):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        probes = [uniform_points[0], Point(bad, 0.5)]
+        with pytest.raises(ValueError, match="finite"):
+            box_join(index, probes, 0.1)
+        with pytest.raises(ValueError, match="finite"):
+            radius_join(index, probes, 0.1)
+        with pytest.raises(ValueError, match="finite"):
+            knn_join(index, probes, 3)
+
+    def test_non_finite_parameters_rejected(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        with pytest.raises(ValueError, match="finite"):
+            box_join(index, uniform_points[:2], float("nan"))
+        with pytest.raises(ValueError, match="finite"):
+            box_join(index, uniform_points[:2], 0.1, float("inf"))
+        with pytest.raises(ValueError, match="finite"):
+            radius_join(index, uniform_points[:2], float("nan"))
+
+    def test_empty_probe_set(self, uniform_points):
+        index = BaseZIndex(uniform_points, leaf_capacity=16)
+        assert box_join(index, [], 0.1) == []
+        assert radius_join(index, [], 0.1) == []
+        assert knn_join(index, [], 3) == []
+
+
+class TestVectorizedAgainstScalarDecomposition:
+    """The batched joins are byte-identical to the seed's scalar loops."""
+
+    def test_box_join_identical(self, clustered_points, small_workload):
+        for index in (
+            BaseZIndex(clustered_points, leaf_capacity=32),
+            WaZI(clustered_points, small_workload.queries, leaf_capacity=32, seed=3),
+        ):
+            probes = clustered_points[:40]
+            assert box_join(index, probes, 0.8, 0.5) == scalar_box_join(index, probes, 0.8, 0.5)
+
+    def test_radius_join_identical(self, clustered_points, small_workload):
+        for index in (
+            BaseZIndex(clustered_points, leaf_capacity=32),
+            WaZI(clustered_points, small_workload.queries, leaf_capacity=32, seed=3),
+        ):
+            probes = clustered_points[:40]
+            assert radius_join(index, probes, 0.9) == scalar_radius_join(index, probes, 0.9)
+
+    def test_non_zindex_fallback_identical(self, uniform_points):
+        index = build_index("str", uniform_points, leaf_capacity=16)
+        probes = uniform_points[:25]
+        assert box_join(index, probes, 0.07) == scalar_box_join(index, probes, 0.07)
+        assert radius_join(index, probes, 0.07) == scalar_radius_join(index, probes, 0.07)
 
 
 class TestJoinSelectivity:

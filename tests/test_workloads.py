@@ -11,7 +11,9 @@ from repro.workloads import (
     generate_checkin_centers,
     generate_dataset,
     generate_insert_points,
+    generate_knn_workload,
     generate_point_queries,
+    generate_probe_points,
     generate_range_workload,
     range_queries_from_centers,
     region_spec,
@@ -177,6 +179,46 @@ class TestPointAndInsertWorkloads:
         extent = dataset_extent("iberia")
         assert len(inserts) == 400
         assert all(extent.contains_xy(p.x, p.y) for p in inserts)
+
+
+class TestProbeWorkloads:
+    @pytest.mark.parametrize("source", ["checkins", "data", "uniform"])
+    def test_probes_inside_extent(self, source):
+        extent = dataset_extent("newyork")
+        probes = generate_probe_points("newyork", 120, seed=3, source=source)
+        assert len(probes) == 120
+        assert all(extent.contains_xy(p.x, p.y) for p in probes)
+
+    def test_deterministic_given_seed(self):
+        a = generate_probe_points("japan", 50, seed=5)
+        b = generate_probe_points("japan", 50, seed=5)
+        c = generate_probe_points("japan", 50, seed=6)
+        assert a == b
+        assert a != c
+
+    def test_sources_differ(self):
+        checkins = generate_probe_points("newyork", 80, seed=1, source="checkins")
+        data = generate_probe_points("newyork", 80, seed=1, source="data")
+        uniform = generate_probe_points("newyork", 80, seed=1, source="uniform")
+        assert checkins != data
+        assert checkins != uniform
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            generate_probe_points("newyork", -1)
+        with pytest.raises(ValueError):
+            generate_probe_points("newyork", 10, source="martian")
+        with pytest.raises(ValueError):
+            generate_knn_workload("newyork", 10, k=0)
+
+    def test_knn_workload_metadata(self):
+        workload = generate_knn_workload("iberia", 30, k=7, seed=2)
+        assert len(workload) == 30
+        assert workload.k == 7
+        assert workload.region == "iberia"
+        assert "k=7" in workload.description
+        assert workload[0] == workload.probes[0]
+        assert list(iter(workload)) == workload.probes
 
 
 class TestWorkloadBlending:

@@ -30,11 +30,21 @@ Quickstart::
 from repro.analysis import RebuildAdvisor, WorkloadDriftDetector
 from repro.api import (
     build_index,
+    build_or_load_index,
     compare_indexes,
     run_join_workload,
     run_knn_workload,
     run_point_workload,
     run_range_workload,
+    run_snapshot_roundtrip,
+)
+from repro.persistence import (
+    IndexLoadError,
+    PersistenceError,
+    SnapshotError,
+    load_snapshot,
+    save_rebuild_snapshot,
+    save_snapshot,
 )
 from repro.joins import box_join, knn_join, knn_join_pairs, radius_join
 from repro.baselines import (
@@ -81,11 +91,19 @@ __all__ = [
     "QuadTreeIndex",
     "KDTreeIndex",
     "build_index",
+    "build_or_load_index",
     "compare_indexes",
     "run_range_workload",
     "run_point_workload",
     "run_knn_workload",
     "run_join_workload",
+    "run_snapshot_roundtrip",
+    "save_snapshot",
+    "load_snapshot",
+    "save_rebuild_snapshot",
+    "PersistenceError",
+    "SnapshotError",
+    "IndexLoadError",
     "generate_dataset",
     "generate_range_workload",
     "uniform_range_workload",

@@ -23,6 +23,7 @@ from repro.evaluation.runner import (
     measure_knn_queries,
     measure_point_queries,
     measure_range_queries,
+    measure_snapshot_roundtrip,
 )
 from repro.evaluation.cost_redemption import cost_redemption
 from repro.evaluation.reporting import format_table, index_properties_table, percent_improvement
@@ -39,6 +40,7 @@ __all__ = [
     "measure_knn_queries",
     "measure_point_queries",
     "measure_range_queries",
+    "measure_snapshot_roundtrip",
     "cost_redemption",
     "format_table",
     "index_properties_table",

@@ -11,9 +11,11 @@ of the paper's tables and figures.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.evaluation.metrics import CostCounters, PhaseTimer, QueryStats
 from repro.geometry import Point, Rect
@@ -177,6 +179,45 @@ def measure_join_workload(
     )
 
 
+def measure_snapshot_roundtrip(
+    index,
+    path: Union[str, Path],
+    build_seconds: Optional[float] = None,
+    repeats: int = 3,
+) -> Dict[str, float]:
+    """Measure the save/load cycle of a structural snapshot.
+
+    Saves ``index`` to ``path`` (:func:`repro.persistence.save_snapshot`),
+    then loads it back ``repeats`` times, recording the best load time —
+    the number a serving deployment cares about.  Returns a flat stats
+    dict (``snapshot_save_seconds``, ``snapshot_load_seconds``,
+    ``snapshot_bytes`` and, when ``build_seconds`` is given,
+    ``snapshot_load_speedup`` = build / load, the load-vs-rebuild ratio).
+
+    Raises :class:`TypeError` for indexes without structural snapshot
+    support (everything outside the Z-index family), mirroring
+    ``save_snapshot``; callers measuring a mixed fleet should catch it.
+    """
+    from repro.persistence import load_snapshot, save_snapshot
+
+    start = time.perf_counter()
+    save_snapshot(index, path)
+    save_seconds = time.perf_counter() - start
+    load_seconds = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        load_snapshot(path)
+        load_seconds = min(load_seconds, time.perf_counter() - start)
+    stats = {
+        "snapshot_save_seconds": save_seconds,
+        "snapshot_load_seconds": load_seconds,
+        "snapshot_bytes": float(os.path.getsize(path)),
+    }
+    if build_seconds is not None and load_seconds > 0:
+        stats["snapshot_load_speedup"] = build_seconds / load_seconds
+    return stats
+
+
 def measure_point_queries(index, points: Sequence[Point], repeats: int = 1) -> QueryStats:
     """Run a point-query workload, recording wall-clock and logical counters."""
     index.reset_counters()
@@ -223,6 +264,7 @@ class ComparisonRunner:
         join_probes: Sequence[Point] = (),
         join_half_width: Optional[float] = None,
         batch_knn: bool = False,
+        snapshot_dir: Optional[Union[str, Path]] = None,
     ) -> List[ComparisonResult]:
         """Build and measure every index on the supplied workloads.
 
@@ -230,9 +272,20 @@ class ComparisonRunner:
         center; ``batch_knn=True`` submits it through the amortised batch
         path).  ``join_probes`` plus ``join_half_width`` adds a box-join
         scenario measured through :func:`measure_join_workload`.
+
+        ``snapshot_dir`` adds a persistence scenario: every index with
+        structural snapshot support is saved to and re-loaded from
+        ``<snapshot_dir>/<name>.snapshot``, and the
+        ``snapshot_save_seconds`` / ``snapshot_load_seconds`` /
+        ``snapshot_bytes`` / ``snapshot_load_speedup`` measurements of
+        :func:`measure_snapshot_roundtrip` land in
+        :attr:`ComparisonResult.extra` (indexes without snapshot support
+        are skipped silently — their ``extra`` stays empty).
         """
         if join_probes and join_half_width is None:
             raise ValueError("join_probes requires join_half_width")
+        if snapshot_dir is not None:
+            Path(snapshot_dir).mkdir(parents=True, exist_ok=True)
         results: List[ComparisonResult] = []
         for name, factory in self.factories.items():
             index, build_seconds = measure_build(factory)
@@ -256,9 +309,22 @@ class ComparisonRunner:
                 result.join_stats = measure_join_workload(
                     index, join_probes, "box", half_width=join_half_width, repeats=repeats
                 )
+            # Measured last so saving (which primes the flat columns) cannot
+            # warm the caches ahead of the query measurements above.
+            if snapshot_dir is not None and hasattr(index, "snapshot_state"):
+                result.extra.update(measure_snapshot_roundtrip(
+                    index,
+                    Path(snapshot_dir) / f"{_safe_filename(name)}.snapshot",
+                    build_seconds=build_seconds,
+                ))
             results.append(result)
         return results
 
     def run_dict(self, **kwargs) -> Dict[str, ComparisonResult]:
         """Like :meth:`run` but keyed by index name."""
         return {result.index_name: result for result in self.run(**kwargs)}
+
+
+def _safe_filename(name: str) -> str:
+    """Index names like ``base+sk`` made filesystem-safe for snapshot files."""
+    return "".join(c if c.isalnum() or c in "-_." else "_" for c in name)

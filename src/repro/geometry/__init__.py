@@ -13,7 +13,13 @@ paper relies on:
   which underlies the retrieval-cost model of Section 4.2.
 """
 
-from repro.geometry.point import Point, as_points, dominates, points_to_arrays
+from repro.geometry.point import (
+    Point,
+    as_points,
+    dominates,
+    points_from_arrays,
+    points_to_arrays,
+)
 from repro.geometry.rect import (
     Rect,
     bounding_box,
@@ -31,6 +37,7 @@ __all__ = [
     "bounding_box",
     "bounding_box_of_rects",
     "classify_quadrants",
+    "points_from_arrays",
     "points_to_arrays",
     "rect_from_center",
     "rect_from_points",

@@ -83,3 +83,18 @@ def points_to_arrays(points):
     xs = np.fromiter((p.x for p in points), dtype=np.float64, count=n)
     ys = np.fromiter((p.y for p in points), dtype=np.float64, count=n)
     return xs, ys
+
+
+def points_from_arrays(xs, ys) -> list:
+    """Box two coordinate columns back into a list of :class:`Point`.
+
+    The inverse of :func:`points_to_arrays`, used by the persistence layer
+    when materialising datasets from stored columns.  Iterating the
+    ``tolist()`` conversions keeps the boxing loop at C level for the float
+    extraction, the same idiom as :attr:`repro.storage.Page.points`.
+    """
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    if xs.shape != ys.shape:
+        raise ValueError(f"coordinate columns differ in shape: {xs.shape} vs {ys.shape}")
+    return [Point(x, y) for x, y in zip(xs.tolist(), ys.tolist())]

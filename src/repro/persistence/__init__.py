@@ -1,0 +1,108 @@
+"""Saving and loading datasets, workloads and built indexes.
+
+A production deployment of WaZI builds the index offline (the paper notes
+it is "suited for workflows where index construction can be performed
+offline ... and deployed for an extended amount of time") and ships it to
+query servers.  This package provides the persistence formats for that
+workflow, from most to least durable:
+
+* **datasets and workloads** — compact JSON
+  (:mod:`~repro.persistence.json_codecs`: portable, diffable, easy to
+  inspect) or binary coordinate columns
+  (:mod:`~repro.persistence.arrays`: milliseconds to load at millions of
+  points).  Rebuilding from these is deterministic given the construction
+  seed and survives any library version.
+* **structural snapshots** — :func:`save_snapshot` / :func:`load_snapshot`
+  store a built Z-index-family index as flat arrays in a versioned binary
+  container and restore it in O(n) memcpy-level work, skipping the
+  O(n log n) construction entirely.  :func:`save_rebuild_snapshot` extends
+  the same container to the rest of the index zoo by persisting the
+  dataset plus build recipe.
+* **pickles** — :func:`save_index` / :func:`load_index` for same-version
+  convenience, now wrapped in a versioned envelope so stale pickles fail
+  with a clear "rebuild from the dataset" error instead of an opaque
+  ``AttributeError``.
+
+See ``docs/PERSISTENCE.md`` for the container layout, manifest fields and
+format-version compatibility rules.
+"""
+
+from repro.persistence.arrays import (
+    load_points_binary,
+    load_points_columns,
+    load_queries_binary,
+    rects_from_array,
+    rects_to_array,
+    save_points_binary,
+    save_queries_binary,
+)
+from repro.persistence.container import (
+    CONTAINER_FORMAT,
+    read_container,
+    read_manifest,
+    write_container,
+)
+from repro.persistence.errors import (
+    DatasetFormatError,
+    IndexLoadError,
+    PersistenceError,
+    SnapshotError,
+    SnapshotFormatError,
+    SnapshotVersionError,
+)
+from repro.persistence.json_codecs import (
+    load_points,
+    load_queries,
+    save_points,
+    save_queries,
+)
+from repro.persistence.pickle_codecs import (
+    PICKLE_FORMAT_VERSION,
+    load_index,
+    save_index,
+)
+from repro.persistence.snapshot import (
+    KIND_REBUILD,
+    KIND_ZINDEX,
+    SNAPSHOT_FORMAT_VERSION,
+    dataset_fingerprint,
+    load_snapshot,
+    save_rebuild_snapshot,
+    save_snapshot,
+    workload_fingerprint,
+)
+
+__all__ = [
+    "CONTAINER_FORMAT",
+    "DatasetFormatError",
+    "IndexLoadError",
+    "KIND_REBUILD",
+    "KIND_ZINDEX",
+    "PersistenceError",
+    "PICKLE_FORMAT_VERSION",
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "SnapshotVersionError",
+    "dataset_fingerprint",
+    "load_index",
+    "load_points",
+    "load_points_binary",
+    "load_points_columns",
+    "load_queries",
+    "load_queries_binary",
+    "load_snapshot",
+    "read_container",
+    "read_manifest",
+    "rects_from_array",
+    "rects_to_array",
+    "save_index",
+    "save_points",
+    "save_points_binary",
+    "save_queries",
+    "save_queries_binary",
+    "save_rebuild_snapshot",
+    "save_snapshot",
+    "workload_fingerprint",
+    "write_container",
+]

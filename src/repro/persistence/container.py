@@ -1,0 +1,171 @@
+"""The snapshot container: a ZIP of NPY members plus a JSON manifest.
+
+Layout (documented in ``docs/PERSISTENCE.md``)::
+
+    snapshot.zip
+    ├── manifest.json        UTF-8 JSON, always first; everything scalar
+    └── <name>.npy           one uncompressed NPY member per array column
+
+Members are stored **uncompressed** (``ZIP_STORED``): loading an array is
+then a single sequential read into a freshly allocated buffer — effectively
+a memcpy from the page cache — instead of an inflate pass, which is the
+point of a binary snapshot format.  Member timestamps are pinned so that
+saving the same index twice produces byte-identical files (handy for
+content-addressed artifact stores and for tests).
+
+This module knows nothing about *what* is stored; it only enforces the
+container framing: the magic ``format`` marker, the manifest/array
+consistency, and readable NPY members.  Kind- and version-negotiation live
+with the codecs in :mod:`repro.persistence.snapshot`.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Dict, Mapping, Tuple, Union
+
+import numpy as np
+
+from repro.persistence.errors import SnapshotFormatError
+
+PathLike = Union[str, Path]
+
+#: Value of the manifest's ``format`` field identifying our containers.
+CONTAINER_FORMAT = "repro-snapshot"
+
+_MANIFEST_MEMBER = "manifest.json"
+_ARRAY_SUFFIX = ".npy"
+
+# Fixed ZIP member timestamp (ZIP's epoch): identical input produces
+# identical bytes regardless of when the snapshot is written.
+_FIXED_DATE_TIME = (1980, 1, 1, 0, 0, 0)
+
+
+def write_container(
+    path: PathLike, manifest: Dict, arrays: Mapping[str, np.ndarray]
+) -> None:
+    """Write a manifest + arrays container to ``path`` atomically enough.
+
+    The manifest is augmented with the ``format`` marker and an ``arrays``
+    section recording each member's dtype and shape (purely informational —
+    the NPY headers remain authoritative on load).  Array names must be
+    usable as ZIP member stems.
+    """
+    manifest = dict(manifest)
+    manifest["format"] = CONTAINER_FORMAT
+    manifest["arrays"] = {
+        name: {"dtype": str(array.dtype), "shape": list(array.shape)}
+        for name, array in sorted(arrays.items())
+    }
+    payload = json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8")
+    target = Path(path)
+    # Write to a uniquely named sibling temp file and rename into place: a
+    # crash mid-write never leaves a truncated container at the final path,
+    # and concurrent writers of the same snapshot each own their scratch
+    # file, so a loader sees one complete snapshot or the other — never a
+    # torn mix.  The name is generated here (pid + random) rather than via
+    # mkstemp so the file is created by ordinary open(), giving the same
+    # umask-honouring permissions a direct write would — mkstemp's 0600
+    # would survive os.replace and make cross-user serving fail.
+    scratch = target.with_name(
+        f"{target.name}.{os.getpid()}-{os.urandom(6).hex()}.tmp"
+    )
+    try:
+        with zipfile.ZipFile(scratch, "w", compression=zipfile.ZIP_STORED) as archive:
+            archive.writestr(_member_info(_MANIFEST_MEMBER), payload)
+            for name in sorted(arrays):
+                array = np.ascontiguousarray(arrays[name])
+                buffer = io.BytesIO()
+                np.lib.format.write_array(buffer, array, allow_pickle=False)
+                archive.writestr(_member_info(name + _ARRAY_SUFFIX), buffer.getvalue())
+        os.replace(scratch, target)
+    except BaseException:
+        scratch.unlink(missing_ok=True)
+        raise
+
+
+def _open_archive(target: Path) -> zipfile.ZipFile:
+    try:
+        return zipfile.ZipFile(target, "r")
+    except (zipfile.BadZipFile, OSError) as exc:
+        raise SnapshotFormatError(
+            f"{target} is not a repro snapshot container (unreadable as ZIP: {exc})"
+        ) from exc
+
+
+def read_manifest(path: PathLike) -> Dict:
+    """Read and validate only the manifest of a container.
+
+    The cheap probe for callers that need to know *what* a snapshot stores
+    (kind, index name, build recipe) before paying for the array members —
+    e.g. :func:`repro.api.build_or_load_index` checking that an existing
+    file actually matches the requested index.  Same
+    :class:`SnapshotFormatError` behaviour as :func:`read_container`.
+    """
+    target = Path(path)
+    with _open_archive(target) as archive:
+        return _read_manifest_member(target, archive)
+
+
+def read_container(path: PathLike) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Read back ``(manifest, arrays)`` from a container written above.
+
+    Raises :class:`SnapshotFormatError` when the file is not one of our
+    containers (not a ZIP, missing/duplicate manifest, wrong ``format``
+    marker, undeclared or unreadable members).  Format *version* checks are
+    deliberately left to the caller — it owns the compatibility policy.
+    """
+    target = Path(path)
+    with _open_archive(target) as archive:
+        names = archive.namelist()
+        manifest = _read_manifest_member(target, archive)
+        declared = manifest.get("arrays")
+        if not isinstance(declared, dict):
+            raise SnapshotFormatError(f"{target} manifest lacks the arrays section")
+        arrays: Dict[str, np.ndarray] = {}
+        for name in declared:
+            member = name + _ARRAY_SUFFIX
+            if member not in names:
+                raise SnapshotFormatError(
+                    f"{target} declares array {name!r} but has no {member} member"
+                )
+            try:
+                with archive.open(member) as handle:
+                    arrays[name] = np.lib.format.read_array(handle, allow_pickle=False)
+            except (ValueError, OSError, zipfile.BadZipFile) as exc:
+                raise SnapshotFormatError(
+                    f"{target} array member {member} is unreadable: {exc}"
+                ) from exc
+    return manifest, arrays
+
+
+def _read_manifest_member(target: Path, archive: zipfile.ZipFile) -> Dict:
+    if _MANIFEST_MEMBER not in archive.namelist():
+        raise SnapshotFormatError(
+            f"{target} is not a repro snapshot container (no {_MANIFEST_MEMBER})"
+        )
+    try:
+        manifest = json.loads(archive.read(_MANIFEST_MEMBER).decode("utf-8"))
+    except (ValueError, UnicodeDecodeError, zipfile.BadZipFile, OSError) as exc:
+        # ValueError covers JSON decoding; BadZipFile covers a CRC mismatch
+        # inside the member itself — both are "corrupt file", not a crash.
+        raise SnapshotFormatError(f"{target} has a corrupt manifest: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != CONTAINER_FORMAT:
+        raise SnapshotFormatError(
+            f"{target} is not a repro snapshot container "
+            f"(manifest format marker is "
+            f"{manifest.get('format') if isinstance(manifest, dict) else manifest!r})"
+        )
+    return manifest
+
+
+def _member_info(name: str) -> zipfile.ZipInfo:
+    info = zipfile.ZipInfo(name, date_time=_FIXED_DATE_TIME)
+    info.compress_type = zipfile.ZIP_STORED
+    # Regular file, rw-r--r--: keeps extraction behaviour predictable.
+    info.external_attr = 0o100644 << 16
+    return info

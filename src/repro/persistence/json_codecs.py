@@ -1,0 +1,85 @@
+"""Legacy JSON codecs for datasets and range-query workloads.
+
+JSON is the portable, diffable, inspectable format: the recommended way to
+move data across library versions is to persist the dataset and workload
+here (or in the binary twin, :mod:`repro.persistence.arrays`) and rebuild
+indexes, which is deterministic given the construction seed.  Kept
+byte-compatible with the files written by every earlier revision of the
+library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Sequence
+
+from repro.geometry import Point, Rect
+from repro.persistence.container import PathLike
+from repro.persistence.errors import DatasetFormatError
+
+_FORMAT_VERSION = 1
+
+
+def save_points(points: Sequence[Point], path: PathLike) -> None:
+    """Write a dataset to a JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "points",
+        "points": [[p.x, p.y] for p in points],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_points(path: PathLike) -> List[Point]:
+    """Read a dataset written by :func:`save_points`."""
+    payload = _read_payload(path, expected_kind="points", data_key="points")
+    try:
+        return [Point(float(x), float(y)) for x, y in payload["points"]]
+    except (TypeError, ValueError) as exc:
+        raise DatasetFormatError(f"{path} holds a malformed point row: {exc}") from exc
+
+
+def save_queries(queries: Sequence[Rect], path: PathLike) -> None:
+    """Write a range-query workload to a JSON file."""
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "kind": "queries",
+        "queries": [[q.xmin, q.ymin, q.xmax, q.ymax] for q in queries],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_queries(path: PathLike) -> List[Rect]:
+    """Read a workload written by :func:`save_queries`."""
+    payload = _read_payload(path, expected_kind="queries", data_key="queries")
+    try:
+        return [Rect(*map(float, values)) for values in payload["queries"]]
+    except (TypeError, ValueError) as exc:
+        raise DatasetFormatError(f"{path} holds a malformed query row: {exc}") from exc
+
+
+def _read_payload(path: PathLike, expected_kind: str, data_key: str) -> dict:
+    # DatasetFormatError subclasses both PersistenceError (the package-wide
+    # fallback contract) and ValueError (what these codecs always raised).
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise DatasetFormatError(f"{path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise DatasetFormatError(f"{path} is not a repro persistence file")
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise DatasetFormatError(
+            f"{path} has format version {payload.get('format_version')}, "
+            f"expected {_FORMAT_VERSION}"
+        )
+    if payload["kind"] != expected_kind:
+        raise DatasetFormatError(
+            f"{path} stores {payload['kind']!r}, expected {expected_kind!r}"
+        )
+    if not isinstance(payload.get(data_key), list):
+        raise DatasetFormatError(
+            f"{path} lacks a {data_key!r} list "
+            f"(got {type(payload.get(data_key)).__name__})"
+        )
+    return payload

@@ -1,0 +1,109 @@
+"""Versioned pickle codec for whole index objects.
+
+Pickles are a convenience for *same-version* save/restore — they are plain
+Python object graphs and break silently when the library's internal layout
+changes.  Earlier revisions wrote the raw pickle, so loading a stale file
+surfaced as an opaque ``AttributeError`` from somewhere inside
+``pickle.load``.  The codec now wraps the index pickle in an outer envelope
+built only from builtin types (always loadable), carrying a format version,
+the producing library version and the index class path; any failure to
+restore the inner object is translated into a clear
+:class:`~repro.persistence.errors.IndexLoadError` telling the operator to
+rebuild from the persisted dataset.
+
+Raw pickles written by earlier library revisions still load (best effort):
+a file that unpickles into a spatial index directly is returned as-is.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.persistence.container import PathLike
+from repro.persistence.errors import IndexLoadError
+
+#: Version of the pickle envelope (bumped only when the envelope changes;
+#: inner-object compatibility is what the envelope exists to diagnose).
+PICKLE_FORMAT_VERSION = 2
+
+_ENVELOPE_MARKER = "repro-index-pickle"
+
+_REBUILD_HINT = (
+    "rebuild the index from the persisted dataset and workload instead "
+    "(save_points/save_queries or the binary codecs store them in stable "
+    "formats, and construction is deterministic given the seed)"
+)
+
+
+def save_index(index, path: PathLike) -> None:
+    """Pickle a built index to disk inside the versioned envelope.
+
+    Note: the pickle remains tied to the library version that produced it;
+    for long-lived deployments prefer :func:`repro.persistence.save_snapshot`
+    (Z-index family) or persisting the dataset and rebuilding.
+    """
+    from repro import __version__
+
+    cls = type(index)
+    envelope = {
+        "format": _ENVELOPE_MARKER,
+        "format_version": PICKLE_FORMAT_VERSION,
+        "library_version": __version__,
+        "class_module": cls.__module__,
+        "class_name": cls.__qualname__,
+        "index_name": getattr(index, "name", cls.__name__),
+        "payload": pickle.dumps(index, protocol=pickle.HIGHEST_PROTOCOL),
+    }
+    with open(path, "wb") as handle:
+        pickle.dump(envelope, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_index(path: PathLike):
+    """Load an index pickled by :func:`save_index`.
+
+    Raises :class:`IndexLoadError` — never a bare ``AttributeError`` /
+    ``ModuleNotFoundError`` — when the file is not an index pickle or when
+    the stored object no longer matches this library's class layout.
+    """
+    from repro import __version__
+
+    try:
+        with open(path, "rb") as handle:
+            outer = pickle.load(handle)
+    except OSError:
+        raise
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure
+        raise IndexLoadError(
+            f"{path} could not be read as an index pickle ({exc!r}); "
+            f"if it was written by a different library version, {_REBUILD_HINT}"
+        ) from exc
+
+    if isinstance(outer, dict) and outer.get("format") == _ENVELOPE_MARKER:
+        version = outer.get("format_version")
+        if not isinstance(version, int) or version > PICKLE_FORMAT_VERSION:
+            raise IndexLoadError(
+                f"{path} uses index-pickle format version {version!r} "
+                f"(written by library {outer.get('library_version', 'unknown')}), "
+                f"but this library ({__version__}) reads up to "
+                f"{PICKLE_FORMAT_VERSION}; upgrade the library or {_REBUILD_HINT}"
+            )
+        try:
+            index = pickle.loads(outer["payload"])
+        except Exception as exc:  # noqa: BLE001 - stale class layout
+            raise IndexLoadError(
+                f"{path} stores a "
+                f"{outer.get('class_module')}.{outer.get('class_name')} pickled by "
+                f"library version {outer.get('library_version', 'unknown')}, which "
+                f"this library ({__version__}) can no longer restore ({exc!r}); "
+                f"{_REBUILD_HINT}"
+            ) from exc
+    else:
+        # Legacy format-version-1 file: the raw pickled index itself.
+        index = outer
+
+    if not hasattr(index, "range_query"):
+        raise IndexLoadError(
+            f"{path} did not restore to a spatial index "
+            f"(got {type(index).__name__}); {_REBUILD_HINT}"
+        )
+    return index

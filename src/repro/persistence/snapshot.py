@@ -1,0 +1,344 @@
+"""Columnar index snapshots: versioned binary save / memcpy-level load.
+
+The paper positions WaZI for deployments where "index construction can be
+performed offline ... and deployed for an extended amount of time".  This
+module is that workflow's persistence layer:
+
+* :func:`save_snapshot` serialises a built Z-index-family index
+  (:class:`~repro.zindex.ZIndex` and subclasses — WaZI, Base, the
+  ablations) as its flat coordinate columns, packed ``(n_leaves, 4)`` bbox
+  table, skip-pointer columns and tree-structure tables inside the
+  container of :mod:`repro.persistence.container`;
+* :func:`load_snapshot` restores a queryable index from those arrays in
+  O(n) memcpy-level work — no split strategy, density estimator or
+  workload evaluation is ever re-run, and the loaded index answers every
+  query with byte-identical results, ordering and cost counters;
+* :func:`save_rebuild_snapshot` covers the rest of the index zoo: it
+  persists the dataset columns plus the build recipe (index name, workload
+  rectangles, parameters), and :func:`load_snapshot` replays the recipe
+  through :func:`repro.api.build_index` — deterministic given the seed,
+  and still free of per-point JSON overhead.
+
+Format-version negotiation is strict and friendly: snapshots written by a
+*newer* library raise :class:`SnapshotVersionError` naming both versions;
+corrupt or foreign files raise :class:`SnapshotFormatError`; both inherit
+:class:`SnapshotError` so serving code can fall back to a rebuild with one
+``except`` clause.  The container layout and compatibility rules are
+specified in ``docs/PERSISTENCE.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.geometry import Point, Rect, points_from_arrays, points_to_arrays
+from repro.persistence.arrays import rects_from_array, rects_to_array
+from repro.persistence.container import (
+    PathLike,
+    read_container,
+    read_manifest,
+    write_container,
+)
+from repro.persistence.errors import SnapshotFormatError, SnapshotVersionError
+from repro.zindex.base import ZIndex, ZIndexSnapshotState
+
+#: Current snapshot format version.  Bump on any incompatible layout change;
+#: the loader refuses newer versions with a friendly error and keeps reading
+#: every older version listed in ``_READABLE_VERSIONS``.
+SNAPSHOT_FORMAT_VERSION = 1
+_READABLE_VERSIONS = (1,)
+
+#: Manifest ``kind`` for a structural Z-index snapshot.
+KIND_ZINDEX = "zindex-structure"
+#: Manifest ``kind`` for a dataset + build-recipe snapshot.
+KIND_REBUILD = "rebuild-recipe"
+
+
+def json_clone(value) -> Optional[Dict]:
+    """JSON round-trip of a value, or ``None`` when it is not representable.
+
+    The single encode-or-reject policy for everything that travels in a
+    manifest (build kwargs, build requests): round-tripping normalises
+    JSON-equivalent Python values (tuples → lists, int-keyed dicts →
+    strings) so that what a saver records compares equal to what a later
+    loader re-encodes.
+    """
+    try:
+        return json.loads(json.dumps(value))
+    except (TypeError, ValueError):
+        return None
+
+
+def _mix64(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer (wrapping uint64 arithmetic).
+
+    The nonlinearity matters: summing a *linear* pair combination would
+    factorise into per-coordinate sums, making any re-pairing of the same
+    x and y multisets collide.
+    """
+    v = values.copy()
+    with np.errstate(over="ignore"):
+        v ^= v >> np.uint64(30)
+        v *= np.uint64(0xBF58476D1CE4E5B9)
+        v ^= v >> np.uint64(27)
+        v *= np.uint64(0x94D049BB133111EB)
+        v ^= v >> np.uint64(31)
+    return v
+
+
+def dataset_fingerprint(xs: np.ndarray, ys: np.ndarray) -> str:
+    """Cheap, order-insensitive fingerprint of a coordinate dataset.
+
+    Recorded in snapshot manifests and compared by
+    :func:`repro.api.build_or_load_index` so a snapshot saved from a
+    *different* dataset of the same size is rebuilt instead of silently
+    served.  Each (x, y) pair is hashed through a nonlinear 64-bit mix and
+    the hashes summed, so any permutation of the same multiset of points
+    (the caller's order vs the snapshot's curve order) produces the same
+    value while re-paired coordinates do not.  This guards against
+    accidental mismatches, not adversarial collisions.
+    """
+    a = np.ascontiguousarray(xs, dtype=np.float64).view(np.uint64)
+    b = np.ascontiguousarray(ys, dtype=np.float64).view(np.uint64)
+    with np.errstate(over="ignore"):
+        paired = a * np.uint64(0x9E3779B97F4A7C15) + b
+    hashed = _mix64(paired)
+    return f"{int(hashed.sum(dtype=np.uint64)):016x}-{int(a.shape[0])}"
+
+
+def workload_fingerprint(rects: np.ndarray) -> str:
+    """Order-*sensitive* fingerprint of a workload rectangle table.
+
+    Query order can matter (adaptive baselines crack on it), so each row's
+    hash is salted with its position before summing.
+    """
+    table = np.ascontiguousarray(rects, dtype=np.float64).reshape(-1, 4)
+    n = table.shape[0]
+    bits = table.view(np.uint64)
+    with np.errstate(over="ignore"):
+        rows = _mix64(bits[:, 0] * np.uint64(0x9E3779B97F4A7C15) + bits[:, 1])
+        rows = _mix64(rows * np.uint64(0x9E3779B97F4A7C15) + bits[:, 2])
+        rows = _mix64(rows * np.uint64(0x9E3779B97F4A7C15) + bits[:, 3])
+        salted = rows * _mix64(np.arange(1, n + 1, dtype=np.uint64))
+    return f"{int(salted.sum(dtype=np.uint64)):016x}-{n}"
+
+
+def save_snapshot(index, path: PathLike, *, build_request: Optional[Dict] = None) -> Dict:
+    """Serialise a built Z-index-family index to a binary snapshot.
+
+    Returns the manifest that was written (handy for logging).  Raises
+    :class:`TypeError` for indexes outside the Z-index family — persist
+    those with :func:`save_rebuild_snapshot`, which stores the dataset and
+    build recipe instead of the structure.
+
+    ``build_request`` is an optional JSON-serialisable record of the build
+    arguments that produced the index (seed, workload fingerprint, extra
+    kwargs).  The index structure itself does not retain them, so callers
+    that want :func:`repro.api.build_or_load_index` to verify a later
+    request against this snapshot must supply them here; the helper does.
+    """
+    if not isinstance(index, ZIndex):
+        raise TypeError(
+            f"save_snapshot only supports the Z-index family (ZIndex subclasses); "
+            f"{type(index).__name__} is not one — use save_rebuild_snapshot(name, "
+            f"points, path, ...) to persist its dataset and build recipe instead"
+        )
+    state = index.snapshot_state()
+    manifest = {
+        "kind": KIND_ZINDEX,
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "library_version": _library_version(),
+        "index": {
+            "name": state.index_name,
+            "class": state.class_path,
+            "leaf_capacity": state.leaf_capacity,
+            "max_depth": state.max_depth,
+            "use_skipping": state.use_skipping,
+            "has_nonmonotone_ordering": state.has_nonmonotone_ordering,
+            "extent": None if state.extent is None else list(state.extent),
+            "num_points": state.num_points,
+            "dataset_fingerprint": dataset_fingerprint(
+                state.arrays["flat_x"], state.arrays["flat_y"]
+            ),
+            "num_leaves": int(state.arrays["leaf_starts"].shape[0]) - 1,
+            "num_nodes": int(state.arrays["tree_kind"].shape[0]),
+            "orderings": list(state.orderings),
+        },
+    }
+    if build_request is not None:
+        cloned = json_clone(build_request)
+        if cloned is None:
+            raise TypeError(
+                f"build_request must be JSON-serialisable, got {build_request!r}"
+            )
+        manifest["build_request"] = cloned
+    write_container(path, manifest, state.arrays)
+    return manifest
+
+
+def save_rebuild_snapshot(
+    name: str,
+    points: Sequence[Point],
+    path: PathLike,
+    *,
+    workload: Sequence[Rect] = (),
+    leaf_capacity: int = 64,
+    seed: Optional[int] = 0,
+    **kwargs,
+) -> Dict:
+    """Persist a dataset plus the recipe to rebuild any index from the zoo.
+
+    ``name`` and the keyword parameters mirror :func:`repro.api.build_index`;
+    extra ``kwargs`` must be JSON-serialisable (they are stored in the
+    manifest and replayed on load).  Loading rebuilds deterministically
+    given the stored seed, so round-tripped indexes answer queries exactly
+    like a fresh build with the same arguments.
+    """
+    encoded_kwargs = json_clone(kwargs)
+    if encoded_kwargs is None:
+        raise TypeError(
+            f"rebuild-snapshot build kwargs must be JSON-serialisable, got {kwargs!r}"
+        )
+    xs, ys = points_to_arrays(points)
+    rects = rects_to_array(workload)
+    manifest = {
+        "kind": KIND_REBUILD,
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "library_version": _library_version(),
+        "build": {
+            "name": str(name),
+            "leaf_capacity": int(leaf_capacity),
+            "seed": None if seed is None else int(seed),
+            "kwargs": encoded_kwargs,
+            "num_points": int(xs.shape[0]),
+            "num_queries": int(rects.shape[0]),
+            "dataset_fingerprint": dataset_fingerprint(xs, ys),
+            "workload_fingerprint": workload_fingerprint(rects),
+        },
+    }
+    write_container(path, manifest, {"xs": xs, "ys": ys, "workload_rects": rects})
+    return manifest
+
+
+def load_snapshot(path: PathLike):
+    """Restore an index from any snapshot written by this module.
+
+    Dispatches on the manifest ``kind``: structural Z-index snapshots are
+    rematerialised in O(n) without re-running construction; rebuild-recipe
+    snapshots replay :func:`repro.api.build_index` on the stored columns.
+    Raises :class:`SnapshotVersionError` / :class:`SnapshotFormatError`
+    (both :class:`SnapshotError`) instead of ever surfacing a codec
+    internal error.
+    """
+    manifest, arrays = read_container(path)
+    kind = manifest.get("kind")
+    version = manifest.get("format_version")
+    if not isinstance(version, int) or version > SNAPSHOT_FORMAT_VERSION:
+        raise SnapshotVersionError(
+            f"{path} uses snapshot format version {version!r} (written by library "
+            f"{manifest.get('library_version', 'unknown')}), but this library "
+            f"({_library_version()}) reads up to {SNAPSHOT_FORMAT_VERSION}; "
+            f"upgrade the library, or rebuild the snapshot from the persisted dataset"
+        )
+    if version not in _READABLE_VERSIONS:
+        raise SnapshotVersionError(
+            f"{path} uses retired snapshot format version {version!r}; rebuild the "
+            f"snapshot from the persisted dataset with this library "
+            f"({_library_version()})"
+        )
+    if kind == KIND_ZINDEX:
+        return _load_zindex(path, manifest, arrays)
+    if kind == KIND_REBUILD:
+        return _load_rebuild(path, manifest, arrays)
+    raise SnapshotFormatError(
+        f"{path} stores unknown snapshot kind {kind!r}; expected "
+        f"{KIND_ZINDEX!r} or {KIND_REBUILD!r}"
+    )
+
+
+def _load_zindex(path: PathLike, manifest: Dict, arrays: Dict[str, np.ndarray]):
+    info = manifest.get("index")
+    if not isinstance(info, dict):
+        raise SnapshotFormatError(f"{path} z-index snapshot lacks the index section")
+    required = (
+        "flat_x", "flat_y", "leaf_starts", "leaf_boxes", "leaf_nonempty",
+        "skip_below", "skip_above", "skip_left", "skip_right",
+        "tree_kind", "tree_cells", "tree_splits", "tree_orderings",
+        "tree_children", "tree_leaf_index",
+    )
+    missing = [name for name in required if name not in arrays]
+    if missing:
+        raise SnapshotFormatError(f"{path} is missing snapshot arrays {missing}")
+    extent = info.get("extent")
+    # One try covers both the manifest-scalar coercions and the structural
+    # restore: corrupt values of any shape (a string leaf_capacity, a
+    # three-element extent) must surface as SnapshotFormatError, never as a
+    # raw ValueError/TypeError that escapes the except-SnapshotError
+    # fallback the package documents.
+    try:
+        state = ZIndexSnapshotState(
+            index_name=str(info.get("name", ZIndex.name)),
+            class_path=str(info.get("class", "")),
+            leaf_capacity=int(info.get("leaf_capacity", 0) or 0),
+            max_depth=int(info.get("max_depth", 0) or 0),
+            use_skipping=bool(info.get("use_skipping", False)),
+            has_nonmonotone_ordering=bool(info.get("has_nonmonotone_ordering", False)),
+            extent=None if extent is None else tuple(float(v) for v in extent),
+            num_points=int(info.get("num_points", -1)),
+            orderings=[str(o) for o in info.get("orderings", [])],
+            arrays=arrays,
+        )
+        if state.leaf_capacity <= 0:
+            raise SnapshotFormatError(
+                f"{path} records non-positive leaf_capacity {info.get('leaf_capacity')!r}"
+            )
+        if state.extent is not None and len(state.extent) != 4:
+            raise SnapshotFormatError(
+                f"{path} records malformed extent {info.get('extent')!r}"
+            )
+        return ZIndex.from_snapshot_state(state)
+    except SnapshotFormatError:
+        raise
+    except (ValueError, TypeError, KeyError) as exc:
+        raise SnapshotFormatError(f"{path} holds inconsistent snapshot state: {exc}") from exc
+
+
+def _load_rebuild(path: PathLike, manifest: Dict, arrays: Dict[str, np.ndarray]):
+    # Imported lazily: repro.api itself imports this package.
+    from repro.api import build_index
+
+    build = manifest.get("build")
+    if not isinstance(build, dict) or "name" not in build:
+        raise SnapshotFormatError(f"{path} rebuild snapshot lacks the build section")
+    for name in ("xs", "ys", "workload_rects"):
+        if name not in arrays:
+            raise SnapshotFormatError(f"{path} is missing snapshot array {name!r}")
+    kwargs = build.get("kwargs") or {}
+    if not isinstance(kwargs, dict):
+        raise SnapshotFormatError(f"{path} rebuild kwargs are not a mapping: {kwargs!r}")
+    seed = build.get("seed", 0)
+    try:
+        points = points_from_arrays(arrays["xs"], arrays["ys"])
+        workload = rects_from_array(arrays["workload_rects"])
+        return build_index(
+            str(build["name"]),
+            points,
+            workload,
+            leaf_capacity=int(build.get("leaf_capacity", 64)),
+            seed=None if seed is None else int(seed),
+            **kwargs,
+        )
+    except (TypeError, ValueError) as exc:
+        raise SnapshotFormatError(
+            f"{path} rebuild recipe could not be replayed "
+            f"({build.get('name')!r}, kwargs {kwargs!r}): {exc}"
+        ) from exc
+
+
+def _library_version() -> str:
+    from repro import __version__
+
+    return __version__

@@ -169,6 +169,41 @@ class PackedLeaves:
             self.left[index] = entry.left
             self.right[index] = entry.right
 
+    @classmethod
+    def from_arrays(
+        cls,
+        boxes: np.ndarray,
+        nonempty: np.ndarray,
+        below: np.ndarray,
+        above: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+    ) -> "PackedLeaves":
+        """Assemble a packed copy directly from stored column arrays.
+
+        Used by snapshot loading, where the packed metadata was persisted
+        verbatim: installing the arrays avoids re-deriving every row from
+        freshly built :class:`LeafEntry` objects.  The arrays are copied
+        into the canonical dtypes so later in-place repairs
+        (:meth:`refresh`) never write through to the caller's buffers.
+        """
+        packed = cls.__new__(cls)
+        packed.boxes = np.array(boxes, dtype=np.float64).reshape(-1, 4)
+        packed.nonempty = np.array(nonempty, dtype=bool)
+        packed.below = np.array(below, dtype=np.int64)
+        packed.above = np.array(above, dtype=np.int64)
+        packed.left = np.array(left, dtype=np.int64)
+        packed.right = np.array(right, dtype=np.int64)
+        packed._lists = None
+        n = packed.boxes.shape[0]
+        for name in ("nonempty", "below", "above", "left", "right"):
+            if getattr(packed, name).shape != (n,):
+                raise ValueError(
+                    f"packed column {name!r} has shape {getattr(packed, name).shape}, "
+                    f"expected ({n},)"
+                )
+        return packed
+
     def refresh(self, index: int, entry: LeafEntry) -> None:
         """Re-read one leaf's box row (after its page was mutated)."""
         box = entry.page.bbox_tuple()
@@ -212,6 +247,23 @@ class LeafList:
 
     entries: List[LeafEntry] = field(default_factory=list)
     _packed: Optional[PackedLeaves] = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def from_entries(cls, entries: Sequence[LeafEntry]) -> "LeafList":
+        """Build a list from already-ordered entries, fixing the chain links.
+
+        Orders and next pointers are renumbered to match the given sequence;
+        the entries' look-ahead pointers are kept as-is (snapshot loading
+        restores them from the persisted arrays before calling this).
+        """
+        leaflist = cls(entries=list(entries))
+        n = len(leaflist.entries)
+        for index, entry in enumerate(leaflist.entries):
+            entry.order = index
+            entry.next_index = index + 1 if index + 1 < n else END_OF_LIST
+            if entry.node is not None:
+                entry.node.leaf_index = index
+        return leaflist
 
     def append(self, entry: LeafEntry) -> int:
         """Append ``entry``, fixing up its order and the predecessor's next pointer."""

@@ -59,11 +59,17 @@ class Page:
                 self.add(point)
 
     @classmethod
-    def from_arrays(cls, capacity: int, xs: np.ndarray, ys: np.ndarray) -> "Page":
+    def from_arrays(
+        cls, capacity: int, xs: np.ndarray, ys: np.ndarray, bbox=None
+    ) -> "Page":
         """Build a page directly from coordinate columns (no Point boxing).
 
         ``capacity`` is raised to ``len(xs)`` if needed, mirroring the
-        oversized-leaf escape hatch of the tree construction.
+        oversized-leaf escape hatch of the tree construction.  ``bbox`` is
+        an optional precomputed ``(xmin, ymin, xmax, ymax)`` bounding box of
+        the columns — snapshot loading passes the stored box so restoring a
+        page is a pure memcpy with no min/max recomputation; the caller is
+        trusted to pass a box consistent with the data.
         """
         n = int(xs.shape[0])
         page = cls(max(capacity, n, 1))
@@ -71,10 +77,15 @@ class Page:
             page._xs[:n] = xs
             page._ys[:n] = ys
             page._n = n
-            page._bxmin = float(xs.min())
-            page._bxmax = float(xs.max())
-            page._bymin = float(ys.min())
-            page._bymax = float(ys.max())
+            if bbox is None:
+                page._bxmin = float(xs.min())
+                page._bxmax = float(xs.max())
+                page._bymin = float(ys.min())
+                page._bymax = float(ys.max())
+            else:
+                page._bxmin, page._bymin, page._bxmax, page._bymax = (
+                    float(bbox[0]), float(bbox[1]), float(bbox[2]), float(bbox[3])
+                )
         return page
 
     # -- container protocol ---------------------------------------------

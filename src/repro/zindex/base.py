@@ -34,14 +34,15 @@ unchanged by the vectorization.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.evaluation.metrics import PhaseTimer
 from repro.geometry import Point, Rect, bounding_box, points_to_arrays
 from repro.interfaces import SpatialIndex, require_finite_center, require_valid_radius
-from repro.storage import LeafEntry, LeafList, Page
+from repro.storage import LeafEntry, LeafList, PackedLeaves, Page
 from repro.storage.leaflist import END_OF_LIST
 from repro.zindex.node import (
     InternalNode,
@@ -50,8 +51,10 @@ from repro.zindex.node import (
     ZNode,
     count_nodes,
     iter_leaves_in_curve_order,
+    pack_tree,
     structure_size_bytes,
     tree_depth,
+    unpack_tree,
 )
 from repro.zindex.skipping import (
     build_lookahead_pointers,
@@ -66,6 +69,35 @@ from repro.zindex.splitters import (
 
 DEFAULT_LEAF_CAPACITY = 64
 DEFAULT_MAX_DEPTH = 32
+
+
+@dataclass
+class ZIndexSnapshotState:
+    """Everything needed to rebuild a :class:`ZIndex` without re-running construction.
+
+    Produced by :meth:`ZIndex.snapshot_state` and consumed by
+    :meth:`ZIndex.from_snapshot_state`; the persistence layer
+    (:mod:`repro.persistence.snapshot`) maps the scalar fields onto the
+    container manifest and the ``arrays`` dict onto binary NPY members.
+
+    ``arrays`` holds the flat coordinate columns in curve order (``flat_x``,
+    ``flat_y``), the per-leaf row offsets (``leaf_starts``), the packed
+    ``(n_leaves, 4)`` effective-bbox table with its non-empty mask
+    (``leaf_boxes``/``leaf_nonempty``), the four look-ahead skip-pointer
+    columns (``skip_below``/``skip_above``/``skip_left``/``skip_right``) and
+    the tree-structure tables of :func:`repro.zindex.node.pack_tree`.
+    """
+
+    index_name: str
+    class_path: str
+    leaf_capacity: int
+    max_depth: int
+    use_skipping: bool
+    has_nonmonotone_ordering: bool
+    extent: Optional[Tuple[float, float, float, float]]
+    num_points: int
+    orderings: List[str]
+    arrays: Dict[str, np.ndarray]
 
 
 class ZIndex(SpatialIndex):
@@ -130,6 +162,25 @@ class ZIndex(SpatialIndex):
         self._stale_scan_budget = 0
         self._has_nonmonotone_ordering = False
         self._build()
+
+    # The dataset as a boxed Point list, used by the update/rebuild paths.
+    # Stored lazily: a snapshot load leaves it unmaterialised and the first
+    # accessor rebuilds it from the pages, so loading never pays a Python
+    # boxing loop up front.  The class-level default keeps instances whose
+    # __dict__ predates the `_points_list` storage attribute (raw pickles
+    # from earlier revisions) working: their first access materialises from
+    # the pages instead of raising AttributeError.
+    _points_list: Optional[List[Point]] = None
+
+    @property
+    def _points(self) -> List[Point]:
+        if self._points_list is None:
+            self._points_list = self.leaflist.all_points()
+        return self._points_list
+
+    @_points.setter
+    def _points(self, value: List[Point]) -> None:
+        self._points_list = value
 
     # ------------------------------------------------------------------
     # construction
@@ -234,10 +285,17 @@ class ZIndex(SpatialIndex):
         self._mask_b = None
         self._stale_scan_budget = stale_budget
 
-    def _ensure_flat(self) -> None:
-        """(Re)build the concatenated coordinate columns when stale."""
+    def _flat_columns(self):
+        """``(flat_x, flat_y, starts)`` — concatenated page columns in curve order.
+
+        Returns the live scan cache when it is current; otherwise gathers
+        the columns fresh and installs them (the boxed-point side of the
+        cache stays lazy, so saving a snapshot of a recently mutated index
+        pays the O(n) column gather at most once — a following query reuses
+        it instead of regathering).
+        """
         if self._flat_starts is not None:
-            return
+            return self._flat_x, self._flat_y, self._flat_starts
         entries = self.leaflist.entries
         n = len(entries)
         starts = np.zeros(n + 1, dtype=np.int64)
@@ -254,10 +312,27 @@ class ZIndex(SpatialIndex):
         self._flat_y = flat_y
         self._flat_starts = starts
         self._flat_starts_list = starts.tolist()
+        return flat_x, flat_y, starts
+
+    def _ensure_flat(self) -> None:
+        """(Re)build the concatenated coordinate columns when stale.
+
+        The columns and the boxed-point cache have separate lifetimes: a
+        snapshot load installs the columns directly from the stored arrays
+        and leaves the boxing to the first query burst, so loading stays at
+        array speed.
+        """
+        if self._flat_points is not None:
+            return
+        self._flat_columns()  # installs the columns when they are stale
+        total = int(self._flat_starts[-1])
         # Boxed points as an object ndarray: query results are materialised
         # with one C-level boolean gather instead of a Python indexing loop.
         boxed = np.empty(total, dtype=object)
-        boxed[:] = [Point(x, y) for x, y in zip(flat_x.tolist(), flat_y.tolist())]
+        boxed[:] = [
+            Point(x, y)
+            for x, y in zip(self._flat_x.tolist(), self._flat_y.tolist())
+        ]
         self._flat_points = boxed
         # Reusable mask buffers: the filter chain writes into these instead
         # of allocating four fresh boolean temporaries per query.
@@ -872,6 +947,216 @@ class ZIndex(SpatialIndex):
     def all_points(self) -> List[Point]:
         """Every indexed point in curve (storage) order."""
         return self.leaflist.all_points()
+
+    # ------------------------------------------------------------------
+    # snapshot state (offline build / online serve)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> ZIndexSnapshotState:
+        """Capture the built structure as flat arrays plus a few scalars.
+
+        The capture is read-only: it reuses the flat scan cache when
+        current, gathers the columns fresh otherwise, and never mutates the
+        index.  Together with :meth:`from_snapshot_state` this gives an
+        O(n) save/load cycle — no split strategy, density estimator or
+        workload is ever re-evaluated.
+        """
+        tables, orderings = pack_tree(self.root)
+        flat_x, flat_y, starts = self._flat_columns()
+        packed = self.leaflist.packed()
+        arrays: Dict[str, np.ndarray] = dict(tables)
+        arrays["flat_x"] = flat_x
+        arrays["flat_y"] = flat_y
+        arrays["leaf_starts"] = starts
+        arrays["leaf_boxes"] = packed.boxes
+        arrays["leaf_nonempty"] = packed.nonempty
+        arrays["skip_below"] = packed.below
+        arrays["skip_above"] = packed.above
+        arrays["skip_left"] = packed.left
+        arrays["skip_right"] = packed.right
+        extent = self._extent
+        cls = type(self)
+        return ZIndexSnapshotState(
+            index_name=self.name,
+            class_path=f"{cls.__module__}.{cls.__qualname__}",
+            leaf_capacity=self.leaf_capacity,
+            max_depth=self.max_depth,
+            use_skipping=self.use_skipping,
+            has_nonmonotone_ordering=self._has_nonmonotone_ordering,
+            extent=None if extent is None else (
+                extent.xmin, extent.ymin, extent.xmax, extent.ymax
+            ),
+            num_points=int(starts[-1]),
+            orderings=list(orderings),
+            arrays=arrays,
+        )
+
+    @classmethod
+    def from_snapshot_state(cls, state: ZIndexSnapshotState) -> "ZIndex":
+        """Rebuild a queryable index from :meth:`snapshot_state` output.
+
+        The load is memcpy-level: tree nodes are rematerialised from the
+        packed tables, pages copy their slice of the flat columns with the
+        stored bounding boxes (no min/max recomputation), and both derived
+        caches — the packed leaf metadata and the flat scan cache — are
+        installed directly from the stored arrays instead of being rebuilt
+        from the structure.  Query results, result ordering and cost
+        counters are identical to the index that was saved.
+
+        The restored object is a plain :class:`ZIndex` whose ``name``
+        reports the saved index's name; construction-time artefacts (split
+        strategy, density estimator, anticipated workload) are not part of
+        the snapshot, so later :meth:`insert` overflows split with the
+        median rule.  Raises :class:`ValueError` on inconsistent state.
+        """
+        arrays = state.arrays
+        index = object.__new__(ZIndex)
+        SpatialIndex.__init__(index)
+        index.name = str(state.index_name)
+        index.leaf_capacity = int(state.leaf_capacity)
+        index.max_depth = int(state.max_depth)
+        index.use_skipping = bool(state.use_skipping)
+        index.split_strategy = MedianSplitStrategy()
+        index.phase_timer = None
+        index._has_nonmonotone_ordering = bool(state.has_nonmonotone_ordering)
+        index._extent = None if state.extent is None else Rect(*state.extent)
+
+        root, leaves = unpack_tree(arrays, list(state.orderings))
+        index.root = root
+
+        starts = np.ascontiguousarray(arrays["leaf_starts"], dtype=np.int64)
+        flat_x = np.ascontiguousarray(arrays["flat_x"], dtype=np.float64)
+        flat_y = np.ascontiguousarray(arrays["flat_y"], dtype=np.float64)
+        n_leaves = int(starts.shape[0]) - 1
+        if n_leaves < 0:
+            raise ValueError("leaf_starts must hold at least the terminating offset")
+        if len(leaves) != n_leaves:
+            raise ValueError(
+                f"tree stores {len(leaves)} leaves but leaf_starts describes {n_leaves}"
+            )
+        starts_list = starts.tolist()
+        if starts_list[0] != 0:
+            # A non-zero base would silently drop (or, negative, wrap) the
+            # leading flat rows — the row count checks below cannot see it.
+            raise ValueError(f"leaf_starts must begin at 0, got {starts_list[0]}")
+        if any(starts_list[i] > starts_list[i + 1] for i in range(n_leaves)):
+            raise ValueError("leaf_starts offsets must be non-decreasing")
+        total = starts_list[-1] if starts_list else 0
+        if total != flat_x.shape[0] or total != flat_y.shape[0]:
+            raise ValueError(
+                f"flat columns hold {flat_x.shape[0]}/{flat_y.shape[0]} rows, "
+                f"leaf_starts describes {total}"
+            )
+
+        packed = PackedLeaves.from_arrays(
+            arrays["leaf_boxes"], arrays["leaf_nonempty"],
+            arrays["skip_below"], arrays["skip_above"],
+            arrays["skip_left"], arrays["skip_right"],
+        )
+        if packed.boxes.shape[0] != n_leaves:
+            raise ValueError(
+                f"packed leaf tables hold {packed.boxes.shape[0]} rows, expected {n_leaves}"
+            )
+        # The nonempty mask gates leaf relevance in the vectorized
+        # projection; a mask inconsistent with the slice lengths would
+        # silently hide (or resurrect) whole pages from every query.
+        derived_nonempty = starts[1:] > starts[:-1]
+        if not np.array_equal(packed.nonempty, derived_nonempty):
+            position = int(np.flatnonzero(packed.nonempty != derived_nonempty)[0])
+            raise ValueError(
+                f"leaf_nonempty[{position}] contradicts the leaf_starts slice "
+                f"({int(starts[position + 1] - starts[position])} stored rows)"
+            )
+        # The stored boxes must be the exact data bounding boxes of their
+        # slices: the projection prunes leaves by these rows, so a shrunken
+        # box would silently hide matching points from every query.  Empty
+        # leaves store their cell instead and are skipped by the mask.
+        if total and packed.nonempty.any():
+            # Reduce over the nonempty leaves' start offsets only: empty
+            # leaves occupy zero rows, so each nonempty leaf's reduceat
+            # segment (to the next nonempty start, or the array end) is
+            # exactly its own slice — and every index is < total, which
+            # reduceat requires.
+            bounds = starts[:-1][packed.nonempty]
+            rows = np.flatnonzero(packed.nonempty)
+            stored = packed.boxes[packed.nonempty]
+            derived = np.empty_like(stored)
+            derived[:, 0] = np.minimum.reduceat(flat_x, bounds)
+            derived[:, 1] = np.minimum.reduceat(flat_y, bounds)
+            derived[:, 2] = np.maximum.reduceat(flat_x, bounds)
+            derived[:, 3] = np.maximum.reduceat(flat_y, bounds)
+            mismatched = (stored != derived).any(axis=1)
+            if mismatched.any():
+                position = int(rows[np.flatnonzero(mismatched)[0]])
+                raise ValueError(
+                    f"leaf_boxes[{position}] does not match the bounding box of "
+                    f"its stored points"
+                )
+        # Skip pointers must be END_OF_LIST or aim at a strictly later leaf;
+        # anything else would make a scan silently jump past (or into)
+        # relevant leaves and drop results without any error.
+        positions = np.arange(n_leaves, dtype=np.int64)
+        for criterion, column in (
+            ("below", packed.below), ("above", packed.above),
+            ("left", packed.left), ("right", packed.right),
+        ):
+            bad = (column != END_OF_LIST) & (
+                (column <= positions) | (column >= n_leaves)
+            )
+            if bad.any():
+                position = int(np.flatnonzero(bad)[0])
+                raise ValueError(
+                    f"skip pointer {criterion!r} of leaf {position} targets "
+                    f"{int(column[position])}, outside ({position}, {n_leaves})"
+                )
+        boxes_list = packed.boxes.tolist()
+        nonempty_list = packed.nonempty.tolist()
+        below_l = packed.below.tolist()
+        above_l = packed.above.tolist()
+        left_l = packed.left.tolist()
+        right_l = packed.right.tolist()
+
+        entries: List[Optional[LeafEntry]] = [None] * n_leaves
+        for leaf in leaves:
+            position = leaf.leaf_index
+            if not 0 <= position < n_leaves or entries[position] is not None:
+                raise ValueError(f"leaf node carries invalid LeafList position {position}")
+            lo = starts_list[position]
+            hi = starts_list[position + 1]
+            bbox = boxes_list[position] if nonempty_list[position] else None
+            page = Page.from_arrays(
+                index.leaf_capacity, flat_x[lo:hi], flat_y[lo:hi], bbox=bbox
+            )
+            entry = LeafEntry(
+                cell=leaf.cell,
+                page=page,
+                node=leaf,
+                below=int(below_l[position]),
+                above=int(above_l[position]),
+                left=int(left_l[position]),
+                right=int(right_l[position]),
+            )
+            leaf._entry = entry  # type: ignore[attr-defined]
+            entries[position] = entry
+        index.leaflist = LeafList.from_entries(entries)  # type: ignore[arg-type]
+        index.leaflist._packed = packed
+
+        # Install the coordinate columns as the live scan cache; the boxed
+        # Point objects (result materialisation, the `_points` dataset list)
+        # stay lazy so the load itself is pure array work.
+        index._flat_x = flat_x
+        index._flat_y = flat_y
+        index._flat_starts = starts
+        index._flat_starts_list = starts_list
+        index._flat_points = None
+        index._mask_a = None
+        index._mask_b = None
+        index._stale_scan_budget = 0
+        index._points_list = None
+        if state.num_points not in (None, total):
+            raise ValueError(
+                f"snapshot manifest claims {state.num_points} points, arrays hold {total}"
+            )
+        return index
 
 
 class BaseZIndex(ZIndex):

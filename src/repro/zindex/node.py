@@ -16,7 +16,9 @@ Leaf nodes simply remember their position in the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.geometry import Rect
 from repro.geometry.rect import QUADRANT_A, QUADRANT_B, QUADRANT_C, QUADRANT_D
@@ -181,3 +183,140 @@ def structure_size_bytes(root: Optional[ZNode]) -> int:
     if root.is_leaf:
         return root.size_bytes()
     return root.size_bytes() + sum(structure_size_bytes(child) for child in root.children)
+
+
+# ----------------------------------------------------------------------
+# flat tree tables (snapshot persistence)
+# ----------------------------------------------------------------------
+#: Sentinel child / leaf-index value in the packed tree tables.
+NO_NODE = -1
+
+
+def pack_tree(root: Optional[ZNode]) -> Tuple[Dict[str, np.ndarray], List[str]]:
+    """Flatten a tree into columnar tables suitable for binary persistence.
+
+    Nodes are numbered in preorder (a parent always precedes its children),
+    and every per-node attribute becomes one column:
+
+    * ``tree_kind`` — ``uint8``, 0 for internal nodes, 1 for leaves;
+    * ``tree_cells`` — ``(n, 4)`` float64 cell rectangles;
+    * ``tree_splits`` — ``(n, 2)`` float64 split points (NaN for leaves);
+    * ``tree_orderings`` — ``int16`` index into the returned ordering
+      vocabulary (:data:`NO_NODE` for leaves);
+    * ``tree_children`` — ``(n, 4)`` int64 child node ids by quadrant
+      (:data:`NO_NODE` for leaves);
+    * ``tree_leaf_index`` — ``int64`` LeafList position (:data:`NO_NODE`
+      for internal nodes).
+
+    Returns ``(tables, orderings)`` where ``orderings`` is the list of
+    ordering strings the ``tree_orderings`` column indexes into.  An empty
+    tree packs to zero-length tables.
+    """
+    nodes: List[ZNode] = []
+    ids: Dict[int, int] = {}
+    stack = [root] if root is not None else []
+    while stack:
+        node = stack.pop()
+        ids[id(node)] = len(nodes)
+        nodes.append(node)
+        if not node.is_leaf:
+            # Reversed so children pop in quadrant order (cosmetic only;
+            # any parent-before-child numbering round-trips).
+            for child in reversed(node.children):
+                stack.append(child)
+    n = len(nodes)
+    kinds = np.zeros(n, dtype=np.uint8)
+    cells = np.empty((n, 4), dtype=np.float64)
+    splits = np.full((n, 2), np.nan, dtype=np.float64)
+    ordering_ids = np.full(n, NO_NODE, dtype=np.int16)
+    children = np.full((n, 4), NO_NODE, dtype=np.int64)
+    leaf_index = np.full(n, NO_NODE, dtype=np.int64)
+    orderings: List[str] = []
+    ordering_lookup: Dict[str, int] = {}
+    for position, node in enumerate(nodes):
+        cell = node.cell
+        cells[position] = (cell.xmin, cell.ymin, cell.xmax, cell.ymax)
+        if node.is_leaf:
+            kinds[position] = 1
+            leaf_index[position] = node.leaf_index
+            continue
+        splits[position] = (node.split_x, node.split_y)
+        slot = ordering_lookup.get(node.ordering)
+        if slot is None:
+            slot = len(orderings)
+            ordering_lookup[node.ordering] = slot
+            orderings.append(node.ordering)
+        ordering_ids[position] = slot
+        for quadrant in range(4):
+            children[position, quadrant] = ids[id(node.children[quadrant])]
+    tables = {
+        "tree_kind": kinds,
+        "tree_cells": cells,
+        "tree_splits": splits,
+        "tree_orderings": ordering_ids,
+        "tree_children": children,
+        "tree_leaf_index": leaf_index,
+    }
+    return tables, orderings
+
+
+def unpack_tree(
+    tables: Dict[str, np.ndarray], orderings: List[str]
+) -> Tuple[Optional[ZNode], List[LeafNode]]:
+    """Rebuild a tree from :func:`pack_tree` tables.
+
+    Returns ``(root, leaves)`` where ``leaves`` holds every leaf node (in
+    table order).  Because parents precede children in the numbering, a
+    single reverse pass materialises each node after all of its children.
+    Raises :class:`ValueError` on malformed tables (dangling child ids,
+    unknown ordering slots) — callers translate that into their own
+    friendly error types.
+    """
+    kinds = np.asarray(tables["tree_kind"])
+    cells = np.asarray(tables["tree_cells"], dtype=np.float64).reshape(-1, 4)
+    splits = np.asarray(tables["tree_splits"], dtype=np.float64).reshape(-1, 2)
+    ordering_ids = np.asarray(tables["tree_orderings"])
+    children = np.asarray(tables["tree_children"]).reshape(-1, 4)
+    leaf_index = np.asarray(tables["tree_leaf_index"])
+    n = int(kinds.shape[0])
+    for name, table in (("tree_cells", cells), ("tree_splits", splits),
+                        ("tree_orderings", ordering_ids), ("tree_children", children),
+                        ("tree_leaf_index", leaf_index)):
+        if table.shape[0] != n:
+            raise ValueError(
+                f"tree table {name!r} has {table.shape[0]} rows, expected {n}"
+            )
+    if n == 0:
+        return None, []
+    nodes: List[Optional[ZNode]] = [None] * n
+    leaves: List[LeafNode] = []
+    cell_rows = cells.tolist()
+    split_rows = splits.tolist()
+    children_rows = children.tolist()
+    kind_list = kinds.tolist()
+    ordering_list = ordering_ids.tolist()
+    leaf_index_list = leaf_index.tolist()
+    for position in range(n - 1, -1, -1):
+        cell = Rect(*cell_rows[position])
+        if kind_list[position] == 1:
+            node: ZNode = LeafNode(cell, leaf_index=int(leaf_index_list[position]))
+            leaves.append(node)
+        else:
+            slot = int(ordering_list[position])
+            if not 0 <= slot < len(orderings):
+                raise ValueError(f"node {position} references unknown ordering slot {slot}")
+            child_nodes: List[Optional[ZNode]] = []
+            for child_id in children_rows[position]:
+                child_id = int(child_id)
+                if not position < child_id < n or nodes[child_id] is None:
+                    raise ValueError(
+                        f"node {position} has out-of-order child id {child_id}"
+                    )
+                child_nodes.append(nodes[child_id])
+            split_x, split_y = split_rows[position]
+            node = InternalNode(
+                cell, float(split_x), float(split_y), orderings[slot], child_nodes
+            )
+        nodes[position] = node
+    leaves.reverse()
+    return nodes[0], leaves

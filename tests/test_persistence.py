@@ -1,6 +1,7 @@
 """Tests for dataset/workload/index persistence."""
 
 import json
+import pickle
 
 import pytest
 
@@ -8,6 +9,8 @@ from repro import WaZI, build_index
 from repro.geometry import Point, Rect
 from repro.interfaces import brute_force_range
 from repro.persistence import (
+    IndexLoadError,
+    PICKLE_FORMAT_VERSION,
     load_index,
     load_points,
     load_queries,
@@ -90,3 +93,92 @@ class TestIndexRoundtrip:
         restored = load_index(path)
         restored.insert(Point(0.123, 0.987))
         assert restored.point_query(Point(0.123, 0.987))
+
+
+class TestVersionedPickleEnvelope:
+    def test_envelope_records_class_and_versions(self, tmp_path, uniform_points):
+        index = build_index("base", uniform_points[:50])
+        path = tmp_path / "base.pickle"
+        save_index(index, path)
+        with open(path, "rb") as handle:
+            envelope = pickle.load(handle)
+        assert envelope["format"] == "repro-index-pickle"
+        assert envelope["format_version"] == PICKLE_FORMAT_VERSION
+        assert envelope["class_name"] == "BaseZIndex"
+        assert "library_version" in envelope
+
+    def test_legacy_raw_pickle_still_loads(self, tmp_path, uniform_points):
+        index = build_index("base", uniform_points[:50])
+        path = tmp_path / "legacy.pickle"
+        with open(path, "wb") as handle:
+            pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        restored = load_index(path)
+        assert len(restored) == len(index)
+
+    def test_pre_lazy_points_pickle_supports_updates(self, tmp_path, uniform_points):
+        """Pickles whose __dict__ predates the lazy `_points_list` storage.
+
+        Earlier revisions stored the dataset under `_points`; an instance
+        restored from such a pickle must still insert/delete instead of
+        dying on a missing `_points_list` attribute.
+        """
+        index = build_index("base", uniform_points[:50])
+        state = dict(index.__dict__)
+        state["_points"] = state.pop("_points_list")  # the old attribute layout
+        path = tmp_path / "pre_lazy.pickle"
+        with open(path, "wb") as handle:
+            pickle.dump(index, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        restored = load_index(path)
+        restored.__dict__.clear()
+        restored.__dict__.update(state)
+        restored.insert(Point(0.123, 0.987))
+        assert restored.point_query(Point(0.123, 0.987))
+        assert restored.delete(Point(0.123, 0.987))
+
+    def test_stale_pickle_raises_clear_rebuild_error(self, tmp_path):
+        """A payload whose classes no longer exist must not leak AttributeError."""
+        envelope = {
+            "format": "repro-index-pickle",
+            "format_version": PICKLE_FORMAT_VERSION,
+            "library_version": "0.0.1",
+            "class_module": "repro.retired_module",
+            "class_name": "RetiredIndex",
+            "index_name": "Retired",
+            # Protocol-0 GLOBAL opcode referencing a module that does not exist,
+            # reproducing what unpickling an older layout raises today.
+            "payload": b"cno_such_module\nNoSuchClass\n.",
+        }
+        path = tmp_path / "stale.pickle"
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+        with pytest.raises(IndexLoadError) as excinfo:
+            load_index(path)
+        message = str(excinfo.value)
+        assert "rebuild the index" in message
+        assert "repro.retired_module.RetiredIndex" in message
+        assert "0.0.1" in message
+
+    def test_future_envelope_version_refused(self, tmp_path):
+        envelope = {
+            "format": "repro-index-pickle",
+            "format_version": PICKLE_FORMAT_VERSION + 5,
+            "payload": b"",
+        }
+        path = tmp_path / "future.pickle"
+        with open(path, "wb") as handle:
+            pickle.dump(envelope, handle)
+        with pytest.raises(IndexLoadError, match="upgrade"):
+            load_index(path)
+
+    def test_garbage_file_raises_index_load_error(self, tmp_path):
+        path = tmp_path / "garbage.pickle"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(IndexLoadError):
+            load_index(path)
+
+    def test_non_index_pickle_refused(self, tmp_path):
+        path = tmp_path / "list.pickle"
+        with open(path, "wb") as handle:
+            pickle.dump([1, 2, 3], handle)
+        with pytest.raises(IndexLoadError):
+            load_index(path)

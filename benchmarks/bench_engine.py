@@ -1,0 +1,225 @@
+"""Engine benchmark: the columnar-first API vs the boxed result path.
+
+Checks the central perf claim of the query-API redesign: on the columnar
+Z-index core, count-only and array-consuming plan executions never box a
+``Point`` and therefore beat the boxed path by a wide margin, while
+returning byte-identical counts and coordinates.
+
+Three scenarios, all on a WaZI index:
+
+1. **Range / count-only** — ``execute_many(plans, count_only=True)``
+   against the boxed path (``batch_range_query`` + ``.points()`` per
+   result, i.e. what every pre-redesign caller paid).
+2. **Range / as_arrays** — the same workload consumed through
+   ``ResultSet.as_arrays()`` instead of boxed points.
+3. **kNN cold start** — a probe burst against a freshly served index
+   (the snapshot-load deployment of the persistence layer leaves the
+   boxed cache empty).  The boxed path reproduces the pre-redesign
+   engine, which boxed *all* ``n`` points while priming its query caches;
+   the columnar path runs the kernel straight off the coordinate columns.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py          # full, 100k points
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick  # CI-sized canary
+
+Exit status is non-zero on any result mismatch or when a scenario's
+speedup falls below ``--min-speedup`` (default 2.0 full / 1.3 quick).
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import sys
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from repro.engine import SpatialEngine
+from repro.query import KnnQuery, RangeQuery
+from repro.workloads import (
+    generate_dataset,
+    generate_probe_points,
+    generate_range_workload,
+)
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "results" / "bench_engine.txt"
+
+
+@contextmanager
+def _gc_paused():
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def timeit(fn, repeats):
+    """Best-of-``repeats`` wall-clock seconds (min rejects scheduler noise)."""
+    best = float("inf")
+    result = None
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: 20k points, relaxed threshold")
+    parser.add_argument("--region", default="newyork")
+    parser.add_argument("--num-points", type=int, default=None)
+    parser.add_argument("--num-queries", type=int, default=None)
+    parser.add_argument("--num-probes", type=int, default=None)
+    parser.add_argument("--selectivity", type=float, default=1.0,
+                        help="Range selectivity in percent of the data space "
+                             "(array-consuming workloads are result-heavy)")
+    parser.add_argument("--knn-k", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="Fail when any scenario drops below this "
+                             "(default 2.0, or 1.3 with --quick)")
+    args = parser.parse_args(argv)
+
+    num_points = args.num_points if args.num_points is not None else (
+        20_000 if args.quick else 100_000
+    )
+    num_queries = args.num_queries if args.num_queries is not None else (
+        40 if args.quick else 100
+    )
+    num_probes = args.num_probes if args.num_probes is not None else (
+        80 if args.quick else 200
+    )
+    min_speedup = args.min_speedup if args.min_speedup is not None else (
+        1.3 if args.quick else 2.0
+    )
+    repeats = 3 if args.quick else 5
+
+    lines = [
+        f"engine benchmark: {args.region} n={num_points} "
+        f"queries={num_queries} probes={num_probes} k={args.knn_k} "
+        f"selectivity={args.selectivity}% seed={args.seed}",
+        "",
+    ]
+    print(lines[0])
+
+    points = generate_dataset(args.region, num_points, seed=args.seed)
+    workload = generate_range_workload(
+        args.region, num_queries, args.selectivity, seed=args.seed
+    )
+    queries = workload.queries
+    probes = generate_probe_points(args.region, num_probes, seed=args.seed + 1)
+
+    engine = SpatialEngine.build(
+        "wazi", points, queries, leaf_capacity=256, seed=args.seed
+    )
+    index = engine.index
+    plans = [RangeQuery(query) for query in queries]
+    knn_plans = [KnnQuery(probe, args.knn_k) for probe in probes]
+
+    failures = 0
+    speedups = {}
+
+    # -- range: boxed reference -------------------------------------------
+    def range_boxed():
+        return [result.points() for result in engine.batch_range_query(queries)]
+
+    boxed_seconds, boxed_lists = timeit(range_boxed, repeats)
+
+    # -- range: count-only -------------------------------------------------
+    def range_counts():
+        return engine.execute_many(plans, count_only=True)
+
+    count_seconds, counts = timeit(range_counts, repeats)
+    if counts != [len(result) for result in boxed_lists]:
+        print("FAIL: count-only counts differ from the boxed path")
+        failures += 1
+    speedups["range count-only"] = boxed_seconds / count_seconds
+
+    # -- range: as_arrays --------------------------------------------------
+    def range_arrays():
+        return [result.as_arrays() for result in engine.execute_many(plans)]
+
+    arrays_seconds, arrays = timeit(range_arrays, repeats)
+    for (xs, ys), boxed in zip(arrays, boxed_lists):
+        if xs.tolist() != [p.x for p in boxed] or ys.tolist() != [p.y for p in boxed]:
+            print("FAIL: as_arrays coordinates differ from the boxed path")
+            failures += 1
+            break
+    speedups["range as_arrays"] = boxed_seconds / arrays_seconds
+
+    hits = sum(counts) / max(1, len(queries))
+    lines += [
+        f"range workload ({len(queries)} queries, {hits:.0f} hits/query):",
+        f"  boxed (.points())    {boxed_seconds * 1e3:9.1f} ms",
+        f"  count-only           {count_seconds * 1e3:9.1f} ms   "
+        f"{speedups['range count-only']:.2f}x",
+        f"  as_arrays            {arrays_seconds * 1e3:9.1f} ms   "
+        f"{speedups['range as_arrays']:.2f}x",
+    ]
+
+    # -- kNN: cold-start serving burst ------------------------------------
+    # Each repeat starts from the state a snapshot load leaves behind: the
+    # coordinate columns are live, the boxed cache is empty.  The boxed
+    # reference reproduces the pre-redesign engine, whose cache priming
+    # boxed every indexed point before the first probe was answered.
+    def knn_boxed_cold():
+        index._flat_points = None  # fresh serving process
+        index._ensure_boxed()      # what the old _prime_query_caches paid
+        return [result.points() for result in engine.batch_knn(probes, args.knn_k)]
+
+    knn_boxed_seconds, knn_boxed_lists = timeit(knn_boxed_cold, repeats)
+
+    def knn_arrays_cold():
+        index._flat_points = None  # fresh serving process
+        return [result.as_arrays() for result in engine.execute_many(knn_plans)]
+
+    knn_arrays_seconds, knn_arrays = timeit(knn_arrays_cold, repeats)
+    for (xs, ys), boxed in zip(knn_arrays, knn_boxed_lists):
+        if xs.tolist() != [p.x for p in boxed] or ys.tolist() != [p.y for p in boxed]:
+            print("FAIL: kNN as_arrays neighbours differ from the boxed path")
+            failures += 1
+            break
+    speedups["knn cold-start as_arrays"] = knn_boxed_seconds / knn_arrays_seconds
+    lines += [
+        f"kNN cold-start burst ({len(probes)} probes, k={args.knn_k}):",
+        f"  boxed (prime+points) {knn_boxed_seconds * 1e3:9.1f} ms",
+        f"  as_arrays            {knn_arrays_seconds * 1e3:9.1f} ms   "
+        f"{speedups['knn cold-start as_arrays']:.2f}x",
+    ]
+
+    lines.append("")
+    for scenario, speedup in speedups.items():
+        verdict = "ok" if speedup >= min_speedup else "BELOW THRESHOLD"
+        lines.append(f"{scenario:26s} {speedup:6.2f}x  (threshold {min_speedup:.1f}x) {verdict}")
+
+    report = "\n".join(lines) + "\n"
+    print("\n".join(lines[1:]))
+    REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    REPORT_PATH.write_text(report)
+    print(f"\nreport written to {REPORT_PATH.relative_to(Path.cwd())}"
+          if REPORT_PATH.is_relative_to(Path.cwd()) else f"\nreport written to {REPORT_PATH}")
+
+    if failures:
+        print(f"\nFAILED: {failures} correctness failure(s)")
+        return 1
+    below = [s for s, v in speedups.items() if v < min_speedup]
+    if below:
+        print(f"\nFAILED: scenarios below {min_speedup:.1f}x: {', '.join(below)}")
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

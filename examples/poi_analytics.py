@@ -19,7 +19,7 @@ Run with::
 
 import sys
 
-from repro import build_index, generate_dataset, generate_range_workload
+from repro import SpatialEngine, generate_dataset, generate_range_workload
 from repro.evaluation import format_table, measure_build, measure_point_queries, measure_range_queries
 from repro.workloads import generate_point_queries
 
@@ -36,15 +36,17 @@ def main(region: str = "calinev", num_points: int = 20_000) -> None:
 
     rows = []
     for name in INDEXES:
-        index, build_seconds = measure_build(
-            lambda name=name: build_index(name, data, workload.queries, leaf_capacity=64, seed=7)
+        engine, build_seconds = measure_build(
+            lambda name=name: SpatialEngine.build(
+                name, data, workload.queries, leaf_capacity=64, seed=7
+            )
         )
-        range_stats = measure_range_queries(index, workload.queries)
-        point_stats = measure_point_queries(index, point_queries)
+        range_stats = measure_range_queries(engine, workload.queries)
+        point_stats = measure_point_queries(engine, point_queries)
         rows.append([
-            index.name,
+            engine.name,
             build_seconds,
-            index.size_bytes() / (1024 * 1024),
+            engine.size_bytes() / (1024 * 1024),
             range_stats.mean_micros,
             range_stats.per_query("excess_points"),
             range_stats.per_query("bbs_checked"),

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: build a WaZI index and answer spatial queries.
+"""Quickstart: serve spatial queries through the columnar-first engine API.
 
 This example walks through the core workflow of the library:
 
@@ -7,10 +7,12 @@ This example walks through the core workflow of the library:
    points of interest),
 2. describe the anticipated range-query workload (skewed "check-in"
    centers, as in the paper's semi-synthetic setup),
-3. build the workload-aware WaZI index and the plain Base Z-index,
-4. run range, point and kNN queries,
+3. build a SpatialEngine around the workload-aware WaZI index (and one
+   around the plain Base Z-index for comparison),
+4. execute typed query plans — range, point, kNN — with lazy ResultSet
+   views, count-only and array-consuming executions,
 5. compare the logical work the two indexes perform,
-6. snapshot the built index and serve from the snapshot (the paper's
+6. persist the engine and serve from the snapshot (the paper's
    offline-build / online-serve deployment story).
 
 Run with::
@@ -23,16 +25,16 @@ import time
 from pathlib import Path
 
 from repro import (
-    WaZI,
-    BaseZIndex,
+    KnnQuery,
     Point,
+    PointQuery,
+    RangeQuery,
+    SpatialEngine,
     generate_dataset,
     generate_range_workload,
-    load_snapshot,
     run_range_workload,
-    save_snapshot,
+    workload_summary,
 )
-from repro.api import workload_summary
 
 
 def main() -> None:
@@ -47,29 +49,39 @@ def main() -> None:
     )
     print(f"workload: {len(workload)} queries, first query = {workload[0]}")
 
-    # 3. Build the indexes.  WaZI consumes the workload; Base ignores it.
-    wazi = WaZI(data, workload.queries, leaf_capacity=64, seed=1)
-    base = BaseZIndex(data, leaf_capacity=64)
-    print(f"WaZI: {len(wazi)} points, {len(wazi.leaflist)} leaves, depth {wazi.depth()}")
-    print(f"Base: {len(base)} points, {len(base.leaflist)} leaves, depth {base.depth()}")
+    # 3. Build the engines.  WaZI consumes the workload; Base ignores it.
+    wazi = SpatialEngine.build("wazi", data, workload.queries, leaf_capacity=64, seed=1)
+    base = SpatialEngine.build("base", data, leaf_capacity=64)
+    for engine in (wazi, base):
+        index = engine.index
+        print(f"{engine.name}: {len(engine)} points, "
+              f"{len(index.leaflist)} leaves, depth {index.depth()}")
 
-    # 4. Queries.
-    query = workload.queries[0]
-    hits = wazi.range_query(query)
-    print(f"range query {query} -> {len(hits)} points")
+    # 4. Execute typed query plans.  Results come back as lazy ResultSet
+    #    views: counting and the coordinate columns never box a Point.
+    plan = RangeQuery(workload.queries[0])
+    hits = wazi.execute(plan)
+    xs, ys = hits.as_arrays()                      # NumPy columns, zero boxing
+    print(f"range plan {plan.rect} -> {hits.count()} points, "
+          f"centroid ({xs.mean():.3f}, {ys.mean():.3f})")
+    print(f"count-only  -> {wazi.execute(plan, count_only=True)} (no materialisation)")
+    print(f"first three -> {wazi.execute(plan, limit=3).points()}")
 
     probe = data[123]
-    print(f"point query {probe} -> {wazi.point_query(probe)}")
-    print(f"point query (missing) -> {wazi.point_query(Point(-1.0, -1.0))}")
+    print(f"point plan {probe} -> {wazi.execute(PointQuery(probe))}")
+    print(f"point plan (missing) -> {wazi.execute(PointQuery(Point(-1.0, -1.0)))}")
 
-    neighbours = wazi.knn(Point(30.0, 32.0), k=5)
+    neighbours = wazi.execute(KnnQuery(Point(30.0, 32.0), k=5))
     print("5 nearest neighbours of (30, 32):")
-    for neighbour in neighbours:
+    for neighbour in neighbours:                   # iteration boxes on demand
         print(f"  {neighbour}")
 
-    # 5. Compare the logical work on the full workload.
-    for index in (base, wazi):
-        stats = run_range_workload(index, workload.queries)
+    # 5. Compare the logical work on the full workload.  execute_many routes
+    #    a homogeneous plan list through the amortised batch path.
+    plans = [RangeQuery(query) for query in workload.queries]
+    for engine in (base, wazi):
+        engine.execute_many(plans)                 # warm-up + demonstration
+        stats = run_range_workload(engine, workload.queries)
         summary = workload_summary(stats)
         print(
             f"{summary['index']:>5s}: {summary['mean_micros']:8.1f} us/query, "
@@ -77,20 +89,20 @@ def main() -> None:
             f"{summary['bbs_checked_per_query']:6.1f} bounding boxes/query"
         )
 
-    # 6. Build once, serve many: snapshot the built WaZI and load it back
-    #    without re-running construction.  The loaded index answers every
-    #    query byte-identically; see docs/PERSISTENCE.md for the format.
+    # 6. Build once, serve many: persist the engine and load it back without
+    #    re-running construction.  The served engine answers every plan
+    #    byte-identically; see docs/PERSISTENCE.md for the format.
     with tempfile.TemporaryDirectory() as tmpdir:
         snapshot_path = Path(tmpdir) / "wazi.snapshot"
-        save_snapshot(wazi, snapshot_path)
+        wazi.save(snapshot_path)
         start = time.perf_counter()
-        serving = load_snapshot(snapshot_path)
+        serving = SpatialEngine.load(snapshot_path)
         load_ms = (time.perf_counter() - start) * 1e3
-        assert serving.range_query(query) == hits
+        assert serving.execute(plan) == hits
         print(
             f"snapshot: {snapshot_path.stat().st_size / 1024:.0f} KiB, "
             f"loaded {len(serving)} points in {load_ms:.1f} ms "
-            f"(results identical to the built index)"
+            f"(results identical to the built engine)"
         )
 
 

@@ -17,14 +17,15 @@ baseline its evaluation depends on:
 * :mod:`repro.evaluation` — the measurement harness behind every table and
   figure of the evaluation.
 
-Quickstart::
+Quickstart (the columnar-first engine API — see ``docs/API.md``)::
 
-    from repro import WaZI, generate_dataset, generate_range_workload
+    from repro import SpatialEngine, RangeQuery, generate_dataset, generate_range_workload
 
     data = generate_dataset("newyork", 20_000, seed=1)
     workload = generate_range_workload("newyork", 200, selectivity_percent=0.0256, seed=1)
-    index = WaZI(data, workload.queries, seed=1)
-    hits = index.range_query(workload.queries[0])
+    engine = SpatialEngine.build("wazi", data, workload.queries, seed=1)
+    hits = engine.execute(RangeQuery(workload.queries[0]))   # lazy ResultSet
+    count = engine.execute(RangeQuery(workload.queries[0]), count_only=True)
 """
 
 from repro.analysis import RebuildAdvisor, WorkloadDriftDetector
@@ -37,7 +38,18 @@ from repro.api import (
     run_point_workload,
     run_range_workload,
     run_snapshot_roundtrip,
+    workload_summary,
 )
+from repro.engine import INDEX_NAMES, SpatialEngine, as_engine
+from repro.query import (
+    JoinQuery,
+    KnnQuery,
+    PointQuery,
+    Query,
+    RadiusQuery,
+    RangeQuery,
+)
+from repro.results import ResultSet
 from repro.persistence import (
     IndexLoadError,
     PersistenceError,
@@ -77,6 +89,17 @@ __all__ = [
     "Point",
     "Rect",
     "SpatialIndex",
+    "SpatialEngine",
+    "ResultSet",
+    "Query",
+    "RangeQuery",
+    "PointQuery",
+    "KnnQuery",
+    "RadiusQuery",
+    "JoinQuery",
+    "INDEX_NAMES",
+    "as_engine",
+    "workload_summary",
     "WaZI",
     "WaZIWithoutSkipping",
     "BaseWithSkipping",

@@ -1,287 +1,71 @@
-"""High-level convenience API.
+"""High-level convenience API (deprecation shims over the engine).
 
-Most users only need three things: generate (or load) a dataset, describe
-the anticipated query workload, and build an index.  This module offers a
-single :func:`build_index` factory covering every index in the library and
-small helpers for running a workload and summarising the outcome, so the
-examples and quick experiments stay short.
+.. deprecated::
+    The free functions in this module predate the columnar-first query API.
+    New code should use :class:`repro.engine.SpatialEngine` with the typed
+    plans of :mod:`repro.query` (see ``docs/API.md`` for the migration
+    table); everything here keeps working and now delegates to the engine
+    layer, so both surfaces stay behaviourally identical.
+
+The canonical implementations of :func:`build_index` and
+:func:`build_or_load_index` live in :mod:`repro.engine`; they are
+re-exported here for backwards compatibility.  :func:`compare_indexes`
+builds its per-index engines through :meth:`SpatialEngine.build`, which is
+also how per-index constructor keyword arguments are forwarded (earlier
+revisions silently dropped them).
 """
 
 from __future__ import annotations
 
+from typing import Dict, Mapping, Optional, Sequence, Union
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
 
-from repro.baselines import (
-    CURTree,
-    FloodIndex,
-    KDTreeIndex,
-    QuadTreeIndex,
-    QUASIIIndex,
-    RTree,
-    STRRTree,
-    ZPGMIndex,
+from repro.engine import (  # noqa: F401  (re-exported shims)
+    INDEX_NAMES,
+    SpatialEngine,
+    _encode_build_request,
+    _snapshot_matches_request,
+    as_engine,
+    build_index,
 )
-from repro.core import BaseWithSkipping, WaZI, WaZIWithoutSkipping
+from repro.engine import build_or_load_index as _build_or_load_index
+
+
+def build_or_load_index(
+    name,
+    points,
+    workload=(),
+    *,
+    snapshot_path,
+    leaf_capacity: int = 64,
+    seed: Optional[int] = 0,
+    rebuild: bool = False,
+    **kwargs,
+):
+    """Deprecated shim over :func:`repro.engine.build_or_load_index`.
+
+    Kept so existing callers (and monkeypatches of this module's
+    ``build_index``) keep working; the fresh-build path resolves
+    ``build_index`` through this module's namespace at call time.
+    """
+    return _build_or_load_index(
+        name, points, workload,
+        snapshot_path=snapshot_path, leaf_capacity=leaf_capacity,
+        seed=seed, rebuild=rebuild,
+        _factory=lambda *args, **kw: build_index(*args, **kw),
+        **kwargs,
+    )
 from repro.evaluation import (
     ComparisonRunner,
+    QueryStats,
     measure_join_workload,
     measure_knn_queries,
     measure_point_queries,
     measure_range_queries,
     measure_snapshot_roundtrip,
 )
-from repro.geometry import Point, Rect, points_to_arrays
+from repro.geometry import Point, Rect
 from repro.interfaces import SpatialIndex
-from repro.persistence.snapshot import json_clone
-from repro.persistence import (
-    KIND_REBUILD,
-    KIND_ZINDEX,
-    SnapshotError,
-    dataset_fingerprint,
-    load_snapshot,
-    read_manifest,
-    rects_to_array,
-    save_rebuild_snapshot,
-    save_snapshot,
-    workload_fingerprint,
-)
-from repro.zindex import BaseZIndex, ZIndex
-
-#: Accepted aliases for the Z-index ablation variants (shared between
-#: :func:`build_index` dispatch and the snapshot-matching table, so the two
-#: can never drift apart).
-_WAZI_SK_ALIASES = ("wazi-sk", "wazi_nosk", "wazi-noskip")
-_BASE_SK_ALIASES = ("base+sk", "base_sk", "basesk")
-
-#: Index names accepted by :func:`build_index`.  Workload-aware indexes use
-#: the ``workload`` argument; the rest ignore it.
-INDEX_NAMES = (
-    "wazi",
-    "wazi-sk",
-    "base",
-    "base+sk",
-    "str",
-    "cur",
-    "flood",
-    "quasii",
-    "zpgm",
-    "rtree",
-    "quadtree",
-    "kdtree",
-)
-
-
-def build_index(
-    name: str,
-    points: Sequence[Point],
-    workload: Sequence[Rect] = (),
-    leaf_capacity: int = 64,
-    seed: Optional[int] = 0,
-    **kwargs,
-) -> SpatialIndex:
-    """Build any index in the library by name.
-
-    Parameters
-    ----------
-    name:
-        One of :data:`INDEX_NAMES` (case-insensitive).
-    points:
-        The dataset.
-    workload:
-        Anticipated range queries; required for the workload-aware indexes
-        (``wazi``, ``wazi-sk``, ``cur``, ``flood``, ``quasii``) to have any
-        effect, ignored by the others.
-    leaf_capacity:
-        Page size ``L`` (or the grid cell target for Flood).
-    seed:
-        Seed for the learned / randomised components.
-    kwargs:
-        Forwarded to the index constructor for index-specific options.
-    """
-    key = name.lower()
-    if key == "wazi":
-        return WaZI(points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs)
-    if key in _WAZI_SK_ALIASES:
-        return WaZIWithoutSkipping(points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs)
-    if key == "base":
-        return BaseZIndex(points, leaf_capacity=leaf_capacity, **kwargs)
-    if key in _BASE_SK_ALIASES:
-        return BaseWithSkipping(points, leaf_capacity=leaf_capacity, **kwargs)
-    if key == "str":
-        return STRRTree(points, leaf_capacity=leaf_capacity, **kwargs)
-    if key == "cur":
-        return CURTree(points, workload, leaf_capacity=leaf_capacity, **kwargs)
-    if key == "flood":
-        return FloodIndex(points, workload, cell_target=leaf_capacity, seed=seed or 0, **kwargs)
-    if key == "quasii":
-        return QUASIIIndex(points, workload, **kwargs)
-    if key == "zpgm":
-        return ZPGMIndex(points, leaf_capacity=leaf_capacity, **kwargs)
-    if key == "rtree":
-        return RTree(points, leaf_capacity=leaf_capacity, **kwargs)
-    if key == "quadtree":
-        return QuadTreeIndex(points, leaf_capacity=leaf_capacity, **kwargs)
-    if key == "kdtree":
-        return KDTreeIndex(points, leaf_capacity=leaf_capacity, **kwargs)
-    raise ValueError(f"Unknown index name {name!r}; expected one of {INDEX_NAMES}")
-
-
-#: What a structural snapshot of each Z-index-family build name reports as
-#: its index name, used to check that an existing snapshot actually stores
-#: the index a caller is asking for.  Derived from the shared alias tuples
-#: and the classes' own ``name`` attributes (the value ``save_snapshot``
-#: records), so new aliases or renamed classes cannot desync the probe.
-_ZINDEX_SNAPSHOT_NAMES = {
-    "wazi": WaZI.name,
-    "base": BaseZIndex.name,
-    **{alias: WaZIWithoutSkipping.name for alias in _WAZI_SK_ALIASES},
-    **{alias: BaseWithSkipping.name for alias in _BASE_SK_ALIASES},
-}
-
-
-def _encode_build_request(name, workload, seed, kwargs) -> Optional[Dict]:
-    """The JSON record of a build request stored in structural manifests.
-
-    Returns ``None`` when the request cannot be represented (non-JSON
-    kwargs); a ``None`` request never matches a stored one, forcing a
-    rebuild.
-    """
-    encoded_kwargs = json_clone(kwargs or {})
-    if encoded_kwargs is None:
-        return None
-    return {
-        "name": str(name).lower(),
-        "seed": None if seed is None else int(seed),
-        "num_queries": len(workload or ()),
-        "workload_fingerprint": workload_fingerprint(rects_to_array(workload or ())),
-        "kwargs": encoded_kwargs,
-    }
-
-
-def _snapshot_matches_request(
-    path, name, points, leaf_capacity, seed, workload=None, kwargs=None
-) -> bool:
-    """Whether the snapshot at ``path`` plausibly stores the requested index.
-
-    A manifest-only probe (no array reads): the index/build name, the
-    dataset (via an order-insensitive content fingerprint, so a regenerated
-    same-size dataset is detected) and leaf capacity must match the
-    request — plus, for rebuild recipes, everything else the manifest
-    records (seed, workload content, extra build kwargs).  Structural
-    Z-index snapshots carry the same information in the ``build_request``
-    section the helper records at save time; snapshots saved through bare
-    ``save_snapshot`` lack it and are conservatively rebuilt.
-    """
-    try:
-        manifest = read_manifest(path)
-    except SnapshotError:
-        return False
-    key = name.lower()
-    kind = manifest.get("kind")
-    if kind == KIND_ZINDEX:
-        info = manifest.get("index") or {}
-        expected = _ZINDEX_SNAPSHOT_NAMES.get(key)
-        if expected is None or info.get("name") != expected:
-            return False
-        # The structure does not retain its build arguments, so the helper
-        # records them as a build_request section at save time; a snapshot
-        # without one (saved through bare save_snapshot) cannot be verified
-        # against this request and is rebuilt.
-        recorded = manifest.get("build_request")
-        if not isinstance(recorded, dict):
-            return False
-        if recorded != _encode_build_request(name, workload, seed, kwargs):
-            return False
-        return (
-            info.get("num_points") == len(points)
-            and info.get("leaf_capacity") == leaf_capacity
-            and info.get("dataset_fingerprint") == dataset_fingerprint(
-                *points_to_arrays(points)
-            )
-        )
-    if kind == KIND_REBUILD:
-        build = manifest.get("build") or {}
-        if str(build.get("name", "")).lower() != key:
-            return False
-        encoded_kwargs = json_clone(kwargs or {})
-        if encoded_kwargs is None:
-            return False  # unstorable kwargs can never match a stored recipe
-        return (
-            build.get("num_points") == len(points)
-            and build.get("leaf_capacity") == leaf_capacity
-            and build.get("seed") == (None if seed is None else int(seed))
-            and (
-                workload is None
-                or (
-                    build.get("num_queries") == len(workload)
-                    and build.get("workload_fingerprint")
-                    == workload_fingerprint(rects_to_array(workload))
-                )
-            )
-            and (build.get("kwargs") or {}) == encoded_kwargs
-            and build.get("dataset_fingerprint") == dataset_fingerprint(
-                *points_to_arrays(points)
-            )
-        )
-    return False
-
-
-def build_or_load_index(
-    name: str,
-    points: Sequence[Point],
-    workload: Sequence[Rect] = (),
-    *,
-    snapshot_path: Union[str, Path],
-    leaf_capacity: int = 64,
-    seed: Optional[int] = 0,
-    rebuild: bool = False,
-    **kwargs,
-) -> SpatialIndex:
-    """Build-once / serve-many: load a snapshot if present, else build and save.
-
-    The deployment helper for the paper's offline-build workflow.  When
-    ``snapshot_path`` exists (and ``rebuild`` is false) the index is
-    restored from it — an O(n) load for the Z-index family, a deterministic
-    replay of the build recipe for the rest of the zoo.  A snapshot whose
-    manifest does not match the request (different index name, point
-    count, leaf capacity — or seed, workload content and extra kwargs, for
-    rebuild recipes), or that is unreadable or version-incompatible,
-    silently falls back to a fresh build that overwrites it.  Snapshots
-    written by this helper record the full build request (seed, workload
-    fingerprint, extra kwargs) so any change to it is detected; snapshots
-    saved through bare :func:`save_snapshot` lack that record and are
-    conservatively rebuilt.  Otherwise the index is built with
-    :func:`build_index` and the snapshot is written for the next process.
-
-    For non-Z-index names the ``kwargs`` must be JSON-serialisable (they
-    travel in the rebuild recipe's manifest).
-    """
-    path = Path(snapshot_path)
-    if path.exists() and not rebuild:
-        if _snapshot_matches_request(
-            path, name, points, leaf_capacity, seed,
-            workload=workload, kwargs=kwargs,
-        ):
-            try:
-                return load_snapshot(path)
-            except SnapshotError:
-                pass  # stale/corrupt snapshot: rebuild and overwrite below
-    index = build_index(
-        name, points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs
-    )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    if isinstance(index, ZIndex):
-        save_snapshot(
-            index, path,
-            build_request=_encode_build_request(name, workload, seed, kwargs),
-        )
-    else:
-        save_rebuild_snapshot(
-            name, points, path,
-            workload=workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs,
-        )
-    return index
 
 
 def compare_indexes(
@@ -298,8 +82,23 @@ def compare_indexes(
     batch_ranges: bool = False,
     batch_knn: bool = False,
     snapshot_dir: Optional[Union[str, Path]] = None,
+    index_kwargs: Optional[Mapping[str, Mapping[str, object]]] = None,
+    **build_kwargs,
 ) -> Dict[str, "object"]:
     """Build and measure several indexes on the same data and workload.
+
+    Every index is built through :meth:`SpatialEngine.build`, and extra
+    constructor options now reach the factories (earlier revisions dropped
+    them silently): keyword arguments in ``build_kwargs`` are forwarded to
+    *every* index constructor, while ``index_kwargs`` maps an index name to
+    options for that index only (per-index options win over shared ones).
+    For example::
+
+        compare_indexes(
+            ["wazi", "base"], points, workload,
+            max_depth=16,                            # applies to both
+            index_kwargs={"wazi": {"num_candidates": 8}},
+        )
 
     ``repeats`` and ``batch_ranges`` are forwarded to
     :meth:`~repro.evaluation.runner.ComparisonRunner.run` (earlier
@@ -314,11 +113,25 @@ def compare_indexes(
     Returns a mapping from index name to
     :class:`~repro.evaluation.runner.ComparisonResult`.
     """
-    factories = {
-        name: (lambda n=name: build_index(n, points, workload, leaf_capacity=leaf_capacity, seed=seed))
-        for name in names
-    }
-    runner = ComparisonRunner(factories)
+    per_index = {name: dict(options) for name, options in (index_kwargs or {}).items()}
+    unknown = set(per_index) - set(names)
+    if unknown:
+        raise ValueError(
+            f"index_kwargs given for indexes not being compared: {sorted(unknown)}"
+        )
+
+    def factory_for(name: str):
+        options = {**build_kwargs, **per_index.get(name, {})}
+
+        def factory():
+            return SpatialEngine.build(
+                name, points, workload,
+                leaf_capacity=leaf_capacity, seed=seed, **options,
+            )
+
+        return factory
+
+    runner = ComparisonRunner({name: factory_for(name) for name in names})
     return runner.run_dict(
         range_queries=list(workload),
         point_queries=list(point_queries),
@@ -331,14 +144,17 @@ def compare_indexes(
     )
 
 
-def run_range_workload(index: SpatialIndex, workload: Sequence[Rect], batch: bool = False):
+def run_range_workload(index: SpatialIndex, workload: Sequence[Rect], batch: bool = False,
+                       *, count_only: bool = False):
     """Measure a range workload on an already-built index (wall clock + counters).
 
     ``batch=True`` submits the workload through
     :meth:`~repro.interfaces.SpatialIndex.batch_range_query`, the amortised
-    path benchmark workloads should prefer.
+    path benchmark workloads should prefer.  ``count_only=True`` measures
+    the count-only plan execution, which never materialises results on the
+    columnar core.
     """
-    return measure_range_queries(index, list(workload), batch=batch)
+    return measure_range_queries(index, list(workload), batch=batch, count_only=count_only)
 
 
 def run_point_workload(index: SpatialIndex, queries: Sequence[Point]):
@@ -397,8 +213,36 @@ def run_snapshot_roundtrip(
 
 
 def workload_summary(stats) -> Dict[str, float]:
-    """A compact dictionary summary of a :class:`QueryStats` measurement."""
-    return {
+    """A compact dictionary summary of one measured workload.
+
+    Accepts any :class:`~repro.evaluation.metrics.QueryStats` — range and
+    point workloads, kNN workloads (``measure_knn_queries`` records ``k``
+    in :attr:`QueryStats.extra`), join workloads (``measure_join_workload``
+    records pair counts and selectivity) — as well as the plain
+    measurement dict of
+    :func:`~repro.evaluation.runner.measure_snapshot_roundtrip`.  Extra
+    workload-specific scalars are merged into the summary verbatim, so the
+    one helper covers every scenario the evaluation harness measures.
+    """
+    if isinstance(stats, Mapping):
+        # measure_snapshot_roundtrip returns a flat measurement dict.
+        summary = {"kind": "snapshot"}
+        summary.update(stats)
+        return summary
+    if not isinstance(stats, QueryStats):
+        raise TypeError(
+            f"workload_summary expects QueryStats or a snapshot measurement "
+            f"dict, got {type(stats).__name__}"
+        )
+    extra = dict(stats.extra)
+    if "k" in extra:
+        kind = "knn"
+    elif "num_pairs" in extra:
+        kind = "join"
+    else:
+        kind = "queries"
+    summary = {
+        "kind": kind,
         "index": stats.index_name,
         "queries": stats.num_queries,
         "mean_micros": stats.mean_micros,
@@ -407,3 +251,5 @@ def workload_summary(stats) -> Dict[str, float]:
         "points_filtered_per_query": stats.per_query("points_filtered"),
         "excess_points_per_query": stats.per_query("excess_points"),
     }
+    summary.update(extra)
+    return summary

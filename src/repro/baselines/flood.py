@@ -58,7 +58,7 @@ class FloodIndex(SpatialIndex):
         cell_target: int = 64,
         layout_sample: int = 100,
         aspect_factors: Tuple[float, ...] = _DEFAULT_ASPECT_FACTORS,
-        seed: int = 0,
+        seed: Optional[int] = 0,
     ) -> None:
         super().__init__()
         if cell_target <= 0:
@@ -182,7 +182,7 @@ class FloodIndex(SpatialIndex):
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def range_query(self, query: Rect) -> List[Point]:
+    def _range_query_points(self, query: Rect) -> List[Point]:
         results: List[Point] = []
         ix_lo, ix_hi = self._column_range_for(query)
         iy_lo, iy_hi = self._row_range_for(query)

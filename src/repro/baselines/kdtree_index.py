@@ -69,7 +69,7 @@ class KDTreeIndex(SpatialIndex):
         return node
 
     # ------------------------------------------------------------------
-    def range_query(self, query: Rect) -> List[Point]:
+    def _range_query_points(self, query: Rect) -> List[Point]:
         results: List[Point] = []
         if self._root is not None:
             self._range_recursive(self._root, query, results)

@@ -92,7 +92,7 @@ class QuadTreeIndex(SpatialIndex):
             self._child_for(node, point).points.append(point)
 
     # ------------------------------------------------------------------
-    def range_query(self, query: Rect) -> List[Point]:
+    def _range_query_points(self, query: Rect) -> List[Point]:
         results: List[Point] = []
         self._range_recursive(self._root, query, results)
         return results

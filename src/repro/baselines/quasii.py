@@ -152,7 +152,7 @@ class QUASIIIndex(SpatialIndex):
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def range_query(self, query: Rect) -> List[Point]:
+    def _range_query_points(self, query: Rect) -> List[Point]:
         results: List[Point] = []
         col_lo, col_hi = self._column_range(query)
         for column_index in range(col_lo, col_hi + 1):

@@ -108,7 +108,7 @@ class RTree(SpatialIndex):
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
-    def range_query(self, query: Rect) -> List[Point]:
+    def _range_query_points(self, query: Rect) -> List[Point]:
         results: List[Point] = []
         self._range_recursive(self.root, query, results)
         return results

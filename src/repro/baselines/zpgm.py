@@ -132,7 +132,7 @@ class ZPGMIndex(SpatialIndex):
         return position
 
     # ------------------------------------------------------------------
-    def range_query(self, query: Rect) -> List[Point]:
+    def _range_query_points(self, query: Rect) -> List[Point]:
         if not self._sorted_points:
             return []
         z_low, z_high = self.mapper.z_range_of_query(query)

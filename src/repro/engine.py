@@ -1,0 +1,666 @@
+"""The columnar-first query facade: build/load/save and plan execution.
+
+:class:`SpatialEngine` is the library's single public entry point for
+serving spatial workloads.  It owns the index lifecycle — build from a
+dataset (:meth:`SpatialEngine.build`), restore from a snapshot
+(:meth:`SpatialEngine.load`), the build-once/serve-many combination of both
+(:meth:`SpatialEngine.open`), persist (:meth:`SpatialEngine.save`) — and it
+executes the typed query plans of :mod:`repro.query` through one dispatch:
+
+    engine = SpatialEngine.build("wazi", points, workload, seed=1)
+    hits   = engine.execute(RangeQuery(rect))                  # lazy ResultSet
+    n      = engine.execute(RangeQuery(rect), count_only=True) # int, no boxing
+    firsts = engine.execute_many(plans, limit=10)
+
+``execute_many`` recognises homogeneous plan lists and routes them through
+the index's amortised batch entry points (``batch_range_query`` /
+``batch_knn`` / ``batch_radius_query`` and their count-only twins), which
+the Z-index family answers on its flat coordinate columns.  ``count_only``
+and array-consuming executions on that family never box a single
+:class:`~repro.geometry.Point`.
+
+The engine also keeps the free-function era working: ``build_index`` and
+``build_or_load_index`` live here as the canonical implementations and are
+re-exported by :mod:`repro.api` as deprecation shims.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.baselines import (
+    CURTree,
+    FloodIndex,
+    KDTreeIndex,
+    QuadTreeIndex,
+    QUASIIIndex,
+    RTree,
+    STRRTree,
+    ZPGMIndex,
+)
+from repro.core import BaseWithSkipping, WaZI, WaZIWithoutSkipping
+from repro.geometry import Point, Rect, points_to_arrays
+from repro.interfaces import SpatialIndex
+from repro.persistence import (
+    KIND_REBUILD,
+    KIND_ZINDEX,
+    SnapshotError,
+    dataset_fingerprint,
+    load_snapshot,
+    read_manifest,
+    rects_to_array,
+    save_rebuild_snapshot,
+    save_snapshot,
+    workload_fingerprint,
+)
+from repro.persistence.snapshot import json_clone
+from repro.query import JoinQuery, KnnQuery, PointQuery, Query, RadiusQuery, RangeQuery
+from repro.results import ResultSet
+from repro.zindex import BaseZIndex, ZIndex
+
+__all__ = [
+    "INDEX_NAMES",
+    "SpatialEngine",
+    "as_engine",
+    "build_index",
+    "build_or_load_index",
+]
+
+#: Accepted aliases for the Z-index ablation variants (shared between
+#: :func:`build_index` dispatch and the snapshot-matching table, so the two
+#: can never drift apart).
+_WAZI_SK_ALIASES = ("wazi-sk", "wazi_nosk", "wazi-noskip")
+_BASE_SK_ALIASES = ("base+sk", "base_sk", "basesk")
+
+#: Index names accepted by :func:`build_index` /
+#: :meth:`SpatialEngine.build`.  Workload-aware indexes use the
+#: ``workload`` argument; the rest ignore it.
+INDEX_NAMES = (
+    "wazi",
+    "wazi-sk",
+    "base",
+    "base+sk",
+    "str",
+    "cur",
+    "flood",
+    "quasii",
+    "zpgm",
+    "rtree",
+    "quadtree",
+    "kdtree",
+)
+
+
+def build_index(
+    name: str,
+    points: Sequence[Point],
+    workload: Sequence[Rect] = (),
+    leaf_capacity: int = 64,
+    seed: Optional[int] = 0,
+    **kwargs,
+) -> SpatialIndex:
+    """Build any index in the library by name.
+
+    Parameters
+    ----------
+    name:
+        One of :data:`INDEX_NAMES` (case-insensitive).
+    points:
+        The dataset.
+    workload:
+        Anticipated range queries; required for the workload-aware indexes
+        (``wazi``, ``wazi-sk``, ``cur``, ``flood``, ``quasii``) to have any
+        effect, ignored by the others.
+    leaf_capacity:
+        Page size ``L`` (or the grid cell target for Flood).
+    seed:
+        Seed for the learned / randomised components.  ``None`` is
+        forwarded verbatim to every workload-aware index (earlier revisions
+        silently coerced it to ``0`` for Flood only).
+    kwargs:
+        Forwarded to the index constructor for index-specific options.
+    """
+    key = name.lower()
+    if key == "wazi":
+        return WaZI(points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs)
+    if key in _WAZI_SK_ALIASES:
+        return WaZIWithoutSkipping(points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs)
+    if key == "base":
+        return BaseZIndex(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key in _BASE_SK_ALIASES:
+        return BaseWithSkipping(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "str":
+        return STRRTree(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "cur":
+        return CURTree(points, workload, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "flood":
+        return FloodIndex(points, workload, cell_target=leaf_capacity, seed=seed, **kwargs)
+    if key == "quasii":
+        return QUASIIIndex(points, workload, **kwargs)
+    if key == "zpgm":
+        return ZPGMIndex(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "rtree":
+        return RTree(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "quadtree":
+        return QuadTreeIndex(points, leaf_capacity=leaf_capacity, **kwargs)
+    if key == "kdtree":
+        return KDTreeIndex(points, leaf_capacity=leaf_capacity, **kwargs)
+    raise ValueError(f"Unknown index name {name!r}; expected one of {INDEX_NAMES}")
+
+
+#: What a structural snapshot of each Z-index-family build name reports as
+#: its index name, used to check that an existing snapshot actually stores
+#: the index a caller is asking for.  Derived from the shared alias tuples
+#: and the classes' own ``name`` attributes (the value ``save_snapshot``
+#: records), so new aliases or renamed classes cannot desync the probe.
+_ZINDEX_SNAPSHOT_NAMES = {
+    "wazi": WaZI.name,
+    "base": BaseZIndex.name,
+    **{alias: WaZIWithoutSkipping.name for alias in _WAZI_SK_ALIASES},
+    **{alias: BaseWithSkipping.name for alias in _BASE_SK_ALIASES},
+}
+
+
+def _encode_build_request(name, workload, seed, kwargs) -> Optional[Dict]:
+    """The JSON record of a build request stored in structural manifests.
+
+    Returns ``None`` when the request cannot be represented (non-JSON
+    kwargs); a ``None`` request never matches a stored one, forcing a
+    rebuild.
+    """
+    encoded_kwargs = json_clone(kwargs or {})
+    if encoded_kwargs is None:
+        return None
+    return {
+        "name": str(name).lower(),
+        "seed": None if seed is None else int(seed),
+        "num_queries": len(workload or ()),
+        "workload_fingerprint": workload_fingerprint(rects_to_array(workload or ())),
+        "kwargs": encoded_kwargs,
+    }
+
+
+def _snapshot_matches_request(
+    path, name, points, leaf_capacity, seed, workload=None, kwargs=None
+) -> bool:
+    """Whether the snapshot at ``path`` plausibly stores the requested index.
+
+    A manifest-only probe (no array reads): the index/build name, the
+    dataset (via an order-insensitive content fingerprint, so a regenerated
+    same-size dataset is detected) and leaf capacity must match the
+    request — plus, for rebuild recipes, everything else the manifest
+    records (seed, workload content, extra build kwargs).  Structural
+    Z-index snapshots carry the same information in the ``build_request``
+    section the helper records at save time; snapshots saved through bare
+    ``save_snapshot`` lack it and are conservatively rebuilt.
+    """
+    try:
+        manifest = read_manifest(path)
+    except SnapshotError:
+        return False
+    key = name.lower()
+    kind = manifest.get("kind")
+    if kind == KIND_ZINDEX:
+        info = manifest.get("index") or {}
+        expected = _ZINDEX_SNAPSHOT_NAMES.get(key)
+        if expected is None or info.get("name") != expected:
+            return False
+        # The structure does not retain its build arguments, so the helper
+        # records them as a build_request section at save time; a snapshot
+        # without one (saved through bare save_snapshot) cannot be verified
+        # against this request and is rebuilt.
+        recorded = manifest.get("build_request")
+        if not isinstance(recorded, dict):
+            return False
+        if recorded != _encode_build_request(name, workload, seed, kwargs):
+            return False
+        return (
+            info.get("num_points") == len(points)
+            and info.get("leaf_capacity") == leaf_capacity
+            and info.get("dataset_fingerprint") == dataset_fingerprint(
+                *points_to_arrays(points)
+            )
+        )
+    if kind == KIND_REBUILD:
+        build = manifest.get("build") or {}
+        if str(build.get("name", "")).lower() != key:
+            return False
+        encoded_kwargs = json_clone(kwargs or {})
+        if encoded_kwargs is None:
+            return False  # unstorable kwargs can never match a stored recipe
+        return (
+            build.get("num_points") == len(points)
+            and build.get("leaf_capacity") == leaf_capacity
+            and build.get("seed") == (None if seed is None else int(seed))
+            and (
+                workload is None
+                or (
+                    build.get("num_queries") == len(workload)
+                    and build.get("workload_fingerprint")
+                    == workload_fingerprint(rects_to_array(workload))
+                )
+            )
+            and (build.get("kwargs") or {}) == encoded_kwargs
+            and build.get("dataset_fingerprint") == dataset_fingerprint(
+                *points_to_arrays(points)
+            )
+        )
+    return False
+
+
+def build_or_load_index(
+    name: str,
+    points: Sequence[Point],
+    workload: Sequence[Rect] = (),
+    *,
+    snapshot_path: Union[str, Path],
+    leaf_capacity: int = 64,
+    seed: Optional[int] = 0,
+    rebuild: bool = False,
+    _factory=None,
+    **kwargs,
+) -> SpatialIndex:
+    """Build-once / serve-many: load a snapshot if present, else build and save.
+
+    The deployment helper for the paper's offline-build workflow.  When
+    ``snapshot_path`` exists (and ``rebuild`` is false) the index is
+    restored from it — an O(n) load for the Z-index family, a deterministic
+    replay of the build recipe for the rest of the zoo.  A snapshot whose
+    manifest does not match the request (different index name, point
+    count, leaf capacity — or seed, workload content and extra kwargs, for
+    rebuild recipes), or that is unreadable or version-incompatible,
+    silently falls back to a fresh build that overwrites it.  Snapshots
+    written by this helper record the full build request (seed, workload
+    fingerprint, extra kwargs) so any change to it is detected; snapshots
+    saved through bare :func:`save_snapshot` lack that record and are
+    conservatively rebuilt.  Otherwise the index is built with
+    :func:`build_index` and the snapshot is written for the next process.
+
+    For non-Z-index names the ``kwargs`` must be JSON-serialisable (they
+    travel in the rebuild recipe's manifest).
+    """
+    path = Path(snapshot_path)
+    if path.exists() and not rebuild:
+        if _snapshot_matches_request(
+            path, name, points, leaf_capacity, seed,
+            workload=workload, kwargs=kwargs,
+        ):
+            try:
+                return load_snapshot(path)
+            except SnapshotError:
+                pass  # stale/corrupt snapshot: rebuild and overwrite below
+    factory = build_index if _factory is None else _factory
+    index = factory(
+        name, points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if isinstance(index, ZIndex):
+        save_snapshot(
+            index, path,
+            build_request=_encode_build_request(name, workload, seed, kwargs),
+        )
+    else:
+        save_rebuild_snapshot(
+            name, points, path,
+            workload=workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs,
+        )
+    return index
+
+
+def _make_recipe(index, name, points, workload, leaf_capacity, seed, kwargs) -> Dict:
+    """The build request an engine remembers for :meth:`SpatialEngine.save`.
+
+    For the Z-index family ``save`` writes a structural snapshot and only
+    needs the request metadata (name, workload, seed, kwargs); the dataset
+    itself is recorded only for the rebuild-recipe zoo, so a
+    build-once/serve-many Z-index engine never pins the boxed point list.
+    """
+    return {
+        "name": name,
+        "points": None if isinstance(index, ZIndex) else points,
+        "workload": list(workload),
+        "leaf_capacity": leaf_capacity,
+        "seed": seed,
+        "kwargs": dict(kwargs),
+    }
+
+
+class SpatialEngine:
+    """Facade owning one index's lifecycle and executing query plans on it.
+
+    Wraps any :class:`~repro.interfaces.SpatialIndex` (an existing one, or
+    one produced by the :meth:`build` / :meth:`load` / :meth:`open`
+    constructors) and exposes:
+
+    * ``execute(plan, *, count_only=False, limit=None)`` — run one typed
+      plan from :mod:`repro.query`,
+    * ``execute_many(plans, ...)`` — run a workload, batched through the
+      index's amortised entry points when the plans are homogeneous,
+    * ``save(path)`` — persist (structural snapshot for the Z-index
+      family, build-recipe snapshot for the rest when the engine knows the
+      recipe),
+    * the full index protocol (``range_query``, ``knn``, ``insert``,
+      counters, …) by delegation, so the engine can stand in for a bare
+      index anywhere in the library.
+
+    ``count_only`` executions return plain ``int`` counts; on the columnar
+    Z-index family they are answered entirely on the coordinate columns
+    (no ``Point`` is ever boxed).  ``limit`` truncates each result to its
+    first ``limit`` rows in result order, staying columnar.
+    """
+
+    def __init__(self, index: SpatialIndex, *, _recipe: Optional[Dict] = None) -> None:
+        if not isinstance(index, SpatialIndex):
+            raise TypeError(
+                f"SpatialEngine wraps a SpatialIndex, got {type(index).__name__}"
+            )
+        self.index = index
+        #: The build request, when this engine built the index itself —
+        #: lets :meth:`save` write rebuild recipes for the non-Z-index zoo.
+        self._recipe = _recipe
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        points: Sequence[Point],
+        workload: Sequence[Rect] = (),
+        *,
+        leaf_capacity: int = 64,
+        seed: Optional[int] = 0,
+        **kwargs,
+    ) -> "SpatialEngine":
+        """Build an index by name (see :data:`INDEX_NAMES`) and wrap it."""
+        index = build_index(
+            name, points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs
+        )
+        return cls(index, _recipe=_make_recipe(
+            index, name, points, workload, leaf_capacity, seed, kwargs
+        ))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SpatialEngine":
+        """Restore an engine from a snapshot written by :meth:`save`."""
+        return cls(load_snapshot(path))
+
+    @classmethod
+    def open(
+        cls,
+        name: str,
+        points: Sequence[Point],
+        workload: Sequence[Rect] = (),
+        *,
+        snapshot_path: Union[str, Path],
+        leaf_capacity: int = 64,
+        seed: Optional[int] = 0,
+        rebuild: bool = False,
+        **kwargs,
+    ) -> "SpatialEngine":
+        """Build-once / serve-many (see :func:`build_or_load_index`)."""
+        index = build_or_load_index(
+            name, points, workload,
+            snapshot_path=snapshot_path, leaf_capacity=leaf_capacity,
+            seed=seed, rebuild=rebuild, **kwargs,
+        )
+        return cls(index, _recipe=_make_recipe(
+            index, name, points, workload, leaf_capacity, seed, kwargs
+        ))
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Persist the engine's index for a later :meth:`load`.
+
+        Z-index-family indexes are written as structural snapshots (O(n)
+        load, no construction re-run).  Other indexes are written as
+        build-recipe snapshots when this engine built them itself (the
+        recipe is known); wrapping a foreign non-Z-index raises
+        :class:`TypeError`, mirroring ``save_snapshot``.
+        """
+        if isinstance(self.index, ZIndex):
+            build_request = None
+            if self._recipe is not None:
+                build_request = _encode_build_request(
+                    self._recipe["name"], self._recipe["workload"],
+                    self._recipe["seed"], self._recipe["kwargs"],
+                )
+            save_snapshot(self.index, path, build_request=build_request)
+            return
+        if self._recipe is None:
+            raise TypeError(
+                f"{self.name} has no structural snapshot support and this engine "
+                "does not know its build recipe; use SpatialEngine.build/open"
+            )
+        save_rebuild_snapshot(
+            self._recipe["name"], self._recipe["points"], path,
+            workload=self._recipe["workload"],
+            leaf_capacity=self._recipe["leaf_capacity"],
+            seed=self._recipe["seed"], **self._recipe["kwargs"],
+        )
+
+    # ------------------------------------------------------------------
+    # plan execution
+    # ------------------------------------------------------------------
+    def execute(
+        self, query: Query, *, count_only: bool = False, limit: Optional[int] = None
+    ):
+        """Execute one typed query plan.
+
+        Returns a lazy :class:`~repro.results.ResultSet` for range / kNN /
+        radius plans, ``bool`` for :class:`PointQuery`, and the join
+        operator's native pair shape for :class:`JoinQuery`.  With
+        ``count_only=True`` every plan returns an ``int`` instead, computed
+        without materialising results wherever the index allows it.
+        """
+        self._check_limit(limit)
+        if isinstance(query, RangeQuery):
+            if count_only:
+                return self._capped(self.index.range_count(query.rect), limit)
+            return self._truncated(self.index.range_query(query.rect), limit)
+        if isinstance(query, PointQuery):
+            found = self.index.point_query(query.point)
+            return int(found) if count_only else found
+        if isinstance(query, KnnQuery):
+            result = self.index.knn(query.center, query.k, query.initial_radius)
+            if count_only:
+                return self._capped(result.count(), limit)
+            return self._truncated(result, limit)
+        if isinstance(query, RadiusQuery):
+            result = self.index.radius_query(query.center, query.radius)
+            if count_only:
+                return self._capped(result.count(), limit)
+            return self._truncated(result, limit)
+        if isinstance(query, JoinQuery):
+            return self._execute_join(query, count_only=count_only, limit=limit)
+        raise TypeError(f"Unknown query plan type {type(query).__name__}")
+
+    def execute_many(
+        self,
+        queries: Sequence[Query],
+        *,
+        count_only: bool = False,
+        limit: Optional[int] = None,
+    ) -> List:
+        """Execute a workload of plans, batching homogeneous runs.
+
+        A list of :class:`RangeQuery` plans is submitted through
+        ``batch_range_query`` (or ``batch_range_count`` under
+        ``count_only``), kNN plans sharing ``k``/``initial_radius`` through
+        ``batch_knn``, radius plans sharing ``radius`` through
+        ``batch_radius_query`` — the amortised paths the columnar engine
+        optimises.  Anything else falls back to one :meth:`execute` per
+        plan.  Results come back in workload order either way.
+        """
+        self._check_limit(limit)
+        queries = list(queries)
+        if not queries:
+            return []
+        index = self.index
+        if all(type(q) is RangeQuery for q in queries):
+            rects = [q.rect for q in queries]
+            if count_only:
+                return [self._capped(c, limit) for c in index.batch_range_count(rects)]
+            return [
+                self._truncated(r, limit) for r in index.batch_range_query(rects)
+            ]
+        if all(type(q) is KnnQuery for q in queries):
+            first = queries[0]
+            if all(
+                q.k == first.k and q.initial_radius == first.initial_radius
+                for q in queries
+            ):
+                results = index.batch_knn(
+                    [q.center for q in queries], first.k, first.initial_radius
+                )
+                if count_only:
+                    return [self._capped(r.count(), limit) for r in results]
+                return [self._truncated(r, limit) for r in results]
+        if all(type(q) is RadiusQuery for q in queries):
+            first = queries[0]
+            if all(q.radius == first.radius for q in queries):
+                results = index.batch_radius_query(
+                    [q.center for q in queries], first.radius
+                )
+                if count_only:
+                    return [self._capped(r.count(), limit) for r in results]
+                return [self._truncated(r, limit) for r in results]
+        return [
+            self.execute(query, count_only=count_only, limit=limit)
+            for query in queries
+        ]
+
+    def _execute_join(
+        self, query: JoinQuery, *, count_only: bool, limit: Optional[int]
+    ):
+        from repro import joins
+
+        index = self.index
+        if count_only:
+            # Pair counting runs on the batch entry points' lazy result
+            # sets: on the columnar core not a single pair (or Point) is
+            # materialised.
+            if query.kind == "box":
+                counts = self._box_join_counts(query)
+            elif query.kind == "radius":
+                counts = [
+                    r.count()
+                    for r in index.batch_radius_query(query.probes, query.radius)
+                ]
+            else:
+                counts = [r.count() for r in index.batch_knn(query.probes, query.k)]
+            return self._capped(sum(counts), limit)
+        if query.kind == "box":
+            pairs = joins.box_join(
+                index, query.probes, query.half_width, query.half_height
+            )
+        elif query.kind == "radius":
+            pairs = joins.radius_join(index, query.probes, query.radius)
+        else:
+            # The kNN operator's native rows are per-probe entries, so
+            # ``limit`` truncates entries (like it truncates pairs above).
+            pairs = joins.knn_join(index, query.probes, query.k)
+        return pairs if limit is None else pairs[:limit]
+
+    def _box_join_counts(self, query: JoinQuery) -> List[int]:
+        from repro.joins import _probe_columns, _probe_windows
+
+        half_height = (
+            query.half_width if query.half_height is None else query.half_height
+        )
+        xs, ys = _probe_columns(query.probes)
+        windows = _probe_windows(xs, ys, query.half_width, half_height)
+        return self.index.batch_range_count(windows)
+
+    @staticmethod
+    def _check_limit(limit: Optional[int]) -> None:
+        if limit is not None and limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+
+    @staticmethod
+    def _capped(count: int, limit: Optional[int]) -> int:
+        return count if limit is None else min(count, limit)
+
+    @staticmethod
+    def _truncated(result: ResultSet, limit: Optional[int]) -> ResultSet:
+        return result if limit is None else result.head(limit)
+
+    # ------------------------------------------------------------------
+    # index protocol delegation
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.index.name
+
+    @property
+    def counters(self):
+        return self.index.counters
+
+    @property
+    def phase_timer(self):
+        """The wrapped index's phase timer (``None`` where unsupported)."""
+        return getattr(self.index, "phase_timer", None)
+
+    @phase_timer.setter
+    def phase_timer(self, value) -> None:
+        self.index.phase_timer = value
+
+    def reset_counters(self) -> None:
+        self.index.reset_counters()
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def size_bytes(self) -> int:
+        return self.index.size_bytes()
+
+    def extent(self):
+        return self.index.extent()
+
+    def insert(self, point: Point) -> None:
+        self.index.insert(point)
+
+    def delete(self, point: Point) -> bool:
+        return self.index.delete(point)
+
+    def range_query(self, query: Rect) -> ResultSet:
+        return self.index.range_query(query)
+
+    def batch_range_query(self, queries: Sequence[Rect]) -> List[ResultSet]:
+        return self.index.batch_range_query(queries)
+
+    def range_count(self, query: Rect) -> int:
+        return self.index.range_count(query)
+
+    def batch_range_count(self, queries: Sequence[Rect]) -> List[int]:
+        return self.index.batch_range_count(queries)
+
+    def point_query(self, point: Point) -> bool:
+        return self.index.point_query(point)
+
+    def knn(self, center: Point, k: int, initial_radius: Optional[float] = None) -> ResultSet:
+        return self.index.knn(center, k, initial_radius)
+
+    def batch_knn(
+        self, centers: Sequence[Point], k: int, initial_radius: Optional[float] = None
+    ) -> List[ResultSet]:
+        return self.index.batch_knn(centers, k, initial_radius)
+
+    def radius_query(self, center: Point, radius: float) -> ResultSet:
+        return self.index.radius_query(center, radius)
+
+    def batch_radius_query(
+        self, centers: Sequence[Point], radius: float
+    ) -> List[ResultSet]:
+        return self.index.batch_radius_query(centers, radius)
+
+    def __repr__(self) -> str:
+        return f"SpatialEngine({self.name}, {len(self)} points)"
+
+
+def as_engine(index_or_engine) -> SpatialEngine:
+    """Wrap a bare index into an engine; pass engines through unchanged."""
+    if isinstance(index_or_engine, SpatialEngine):
+        return index_or_engine
+    return SpatialEngine(index_or_engine)

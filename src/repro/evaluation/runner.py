@@ -2,11 +2,12 @@
 
 The runner is deliberately free of any dependency on concrete index
 classes: it works with *factories* (zero-argument callables returning a
-freshly built index) and with the small duck-typed surface of
-:class:`~repro.interfaces.SpatialIndex` (``range_query``, ``point_query``,
-``reset_counters``, ``counters``, ``size_bytes``).  Benchmarks compose it
-with the index constructors and the workload generators to regenerate each
-of the paper's tables and figures.
+freshly built index **or** a :class:`~repro.engine.SpatialEngine`) and
+executes every workload through the engine's typed query plans
+(:mod:`repro.query`), so the measurements exercise exactly the dispatch a
+serving deployment uses.  Benchmarks compose it with the index
+constructors and the workload generators to regenerate each of the
+paper's tables and figures.
 """
 
 from __future__ import annotations
@@ -19,9 +20,19 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.evaluation.metrics import CostCounters, PhaseTimer, QueryStats
 from repro.geometry import Point, Rect
+from repro.query import JoinQuery, KnnQuery, PointQuery, RangeQuery
 
-#: A factory producing a freshly built index (build time is measured around it).
+#: A factory producing a freshly built index or engine (build time is
+#: measured around it).
 IndexFactory = Callable[[], object]
+
+
+def _as_engine(index):
+    """Wrap bare indexes into an engine (imported lazily: engine needs the
+    index classes, whose interfaces module needs this package)."""
+    from repro.engine import as_engine
+
+    return as_engine(index)
 
 
 @dataclass
@@ -63,39 +74,49 @@ def measure_build(factory: IndexFactory):
 
 
 def measure_range_queries(
-    index, queries: Sequence[Rect], repeats: int = 1, batch: bool = False
+    index,
+    queries: Sequence[Rect],
+    repeats: int = 1,
+    batch: bool = False,
+    count_only: bool = False,
 ) -> QueryStats:
     """Run a range-query workload, recording wall-clock and logical counters.
 
-    With ``batch=True`` the workload is submitted through
-    :meth:`~repro.interfaces.SpatialIndex.batch_range_query` instead of one
-    call per query, measuring the amortised path the columnar indexes
-    optimise.  Logical counters are identical either way; phase timings are
-    only collected in per-query mode (the batch path bypasses the timer).
+    The workload is executed as :class:`~repro.query.RangeQuery` plans
+    through the engine dispatch (bare indexes are wrapped on the fly).
+    With ``batch=True`` the plans are submitted through
+    ``execute_many`` — the amortised ``batch_range_query`` path the
+    columnar indexes optimise — instead of one ``execute`` per plan.
+    Logical counters are identical either way; phase timings are only
+    collected in per-query mode (the batch path bypasses the timer).
+    ``count_only=True`` measures the count-only execution, which skips
+    result materialisation entirely on the columnar core.
     """
-    index.reset_counters()
+    engine = _as_engine(index)
+    plans = [RangeQuery(query) for query in queries]
+    engine.reset_counters()
     timer = PhaseTimer()
-    previous_timer = getattr(index, "phase_timer", None)
-    if hasattr(index, "phase_timer"):
-        index.phase_timer = timer
+    previous_timer = getattr(engine, "phase_timer", None)
+    engine.phase_timer = timer
     start = time.perf_counter()
     if batch:
         for _ in range(max(1, repeats)):
-            index.batch_range_query(queries)
+            engine.execute_many(plans, count_only=count_only)
     else:
         for _ in range(max(1, repeats)):
-            for query in queries:
-                index.range_query(query)
+            for plan in plans:
+                engine.execute(plan, count_only=count_only)
     elapsed = time.perf_counter() - start
-    if hasattr(index, "phase_timer"):
-        index.phase_timer = previous_timer
-    counters: CostCounters = index.counters.copy()
+    engine.phase_timer = previous_timer
+    counters: CostCounters = engine.counters.copy()
+    extra: Dict[str, float] = {"count_only": 1.0} if count_only else {}
     return QueryStats(
-        index_name=getattr(index, "name", type(index).__name__),
+        index_name=getattr(engine, "name", type(index).__name__),
         num_queries=len(queries) * max(1, repeats),
         total_seconds=elapsed,
         counters=counters,
         phase_seconds=timer.totals(),
+        extra=extra,
     )
 
 
@@ -104,27 +125,31 @@ def measure_knn_queries(
 ) -> QueryStats:
     """Run a kNN workload, recording wall-clock and logical counters.
 
-    With ``batch=True`` the probes are submitted through
-    :meth:`~repro.interfaces.SpatialIndex.batch_knn` instead of one
-    :meth:`~repro.interfaces.SpatialIndex.knn` call per center, measuring
-    the amortised path the columnar indexes optimise.  Logical counters
-    (and results) are identical either way.
+    The probes are executed as :class:`~repro.query.KnnQuery` plans.  With
+    ``batch=True`` they are submitted through ``execute_many`` — which
+    recognises the homogeneous plan list and routes it through
+    :meth:`~repro.interfaces.SpatialIndex.batch_knn` — instead of one
+    ``execute`` per plan, measuring the amortised path the columnar
+    indexes optimise.  Logical counters (and results) are identical
+    either way.
     """
-    index.reset_counters()
+    engine = _as_engine(index)
+    plans = [KnnQuery(center, k) for center in centers]
+    engine.reset_counters()
     start = time.perf_counter()
     if batch:
         for _ in range(max(1, repeats)):
-            index.batch_knn(centers, k)
+            engine.execute_many(plans)
     else:
         for _ in range(max(1, repeats)):
-            for center in centers:
-                index.knn(center, k)
+            for plan in plans:
+                engine.execute(plan)
     elapsed = time.perf_counter() - start
     return QueryStats(
-        index_name=getattr(index, "name", type(index).__name__),
+        index_name=getattr(engine, "name", type(index).__name__),
         num_queries=len(centers) * max(1, repeats),
         total_seconds=elapsed,
-        counters=index.counters.copy(),
+        counters=engine.counters.copy(),
         extra={"k": float(k)},
     )
 
@@ -143,38 +168,36 @@ def measure_join_workload(
 
     ``kind`` selects the operator: ``"box"`` (requires ``half_width``),
     ``"radius"`` (requires ``radius``) or ``"knn"`` (requires ``k``).  The
-    returned stats count one query per probe; ``extra`` carries the number
-    of result pairs and the join selectivity.
+    workload is executed as one :class:`~repro.query.JoinQuery` plan
+    through the engine dispatch; the returned stats count one query per
+    probe and ``extra`` carries the number of result pairs and the join
+    selectivity.
     """
-    from repro.joins import box_join, join_selectivity, knn_join_pairs, radius_join
+    from repro.joins import join_selectivity, knn_join_pairs
 
-    if kind == "box":
-        if half_width is None:
-            raise ValueError("box join needs half_width")
-        run = lambda: box_join(index, probes, half_width)
-    elif kind == "radius":
-        if radius is None:
-            raise ValueError("radius join needs radius")
-        run = lambda: radius_join(index, probes, radius)
-    elif kind == "knn":
-        if k is None:
-            raise ValueError("knn join needs k")
-        run = lambda: knn_join_pairs(index, probes, k)
+    engine = _as_engine(index)
+    plan = JoinQuery(
+        tuple(probes), kind, half_width=half_width, radius=radius, k=k
+    )
+    if kind == "knn":
+        # The kNN operator's native shape is per-probe (probe, neighbours)
+        # entries; selectivity counts flattened pairs.
+        run = lambda: knn_join_pairs(engine, probes, k)
     else:
-        raise ValueError(f"Unknown join kind {kind!r}; expected box, radius or knn")
-    index.reset_counters()
+        run = lambda: engine.execute(plan)
+    engine.reset_counters()
     start = time.perf_counter()
     for _ in range(max(1, repeats)):
         pairs = run()
     elapsed = time.perf_counter() - start
     return QueryStats(
-        index_name=getattr(index, "name", type(index).__name__),
+        index_name=getattr(engine, "name", type(index).__name__),
         num_queries=len(probes) * max(1, repeats),
         total_seconds=elapsed,
-        counters=index.counters.copy(),
+        counters=engine.counters.copy(),
         extra={
             "num_pairs": float(len(pairs)),
-            "selectivity": join_selectivity(pairs, len(probes), len(index)),
+            "selectivity": join_selectivity(pairs, len(probes), len(engine)),
         },
     )
 
@@ -219,18 +242,21 @@ def measure_snapshot_roundtrip(
 
 
 def measure_point_queries(index, points: Sequence[Point], repeats: int = 1) -> QueryStats:
-    """Run a point-query workload, recording wall-clock and logical counters."""
-    index.reset_counters()
+    """Run a point-query workload (as :class:`~repro.query.PointQuery` plans),
+    recording wall-clock and logical counters."""
+    engine = _as_engine(index)
+    plans = [PointQuery(point) for point in points]
+    engine.reset_counters()
     start = time.perf_counter()
     for _ in range(max(1, repeats)):
-        for point in points:
-            index.point_query(point)
+        for plan in plans:
+            engine.execute(plan)
     elapsed = time.perf_counter() - start
     return QueryStats(
-        index_name=getattr(index, "name", type(index).__name__),
+        index_name=getattr(engine, "name", type(index).__name__),
         num_queries=len(points) * max(1, repeats),
         total_seconds=elapsed,
-        counters=index.counters.copy(),
+        counters=engine.counters.copy(),
     )
 
 
@@ -311,9 +337,12 @@ class ComparisonRunner:
                 )
             # Measured last so saving (which primes the flat columns) cannot
             # warm the caches ahead of the query measurements above.
-            if snapshot_dir is not None and hasattr(index, "snapshot_state"):
+            # Factories may return engines; the snapshot layer works on the
+            # wrapped index itself.
+            target = getattr(index, "index", index)
+            if snapshot_dir is not None and hasattr(target, "snapshot_state"):
                 result.extra.update(measure_snapshot_roundtrip(
-                    index,
+                    target,
                     Path(snapshot_dir) / f"{_safe_filename(name)}.snapshot",
                     build_seconds=build_seconds,
                 ))

@@ -15,10 +15,9 @@ import abc
 import math
 from typing import List, Optional, Sequence
 
-import numpy as np
-
 from repro.evaluation.metrics import CostCounters
-from repro.geometry import Point, Rect, points_to_arrays
+from repro.geometry import Point, Rect
+from repro.results import ResultSet
 
 
 def require_finite_center(center: Point) -> None:
@@ -54,18 +53,35 @@ class SpatialIndex(abc.ABC):
         self.counters = CostCounters()
 
     # -- queries --------------------------------------------------------
-    @abc.abstractmethod
-    def range_query(self, query: Rect) -> List[Point]:
-        """Return every indexed point inside the query rectangle."""
+    def range_query(self, query: Rect) -> ResultSet:
+        """Every indexed point inside the query rectangle, as a lazy view.
 
-    def batch_range_query(self, queries: Sequence[Rect]) -> List[List[Point]]:
+        The returned :class:`~repro.results.ResultSet` behaves like the
+        eager ``List[Point]`` the pre-engine API returned (sequence
+        protocol, list equality) but exposes the result coordinates as
+        NumPy columns without boxing; the columnar Z-index family builds it
+        directly from its flat columns so ``Point`` objects are only
+        created on explicit :meth:`~repro.results.ResultSet.points` /
+        iteration.
+        """
+        return ResultSet.from_points(self._range_query_points(query), own=True)
+
+    @abc.abstractmethod
+    def _range_query_points(self, query: Rect) -> List[Point]:
+        """Index-specific range query returning an eagerly boxed list.
+
+        Implementations own this freshly created list; :meth:`range_query`
+        adopts it into the :class:`ResultSet` without copying.
+        """
+
+    def batch_range_query(self, queries: Sequence[Rect]) -> List[ResultSet]:
         """Answer a whole workload of range queries at once.
 
-        Returns one result list per query, in workload order, with exactly
-        the same contents as issuing the queries one by one.  The default
-        implementation does just that; indexes with a columnar engine (the
-        Z-index family) override it to amortise cache priming and dispatch
-        across the batch.
+        Returns one :class:`ResultSet` per query, in workload order, with
+        exactly the same contents as issuing the queries one by one.  The
+        default implementation does just that; indexes with a columnar
+        engine (the Z-index family) override it to amortise cache priming
+        and dispatch across the batch.
         """
         return [self.range_query(query) for query in queries]
 
@@ -97,10 +113,19 @@ class SpatialIndex(abc.ABC):
 
     # -- derived conveniences -----------------------------------------------
     def range_count(self, query: Rect) -> int:
-        """Number of indexed points inside the query rectangle."""
-        return len(self.range_query(query))
+        """Number of indexed points inside the query rectangle.
 
-    def knn(self, center: Point, k: int, initial_radius: Optional[float] = None) -> List[Point]:
+        The count-only execution path: on the columnar Z-index family this
+        is answered entirely on the coordinate columns without
+        materialising (or boxing) a single result point.
+        """
+        return self.range_query(query).count()
+
+    def batch_range_count(self, queries: Sequence[Rect]) -> List[int]:
+        """Result counts of a whole range workload (count-only batch path)."""
+        return [result.count() for result in self.batch_range_query(queries)]
+
+    def knn(self, center: Point, k: int, initial_radius: Optional[float] = None) -> ResultSet:
         """k nearest neighbours via expanding range queries.
 
         The paper notes (Section 6.3, "Remark on kNN and Spatial-Join
@@ -111,27 +136,32 @@ class SpatialIndex(abc.ABC):
         """
         require_finite_center(center)
         if k <= 0:
-            return []
+            return ResultSet.empty()
         total = len(self)
         if total == 0:
-            return []
+            return ResultSet.empty()
         k = min(k, total)
         radius = initial_radius if initial_radius and initial_radius > 0 else self._default_radius()
         while True:
             window = Rect(
                 center.x - radius, center.y - radius, center.x + radius, center.y + radius
             )
-            candidates = self.range_query(window)
+            candidates = self.range_query(window).points()
             if len(candidates) >= k or self._window_covers_everything(window):
                 candidates.sort(key=lambda p: p.distance_squared(center))
                 within = [p for p in candidates if p.distance_squared(center) <= radius * radius]
                 if len(within) >= k or self._window_covers_everything(window):
-                    return (within if len(within) >= k else candidates)[:k]
+                    chosen = (within if len(within) >= k else candidates)[:k]
+                    return ResultSet.from_points(chosen, own=True)
             radius *= 2.0
+
+    def radius_query(self, center: Point, radius: float) -> ResultSet:
+        """The indexed points within Euclidean ``radius`` of ``center``."""
+        return self.batch_radius_query((center,), radius)[0]
 
     def batch_radius_query(
         self, centers: Sequence[Point], radius: float
-    ) -> List[List[Point]]:
+    ) -> List[ResultSet]:
         """For every center, the indexed points within Euclidean ``radius``.
 
         The classic filter-and-refine decomposition: a square window query
@@ -146,30 +176,30 @@ class SpatialIndex(abc.ABC):
         for center in centers:
             require_finite_center(center)
         radius_squared = radius * radius
-        results: List[List[Point]] = []
+        results: List[ResultSet] = []
         for center in centers:
             window = Rect(
                 center.x - radius, center.y - radius, center.x + radius, center.y + radius
             )
             candidates = self.range_query(window)
             if not candidates:
-                results.append([])
+                results.append(candidates)
                 continue
-            xs, ys = points_to_arrays(candidates)
+            xs, ys = candidates.as_arrays()
             dx = xs - center.x
             dy = ys - center.y
             d2 = dx * dx
             d2 += dy * dy
-            keep = np.flatnonzero(d2 <= radius_squared)
-            if keep.size == len(candidates):
+            keep = d2 <= radius_squared
+            if keep.all():
                 results.append(candidates)
             else:
-                results.append([candidates[i] for i in keep.tolist()])
+                results.append(candidates.mask(keep))
         return results
 
     def batch_knn(
         self, centers: Sequence[Point], k: int, initial_radius: Optional[float] = None
-    ) -> List[List[Point]]:
+    ) -> List[ResultSet]:
         """Answer a whole workload of kNN queries at once.
 
         Returns one neighbour list per center, in workload order, with

@@ -23,6 +23,15 @@ index transparently falls back to the scalar per-probe decomposition.  The
 refinement step of :func:`radius_join` filters candidate distances with
 NumPy array expressions instead of a per-pair Python loop.  Results are
 identical (contents *and* order) to the scalar decomposition.
+
+The ``index`` argument of every helper accepts either a bare
+:class:`~repro.interfaces.SpatialIndex` or a
+:class:`~repro.engine.SpatialEngine` (which delegates the whole index
+protocol); the engine's ``execute(JoinQuery(...))`` dispatch is the
+preferred public entry point and routes here.  :func:`knn_join` keeps the
+per-probe neighbour collections as lazy
+:class:`~repro.results.ResultSet` views, so array-consuming callers never
+box them.
 """
 
 from __future__ import annotations
@@ -34,11 +43,13 @@ import numpy as np
 
 from repro.geometry import Point, Rect, points_to_arrays
 from repro.interfaces import SpatialIndex, require_valid_radius
+from repro.results import ResultSet
 
 JoinPairs = List[Tuple[Point, Point]]
 
-#: Per-probe kNN-join result: ``(probe, neighbours)`` in probe order.
-KnnJoinResult = List[Tuple[Point, List[Point]]]
+#: Per-probe kNN-join result: ``(probe, neighbours)`` entries in probe
+#: order, the neighbours a lazy :class:`ResultSet` (closest-first).
+KnnJoinResult = List[Tuple[Point, ResultSet]]
 
 
 def _require_finite(name: str, value: float) -> None:

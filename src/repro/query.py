@@ -1,0 +1,174 @@
+"""Typed query plans executed by :class:`~repro.engine.SpatialEngine`.
+
+A query plan is a small immutable description of *what* to retrieve; the
+engine decides *how* — single-shot or batched, boxed or columnar,
+materialised or count-only.  Separating the description from the execution
+lets one entry point (``engine.execute`` / ``engine.execute_many``) serve
+every workload the library supports:
+
+* :class:`RangeQuery` — points inside an axis-aligned rectangle,
+* :class:`PointQuery` — exact-coordinate membership,
+* :class:`KnnQuery` — the ``k`` nearest neighbours of a center,
+* :class:`RadiusQuery` — points within Euclidean distance of a center,
+* :class:`JoinQuery` — a box / radius / kNN join against a probe set.
+
+Execution options (``count_only``, ``limit``) are per-call arguments of
+``execute``/``execute_many`` rather than plan fields, so one plan object
+can be reused across modes.  On the columnar Z-index family, ``count_only``
+skips result materialisation entirely — the answer is computed on the
+coordinate columns and not a single :class:`~repro.geometry.Point` is
+boxed.
+
+Every plan validates its parameters at construction time, so malformed
+workloads fail when the plan is written, not deep inside an index kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.geometry import Point, Rect
+
+__all__ = [
+    "Query",
+    "RangeQuery",
+    "PointQuery",
+    "KnnQuery",
+    "RadiusQuery",
+    "JoinQuery",
+    "JOIN_KINDS",
+]
+
+#: Join operators understood by :class:`JoinQuery` (see :mod:`repro.joins`).
+JOIN_KINDS = ("box", "radius", "knn")
+
+
+def _require_finite(name: str, value: float) -> None:
+    if not math.isfinite(value):
+        raise ValueError(f"{name} must be finite, got {value}")
+
+
+@dataclass(frozen=True)
+class Query:
+    """Base class of all query plans (a marker with shared helpers)."""
+
+
+@dataclass(frozen=True)
+class RangeQuery(Query):
+    """Every indexed point inside ``rect`` (Algorithm 2 of the paper)."""
+
+    rect: Rect
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.rect, Rect):
+            raise TypeError(f"RangeQuery needs a Rect, got {type(self.rect).__name__}")
+
+
+@dataclass(frozen=True)
+class PointQuery(Query):
+    """Whether a point with exactly these coordinates is indexed (Algorithm 1)."""
+
+    point: Point
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.point, Point):
+            raise TypeError(f"PointQuery needs a Point, got {type(self.point).__name__}")
+        _require_finite("point.x", self.point.x)
+        _require_finite("point.y", self.point.y)
+
+
+@dataclass(frozen=True)
+class KnnQuery(Query):
+    """The ``k`` nearest neighbours of ``center`` (Section 6.3 decomposition)."""
+
+    center: Point
+    k: int
+    initial_radius: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.center, Point):
+            raise TypeError(f"KnnQuery needs a Point center, got {type(self.center).__name__}")
+        _require_finite("center.x", self.center.x)
+        _require_finite("center.y", self.center.y)
+        if self.k < 0:
+            raise ValueError(f"k must be non-negative, got {self.k}")
+        if self.initial_radius is not None:
+            _require_finite("initial_radius", self.initial_radius)
+            if self.initial_radius < 0:
+                raise ValueError(
+                    f"initial_radius must be non-negative, got {self.initial_radius}"
+                )
+
+
+@dataclass(frozen=True)
+class RadiusQuery(Query):
+    """Every indexed point within Euclidean ``radius`` of ``center``."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.center, Point):
+            raise TypeError(
+                f"RadiusQuery needs a Point center, got {type(self.center).__name__}"
+            )
+        _require_finite("center.x", self.center.x)
+        _require_finite("center.y", self.center.y)
+        if not math.isfinite(self.radius) or self.radius < 0:
+            raise ValueError(f"radius must be finite and non-negative, got {self.radius}")
+
+
+@dataclass(frozen=True)
+class JoinQuery(Query):
+    """A spatial join of a probe set against the indexed data.
+
+    ``kind`` selects the operator of :mod:`repro.joins`:
+
+    * ``"box"`` — Chebyshev within-window join; needs ``half_width``
+      (``half_height`` defaults to it),
+    * ``"radius"`` — Euclidean within-distance join; needs ``radius``,
+    * ``"knn"`` — ``k`` nearest indexed neighbours per probe; needs ``k``.
+
+    Execution returns the operator's native shape (``(probe, match)``
+    pairs, or per-probe ``(probe, neighbours)`` entries for kNN joins);
+    under ``count_only`` the engine counts result pairs on the coordinate
+    columns without materialising a single pair.
+    """
+
+    probes: Tuple[Point, ...]
+    kind: str = "box"
+    half_width: Optional[float] = None
+    half_height: Optional[float] = None
+    radius: Optional[float] = None
+    k: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "probes", tuple(self.probes))
+        if self.kind not in JOIN_KINDS:
+            raise ValueError(f"Unknown join kind {self.kind!r}; expected one of {JOIN_KINDS}")
+        if self.kind == "box":
+            if self.half_width is None:
+                raise ValueError("box join needs half_width")
+            _require_finite("half_width", self.half_width)
+            if self.half_width < 0:
+                raise ValueError(f"half_width must be non-negative, got {self.half_width}")
+            if self.half_height is not None:
+                _require_finite("half_height", self.half_height)
+                if self.half_height < 0:
+                    raise ValueError(
+                        f"half_height must be non-negative, got {self.half_height}"
+                    )
+        elif self.kind == "radius":
+            if self.radius is None:
+                raise ValueError("radius join needs radius")
+            if not math.isfinite(self.radius) or self.radius < 0:
+                raise ValueError(
+                    f"radius must be finite and non-negative, got {self.radius}"
+                )
+        else:  # knn
+            if self.k is None:
+                raise ValueError("knn join needs k")
+            if self.k <= 0:
+                raise ValueError(f"k must be positive, got {self.k}")

@@ -1,0 +1,283 @@
+"""Lazy, columnar result views returned by every query path.
+
+The columnar engine of PRs 1-3 filters candidates entirely on NumPy
+coordinate columns, yet the public query surface used to box every result
+row back into a :class:`~repro.geometry.Point` before handing it to the
+caller — exactly the scalar overhead the columnar refactor exists to
+eliminate.  :class:`ResultSet` closes that gap: query paths return a view
+over the result *coordinates* (two float64 columns) and ``Point`` objects
+are materialised only when a caller explicitly asks for them
+(:meth:`ResultSet.points`, iteration, indexing, list comparison).
+
+Array-consuming workloads (analytics over ``.xs``/``.ys``, count-only
+plans, result post-filtering via :meth:`mask`/:meth:`take`) therefore never
+pay a Python boxing loop, while existing callers keep working unchanged:
+``ResultSet`` implements the full sequence protocol and compares equal to
+the eager ``List[Point]`` the pre-redesign API returned.
+
+Construction is private to the library; indexes build result sets through
+one of three classmethods:
+
+* :meth:`from_points` — wraps an eagerly boxed list (the scalar baselines),
+* :meth:`from_arrays` — wraps already-gathered coordinate columns,
+* an optional ``boxer`` callback lets the columnar engine keep even the
+  boxing lazy *and* identity-preserving (the Z-index family hands back the
+  same cached ``Point`` objects the eager path used to return).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Callable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.geometry import Point, points_from_arrays, points_to_arrays
+
+__all__ = ["ResultSet"]
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    """Freeze an array before exposing it: result views are immutable."""
+    array = np.ascontiguousarray(array, dtype=np.float64)
+    array.flags.writeable = False
+    return array
+
+
+class ResultSet(Sequence):
+    """A lazy, columnar view over the coordinates of one query's results.
+
+    The two coordinate columns (:attr:`xs` / :attr:`ys`, read-only float64
+    arrays) and the result :meth:`count` are available without creating a
+    single ``Point``; :meth:`points`, iteration, ``[]`` and comparison with
+    plain lists materialise boxed points on first use and cache them.
+
+    ``ResultSet`` is an immutable :class:`~collections.abc.Sequence`: it
+    supports ``len``, iteration, indexing, slicing (returning a list, like
+    the eager API's copies did), ``in``, and order-sensitive equality with
+    lists, tuples and other result sets.
+    """
+
+    __slots__ = ("_xs", "_ys", "_count", "_boxed", "_boxer")
+
+    def __init__(
+        self,
+        *,
+        xs: Optional[np.ndarray] = None,
+        ys: Optional[np.ndarray] = None,
+        boxed: Optional[List[Point]] = None,
+        boxer: Optional[Callable[[], List[Point]]] = None,
+        count: Optional[int] = None,
+    ) -> None:
+        if boxed is None and xs is None:
+            raise ValueError("ResultSet needs coordinate columns or boxed points")
+        self._xs = xs
+        self._ys = ys
+        self._boxed = boxed
+        self._boxer = boxer
+        if count is None:
+            count = len(boxed) if boxed is not None else int(xs.shape[0])
+        self._count = count
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, points: List[Point], *, own: bool = False) -> "ResultSet":
+        """Wrap an eagerly boxed result list (scalar index paths).
+
+        With ``own=True`` the list is adopted without a defensive copy —
+        only for lists the caller guarantees nobody else mutates.
+        """
+        if not own:
+            points = list(points)
+        return cls(boxed=points)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        xs: np.ndarray,
+        ys: np.ndarray,
+        *,
+        boxer: Optional[Callable[[], List[Point]]] = None,
+    ) -> "ResultSet":
+        """Wrap two coordinate columns (columnar index paths).
+
+        ``boxer``, when given, supplies the boxed points on first demand —
+        the Z-index family uses it to hand back its cached ``Point``
+        objects instead of re-boxing coordinates.
+        """
+        xs = _readonly(xs)
+        ys = _readonly(ys)
+        if xs.shape != ys.shape:
+            raise ValueError(f"coordinate columns differ in shape: {xs.shape} vs {ys.shape}")
+        return cls(xs=xs, ys=ys, boxer=boxer)
+
+    @classmethod
+    def empty(cls) -> "ResultSet":
+        """The empty result."""
+        return cls(boxed=[], count=0)
+
+    # ------------------------------------------------------------------
+    # columnar surface (never boxes)
+    # ------------------------------------------------------------------
+    def count(self) -> int:
+        """Number of result points.  Never materialises ``Point`` objects."""
+        return self._count
+
+    @property
+    def xs(self) -> np.ndarray:
+        """Result x coordinates as a read-only float64 column."""
+        self._ensure_arrays()
+        return self._xs
+
+    @property
+    def ys(self) -> np.ndarray:
+        """Result y coordinates as a read-only float64 column."""
+        self._ensure_arrays()
+        return self._ys
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(xs, ys)`` — the result coordinates as read-only columns.
+
+        On results produced by the columnar engine this never creates a
+        ``Point``; on boxed results the columns are extracted once and
+        cached.
+        """
+        self._ensure_arrays()
+        return self._xs, self._ys
+
+    def mask(self, mask: np.ndarray) -> "ResultSet":
+        """A new result set keeping the rows where ``mask`` is true.
+
+        ``mask`` is a boolean array of length :meth:`count` (row order is
+        preserved).  Stays columnar: no boxing happens unless this result's
+        points were already materialised, in which case the selection
+        reuses the existing objects.
+        """
+        mask = np.asarray(mask)
+        if mask.dtype != np.bool_ or mask.shape != (self._count,):
+            raise ValueError(
+                f"mask must be a boolean array of shape ({self._count},), "
+                f"got {mask.dtype} {mask.shape}"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def take(self, indices) -> "ResultSet":
+        """A new result set holding the rows at ``indices``, in that order.
+
+        Like :meth:`mask`, the selection stays columnar unless the points
+        were already boxed (then the existing objects are reused).
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.ndim != 1:
+            raise ValueError(f"indices must be one-dimensional, got shape {indices.shape}")
+        if indices.size and (
+            int(indices.min()) < -self._count or int(indices.max()) >= self._count
+        ):
+            raise IndexError(f"take index out of range for {self._count} results")
+        indices = np.where(indices < 0, indices + self._count, indices)
+        boxed = self._boxed
+        if boxed is not None and self._xs is None:
+            return ResultSet(boxed=[boxed[i] for i in indices.tolist()])
+        self._ensure_arrays()
+        picked: Optional[List[Point]] = None
+        if boxed is not None:
+            picked = [boxed[i] for i in indices.tolist()]
+        return ResultSet(
+            xs=_readonly(self._xs[indices]),
+            ys=_readonly(self._ys[indices]),
+            boxed=picked,
+        )
+
+    def head(self, limit: int) -> "ResultSet":
+        """The first ``limit`` results (the plan executor's ``limit`` option)."""
+        if limit < 0:
+            raise ValueError(f"limit must be non-negative, got {limit}")
+        if limit >= self._count:
+            return self
+        return self.take(np.arange(limit, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    # boxed surface (materialises Points, cached)
+    # ------------------------------------------------------------------
+    def points(self) -> List[Point]:
+        """The results as a fresh list of :class:`Point` objects.
+
+        The boxing happens once and is cached; the returned list is a
+        shallow copy the caller may freely mutate (matching the eager
+        API, which returned a new list per call).
+        """
+        return list(self._ensure_boxed())
+
+    def _ensure_boxed(self) -> List[Point]:
+        if self._boxed is None:
+            if self._boxer is not None:
+                boxed = self._boxer()
+                if len(boxed) != self._count:
+                    raise RuntimeError(
+                        f"result boxer produced {len(boxed)} points, expected {self._count}"
+                    )
+                self._boxed = boxed
+            else:
+                self._boxed = points_from_arrays(self._xs, self._ys)
+        # The boxer closure can pin large index state (the Z-index boxer
+        # captures a whole flat-column generation); drop it once boxing is
+        # cached so retained result sets stop holding that memory.
+        self._boxer = None
+        return self._boxed
+
+    def _ensure_arrays(self) -> None:
+        if self._xs is None:
+            xs, ys = points_to_arrays(self._boxed)
+            self._xs = _readonly(xs)
+            self._ys = _readonly(ys)
+
+    # ------------------------------------------------------------------
+    # sequence protocol (back-compat with the eager List[Point] API)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    def __bool__(self) -> bool:
+        return self._count > 0
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._ensure_boxed())
+
+    def __getitem__(self, index):
+        # Slices return a plain list, matching the eager API's copies.
+        return self._ensure_boxed()[index]
+
+    def __contains__(self, item) -> bool:
+        if type(item) is not Point:
+            return False
+        self._ensure_arrays()
+        hits = (self._xs == item.x) & (self._ys == item.y)
+        return bool(hits.any())
+
+    def __eq__(self, other) -> bool:
+        if other is self:
+            return True
+        if isinstance(other, ResultSet):
+            if self._count != other._count:
+                return False
+            sx, sy = self.as_arrays()
+            ox, oy = other.as_arrays()
+            return bool(np.array_equal(sx, ox) and np.array_equal(sy, oy))
+        if isinstance(other, (list, tuple)):
+            if self._count != len(other):
+                return False
+            self._ensure_arrays()
+            for x, y, item in zip(self._xs.tolist(), self._ys.tolist(), other):
+                if type(item) is not Point or item.x != x or item.y != y:
+                    return False
+            return True
+        return NotImplemented
+
+    __hash__ = None  # mutable-equality semantics, like list
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(p) for p in self._ensure_boxed()[:4])
+        suffix = ", ..." if self._count > 4 else ""
+        return f"ResultSet({self._count} points: [{preview}{suffix}])"

@@ -34,14 +34,16 @@ unchanged by the vectorization.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.evaluation.metrics import PhaseTimer
-from repro.geometry import Point, Rect, bounding_box, points_to_arrays
+from repro.geometry import Point, Rect, bounding_box, points_from_arrays, points_to_arrays
 from repro.interfaces import SpatialIndex, require_finite_center, require_valid_radius
+from repro.results import ResultSet
 from repro.storage import LeafEntry, LeafList, PackedLeaves, Page
 from repro.storage.leaflist import END_OF_LIST
 from repro.zindex.node import (
@@ -275,7 +277,14 @@ class ZIndex(SpatialIndex):
     #: query bursts still amortise one rebuild.
     _STALE_SCAN_BUDGET = 8
 
+    #: Monotone counter identifying the current flat-column generation.
+    #: Result-set boxers compare it (instead of holding the arrays) to
+    #: decide whether the shared object cache still matches their rows.
+    #: Class-level default keeps pre-counter pickles working.
+    _flat_generation: int = 0
+
     def _invalidate_flat(self, stale_budget: int = 0) -> None:
+        self._flat_generation += 1
         self._flat_x = None
         self._flat_y = None
         self._flat_starts = None
@@ -317,27 +326,73 @@ class ZIndex(SpatialIndex):
     def _ensure_flat(self) -> None:
         """(Re)build the concatenated coordinate columns when stale.
 
-        The columns and the boxed-point cache have separate lifetimes: a
-        snapshot load installs the columns directly from the stored arrays
-        and leaves the boxing to the first query burst, so loading stays at
-        array speed.
+        Installs only the *array* side of the scan cache — the coordinate
+        columns plus the reusable mask buffers the filter chain writes into
+        instead of allocating four fresh boolean temporaries per query.
+        Boxed ``Point`` objects are NOT materialised here: count-only and
+        array-consuming workloads run entirely on the columns, and the
+        boxed cache (:meth:`_ensure_boxed`) is built lazily the first time
+        a caller actually asks a :class:`ResultSet` for point objects.
         """
-        if self._flat_points is not None:
+        if self._mask_a is not None and self._flat_starts is not None:
             return
         self._flat_columns()  # installs the columns when they are stale
         total = int(self._flat_starts[-1])
-        # Boxed points as an object ndarray: query results are materialised
-        # with one C-level boolean gather instead of a Python indexing loop.
-        boxed = np.empty(total, dtype=object)
-        boxed[:] = [
-            Point(x, y)
-            for x, y in zip(self._flat_x.tolist(), self._flat_y.tolist())
-        ]
-        self._flat_points = boxed
-        # Reusable mask buffers: the filter chain writes into these instead
-        # of allocating four fresh boolean temporaries per query.
         self._mask_a = np.empty(total, dtype=bool)
         self._mask_b = np.empty(total, dtype=bool)
+
+    def _ensure_boxed(self) -> np.ndarray:
+        """The boxed ``Point`` column, built on first demand.
+
+        Boxed points live in an object ndarray so query results can be
+        materialised with one C-level fancy gather instead of a Python
+        indexing loop.  Only result sets whose ``.points()`` / iteration
+        surface is used ever trigger this; the columnar query paths
+        themselves never do.
+        """
+        if self._flat_points is None:
+            self._ensure_flat()
+            total = int(self._flat_starts[-1])
+            boxed = np.empty(total, dtype=object)
+            boxed[:] = [
+                Point(x, y)
+                for x, y in zip(self._flat_x.tolist(), self._flat_y.tolist())
+            ]
+            self._flat_points = boxed
+        return self._flat_points
+
+    def _result_from_selection(self, sel: np.ndarray) -> ResultSet:
+        """A lazy :class:`ResultSet` over the flat rows selected by ``sel``.
+
+        The coordinate columns are gathered eagerly (two vectorized float
+        gathers); boxing is deferred to a callback that hands back the
+        cached ``Point`` objects while the flat cache that produced the
+        selection is still live, and re-boxes from the captured coordinate
+        copies otherwise (the index may have been mutated since — the old
+        column arrays are replaced, never written in place, so the captured
+        values stay correct for the query that produced them).  The
+        callback holds only a weak index reference and a generation
+        number, so retained result sets pin neither the index nor a
+        superseded flat-column generation.
+        """
+        if sel.size == 0:
+            return ResultSet.empty()
+        xs = self._flat_x[sel]
+        ys = self._flat_y[sel]
+        index_ref = weakref.ref(self)
+        generation = self._flat_generation
+
+        def boxer() -> List[Point]:
+            index = index_ref()
+            if (
+                index is not None
+                and index._flat_generation == generation
+                and index._flat_starts is not None
+            ):
+                return index._ensure_boxed()[sel].tolist()
+            return points_from_arrays(xs, ys)
+
+        return ResultSet.from_arrays(xs, ys, boxer=boxer)
 
     # ------------------------------------------------------------------
     # point queries (Algorithm 1)
@@ -366,9 +421,9 @@ class ZIndex(SpatialIndex):
     # ------------------------------------------------------------------
     # range queries (Algorithm 2 + Section 5 skipping)
     # ------------------------------------------------------------------
-    def range_query(self, query: Rect) -> List[Point]:
+    def range_query(self, query: Rect) -> ResultSet:
         if self.root is None:
-            return []
+            return ResultSet.empty()
         timer = self.phase_timer
         if timer is not None:
             with timer.phase("projection"):
@@ -377,26 +432,73 @@ class ZIndex(SpatialIndex):
                 return self._scan_pages(relevant, query)
         return self._scan_pages(self._project(query)[2], query)
 
-    def batch_range_query(self, queries: Sequence[Rect]) -> List[List[Point]]:
+    def _range_query_points(self, query: Rect) -> List[Point]:
+        # The protocol's boxed hook; the columnar override above is the
+        # real entry point, so this only serves direct protocol callers.
+        return self.range_query(query).points()
+
+    def batch_range_query(self, queries: Sequence[Rect]) -> List[ResultSet]:
         """Answer a workload of range queries through the columnar engine.
 
         Equivalent to ``[self.range_query(q) for q in queries]`` (identical
-        result lists and cost counters) but primes the packed leaf arrays
+        result sets and cost counters) but primes the packed leaf arrays
         and the flat scan cache once up front and bypasses the per-query
         phase-timer plumbing, which benchmark workloads otherwise pay per
         call.
         """
         if self.root is None:
-            return [[] for _ in queries]
+            return [ResultSet.empty() for _ in queries]
         self._prime_query_caches()
         scan = self._scan_pages
         project = self._project
         return [scan(project(query)[2], query) for query in queries]
 
+    def range_count(self, query: Rect) -> int:
+        """Count-only range query evaluated purely on the flat columns.
+
+        Identical count and cost counters to ``range_query(query).count()``
+        but skips even the result-row selection and the :class:`ResultSet`
+        construction: the window mask is reduced with one vectorized
+        ``count_nonzero``.  Not a single ``Point`` is boxed.
+        """
+        if self.root is None:
+            return 0
+        if self._flat_starts is None and self._stale_scan_budget > 0:
+            # Recently mutated: reuse the stale-budget per-page scan.
+            return self.range_query(query).count()
+        self._prime_query_caches()
+        return self._count_pages(self._project(query)[2], query)
+
+    def batch_range_count(self, queries: Sequence[Rect]) -> List[int]:
+        """Count-only range workload on the columnar engine (no boxing)."""
+        if self.root is None:
+            return [0 for _ in queries]
+        if self._flat_starts is None and self._stale_scan_budget > 0:
+            # Recently mutated: count per query so each goes through the
+            # budget-honouring per-page scan instead of forcing the O(N)
+            # flat rebuild the budget exists to defer.
+            return [self.range_count(query) for query in queries]
+        self._prime_query_caches()
+        count = self._count_pages
+        project = self._project
+        return [count(project(query)[2], query) for query in queries]
+
+    def _count_pages(self, indices: Sequence[int], query: Rect) -> int:
+        """Counting twin of :meth:`_scan_pages` (same counter accounting)."""
+        counters = self.counters
+        if not indices:
+            return 0
+        lo, hi, total = self._flat_span(indices)
+        counters.pages_scanned += len(indices)
+        counters.points_filtered += total
+        matched = int(np.count_nonzero(self._window_mask(lo, hi, query)))
+        counters.points_returned += matched
+        return matched
+
     # ------------------------------------------------------------------
     # kNN queries (Section 6.3 remark: decomposed into range queries)
     # ------------------------------------------------------------------
-    def knn(self, center: Point, k: int, initial_radius: Optional[float] = None) -> List[Point]:
+    def knn(self, center: Point, k: int, initial_radius: Optional[float] = None) -> ResultSet:
         """k nearest neighbours through the vectorized columnar kernel.
 
         Same expanding-window decomposition as the
@@ -409,7 +511,7 @@ class ZIndex(SpatialIndex):
         """
         require_finite_center(center)
         if k <= 0 or self.root is None or len(self) == 0:
-            return []
+            return ResultSet.empty()
         if self._flat_starts is None and self._stale_scan_budget > 0:
             # Recently mutated: fall back to the scalar decomposition, whose
             # range queries honour the stale-scan budget — mixed insert/kNN
@@ -422,18 +524,18 @@ class ZIndex(SpatialIndex):
 
     def batch_knn(
         self, centers: Sequence[Point], k: int, initial_radius: Optional[float] = None
-    ) -> List[List[Point]]:
+    ) -> List[ResultSet]:
         """Answer a workload of kNN queries through the columnar kernel.
 
         Equivalent to ``[self.knn(c, k, initial_radius) for c in centers]``
-        (identical neighbour lists and cost counters) but primes the packed
+        (identical neighbour sets and cost counters) but primes the packed
         leaf arrays and the flat scan cache once up front and resolves the
         default search radius once for the whole batch.
         """
         for center in centers:
             require_finite_center(center)
         if k <= 0 or self.root is None or len(self) == 0:
-            return [[] for _ in centers]
+            return [ResultSet.empty() for _ in centers]
         self._prime_query_caches()
         radius = initial_radius if initial_radius and initial_radius > 0 else self._default_radius()
         kernel = self._knn_columnar
@@ -442,48 +544,50 @@ class ZIndex(SpatialIndex):
 
     def batch_radius_query(
         self, centers: Sequence[Point], radius: float
-    ) -> List[List[Point]]:
+    ) -> List[ResultSet]:
         """Euclidean within-radius queries evaluated on the flat columns.
 
         Same results, ordering and cost counters as the filter-and-refine
         default (window query + exact distance filter), but the distance
         refinement happens on the flat coordinate columns *before* any
-        candidate point is boxed: only the points that survive both
-        predicates are gathered from the object cache.
+        candidate point is boxed: each returned :class:`ResultSet` selects
+        exactly the rows that survive both predicates, and boxing stays
+        deferred until a caller asks for point objects.
         """
         require_valid_radius(radius)
         for center in centers:
             require_finite_center(center)
         if self.root is None:
-            return [[] for _ in centers]
+            return [ResultSet.empty() for _ in centers]
         self._prime_query_caches()
         counters = self.counters
         radius_squared = radius * radius
-        results: List[List[Point]] = []
+        results: List[ResultSet] = []
         for center in centers:
             cx = float(center.x)
             cy = float(center.y)
             window = Rect(cx - radius, cy - radius, cx + radius, cy + radius)
             relevant = self._project(window)[2]
             if not relevant:
-                results.append([])
+                results.append(ResultSet.empty())
                 continue
             lo, hi, total = self._flat_span(relevant)
             counters.pages_scanned += len(relevant)
             counters.points_filtered += total
-            mask = self._window_mask(lo, hi, window)
-            candidate_x = self._flat_x[lo:hi][mask]
-            counters.points_returned += int(candidate_x.size)
-            if not candidate_x.size:
-                results.append([])
+            sel = np.flatnonzero(self._window_mask(lo, hi, window))
+            sel += lo
+            counters.points_returned += int(sel.size)
+            if not sel.size:
+                results.append(ResultSet.empty())
                 continue
-            candidate_y = self._flat_y[lo:hi][mask]
+            candidate_x = self._flat_x[sel]
+            candidate_y = self._flat_y[sel]
             dx = candidate_x - cx
             dy = candidate_y - cy
             d2 = dx * dx
             d2 += dy * dy
             keep = d2 <= radius_squared
-            results.append(self._flat_points[lo:hi][mask][keep].tolist())
+            results.append(self._result_from_selection(sel[keep]))
         return results
 
     def _prime_query_caches(self) -> None:
@@ -492,13 +596,15 @@ class ZIndex(SpatialIndex):
             self.leaflist.packed()
         self._ensure_flat()
 
-    def _knn_columnar(self, center: Point, k: int, radius: float) -> List[Point]:
+    def _knn_columnar(self, center: Point, k: int, radius: float) -> ResultSet:
         """Expanding-window kNN over the flat columns (``k`` pre-capped).
 
         Mirrors the scalar decomposition iteration for iteration, including
         the per-window counter accounting of :meth:`_scan_pages`, so the
         kernel is byte-compatible with ``SpatialIndex.knn`` on both results
-        and Figure 13 metrics.
+        and Figure 13 metrics.  Returns a lazy :class:`ResultSet` over the
+        chosen rows in neighbour order: the kernel itself never boxes a
+        candidate *or* a result point.
         """
         cx = float(center.x)
         cy = float(center.y)
@@ -511,12 +617,13 @@ class ZIndex(SpatialIndex):
                 lo, hi, total = self._flat_span(relevant)
                 counters.pages_scanned += len(relevant)
                 counters.points_filtered += total
-                mask = self._window_mask(lo, hi, window)
-                candidate_x = self._flat_x[lo:hi][mask]
-                num_candidates = int(candidate_x.size)
+                sel = np.flatnonzero(self._window_mask(lo, hi, window))
+                sel += lo
+                num_candidates = int(sel.size)
                 counters.points_returned += num_candidates
                 if num_candidates >= k or covers:
-                    candidate_y = self._flat_y[lo:hi][mask]
+                    candidate_x = self._flat_x[sel]
+                    candidate_y = self._flat_y[sel]
                     dx = candidate_x - cx
                     dy = candidate_y - cy
                     d2 = dx * dx
@@ -529,10 +636,9 @@ class ZIndex(SpatialIndex):
                     order = np.argsort(d2, kind="stable")
                     within = int(np.searchsorted(d2[order], radius * radius, side="right"))
                     if within >= k or covers:
-                        chosen = self._flat_points[lo:hi][mask][order[:k]]
-                        return chosen.tolist()
+                        return self._result_from_selection(sel[order[:k]])
             elif covers:
-                return []
+                return ResultSet.empty()
             radius *= 2.0
 
     def _project(self, query: Rect):
@@ -672,22 +778,24 @@ class ZIndex(SpatialIndex):
         counters.leaves_skipped += skipped
         return low, high, relevant
 
-    def _scan_pages(self, indices: Sequence[int], query: Rect) -> List[Point]:
+    def _scan_pages(self, indices: Sequence[int], query: Rect) -> ResultSet:
         """Scanning phase: filter the points of every relevant page.
 
         One vectorized gather-and-mask over the flat coordinate columns
-        replaces the per-page, per-point filtering loop.
+        replaces the per-page, per-point filtering loop.  The result is a
+        lazy :class:`ResultSet` over the matching coordinate rows — no
+        ``Point`` is boxed unless the caller asks for objects.
         """
         counters = self.counters
         if not indices:
-            return []
+            return ResultSet.empty()
         if self._flat_starts is None and self._stale_scan_budget > 0:
             # Recently mutated: a handful of queries go through the per-page
             # path rather than paying an O(N) flat-cache rebuild each —
             # alternating insert/query workloads never rebuild, while query
             # bursts rebuild once after the budget runs out.
             self._stale_scan_budget -= 1
-            return self._scan_pages_direct(indices, query)
+            return ResultSet.from_points(self._scan_pages_direct(indices, query), own=True)
         self._ensure_flat()
         lo, hi, total = self._flat_span(indices)
         counters.pages_scanned += len(indices)
@@ -698,10 +806,10 @@ class ZIndex(SpatialIndex):
         # exactly the points of the relevant pages that fall in the query —
         # without a per-leaf gather.  (points_filtered above still counts
         # only the relevant pages, preserving the Figure 13 metric.)
-        mask = self._window_mask(lo, hi, query)
-        results: List[Point] = self._flat_points[lo:hi][mask].tolist()
-        counters.points_returned += len(results)
-        return results
+        sel = np.flatnonzero(self._window_mask(lo, hi, query))
+        sel += lo  # flatnonzero allocates a fresh array: safe to shift in place
+        counters.points_returned += int(sel.size)
+        return self._result_from_selection(sel)
 
     def _flat_span(self, indices: Sequence[int]):
         """``(lo, hi, total)`` of the flat rows covered by the given leaves.
@@ -1151,6 +1259,7 @@ class ZIndex(SpatialIndex):
         index._mask_a = None
         index._mask_b = None
         index._stale_scan_budget = 0
+        index._flat_generation = 0
         index._points_list = None
         if state.num_points not in (None, total):
             raise ValueError(

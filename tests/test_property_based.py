@@ -81,8 +81,10 @@ class TestGeometryProperties:
 
     @given(rect_strategy(), coordinates, coordinates)
     def test_split_partitions_area(self, cell, fraction_x, fraction_y):
-        split_x = cell.xmin + (fraction_x / 100.0) * cell.width
-        split_y = cell.ymin + (fraction_y / 100.0) * cell.height
+        # Clamp like ZIndex._build_node does: xmin + 1.0 * width can land
+        # one ulp past xmax, which Rect.split rightly rejects.
+        split_x = min(cell.xmax, cell.xmin + (fraction_x / 100.0) * cell.width)
+        split_y = min(cell.ymax, cell.ymin + (fraction_y / 100.0) * cell.height)
         quadrants = cell.split(split_x, split_y)
         assert abs(sum(q.area for q in quadrants) - cell.area) < 1e-6 * max(cell.area, 1.0)
 

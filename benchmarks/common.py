@@ -19,7 +19,7 @@ import os
 from functools import lru_cache
 from typing import Dict, List, Sequence
 
-from repro import build_index
+from repro.engine import build_index
 from repro.evaluation import (
     ComparisonResult,
     format_table,

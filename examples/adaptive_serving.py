@@ -1,0 +1,91 @@
+"""Adaptive serving: the observe → advise → adapt lifecycle end to end.
+
+A serving deployment rarely gets the workload it was built for — traffic
+drifts.  This example walks the engine through a drifting scenario from
+:mod:`repro.workloads.drift`:
+
+1. build a WaZI engine for the first phase's workload and start
+   **observing** (``record=True``),
+2. serve the next phase's (drifted) traffic,
+3. ask the engine for **advice** — is the layout still right for what it
+   actually serves? —,
+4. **adapt**: re-derive the layout from the recorded workload and
+   hot-swap it under the (hypothetical) running queries,
+5. persist the adapted engine + its observed history, and reopen it.
+
+Run with::
+
+    PYTHONPATH=src python examples/adaptive_serving.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import RangeQuery, SpatialEngine, drift_scenario, generate_dataset
+
+REGION = "newyork"
+NUM_POINTS = 30_000
+QUERIES_PER_PHASE = 300
+
+
+def replay_seconds(index, rects, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for result in index.batch_range_query(rects):
+            result.count()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main() -> None:
+    points = generate_dataset(REGION, NUM_POINTS, seed=1)
+    phases = drift_scenario(
+        "scan_heavy", REGION, num_queries=QUERIES_PER_PHASE, seed=3
+    )
+    first, drifted = phases[0].workload, phases[1].workload
+
+    # 1. build for the first phase, observing from the start
+    engine = SpatialEngine.build(
+        "wazi", points, first.queries, leaf_capacity=64, seed=1, record=True
+    )
+    print(f"serving engine: {engine} (built for phase {phases[0].name!r})")
+
+    # 2. serve the drifted phase — every executed plan lands in the log
+    engine.execute_many([RangeQuery(rect) for rect in drifted.queries])
+    print(f"observed traffic: {engine.workload_log}")
+
+    # 3. advise: is the layout still right for the observed traffic?
+    report = engine.advise()
+    print()
+    print(report.render())
+
+    if not report.should_adapt:
+        print("layout still fits the traffic; nothing to do")
+        return
+
+    # 4. adapt: re-derive the layout from the observed workload and
+    #    hot-swap it; result sets produced before the swap stay valid
+    stale_index = engine.index
+    engine.adapt()
+    stale = replay_seconds(stale_index, drifted.queries)
+    adapted = replay_seconds(engine.index, drifted.queries)
+    print()
+    print(f"recorded-workload replay: stale {stale * 1e3:.1f} ms, "
+          f"adapted {adapted * 1e3:.1f} ms ({stale / adapted:.2f}x)")
+
+    # 5. persist the adapted engine together with its observed history
+    with tempfile.TemporaryDirectory() as tmp:
+        snapshot = Path(tmp) / "serving.snapshot"
+        engine.save(snapshot)
+        reopened = SpatialEngine.open(
+            "wazi", points, first.queries,
+            snapshot_path=snapshot, leaf_capacity=64, seed=1, record=True,
+        )
+        print(f"reopened: {reopened} with "
+              f"{len(reopened.workload_log)} observed queries restored")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,7 +28,12 @@ Quickstart (the columnar-first engine API — see ``docs/API.md``)::
     count = engine.execute(RangeQuery(workload.queries[0]), count_only=True)
 """
 
-from repro.analysis import RebuildAdvisor, WorkloadDriftDetector
+from repro.analysis import (
+    RebuildAdvisor,
+    TuningReport,
+    WorkloadDriftDetector,
+    advise_layout,
+)
 from repro.api import (
     build_index,
     build_or_load_index,
@@ -55,8 +60,11 @@ from repro.persistence import (
     PersistenceError,
     SnapshotError,
     load_snapshot,
+    load_snapshot_with_history,
+    load_workload,
     save_rebuild_snapshot,
     save_snapshot,
+    save_workload,
 )
 from repro.joins import box_join, knn_join, knn_join_pairs, radius_join
 from repro.baselines import (
@@ -72,12 +80,17 @@ from repro.baselines import (
 from repro.core import BaseWithSkipping, WaZI, WaZIWithoutSkipping
 from repro.geometry import Point, Rect
 from repro.interfaces import SpatialIndex
+from repro.workload_log import WorkloadLog
 from repro.workloads import (
+    DriftPhase,
+    Workload,
+    drift_scenario,
     generate_dataset,
     generate_knn_workload,
     generate_point_queries,
     generate_probe_points,
     generate_range_workload,
+    hotspot_workload,
     uniform_range_workload,
 )
 from repro.zindex import BaseZIndex, ZIndex
@@ -133,8 +146,18 @@ __all__ = [
     "generate_point_queries",
     "generate_probe_points",
     "generate_knn_workload",
+    "Workload",
+    "WorkloadLog",
+    "DriftPhase",
+    "drift_scenario",
+    "hotspot_workload",
+    "save_workload",
+    "load_workload",
+    "load_snapshot_with_history",
     "WorkloadDriftDetector",
     "RebuildAdvisor",
+    "TuningReport",
+    "advise_layout",
     "box_join",
     "radius_join",
     "knn_join",

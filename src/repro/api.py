@@ -5,18 +5,22 @@
     New code should use :class:`repro.engine.SpatialEngine` with the typed
     plans of :mod:`repro.query` (see ``docs/API.md`` for the migration
     table); everything here keeps working and now delegates to the engine
-    layer, so both surfaces stay behaviourally identical.
+    layer, so both surfaces stay behaviourally identical.  The legacy
+    entry points ``build_index`` and ``build_or_load_index`` emit a
+    :class:`DeprecationWarning` (once per call site, per Python's default
+    warning de-duplication) naming their replacement.
 
 The canonical implementations of :func:`build_index` and
-:func:`build_or_load_index` live in :mod:`repro.engine`; they are
-re-exported here for backwards compatibility.  :func:`compare_indexes`
-builds its per-index engines through :meth:`SpatialEngine.build`, which is
-also how per-index constructor keyword arguments are forwarded (earlier
-revisions silently dropped them).
+:func:`build_or_load_index` live in :mod:`repro.engine`; the shims here
+warn and delegate.  :func:`compare_indexes` builds its per-index engines
+through :meth:`SpatialEngine.build`, which is also how per-index
+constructor keyword arguments are forwarded (earlier revisions silently
+dropped them).
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Mapping, Optional, Sequence, Union
 from pathlib import Path
 
@@ -26,9 +30,45 @@ from repro.engine import (  # noqa: F401  (re-exported shims)
     _encode_build_request,
     _snapshot_matches_request,
     as_engine,
-    build_index,
 )
+from repro.engine import build_index as _build_index
 from repro.engine import build_or_load_index as _build_or_load_index
+
+
+def build_index(
+    name,
+    points,
+    workload=(),
+    leaf_capacity: int = 64,
+    seed: Optional[int] = 0,
+    **kwargs,
+):
+    """Deprecated shim over :func:`repro.engine.build_index`.
+
+    .. deprecated::
+        Use ``SpatialEngine.build(name, points, workload, ...)`` (or
+        :func:`repro.engine.build_index` for a bare index); see
+        ``docs/API.md``.
+    """
+    warnings.warn(
+        "repro.api.build_index is deprecated; use "
+        "repro.engine.SpatialEngine.build(...) (or repro.engine.build_index "
+        "for a bare index) — see docs/API.md for the migration table",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _build_index(
+        name, points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs
+    )
+
+
+#: Identity of the unpatched shim, so internal delegation (the
+#: ``build_or_load_index`` fresh-build path, rebuild-snapshot replay) can
+#: route through this module's namespace — honouring monkeypatches — while
+#: skipping the shim's warning when it has *not* been patched.  Mutating
+#: warning filters instead would reset the per-call-site warning registry
+#: and break the warn-once behaviour.
+_BUILD_INDEX_SHIM = build_index
 
 
 def build_or_load_index(
@@ -44,15 +84,34 @@ def build_or_load_index(
 ):
     """Deprecated shim over :func:`repro.engine.build_or_load_index`.
 
+    .. deprecated::
+        Use ``SpatialEngine.open(name, points, workload,
+        snapshot_path=...)``; see ``docs/API.md``.
+
     Kept so existing callers (and monkeypatches of this module's
     ``build_index``) keep working; the fresh-build path resolves
-    ``build_index`` through this module's namespace at call time.
+    ``build_index`` through this module's namespace at call time (without
+    re-warning — this shim already has).
     """
+    warnings.warn(
+        "repro.api.build_or_load_index is deprecated; use "
+        "repro.engine.SpatialEngine.open(..., snapshot_path=...) — see "
+        "docs/API.md for the migration table",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+
+    def _factory(*args, **kw):
+        builder = build_index  # module-global lookup: monkeypatches win
+        if builder is _BUILD_INDEX_SHIM:
+            builder = _build_index  # canonical impl — no second warning
+        return builder(*args, **kw)
+
     return _build_or_load_index(
         name, points, workload,
         snapshot_path=snapshot_path, leaf_capacity=leaf_capacity,
         seed=seed, rebuild=rebuild,
-        _factory=lambda *args, **kw: build_index(*args, **kw),
+        _factory=_factory,
         **kwargs,
     )
 from repro.evaluation import (

@@ -19,6 +19,23 @@ the Z-index family answers on its flat coordinate columns.  ``count_only``
 and array-consuming executions on that family never box a single
 :class:`~repro.geometry.Point`.
 
+Beyond plan execution, the engine owns the **adaptive lifecycle** that
+makes "workload-aware" a runtime property instead of a build flag:
+
+* **observe** — ``SpatialEngine.build(..., record=True)`` (or the
+  ``engine.recording():`` context manager) attaches a columnar
+  :class:`~repro.workload_log.WorkloadLog` that appends every executed
+  range / kNN / radius plan, cheaply enough to leave on in production;
+* **advise** — :meth:`SpatialEngine.advise` scores the current layout
+  against the observed (or a given) workload with a measured count-only
+  replay plus the density estimators, returning a
+  :class:`~repro.analysis.tuning.TuningReport`;
+* **adapt** — :meth:`SpatialEngine.adapt` re-derives the layout from the
+  observed workload and atomically hot-swaps the index underneath running
+  queries (retained result sets stay valid through the generation-counter
+  boxers), and :meth:`SpatialEngine.save` persists the observed history
+  alongside the structure so :meth:`SpatialEngine.open` restores both.
+
 The engine also keeps the free-function era working: ``build_index`` and
 ``build_or_load_index`` live here as the canonical implementations and are
 re-exported by :mod:`repro.api` as deprecation shims.
@@ -26,6 +43,8 @@ re-exported by :mod:`repro.api` as deprecation shims.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -48,7 +67,10 @@ from repro.persistence import (
     SnapshotError,
     dataset_fingerprint,
     load_snapshot,
+    load_snapshot_with_history,
+    read_container,
     read_manifest,
+    rects_from_array,
     rects_to_array,
     save_rebuild_snapshot,
     save_snapshot,
@@ -57,6 +79,8 @@ from repro.persistence import (
 from repro.persistence.snapshot import json_clone
 from repro.query import JoinQuery, KnnQuery, PointQuery, Query, RadiusQuery, RangeQuery
 from repro.results import ResultSet
+from repro.workload_log import WorkloadLog
+from repro.workloads.workload import Workload
 from repro.zindex import BaseZIndex, ZIndex
 
 __all__ = [
@@ -162,23 +186,28 @@ _ZINDEX_SNAPSHOT_NAMES = {
 }
 
 
-def _encode_build_request(name, workload, seed, kwargs) -> Optional[Dict]:
+def _encode_build_request(name, workload, seed, kwargs, adapted: bool = False) -> Optional[Dict]:
     """The JSON record of a build request stored in structural manifests.
 
     Returns ``None`` when the request cannot be represented (non-JSON
     kwargs); a ``None`` request never matches a stored one, forcing a
-    rebuild.
+    rebuild.  ``adapted`` marks a layout re-derived from observed traffic
+    by :meth:`SpatialEngine.adapt`; matching then ignores the build-time
+    workload and seed (the observed layout supersedes them).
     """
     encoded_kwargs = json_clone(kwargs or {})
     if encoded_kwargs is None:
         return None
-    return {
+    request = {
         "name": str(name).lower(),
         "seed": None if seed is None else int(seed),
         "num_queries": len(workload or ()),
         "workload_fingerprint": workload_fingerprint(rects_to_array(workload or ())),
         "kwargs": encoded_kwargs,
     }
+    if adapted:
+        request["adapted"] = True
+    return request
 
 
 def _snapshot_matches_request(
@@ -213,11 +242,27 @@ def _snapshot_matches_request(
         recorded = manifest.get("build_request")
         if not isinstance(recorded, dict):
             return False
-        if recorded != _encode_build_request(name, workload, seed, kwargs):
+        expected_request = _encode_build_request(name, workload, seed, kwargs)
+        if expected_request is None:
+            return False
+        adapted = bool(recorded.get("adapted"))
+        if adapted:
+            # An adapted snapshot's layout was re-derived from *observed*
+            # traffic, superseding any build-time workload/seed — and its
+            # page granularity, which adapt() retunes from observed result
+            # sizes.  Serving it is the whole point, so only the identity
+            # of the request (index name, extra kwargs) and of the dataset
+            # below is verified.
+            if (
+                recorded.get("name") != expected_request["name"]
+                or recorded.get("kwargs") != expected_request["kwargs"]
+            ):
+                return False
+        elif recorded != expected_request:
             return False
         return (
             info.get("num_points") == len(points)
-            and info.get("leaf_capacity") == leaf_capacity
+            and (adapted or info.get("leaf_capacity") == leaf_capacity)
             and info.get("dataset_fingerprint") == dataset_fingerprint(
                 *points_to_arrays(points)
             )
@@ -229,12 +274,20 @@ def _snapshot_matches_request(
         encoded_kwargs = json_clone(kwargs or {})
         if encoded_kwargs is None:
             return False  # unstorable kwargs can never match a stored recipe
+        adapted = bool(build.get("adapted"))
         return (
             build.get("num_points") == len(points)
-            and build.get("leaf_capacity") == leaf_capacity
-            and build.get("seed") == (None if seed is None else int(seed))
+            and (adapted or build.get("leaf_capacity") == leaf_capacity)
+            # An adapted recipe replays the *observed* workload (and kept
+            # its own seed); the caller's build-time workload/seed are
+            # superseded, mirroring the structural-snapshot rule above.
             and (
-                workload is None
+                adapted
+                or build.get("seed") == (None if seed is None else int(seed))
+            )
+            and (
+                adapted
+                or workload is None
                 or (
                     build.get("num_queries") == len(workload)
                     and build.get("workload_fingerprint")
@@ -323,7 +376,120 @@ def _make_recipe(index, name, points, workload, leaf_capacity, seed, kwargs) -> 
         "leaf_capacity": leaf_capacity,
         "seed": seed,
         "kwargs": dict(kwargs),
+        "adapted": False,
     }
+
+
+#: Reverse lookup from an index's ``name`` attribute (what snapshots
+#: record) back to a :func:`build_index` key, so an engine restored with
+#: :meth:`SpatialEngine.load` can still :meth:`~SpatialEngine.adapt`.
+_BUILD_KEY_BY_INDEX_NAME = {
+    WaZI.name: "wazi",
+    WaZIWithoutSkipping.name: "wazi-sk",
+    BaseZIndex.name: "base",
+    BaseWithSkipping.name: "base+sk",
+    ZIndex.name: "base",
+}
+
+
+def _recipe_from_loaded_index(index) -> Optional[Dict]:
+    """A minimal adapt-capable recipe for a snapshot-restored Z-index.
+
+    Structural snapshots do not retain build arguments, but the restored
+    structure knows its name, points and leaf capacity — enough to
+    re-derive a layout from an observed workload.  Non-Z-index loads
+    (rebuild recipes) return ``None``; such engines cannot ``save``/
+    ``adapt`` without a recipe, matching the pre-lifecycle behaviour of
+    :meth:`SpatialEngine.load`.
+    """
+    if not isinstance(index, ZIndex):
+        return None
+    key = _BUILD_KEY_BY_INDEX_NAME.get(getattr(index, "name", None))
+    if key is None:
+        return None
+    return {
+        "name": key,
+        "points": None,
+        "workload": [],
+        "leaf_capacity": index.leaf_capacity,
+        "seed": 0,
+        "kwargs": {},
+        "adapted": False,
+    }
+
+
+def _adapted_recipe_from_snapshot(path, index, name, points, kwargs) -> Optional[Dict]:
+    """The recipe of a *served adapted* snapshot, or ``None``.
+
+    When :meth:`SpatialEngine.open` serves a snapshot whose layout was
+    re-derived from observed traffic, the engine's recipe must describe
+    that layout — its retuned page size, its observed workload, its
+    ``adapted`` mark — not the caller's build-time request.  Otherwise the
+    next ``save`` would record a non-adapted request with the stale
+    parameters, and the open → save → open cycle would silently revert
+    the adaptation and drop the observed history.  Returns ``None`` when
+    the snapshot is missing, unreadable, or not adapted (including the
+    case where ``open`` just rebuilt it fresh).
+    """
+    try:
+        manifest = read_manifest(path)
+    except (SnapshotError, OSError):
+        return None
+    kind = manifest.get("kind")
+    if kind == KIND_ZINDEX:
+        recorded = manifest.get("build_request")
+        if not (isinstance(recorded, dict) and recorded.get("adapted")):
+            return None
+        # The structure itself is what save() persists, so the recipe only
+        # needs the request metadata; the workload that derived the layout
+        # is not retained by structural snapshots (mirroring adapt()).
+        return {
+            "name": name,
+            "points": None,
+            "workload": [],
+            "leaf_capacity": getattr(
+                index, "leaf_capacity",
+                (manifest.get("index") or {}).get("leaf_capacity"),
+            ),
+            "seed": recorded.get("seed"),
+            "kwargs": dict(kwargs),
+            "adapted": True,
+        }
+    if kind == KIND_REBUILD:
+        build = manifest.get("build") or {}
+        if not build.get("adapted"):
+            return None
+        try:
+            _, arrays = read_container(path)
+            workload = rects_from_array(arrays["workload_rects"])
+        except (SnapshotError, OSError, KeyError):
+            return None
+        # Re-saving must replay the *adapted* workload, not the caller's.
+        return {
+            "name": name,
+            "points": list(points),
+            "workload": workload,
+            "leaf_capacity": build.get("leaf_capacity", 64),
+            "seed": build.get("seed"),
+            "kwargs": dict(kwargs),
+            "adapted": True,
+        }
+    return None
+
+
+def _read_history(path):
+    """The workload history embedded in a snapshot, or ``None``.
+
+    Tolerant probe used by :meth:`SpatialEngine.open`: a missing or
+    history-less (or even unreadable — ``open`` may have just rebuilt over
+    it) snapshot simply yields no history.
+    """
+    from repro.persistence.snapshot import load_workload_history
+
+    try:
+        return load_workload_history(path)
+    except (SnapshotError, OSError):
+        return None
 
 
 class SpatialEngine:
@@ -350,7 +516,15 @@ class SpatialEngine:
     first ``limit`` rows in result order, staying columnar.
     """
 
-    def __init__(self, index: SpatialIndex, *, _recipe: Optional[Dict] = None) -> None:
+    def __init__(
+        self,
+        index: SpatialIndex,
+        *,
+        record: bool = False,
+        _recipe: Optional[Dict] = None,
+        _workload_log: Optional[WorkloadLog] = None,
+        _build_seconds: Optional[float] = None,
+    ) -> None:
         if not isinstance(index, SpatialIndex):
             raise TypeError(
                 f"SpatialEngine wraps a SpatialIndex, got {type(index).__name__}"
@@ -359,6 +533,14 @@ class SpatialEngine:
         #: The build request, when this engine built the index itself —
         #: lets :meth:`save` write rebuild recipes for the non-Z-index zoo.
         self._recipe = _recipe
+        #: The observe stage: a columnar log of executed plans (or None).
+        self.workload_log: Optional[WorkloadLog] = _workload_log
+        if record and self.workload_log is None:
+            self.workload_log = WorkloadLog()
+        self._recording = bool(record)
+        #: Wall-clock seconds of the last build/adapt this engine ran
+        #: itself; feeds the advise stage's break-even arithmetic.
+        self._build_seconds = _build_seconds
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -372,20 +554,43 @@ class SpatialEngine:
         *,
         leaf_capacity: int = 64,
         seed: Optional[int] = 0,
+        record: bool = False,
         **kwargs,
     ) -> "SpatialEngine":
-        """Build an index by name (see :data:`INDEX_NAMES`) and wrap it."""
+        """Build an index by name (see :data:`INDEX_NAMES`) and wrap it.
+
+        ``record=True`` attaches a :class:`~repro.workload_log.WorkloadLog`
+        and starts the observe stage immediately: every executed range /
+        kNN / radius plan is appended to the log.
+        """
+        start = time.perf_counter()
         index = build_index(
             name, points, workload, leaf_capacity=leaf_capacity, seed=seed, **kwargs
         )
-        return cls(index, _recipe=_make_recipe(
-            index, name, points, workload, leaf_capacity, seed, kwargs
-        ))
+        build_seconds = time.perf_counter() - start
+        return cls(
+            index, record=record,
+            _recipe=_make_recipe(
+                index, name, points, workload, leaf_capacity, seed, kwargs
+            ),
+            _build_seconds=build_seconds,
+        )
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "SpatialEngine":
-        """Restore an engine from a snapshot written by :meth:`save`."""
-        return cls(load_snapshot(path))
+    def load(cls, path: Union[str, Path], *, record: bool = False) -> "SpatialEngine":
+        """Restore an engine from a snapshot written by :meth:`save`.
+
+        A workload history embedded in the snapshot is restored into the
+        engine's log (recording resumes only with ``record=True``), and a
+        Z-index snapshot yields an engine that can :meth:`adapt` — the
+        recipe is reconstructed from what the snapshot records.
+        """
+        index, history = load_snapshot_with_history(path)
+        log = WorkloadLog.from_workload(history) if history is not None else None
+        return cls(
+            index, record=record, _workload_log=log,
+            _recipe=_recipe_from_loaded_index(index),
+        )
 
     @classmethod
     def open(
@@ -398,35 +603,70 @@ class SpatialEngine:
         leaf_capacity: int = 64,
         seed: Optional[int] = 0,
         rebuild: bool = False,
+        record: bool = False,
         **kwargs,
     ) -> "SpatialEngine":
-        """Build-once / serve-many (see :func:`build_or_load_index`)."""
+        """Build-once / serve-many (see :func:`build_or_load_index`).
+
+        When the snapshot at ``snapshot_path`` is served (including one
+        written after :meth:`adapt` — its re-derived layout supersedes the
+        requested ``workload``), any observed-workload history embedded in
+        it is restored too, so the adaptive loop resumes where the saving
+        process left off.  ``record=True`` (re)starts recording either way.
+        """
+        start = time.perf_counter()
         index = build_or_load_index(
             name, points, workload,
             snapshot_path=snapshot_path, leaf_capacity=leaf_capacity,
             seed=seed, rebuild=rebuild, **kwargs,
         )
-        return cls(index, _recipe=_make_recipe(
-            index, name, points, workload, leaf_capacity, seed, kwargs
-        ))
+        build_seconds = time.perf_counter() - start
+        history = _read_history(snapshot_path)
+        log = WorkloadLog.from_workload(history) if history is not None else None
+        # When the served snapshot holds an adapted layout, the recipe must
+        # describe *that* layout (retuned page size, observed workload,
+        # adapted mark) — not the caller's request — so a later save keeps
+        # the adaptation instead of silently reverting it.
+        recipe = _adapted_recipe_from_snapshot(
+            snapshot_path, index, name, points, kwargs
+        )
+        if recipe is None:
+            recipe = _make_recipe(
+                index, name, points, workload, leaf_capacity, seed, kwargs
+            )
+        return cls(
+            index, record=record, _workload_log=log,
+            _recipe=recipe, _build_seconds=build_seconds,
+        )
 
     def save(self, path: Union[str, Path]) -> None:
-        """Persist the engine's index for a later :meth:`load`.
+        """Persist the engine's index — and its observed history — for
+        a later :meth:`load` / :meth:`open`.
 
         Z-index-family indexes are written as structural snapshots (O(n)
         load, no construction re-run).  Other indexes are written as
         build-recipe snapshots when this engine built them itself (the
         recipe is known); wrapping a foreign non-Z-index raises
-        :class:`TypeError`, mirroring ``save_snapshot``.
+        :class:`TypeError`, mirroring ``save_snapshot``.  A non-empty
+        workload log travels in the same container, and an adapted layout
+        is marked as such so :meth:`open` serves it instead of rebuilding
+        for the stale build-time workload.
         """
+        history = None
+        if self.workload_log is not None and len(self.workload_log):
+            history = self.workload_log.snapshot()
         if isinstance(self.index, ZIndex):
             build_request = None
             if self._recipe is not None:
                 build_request = _encode_build_request(
                     self._recipe["name"], self._recipe["workload"],
                     self._recipe["seed"], self._recipe["kwargs"],
+                    adapted=self._recipe.get("adapted", False),
                 )
-            save_snapshot(self.index, path, build_request=build_request)
+            save_snapshot(
+                self.index, path,
+                build_request=build_request, workload_history=history,
+            )
             return
         if self._recipe is None:
             raise TypeError(
@@ -437,8 +677,211 @@ class SpatialEngine:
             self._recipe["name"], self._recipe["points"], path,
             workload=self._recipe["workload"],
             leaf_capacity=self._recipe["leaf_capacity"],
-            seed=self._recipe["seed"], **self._recipe["kwargs"],
+            seed=self._recipe["seed"],
+            workload_history=history,
+            adapted=self._recipe.get("adapted", False),
+            **self._recipe["kwargs"],
         )
+
+    # ------------------------------------------------------------------
+    # observe
+    # ------------------------------------------------------------------
+    @property
+    def is_recording(self) -> bool:
+        """Whether executed plans are currently appended to the log."""
+        return self._recording
+
+    def start_recording(self) -> WorkloadLog:
+        """Attach a log (if absent) and start appending executed plans."""
+        if self.workload_log is None:
+            self.workload_log = WorkloadLog()
+        self._recording = True
+        return self.workload_log
+
+    def stop_recording(self) -> None:
+        """Stop appending executed plans (the log and its contents remain)."""
+        self._recording = False
+
+    @contextmanager
+    def recording(self, enabled: bool = True):
+        """Scope recording to a ``with`` block, yielding the log.
+
+        ``with engine.recording():`` turns the observe stage on for the
+        block (attaching a log on first use) and restores the previous
+        recording state afterwards; ``enabled=False`` scopes a recording
+        *pause* the same way.
+        """
+        previous = self._recording
+        if enabled:
+            self.start_recording()
+        else:
+            self._recording = False
+        try:
+            yield self.workload_log
+        finally:
+            self._recording = previous
+
+    def observed(self, **metadata) -> Workload:
+        """The observed workload so far, as a frozen :class:`Workload`.
+
+        Returns an empty workload when nothing has been recorded.
+        """
+        if self.workload_log is None:
+            return Workload(**metadata)
+        return self.workload_log.snapshot(**metadata)
+
+    def _resolve_workload(self, workload) -> Workload:
+        if workload is None:
+            resolved = self.observed()
+            if not resolved:
+                raise ValueError(
+                    "no workload given and nothing observed — build/open with "
+                    "record=True (or use engine.recording()) before advise/adapt, "
+                    "or pass a workload explicitly"
+                )
+            return resolved
+        if isinstance(workload, Workload):
+            return workload
+        return Workload(queries=list(workload))
+
+    # ------------------------------------------------------------------
+    # advise
+    # ------------------------------------------------------------------
+    def advise(
+        self,
+        workload: Optional[Workload] = None,
+        *,
+        min_improvement: float = 1.2,
+        expected_future_queries: Optional[float] = None,
+        density=None,
+        sample: Optional[int] = None,
+    ):
+        """Score the current layout against the observed (or given) workload.
+
+        Returns a :class:`~repro.analysis.tuning.TuningReport` with the
+        measured scan cost of the current layout, the density-model
+        estimate for a re-derived one, the drift score against the
+        layout's reference workload (when the engine knows it), the
+        Table 4 break-even count (using this engine's measured build
+        time), and a ``should_adapt`` verdict.
+        """
+        from repro.analysis.tuning import advise_layout
+
+        resolved = self._resolve_workload(workload)
+        reference = None
+        if self._recipe is not None and self._recipe.get("workload"):
+            reference = self._recipe["workload"]
+        extra = {} if sample is None else {"sample": sample}
+        return advise_layout(
+            self.index, resolved,
+            reference=reference, density=density,
+            min_improvement=min_improvement,
+            rebuild_seconds=self._build_seconds,
+            expected_future_queries=expected_future_queries,
+            **extra,
+        )
+
+    # ------------------------------------------------------------------
+    # adapt
+    # ------------------------------------------------------------------
+    def _tuned_leaf_capacity(self, rects: Sequence[Rect]) -> int:
+        """The page size the observed result sizes ask for.
+
+        Probes the mean result size with an exact count-only replay of (a
+        sample of) the observed rectangles — columnar, no boxing — and
+        maps it through :func:`repro.analysis.tuning.tuned_leaf_capacity`.
+        The probe's counter increments are rolled back so measurement
+        workflows around ``adapt`` see only their own queries.
+        """
+        from repro.analysis.tuning import tuned_leaf_capacity
+
+        if not rects:
+            return self._recipe["leaf_capacity"]
+        sample = rects
+        if len(rects) > 256:
+            step = len(rects) // 256
+            sample = rects[::step][:256]
+        counters = self.index.counters
+        saved = vars(counters).copy()
+        try:
+            counts = self.index.batch_range_count(sample)
+        finally:
+            vars(counters).update(saved)
+        return tuned_leaf_capacity(sum(counts) / len(sample))
+
+    def adapt(
+        self,
+        workload: Optional[Workload] = None,
+        *,
+        in_place: bool = True,
+        tune_leaf_capacity: bool = True,
+    ) -> "SpatialEngine":
+        """Re-derive the layout from the observed workload and hot-swap it.
+
+        The workload defaults to this engine's observed log.  kNN and
+        radius probes participate through their equivalent range
+        rectangles.  The re-derivation covers both layout dimensions the
+        paper treats as workload parameters: the split points/orderings
+        (the greedy construction re-runs against the observed
+        rectangles) and — with ``tune_leaf_capacity=True`` (default) —
+        the page granularity, matched to the observed result sizes (tiny
+        interactive queries keep small pages; analytical scans get big
+        ones).  With ``in_place=True`` (default) the new index atomically
+        replaces the engine's current one — in-flight and retained result
+        sets stay valid, because Z-index result boxers hold only a weak
+        reference to the index that produced them plus a flat-column
+        generation counter and re-box their captured coordinates once that
+        index is superseded.  With ``in_place=False`` the serving engine
+        is left untouched and a new engine (with a copy of the observed
+        history) is returned.
+
+        Raises :class:`TypeError` when the engine wraps a foreign index it
+        knows no build recipe for, and :class:`ValueError` when there is
+        neither an observed nor a given workload.
+        """
+        resolved = self._resolve_workload(workload)
+        recipe = self._recipe
+        if recipe is None:
+            raise TypeError(
+                f"{self.name} engine has no build recipe to re-derive a layout "
+                "from; construct engines with SpatialEngine.build/open/load"
+            )
+        rects = resolved.equivalent_rects(len(self.index), self.index.extent())
+        leaf_capacity = recipe["leaf_capacity"]
+        if tune_leaf_capacity:
+            leaf_capacity = self._tuned_leaf_capacity(rects)
+        if isinstance(self.index, ZIndex):
+            points = self.index.all_points()
+        else:
+            points = recipe["points"]
+        start = time.perf_counter()
+        new_index = build_index(
+            recipe["name"], points, rects,
+            leaf_capacity=leaf_capacity, seed=recipe["seed"],
+            **recipe["kwargs"],
+        )
+        build_seconds = time.perf_counter() - start
+        new_recipe = _make_recipe(
+            new_index, recipe["name"], points, rects,
+            leaf_capacity, recipe["seed"], recipe["kwargs"],
+        )
+        new_recipe["adapted"] = True
+        if not in_place:
+            log = None
+            if self.workload_log is not None and len(self.workload_log):
+                log = WorkloadLog.from_workload(self.workload_log.snapshot())
+            return SpatialEngine(
+                new_index, record=self._recording,
+                _recipe=new_recipe, _workload_log=log,
+                _build_seconds=build_seconds,
+            )
+        # The hot swap: one attribute rebind, atomic under the GIL — a
+        # concurrent reader sees either the old or the new index, never a
+        # mix, and result sets produced by the old one remain valid.
+        self.index = new_index
+        self._recipe = new_recipe
+        self._build_seconds = build_seconds
+        return self
 
     # ------------------------------------------------------------------
     # plan execution
@@ -455,19 +898,29 @@ class SpatialEngine:
         without materialising results wherever the index allows it.
         """
         self._check_limit(limit)
+        recording = self._recording
         if isinstance(query, RangeQuery):
             if count_only:
-                return self._capped(self.index.range_count(query.rect), limit)
+                count = self.index.range_count(query.rect)
+                if recording:
+                    self.workload_log.record_range(query.rect, count)
+                return self._capped(count, limit)
+            if recording:
+                self.workload_log.record_range(query.rect)
             return self._truncated(self.index.range_query(query.rect), limit)
         if isinstance(query, PointQuery):
             found = self.index.point_query(query.point)
             return int(found) if count_only else found
         if isinstance(query, KnnQuery):
+            if recording and query.k > 0:
+                self.workload_log.record_knn(query.center, query.k)
             result = self.index.knn(query.center, query.k, query.initial_radius)
             if count_only:
                 return self._capped(result.count(), limit)
             return self._truncated(result, limit)
         if isinstance(query, RadiusQuery):
+            if recording:
+                self.workload_log.record_radius(query.center, query.radius)
             result = self.index.radius_query(query.center, query.radius)
             if count_only:
                 return self._capped(result.count(), limit)
@@ -498,10 +951,18 @@ class SpatialEngine:
         if not queries:
             return []
         index = self.index
+        recording = self._recording
         if all(type(q) is RangeQuery for q in queries):
             rects = [q.rect for q in queries]
             if count_only:
-                return [self._capped(c, limit) for c in index.batch_range_count(rects)]
+                counts = index.batch_range_count(rects)
+                if recording:
+                    self.workload_log.record_ranges(rects, counts)
+                return [self._capped(c, limit) for c in counts]
+            if recording:
+                # One vectorised block append for the whole batch — the
+                # recording cost the production path actually pays.
+                self.workload_log.record_ranges(rects)
             return [
                 self._truncated(r, limit) for r in index.batch_range_query(rects)
             ]
@@ -511,18 +972,20 @@ class SpatialEngine:
                 q.k == first.k and q.initial_radius == first.initial_radius
                 for q in queries
             ):
-                results = index.batch_knn(
-                    [q.center for q in queries], first.k, first.initial_radius
-                )
+                centers = [q.center for q in queries]
+                if recording and first.k > 0:
+                    self.workload_log.record_knns(centers, first.k)
+                results = index.batch_knn(centers, first.k, first.initial_radius)
                 if count_only:
                     return [self._capped(r.count(), limit) for r in results]
                 return [self._truncated(r, limit) for r in results]
         if all(type(q) is RadiusQuery for q in queries):
             first = queries[0]
             if all(q.radius == first.radius for q in queries):
-                results = index.batch_radius_query(
-                    [q.center for q in queries], first.radius
-                )
+                centers = [q.center for q in queries]
+                if recording:
+                    self.workload_log.record_radii(centers, first.radius)
+                results = index.batch_radius_query(centers, first.radius)
                 if count_only:
                     return [self._capped(r.count(), limit) for r in results]
                 return [self._truncated(r, limit) for r in results]
@@ -625,34 +1088,52 @@ class SpatialEngine:
         return self.index.delete(point)
 
     def range_query(self, query: Rect) -> ResultSet:
+        if self._recording:
+            self.workload_log.record_range(query)
         return self.index.range_query(query)
 
     def batch_range_query(self, queries: Sequence[Rect]) -> List[ResultSet]:
+        if self._recording:
+            self.workload_log.record_ranges(queries)
         return self.index.batch_range_query(queries)
 
     def range_count(self, query: Rect) -> int:
-        return self.index.range_count(query)
+        count = self.index.range_count(query)
+        if self._recording:
+            self.workload_log.record_range(query, count)
+        return count
 
     def batch_range_count(self, queries: Sequence[Rect]) -> List[int]:
-        return self.index.batch_range_count(queries)
+        counts = self.index.batch_range_count(queries)
+        if self._recording:
+            self.workload_log.record_ranges(queries, counts)
+        return counts
 
     def point_query(self, point: Point) -> bool:
         return self.index.point_query(point)
 
     def knn(self, center: Point, k: int, initial_radius: Optional[float] = None) -> ResultSet:
+        if self._recording and k > 0:
+            self.workload_log.record_knn(center, k)
         return self.index.knn(center, k, initial_radius)
 
     def batch_knn(
         self, centers: Sequence[Point], k: int, initial_radius: Optional[float] = None
     ) -> List[ResultSet]:
+        if self._recording and k > 0:
+            self.workload_log.record_knns(centers, k)
         return self.index.batch_knn(centers, k, initial_radius)
 
     def radius_query(self, center: Point, radius: float) -> ResultSet:
+        if self._recording:
+            self.workload_log.record_radius(center, radius)
         return self.index.radius_query(center, radius)
 
     def batch_radius_query(
         self, centers: Sequence[Point], radius: float
     ) -> List[ResultSet]:
+        if self._recording:
+            self.workload_log.record_radii(centers, radius)
         return self.index.batch_radius_query(centers, radius)
 
     def __repr__(self) -> str:

@@ -63,12 +63,17 @@ from repro.persistence.pickle_codecs import (
 )
 from repro.persistence.snapshot import (
     KIND_REBUILD,
+    KIND_WORKLOAD,
     KIND_ZINDEX,
     SNAPSHOT_FORMAT_VERSION,
     dataset_fingerprint,
     load_snapshot,
+    load_snapshot_with_history,
+    load_workload,
+    load_workload_history,
     save_rebuild_snapshot,
     save_snapshot,
+    save_workload,
     workload_fingerprint,
 )
 
@@ -77,6 +82,7 @@ __all__ = [
     "DatasetFormatError",
     "IndexLoadError",
     "KIND_REBUILD",
+    "KIND_WORKLOAD",
     "KIND_ZINDEX",
     "PersistenceError",
     "PICKLE_FORMAT_VERSION",
@@ -92,6 +98,9 @@ __all__ = [
     "load_queries",
     "load_queries_binary",
     "load_snapshot",
+    "load_snapshot_with_history",
+    "load_workload",
+    "load_workload_history",
     "read_container",
     "read_manifest",
     "rects_from_array",
@@ -103,6 +112,7 @@ __all__ = [
     "save_queries_binary",
     "save_rebuild_snapshot",
     "save_snapshot",
+    "save_workload",
     "workload_fingerprint",
     "write_container",
 ]

@@ -39,7 +39,6 @@ from repro.persistence.arrays import rects_from_array, rects_to_array
 from repro.persistence.container import (
     PathLike,
     read_container,
-    read_manifest,
     write_container,
 )
 from repro.persistence.errors import SnapshotFormatError, SnapshotVersionError
@@ -55,6 +54,13 @@ _READABLE_VERSIONS = (1,)
 KIND_ZINDEX = "zindex-structure"
 #: Manifest ``kind`` for a dataset + build-recipe snapshot.
 KIND_REBUILD = "rebuild-recipe"
+#: Manifest ``kind`` for a standalone workload container.
+KIND_WORKLOAD = "workload"
+
+#: Member-name prefix under which an index snapshot embeds its observed
+#: workload history (so one file restores both the structure and what the
+#: engine learned about its traffic).
+_HISTORY_PREFIX = "history_"
 
 
 def json_clone(value) -> Optional[Dict]:
@@ -126,7 +132,80 @@ def workload_fingerprint(rects: np.ndarray) -> str:
     return f"{int(salted.sum(dtype=np.uint64)):016x}-{n}"
 
 
-def save_snapshot(index, path: PathLike, *, build_request: Optional[Dict] = None) -> Dict:
+def _workload_members(workload) -> Dict[str, np.ndarray]:
+    """The container members a :class:`~repro.workloads.Workload` serialises to."""
+    return {name: np.ascontiguousarray(table) for name, table in workload.tables().items()}
+
+
+def _workload_manifest_section(workload) -> Dict:
+    """The JSON metadata block stored alongside a workload's tables."""
+    metadata = workload.metadata()
+    cloned = json_clone(metadata)
+    if cloned is None:
+        raise TypeError(
+            f"workload metadata must be JSON-serialisable, got {metadata!r}"
+        )
+    return cloned
+
+
+def _workload_from_members(
+    path: PathLike, section: Dict, arrays: Dict[str, np.ndarray], prefix: str = ""
+):
+    """Rebuild a Workload from container members (optionally prefixed)."""
+    from repro.workloads.workload import Workload
+
+    names = ("ranges", "knn_probes", "knn_k", "radius_probes", "radius_radii")
+    tables = {}
+    for name in names:
+        member = prefix + name
+        if member not in arrays:
+            raise SnapshotFormatError(f"{path} is missing workload array {member!r}")
+        tables[name] = arrays[member]
+    if not isinstance(section, dict):
+        raise SnapshotFormatError(f"{path} workload metadata is not a mapping")
+    try:
+        return Workload.from_tables(tables, section)
+    except (ValueError, TypeError) as exc:
+        raise SnapshotFormatError(f"{path} holds an inconsistent workload: {exc}") from exc
+
+
+def save_workload(workload, path: PathLike) -> Dict:
+    """Persist a :class:`~repro.workloads.Workload` as its own container.
+
+    The columnar tables become NPY members, the metadata travels in the
+    manifest.  Saving the same workload twice produces byte-identical
+    files (the container pins member timestamps), so workload artefacts
+    can live in content-addressed stores.  Returns the written manifest.
+    """
+    manifest = {
+        "kind": KIND_WORKLOAD,
+        "format_version": SNAPSHOT_FORMAT_VERSION,
+        "library_version": _library_version(),
+        "workload": _workload_manifest_section(workload),
+    }
+    write_container(path, manifest, _workload_members(workload))
+    return manifest
+
+
+def load_workload(path: PathLike):
+    """Restore a workload saved by :func:`save_workload`."""
+    manifest, arrays = read_container(path)
+    _check_version(path, manifest)
+    if manifest.get("kind") != KIND_WORKLOAD:
+        raise SnapshotFormatError(
+            f"{path} stores snapshot kind {manifest.get('kind')!r}, not a workload; "
+            f"use load_snapshot for index snapshots"
+        )
+    return _workload_from_members(path, manifest.get("workload") or {}, arrays)
+
+
+def save_snapshot(
+    index,
+    path: PathLike,
+    *,
+    build_request: Optional[Dict] = None,
+    workload_history=None,
+) -> Dict:
     """Serialise a built Z-index-family index to a binary snapshot.
 
     Returns the manifest that was written (handy for logging).  Raises
@@ -139,6 +218,12 @@ def save_snapshot(index, path: PathLike, *, build_request: Optional[Dict] = None
     kwargs).  The index structure itself does not retain them, so callers
     that want :func:`repro.api.build_or_load_index` to verify a later
     request against this snapshot must supply them here; the helper does.
+
+    ``workload_history`` is an optional :class:`~repro.workloads.Workload`
+    (typically an engine's observed-traffic snapshot) embedded in the same
+    container under ``history_*`` members, so one file restores both the
+    structure and its observed query history
+    (:func:`load_snapshot_with_history`).
     """
     if not isinstance(index, ZIndex):
         raise TypeError(
@@ -175,7 +260,12 @@ def save_snapshot(index, path: PathLike, *, build_request: Optional[Dict] = None
                 f"build_request must be JSON-serialisable, got {build_request!r}"
             )
         manifest["build_request"] = cloned
-    write_container(path, manifest, state.arrays)
+    arrays = dict(state.arrays)
+    if workload_history is not None and len(workload_history):
+        manifest["workload_history"] = _workload_manifest_section(workload_history)
+        for name, table in _workload_members(workload_history).items():
+            arrays[_HISTORY_PREFIX + name] = table
+    write_container(path, manifest, arrays)
     return manifest
 
 
@@ -187,6 +277,8 @@ def save_rebuild_snapshot(
     workload: Sequence[Rect] = (),
     leaf_capacity: int = 64,
     seed: Optional[int] = 0,
+    workload_history=None,
+    adapted: bool = False,
     **kwargs,
 ) -> Dict:
     """Persist a dataset plus the recipe to rebuild any index from the zoo.
@@ -196,6 +288,13 @@ def save_rebuild_snapshot(
     manifest and replayed on load).  Loading rebuilds deterministically
     given the stored seed, so round-tripped indexes answer queries exactly
     like a fresh build with the same arguments.
+
+    ``workload_history`` embeds an observed-traffic
+    :class:`~repro.workloads.Workload` the same way :func:`save_snapshot`
+    does.  ``adapted`` marks the recipe as one re-derived from observed
+    traffic by :meth:`~repro.engine.SpatialEngine.adapt`:
+    ``build_or_load_index`` then treats the stored (adapted) workload as
+    superseding the caller's build-time workload instead of rebuilding.
     """
     encoded_kwargs = json_clone(kwargs)
     if encoded_kwargs is None:
@@ -219,22 +318,18 @@ def save_rebuild_snapshot(
             "workload_fingerprint": workload_fingerprint(rects),
         },
     }
-    write_container(path, manifest, {"xs": xs, "ys": ys, "workload_rects": rects})
+    if adapted:
+        manifest["build"]["adapted"] = True
+    arrays = {"xs": xs, "ys": ys, "workload_rects": rects}
+    if workload_history is not None and len(workload_history):
+        manifest["workload_history"] = _workload_manifest_section(workload_history)
+        for member, table in _workload_members(workload_history).items():
+            arrays[_HISTORY_PREFIX + member] = table
+    write_container(path, manifest, arrays)
     return manifest
 
 
-def load_snapshot(path: PathLike):
-    """Restore an index from any snapshot written by this module.
-
-    Dispatches on the manifest ``kind``: structural Z-index snapshots are
-    rematerialised in O(n) without re-running construction; rebuild-recipe
-    snapshots replay :func:`repro.api.build_index` on the stored columns.
-    Raises :class:`SnapshotVersionError` / :class:`SnapshotFormatError`
-    (both :class:`SnapshotError`) instead of ever surfacing a codec
-    internal error.
-    """
-    manifest, arrays = read_container(path)
-    kind = manifest.get("kind")
+def _check_version(path: PathLike, manifest: Dict) -> None:
     version = manifest.get("format_version")
     if not isinstance(version, int) or version > SNAPSHOT_FORMAT_VERSION:
         raise SnapshotVersionError(
@@ -249,13 +344,71 @@ def load_snapshot(path: PathLike):
             f"snapshot from the persisted dataset with this library "
             f"({_library_version()})"
         )
+
+
+def load_snapshot(path: PathLike):
+    """Restore an index from any snapshot written by this module.
+
+    Dispatches on the manifest ``kind``: structural Z-index snapshots are
+    rematerialised in O(n) without re-running construction; rebuild-recipe
+    snapshots replay :func:`repro.api.build_index` on the stored columns.
+    Raises :class:`SnapshotVersionError` / :class:`SnapshotFormatError`
+    (both :class:`SnapshotError`) instead of ever surfacing a codec
+    internal error.  Any embedded workload history is ignored; use
+    :func:`load_snapshot_with_history` to get it too.
+    """
+    return load_snapshot_with_history(path)[0]
+
+
+def load_snapshot_with_history(path: PathLike):
+    """Restore ``(index, observed_workload_or_None)`` from one container.
+
+    The second element is the :class:`~repro.workloads.Workload` history
+    embedded by ``save_snapshot(..., workload_history=...)`` (or the
+    rebuild-recipe equivalent), or ``None`` when the snapshot predates the
+    adaptive lifecycle or simply recorded no traffic.  This is what lets
+    :meth:`repro.engine.SpatialEngine.open` resume the observe → advise →
+    adapt loop exactly where the saving process left off.
+    """
+    manifest, arrays = read_container(path)
+    _check_version(path, manifest)
+    kind = manifest.get("kind")
     if kind == KIND_ZINDEX:
-        return _load_zindex(path, manifest, arrays)
-    if kind == KIND_REBUILD:
-        return _load_rebuild(path, manifest, arrays)
-    raise SnapshotFormatError(
-        f"{path} stores unknown snapshot kind {kind!r}; expected "
-        f"{KIND_ZINDEX!r} or {KIND_REBUILD!r}"
+        index = _load_zindex(path, manifest, arrays)
+    elif kind == KIND_REBUILD:
+        index = _load_rebuild(path, manifest, arrays)
+    elif kind == KIND_WORKLOAD:
+        raise SnapshotFormatError(
+            f"{path} stores a standalone workload, not an index; load it with "
+            f"load_workload"
+        )
+    else:
+        raise SnapshotFormatError(
+            f"{path} stores unknown snapshot kind {kind!r}; expected "
+            f"{KIND_ZINDEX!r} or {KIND_REBUILD!r}"
+        )
+    history = None
+    if "workload_history" in manifest:
+        history = _workload_from_members(
+            path, manifest.get("workload_history"), arrays, prefix=_HISTORY_PREFIX
+        )
+    return index, history
+
+
+def load_workload_history(path: PathLike):
+    """Only the embedded observed-workload history of an index snapshot.
+
+    Returns ``None`` when the snapshot carries no history.  Unlike
+    :func:`load_snapshot_with_history` this never rebuilds the index (a
+    rebuild-recipe snapshot would replay its construction), so it is the
+    cheap probe for callers that already hold the index.
+    """
+    manifest, arrays = read_container(path)
+    _check_version(path, manifest)
+    if "workload_history" not in manifest:
+        return None
+    return _workload_from_members(
+        path, manifest.get("workload_history"), arrays, prefix=_HISTORY_PREFIX
     )
 
 
@@ -307,8 +460,16 @@ def _load_zindex(path: PathLike, manifest: Dict, arrays: Dict[str, np.ndarray]):
 
 
 def _load_rebuild(path: PathLike, manifest: Dict, arrays: Dict[str, np.ndarray]):
-    # Imported lazily: repro.api itself imports this package.
-    from repro.api import build_index
+    # Imported lazily: repro.api itself imports this package.  The replay
+    # resolves build_index through repro.api's namespace so that tests
+    # monkeypatching the shim still intercept it — but when the shim is
+    # unpatched, the canonical engine implementation is called instead: a
+    # snapshot load is not a legacy call site and must not warn.
+    import repro.api as _api
+
+    build_index = _api.build_index
+    if build_index is getattr(_api, "_BUILD_INDEX_SHIM", None):
+        from repro.engine import build_index
 
     build = manifest.get("build")
     if not isinstance(build, dict) or "name" not in build:

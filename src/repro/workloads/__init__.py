@@ -14,9 +14,16 @@ same qualitative structure:
   centers concentrated on a popularity-reweighted subset of the clusters,
 * :mod:`repro.workloads.queries` — range-query workloads at a target
   selectivity, point-query workloads, uniform insert streams, and the
-  workload-drift blending used by the workload-change experiment.
+  workload-drift blending used by the workload-change experiment,
+* :mod:`repro.workloads.workload` — the first-class frozen columnar
+  :class:`Workload` object every generator returns and the adaptive
+  engine lifecycle (observe → advise → adapt) consumes,
+* :mod:`repro.workloads.drift` — piecewise-stationary drifting-workload
+  scenarios (hotspot shift, zoom-in, kNN-heavy phases) for the
+  adaptation benchmark, tests and examples.
 
-Every generator takes an explicit seed, so all experiments are reproducible.
+Every generator takes an explicit seed (and accepts an ``rng`` override),
+so all experiments are reproducible.
 """
 
 from repro.workloads.datasets import (
@@ -27,9 +34,9 @@ from repro.workloads.datasets import (
     region_spec,
 )
 from repro.workloads.checkins import generate_checkin_centers
+from repro.workloads.workload import KnnView, RadiusView, RangeView, Workload
 from repro.workloads.queries import (
     ProbeWorkload,
-    Workload,
     blend_workloads,
     generate_insert_points,
     generate_knn_workload,
@@ -39,8 +46,23 @@ from repro.workloads.queries import (
     range_queries_from_centers,
     uniform_range_workload,
 )
+from repro.workloads.drift import (
+    SCENARIO_KINDS,
+    DriftPhase,
+    drift_scenario,
+    hotspot_workload,
+    uniform_centers_workload,
+)
 
 __all__ = [
+    "KnnView",
+    "RadiusView",
+    "RangeView",
+    "SCENARIO_KINDS",
+    "DriftPhase",
+    "drift_scenario",
+    "hotspot_workload",
+    "uniform_centers_workload",
     "REGION_NAMES",
     "RegionSpec",
     "region_spec",

@@ -20,30 +20,18 @@ import numpy as np
 from repro.geometry import Point, Rect
 from repro.workloads.checkins import generate_checkin_centers
 from repro.workloads.datasets import dataset_extent, generate_dataset
+from repro.workloads.workload import Workload
 
 #: The selectivities (percent of data-space area) used throughout Section 6.
 PAPER_SELECTIVITIES = (0.0016, 0.0064, 0.0256, 0.1024)
 
-
-@dataclass
-class Workload:
-    """A range-query workload plus the metadata describing how it was made."""
-
-    queries: List[Rect]
-    region: str = ""
-    selectivity_percent: float = 0.0
-    seed: int = 0
-    description: str = ""
-    extra: dict = field(default_factory=dict)
-
-    def __len__(self) -> int:
-        return len(self.queries)
-
-    def __iter__(self):
-        return iter(self.queries)
-
-    def __getitem__(self, index: int) -> Rect:
-        return self.queries[index]
+#: Every generator threads an explicit ``seed`` (and accepts an ``rng``
+#: override); streams derived from one seed are decorrelated with these
+#: fixed offsets rather than ad-hoc constants scattered per call site.
+_RANGE_RNG_OFFSET = 1
+_POINT_HIT_RNG_OFFSET = 7
+_POINT_MISS_SEED_OFFSET = 13
+_DATA_PROBE_SEED_OFFSET = 23
 
 
 def _clamp_interval(low: float, high: float, bound_low: float, bound_high: float):
@@ -65,6 +53,7 @@ def range_queries_from_centers(
     selectivity_percent: float,
     aspect_jitter: float = 0.0,
     rng: Optional[np.random.Generator] = None,
+    seed: int = 0,
 ) -> List[Rect]:
     """Grow a query rectangle around each center to a target data-space coverage.
 
@@ -73,13 +62,15 @@ def range_queries_from_centers(
     shifted inwards so every query lies inside the data space and keeps its
     full area.  With ``aspect_jitter > 0``, query aspect ratios vary
     log-uniformly in ``[1/(1+jitter), 1+jitter]`` instead of being square.
+    Randomness comes from ``rng`` when given, else from ``seed`` (the old
+    behaviour of silently seeding with 0 is now an explicit default).
     """
     if selectivity_percent <= 0:
         raise ValueError(f"selectivity_percent must be positive, got {selectivity_percent}")
     if aspect_jitter < 0:
         raise ValueError(f"aspect_jitter must be non-negative, got {aspect_jitter}")
     area = extent.area * selectivity_percent / 100.0
-    rng = rng if rng is not None else np.random.default_rng(0)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     queries: List[Rect] = []
     for center in centers:
         if aspect_jitter > 0:
@@ -104,11 +95,16 @@ def generate_range_workload(
     selectivity_percent: float,
     seed: int = 0,
     aspect_jitter: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
 ) -> Workload:
-    """The paper's semi-synthetic workload: check-in centers + fixed selectivity."""
+    """The paper's semi-synthetic workload: check-in centers + fixed selectivity.
+
+    Returns a first-class :class:`~repro.workloads.Workload`; all
+    randomness is threaded from ``seed`` (or an explicit ``rng``).
+    """
     extent = dataset_extent(region)
     centers = generate_checkin_centers(region, num_queries, seed=seed)
-    rng = np.random.default_rng(seed + 1)
+    rng = rng if rng is not None else np.random.default_rng(seed + _RANGE_RNG_OFFSET)
     queries = range_queries_from_centers(
         centers, extent, selectivity_percent, aspect_jitter=aspect_jitter, rng=rng
     )
@@ -126,10 +122,11 @@ def uniform_range_workload(
     num_queries: int,
     selectivity_percent: float,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> Workload:
     """Range queries with centers uniform over the data space (Figure 12, left)."""
     extent = dataset_extent(region)
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     centers = [
         Point(float(x), float(y))
         for x, y in zip(
@@ -153,23 +150,26 @@ def generate_point_queries(
     num_points: int,
     seed: int = 0,
     hit_fraction: float = 1.0,
+    rng: Optional[np.random.Generator] = None,
 ) -> List[Point]:
     """Point queries sampled from the data distribution (Section 6.4).
 
     ``hit_fraction`` controls how many of the queries are existing data
     points (the rest are fresh samples from the same distribution and will
-    usually miss), letting tests exercise both outcomes.
+    usually miss), letting tests exercise both outcomes.  Returns a plain
+    point list (the shape :class:`~repro.query.PointQuery` plans and the
+    measurement harness consume).
     """
     if not 0.0 <= hit_fraction <= 1.0:
         raise ValueError(f"hit_fraction must be in [0, 1], got {hit_fraction}")
     data = generate_dataset(region, num_points, seed=seed)
-    rng = np.random.default_rng(seed + 7)
+    rng = rng if rng is not None else np.random.default_rng(seed + _POINT_HIT_RNG_OFFSET)
     num_hits = int(round(hit_fraction * num_queries))
     hits: List[Point] = []
     if data and num_hits > 0:
         indices = rng.integers(0, len(data), size=num_hits)
         hits = [data[i] for i in indices]
-    misses = generate_dataset(region, num_queries - num_hits, seed=seed + 13)
+    misses = generate_dataset(region, num_queries - num_hits, seed=seed + _POINT_MISS_SEED_OFFSET)
     return hits + misses
 
 
@@ -178,7 +178,10 @@ class ProbeWorkload:
     """A kNN / join probe workload plus the metadata describing it.
 
     ``probes`` are the query centers (kNN) or the outer relation (joins);
-    ``k`` is the neighbour count for kNN scenarios (0 when unused).
+    ``k`` is the neighbour count for kNN scenarios (0 when unused).  This
+    is the thin list-of-points adapter kept for the pre-columnar call
+    sites; :meth:`as_workload` lifts it into the first-class
+    :class:`~repro.workloads.Workload` the adaptive engine consumes.
     """
 
     probes: List[Point]
@@ -197,6 +200,26 @@ class ProbeWorkload:
 
     def __getitem__(self, index: int) -> Point:
         return self.probes[index]
+
+    def as_workload(self, radius: Optional[float] = None) -> Workload:
+        """Lift into a columnar :class:`~repro.workloads.Workload`.
+
+        With ``radius`` the probes become radius queries; otherwise they
+        become kNN probes using this workload's ``k`` (which must then be
+        positive).
+        """
+        meta = dict(
+            region=self.region, seed=self.seed,
+            description=self.description, extra=self.extra,
+        )
+        if radius is not None:
+            return Workload(radius_probes=self.probes, radius_radii=radius, **meta)
+        if self.k <= 0:
+            raise ValueError(
+                "ProbeWorkload.as_workload needs k > 0 for kNN probes "
+                "(or pass radius=... for radius probes)"
+            )
+        return Workload(knn_probes=self.probes, knn_k=self.k, **meta)
 
 
 def generate_probe_points(
@@ -220,7 +243,7 @@ def generate_probe_points(
     if source == "checkins":
         return generate_checkin_centers(region, num_probes, seed=seed)
     if source == "data":
-        return generate_dataset(region, num_probes, seed=seed + 23)
+        return generate_dataset(region, num_probes, seed=seed + _DATA_PROBE_SEED_OFFSET)
     if source == "uniform":
         extent = dataset_extent(region)
         rng = np.random.default_rng(seed)
@@ -253,10 +276,15 @@ def generate_knn_workload(
     )
 
 
-def generate_insert_points(region: str, num_inserts: int, seed: int = 0) -> List[Point]:
+def generate_insert_points(
+    region: str,
+    num_inserts: int,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> List[Point]:
     """Insert stream: points uniform over the region's data space (Section 6.7)."""
     extent = dataset_extent(region)
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     xs = rng.uniform(extent.xmin, extent.xmax, size=num_inserts)
     ys = rng.uniform(extent.ymin, extent.ymax, size=num_inserts)
     return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
@@ -267,6 +295,7 @@ def blend_workloads(
     replacement: Workload,
     change_fraction: float,
     seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
 ) -> Workload:
     """Replace a fraction of the original workload's queries (Section 6.8).
 
@@ -276,7 +305,7 @@ def blend_workloads(
     """
     if not 0.0 <= change_fraction <= 1.0:
         raise ValueError(f"change_fraction must be in [0, 1], got {change_fraction}")
-    rng = np.random.default_rng(seed)
+    rng = rng if rng is not None else np.random.default_rng(seed)
     num_queries = len(original.queries)
     num_changed = int(round(change_fraction * num_queries))
     queries = list(original.queries)

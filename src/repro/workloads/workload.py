@@ -1,0 +1,606 @@
+"""The first-class, frozen, columnar :class:`Workload` object.
+
+The paper's thesis is that an index laid out for an *observed query
+workload* beats workload-oblivious layouts — which makes the workload
+itself a first-class artefact of the system, not an ad-hoc list of
+rectangles.  This module promotes it to one:
+
+* **Columnar tables.**  A workload holds three contiguous NumPy tables —
+  range rectangles ``(n, 4)``, kNN probes ``(m, 2)`` with their ``k``
+  column, radius probes ``(p, 2)`` with their radius column — so scoring a
+  layout against a million observed queries stays array-speed.
+* **Frozen.**  The tables are read-only and attributes cannot be rebound
+  after construction; a workload can be shared between an engine, its
+  advisor and a persistence layer without defensive copies.
+* **Views and algebra.**  Per-kind views (:attr:`Workload.range_view`,
+  :attr:`Workload.knn_view`, :attr:`Workload.radius_view`), plus
+  :meth:`Workload.merge`, :meth:`Workload.sample`, :meth:`Workload.split`
+  and a content :meth:`Workload.fingerprint`.
+* **Persistence.**  :meth:`Workload.save` / :meth:`Workload.load`
+  round-trip byte-identically through the snapshot container of
+  :mod:`repro.persistence` as NPY members.
+
+Both the query generators of :mod:`repro.workloads.queries` and the
+engine's :class:`~repro.workload_log.WorkloadLog` produce this type, so the
+same object describes an *anticipated* workload at build time and an
+*observed* one at :meth:`~repro.engine.SpatialEngine.adapt` time.
+
+Backwards compatibility: the pre-redesign ``Workload`` was a dataclass
+wrapping a ``queries`` list of :class:`~repro.geometry.Rect`.  The
+sequence protocol (``len`` / iteration / indexing over the boxed range
+rectangles via the lazily cached :attr:`Workload.queries` view) is kept,
+so every call site that treated a workload as a list of rectangles keeps
+working unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.geometry import Point, Rect
+
+__all__ = ["Workload", "KnnView", "RadiusView", "RangeView"]
+
+
+def _readonly(array: np.ndarray) -> np.ndarray:
+    array = np.ascontiguousarray(array)
+    array.setflags(write=False)
+    return array
+
+
+def _as_rect_table(value) -> np.ndarray:
+    """Coerce rectangles (boxed or tabular) into a read-only ``(n, 4)`` table."""
+    if value is None:
+        return _readonly(np.empty((0, 4), dtype=np.float64))
+    if isinstance(value, np.ndarray):
+        table = np.array(value, dtype=np.float64, copy=True)
+        if table.size == 0:
+            table = table.reshape(0, 4)
+        if table.ndim != 2 or table.shape[1] != 4:
+            raise ValueError(f"range table must have shape (n, 4), got {table.shape}")
+        return _readonly(table)
+    rects = list(value)
+    table = np.empty((len(rects), 4), dtype=np.float64)
+    for i, rect in enumerate(rects):
+        table[i, 0] = rect.xmin
+        table[i, 1] = rect.ymin
+        table[i, 2] = rect.xmax
+        table[i, 3] = rect.ymax
+    return _readonly(table)
+
+
+def _as_probe_table(value, label: str) -> np.ndarray:
+    """Coerce probe centers (boxed or tabular) into a read-only ``(n, 2)`` table."""
+    if value is None:
+        return _readonly(np.empty((0, 2), dtype=np.float64))
+    if isinstance(value, np.ndarray):
+        table = np.array(value, dtype=np.float64, copy=True)
+        if table.size == 0:
+            table = table.reshape(0, 2)
+        if table.ndim != 2 or table.shape[1] != 2:
+            raise ValueError(f"{label} table must have shape (n, 2), got {table.shape}")
+        return _readonly(table)
+    probes = list(value)
+    table = np.empty((len(probes), 2), dtype=np.float64)
+    for i, probe in enumerate(probes):
+        if isinstance(probe, Point):
+            table[i, 0] = probe.x
+            table[i, 1] = probe.y
+        else:
+            table[i, 0], table[i, 1] = probe
+    return _readonly(table)
+
+
+def _as_column(value, length: int, dtype, label: str) -> np.ndarray:
+    """Broadcast a scalar (or validate a column) against ``length`` rows."""
+    if value is None:
+        if length != 0:
+            raise ValueError(f"{label} is required when probes are given")
+        return _readonly(np.empty((0,), dtype=dtype))
+    if np.isscalar(value):
+        return _readonly(np.full(length, value, dtype=dtype))
+    column = np.array(value, dtype=dtype, copy=True).reshape(-1)
+    if column.shape[0] != length:
+        raise ValueError(
+            f"{label} has {column.shape[0]} rows but there are {length} probes"
+        )
+    return _readonly(column)
+
+
+class RangeView:
+    """Read-only per-kind view over a workload's range-query table."""
+
+    __slots__ = ("_workload",)
+
+    def __init__(self, workload: "Workload") -> None:
+        self._workload = workload
+
+    @property
+    def table(self) -> np.ndarray:
+        """The ``(n, 4)`` ``[xmin, ymin, xmax, ymax]`` column table."""
+        return self._workload.ranges
+
+    def rects(self) -> List[Rect]:
+        """The boxed rectangles (cached on the owning workload)."""
+        return self._workload.queries
+
+    def __len__(self) -> int:
+        return int(self._workload.ranges.shape[0])
+
+    def __iter__(self) -> Iterator[Rect]:
+        return iter(self.rects())
+
+
+class KnnView:
+    """Read-only per-kind view over a workload's kNN-probe columns."""
+
+    __slots__ = ("_workload",)
+
+    def __init__(self, workload: "Workload") -> None:
+        self._workload = workload
+
+    @property
+    def probes(self) -> np.ndarray:
+        """The ``(m, 2)`` probe-center table."""
+        return self._workload.knn_probes
+
+    @property
+    def ks(self) -> np.ndarray:
+        """The ``(m,)`` int64 neighbour-count column."""
+        return self._workload.knn_k
+
+    def points(self) -> List[Point]:
+        table = self.probes
+        return [Point(float(x), float(y)) for x, y in table]
+
+    def __len__(self) -> int:
+        return int(self._workload.knn_probes.shape[0])
+
+
+class RadiusView:
+    """Read-only per-kind view over a workload's radius-probe columns."""
+
+    __slots__ = ("_workload",)
+
+    def __init__(self, workload: "Workload") -> None:
+        self._workload = workload
+
+    @property
+    def probes(self) -> np.ndarray:
+        """The ``(p, 2)`` probe-center table."""
+        return self._workload.radius_probes
+
+    @property
+    def radii(self) -> np.ndarray:
+        """The ``(p,)`` float64 radius column."""
+        return self._workload.radius_radii
+
+    def points(self) -> List[Point]:
+        table = self.probes
+        return [Point(float(x), float(y)) for x, y in table]
+
+    def __len__(self) -> int:
+        return int(self._workload.radius_probes.shape[0])
+
+
+class Workload:
+    """A frozen, columnar query workload plus the metadata describing it.
+
+    Construct from boxed rectangles (the legacy shape every generator and
+    test used)::
+
+        Workload(queries=[Rect(...), ...], region="newyork", seed=1)
+
+    or from columnar tables (what :class:`~repro.workload_log.WorkloadLog`
+    and the persistence layer produce)::
+
+        Workload(ranges=rect_table, knn_probes=centers, knn_k=10,
+                 radius_probes=centers2, radius_radii=0.05)
+
+    The sequence protocol (``len(w)``, ``iter(w)``, ``w[i]``) covers the
+    boxed *range* rectangles for backwards compatibility with the
+    list-of-rects era; ``len`` counts every recorded query of every kind.
+    """
+
+    def __init__(
+        self,
+        queries: Optional[Sequence[Rect]] = None,
+        region: str = "",
+        selectivity_percent: float = 0.0,
+        seed: int = 0,
+        description: str = "",
+        extra: Optional[dict] = None,
+        *,
+        ranges=None,
+        knn_probes=None,
+        knn_k=None,
+        radius_probes=None,
+        radius_radii=None,
+    ) -> None:
+        if queries is not None and ranges is not None:
+            raise ValueError("pass either boxed queries or a ranges table, not both")
+        table = _as_rect_table(ranges if ranges is not None else queries)
+        if not np.all(table[:, 0] <= table[:, 2]) or not np.all(table[:, 1] <= table[:, 3]):
+            raise ValueError("range table rows must satisfy xmin <= xmax and ymin <= ymax")
+        knn_table = _as_probe_table(knn_probes, "knn_probes")
+        k_column = _as_column(knn_k, knn_table.shape[0], np.int64, "knn_k")
+        if knn_table.shape[0] and (k_column <= 0).any():
+            raise ValueError("knn_k entries must be positive")
+        radius_table = _as_probe_table(radius_probes, "radius_probes")
+        r_column = _as_column(radius_radii, radius_table.shape[0], np.float64, "radius_radii")
+        if radius_table.shape[0] and ((r_column < 0).any() or not np.isfinite(r_column).all()):
+            raise ValueError("radius_radii entries must be finite and non-negative")
+        self._ranges = table
+        self._knn_probes = knn_table
+        self._knn_k = k_column
+        self._radius_probes = radius_table
+        self._radius_radii = r_column
+        self.region = str(region)
+        self.selectivity_percent = float(selectivity_percent)
+        self.seed = seed
+        self.description = str(description)
+        self.extra = dict(extra) if extra else {}
+        self._rects_cache: Optional[List[Rect]] = (
+            list(queries) if queries is not None else None
+        )
+        self._frozen = True
+
+    # ------------------------------------------------------------------
+    # frozenness
+    # ------------------------------------------------------------------
+    def __setattr__(self, name, value) -> None:
+        if getattr(self, "_frozen", False) and name != "_rects_cache":
+            raise AttributeError(
+                f"Workload is frozen; cannot assign {name!r} — build a new "
+                "workload with merge()/sample()/split() or the constructor"
+            )
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # columnar tables and per-kind views
+    # ------------------------------------------------------------------
+    @property
+    def ranges(self) -> np.ndarray:
+        """Read-only ``(n, 4)`` ``[xmin, ymin, xmax, ymax]`` table."""
+        return self._ranges
+
+    @property
+    def knn_probes(self) -> np.ndarray:
+        """Read-only ``(m, 2)`` kNN probe-center table."""
+        return self._knn_probes
+
+    @property
+    def knn_k(self) -> np.ndarray:
+        """Read-only ``(m,)`` int64 neighbour counts, aligned with probes."""
+        return self._knn_k
+
+    @property
+    def radius_probes(self) -> np.ndarray:
+        """Read-only ``(p, 2)`` radius probe-center table."""
+        return self._radius_probes
+
+    @property
+    def radius_radii(self) -> np.ndarray:
+        """Read-only ``(p,)`` float64 radii, aligned with probes."""
+        return self._radius_radii
+
+    @property
+    def range_view(self) -> RangeView:
+        return RangeView(self)
+
+    @property
+    def knn_view(self) -> KnnView:
+        return KnnView(self)
+
+    @property
+    def radius_view(self) -> RadiusView:
+        return RadiusView(self)
+
+    @property
+    def num_ranges(self) -> int:
+        return int(self._ranges.shape[0])
+
+    @property
+    def num_knn(self) -> int:
+        return int(self._knn_probes.shape[0])
+
+    @property
+    def num_radius(self) -> int:
+        return int(self._radius_probes.shape[0])
+
+    @property
+    def kinds(self) -> Tuple[str, ...]:
+        """The query kinds present, in canonical order."""
+        present = []
+        if self.num_ranges:
+            present.append("range")
+        if self.num_knn:
+            present.append("knn")
+        if self.num_radius:
+            present.append("radius")
+        return tuple(present)
+
+    # ------------------------------------------------------------------
+    # legacy list-of-rects protocol
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> List[Rect]:
+        """The boxed range rectangles (lazily boxed once, then cached)."""
+        cache = self._rects_cache
+        if cache is None:
+            table = self._ranges
+            cache = [
+                Rect(float(r[0]), float(r[1]), float(r[2]), float(r[3]))
+                for r in table
+            ]
+            self._rects_cache = cache
+        return cache
+
+    def __len__(self) -> int:
+        return self.num_ranges + self.num_knn + self.num_radius
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __iter__(self) -> Iterator[Rect]:
+        return iter(self.queries)
+
+    def __getitem__(self, index):
+        return self.queries[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Workload):
+            return NotImplemented
+        return (
+            np.array_equal(self._ranges, other._ranges)
+            and np.array_equal(self._knn_probes, other._knn_probes)
+            and np.array_equal(self._knn_k, other._knn_k)
+            and np.array_equal(self._radius_probes, other._radius_probes)
+            and np.array_equal(self._radius_radii, other._radius_radii)
+            and self.region == other.region
+            and self.selectivity_percent == other.selectivity_percent
+            and self.seed == other.seed
+            and self.description == other.description
+            and self.extra == other.extra
+        )
+
+    __hash__ = None  # mutable ancestors compared by content; keep unhashable
+
+    def __repr__(self) -> str:
+        parts = [f"{self.num_ranges} ranges"]
+        if self.num_knn:
+            parts.append(f"{self.num_knn} knn")
+        if self.num_radius:
+            parts.append(f"{self.num_radius} radius")
+        label = f" {self.description!r}" if self.description else ""
+        return f"Workload({', '.join(parts)}{label})"
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def merge(self, *others: "Workload") -> "Workload":
+        """Concatenate this workload with ``others`` (metadata from ``self``)."""
+        workloads = (self,) + tuple(others)
+        for w in workloads:
+            if not isinstance(w, Workload):
+                raise TypeError(f"merge expects Workload operands, got {type(w).__name__}")
+        return Workload(
+            region=self.region,
+            selectivity_percent=self.selectivity_percent,
+            seed=self.seed,
+            description=self.description,
+            extra=self.extra,
+            ranges=np.concatenate([w._ranges for w in workloads]),
+            knn_probes=np.concatenate([w._knn_probes for w in workloads]),
+            knn_k=np.concatenate([w._knn_k for w in workloads]),
+            radius_probes=np.concatenate([w._radius_probes for w in workloads]),
+            radius_radii=np.concatenate([w._radius_radii for w in workloads]),
+        )
+
+    def __add__(self, other: "Workload") -> "Workload":
+        if not isinstance(other, Workload):
+            return NotImplemented
+        return self.merge(other)
+
+    def _take(self, keep: np.ndarray) -> "Workload":
+        """A new workload holding the rows selected by a global boolean mask.
+
+        The global row space is ``[ranges | knn | radius]`` in that order.
+        """
+        n, m = self.num_ranges, self.num_knn
+        range_mask = keep[:n]
+        knn_mask = keep[n:n + m]
+        radius_mask = keep[n + m:]
+        return Workload(
+            region=self.region,
+            selectivity_percent=self.selectivity_percent,
+            seed=self.seed,
+            description=self.description,
+            extra=self.extra,
+            ranges=self._ranges[range_mask],
+            knn_probes=self._knn_probes[knn_mask],
+            knn_k=self._knn_k[knn_mask],
+            radius_probes=self._radius_probes[radius_mask],
+            radius_radii=self._radius_radii[radius_mask],
+        )
+
+    def sample(
+        self, num: int, seed: int = 0, rng: Optional[np.random.Generator] = None
+    ) -> "Workload":
+        """A uniform sample of ``num`` queries (without replacement).
+
+        Sampling is uniform over the *global* row space, so kinds are kept
+        in proportion to their share of the workload; original row order is
+        preserved within each kind.
+        """
+        total = len(self)
+        if not 0 <= num <= total:
+            raise ValueError(f"sample size must be in [0, {total}], got {num}")
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        keep = np.zeros(total, dtype=bool)
+        keep[rng.choice(total, size=num, replace=False)] = True
+        return self._take(keep)
+
+    def split(
+        self, fraction: float, seed: int = 0, rng: Optional[np.random.Generator] = None
+    ) -> Tuple["Workload", "Workload"]:
+        """Random partition into ``(first, second)`` with ``fraction`` in first."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        total = len(self)
+        num_first = int(round(fraction * total))
+        rng = rng if rng is not None else np.random.default_rng(seed)
+        keep = np.zeros(total, dtype=bool)
+        keep[rng.choice(total, size=num_first, replace=False)] = True
+        return self._take(keep), self._take(~keep)
+
+    def fingerprint(self) -> str:
+        """Order-sensitive content fingerprint across every kind's table.
+
+        Two workloads with the same tables in the same order (metadata
+        excluded) produce the same fingerprint; used by the engine to tell
+        whether the observed workload changed since the last ``adapt``.
+        """
+        from repro.persistence import workload_fingerprint
+
+        parts = [workload_fingerprint(self._ranges)]
+        knn4 = np.column_stack([
+            self._knn_probes.reshape(-1, 2),
+            self._knn_k.astype(np.float64),
+            np.zeros(self.num_knn, dtype=np.float64),
+        ])
+        parts.append(workload_fingerprint(knn4))
+        radius4 = np.column_stack([
+            self._radius_probes.reshape(-1, 2),
+            self._radius_radii,
+            np.zeros(self.num_radius, dtype=np.float64),
+        ])
+        parts.append(workload_fingerprint(radius4))
+        return "/".join(parts)
+
+    # ------------------------------------------------------------------
+    # layout derivation
+    # ------------------------------------------------------------------
+    def equivalent_ranges(
+        self,
+        total_points: Optional[int] = None,
+        extent: Optional[Rect] = None,
+    ) -> np.ndarray:
+        """Every query of every kind as an equivalent range-rectangle table.
+
+        The paper's Section 6.3 remark treats kNN and radius queries as
+        (sets of) range queries; this is the table a layout optimiser
+        consumes.  Radius probes become their bounding squares.  A kNN
+        probe's square uses the expected ``k``-neighbour radius under a
+        locally uniform density, ``sqrt(k * |extent| / (pi * N))`` — the
+        same first-order estimate the expanding-window kNN kernel starts
+        from; without ``total_points``/``extent`` the probe degrades to a
+        degenerate point rectangle (still a valid optimisation target:
+        it concentrates mass where the probes land).
+        """
+        tables = [np.asarray(self._ranges, dtype=np.float64)]
+        if self.num_knn:
+            xy = self._knn_probes
+            if total_points and extent is not None and extent.area > 0:
+                radii = np.sqrt(
+                    self._knn_k.astype(np.float64) * extent.area
+                    / (math.pi * float(total_points))
+                )
+            else:
+                radii = np.zeros(self.num_knn, dtype=np.float64)
+            tables.append(np.column_stack([
+                xy[:, 0] - radii, xy[:, 1] - radii,
+                xy[:, 0] + radii, xy[:, 1] + radii,
+            ]))
+        if self.num_radius:
+            xy = self._radius_probes
+            r = self._radius_radii
+            tables.append(np.column_stack([
+                xy[:, 0] - r, xy[:, 1] - r, xy[:, 0] + r, xy[:, 1] + r,
+            ]))
+        return np.concatenate(tables) if len(tables) > 1 else tables[0]
+
+    def equivalent_rects(
+        self,
+        total_points: Optional[int] = None,
+        extent: Optional[Rect] = None,
+    ) -> List[Rect]:
+        """Boxed form of :meth:`equivalent_ranges` (what index builders take)."""
+        table = self.equivalent_ranges(total_points, extent)
+        return [Rect(float(r[0]), float(r[1]), float(r[2]), float(r[3])) for r in table]
+
+    def to_plans(self) -> List:
+        """Typed query plans for replay through ``engine.execute_many``."""
+        from repro.query import KnnQuery, RadiusQuery, RangeQuery
+
+        plans: List = [RangeQuery(rect) for rect in self.queries]
+        plans.extend(
+            KnnQuery(Point(float(x), float(y)), int(k))
+            for (x, y), k in zip(self._knn_probes, self._knn_k)
+        )
+        plans.extend(
+            RadiusQuery(Point(float(x), float(y)), float(r))
+            for (x, y), r in zip(self._radius_probes, self._radius_radii)
+        )
+        return plans
+
+    # ------------------------------------------------------------------
+    # construction helpers / persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rects(cls, rects: Sequence[Rect], **metadata) -> "Workload":
+        """A pure range workload from boxed rectangles (thin adapter)."""
+        return cls(queries=list(rects), **metadata)
+
+    def metadata(self) -> dict:
+        """The JSON-friendly metadata block persisted alongside the tables."""
+        return {
+            "region": self.region,
+            "selectivity_percent": self.selectivity_percent,
+            "seed": self.seed,
+            "description": self.description,
+            "extra": dict(self.extra),
+        }
+
+    def tables(self) -> dict:
+        """The columnar tables keyed by their canonical member names."""
+        return {
+            "ranges": self._ranges,
+            "knn_probes": self._knn_probes,
+            "knn_k": self._knn_k,
+            "radius_probes": self._radius_probes,
+            "radius_radii": self._radius_radii,
+        }
+
+    @classmethod
+    def from_tables(cls, tables: dict, metadata: Optional[dict] = None) -> "Workload":
+        """Rebuild a workload from :meth:`tables` / :meth:`metadata` output."""
+        metadata = metadata or {}
+        return cls(
+            region=metadata.get("region", ""),
+            selectivity_percent=metadata.get("selectivity_percent", 0.0),
+            seed=metadata.get("seed", 0),
+            description=metadata.get("description", ""),
+            extra=metadata.get("extra") or {},
+            ranges=tables.get("ranges"),
+            knn_probes=tables.get("knn_probes"),
+            knn_k=tables.get("knn_k"),
+            radius_probes=tables.get("radius_probes"),
+            radius_radii=tables.get("radius_radii"),
+        )
+
+    def save(self, path) -> None:
+        """Persist to a snapshot container (see :func:`repro.persistence.save_workload`)."""
+        from repro.persistence import save_workload
+
+        save_workload(self, path)
+
+    @classmethod
+    def load(cls, path) -> "Workload":
+        """Restore a workload saved by :meth:`save`."""
+        from repro.persistence import load_workload
+
+        return load_workload(path)

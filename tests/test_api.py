@@ -123,3 +123,77 @@ class TestWorkloadHelpers:
         assert summary["queries"] == 10
         assert summary["mean_micros"] > 0
         assert summary["points_filtered_per_query"] >= summary["excess_points_per_query"]
+
+
+class TestDeprecationShims:
+    """The legacy free functions warn (once per call site) with a migration hint."""
+
+    def test_build_index_warns_once_per_call_site(self, uniform_points):
+        import warnings
+
+        import repro.api as api
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(3):  # one call site, three calls
+                api.build_index("base", uniform_points[:50])
+            deprecations = [
+                w for w in caught if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 1
+            message = str(deprecations[0].message)
+            assert "deprecated" in message
+            assert "SpatialEngine" in message  # the migration hint
+            # a second, distinct call site warns again
+            api.build_index("base", uniform_points[:50])
+            deprecations = [
+                w for w in caught if issubclass(w.category, DeprecationWarning)
+            ]
+            assert len(deprecations) == 2
+
+    def test_build_or_load_index_warns_once_per_call_site(self, uniform_points,
+                                                          tmp_path):
+        import warnings
+
+        import repro.api as api
+
+        path = tmp_path / "shim.snapshot"
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(2):  # one call site: load path after first call
+                api.build_or_load_index(
+                    "base", uniform_points[:50], snapshot_path=path
+                )
+            deprecations = [
+                w for w in caught if issubclass(w.category, DeprecationWarning)
+            ]
+            # exactly one warning: the shim's own (the internal build_index
+            # delegation must not add a second one)
+            assert len(deprecations) == 1
+            assert "SpatialEngine.open" in str(deprecations[0].message)
+
+    def test_canonical_engine_functions_do_not_warn(self, uniform_points,
+                                                    tmp_path):
+        import warnings
+
+        from repro.engine import build_index, build_or_load_index
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_index("base", uniform_points[:50])
+            build_or_load_index(
+                "base", uniform_points[:50],
+                snapshot_path=tmp_path / "canonical.snapshot",
+            )
+
+    def test_loading_a_rebuild_snapshot_does_not_warn(self, uniform_points,
+                                                      tmp_path):
+        import warnings
+
+        from repro.persistence import load_snapshot, save_rebuild_snapshot
+
+        path = tmp_path / "recipe.snapshot"
+        save_rebuild_snapshot("str", uniform_points[:50], path)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            load_snapshot(path)

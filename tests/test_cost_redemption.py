@@ -1,0 +1,84 @@
+"""Tests for the Table 4 cost-redemption arithmetic.
+
+The break-even formula is checked against a brute-force simulation of
+cumulative (build + query) cost curves: the formula's break-even count
+must be the query count at which the two curves actually cross.
+"""
+
+import pytest
+
+from repro.evaluation.cost_redemption import CostRedemption, cost_redemption
+
+
+def brute_force_break_even(index_build, index_query, base_build, base_query,
+                           horizon=2_000_000):
+    """First query count where the index's cumulative cost undercuts Base."""
+    for n in range(horizon):
+        if index_build + n * index_query <= base_build + n * base_query:
+            return n
+    return None
+
+
+class TestFourRegimes:
+    def test_slower_build_faster_queries(self):
+        result = cost_redemption("wazi", 10.0, 0.001, 2.0, 0.003)
+        assert result.sign == "+"
+        assert result.queries_to_break_even == pytest.approx((10.0 - 2.0) / 0.002)
+
+    def test_faster_build_slower_queries(self):
+        result = cost_redemption("str", 1.0, 0.004, 3.0, 0.001)
+        assert result.sign == "-"
+        assert result.queries_to_break_even == pytest.approx(2.0 / 0.003)
+
+    def test_dominates_outright(self):
+        result = cost_redemption("flood", 1.0, 0.001, 2.0, 0.002)
+        assert result.sign == "+"
+        assert result.queries_to_break_even is None
+
+    def test_dominated_outright(self):
+        result = cost_redemption("slow", 5.0, 0.004, 2.0, 0.002)
+        assert result.sign == "-"
+        assert result.queries_to_break_even is None
+
+    def test_equal_costs_count_as_never_worse(self):
+        result = cost_redemption("same", 2.0, 0.002, 2.0, 0.002)
+        assert result.sign == "+"
+        assert result.queries_to_break_even is None
+
+
+class TestAgainstBruteForceSimulation:
+    @pytest.mark.parametrize("index_build,index_query,base_build,base_query", [
+        (10.0, 0.001, 2.0, 0.003),
+        (50.0, 0.0005, 1.0, 0.002),
+        (7.5, 0.01, 7.0, 0.011),
+    ])
+    def test_break_even_matches_cumulative_crossover(
+        self, index_build, index_query, base_build, base_query
+    ):
+        result = cost_redemption(
+            "x", index_build, index_query, base_build, base_query
+        )
+        assert result.sign == "+"
+        crossover = brute_force_break_even(
+            index_build, index_query, base_build, base_query
+        )
+        # the formula gives the exact (fractional) crossover; the simulated
+        # integer crossover is its ceiling (±1 for float rounding at the
+        # exact crossing point)
+        assert abs(result.queries_to_break_even - crossover) <= 1.0
+
+    def test_negative_regime_crossover(self):
+        # cheaper to build, slower per query: better only *before* the count
+        result = cost_redemption("x", 1.0, 0.004, 3.0, 0.001)
+        n = result.queries_to_break_even
+        cheaper_before = 1.0 + (n - 1) * 0.004 < 3.0 + (n - 1) * 0.001
+        cheaper_after = 1.0 + (n + 1) * 0.004 < 3.0 + (n + 1) * 0.001
+        assert cheaper_before and not cheaper_after
+
+
+class TestRendering:
+    def test_render_formats(self):
+        assert CostRedemption("a", "+", None).render() == "(+)"
+        assert CostRedemption("a", "-", 512.0).render() == "(-) 512"
+        assert CostRedemption("a", "+", 4_000.0).render() == "(+) 4k"
+        assert CostRedemption("a", "+", 2_500_000.0).render() == "(+) 2.5M"

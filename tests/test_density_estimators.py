@@ -208,3 +208,88 @@ class TestWeightedPointSet:
         weighted = WeightedPointSet([], [Rect(0, 0, 1, 1)])
         assert weighted.total_weight == 0.0
         assert weighted.top_weighted(3) == []
+
+
+class TestEstimatorsAgainstBruteForce:
+    """Every estimator's ``estimate()`` vs exact brute-force counts.
+
+    These are the numbers the advise stage (``engine.advise`` /
+    :func:`repro.analysis.tuning.advise_layout`) trusts to score a
+    re-derived layout, so each approximate estimator is held to an
+    explicit accuracy bound on a small clustered dataset.
+    """
+
+    @pytest.fixture(scope="class")
+    def clustered(self):
+        rng = np.random.default_rng(42)
+        cluster_a = rng.normal((0.25, 0.25), 0.05, size=(150, 2))
+        cluster_b = rng.normal((0.75, 0.7), 0.08, size=(150, 2))
+        background = rng.uniform(0.0, 1.0, size=(100, 2))
+        coords = np.clip(np.concatenate([cluster_a, cluster_b, background]), 0, 1)
+        return [Point(float(x), float(y)) for x, y in coords]
+
+    @pytest.fixture(scope="class")
+    def probe_queries(self):
+        rng = np.random.default_rng(7)
+        queries = []
+        for _ in range(25):
+            x1, x2 = sorted(rng.uniform(0.0, 1.0, size=2))
+            y1, y2 = sorted(rng.uniform(0.0, 1.0, size=2))
+            queries.append(Rect(float(x1), float(y1), float(x2), float(y2)))
+        return queries
+
+    @staticmethod
+    def brute_force(points, query):
+        return sum(1 for p in points if query.contains_xy(p.x, p.y))
+
+    def test_exact_density_is_exact(self, clustered, probe_queries):
+        estimator = ExactDensity(clustered)
+        for query in probe_queries:
+            assert estimator.estimate(query) == self.brute_force(clustered, query)
+
+    def test_kdtree_density_with_exact_leaves_is_exact(self, clustered,
+                                                       probe_queries):
+        tree = KDTreeDensity(clustered, leaf_size=16,
+                             rng=np.random.default_rng(0), exact_leaves=True)
+        for query in probe_queries:
+            assert tree.estimate(query) == self.brute_force(clustered, query)
+
+    def test_kdtree_density_interpolated_bounded_error(self, clustered,
+                                                       probe_queries):
+        tree = KDTreeDensity(clustered, leaf_size=16,
+                             rng=np.random.default_rng(0), exact_leaves=False)
+        n = len(clustered)
+        for query in probe_queries:
+            truth = self.brute_force(clustered, query)
+            # the area-interpolated arm is the documented cheaper/less
+            # accurate mode, hence the looser bound than the RFDE forest
+            assert abs(tree.estimate(query) - truth) <= max(10.0, 0.20 * n)
+
+    def test_rfde_bounded_error(self, clustered, probe_queries):
+        forest = RandomForestDensity(clustered, num_trees=4, leaf_size=16, seed=0)
+        n = len(clustered)
+        for query in probe_queries:
+            truth = self.brute_force(clustered, query)
+            assert abs(forest.estimate(query) - truth) <= max(10.0, 0.15 * n)
+
+    def test_grid_histogram_bounded_error(self, clustered, probe_queries):
+        histogram = GridHistogramDensity(clustered, bins_x=32, bins_y=32)
+        n = len(clustered)
+        for query in probe_queries:
+            truth = self.brute_force(clustered, query)
+            assert abs(histogram.estimate(query) - truth) <= max(10.0, 0.15 * n)
+
+    @pytest.mark.parametrize("factory", [
+        lambda pts: ExactDensity(pts),
+        lambda pts: KDTreeDensity(pts, leaf_size=16, rng=np.random.default_rng(1)),
+        lambda pts: RandomForestDensity(pts, num_trees=3, leaf_size=16, seed=1),
+        lambda pts: GridHistogramDensity(pts, bins_x=16, bins_y=16),
+    ])
+    def test_totals_and_selectivity_consistency(self, factory, clustered):
+        estimator = factory(clustered)
+        everything = Rect(-1.0, -1.0, 2.0, 2.0)
+        assert estimator.total == pytest.approx(len(clustered))
+        assert estimator.estimate(everything) == pytest.approx(len(clustered), rel=0.05)
+        assert estimator.selectivity(everything) == pytest.approx(1.0, rel=0.05)
+        nothing = Rect(5.0, 5.0, 6.0, 6.0)
+        assert estimator.estimate(nothing) == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,314 @@
+"""Tests for the first-class Workload object and the WorkloadLog observer."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.persistence import load_workload, save_workload
+from repro.workload_log import WorkloadLog
+from repro.workloads import (
+    ProbeWorkload,
+    Workload,
+    drift_scenario,
+    generate_knn_workload,
+    generate_range_workload,
+    hotspot_workload,
+    uniform_centers_workload,
+)
+from repro.workloads.drift import SCENARIO_KINDS
+
+
+@pytest.fixture()
+def mixed_workload():
+    return Workload(
+        queries=[Rect(0.0, 0.0, 0.5, 0.5), Rect(0.25, 0.25, 1.0, 1.0)],
+        region="unit",
+        seed=5,
+        description="mixed",
+        knn_probes=[Point(0.1, 0.2), Point(0.8, 0.9), Point(0.5, 0.5)],
+        knn_k=7,
+        radius_probes=[Point(0.3, 0.3)],
+        radius_radii=0.125,
+    )
+
+
+class TestWorkloadConstruction:
+    def test_legacy_positional_shape_still_works(self):
+        rects = [Rect(0, 0, 1, 1), Rect(1, 1, 2, 2)]
+        workload = Workload(rects, "newyork", 0.0256, 3, "legacy", {"a": 1})
+        assert workload.queries == rects
+        assert workload.region == "newyork"
+        assert workload.selectivity_percent == 0.0256
+        assert workload.seed == 3
+        assert workload.extra == {"a": 1}
+
+    def test_sequence_protocol_over_rects(self, mixed_workload):
+        assert mixed_workload[0] == Rect(0.0, 0.0, 0.5, 0.5)
+        assert list(iter(mixed_workload))[:2] == mixed_workload.queries
+
+    def test_len_counts_every_kind(self, mixed_workload):
+        assert len(mixed_workload) == 2 + 3 + 1
+        assert mixed_workload.num_ranges == 2
+        assert mixed_workload.num_knn == 3
+        assert mixed_workload.num_radius == 1
+        assert mixed_workload.kinds == ("range", "knn", "radius")
+
+    def test_columnar_tables(self, mixed_workload):
+        assert mixed_workload.ranges.shape == (2, 4)
+        assert mixed_workload.knn_probes.shape == (3, 2)
+        assert mixed_workload.knn_k.tolist() == [7, 7, 7]
+        assert mixed_workload.radius_probes.shape == (1, 2)
+        assert mixed_workload.radius_radii.tolist() == [0.125]
+
+    def test_tables_are_read_only(self, mixed_workload):
+        with pytest.raises(ValueError):
+            mixed_workload.ranges[0, 0] = 99.0
+        with pytest.raises(ValueError):
+            mixed_workload.knn_k[0] = 1
+
+    def test_frozen_attributes(self, mixed_workload):
+        with pytest.raises(AttributeError):
+            mixed_workload.region = "changed"
+        with pytest.raises(AttributeError):
+            mixed_workload.seed = 1
+
+    def test_views(self, mixed_workload):
+        assert len(mixed_workload.range_view) == 2
+        assert mixed_workload.range_view.rects() == mixed_workload.queries
+        assert len(mixed_workload.knn_view) == 3
+        assert mixed_workload.knn_view.points()[0] == Point(0.1, 0.2)
+        assert mixed_workload.knn_view.ks.tolist() == [7, 7, 7]
+        assert len(mixed_workload.radius_view) == 1
+        assert mixed_workload.radius_view.radii.tolist() == [0.125]
+
+    def test_invalid_construction_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(queries=[Rect(0, 0, 1, 1)], ranges=np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            Workload(ranges=np.array([[1.0, 0.0, 0.0, 1.0]]))  # xmin > xmax
+        with pytest.raises(ValueError):
+            Workload(knn_probes=[Point(0, 0)], knn_k=0)
+        with pytest.raises(ValueError):
+            Workload(knn_probes=[Point(0, 0)])  # k missing
+        with pytest.raises(ValueError):
+            Workload(radius_probes=[Point(0, 0)], radius_radii=-1.0)
+        with pytest.raises(ValueError):
+            Workload(knn_probes=[Point(0, 0), Point(1, 1)], knn_k=[1])
+
+    def test_equality_by_content(self, mixed_workload):
+        twin = Workload(
+            queries=list(mixed_workload.queries),
+            region="unit", seed=5, description="mixed",
+            knn_probes=mixed_workload.knn_probes, knn_k=mixed_workload.knn_k,
+            radius_probes=mixed_workload.radius_probes,
+            radius_radii=mixed_workload.radius_radii,
+        )
+        assert twin == mixed_workload
+        assert Workload() != mixed_workload
+
+    def test_generators_return_first_class_workload(self):
+        workload = generate_range_workload("newyork", 20, 0.0256, seed=1)
+        assert isinstance(workload, Workload)
+        assert workload.ranges.shape == (20, 4)
+        assert workload.num_knn == 0
+
+    def test_probe_workload_adapter(self):
+        probe = generate_knn_workload("newyork", 15, k=5, seed=2)
+        assert isinstance(probe, ProbeWorkload)
+        lifted = probe.as_workload()
+        assert isinstance(lifted, Workload)
+        assert lifted.num_knn == 15
+        assert lifted.knn_k.tolist() == [5] * 15
+        as_radius = probe.as_workload(radius=0.25)
+        assert as_radius.num_radius == 15
+        with pytest.raises(ValueError):
+            ProbeWorkload(probes=probe.probes, k=0).as_workload()
+
+
+class TestWorkloadAlgebra:
+    def test_merge_concatenates_every_kind(self, mixed_workload):
+        merged = mixed_workload.merge(mixed_workload)
+        assert merged.num_ranges == 4
+        assert merged.num_knn == 6
+        assert merged.num_radius == 2
+        assert np.array_equal(merged.ranges[:2], mixed_workload.ranges)
+        also = mixed_workload + mixed_workload
+        assert also == merged
+
+    def test_sample_preserves_rows(self, mixed_workload):
+        sampled = mixed_workload.sample(3, seed=1)
+        assert len(sampled) == 3
+        # every sampled row exists in the original tables
+        for row in sampled.ranges:
+            assert any(np.array_equal(row, r) for r in mixed_workload.ranges)
+        with pytest.raises(ValueError):
+            mixed_workload.sample(100)
+
+    def test_split_partitions(self, mixed_workload):
+        first, second = mixed_workload.split(0.5, seed=2)
+        assert len(first) + len(second) == len(mixed_workload)
+        assert len(first) == 3
+
+    def test_fingerprint_tracks_content(self, mixed_workload):
+        twin = Workload(
+            queries=list(mixed_workload.queries),
+            knn_probes=mixed_workload.knn_probes, knn_k=mixed_workload.knn_k,
+            radius_probes=mixed_workload.radius_probes,
+            radius_radii=mixed_workload.radius_radii,
+        )
+        assert twin.fingerprint() == mixed_workload.fingerprint()
+        assert Workload().fingerprint() != mixed_workload.fingerprint()
+        assert mixed_workload.sample(3, seed=0).fingerprint() != mixed_workload.fingerprint()
+
+    def test_equivalent_ranges_covers_probes(self, mixed_workload):
+        table = mixed_workload.equivalent_ranges(
+            total_points=1000, extent=Rect(0, 0, 1, 1)
+        )
+        assert table.shape == (6, 4)
+        # radius probe becomes its bounding square
+        square = table[-1]
+        assert square.tolist() == [0.3 - 0.125, 0.3 - 0.125, 0.3 + 0.125, 0.3 + 0.125]
+        # knn squares have positive area when density information is given
+        knn_rows = table[2:5]
+        assert (knn_rows[:, 2] > knn_rows[:, 0]).all()
+        # without density information knn probes degrade to points
+        degenerate = mixed_workload.equivalent_ranges()
+        assert (degenerate[2:5, 2] == degenerate[2:5, 0]).all()
+
+    def test_to_plans_round_trip(self, mixed_workload):
+        plans = mixed_workload.to_plans()
+        assert len(plans) == len(mixed_workload)
+
+
+class TestWorkloadPersistence:
+    def test_round_trip_byte_identical(self, mixed_workload, tmp_path):
+        path = tmp_path / "workload.snapshot"
+        save_workload(mixed_workload, path)
+        first_bytes = path.read_bytes()
+        restored = load_workload(path)
+        assert restored == mixed_workload
+        save_workload(restored, path)
+        assert path.read_bytes() == first_bytes
+
+    def test_save_load_methods(self, mixed_workload, tmp_path):
+        path = tmp_path / "workload.snapshot"
+        mixed_workload.save(path)
+        assert Workload.load(path) == mixed_workload
+
+    def test_load_snapshot_refuses_workload_container(self, mixed_workload, tmp_path):
+        from repro.persistence import SnapshotError, load_snapshot
+
+        path = tmp_path / "workload.snapshot"
+        mixed_workload.save(path)
+        with pytest.raises(SnapshotError):
+            load_snapshot(path)
+
+    def test_load_workload_refuses_index_container(self, tmp_path, uniform_points):
+        from repro.engine import SpatialEngine
+        from repro.persistence import SnapshotError
+
+        path = tmp_path / "index.snapshot"
+        SpatialEngine.build("base", uniform_points).save(path)
+        with pytest.raises(SnapshotError):
+            load_workload(path)
+
+
+class TestWorkloadLog:
+    def test_scalar_and_batch_range_appends(self):
+        log = WorkloadLog()
+        log.record_range(Rect(0, 0, 1, 1))
+        log.record_range(Rect(1, 1, 2, 2), count=9)
+        log.record_ranges([Rect(2, 2, 3, 3), Rect(3, 3, 4, 4)], counts=[1, 2])
+        assert log.num_ranges == 4
+        assert log.range_rects[0].tolist() == [0, 0, 1, 1]
+        assert log.range_counts.tolist() == [-1, 9, 1, 2]
+
+    def test_knn_and_radius_appends(self):
+        log = WorkloadLog()
+        log.record_knn(Point(0.5, 0.5), 10)
+        log.record_knns([Point(0, 0), Point(1, 1)], 3)
+        log.record_radius(Point(0.2, 0.2), 0.5)
+        log.record_radii([Point(0.4, 0.4)], 0.25)
+        assert log.num_knn == 3
+        assert log.num_radius == 2
+        assert len(log) == 5
+
+    def test_growth_beyond_initial_capacity(self):
+        log = WorkloadLog()
+        for i in range(1000):
+            log.record_range(Rect(i, i, i + 1, i + 1), count=i)
+        assert log.num_ranges == 1000
+        assert log.range_rects[-1].tolist() == [999, 999, 1000, 1000]
+        assert log.range_counts[-1] == 999
+
+    def test_snapshot_freezes_contents(self):
+        log = WorkloadLog()
+        log.record_ranges([Rect(0, 0, 1, 1)], counts=[5])
+        log.record_knn(Point(0.5, 0.5), 4)
+        snapshot = log.snapshot(region="unit")
+        assert isinstance(snapshot, Workload)
+        assert snapshot.num_ranges == 1
+        assert snapshot.num_knn == 1
+        assert snapshot.knn_k.tolist() == [4]
+        assert snapshot.region == "unit"
+        assert snapshot.extra["observed_range_counts_known"] == 1
+        assert snapshot.extra["observed_range_hits"] == 5
+        # later appends do not leak into the snapshot
+        log.record_range(Rect(9, 9, 10, 10))
+        assert snapshot.num_ranges == 1
+
+    def test_extend_and_from_workload(self):
+        log = WorkloadLog()
+        log.record_range(Rect(0, 0, 1, 1))
+        log.record_knn(Point(0.1, 0.1), 2)
+        log.record_radius(Point(0.2, 0.2), 0.3)
+        restored = WorkloadLog.from_workload(log.snapshot())
+        assert len(restored) == len(log)
+        assert restored.snapshot() == log.snapshot()
+
+    def test_clear(self):
+        log = WorkloadLog()
+        log.record_range(Rect(0, 0, 1, 1))
+        log.clear()
+        assert len(log) == 0
+        assert not log
+        assert log.nbytes() > 0  # buffers retained
+
+
+class TestDriftScenarios:
+    @pytest.mark.parametrize("kind", SCENARIO_KINDS)
+    def test_scenarios_generate_phases(self, kind):
+        phases = drift_scenario(kind, "newyork", num_queries=40, seed=1)
+        assert len(phases) >= 2
+        for phase in phases:
+            assert len(phase.workload) == 40
+            assert isinstance(phase.workload, Workload)
+
+    def test_scenarios_deterministic(self):
+        a = drift_scenario("hotspot_shift", "newyork", num_queries=30, seed=2)
+        b = drift_scenario("hotspot_shift", "newyork", num_queries=30, seed=2)
+        for pa, pb in zip(a, b):
+            assert pa.workload == pb.workload
+
+    def test_hotspot_concentrates_centers(self):
+        broad = uniform_centers_workload("newyork", 200, 0.0256, seed=1)
+        hot = hotspot_workload(
+            "newyork", 200, 0.0256, hotspot_center=(0.2, 0.2),
+            hotspot_fraction=0.1, seed=1,
+        )
+        def spread(workload):
+            centers = np.column_stack([
+                (workload.ranges[:, 0] + workload.ranges[:, 2]) / 2,
+                (workload.ranges[:, 1] + workload.ranges[:, 3]) / 2,
+            ])
+            return centers.std(axis=0).sum()
+        assert spread(hot) < spread(broad) / 3
+
+    def test_knn_heavy_phase_has_knn_probes(self):
+        phases = drift_scenario("knn_heavy", "newyork", num_queries=50, seed=1, k=5)
+        assert phases[-1].workload.num_knn > 0
+        assert phases[-1].workload.knn_k.tolist() == [5] * phases[-1].workload.num_knn
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            drift_scenario("sideways", "newyork")

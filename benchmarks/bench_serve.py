@@ -1,0 +1,264 @@
+"""Sharded-serving benchmark: throughput scaling + zero-copy memory accounting.
+
+Exercises the serving stack end to end — build the index offline, split it
+into Z-range shards (``repro.serving.build_shards``), open the shard
+directory with mmap'd columns, and serve a range-query batch — and checks
+three things:
+
+1. **Exactness** — the merged sharded results are byte-identical to the
+   unsharded engine's (contents *and* ordering), with in-process backends
+   and with real worker processes.  Per-worker query streams derived with
+   ``common.worker_seed`` replay identically sharded and unsharded.
+2. **Throughput scaling** — per-shard busy times (reported by every
+   backend reply) model the critical path of a W-worker deployment:
+   ``T_W = max over workers of (sum of its shards' busy seconds)`` under
+   the round-robin shard→worker assignment ``open_sharded`` uses.  The
+   modeled speedup ``T_1(unsharded) / T_8`` must reach ``--min-speedup``
+   (default 3.0; the full run serves a 1M-point dataset).  The model is
+   what a W-core machine would see; real wall-clock with forked workers is
+   also measured and reported, but not asserted — this container may have
+   a single core, where process parallelism cannot help wall time.
+3. **Memory** — workers open shards with ``mmap=True``: every column must
+   be served from the file mapping (``column_info``), and the per-worker
+   Rss/Pss readings show each extra worker costs page tables, not another
+   copy of the columns.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py           # full, 1M points
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick   # CI-sized canary
+
+Writes a report to ``results/bench_serve.txt`` and exits non-zero on a
+correctness failure or when the modeled 8-worker speedup falls below the
+threshold (full run only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.common import DEFAULT_SEED, worker_seed
+from repro.serving import build_shards, open_sharded
+from repro.workloads import generate_dataset, generate_range_workload
+from repro.zindex import ZIndex
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def _same_results(expect, got) -> bool:
+    if len(expect) != len(got):
+        return False
+    for e, g in zip(expect, got):
+        ex, ey = e.as_arrays()
+        gx, gy = g.as_arrays()
+        if not (np.array_equal(ex, gx) and np.array_equal(ey, gy)):
+            return False
+    return True
+
+
+def _model_critical_path(busy, workers: int) -> float:
+    """Wall time of a W-worker deployment: the busiest worker's busy sum.
+
+    Mirrors ``spawn_shard_backends``'s round-robin assignment
+    (shard ``i`` → worker ``i % W``); scatters pipeline, so a worker's
+    requests serialize while distinct workers overlap.
+    """
+    loads = [0.0] * workers
+    for shard_id, seconds in enumerate(busy):
+        loads[shard_id % workers] += seconds
+    return max(loads)
+
+
+def _fmt_bytes(value) -> str:
+    if value is None:
+        return "n/a"
+    return f"{value / 1e6:8.1f}MB"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: 50k points, scaling reported but not asserted")
+    parser.add_argument("--region", default="newyork")
+    parser.add_argument("--num-points", type=int, default=None)
+    parser.add_argument("--num-queries", type=int, default=None)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="Fail when the modeled 8-worker speedup over the "
+                             "unsharded engine drops below this (full run only)")
+    parser.add_argument("--report", default="results/bench_serve.txt")
+    args = parser.parse_args(argv)
+
+    num_points = args.num_points if args.num_points is not None else (
+        50_000 if args.quick else 1_000_000
+    )
+    num_queries = args.num_queries if args.num_queries is not None else (
+        60 if args.quick else 200
+    )
+    leaf_capacity = 256
+    selectivity = 0.0256
+
+    lines = []
+
+    def emit(text=""):
+        print(text, flush=True)
+        lines.append(text)
+
+    failures = []
+
+    emit(f"serving benchmark: {args.region} n={num_points} queries={num_queries} "
+         f"shards={args.shards} L={leaf_capacity} seed={args.seed}")
+
+    points = generate_dataset(args.region, num_points, seed=args.seed)
+    queries = generate_range_workload(
+        args.region, num_queries, selectivity_percent=selectivity, seed=args.seed
+    ).queries
+
+    started = time.perf_counter()
+    index = ZIndex(points, leaf_capacity=leaf_capacity, use_skipping=True)
+    emit(f"built unsharded index in {time.perf_counter() - started:.1f}s "
+         f"({len(index.leaflist)} leaves)")
+
+    # -- T1: the unsharded single-process reference -----------------------
+    index.range_count(index.extent())  # warm the flat cache + walk lists
+    index.batch_range_query(queries[:5])
+    started = time.perf_counter()
+    expect = index.batch_range_query(queries)
+    t1 = time.perf_counter() - started
+    total_hits = sum(r.count() for r in expect)
+    emit(f"unsharded batch: {t1 * 1e3:.1f}ms for {num_queries} queries "
+         f"({total_hits} rows)")
+
+    tmpdir = Path(tempfile.mkdtemp(prefix="bench_serve_"))
+    try:
+        started = time.perf_counter()
+        plan = build_shards(
+            index, tmpdir / "shards", num_shards=args.shards, workload=queries
+        )
+        emit(f"built {plan.num_shards} workload-balanced Z-range shards in "
+             f"{time.perf_counter() - started:.1f}s "
+             f"(rows per shard: {[s.num_points for s in plan.shards]})")
+
+        # -- exactness + the busy-time model (in-process backends) --------
+        with open_sharded(tmpdir / "shards", workers=0) as sharded:
+            info = sharded.column_info()
+            unmapped = [
+                entry for entry in info
+                if entry["store"] != "MmapColumnStore"
+                or not all(entry["mapped"].values())
+            ]
+            if unmapped:
+                failures.append(f"{len(unmapped)} shard(s) not fully mmap-served")
+            emit(f"shard columns: {info[0]['store']}, all mapped="
+                 f"{not unmapped} "
+                 f"({sum(e['column_bytes'] for e in info) / 1e6:.1f}MB total)")
+
+            # Warm every shard: fault the mmap pages in and materialise the
+            # per-shard scalar-walk caches before timing.
+            sharded.range_count(index.extent())
+            sharded.batch_range_query(queries[:5])
+            sharded.reset_busy()
+            started = time.perf_counter()
+            merged = sharded.batch_range_query(queries)
+            scatter_wall = time.perf_counter() - started
+            busy = list(sharded.shard_busy_seconds)
+
+            if not _same_results(expect, merged):
+                failures.append("merged sharded results differ from unsharded")
+            emit(f"merged results byte-identical: {_same_results(expect, merged)}")
+            emit(f"in-process scatter wall: {scatter_wall * 1e3:.1f}ms, "
+                 f"busy sum {sum(busy) * 1e3:.1f}ms, "
+                 f"max shard {max(busy) * 1e3:.1f}ms")
+
+            emit("")
+            emit("modeled scaling (critical path of round-robin workers):")
+            emit(f"  {'workers':>8} {'T_model_ms':>11} {'speedup_vs_T1':>14}")
+            model_speedups = {}
+            for workers in WORKER_COUNTS:
+                if workers > plan.num_shards:
+                    continue
+                t_model = _model_critical_path(busy, workers)
+                model_speedups[workers] = t1 / t_model if t_model > 0 else float("inf")
+                emit(f"  {workers:>8} {t_model * 1e3:>11.1f} "
+                     f"{model_speedups[workers]:>13.2f}x")
+
+        # -- real worker processes: exactness + wall + memory -------------
+        emit("")
+        emit("worker processes (wall clock is core-bound; reported, not asserted):")
+        for workers in (1, min(8, plan.num_shards)):
+            with open_sharded(tmpdir / "shards", workers=workers) as sharded:
+                sharded.batch_range_query(queries[:5])
+                started = time.perf_counter()
+                merged = sharded.batch_range_query(queries)
+                wall = time.perf_counter() - started
+                if not _same_results(expect, merged):
+                    failures.append(
+                        f"worker-backed results differ from unsharded (W={workers})"
+                    )
+                readings = sharded.worker_rss()
+                hosts = {}
+                for backend, reading in zip(sharded._backends, readings):
+                    hosts[backend.host.pid] = reading
+                emit(f"  W={workers}: wall {wall * 1e3:.1f}ms, byte-identical="
+                     f"{_same_results(expect, merged)}")
+                for pid, reading in sorted(hosts.items()):
+                    emit(f"    pid {pid}: rss {_fmt_bytes(reading['rss_bytes'])}  "
+                         f"pss {_fmt_bytes(reading['pss_bytes'])}  "
+                         f"private {_fmt_bytes(reading['private_bytes'])}")
+
+        # -- satellite: per-worker seeded streams replay identically ------
+        emit("")
+        replay_ok = True
+        with open_sharded(tmpdir / "shards", workers=0) as sharded:
+            for shard_id in range(plan.num_shards):
+                stream = generate_range_workload(
+                    args.region, 8, selectivity_percent=selectivity,
+                    seed=worker_seed(args.seed, shard_id),
+                ).queries
+                if not _same_results(
+                    index.batch_range_query(stream),
+                    sharded.batch_range_query(stream),
+                ):
+                    replay_ok = False
+                    failures.append(
+                        f"worker-seeded stream {shard_id} replayed differently"
+                    )
+        emit(f"per-worker seeded streams (worker_seed) replay identically: {replay_ok}")
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    status = 0
+    if failures:
+        emit("")
+        emit("FAILED:")
+        for failure in failures:
+            emit(f"  {failure}")
+        status = 1
+    elif not args.quick:
+        top = max(w for w in model_speedups)
+        if model_speedups[top] < args.min_speedup:
+            emit("")
+            emit(f"FAILED: modeled {top}-worker speedup "
+                 f"{model_speedups[top]:.2f}x below {args.min_speedup:.1f}x")
+            status = 1
+    if status == 0:
+        emit("")
+        emit("OK")
+
+    report = Path(args.report)
+    report.parent.mkdir(parents=True, exist_ok=True)
+    report.write_text("\n".join(lines) + "\n")
+    print(f"report written to {report}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,6 +55,26 @@ DEFAULT_NUM_POINT_QUERIES = int(400 * SCALE) or 1
 DEFAULT_LEAF_CAPACITY = 64
 DEFAULT_SEED = 17
 
+#: Seed-space stride separating per-worker/per-shard streams.  Large and
+#: prime so derived seeds never collide with each other or with the small
+#: hand-picked base seeds across any realistic worker count.
+_WORKER_SEED_STRIDE = 1_000_003
+
+
+def worker_seed(seed: int, shard_id: int) -> int:
+    """The deterministic seed for one worker/shard of a distributed run.
+
+    Serving benchmarks split work across shards and worker processes; each
+    slice derives its seed as ``worker_seed(base, shard_id)`` so a sharded
+    run and a single-process run replay *identical* workloads — the
+    single-process driver iterates the same shard ids and gets the same
+    streams, regardless of process count, start method or scheduling
+    order.
+    """
+    if shard_id < 0:
+        raise ValueError(f"shard_id must be non-negative, got {shard_id}")
+    return int(seed) + _WORKER_SEED_STRIDE * (int(shard_id) + 1)
+
 #: Mapping from the display names used in the tables to build_index() keys.
 INDEX_KEYS = {
     "Base": "base",

@@ -67,6 +67,7 @@ from repro.persistence import (
     save_workload,
 )
 from repro.joins import box_join, knn_join, knn_join_pairs, radius_join
+from repro.serving import ShardedIndex, build_shards, open_sharded
 from repro.baselines import (
     CURTree,
     FloodIndex,
@@ -162,4 +163,7 @@ __all__ = [
     "radius_join",
     "knn_join",
     "knn_join_pairs",
+    "ShardedIndex",
+    "build_shards",
+    "open_sharded",
 ]

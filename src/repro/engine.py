@@ -577,15 +577,27 @@ class SpatialEngine:
         )
 
     @classmethod
-    def load(cls, path: Union[str, Path], *, record: bool = False) -> "SpatialEngine":
+    def load(
+        cls,
+        path: Union[str, Path],
+        *,
+        record: bool = False,
+        mmap: bool = False,
+        validate: bool = True,
+    ) -> "SpatialEngine":
         """Restore an engine from a snapshot written by :meth:`save`.
 
         A workload history embedded in the snapshot is restored into the
         engine's log (recording resumes only with ``record=True``), and a
         Z-index snapshot yields an engine that can :meth:`adapt` — the
         recipe is reconstructed from what the snapshot records.
+
+        ``mmap=True`` maps the snapshot's columns zero-copy instead of
+        reading them (Z-index snapshots only; see ``docs/PERSISTENCE.md``),
+        and ``validate=False`` skips the O(n) bbox cross-check on open —
+        the serving-path combination.
         """
-        index, history = load_snapshot_with_history(path)
+        index, history = load_snapshot_with_history(path, mmap=mmap, validate=validate)
         log = WorkloadLog.from_workload(history) if history is not None else None
         return cls(
             index, record=record, _workload_log=log,

@@ -38,6 +38,10 @@ from repro.persistence.arrays import (
 )
 from repro.persistence.container import (
     CONTAINER_FORMAT,
+    MEMBER_ALIGNMENT,
+    array_member_offsets,
+    extract_array_members,
+    map_container,
     read_container,
     read_manifest,
     write_container,
@@ -84,14 +88,18 @@ __all__ = [
     "KIND_REBUILD",
     "KIND_WORKLOAD",
     "KIND_ZINDEX",
+    "MEMBER_ALIGNMENT",
     "PersistenceError",
     "PICKLE_FORMAT_VERSION",
     "SNAPSHOT_FORMAT_VERSION",
     "SnapshotError",
     "SnapshotFormatError",
     "SnapshotVersionError",
+    "array_member_offsets",
     "dataset_fingerprint",
+    "extract_array_members",
     "load_index",
+    "map_container",
     "load_points",
     "load_points_binary",
     "load_points_columns",

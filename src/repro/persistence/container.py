@@ -13,6 +13,23 @@ point of a binary snapshot format.  Member timestamps are pinned so that
 saving the same index twice produces byte-identical files (handy for
 content-addressed artifact stores and for tests).
 
+Zero-copy mapping
+-----------------
+Array members are additionally written at **64-byte-aligned data offsets**
+(via ZIP extra-field padding, the same trick ``zipalign`` uses for APKs):
+because members are stored rather than deflated, the NPY payload of each
+array sits verbatim in the file at a known offset, so :func:`map_container`
+can hand back ``numpy.memmap`` views straight into the snapshot file —
+no allocation, no copy, and the OS page cache is shared between every
+process that maps the same snapshot.  NumPy's own NPY writer pads headers
+to 64-byte multiples (``ARRAY_ALIGN``), so an aligned member start implies
+an aligned array-data start, satisfying any vectorised consumer.
+:func:`extract_array_members` unpacks the members as plain sidecar
+``.npy`` files for tools that want ``np.load(..., mmap_mode='r')``
+instead.  Containers written before alignment existed remain fully
+mappable — ``numpy.memmap`` accepts arbitrary offsets — just without the
+alignment guarantee.
+
 This module knows nothing about *what* is stored; it only enforces the
 container framing: the magic ``format`` marker, the manifest/array
 consistency, and readable NPY members.  Kind- and version-negotiation live
@@ -24,6 +41,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import struct
 import zipfile
 from pathlib import Path
 from typing import Dict, Mapping, Tuple, Union
@@ -43,6 +61,19 @@ _ARRAY_SUFFIX = ".npy"
 # Fixed ZIP member timestamp (ZIP's epoch): identical input produces
 # identical bytes regardless of when the snapshot is written.
 _FIXED_DATE_TIME = (1980, 1, 1, 0, 0, 0)
+
+#: Alignment (bytes) of every array member's data offset within the file.
+MEMBER_ALIGNMENT = 64
+
+# Private extra-field id carrying the alignment padding.  Ids with the high
+# byte >= 0x80 sit outside the registered ranges; 0xD935 mirrors the value
+# used by zipalign-style padding so unzip tools simply ignore it.
+_ALIGN_EXTRA_ID = 0xD935
+
+# Size of a ZIP local file header up to (not including) the variable-length
+# file name, per APPNDX 4.3.7.
+_LOCAL_HEADER_SIZE = 30
+_LOCAL_HEADER_MAGIC = b"PK\x03\x04"
 
 
 def write_container(
@@ -81,11 +112,39 @@ def write_container(
                 array = np.ascontiguousarray(arrays[name])
                 buffer = io.BytesIO()
                 np.lib.format.write_array(buffer, array, allow_pickle=False)
-                archive.writestr(_member_info(name + _ARRAY_SUFFIX), buffer.getvalue())
+                member = name + _ARRAY_SUFFIX
+                info = _member_info(member)
+                # Pad the local header's extra field so the member *data*
+                # (the NPY bytes) starts on a MEMBER_ALIGNMENT boundary —
+                # this is what lets map_container() return aligned memmaps.
+                # After a completed writestr the stream sits exactly where
+                # the next local header will go.
+                header_end = (
+                    archive.fp.tell()
+                    + _LOCAL_HEADER_SIZE
+                    + len(member.encode("utf-8"))
+                )
+                info.extra = _alignment_extra(header_end)
+                archive.writestr(info, buffer.getvalue())
         os.replace(scratch, target)
     except BaseException:
         scratch.unlink(missing_ok=True)
         raise
+
+
+def _alignment_extra(header_end: int) -> bytes:
+    """Extra-field bytes padding a member whose data would start at ``header_end``.
+
+    Returns ``b""`` when already aligned.  An extra field needs at least the
+    4-byte (id, size) prologue, so paddings of 1-3 bytes borrow a whole
+    extra alignment block.
+    """
+    pad = (-header_end) % MEMBER_ALIGNMENT
+    if pad == 0:
+        return b""
+    if pad < 4:
+        pad += MEMBER_ALIGNMENT
+    return struct.pack("<HH", _ALIGN_EXTRA_ID, pad - 4) + b"\x00" * (pad - 4)
 
 
 def _open_archive(target: Path) -> zipfile.ZipFile:
@@ -169,3 +228,154 @@ def _member_info(name: str) -> zipfile.ZipInfo:
     # Regular file, rw-r--r--: keeps extraction behaviour predictable.
     info.external_attr = 0o100644 << 16
     return info
+
+
+# ----------------------------------------------------------------------
+# zero-copy mapping
+# ----------------------------------------------------------------------
+def map_container(path: PathLike) -> Tuple[Dict, Dict[str, np.ndarray]]:
+    """Read ``(manifest, arrays)`` with every array memory-mapped read-only.
+
+    The returned arrays are ``numpy.memmap`` views directly into the
+    container file (zero-length arrays, which cannot be mapped, come back
+    as ordinary read-only arrays).  Nothing is copied: N processes mapping
+    the same snapshot share one set of physical pages through the OS page
+    cache, which is what makes per-worker incremental memory near zero in
+    sharded serving.
+
+    Each memmap owns its file handle, so no archive object needs to stay
+    open.  Raises :class:`SnapshotFormatError` on anything that cannot be
+    mapped safely — compressed members, undeclared arrays, malformed NPY
+    headers.
+    """
+    target = Path(path)
+    with _open_archive(target) as archive:
+        names = archive.namelist()
+        manifest = _read_manifest_member(target, archive)
+        declared = manifest.get("arrays")
+        if not isinstance(declared, dict):
+            raise SnapshotFormatError(f"{target} manifest lacks the arrays section")
+        offsets: Dict[str, int] = {}
+        for name in declared:
+            member = name + _ARRAY_SUFFIX
+            if member not in names:
+                raise SnapshotFormatError(
+                    f"{target} declares array {name!r} but has no {member} member"
+                )
+            info = archive.getinfo(member)
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise SnapshotFormatError(
+                    f"{target} member {member} is compressed and cannot be "
+                    f"memory-mapped; rewrite the snapshot with this library"
+                )
+            offsets[name] = _member_data_offset(target, archive, info)
+    arrays: Dict[str, np.ndarray] = {}
+    for name, offset in offsets.items():
+        try:
+            arrays[name] = _map_npy_member(target, offset)
+        except (ValueError, OSError) as exc:
+            raise SnapshotFormatError(
+                f"{target} array member {name + _ARRAY_SUFFIX} cannot be "
+                f"memory-mapped: {exc}"
+            ) from exc
+    return manifest, arrays
+
+
+def array_member_offsets(path: PathLike) -> Dict[str, int]:
+    """Absolute file offset of each array member's NPY payload.
+
+    Diagnostic companion to :func:`map_container` (tests assert the
+    alignment invariant through it; tools can use it to slice members out
+    of a container by hand).
+    """
+    target = Path(path)
+    with _open_archive(target) as archive:
+        manifest = _read_manifest_member(target, archive)
+        declared = manifest.get("arrays")
+        if not isinstance(declared, dict):
+            raise SnapshotFormatError(f"{target} manifest lacks the arrays section")
+        return {
+            name: _member_data_offset(target, archive, archive.getinfo(name + _ARRAY_SUFFIX))
+            for name in declared
+            if name + _ARRAY_SUFFIX in archive.namelist()
+        }
+
+
+def extract_array_members(path: PathLike, directory: PathLike) -> Dict[str, Path]:
+    """Unpack every array member as a plain sidecar ``.npy`` file.
+
+    Returns ``{array name: written path}``.  The sidecars are byte-for-byte
+    the NPY payloads of the container, so ``np.load(sidecar, mmap_mode='r')``
+    yields the same zero-copy views :func:`map_container` produces — the
+    escape hatch for tooling that wants standalone NPY files (or a
+    filesystem where mapping inside a ZIP is awkward).
+    """
+    target = Path(path)
+    destination = Path(directory)
+    destination.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, Path] = {}
+    with _open_archive(target) as archive:
+        manifest = _read_manifest_member(target, archive)
+        declared = manifest.get("arrays")
+        if not isinstance(declared, dict):
+            raise SnapshotFormatError(f"{target} manifest lacks the arrays section")
+        for name in declared:
+            member = name + _ARRAY_SUFFIX
+            if member not in archive.namelist():
+                raise SnapshotFormatError(
+                    f"{target} declares array {name!r} but has no {member} member"
+                )
+            sidecar = destination / member
+            with archive.open(member) as source, open(sidecar, "wb") as sink:
+                sink.write(source.read())
+            written[name] = sidecar
+    return written
+
+
+def _member_data_offset(target: Path, archive: zipfile.ZipFile, info: zipfile.ZipInfo) -> int:
+    """Absolute offset of a stored member's data, via its local header.
+
+    The central directory's ``header_offset`` points at the local header;
+    the data follows the header's *own* name and extra fields, which may
+    differ in length from the central directory's copies (our alignment
+    padding lives only in the local header).
+    """
+    handle = archive.fp
+    handle.seek(info.header_offset)
+    header = handle.read(_LOCAL_HEADER_SIZE)
+    if len(header) != _LOCAL_HEADER_SIZE or header[:4] != _LOCAL_HEADER_MAGIC:
+        raise SnapshotFormatError(
+            f"{target} member {info.filename} has a corrupt local header"
+        )
+    name_len, extra_len = struct.unpack("<HH", header[26:30])
+    return info.header_offset + _LOCAL_HEADER_SIZE + name_len + extra_len
+
+
+def _map_npy_member(path: Path, offset: int) -> np.ndarray:
+    """Map one NPY payload at ``offset`` in ``path`` as a read-only array."""
+    with open(path, "rb") as handle:
+        handle.seek(offset)
+        version = np.lib.format.read_magic(handle)
+        if version == (1, 0):
+            shape, fortran_order, dtype = np.lib.format.read_array_header_1_0(handle)
+        elif version == (2, 0):
+            shape, fortran_order, dtype = np.lib.format.read_array_header_2_0(handle)
+        else:
+            raise ValueError(f"unsupported NPY format version {version}")
+        data_offset = handle.tell()
+    if dtype.hasobject:
+        raise ValueError("object arrays cannot be memory-mapped")
+    if int(np.prod(shape)) == 0:
+        # mmap(2) refuses zero-length mappings; an empty array carries no
+        # shared state anyway, so a plain (read-only) array is equivalent.
+        empty = np.empty(shape, dtype=dtype)
+        empty.setflags(write=False)
+        return empty
+    return np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=data_offset,
+        shape=tuple(shape),
+        order="F" if fortran_order else "C",
+    )

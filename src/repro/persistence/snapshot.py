@@ -346,7 +346,7 @@ def _check_version(path: PathLike, manifest: Dict) -> None:
         )
 
 
-def load_snapshot(path: PathLike):
+def load_snapshot(path: PathLike, *, mmap: bool = False, validate: bool = True):
     """Restore an index from any snapshot written by this module.
 
     Dispatches on the manifest ``kind``: structural Z-index snapshots are
@@ -356,11 +356,23 @@ def load_snapshot(path: PathLike):
     (both :class:`SnapshotError`) instead of ever surfacing a codec
     internal error.  Any embedded workload history is ignored; use
     :func:`load_snapshot_with_history` to get it too.
+
+    ``mmap=True`` opens a structural Z-index snapshot **zero-copy**: the
+    flat columns stay in the file, mapped read-only, and the restored index
+    holds views into a shared :class:`~repro.storage.buffers.
+    MmapColumnStore` — every process mapping the same snapshot shares one
+    set of physical pages.  Rebuild-recipe snapshots cannot be mapped
+    (they replay construction) and raise :class:`SnapshotFormatError`.
+    ``validate=False`` skips the O(n) bounding-box cross-check on load
+    (trusted snapshots; serving workers use this so opening a shard does
+    not fault in every coordinate page up front).
     """
-    return load_snapshot_with_history(path)[0]
+    return load_snapshot_with_history(path, mmap=mmap, validate=validate)[0]
 
 
-def load_snapshot_with_history(path: PathLike):
+def load_snapshot_with_history(
+    path: PathLike, *, mmap: bool = False, validate: bool = True
+):
     """Restore ``(index, observed_workload_or_None)`` from one container.
 
     The second element is the :class:`~repro.workloads.Workload` history
@@ -368,13 +380,26 @@ def load_snapshot_with_history(path: PathLike):
     rebuild-recipe equivalent), or ``None`` when the snapshot predates the
     adaptive lifecycle or simply recorded no traffic.  This is what lets
     :meth:`repro.engine.SpatialEngine.open` resume the observe → advise →
-    adapt loop exactly where the saving process left off.
+    adapt loop exactly where the saving process left off.  ``mmap`` /
+    ``validate`` behave as in :func:`load_snapshot`.
     """
-    manifest, arrays = read_container(path)
+    store = None
+    if mmap:
+        from repro.storage.buffers import MmapColumnStore
+
+        store = MmapColumnStore.open(path)
+        manifest, arrays = store.manifest, dict(store.items())
+    else:
+        manifest, arrays = read_container(path)
     _check_version(path, manifest)
     kind = manifest.get("kind")
     if kind == KIND_ZINDEX:
-        index = _load_zindex(path, manifest, arrays)
+        index = _load_zindex(path, manifest, arrays, store=store, validate=validate)
+    elif mmap:
+        raise SnapshotFormatError(
+            f"{path} stores snapshot kind {kind!r}, which cannot be memory-"
+            f"mapped; only {KIND_ZINDEX!r} snapshots hold mappable columns"
+        )
     elif kind == KIND_REBUILD:
         index = _load_rebuild(path, manifest, arrays)
     elif kind == KIND_WORKLOAD:
@@ -412,7 +437,14 @@ def load_workload_history(path: PathLike):
     )
 
 
-def _load_zindex(path: PathLike, manifest: Dict, arrays: Dict[str, np.ndarray]):
+def _load_zindex(
+    path: PathLike,
+    manifest: Dict,
+    arrays: Dict[str, np.ndarray],
+    *,
+    store=None,
+    validate: bool = True,
+):
     info = manifest.get("index")
     if not isinstance(info, dict):
         raise SnapshotFormatError(f"{path} z-index snapshot lacks the index section")
@@ -452,7 +484,7 @@ def _load_zindex(path: PathLike, manifest: Dict, arrays: Dict[str, np.ndarray]):
             raise SnapshotFormatError(
                 f"{path} records malformed extent {info.get('extent')!r}"
             )
-        return ZIndex.from_snapshot_state(state)
+        return ZIndex.from_snapshot_state(state, store=store, validate=validate)
     except SnapshotFormatError:
         raise
     except (ValueError, TypeError, KeyError) as exc:

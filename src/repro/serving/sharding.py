@@ -1,0 +1,453 @@
+"""Z-range sharding: splitting one index snapshot into S serveable shards.
+
+A Z-index stores its points in curve order — the LeafList *is* a partition
+of the Morton keyspace into consecutive Z-ranges, and the flat coordinate
+columns are that order materialised.  A shard is therefore a **contiguous
+run of leaves**: shard ``i`` owns leaves ``[leaf_lo, leaf_hi)`` and hence
+flat rows ``[row_lo, row_hi)``, and the union of shards reconstructs the
+global flat order by simple concatenation.  That is the property the
+scatter/gather dispatcher relies on: merged shard results are byte-
+identical to the unsharded engine because no row ever changes position
+relative to another.
+
+Each shard is saved as a full snapshot that reuses the **global tree** with
+all out-of-span leaves emptied (their boxes fall back to the leaf cell, the
+convention for empty leaves everywhere else).  Building an independent
+tree per shard would be wrong: a different split hierarchy induces a
+different curve order, silently permuting results.  Keeping the global
+tree also keeps every leaf's cell — and therefore projection behaviour —
+identical across shards.  Look-ahead skip pointers are *rebuilt* per shard
+(an emptied leaf's effective box changed, and a stale pointer chain could
+jump a scan past live leaves), so each shard remains a fully valid,
+independently loadable snapshot.
+
+The shard directory holds one snapshot per shard plus a ``shards.json``
+routing manifest (:class:`ShardPlan`): per-shard leaf/row spans and data
+bounding boxes, which is everything the dispatcher needs to route queries
+without opening any shard.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.geometry import Rect
+from repro.storage.leaflist import END_OF_LIST
+from repro.zindex.base import ZIndex, ZIndexSnapshotState
+from repro.zindex.skipping import build_lookahead_pointers
+
+PathLike = Union[str, Path]
+
+#: Name of the routing manifest inside a shard directory.
+SHARDS_MANIFEST = "shards.json"
+
+#: Format marker / version of the routing manifest.
+SHARDS_FORMAT = "repro-shards"
+SHARDS_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard's routing record: spans plus the data bounding box."""
+
+    shard_id: int
+    path: str
+    leaf_lo: int
+    leaf_hi: int
+    row_lo: int
+    row_hi: int
+    bounds: Optional[Tuple[float, float, float, float]]
+
+    @property
+    def num_points(self) -> int:
+        return self.row_hi - self.row_lo
+
+    def overlaps_rect(self, rect: Rect) -> bool:
+        """Whether any of the shard's points can fall inside ``rect``."""
+        if self.bounds is None:
+            return False
+        xmin, ymin, xmax, ymax = self.bounds
+        return (
+            xmin <= rect.xmax and xmax >= rect.xmin
+            and ymin <= rect.ymax and ymax >= rect.ymin
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        if self.bounds is None:
+            return False
+        xmin, ymin, xmax, ymax = self.bounds
+        return xmin <= x <= xmax and ymin <= y <= ymax
+
+    def mindist_squared(self, x: float, y: float) -> float:
+        """Squared distance from a point to the shard's data bounding box.
+
+        Zero inside the box; ``inf`` for an empty shard (nothing to find).
+        Used by the kNN merge to visit shards nearest-first and prune those
+        that cannot improve the current k-th neighbour.
+        """
+        if self.bounds is None:
+            return float("inf")
+        xmin, ymin, xmax, ymax = self.bounds
+        dx = xmin - x if x < xmin else (x - xmax if x > xmax else 0.0)
+        dy = ymin - y if y < ymin else (y - ymax if y > ymax else 0.0)
+        return dx * dx + dy * dy
+
+
+@dataclass
+class ShardPlan:
+    """The routing manifest of a shard directory."""
+
+    directory: Path
+    num_points: int
+    num_leaves: int
+    index_name: str
+    use_skipping: bool
+    dataset_fingerprint: str
+    shards: List[ShardSpec]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_path(self, spec: ShardSpec) -> Path:
+        return self.directory / spec.path
+
+    # -- routing ----------------------------------------------------------
+    def route_rect(self, rect: Rect) -> List[ShardSpec]:
+        """Shards whose data bounding box overlaps a query rectangle."""
+        return [spec for spec in self.shards if spec.overlaps_rect(rect)]
+
+    def route_point(self, x: float, y: float) -> List[ShardSpec]:
+        """Shards whose data bounding box contains a point."""
+        return [spec for spec in self.shards if spec.contains_point(x, y)]
+
+    def extent(self) -> Optional[Rect]:
+        boxes = [spec.bounds for spec in self.shards if spec.bounds is not None]
+        if not boxes:
+            return None
+        return Rect(
+            min(b[0] for b in boxes), min(b[1] for b in boxes),
+            max(b[2] for b in boxes), max(b[3] for b in boxes),
+        )
+
+    # -- persistence ------------------------------------------------------
+    def to_manifest(self) -> Dict:
+        return {
+            "format": SHARDS_FORMAT,
+            "format_version": SHARDS_FORMAT_VERSION,
+            "num_points": self.num_points,
+            "num_leaves": self.num_leaves,
+            "index_name": self.index_name,
+            "use_skipping": self.use_skipping,
+            "dataset_fingerprint": self.dataset_fingerprint,
+            "shards": [
+                {
+                    "shard_id": spec.shard_id,
+                    "path": spec.path,
+                    "leaf_span": [spec.leaf_lo, spec.leaf_hi],
+                    "row_span": [spec.row_lo, spec.row_hi],
+                    "bounds": None if spec.bounds is None else list(spec.bounds),
+                }
+                for spec in self.shards
+            ],
+        }
+
+    def save(self) -> Path:
+        target = self.directory / SHARDS_MANIFEST
+        payload = json.dumps(self.to_manifest(), indent=2, sort_keys=True)
+        target.write_text(payload + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def load(cls, directory: PathLike) -> "ShardPlan":
+        root = Path(directory)
+        target = root / SHARDS_MANIFEST
+        try:
+            manifest = json.loads(target.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"{target} is not a readable shard manifest: {exc}") from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != SHARDS_FORMAT:
+            raise ValueError(f"{target} lacks the {SHARDS_FORMAT!r} format marker")
+        version = manifest.get("format_version")
+        if version != SHARDS_FORMAT_VERSION:
+            raise ValueError(
+                f"{target} uses shard-manifest version {version!r}; this library "
+                f"reads {SHARDS_FORMAT_VERSION}"
+            )
+        shards = [
+            ShardSpec(
+                shard_id=int(entry["shard_id"]),
+                path=str(entry["path"]),
+                leaf_lo=int(entry["leaf_span"][0]),
+                leaf_hi=int(entry["leaf_span"][1]),
+                row_lo=int(entry["row_span"][0]),
+                row_hi=int(entry["row_span"][1]),
+                bounds=None if entry.get("bounds") is None else tuple(
+                    float(v) for v in entry["bounds"]
+                ),
+            )
+            for entry in manifest.get("shards", [])
+        ]
+        return cls(
+            directory=root,
+            num_points=int(manifest.get("num_points", 0)),
+            num_leaves=int(manifest.get("num_leaves", 0)),
+            index_name=str(manifest.get("index_name", "ZIndex")),
+            use_skipping=bool(manifest.get("use_skipping", False)),
+            dataset_fingerprint=str(manifest.get("dataset_fingerprint", "")),
+            shards=shards,
+        )
+
+
+def plan_shard_spans(
+    leaf_starts: np.ndarray,
+    num_shards: int,
+    weights: Optional[np.ndarray] = None,
+) -> List[Tuple[int, int]]:
+    """Split the leaf sequence into ``num_shards`` balanced spans.
+
+    Returns ``[(leaf_lo, leaf_hi), ...]`` half-open leaf intervals covering
+    ``[0, n_leaves)``.  By default boundaries sit at leaf starts closest to
+    the ideal ``total / num_shards`` row targets, so shards balance
+    *points* (the scan cost driver), not leaf counts.  ``weights`` — one
+    non-negative cost per leaf — switches the balance criterion: cuts then
+    equalise cumulative weight, which is how :func:`build_shards` spreads a
+    *workload's* scan cost across shards instead of raw rows (a hot
+    Z-range otherwise turns into one hot shard no worker count can hide).
+    The shard count is clamped to the number of leaves (a leaf is the
+    atomic unit — it cannot be split without changing curve order).
+    """
+    starts = np.asarray(leaf_starts, dtype=np.int64)
+    n_leaves = int(starts.shape[0]) - 1
+    if n_leaves <= 0:
+        return [(0, 0)]
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    if weights is None:
+        prefix = starts.astype(np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (n_leaves,):
+            raise ValueError(
+                f"weights has shape {weights.shape}, expected ({n_leaves},)"
+            )
+        if (weights < 0).any():
+            raise ValueError("weights must be non-negative")
+        prefix = np.concatenate([[0.0], np.cumsum(weights)])
+    count = min(num_shards, n_leaves)
+    total = float(prefix[-1])
+    cuts = [0]
+    for i in range(1, count):
+        target = (total * i) / count
+        cut = int(np.searchsorted(prefix, target, side="left"))
+        cut = max(cut, cuts[-1] + 1)
+        cut = min(cut, n_leaves - (count - i))
+        cuts.append(cut)
+    cuts.append(n_leaves)
+    return list(zip(cuts[:-1], cuts[1:]))
+
+
+def leaf_scan_weights(
+    state: ZIndexSnapshotState, queries: Sequence[Rect]
+) -> np.ndarray:
+    """Per-leaf scan cost of a range workload: overlapping queries × rows.
+
+    The cost model behind workload-aware shard planning: a leaf's serving
+    cost is (number of workload windows overlapping its data bounding box)
+    × (rows it scans for each).  One row is added per leaf so leaves the
+    workload never touches still spread evenly across shards rather than
+    collapsing into degenerate spans.
+    """
+    starts = np.asarray(state.arrays["leaf_starts"], dtype=np.int64)
+    boxes = np.asarray(state.arrays["leaf_boxes"], dtype=np.float64).reshape(-1, 4)
+    nonempty = np.asarray(state.arrays["leaf_nonempty"], dtype=bool)
+    sizes = np.diff(starts).astype(np.float64)
+    hits = np.zeros(len(sizes), dtype=np.float64)
+    for query in queries:
+        overlap = (
+            nonempty
+            & (boxes[:, 3] >= query.ymin) & (boxes[:, 1] <= query.ymax)
+            & (boxes[:, 2] >= query.xmin) & (boxes[:, 0] <= query.xmax)
+        )
+        hits += overlap
+    return hits * sizes + sizes + 1.0
+
+
+def _leaf_cells(arrays: Dict[str, np.ndarray], n_leaves: int) -> np.ndarray:
+    """Per-leaf cell rectangles, gathered from the packed tree tables.
+
+    An emptied leaf's effective box falls back to its cell (the invariant
+    :func:`repro.zindex.skipping.leaf_box` defines), so shard construction
+    needs every leaf's cell even though only non-empty leaves persist a
+    data bbox.
+    """
+    kinds = np.asarray(arrays["tree_kind"])
+    cells = np.asarray(arrays["tree_cells"], dtype=np.float64).reshape(-1, 4)
+    leaf_index = np.asarray(arrays["tree_leaf_index"], dtype=np.int64)
+    rows = np.flatnonzero(kinds == 1)
+    out = np.empty((n_leaves, 4), dtype=np.float64)
+    out[leaf_index[rows]] = cells[rows]
+    return out
+
+
+def shard_snapshot_state(
+    state: ZIndexSnapshotState, leaf_lo: int, leaf_hi: int
+) -> ZIndexSnapshotState:
+    """The snapshot state of one shard: the global tree, a span of points.
+
+    Leaves in ``[leaf_lo, leaf_hi)`` keep their rows; every other leaf
+    becomes empty (box reset to its cell).  Skip-pointer columns are reset
+    to :data:`END_OF_LIST` — the caller rebuilds them from the emptied
+    list when the source index uses skipping, because pointers computed
+    against the full data's bounding boxes are invalid once leaves empty.
+    """
+    arrays = state.arrays
+    starts = np.asarray(arrays["leaf_starts"], dtype=np.int64)
+    n_leaves = int(starts.shape[0]) - 1
+    if not 0 <= leaf_lo <= leaf_hi <= n_leaves:
+        raise ValueError(
+            f"leaf span [{leaf_lo}, {leaf_hi}) outside [0, {n_leaves})"
+        )
+    row_lo = int(starts[leaf_lo])
+    row_hi = int(starts[leaf_hi])
+    new_starts = np.clip(starts, row_lo, row_hi) - row_lo
+    flat_x = np.asarray(arrays["flat_x"], dtype=np.float64)[row_lo:row_hi]
+    flat_y = np.asarray(arrays["flat_y"], dtype=np.float64)[row_lo:row_hi]
+    nonempty = new_starts[1:] > new_starts[:-1]
+    boxes = np.asarray(arrays["leaf_boxes"], dtype=np.float64).reshape(-1, 4)
+    cells = _leaf_cells(arrays, n_leaves)
+    shard_boxes = np.where(nonempty[:, None], boxes, cells)
+    pointers = np.full(n_leaves, END_OF_LIST, dtype=np.int64)
+    shard_arrays: Dict[str, np.ndarray] = {
+        name: arrays[name]
+        for name in (
+            "tree_kind", "tree_cells", "tree_splits",
+            "tree_orderings", "tree_children", "tree_leaf_index",
+        )
+    }
+    shard_arrays.update(
+        flat_x=flat_x,
+        flat_y=flat_y,
+        leaf_starts=new_starts,
+        leaf_boxes=shard_boxes,
+        leaf_nonempty=nonempty,
+        skip_below=pointers,
+        skip_above=pointers.copy(),
+        skip_left=pointers.copy(),
+        skip_right=pointers.copy(),
+    )
+    return ZIndexSnapshotState(
+        index_name=state.index_name,
+        class_path=state.class_path,
+        leaf_capacity=state.leaf_capacity,
+        max_depth=state.max_depth,
+        use_skipping=state.use_skipping,
+        has_nonmonotone_ordering=state.has_nonmonotone_ordering,
+        extent=state.extent,
+        num_points=row_hi - row_lo,
+        orderings=list(state.orderings),
+        arrays=shard_arrays,
+    )
+
+
+def build_shard_index(
+    state: ZIndexSnapshotState, leaf_lo: int, leaf_hi: int
+) -> ZIndex:
+    """Materialise one shard as a live index (skip pointers rebuilt)."""
+    shard = ZIndex.from_snapshot_state(
+        shard_snapshot_state(state, leaf_lo, leaf_hi), validate=False
+    )
+    if shard.use_skipping:
+        build_lookahead_pointers(shard.leaflist)
+    return shard
+
+
+def build_shards(
+    source: Union[ZIndex, PathLike],
+    directory: PathLike,
+    num_shards: int,
+    workload: Optional[Sequence[Rect]] = None,
+) -> ShardPlan:
+    """Split an index (or a saved snapshot) into a serveable shard directory.
+
+    ``source`` is a built Z-index-family index or the path of a structural
+    snapshot.  Writes ``shard_0000.zip`` … plus ``shards.json`` into
+    ``directory`` and returns the :class:`ShardPlan`.  Every shard is a
+    normal snapshot — ``load_snapshot(path, mmap=True)`` serves it
+    zero-copy — and concatenating shard results in shard order reproduces
+    the unsharded engine's results byte-for-byte.
+
+    ``workload`` — a representative sequence of range windows — switches
+    the span planner from row balance to scan-cost balance
+    (:func:`leaf_scan_weights`): under a skewed workload, the hot Z-range
+    is split fine and the cold tail coarse, so per-shard serving work
+    equalises.  Routing, merging and results are unaffected; only the cut
+    positions move.
+    """
+    from repro.persistence.snapshot import (
+        dataset_fingerprint,
+        load_snapshot,
+        save_snapshot,
+    )
+
+    if isinstance(source, ZIndex):
+        index = source
+    else:
+        index = load_snapshot(source)
+        if not isinstance(index, ZIndex):
+            raise TypeError(
+                f"{source} did not restore to a Z-index-family index; only "
+                f"structural snapshots can be sharded"
+            )
+    state = index.snapshot_state()
+    weights = None if workload is None else leaf_scan_weights(state, workload)
+    spans = plan_shard_spans(state.arrays["leaf_starts"], num_shards, weights)
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    starts = np.asarray(state.arrays["leaf_starts"], dtype=np.int64)
+    flat_x = np.asarray(state.arrays["flat_x"], dtype=np.float64)
+    flat_y = np.asarray(state.arrays["flat_y"], dtype=np.float64)
+    specs: List[ShardSpec] = []
+    for shard_id, (leaf_lo, leaf_hi) in enumerate(spans):
+        shard = build_shard_index(state, leaf_lo, leaf_hi)
+        filename = f"shard_{shard_id:04d}.zip"
+        save_snapshot(shard, root / filename)
+        row_lo = int(starts[leaf_lo])
+        row_hi = int(starts[leaf_hi])
+        if row_hi > row_lo:
+            # The shard's routing bounds are its *data* bbox (tight), not
+            # the global extent the restored index reports.
+            xs = flat_x[row_lo:row_hi]
+            ys = flat_y[row_lo:row_hi]
+            bounds = (
+                float(xs.min()), float(ys.min()), float(xs.max()), float(ys.max())
+            )
+        else:
+            bounds = None
+        specs.append(ShardSpec(
+            shard_id=shard_id,
+            path=filename,
+            leaf_lo=leaf_lo,
+            leaf_hi=leaf_hi,
+            row_lo=row_lo,
+            row_hi=row_hi,
+            bounds=bounds,
+        ))
+    plan = ShardPlan(
+        directory=root,
+        num_points=int(starts[-1]),
+        num_leaves=int(starts.shape[0]) - 1,
+        index_name=state.index_name,
+        use_skipping=state.use_skipping,
+        dataset_fingerprint=dataset_fingerprint(
+            state.arrays["flat_x"], state.arrays["flat_y"]
+        ),
+        shards=specs,
+    )
+    plan.save()
+    return plan

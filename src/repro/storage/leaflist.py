@@ -150,7 +150,8 @@ class PackedLeaves:
     """
 
     __slots__ = (
-        "boxes", "nonempty", "below", "above", "left", "right", "_lists"
+        "boxes", "nonempty", "below", "above", "left", "right", "_lists", "_owned",
+        "_live_span",
     )
 
     def __init__(self, entries: Sequence[LeafEntry]) -> None:
@@ -162,6 +163,8 @@ class PackedLeaves:
         self.left = np.empty(n, dtype=np.int64)
         self.right = np.empty(n, dtype=np.int64)
         self._lists = None
+        self._owned = True
+        self._live_span = False
         for index, entry in enumerate(entries):
             self.refresh(index, entry)
             self.below[index] = entry.below
@@ -178,23 +181,40 @@ class PackedLeaves:
         above: np.ndarray,
         left: np.ndarray,
         right: np.ndarray,
+        *,
+        copy: bool = True,
     ) -> "PackedLeaves":
         """Assemble a packed copy directly from stored column arrays.
 
         Used by snapshot loading, where the packed metadata was persisted
         verbatim: installing the arrays avoids re-deriving every row from
-        freshly built :class:`LeafEntry` objects.  The arrays are copied
-        into the canonical dtypes so later in-place repairs
-        (:meth:`refresh`) never write through to the caller's buffers.
+        freshly built :class:`LeafEntry` objects.  With ``copy=True`` the
+        arrays are copied into the canonical dtypes.  With ``copy=False``
+        the packed metadata holds *views* of the caller's columns (a
+        :class:`~repro.storage.buffers.ColumnStore`, possibly read-only and
+        memory-mapped); the first in-place repair (:meth:`refresh`) then
+        promotes to private copies, so shared buffers are never written
+        through either way.  A dtype mismatch under ``copy=False`` falls
+        back to a converting copy — correctness over sharing.
         """
         packed = cls.__new__(cls)
-        packed.boxes = np.array(boxes, dtype=np.float64).reshape(-1, 4)
-        packed.nonempty = np.array(nonempty, dtype=bool)
-        packed.below = np.array(below, dtype=np.int64)
-        packed.above = np.array(above, dtype=np.int64)
-        packed.left = np.array(left, dtype=np.int64)
-        packed.right = np.array(right, dtype=np.int64)
+        if copy:
+            packed.boxes = np.array(boxes, dtype=np.float64).reshape(-1, 4)
+            packed.nonempty = np.array(nonempty, dtype=bool)
+            packed.below = np.array(below, dtype=np.int64)
+            packed.above = np.array(above, dtype=np.int64)
+            packed.left = np.array(left, dtype=np.int64)
+            packed.right = np.array(right, dtype=np.int64)
+        else:
+            packed.boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+            packed.nonempty = np.asarray(nonempty, dtype=bool)
+            packed.below = np.asarray(below, dtype=np.int64)
+            packed.above = np.asarray(above, dtype=np.int64)
+            packed.left = np.asarray(left, dtype=np.int64)
+            packed.right = np.asarray(right, dtype=np.int64)
         packed._lists = None
+        packed._owned = bool(copy)
+        packed._live_span = False
         n = packed.boxes.shape[0]
         for name in ("nonempty", "below", "above", "left", "right"):
             if getattr(packed, name).shape != (n,):
@@ -204,8 +224,34 @@ class PackedLeaves:
                 )
         return packed
 
+    # Explicit pickle state so files written before the `_owned` slot
+    # existed still restore; their arrays were always private copies.
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):  # default reduce of the pre-slot layout
+            state = dict(state[1] or {})
+        self._owned = True
+        self._live_span = False
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def _ensure_writable(self) -> None:
+        """Copy-on-write before an in-place repair of view-backed columns."""
+        if self._owned:
+            return
+        self.boxes = np.array(self.boxes, dtype=np.float64)
+        self.nonempty = np.array(self.nonempty, dtype=bool)
+        self.below = np.array(self.below, dtype=np.int64)
+        self.above = np.array(self.above, dtype=np.int64)
+        self.left = np.array(self.left, dtype=np.int64)
+        self.right = np.array(self.right, dtype=np.int64)
+        self._owned = True
+
     def refresh(self, index: int, entry: LeafEntry) -> None:
         """Re-read one leaf's box row (after its page was mutated)."""
+        self._ensure_writable()
         box = entry.page.bbox_tuple()
         if box is None:
             cell = entry.cell
@@ -215,6 +261,7 @@ class PackedLeaves:
             nonempty = True
         self.nonempty[index] = nonempty
         self.boxes[index] = box
+        self._live_span = False
         if self._lists is not None:
             boxes_l, nonempty_l = self._lists[:2]
             boxes_l[index] = list(box)
@@ -239,6 +286,24 @@ class PackedLeaves:
                 self.right.tolist(),
             )
         return self._lists
+
+    def live_span(self):
+        """Inclusive ``(first, last)`` non-empty leaf positions, or ``None``.
+
+        Leaves outside this interval hold no points and can never
+        contribute to a query, so the projection phase clamps its scan
+        interval to it.  For a freshly built index the clamp is a no-op,
+        but for a Z-range shard — a mostly-empty copy of the global leaf
+        list — it is what makes projection cost scale with the shard's own
+        span instead of the global leaf count.  Cached; invalidated by
+        :meth:`refresh`.
+        """
+        if self._live_span is False:
+            hits = np.flatnonzero(self.nonempty)
+            self._live_span = (
+                (int(hits[0]), int(hits[-1])) if hits.size else None
+            )
+        return self._live_span
 
 
 @dataclass

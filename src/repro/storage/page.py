@@ -42,9 +42,22 @@ class PageOverflowError(RuntimeError):
 
 
 class Page:
-    """A bounded columnar container of points with a maintained bounding box."""
+    """A bounded columnar container of points with a maintained bounding box.
 
-    __slots__ = ("capacity", "_xs", "_ys", "_n", "_bxmin", "_bymin", "_bxmax", "_bymax")
+    A page either *owns* its coordinate buffers (the classic mode: private
+    capacity-sized arrays, written in place) or holds **views** into a
+    shared column store (:mod:`repro.storage.buffers`) — the mode used by
+    snapshot loading and the flat scan cache, where one flat array backs
+    every page.  View-backed pages answer all read queries directly from
+    the shared buffer; the first mutation *promotes* the page by copying
+    its points into a private buffer (copy-on-write), so shared columns —
+    possibly memory-mapped read-only — are never written through.
+    """
+
+    __slots__ = (
+        "capacity", "_xs", "_ys", "_n", "_owned",
+        "_bxmin", "_bymin", "_bxmax", "_bymax",
+    )
 
     def __init__(self, capacity: int, points: Optional[Iterable[Point]] = None) -> None:
         if capacity <= 0:
@@ -53,6 +66,7 @@ class Page:
         self._xs = np.empty(capacity, dtype=np.float64)
         self._ys = np.empty(capacity, dtype=np.float64)
         self._n = 0
+        self._owned = True
         self._bxmin = self._bymin = self._bxmax = self._bymax = 0.0
         if points is not None:
             for point in points:
@@ -87,6 +101,92 @@ class Page:
                     float(bbox[0]), float(bbox[1]), float(bbox[2]), float(bbox[3])
                 )
         return page
+
+    @classmethod
+    def from_view(
+        cls, capacity: int, xs: np.ndarray, ys: np.ndarray, bbox=None
+    ) -> "Page":
+        """Build a page over *views* of shared coordinate columns (no copy).
+
+        ``xs`` / ``ys`` are length-``n`` float64 slices of a column store
+        (or memmap); the page adopts them as its buffers instead of copying
+        into private arrays.  Reads are served from the shared columns;
+        the first ``add``/``remove`` copies on write.  ``bbox`` follows the
+        same trusted-precomputation contract as :meth:`from_arrays`.
+        """
+        n = int(xs.shape[0])
+        if ys.shape[0] != n:
+            raise ValueError(
+                f"coordinate views disagree on length: {n} vs {int(ys.shape[0])}"
+            )
+        page = cls.__new__(cls)
+        page.capacity = max(int(capacity), n, 1)
+        page._xs = xs
+        page._ys = ys
+        page._n = n
+        page._owned = False
+        if n == 0:
+            page._bxmin = page._bymin = page._bxmax = page._bymax = 0.0
+        elif bbox is None:
+            page._bxmin = float(xs.min())
+            page._bxmax = float(xs.max())
+            page._bymin = float(ys.min())
+            page._bymax = float(ys.max())
+        else:
+            page._bxmin, page._bymin, page._bxmax, page._bymax = (
+                float(bbox[0]), float(bbox[1]), float(bbox[2]), float(bbox[3])
+            )
+        return page
+
+    def adopt_view(self, xs: np.ndarray, ys: np.ndarray) -> None:
+        """Swap the page's buffers for equal-valued views into shared columns.
+
+        Called by the flat-cache gather after it copied this page's points
+        into the flat columns: re-pointing the page at its slice of those
+        columns leaves one resident copy of the coordinates instead of two.
+        The views must hold exactly the page's current points (same order);
+        count, capacity and bounding box are unchanged.
+        """
+        if int(xs.shape[0]) != self._n or int(ys.shape[0]) != self._n:
+            raise ValueError(
+                f"adopted views hold {int(xs.shape[0])} points, page has {self._n}"
+            )
+        self._xs = xs
+        self._ys = ys
+        self._owned = False
+
+    @property
+    def owns_buffers(self) -> bool:
+        """Whether the page holds private buffers (vs column-store views)."""
+        return self._owned
+
+    # -- pickling ---------------------------------------------------------
+    # Explicit state methods so pickles written before the `_owned` slot
+    # existed still restore (their full-capacity buffers are owned).  Note
+    # that pickling serialises the *values* of view buffers, so a restored
+    # view-backed page holds private length-n arrays but keeps
+    # ``_owned=False`` — the first mutation promotes to capacity-sized
+    # buffers exactly as it would have for the original views.
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        if isinstance(state, tuple):  # default reduce of the pre-slot layout
+            state = dict(state[1] or {})
+        self._owned = True
+        for name, value in state.items():
+            setattr(self, name, value)
+
+    def _promote(self) -> None:
+        """Copy-on-write: replace shared views with private buffers."""
+        xs = np.empty(self.capacity, dtype=np.float64)
+        ys = np.empty(self.capacity, dtype=np.float64)
+        n = self._n
+        xs[:n] = self._xs[:n]
+        ys[:n] = self._ys[:n]
+        self._xs = xs
+        self._ys = ys
+        self._owned = True
 
     # -- container protocol ---------------------------------------------
     def __len__(self) -> int:
@@ -150,6 +250,8 @@ class Page:
             raise PageOverflowError(
                 f"Page already holds {self._n}/{self.capacity} points"
             )
+        if not self._owned:
+            self._promote()
         x = float(point.x)
         y = float(point.y)
         index = self._n
@@ -184,6 +286,8 @@ class Page:
         )
         if matches.size == 0:
             return False
+        if not self._owned:
+            self._promote()
         index = int(matches[0])
         # Shift the tail left by one to preserve page order.
         self._xs[index : n - 1] = self._xs[index + 1 : n]

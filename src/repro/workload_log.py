@@ -252,6 +252,14 @@ class WorkloadLog:
         ``extra['observed_range_hits']`` rather than carried as a column:
         the workload object describes *queries*, not one execution's
         results.
+
+        The snapshot owns private **copies** of the recorded columns, never
+        views of the log's growth buffers: appends recorded after the call
+        (which write in place, and on overflow reallocate) can never reach
+        a previously captured workload or change its fingerprint.  The
+        copies are made here rather than delegated to the ``Workload``
+        constructor's coercion so the guarantee cannot silently lapse if
+        that coercion ever learns to adopt arrays.
         """
         extra = dict(metadata.pop("extra", ()) or {})
         counts = self._range_counts[:self._num_ranges]
@@ -262,11 +270,11 @@ class WorkloadLog:
         metadata.setdefault("description", "observed workload")
         return Workload(
             extra=extra,
-            ranges=self._ranges[:self._num_ranges],
-            knn_probes=self._knn[:self._num_knn, :2],
-            knn_k=self._knn[:self._num_knn, 2].astype(np.int64),
-            radius_probes=self._radius[:self._num_radius, :2],
-            radius_radii=self._radius[:self._num_radius, 2],
+            ranges=self._ranges[:self._num_ranges].copy(),
+            knn_probes=self._knn[:self._num_knn, :2].copy(),
+            knn_k=self._knn[:self._num_knn, 2].astype(np.int64, copy=True),
+            radius_probes=self._radius[:self._num_radius, :2].copy(),
+            radius_radii=self._radius[:self._num_radius, 2].copy(),
             **metadata,
         )
 

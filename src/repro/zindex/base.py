@@ -45,6 +45,7 @@ from repro.geometry import Point, Rect, bounding_box, points_from_arrays, points
 from repro.interfaces import SpatialIndex, require_finite_center, require_valid_radius
 from repro.results import ResultSet
 from repro.storage import LeafEntry, LeafList, PackedLeaves, Page
+from repro.storage.buffers import MemoryColumnStore
 from repro.storage.leaflist import END_OF_LIST
 from repro.zindex.node import (
     InternalNode,
@@ -154,6 +155,7 @@ class ZIndex(SpatialIndex):
         # Point for each row (so query results hand back existing objects
         # instead of re-boxing coordinates).  Rebuilt lazily after any
         # structural or page mutation.
+        self._store = None
         self._flat_x: Optional[np.ndarray] = None
         self._flat_y: Optional[np.ndarray] = None
         self._flat_starts: Optional[np.ndarray] = None
@@ -283,8 +285,22 @@ class ZIndex(SpatialIndex):
     #: Class-level default keeps pre-counter pickles working.
     _flat_generation: int = 0
 
+    #: The column store backing the flat scan cache, when one is installed
+    #: (a gather on a live index, or the store a snapshot load handed us —
+    #: possibly mmap-backed).  Class-level default keeps pre-store pickles
+    #: working.
+    _store = None
+
     def _invalidate_flat(self, stale_budget: int = 0) -> None:
         self._flat_generation += 1
+        store = self._store
+        if store is not None:
+            # The columns no longer reflect the index: advance the store's
+            # generation for any out-of-index consumers and drop our
+            # reference.  Pages that were re-pointed at store slices keep
+            # the arrays alive and copy-on-write before mutating them.
+            store.bump()
+            self._store = None
         self._flat_x = None
         self._flat_y = None
         self._flat_starts = None
@@ -298,30 +314,41 @@ class ZIndex(SpatialIndex):
         """``(flat_x, flat_y, starts)`` — concatenated page columns in curve order.
 
         Returns the live scan cache when it is current; otherwise gathers
-        the columns fresh and installs them (the boxed-point side of the
-        cache stays lazy, so saving a snapshot of a recently mutated index
-        pays the O(n) column gather at most once — a following query reuses
-        it instead of regathering).
+        the columns into a fresh :class:`MemoryColumnStore` and installs
+        views of it (the boxed-point side of the cache stays lazy, so
+        saving a snapshot of a recently mutated index pays the O(n) column
+        gather at most once — a following query reuses it instead of
+        regathering).  The pages are re-pointed at their slices of the
+        gathered columns, so the gather *moves* the coordinates into the
+        store rather than duplicating them; a later page mutation promotes
+        that page back to private buffers (copy-on-write).
         """
         if self._flat_starts is not None:
             return self._flat_x, self._flat_y, self._flat_starts
+        store = MemoryColumnStore.gather(self.leaflist)
+        self._adopt_store(store)
+        return self._flat_x, self._flat_y, self._flat_starts
+
+    def _adopt_store(self, store) -> None:
+        """Install a column store as the flat scan cache, re-pointing pages.
+
+        ``store`` must hold ``flat_x`` / ``flat_y`` / ``leaf_starts``
+        columns consistent with the current LeafList (same curve order,
+        same per-leaf counts).
+        """
+        flat_x = store["flat_x"]
+        flat_y = store["flat_y"]
+        starts = store["leaf_starts"]
+        starts_list = starts.tolist()
         entries = self.leaflist.entries
-        n = len(entries)
-        starts = np.zeros(n + 1, dtype=np.int64)
         for index, entry in enumerate(entries):
-            starts[index + 1] = starts[index] + len(entry.page)
-        total = int(starts[-1])
-        flat_x = np.empty(total, dtype=np.float64)
-        flat_y = np.empty(total, dtype=np.float64)
-        for index, entry in enumerate(entries):
-            page = entry.page
-            flat_x[starts[index] : starts[index + 1]] = page.xs
-            flat_y[starts[index] : starts[index + 1]] = page.ys
+            lo, hi = starts_list[index], starts_list[index + 1]
+            entry.page.adopt_view(flat_x[lo:hi], flat_y[lo:hi])
+        self._store = store
         self._flat_x = flat_x
         self._flat_y = flat_y
         self._flat_starts = starts
-        self._flat_starts_list = starts.tolist()
-        return flat_x, flat_y, starts
+        self._flat_starts_list = starts_list
 
     def _ensure_flat(self) -> None:
         """(Re)build the concatenated coordinate columns when stale.
@@ -691,6 +718,18 @@ class ZIndex(SpatialIndex):
             self.counters.nodes_visited += nodes_visited
         if low is None:
             low, high = 0, len(self.leaflist) - 1
+        # Clamp to the live (non-empty) leaf interval: leaves outside it
+        # cannot contribute, and for a Z-range shard they are the vast
+        # majority of the list.
+        span = self.leaflist.packed().live_span()
+        if span is None:
+            return low, high, []
+        if low < span[0]:
+            low = span[0]
+        if high > span[1]:
+            high = span[1]
+        if low > high:
+            return low, high, []
         counters = self.counters
         if not self.use_skipping:
             # Vectorized overlap test over the packed bbox array: a leaf is
@@ -1099,16 +1138,34 @@ class ZIndex(SpatialIndex):
         )
 
     @classmethod
-    def from_snapshot_state(cls, state: ZIndexSnapshotState) -> "ZIndex":
+    def from_snapshot_state(
+        cls,
+        state: ZIndexSnapshotState,
+        *,
+        validate: bool = True,
+        store=None,
+    ) -> "ZIndex":
         """Rebuild a queryable index from :meth:`snapshot_state` output.
 
-        The load is memcpy-level: tree nodes are rematerialised from the
-        packed tables, pages copy their slice of the flat columns with the
-        stored bounding boxes (no min/max recomputation), and both derived
-        caches — the packed leaf metadata and the flat scan cache — are
-        installed directly from the stored arrays instead of being rebuilt
-        from the structure.  Query results, result ordering and cost
-        counters are identical to the index that was saved.
+        The load is zero-copy: tree nodes are rematerialised from the
+        packed tables, pages become *views* over their slice of the flat
+        columns with the stored bounding boxes (no per-page copy, no
+        min/max recomputation), and both derived caches — the packed leaf
+        metadata and the flat scan cache — are installed as views of the
+        stored arrays instead of being rebuilt from the structure.  Query
+        results, result ordering and cost counters are identical to the
+        index that was saved.  The first mutation of a page or packed row
+        promotes it to a private buffer (copy-on-write), so the stored
+        arrays — possibly read-only memmaps — are never written through.
+
+        ``store`` optionally supplies the :class:`~repro.storage.buffers.
+        ColumnStore` that owns the arrays (an mmap-backed store for
+        zero-copy serving); when omitted, a :class:`MemoryColumnStore`
+        adopting the snapshot columns is installed.  ``validate=False``
+        skips the O(n) bounding-box cross-check (the one validation that
+        touches every coordinate — and hence faults in every page of an
+        mmap'd snapshot); structural invariants (offsets, shapes, pointer
+        ranges, the nonempty mask) are always enforced.
 
         The restored object is a plain :class:`ZIndex` whose ``name``
         reports the saved index's name; construction-time artefacts (split
@@ -1159,6 +1216,7 @@ class ZIndex(SpatialIndex):
             arrays["leaf_boxes"], arrays["leaf_nonempty"],
             arrays["skip_below"], arrays["skip_above"],
             arrays["skip_left"], arrays["skip_right"],
+            copy=False,
         )
         if packed.boxes.shape[0] != n_leaves:
             raise ValueError(
@@ -1178,7 +1236,9 @@ class ZIndex(SpatialIndex):
         # slices: the projection prunes leaves by these rows, so a shrunken
         # box would silently hide matching points from every query.  Empty
         # leaves store their cell instead and are skipped by the mask.
-        if total and packed.nonempty.any():
+        # This is the one check that reads every coordinate, which is why
+        # ``validate=False`` (trusted snapshots served over mmap) skips it.
+        if validate and total and packed.nonempty.any():
             # Reduce over the nonempty leaves' start offsets only: empty
             # leaves occupy zero rows, so each nonempty leaf's reduceat
             # segment (to the next nonempty start, or the array end) is
@@ -1231,7 +1291,7 @@ class ZIndex(SpatialIndex):
             lo = starts_list[position]
             hi = starts_list[position + 1]
             bbox = boxes_list[position] if nonempty_list[position] else None
-            page = Page.from_arrays(
+            page = Page.from_view(
                 index.leaf_capacity, flat_x[lo:hi], flat_y[lo:hi], bbox=bbox
             )
             entry = LeafEntry(
@@ -1248,9 +1308,24 @@ class ZIndex(SpatialIndex):
         index.leaflist = LeafList.from_entries(entries)  # type: ignore[arg-type]
         index.leaflist._packed = packed
 
-        # Install the coordinate columns as the live scan cache; the boxed
-        # Point objects (result materialisation, the `_points` dataset list)
-        # stay lazy so the load itself is pure array work.
+        # Install the coordinate columns as the live scan cache, owned by a
+        # column store (the caller's — e.g. mmap-backed — or a fresh
+        # in-memory store adopting the snapshot arrays); the boxed Point
+        # objects (result materialisation, the `_points` dataset list) stay
+        # lazy so the load itself is pure array bookkeeping.
+        if store is None:
+            store = MemoryColumnStore.from_arrays({
+                "flat_x": flat_x,
+                "flat_y": flat_y,
+                "leaf_starts": starts,
+                "leaf_boxes": packed.boxes,
+                "leaf_nonempty": packed.nonempty,
+                "skip_below": packed.below,
+                "skip_above": packed.above,
+                "skip_left": packed.left,
+                "skip_right": packed.right,
+            })
+        index._store = store
         index._flat_x = flat_x
         index._flat_y = flat_y
         index._flat_starts = starts

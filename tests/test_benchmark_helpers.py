@@ -67,6 +67,26 @@ class TestMeasurement:
         assert common.micros(0.001) == pytest.approx(1000.0)
 
 
+class TestWorkerSeeds:
+    def test_distinct_per_shard_and_deterministic(self):
+        seeds = [common.worker_seed(common.DEFAULT_SEED, shard) for shard in range(16)]
+        assert len(set(seeds)) == 16
+        assert seeds == [common.worker_seed(common.DEFAULT_SEED, s) for s in range(16)]
+
+    def test_distinct_across_base_seeds(self):
+        # Nearby base seeds must not collide with other shards' streams.
+        seeds = {
+            common.worker_seed(base, shard)
+            for base in range(common.DEFAULT_SEED, common.DEFAULT_SEED + 4)
+            for shard in range(8)
+        }
+        assert len(seeds) == 4 * 8
+
+    def test_negative_shard_rejected(self):
+        with pytest.raises(ValueError):
+            common.worker_seed(common.DEFAULT_SEED, -1)
+
+
 class TestReportEmission:
     def test_tables_appended_to_report(self, tmp_path, monkeypatch):
         report = tmp_path / "report.txt"

@@ -1,0 +1,246 @@
+"""Tests for Z-range shard planning and shard snapshot construction.
+
+The contract: shards are consecutive leaf spans of the global Z-order,
+their flat rows concatenate back to the global columns in shard order,
+the manifest round-trips, and each shard's bounds are the tight bbox of
+the points it holds.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.persistence import save_snapshot
+from repro.serving import (
+    SHARDS_MANIFEST,
+    ShardPlan,
+    ShardSpec,
+    build_shard_index,
+    build_shards,
+    leaf_scan_weights,
+    plan_shard_spans,
+    shard_snapshot_state,
+)
+from repro.zindex import ZIndex
+
+
+def _index(n=3000, seed=11, **kwargs):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.uniform(0, 300, size=(n, 2))]
+    kwargs.setdefault("leaf_capacity", 32)
+    return ZIndex(pts, **kwargs), rng
+
+
+class TestPlanShardSpans:
+    def _starts(self, sizes):
+        return np.concatenate([[0], np.cumsum(np.asarray(sizes, dtype=np.int64))])
+
+    def test_spans_partition_the_leaf_range(self):
+        starts = self._starts([10, 0, 5, 30, 1, 1, 8, 20])
+        spans = plan_shard_spans(starts, 3)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 8
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+            assert a_hi == b_lo
+            assert a_lo < a_hi
+        assert spans[-1][0] < spans[-1][1]
+
+    def test_spans_balance_rows_not_leaves(self):
+        # One huge leaf should get its own shard rather than dragging
+        # half the leaf count with it.
+        starts = self._starts([1000] + [1] * 9)
+        spans = plan_shard_spans(starts, 2)
+        assert spans[0] == (0, 1)
+        assert spans[1] == (1, 10)
+
+    def test_more_shards_than_leaves_clamps(self):
+        starts = self._starts([4, 4, 4])
+        spans = plan_shard_spans(starts, 16)
+        assert len(spans) == 3
+        assert [s for s in spans] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_single_shard_is_everything(self):
+        starts = self._starts([5, 6, 7])
+        assert plan_shard_spans(starts, 1) == [(0, 3)]
+
+    def test_invalid_shard_count(self):
+        starts = self._starts([5])
+        with pytest.raises(ValueError):
+            plan_shard_spans(starts, 0)
+
+    def test_weighted_spans_balance_weight_not_rows(self):
+        # Equal-sized leaves but all the cost in the first two: weighted
+        # planning isolates the hot leaves instead of halving the rows.
+        starts = self._starts([10] * 8)
+        weights = np.array([100.0, 100.0, 1, 1, 1, 1, 1, 1])
+        spans = plan_shard_spans(starts, 2, weights)
+        assert spans == [(0, 1), (1, 8)] or spans == [(0, 2), (2, 8)]
+        unweighted = plan_shard_spans(starts, 2)
+        assert unweighted == [(0, 4), (4, 8)]
+
+    def test_weighted_spans_still_partition(self):
+        starts = self._starts([3, 9, 1, 4, 8, 2, 7, 5])
+        weights = np.array([0.0, 5.0, 0.0, 0.0, 20.0, 1.0, 1.0, 0.0])
+        spans = plan_shard_spans(starts, 4, weights)
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 8
+        for (a_lo, a_hi), (b_lo, _b_hi) in zip(spans, spans[1:]):
+            assert a_hi == b_lo
+            assert a_lo < a_hi
+
+    def test_weight_validation(self):
+        starts = self._starts([5, 5])
+        with pytest.raises(ValueError):
+            plan_shard_spans(starts, 2, np.array([1.0]))
+        with pytest.raises(ValueError):
+            plan_shard_spans(starts, 2, np.array([1.0, -2.0]))
+
+
+class TestShardSnapshotState:
+    def test_rows_concatenate_to_global_order(self):
+        index, _ = _index()
+        state = index.snapshot_state()
+        spans = plan_shard_spans(state.arrays["leaf_starts"], 5)
+        xs_parts, ys_parts = [], []
+        for lo, hi in spans:
+            shard = shard_snapshot_state(state, lo, hi)
+            xs_parts.append(shard.arrays["flat_x"])
+            ys_parts.append(shard.arrays["flat_y"])
+        np.testing.assert_array_equal(
+            np.concatenate(xs_parts), state.arrays["flat_x"]
+        )
+        np.testing.assert_array_equal(
+            np.concatenate(ys_parts), state.arrays["flat_y"]
+        )
+
+    def test_shard_keeps_global_extent_and_leaf_count(self):
+        index, _ = _index()
+        state = index.snapshot_state()
+        spans = plan_shard_spans(state.arrays["leaf_starts"], 4)
+        lo, hi = spans[1]
+        shard = shard_snapshot_state(state, lo, hi)
+        assert shard.extent == state.extent
+        assert len(shard.arrays["leaf_starts"]) == len(state.arrays["leaf_starts"])
+        starts = shard.arrays["leaf_starts"]
+        # Out-of-span leaves are empty, in-span leaves keep their sizes.
+        sizes = np.diff(starts)
+        global_sizes = np.diff(state.arrays["leaf_starts"])
+        np.testing.assert_array_equal(sizes[lo:hi], global_sizes[lo:hi])
+        assert int(sizes[:lo].sum()) == 0
+        assert int(sizes[hi:].sum()) == 0
+
+    def test_restored_shard_answers_in_span_queries(self):
+        index, rng = _index(use_skipping=True)
+        state = index.snapshot_state()
+        spans = plan_shard_spans(state.arrays["leaf_starts"], 3)
+        lo, hi = spans[0]
+        shard = build_shard_index(state, lo, hi)
+        row_lo = int(state.arrays["leaf_starts"][lo])
+        row_hi = int(state.arrays["leaf_starts"][hi])
+        xs = state.arrays["flat_x"][row_lo:row_hi]
+        ys = state.arrays["flat_y"][row_lo:row_hi]
+        assert len(shard) == row_hi - row_lo
+        for i in range(0, len(xs), max(1, len(xs) // 20)):
+            assert shard.point_query(Point(float(xs[i]), float(ys[i])))
+        whole = Rect(-1e9, -1e9, 1e9, 1e9)
+        assert shard.range_count(whole) == len(shard)
+
+
+class TestBuildShards:
+    @pytest.fixture()
+    def built(self, tmp_path):
+        index, rng = _index(use_skipping=True)
+        plan = build_shards(index, tmp_path / "shards", num_shards=4)
+        return index, plan, tmp_path / "shards", rng
+
+    def test_manifest_roundtrip(self, built):
+        index, plan, directory, _ = built
+        assert (directory / SHARDS_MANIFEST).exists()
+        loaded = ShardPlan.load(directory)
+        assert loaded.num_points == len(index) == plan.num_points
+        assert loaded.use_skipping == plan.use_skipping
+        assert [s.path for s in loaded.shards] == [s.path for s in plan.shards]
+        assert all(isinstance(s, ShardSpec) for s in loaded.shards)
+        assert sum(s.num_points for s in loaded.shards) == len(index)
+
+    def test_bounds_are_tight_per_shard(self, built):
+        index, plan, _, _ = built
+        state = index.snapshot_state()
+        for spec in plan.shards:
+            if spec.bounds is None:
+                assert spec.num_points == 0
+                continue
+            xs = state.arrays["flat_x"][spec.row_lo : spec.row_hi]
+            ys = state.arrays["flat_y"][spec.row_lo : spec.row_hi]
+            assert spec.bounds == (
+                float(xs.min()),
+                float(ys.min()),
+                float(xs.max()),
+                float(ys.max()),
+            )
+
+    def test_routing_helpers(self, built):
+        index, plan, _, rng = built
+        for spec in plan.shards:
+            if spec.bounds is None:
+                continue
+            x0, y0, x1, y1 = spec.bounds
+            cx, cy = (x0 + x1) / 2.0, (y0 + y1) / 2.0
+            assert spec.contains_point(cx, cy)
+            assert spec.overlaps_rect(Rect(cx, cy, cx, cy))
+            assert spec.mindist_squared(cx, cy) == 0.0
+            outside = spec.mindist_squared(x1 + 10.0, y1 + 10.0)
+            assert outside >= 100.0
+        whole = Rect(-1e9, -1e9, 1e9, 1e9)
+        assert [s.shard_id for s in plan.route_rect(whole)] == [
+            s.shard_id for s in plan.shards if s.num_points
+        ]
+
+    def test_build_from_snapshot_path(self, tmp_path):
+        index, _ = _index(n=800)
+        snap = tmp_path / "snap.zip"
+        save_snapshot(index, snap)
+        plan = build_shards(snap, tmp_path / "shards", num_shards=3)
+        assert plan.num_points == len(index)
+        loaded = ShardPlan.load(tmp_path / "shards")
+        assert sum(s.num_points for s in loaded.shards) == len(index)
+
+    def test_workload_aware_build_balances_scan_cost(self, tmp_path):
+        index, rng = _index(n=4000, use_skipping=True)
+        # A workload hammering one corner of the space.
+        hot = []
+        for _ in range(40):
+            cx, cy = rng.uniform(0, 40, 2)
+            hot.append(Rect(cx, cy, cx + 15.0, cy + 15.0))
+        state = index.snapshot_state()
+        weights = leaf_scan_weights(state, hot)
+        assert weights.shape == (len(index.leaflist),)
+        assert (weights > 0).all()
+        plan = build_shards(index, tmp_path / "aware", num_shards=4, workload=hot)
+        uniform = build_shards(index, tmp_path / "uniform", num_shards=4)
+        assert sum(s.num_points for s in plan.shards) == len(index)
+        # The hot corner gets split finer than under row balance, and the
+        # results stay byte-identical to the unsharded index.
+        spans_aware = [(s.leaf_lo, s.leaf_hi) for s in plan.shards]
+        spans_uniform = [(s.leaf_lo, s.leaf_hi) for s in uniform.shards]
+        assert spans_aware != spans_uniform
+        from repro.serving import open_sharded
+
+        with open_sharded(tmp_path / "aware", workers=0) as sharded:
+            for query in hot[:10]:
+                expect = index.range_query(query).as_arrays()
+                got = sharded.range_query(query).as_arrays()
+                np.testing.assert_array_equal(expect[0], got[0])
+                np.testing.assert_array_equal(expect[1], got[1])
+
+    def test_load_rejects_bad_manifest(self, tmp_path):
+        directory = tmp_path / "shards"
+        directory.mkdir()
+        (directory / SHARDS_MANIFEST).write_text(json.dumps({"format": "nope"}))
+        with pytest.raises(ValueError):
+            ShardPlan.load(directory)
+        (directory / SHARDS_MANIFEST).unlink()
+        with pytest.raises((ValueError, OSError)):
+            ShardPlan.load(directory)

@@ -1,0 +1,144 @@
+"""Tests for zero-copy (mmap) snapshot loading.
+
+The contract: ``load_snapshot(path, mmap=True)`` serves byte-identical
+results, ordering and cost counters to both the original index and a
+conventionally loaded copy, while holding its columns as views into the
+file mapping; the first mutation copies-on-write and the file is never
+written through.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine import SpatialEngine
+from repro.geometry import Point, Rect
+from repro.persistence import (
+    SnapshotFormatError,
+    load_snapshot,
+    save_rebuild_snapshot,
+    save_snapshot,
+    save_workload,
+)
+from repro.storage import MmapColumnStore
+from repro.workloads import Workload
+from repro.zindex import ZIndex
+
+
+def _build(n=2000, seed=7, **kwargs):
+    rng = np.random.default_rng(seed)
+    pts = [Point(float(x), float(y)) for x, y in rng.uniform(0, 200, size=(n, 2))]
+    kwargs.setdefault("leaf_capacity", 32)
+    return ZIndex(pts, **kwargs), rng
+
+
+def _windows(rng, count=40, span=200.0):
+    out = []
+    for _ in range(count):
+        x0, x1 = sorted(rng.uniform(0, span, 2).tolist())
+        y0, y1 = sorted(rng.uniform(0, span, 2).tolist())
+        out.append(Rect(x0, y0, x1, y1))
+    return out
+
+
+@pytest.fixture(params=[False, True], ids=["plain", "skipping"])
+def saved(request, tmp_path):
+    index, rng = _build(use_skipping=request.param)
+    path = tmp_path / "snap.zip"
+    save_snapshot(index, path)
+    return index, path, rng
+
+
+class TestMmapLoad:
+    def test_columns_are_views_into_the_mapping(self, saved):
+        _, path, _ = saved
+        loaded = load_snapshot(path, mmap=True, validate=False)
+        store = loaded._store
+        assert isinstance(store, MmapColumnStore)
+        assert np.shares_memory(loaded._flat_x, store["flat_x"])
+        assert isinstance(loaded._flat_x.base, np.memmap)
+        for entry in loaded.leaflist:
+            if len(entry.page):
+                assert not entry.page.owns_buffers
+                assert np.shares_memory(entry.page.xs, store["flat_x"])
+
+    def test_results_and_counters_identical(self, saved):
+        index, path, rng = saved
+        mapped = load_snapshot(path, mmap=True, validate=False)
+        copied = load_snapshot(path)
+        queries = _windows(rng)
+        centers = [Point(float(x), float(y)) for x, y in rng.uniform(0, 200, size=(12, 2))]
+        for reference in (index, copied):
+            for engine in (reference, mapped):
+                engine.reset_counters()
+            expect = reference.batch_range_query(queries)
+            got = mapped.batch_range_query(queries)
+            for e, g in zip(expect, got):
+                np.testing.assert_array_equal(e.as_arrays()[0], g.as_arrays()[0])
+                np.testing.assert_array_equal(e.as_arrays()[1], g.as_arrays()[1])
+            assert vars(reference.counters) == vars(mapped.counters)
+            for engine in (reference, mapped):
+                engine.reset_counters()
+            ek = reference.batch_knn(centers, 7)
+            gk = mapped.batch_knn(centers, 7)
+            for e, g in zip(ek, gk):
+                np.testing.assert_array_equal(e.as_arrays()[0], g.as_arrays()[0])
+            assert vars(reference.counters) == vars(mapped.counters)
+            er = reference.batch_radius_query(centers, 9.0)
+            gr = mapped.batch_radius_query(centers, 9.0)
+            for e, g in zip(er, gr):
+                np.testing.assert_array_equal(e.as_arrays()[0], g.as_arrays()[0])
+
+    def test_validate_true_also_loads(self, saved):
+        index, path, rng = saved
+        mapped = load_snapshot(path, mmap=True, validate=True)
+        for query in _windows(rng, 5):
+            assert mapped.range_count(query) == index.range_count(query)
+
+    def test_mutation_copies_on_write_and_file_survives(self, saved):
+        index, path, rng = saved
+        before = path.read_bytes()
+        mapped = load_snapshot(path, mmap=True, validate=False)
+        new_points = [Point(float(x), float(y)) for x, y in rng.uniform(0, 200, size=(40, 2))]
+        for point in new_points:
+            mapped.insert(point)
+        for point in new_points:
+            assert mapped.point_query(point)
+        assert len(mapped) == len(index) + len(new_points)
+        assert path.read_bytes() == before
+        # And a fresh mapping still serves the original contents.
+        again = load_snapshot(path, mmap=True, validate=False)
+        assert len(again) == len(index)
+
+    def test_point_queries_against_mapping(self, saved):
+        index, path, _ = saved
+        mapped = load_snapshot(path, mmap=True, validate=False)
+        for point in index.all_points()[:: max(1, len(index) // 25)]:
+            assert mapped.point_query(point)
+        assert not mapped.point_query(Point(-1.0, -1.0))
+
+
+class TestMmapRefusals:
+    def test_workload_snapshot_refuses_mmap(self, tmp_path):
+        path = tmp_path / "w.zip"
+        save_workload(Workload(queries=[Rect(0, 0, 1, 1)]), path)
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(path, mmap=True)
+
+    def test_rebuild_snapshot_refuses_mmap(self, tmp_path):
+        path = tmp_path / "r.zip"
+        pts = [Point(float(i), float(i % 5)) for i in range(64)]
+        save_rebuild_snapshot("str", pts, path, leaf_capacity=16)
+        with pytest.raises(SnapshotFormatError):
+            load_snapshot(path, mmap=True)
+
+
+class TestEnginePassthrough:
+    def test_engine_load_mmap(self, tmp_path):
+        index, rng = _build(n=600)
+        engine = SpatialEngine(index)
+        path = tmp_path / "e.zip"
+        engine.save(path)
+        served = SpatialEngine.load(path, mmap=True, validate=False)
+        assert isinstance(served.index._store, MmapColumnStore)
+        for query in _windows(rng, 5):
+            assert served.index.range_count(query) == index.range_count(query)

@@ -257,6 +257,29 @@ class TestWorkloadLog:
         log.record_range(Rect(9, 9, 10, 10))
         assert snapshot.num_ranges == 1
 
+    def test_snapshot_fingerprint_stable_under_later_appends(self):
+        # Regression: snapshot() must copy its live column slices.  A view
+        # into the growth buffers would be mutated by in-place appends that
+        # do not trigger a reallocation, silently changing a previously
+        # captured Workload.
+        log = WorkloadLog()
+        for i in range(8):
+            log.record_range(Rect(i, i, i + 1, i + 1), count=i)
+        log.record_knns([Point(0.1, 0.1), Point(0.9, 0.9)], 7)
+        log.record_radius(Point(0.5, 0.5), 0.25)
+        snapshot = log.snapshot()
+        fingerprint = snapshot.fingerprint()
+        ranges = snapshot.ranges.copy()
+        # Way below the initial buffer capacity: these appends write into
+        # the same backing arrays rather than reallocating them.
+        for i in range(20):
+            log.record_range(Rect(-i, -i, i + 1, i + 1))
+            log.record_knn(Point(float(i), float(i)), 1)
+            log.record_radius(Point(float(i), 0.0), 9.9)
+        assert snapshot.fingerprint() == fingerprint
+        assert snapshot.ranges.tolist() == ranges.tolist()
+        assert log.snapshot().fingerprint() != fingerprint
+
     def test_extend_and_from_workload(self):
         log = WorkloadLog()
         log.record_range(Rect(0, 0, 1, 1))

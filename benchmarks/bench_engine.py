@@ -36,8 +36,6 @@ import time
 from contextlib import contextmanager
 from pathlib import Path
 
-import numpy as np
-
 from repro.engine import SpatialEngine
 from repro.query import KnnQuery, RangeQuery
 from repro.workloads import (

@@ -36,7 +36,7 @@ from contextlib import contextmanager
 import numpy as np
 
 from repro.core import WaZI
-from repro.geometry import Point, Rect
+from repro.geometry import Rect
 from repro.interfaces import SpatialIndex
 from repro.joins import box_join, knn_join, radius_join
 from repro.workloads import (

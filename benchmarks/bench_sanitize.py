@@ -1,0 +1,154 @@
+"""Sanitizer overhead benchmark: zero cost off, measured cost on.
+
+The runtime sanitizer (``repro.devtools.invariants``) deep-checks every
+built or snapshot-loaded Z-index when ``REPRO_SANITIZE=1``.  Its contract
+has two halves, and this benchmark checks both:
+
+1. **Disabled mode is free.**  Not "cheap" — *free*.  When the sanitizer
+   is not installed, ``ZIndex._build`` and ``ZIndex.from_snapshot_state``
+   must be the pristine, unwrapped library functions (checked by object
+   identity), so a production import of ``repro`` pays zero overhead: no
+   wrapper frames, no flag tests, nothing.  Importing
+   ``repro.devtools.invariants`` by itself must not change that.
+2. **Enabled mode is observation-only and affordable.**  With the
+   sanitizer installed, builds and snapshot loads must return byte-equal
+   results and identical cost counters to the pristine run (the checks
+   may read, never write), and the per-build / per-load / per-explicit
+   check cost is measured and reported so regressions in check cost show
+   up in the CI artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sanitize.py           # full, 50k points
+    PYTHONPATH=src python benchmarks/bench_sanitize.py --quick   # CI-sized canary
+
+Writes a report to ``results/bench_sanitize.txt`` and exits non-zero when
+the disabled-mode identity check fails, enabled-mode results diverge, or
+the sanitizer leaves the library patched after uninstall.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.engine import build_index
+from repro.persistence import load_snapshot, save_snapshot
+from repro.workloads import generate_dataset, generate_range_workload
+from repro.zindex.base import ZIndex
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def _workload_signature(index, queries):
+    """Results + counters of a query workload, as comparable plain data."""
+    index.reset_counters()
+    rows = [tuple(p.as_tuple() for p in index.range_query(q)) for q in queries]
+    return rows, index.counters.snapshot()
+
+
+def _timed(fn, repeats):
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: 8k points, 2 repeats")
+    parser.add_argument("--region", default="newyork")
+    args = parser.parse_args(argv)
+
+    num_points = 8_000 if args.quick else 50_000
+    repeats = 2 if args.quick else 3
+    failures = []
+    lines = [f"bench_sanitize: {num_points} points, region={args.region}"]
+
+    # --- 1. Disabled mode: the library must be literally unpatched. -------
+    pristine_build = ZIndex.__dict__["_build"]
+    pristine_load = ZIndex.__dict__["from_snapshot_state"].__func__
+
+    from repro.devtools import invariants  # import must not patch anything
+
+    if invariants.sanitizer_installed():
+        failures.append("sanitizer reports installed before install_sanitizer()")
+    if ZIndex.__dict__["_build"] is not pristine_build:
+        failures.append("importing repro.devtools.invariants patched ZIndex._build")
+    if ZIndex.__dict__["from_snapshot_state"].__func__ is not pristine_load:
+        failures.append(
+            "importing repro.devtools.invariants patched ZIndex.from_snapshot_state"
+        )
+    lines.append("disabled mode: ZIndex entry points are the pristine functions "
+                 "(identity check) -> overhead is exactly zero")
+
+    points = generate_dataset(args.region, num_points, seed=7)
+    workload = generate_range_workload(args.region, num_queries=40,
+                                       selectivity_percent=0.0256, seed=11)
+    queries = list(workload.queries)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        snap = Path(tmp) / "bench.snapshot"
+
+        def build():
+            return build_index("wazi", points, queries[:8], leaf_capacity=64, seed=0)
+
+        base_build_s, index = _timed(build, repeats)
+        save_snapshot(index, snap)
+        base_load_s, loaded = _timed(lambda: load_snapshot(snap), repeats)
+        base_sig = _workload_signature(loaded, queries)
+
+        # --- 2. Enabled mode: observation-only, measured cost. -----------
+        invariants.install_sanitizer()
+        try:
+            san_build_s, san_index = _timed(build, repeats)
+            san_load_s, san_loaded = _timed(lambda: load_snapshot(snap), repeats)
+            san_sig = _workload_signature(san_loaded, queries)
+            check_s, _ = _timed(
+                lambda: invariants.check_index_invariants(san_index), repeats
+            )
+        finally:
+            invariants.uninstall_sanitizer()
+
+        if san_sig != base_sig:
+            failures.append("sanitized run diverged from pristine run "
+                            "(results or counters differ)")
+        if ZIndex.__dict__["_build"] is not pristine_build:
+            failures.append("uninstall_sanitizer left ZIndex._build patched")
+        if ZIndex.__dict__["from_snapshot_state"].__func__ is not pristine_load:
+            failures.append("uninstall_sanitizer left ZIndex.from_snapshot_state patched")
+
+    def ratio(sanitized, base):
+        return sanitized / base if base > 0 else float("inf")
+
+    lines += [
+        f"build:        pristine {base_build_s * 1e3:9.1f} ms   "
+        f"sanitized {san_build_s * 1e3:9.1f} ms   x{ratio(san_build_s, base_build_s):.2f}",
+        f"load:         pristine {base_load_s * 1e3:9.1f} ms   "
+        f"sanitized {san_load_s * 1e3:9.1f} ms   x{ratio(san_load_s, base_load_s):.2f}",
+        f"explicit check_index_invariants: {check_s * 1e3:.1f} ms per call",
+        "enabled mode: results and counters byte-equal to pristine run"
+        if not failures else "FAILURES: " + "; ".join(failures),
+    ]
+
+    report = "\n".join(lines) + "\n"
+    print(report, end="")
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "bench_sanitize.txt").write_text(report)
+
+    if failures:
+        print(f"bench_sanitize: FAIL ({len(failures)} failure(s))", file=sys.stderr)
+        return 1
+    print("bench_sanitize: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.engine import build_index
 from repro.evaluation import (

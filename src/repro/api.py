@@ -18,6 +18,7 @@ constructor keyword arguments are forwarded (earlier revisions silently
 dropped them).
 """
 
+# repro-lint: public-api
 from __future__ import annotations
 
 import warnings
@@ -39,6 +40,7 @@ def build_index(
     name,
     points,
     workload=(),
+    *,
     leaf_capacity: int = 64,
     seed: Optional[int] = 0,
     **kwargs,
@@ -131,10 +133,10 @@ def compare_indexes(
     names: Sequence[str],
     points: Sequence[Point],
     workload: Sequence[Rect],
+    *,
     point_queries: Sequence[Point] = (),
     leaf_capacity: int = 64,
     seed: int = 0,
-    *,
     knn_queries: Sequence[Point] = (),
     knn_k: int = 10,
     repeats: int = 1,
@@ -222,7 +224,7 @@ def run_point_workload(index: SpatialIndex, queries: Sequence[Point]):
 
 
 def run_knn_workload(
-    index: SpatialIndex, centers: Sequence[Point], k: int = 10, batch: bool = False
+    index: SpatialIndex, centers: Sequence[Point], *, k: int = 10, batch: bool = False
 ):
     """Measure a kNN workload on an already-built index (wall clock + counters).
 
@@ -256,6 +258,7 @@ def run_join_workload(
 def run_snapshot_roundtrip(
     index: SpatialIndex,
     path: Union[str, Path],
+    *,
     build_seconds: Optional[float] = None,
     repeats: int = 3,
 ):

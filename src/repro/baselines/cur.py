@@ -12,7 +12,7 @@ large, coarse leaves — an unbalanced tree tailored to the expected accesses.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

@@ -12,10 +12,10 @@ data-aware only — the query workload plays no role.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.baselines.rtree import DEFAULT_FANOUT, DEFAULT_LEAF_CAPACITY, RTree, RTreeNode
-from repro.geometry import Point, Rect
+from repro.geometry import Point
 
 
 def _pack_leaves(points: List[Point], leaf_capacity: int) -> List[RTreeNode]:

@@ -14,7 +14,7 @@ points, which is precisely the weakness WaZI's data-space layout avoids.
 from __future__ import annotations
 
 import bisect
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.geometry import Point, Rect, bounding_box
 from repro.interfaces import SpatialIndex

@@ -1,0 +1,20 @@
+"""Developer tooling: the repro-lint static analyzer and runtime sanitizer.
+
+This package mechanizes the correctness rules the codebase accumulated over
+its first six PRs — flat-cache invalidation, copy-on-write promotion, the
+persistence error taxonomy, deterministic container bytes, seed threading —
+so they are enforced by CI instead of reviewer memory.
+
+Two tools live here:
+
+* :mod:`repro.devtools.lint` — an AST-based static analyzer run as
+  ``python -m repro.devtools.lint src/repro`` with a registry of repo-specific
+  rules and per-line suppressions.
+* :mod:`repro.devtools.invariants` — a runtime sanitizer that deep-checks a
+  built or loaded index (skip pointers, leaf boxes, mmap read-only flags,
+  flat-cache coherence).  Enabled with ``REPRO_SANITIZE=1``; a pytest fixture
+  hooks it into every index built by the test suite.
+
+Neither module is imported by the library itself: production code paths pay
+zero cost for their existence.
+"""

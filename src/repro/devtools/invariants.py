@@ -1,0 +1,338 @@
+"""Runtime sanitizer: deep checks of a built or loaded index's invariants.
+
+The static rules in :mod:`repro.devtools.lint` catch code that *could*
+corrupt derived state; this module checks the state itself.  Every check
+raises :class:`InvariantViolation` carrying the *name* of the violated
+invariant, so a failure in CI reads as a diagnosis, not a stack trace:
+
+======================  ====================================================
+invariant               what it asserts
+======================  ====================================================
+leaf-starts-monotone    ``leaf_starts`` is a 0-based, non-decreasing prefix
+                        array with one slot per leaf plus the total
+leaf-nonempty-consistent ``leaf_nonempty[i]`` equals ``starts[i+1] > starts[i]``
+leaf-boxes-tight        a non-empty leaf's stored box equals the exact
+                        min/max of its coordinate slice (empty: its cell)
+skip-pointer-range      every look-ahead pointer is ``END_OF_LIST`` or a
+                        strictly later leaf position
+skip-pointer-rebuild    stored pointers are byte-equal to a fresh
+                        (non-mutating) Algorithm 4 pass over the live boxes
+mmap-read-only          columns of a read-only store (mmap snapshot) have
+                        ``writeable=False`` and were never written through
+flat-cache-coherent     the cached flat columns equal a fresh gather from
+                        the pages (the cache is dropped on every mutation,
+                        so a live cache must match a rebuild exactly)
+shard-conservation      the dispatcher's accumulated counters equal the sum
+                        of the per-shard counters (scatter/gather loses no
+                        delta), measured from a shared counter reset
+======================  ====================================================
+
+Enabling
+--------
+Nothing here runs unless asked.  Set ``REPRO_SANITIZE=1`` and the test
+suite's conftest calls :func:`install_sanitizer`, which wraps
+``ZIndex._build`` and ``ZIndex.from_snapshot_state`` to run
+:func:`check_index_invariants` on every index the tests construct.  With
+the variable unset, the library functions are left untouched — zero
+overhead (``benchmarks/bench_sanitize.py`` asserts this).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "InvariantViolation",
+    "check_index_invariants",
+    "check_shard_conservation",
+    "expected_skip_pointers",
+    "install_sanitizer",
+    "uninstall_sanitizer",
+    "sanitize_enabled",
+    "sanitizer_installed",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A deep check failed; :attr:`invariant` names the broken invariant."""
+
+    def __init__(self, invariant: str, message: str) -> None:
+        self.invariant = invariant
+        super().__init__(f"[{invariant}] {message}")
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SANITIZE`` asks for the sanitizer to be installed."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+# ---------------------------------------------------------------------------
+# Index deep checks
+# ---------------------------------------------------------------------------
+
+
+def expected_skip_pointers(entries) -> Dict[str, List[int]]:
+    """Algorithm 4 recomputed into fresh lists, without touching ``entries``.
+
+    Mirrors :func:`repro.zindex.skipping.build_lookahead_pointers` exactly,
+    but follows its *own* already-computed chains instead of writing
+    pointers back, so a check never repairs the corruption it is hunting.
+    """
+    from repro.storage.leaflist import END_OF_LIST, SKIP_CRITERIA
+    from repro.zindex.skipping import _criterion_value, _improves
+
+    n = len(entries)
+    expected: Dict[str, List[int]] = {c: [END_OF_LIST] * n for c in SKIP_CRITERIA}
+    for position in range(n - 1, -1, -1):
+        entry = entries[position]
+        for criterion in SKIP_CRITERIA:
+            reference = _criterion_value(entry, criterion)
+            target = position + 1 if position + 1 < n else END_OF_LIST
+            while target != END_OF_LIST:
+                candidate = entries[target]
+                if _improves(criterion, _criterion_value(candidate, criterion), reference):
+                    break
+                target = expected[criterion][target]
+            expected[criterion][position] = target
+    return expected
+
+
+def check_index_invariants(index: Any) -> None:
+    """Deep-check one index; raises :class:`InvariantViolation` on failure.
+
+    Indexes outside the Z-index family (no ``leaflist``) pass vacuously.
+    """
+    leaflist = getattr(index, "leaflist", None)
+    if leaflist is None or not hasattr(leaflist, "entries"):
+        return
+
+    from repro.storage.buffers import MemoryColumnStore
+    from repro.storage.leaflist import END_OF_LIST, SKIP_CRITERIA
+
+    entries = list(leaflist.entries)
+    n = len(entries)
+
+    # A fresh, independent gather of the coordinate columns from the pages.
+    fresh = MemoryColumnStore.gather(leaflist)
+    starts = np.asarray(fresh["leaf_starts"], dtype=np.int64)
+    flat_x = np.asarray(fresh["flat_x"], dtype=np.float64)
+    flat_y = np.asarray(fresh["flat_y"], dtype=np.float64)
+
+    # -- leaf-starts-monotone ---------------------------------------------
+    if starts.shape[0] != n + 1:
+        raise InvariantViolation(
+            "leaf-starts-monotone",
+            f"leaf_starts has {starts.shape[0]} slots for {n} leaves "
+            f"(expected {n + 1})",
+        )
+    if n >= 0 and (starts[0] != 0 or np.any(np.diff(starts) < 0)):
+        raise InvariantViolation(
+            "leaf-starts-monotone",
+            f"leaf_starts must start at 0 and be non-decreasing; got "
+            f"starts[0]={int(starts[0])}, min step "
+            f"{int(np.diff(starts).min()) if n else 0}",
+        )
+    if int(starts[-1]) != flat_x.shape[0]:
+        raise InvariantViolation(
+            "leaf-starts-monotone",
+            f"leaf_starts totals {int(starts[-1])} rows but the flat columns "
+            f"hold {flat_x.shape[0]}",
+        )
+
+    packed = leaflist.packed()
+
+    # -- leaf-nonempty-consistent -----------------------------------------
+    derived_nonempty = starts[1:] > starts[:-1]
+    if not np.array_equal(np.asarray(packed.nonempty, dtype=bool), derived_nonempty):
+        bad = int(np.flatnonzero(
+            np.asarray(packed.nonempty, dtype=bool) != derived_nonempty
+        )[0])
+        raise InvariantViolation(
+            "leaf-nonempty-consistent",
+            f"leaf {bad}: nonempty={bool(packed.nonempty[bad])} but its slice "
+            f"[{int(starts[bad])}, {int(starts[bad + 1])}) says "
+            f"{bool(derived_nonempty[bad])}",
+        )
+
+    # -- leaf-boxes-tight --------------------------------------------------
+    boxes = np.asarray(packed.boxes, dtype=np.float64).reshape(-1, 4)
+    for i in np.flatnonzero(derived_nonempty):
+        lo, hi = int(starts[i]), int(starts[i + 1])
+        xs, ys = flat_x[lo:hi], flat_y[lo:hi]
+        tight = (xs.min(), ys.min(), xs.max(), ys.max())
+        if tuple(boxes[i]) != tight:
+            raise InvariantViolation(
+                "leaf-boxes-tight",
+                f"leaf {int(i)}: stored box {tuple(boxes[i])} != tight box "
+                f"{tight} of rows [{lo}, {hi})",
+            )
+
+    # -- skip-pointer-range ------------------------------------------------
+    # The live entries are the source of truth; the packed columns must
+    # mirror them (a stale packed cache would hide entry-level corruption).
+    positions = np.arange(n, dtype=np.int64)
+    entry_pointers = {
+        criterion: np.fromiter(
+            (entry.skip_pointer(criterion) for entry in entries),
+            dtype=np.int64, count=n,
+        )
+        for criterion in SKIP_CRITERIA
+    }
+    packed_columns = dict(zip(
+        SKIP_CRITERIA, (packed.below, packed.above, packed.left, packed.right)
+    ))
+    for criterion in SKIP_CRITERIA:
+        for origin, pointers in (
+            ("entry", entry_pointers[criterion]),
+            ("packed", np.asarray(packed_columns[criterion], dtype=np.int64)),
+        ):
+            bad_mask = (pointers != END_OF_LIST) & (
+                (pointers <= positions) | (pointers >= n)
+            )
+            if np.any(bad_mask):
+                bad = int(np.flatnonzero(bad_mask)[0])
+                raise InvariantViolation(
+                    "skip-pointer-range",
+                    f"leaf {bad}: {origin} {criterion} pointer "
+                    f"{int(pointers[bad])} is not END_OF_LIST or a later "
+                    f"position in [0, {n})",
+                )
+
+    # -- skip-pointer-rebuild ----------------------------------------------
+    # All-END_OF_LIST columns mean "pointers not built (yet)" — a valid,
+    # merely unoptimized state (scans skip nothing): shard construction
+    # loads emptied snapshot states exactly like this before rebuilding.
+    pointers_built = any(
+        np.any(entry_pointers[criterion] != END_OF_LIST)
+        for criterion in SKIP_CRITERIA
+    )
+    if getattr(index, "use_skipping", False) and n and pointers_built:
+        expected = expected_skip_pointers(entries)
+        for criterion in SKIP_CRITERIA:
+            want = np.asarray(expected[criterion], dtype=np.int64)
+            for origin, got in (
+                ("entry", entry_pointers[criterion]),
+                ("packed", np.asarray(packed_columns[criterion], dtype=np.int64)),
+            ):
+                if not np.array_equal(want, got):
+                    bad = int(np.flatnonzero(want != got)[0])
+                    raise InvariantViolation(
+                        "skip-pointer-rebuild",
+                        f"leaf {bad}: {origin} {criterion} pointer "
+                        f"{int(got[bad])} != {int(want[bad])} from a fresh "
+                        "Algorithm 4 pass — a scan following it could skip a "
+                        "relevant leaf",
+                    )
+
+    # -- mmap-read-only ----------------------------------------------------
+    store = getattr(index, "_store", None)
+    if store is not None and not store.writable:
+        for name in store.names():
+            column = store[name]
+            if column.flags.writeable:
+                raise InvariantViolation(
+                    "mmap-read-only",
+                    f"read-only store column {name!r} is writeable; a stray "
+                    "in-place write would corrupt the shared snapshot pages",
+                )
+
+    # -- flat-cache-coherent -----------------------------------------------
+    cached_starts = getattr(index, "_flat_starts", None)
+    if cached_starts is not None:
+        for name, cached, fresh_column in (
+            ("leaf_starts", np.asarray(cached_starts), starts),
+            ("flat_x", np.asarray(index._flat_x), flat_x),
+            ("flat_y", np.asarray(index._flat_y), flat_y),
+        ):
+            if not np.array_equal(cached, fresh_column):
+                raise InvariantViolation(
+                    "flat-cache-coherent",
+                    f"cached {name} differs from a fresh page gather; a "
+                    "mutation skipped _invalidate_flat (generation "
+                    f"{getattr(index, '_flat_generation', '?')})",
+                )
+
+
+# ---------------------------------------------------------------------------
+# Shard conservation
+# ---------------------------------------------------------------------------
+
+
+def check_shard_conservation(sharded: Any) -> None:
+    """Dispatcher counters must equal the sum of the per-shard counters.
+
+    Valid from a shared counter reset (``sharded.reset_counters()``
+    broadcasts the reset to every backend): every per-shard delta the
+    workers report must be absorbed exactly once by the dispatcher.
+    """
+    totals: Dict[str, int] = {}
+    for backend in sharded._backends:
+        shard_counters = backend.request("counters")
+        for key, value in shard_counters.items():
+            totals[key] = totals.get(key, 0) + int(value)
+    dispatcher = vars(sharded.counters)
+    for key, value in totals.items():
+        if key in dispatcher and int(dispatcher[key]) != value:
+            raise InvariantViolation(
+                "shard-conservation",
+                f"counter {key!r}: dispatcher accumulated "
+                f"{int(dispatcher[key])} but the shards report {value} — a "
+                "scatter/gather dropped or double-counted a delta",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Installation (test-suite hook)
+# ---------------------------------------------------------------------------
+
+_ORIGINALS: Optional[Dict[str, Any]] = None
+
+
+def sanitizer_installed() -> bool:
+    return _ORIGINALS is not None
+
+
+def install_sanitizer() -> None:
+    """Wrap ``ZIndex._build`` / ``from_snapshot_state`` with deep checks.
+
+    Idempotent.  With the sanitizer never installed, the wrapped functions
+    are the pristine originals — the disabled-mode overhead is exactly
+    zero, which ``benchmarks/bench_sanitize.py`` verifies by identity.
+    """
+    global _ORIGINALS
+    if _ORIGINALS is not None:
+        return
+    from repro.zindex.base import ZIndex
+
+    original_build = ZIndex._build
+    original_from_state = ZIndex.from_snapshot_state.__func__
+
+    def checked_build(self, *args, **kwargs):
+        result = original_build(self, *args, **kwargs)
+        check_index_invariants(self)
+        return result
+
+    def checked_from_state(cls, *args, **kwargs):
+        index = original_from_state(cls, *args, **kwargs)
+        check_index_invariants(index)
+        return index
+
+    checked_build.__wrapped__ = original_build  # type: ignore[attr-defined]
+    ZIndex._build = checked_build
+    ZIndex.from_snapshot_state = classmethod(checked_from_state)
+    _ORIGINALS = {"_build": original_build, "from_snapshot_state": original_from_state}
+
+
+def uninstall_sanitizer() -> None:
+    """Restore the pristine ``ZIndex`` entry points."""
+    global _ORIGINALS
+    if _ORIGINALS is None:
+        return
+    from repro.zindex.base import ZIndex
+
+    ZIndex._build = _ORIGINALS["_build"]
+    ZIndex.from_snapshot_state = classmethod(_ORIGINALS["from_snapshot_state"])
+    _ORIGINALS = None

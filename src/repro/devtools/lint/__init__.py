@@ -1,0 +1,364 @@
+"""repro-lint: an AST-based static analyzer for this repository's invariants.
+
+Usage::
+
+    python -m repro.devtools.lint src/repro            # report findings
+    python -m repro.devtools.lint src/repro --strict   # + suppression hygiene
+    python -m repro.devtools.lint --list-rules
+
+The framework is deliberately small: a rule is a function registered with
+:func:`rule` that receives a :class:`ModuleContext` (path, source, parsed
+AST, module tags) and yields :class:`Finding` objects.  Rules encode *this
+repository's* hard-won correctness requirements — see
+``docs/STATIC_ANALYSIS.md`` for the catalog and the historical bug behind
+each rule.
+
+Suppressions are per line::
+
+    self.root = merged  # repro-lint: disable=mutation-must-invalidate -- caller rebuilds
+
+Every suppression must carry a ``-- reason``; ``--strict`` (the CI mode)
+reports reasonless or unknown-rule suppressions as findings.  Modules opt
+into scope-sensitive rules with tags on their own line near the top::
+
+    # repro-lint: hot-path      (no-boxing-in-hot-path applies)
+    # repro-lint: public-api    (keyword-only-api-growth applies)
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "rule",
+    "RULES",
+    "lint_source",
+    "lint_paths",
+    "main",
+]
+
+#: Framework-level pseudo-rule used for suppression hygiene problems.
+SUPPRESSION_RULE = "suppression-hygiene"
+
+_DIRECTIVE_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>.+?)\s*$")
+_DISABLE_RE = re.compile(r"disable=(?P<rules>[\w,-]+)(?P<reason>\s+--\s+.+)?$")
+
+#: Module tags a file may declare on a comment-only line.
+MODULE_TAGS = ("hot-path", "public-api")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+
+@dataclass
+class Suppression:
+    """A parsed ``disable=`` directive on one source line."""
+
+    line: int
+    rules: Tuple[str, ...]
+    reason: Optional[str]
+    used: bool = False
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one module."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    lines: List[str]
+    tags: Set[str] = field(default_factory=set)
+    suppressions: Dict[int, Suppression] = field(default_factory=dict)
+
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        """Path components of :attr:`relpath` (for directory-scoped rules)."""
+        return tuple(Path(self.relpath).parts)
+
+    def in_package(self, *names: str) -> bool:
+        """Whether the module lives under any of the named directories."""
+        return any(name in self.parts[:-1] for name in names)
+
+    def finding(self, node: ast.AST, rule_name: str, message: str) -> Finding:
+        return Finding(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule_name,
+            message=message,
+        )
+
+    def functions(self) -> Iterator[Tuple[ast.AST, Optional[ast.ClassDef]]]:
+        """Every (async) function definition, paired with its enclosing class.
+
+        Nested functions report the *innermost* class, mirroring how the
+        invariants attach to methods.
+        """
+
+        def walk(node: ast.AST, cls: Optional[ast.ClassDef]) -> Iterator:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    yield from walk(child, child)
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield child, cls
+                    yield from walk(child, cls)
+                else:
+                    yield from walk(child, cls)
+
+        yield from walk(self.tree, None)
+
+
+RuleFunc = Callable[[ModuleContext], Iterator[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    name: str
+    description: str
+    check: RuleFunc
+
+
+#: Registry of all known rules, keyed by rule name.
+RULES: Dict[str, Rule] = {}
+
+
+def rule(name: str, description: str) -> Callable[[RuleFunc], RuleFunc]:
+    """Register ``func`` as the checker for rule ``name``."""
+
+    def register(func: RuleFunc) -> RuleFunc:
+        if name in RULES:
+            raise ValueError(f"duplicate lint rule: {name}")
+        RULES[name] = Rule(name=name, description=description, check=func)
+        return func
+
+    return register
+
+
+# ---------------------------------------------------------------------------
+# Directive parsing
+# ---------------------------------------------------------------------------
+
+
+def _iter_comments(source: str) -> Iterator[Tuple[int, str]]:
+    """Yield ``(line, text)`` for every real comment token in ``source``.
+
+    Tokenizing (rather than scanning lines) keeps directive-looking text in
+    docstrings and string literals from being parsed as directives.
+    """
+    import io
+    import tokenize
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.string
+    except tokenize.TokenError:
+        return
+
+
+def _parse_directives(source: str) -> Tuple[Set[str], Dict[int, Suppression], List[Tuple[int, str]]]:
+    """Extract module tags, per-line suppressions, and directive errors.
+
+    Returns ``(tags, suppressions_by_line, errors)`` where each error is a
+    ``(line, message)`` pair (malformed directive bodies).
+    """
+    tags: Set[str] = set()
+    suppressions: Dict[int, Suppression] = {}
+    errors: List[Tuple[int, str]] = []
+    for lineno, text in _iter_comments(source):
+        match = _DIRECTIVE_RE.search(text)
+        if match is None:
+            continue
+        body = match.group("body")
+        if body in MODULE_TAGS:
+            tags.add(body)
+            continue
+        disable = _DISABLE_RE.match(body)
+        if disable is None:
+            errors.append((lineno, f"malformed repro-lint directive: {body!r}"))
+            continue
+        names = tuple(name for name in disable.group("rules").split(",") if name)
+        reason_text = disable.group("reason")
+        reason = reason_text.split("--", 1)[1].strip() if reason_text else None
+        suppressions[lineno] = Suppression(line=lineno, rules=names, reason=reason)
+    return tags, suppressions, errors
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+
+def _load_context(path: Path, root: Optional[Path]) -> ModuleContext:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+    tags, suppressions, errors = _parse_directives(source)
+    try:
+        relpath = str(path.relative_to(root)) if root is not None else str(path)
+    except ValueError:
+        relpath = str(path)
+    ctx = ModuleContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        lines=lines,
+        tags=tags,
+        suppressions=suppressions,
+    )
+    ctx._directive_errors = errors  # type: ignore[attr-defined]
+    return ctx
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    relpath: Optional[str] = None,
+    select: Optional[Iterable[str]] = None,
+    strict: bool = False,
+) -> List[Finding]:
+    """Lint a source string (the entry point tests and fixtures use)."""
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    tags, suppressions, errors = _parse_directives(source)
+    ctx = ModuleContext(
+        path=Path(path),
+        relpath=relpath if relpath is not None else path,
+        source=source,
+        tree=tree,
+        lines=lines,
+        tags=tags,
+        suppressions=suppressions,
+    )
+    ctx._directive_errors = errors  # type: ignore[attr-defined]
+    return _check_module(ctx, select=select, strict=strict)
+
+
+def _check_module(
+    ctx: ModuleContext,
+    *,
+    select: Optional[Iterable[str]] = None,
+    strict: bool = False,
+) -> List[Finding]:
+    _ensure_rules_loaded()
+    selected = set(select) if select is not None else set(RULES)
+    findings: List[Finding] = []
+    for name in sorted(selected):
+        if name not in RULES:
+            raise KeyError(f"unknown lint rule: {name}")
+        findings.extend(RULES[name].check(ctx))
+
+    kept: List[Finding] = []
+    for finding in findings:
+        suppression = ctx.suppressions.get(finding.line)
+        if suppression is not None and finding.rule in suppression.rules:
+            suppression.used = True
+            continue
+        kept.append(finding)
+
+    if strict:
+        for lineno, message in getattr(ctx, "_directive_errors", []):
+            kept.append(Finding(str(ctx.path), lineno, 0, SUPPRESSION_RULE, message))
+        for suppression in ctx.suppressions.values():
+            if suppression.reason is None:
+                kept.append(Finding(
+                    str(ctx.path), suppression.line, 0, SUPPRESSION_RULE,
+                    "suppression is missing a reason "
+                    "(write: # repro-lint: disable=<rule> -- <why>)",
+                ))
+            for name in suppression.rules:
+                if name not in RULES:
+                    kept.append(Finding(
+                        str(ctx.path), suppression.line, 0, SUPPRESSION_RULE,
+                        f"suppression names unknown rule {name!r}",
+                    ))
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def _iter_python_files(paths: Sequence[Path]) -> Iterator[Tuple[Path, Optional[Path]]]:
+    for base in paths:
+        if base.is_dir():
+            for path in sorted(base.rglob("*.py")):
+                yield path, base
+        else:
+            yield base, None
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Iterable[str]] = None,
+    strict: bool = False,
+) -> List[Finding]:
+    """Lint files and directory trees; returns all unsuppressed findings."""
+    findings: List[Finding] = []
+    for path, root in _iter_python_files(paths):
+        ctx = _load_context(path, root)
+        findings.extend(_check_module(ctx, select=select, strict=strict))
+    return findings
+
+
+def _ensure_rules_loaded() -> None:
+    # Importing the rules module populates RULES via the @rule decorator.
+    from repro.devtools.lint import rules  # noqa: F401
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Repository-invariant static analysis.",
+    )
+    parser.add_argument("paths", nargs="*", type=Path, help="files or directories to lint")
+    parser.add_argument("--strict", action="store_true",
+                        help="also enforce suppression hygiene (CI mode)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule names to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    _ensure_rules_loaded()
+    if args.list_rules:
+        width = max(len(name) for name in RULES)
+        for name in sorted(RULES):
+            print(f"{name:<{width}}  {RULES[name].description}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.devtools.lint src/repro)")
+
+    select = args.select.split(",") if args.select else None
+    try:
+        findings = lint_paths(args.paths, select=select, strict=args.strict)
+    except KeyError as exc:
+        parser.error(str(exc))
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

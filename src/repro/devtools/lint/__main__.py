@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.devtools.lint src/repro [--strict]``."""
+
+import sys
+
+from repro.devtools.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main())

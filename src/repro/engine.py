@@ -41,6 +41,7 @@ The engine also keeps the free-function era working: ``build_index`` and
 re-exported by :mod:`repro.api` as deprecation shims.
 """
 
+# repro-lint: public-api
 from __future__ import annotations
 
 import time
@@ -120,6 +121,7 @@ def build_index(
     name: str,
     points: Sequence[Point],
     workload: Sequence[Rect] = (),
+    *,
     leaf_capacity: int = 64,
     seed: Optional[int] = 0,
     **kwargs,

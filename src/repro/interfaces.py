@@ -9,6 +9,7 @@ a :class:`~repro.evaluation.metrics.CostCounters` instance so logical work
 uniform way.
 """
 
+# repro-lint: public-api
 from __future__ import annotations
 
 import abc

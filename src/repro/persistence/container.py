@@ -103,7 +103,7 @@ def write_container(
     # umask-honouring permissions a direct write would — mkstemp's 0600
     # would survive os.replace and make cross-user serving fail.
     scratch = target.with_name(
-        f"{target.name}.{os.getpid()}-{os.urandom(6).hex()}.tmp"
+        f"{target.name}.{os.getpid()}-{os.urandom(6).hex()}.tmp"  # repro-lint: disable=deterministic-io -- entropy names only the scratch file; the bytes written through it stay deterministic
     )
     try:
         with zipfile.ZipFile(scratch, "w", compression=zipfile.ZIP_STORED) as archive:
@@ -361,10 +361,10 @@ def _map_npy_member(path: Path, offset: int) -> np.ndarray:
         elif version == (2, 0):
             shape, fortran_order, dtype = np.lib.format.read_array_header_2_0(handle)
         else:
-            raise ValueError(f"unsupported NPY format version {version}")
+            raise SnapshotFormatError(f"unsupported NPY format version {version}")
         data_offset = handle.tell()
     if dtype.hasobject:
-        raise ValueError("object arrays cannot be memory-mapped")
+        raise SnapshotFormatError("object arrays cannot be memory-mapped")
     if int(np.prod(shape)) == 0:
         # mmap(2) refuses zero-length mappings; an empty array carries no
         # shared state anyway, so a plain (read-only) array is equivalent.

@@ -47,7 +47,7 @@ from repro.interfaces import (
     require_valid_radius,
 )
 from repro.results import ResultSet
-from repro.serving.sharding import ShardPlan, ShardSpec
+from repro.serving.sharding import ShardPlan
 from repro.serving.workers import LocalBackend, spawn_shard_backends
 
 PathLike = Union[str, Path]

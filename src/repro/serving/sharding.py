@@ -37,6 +37,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.geometry import Rect
+from repro.persistence.errors import SnapshotFormatError
 from repro.storage.leaflist import END_OF_LIST
 from repro.zindex.base import ZIndex, ZIndexSnapshotState
 from repro.zindex.skipping import build_lookahead_pointers
@@ -170,29 +171,38 @@ class ShardPlan:
         try:
             manifest = json.loads(target.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
-            raise ValueError(f"{target} is not a readable shard manifest: {exc}") from exc
+            raise SnapshotFormatError(
+                f"{target} is not a readable shard manifest: {exc}"
+            ) from exc
         if not isinstance(manifest, dict) or manifest.get("format") != SHARDS_FORMAT:
-            raise ValueError(f"{target} lacks the {SHARDS_FORMAT!r} format marker")
+            raise SnapshotFormatError(
+                f"{target} lacks the {SHARDS_FORMAT!r} format marker"
+            )
         version = manifest.get("format_version")
         if version != SHARDS_FORMAT_VERSION:
-            raise ValueError(
+            raise SnapshotFormatError(
                 f"{target} uses shard-manifest version {version!r}; this library "
                 f"reads {SHARDS_FORMAT_VERSION}"
             )
-        shards = [
-            ShardSpec(
-                shard_id=int(entry["shard_id"]),
-                path=str(entry["path"]),
-                leaf_lo=int(entry["leaf_span"][0]),
-                leaf_hi=int(entry["leaf_span"][1]),
-                row_lo=int(entry["row_span"][0]),
-                row_hi=int(entry["row_span"][1]),
-                bounds=None if entry.get("bounds") is None else tuple(
-                    float(v) for v in entry["bounds"]
-                ),
-            )
-            for entry in manifest.get("shards", [])
-        ]
+        try:
+            shards = [
+                ShardSpec(
+                    shard_id=int(entry["shard_id"]),
+                    path=str(entry["path"]),
+                    leaf_lo=int(entry["leaf_span"][0]),
+                    leaf_hi=int(entry["leaf_span"][1]),
+                    row_lo=int(entry["row_span"][0]),
+                    row_hi=int(entry["row_span"][1]),
+                    bounds=None if entry.get("bounds") is None else tuple(
+                        float(v) for v in entry["bounds"]
+                    ),
+                )
+                for entry in manifest.get("shards", [])
+            ]
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise SnapshotFormatError(
+                f"{target} has a malformed shard entry: {exc!r}"
+            ) from exc
         return cls(
             directory=root,
             num_points=int(manifest.get("num_points", 0)),

@@ -24,6 +24,7 @@ private buffer on first write — and bump the store's generation so scan
 caches and lazy result views notice staleness exactly as before.
 """
 
+# repro-lint: hot-path
 from __future__ import annotations
 
 from typing import Dict, Iterator, Mapping, Optional, Tuple

@@ -23,6 +23,7 @@ packed copy is built lazily and invalidated (or repaired in place) by the
 mutation entry points, so callers simply ask for :meth:`LeafList.packed`.
 """
 
+# repro-lint: hot-path
 from __future__ import annotations
 
 from dataclasses import dataclass, field

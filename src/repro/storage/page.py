@@ -22,6 +22,7 @@ that are not on the hot path do not need to know about the columnar layout.
 The bounding box is maintained incrementally on ``add``.
 """
 
+# repro-lint: hot-path
 from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Optional

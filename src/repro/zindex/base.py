@@ -32,6 +32,7 @@ the scalar reference implementation, so the paper's Figure 13 metrics are
 unchanged by the vectorization.
 """
 
+# repro-lint: hot-path
 from __future__ import annotations
 
 import weakref
@@ -1060,7 +1061,7 @@ class ZIndex(SpatialIndex):
                         page.add(stored)
                 merged_leaf._pending_page = page  # type: ignore[attr-defined]
                 if parent is None:
-                    self.root = merged_leaf
+                    self.root = merged_leaf  # repro-lint: disable=mutation-must-invalidate -- sole caller _maybe_merge runs _rebuild_leaflist over every merge
                 else:
                     parent.children[quadrant] = merged_leaf
                 changed = True

@@ -9,6 +9,29 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.devtools.invariants import (
+    install_sanitizer,
+    sanitize_enabled,
+    uninstall_sanitizer,
+)
+
+
+@pytest.fixture(scope="session", autouse=True)
+def runtime_sanitizer():
+    """Deep-check every index the suite builds when REPRO_SANITIZE=1.
+
+    With the variable unset this fixture is a no-op and the library entry
+    points stay pristine (bench_sanitize.py asserts the identity).
+    """
+    if not sanitize_enabled():
+        yield
+        return
+    install_sanitizer()
+    try:
+        yield
+    finally:
+        uninstall_sanitizer()
+
 from repro.geometry import Point, Rect
 from repro.workloads import (
     generate_dataset,

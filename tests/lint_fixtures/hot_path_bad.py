@@ -1,0 +1,17 @@
+"""Failing fixture: boxes Point objects inside a hot-path scan."""
+
+# repro-lint: hot-path
+
+from repro.geometry import Point
+
+
+def scan(xs, ys, query):
+    hits = []
+    for x, y in zip(xs, ys):
+        if query.contains(Point(x, y)):
+            hits.append(Point(x, y))
+    return hits
+
+
+def count(result_set):
+    return len(result_set.points())

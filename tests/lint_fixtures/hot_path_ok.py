@@ -1,0 +1,17 @@
+"""Passing fixture: a hot-path module that stays columnar."""
+
+# repro-lint: hot-path
+
+import numpy as np
+
+from repro.geometry import Point
+
+
+def scan_columns(xs, ys, query):
+    mask = (xs >= query.xmin) & (xs <= query.xmax)
+    return np.flatnonzero(mask)
+
+
+def boxed_points(xs, ys):
+    # Whitelisted boxer: the result-materialisation boundary.
+    return [Point(x, y) for x, y in zip(xs, ys)]

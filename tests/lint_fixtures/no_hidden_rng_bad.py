@@ -1,0 +1,10 @@
+"""Failing fixture: a literal seed hidden inside library code."""
+
+import numpy as np
+import random
+
+
+def sample(n):
+    rng = np.random.default_rng(0)
+    random.seed(42)
+    return rng.uniform(size=n)

@@ -1,0 +1,8 @@
+"""Passing fixture: seeds thread through parameters."""
+
+import numpy as np
+
+
+def sample(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(size=n)

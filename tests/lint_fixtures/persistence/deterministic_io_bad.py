@@ -1,0 +1,13 @@
+"""Failing fixture: clocks, entropy and set order leak into written bytes."""
+
+import os
+import time
+import zipfile
+
+
+def write_container(path, members):
+    with zipfile.ZipFile(path, "w") as archive:
+        archive.writestr("stamp", str(time.time()))
+        archive.writestr("nonce", os.urandom(8).hex())
+        for name in set(members):
+            archive.writestr(name, members[name])

@@ -1,0 +1,9 @@
+"""Passing fixture: a write path with fully deterministic output."""
+
+import zipfile
+
+
+def write_container(path, members):
+    with zipfile.ZipFile(path, "w") as archive:
+        for name in sorted(members):
+            archive.writestr(name, members[name])

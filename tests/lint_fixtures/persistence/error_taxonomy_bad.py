@@ -1,0 +1,15 @@
+"""Failing fixture: bare built-in exceptions escape a load path."""
+
+
+def load_manifest(path):
+    if not path.exists():
+        raise ValueError(f"{path} is not a snapshot container")
+    return path.read_text()
+
+
+class Plan:
+    @classmethod
+    def from_manifest(cls, manifest):
+        if "format" not in manifest:
+            raise KeyError("format")
+        return cls()

@@ -1,0 +1,15 @@
+"""Passing fixture: load paths raise the persistence taxonomy."""
+
+from repro.persistence.errors import SnapshotFormatError
+
+
+def load_manifest(path):
+    if not path.exists():
+        raise SnapshotFormatError(f"{path} is not a snapshot container")
+    return path.read_text()
+
+
+def save_manifest(path, payload):
+    # Not a load path: input validation may raise builtins.
+    if not isinstance(payload, dict):
+        raise TypeError("payload must be a dict")

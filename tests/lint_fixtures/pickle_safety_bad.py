@@ -1,0 +1,12 @@
+"""Failing fixture: a view-backed class relying on default pickling."""
+
+
+class Buffer:
+    @classmethod
+    def from_view(cls, data):
+        instance = cls()
+        instance._data = data
+        return instance
+
+    def _promote(self):
+        self._data = self._data.copy()

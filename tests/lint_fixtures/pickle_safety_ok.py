@@ -1,0 +1,12 @@
+"""Passing fixture: a view-backed class with explicit pickle protocol."""
+
+
+class Buffer:
+    def _promote(self):
+        self._data = self._data.copy()
+
+    def __getstate__(self):
+        return {"data": self._data.copy()}
+
+    def __setstate__(self, state):
+        self._data = state["data"]

@@ -1,0 +1,7 @@
+"""Failing fixture: two defaulted positional params on a public entry point."""
+
+# repro-lint: public-api
+
+
+def build_index(name, points, leaf_capacity=64, seed=0):
+    return (name, points, leaf_capacity, seed)

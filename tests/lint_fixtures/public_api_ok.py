@@ -1,0 +1,7 @@
+"""Passing fixture: defaulted options are keyword-only on the public API."""
+
+# repro-lint: public-api
+
+
+def build_index(name, points, workload=(), *, leaf_capacity=64, seed=0):
+    return (name, points, workload, leaf_capacity, seed)

@@ -1,0 +1,17 @@
+"""Failing fixture: writes through a view-backed buffer without promoting."""
+
+
+class Page:
+    def _promote(self):
+        self._xs = self._xs.copy()
+        self._owned = True
+
+    def add(self, index, value):
+        self._xs[index] = value
+
+    def __getstate__(self):
+        return {"xs": self._xs.copy()}
+
+    def __setstate__(self, state):
+        self._xs = state["xs"]
+        self._owned = True

@@ -1,0 +1,19 @@
+"""Passing fixture: promotion precedes every item-write to a COW buffer."""
+
+
+class Page:
+    def _promote(self):
+        self._xs = self._xs.copy()
+        self._owned = True
+
+    def add(self, index, value):
+        if not self._owned:
+            self._promote()
+        self._xs[index] = value
+
+    def __getstate__(self):
+        return {"xs": self._xs.copy()}
+
+    def __setstate__(self, state):
+        self._xs = state["xs"]
+        self._owned = True

@@ -1,0 +1,9 @@
+"""Failing fixture: rebinds the root without invalidating derived caches."""
+
+
+class Index:
+    def shrink(self):
+        self.root = self.root.children[0]
+
+    def retag(self, index, value):
+        self.nonempty[index] = value

@@ -1,0 +1,11 @@
+"""Passing fixture: structural mutation paired with cache invalidation."""
+
+
+class Index:
+    def shrink(self):
+        self.root = self.root.children[0]
+        self._invalidate_flat()
+
+    def retag(self, index, value):
+        self.nonempty[index] = value
+        self.leaflist.invalidate_packed()

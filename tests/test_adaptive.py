@@ -10,7 +10,7 @@ from repro.engine import SpatialEngine
 from repro.geometry import Point, Rect
 from repro.query import KnnQuery, RadiusQuery, RangeQuery
 from repro.workload_log import WorkloadLog
-from repro.workloads import Workload, drift_scenario
+from repro.workloads import Workload
 from repro.zindex import BaseZIndex
 
 

@@ -13,7 +13,6 @@ from repro.api import (
 )
 from repro.baselines import FloodIndex, STRRTree
 from repro.core import WaZI
-from repro.geometry import Point, Rect
 from repro.interfaces import brute_force_range
 from repro.zindex import BaseZIndex
 

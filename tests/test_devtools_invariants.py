@@ -1,0 +1,229 @@
+"""Runtime sanitizer: clean indexes pass, corrupted state is caught with a
+named invariant, install/uninstall leaves the library pristine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.devtools import invariants
+from repro.devtools.invariants import (
+    InvariantViolation,
+    check_index_invariants,
+    check_shard_conservation,
+    install_sanitizer,
+    sanitize_enabled,
+    sanitizer_installed,
+    uninstall_sanitizer,
+)
+from repro.engine import build_index
+from repro.geometry import Point, Rect
+from repro.persistence import load_snapshot, save_snapshot
+from repro.serving import build_shards, open_sharded
+from repro.zindex.base import ZIndex
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(41)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0.0, 1.0, (900, 2))]
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return [Rect(0.1, 0.1, 0.45, 0.45), Rect(0.5, 0.5, 0.9, 0.9)]
+
+
+@pytest.fixture()
+def wazi(points, workload):
+    return build_index("wazi", points, workload, leaf_capacity=16, seed=0)
+
+
+@pytest.fixture()
+def snapshot(wazi, tmp_path):
+    path = tmp_path / "index.snapshot"
+    save_snapshot(wazi, path)
+    return path
+
+
+class TestCleanIndexesPass:
+    @pytest.mark.parametrize("name", ["base", "wazi"])
+    def test_fresh_build(self, name, points, workload):
+        index = build_index(name, points, workload, leaf_capacity=16, seed=0)
+        check_index_invariants(index)
+
+    def test_after_queries_and_mutations(self, wazi, points):
+        wazi.range_query(Rect(0.2, 0.2, 0.7, 0.7))
+        check_index_invariants(wazi)
+        wazi.insert(Point(0.31, 0.77))
+        wazi.delete(points[3])
+        check_index_invariants(wazi)
+
+    def test_snapshot_load_memory_and_mmap(self, snapshot):
+        check_index_invariants(load_snapshot(snapshot))
+        loaded = load_snapshot(snapshot, mmap=True)
+        check_index_invariants(loaded)
+
+    def test_non_zindex_passes_vacuously(self, points, workload):
+        index = build_index("str", points, workload)
+        check_index_invariants(index)
+
+
+class TestCorruptionIsNamed:
+    def test_backward_skip_pointer(self, snapshot):
+        index = load_snapshot(snapshot)
+        index.leaflist.entries[2].set_skip_pointer("below", 0)
+        with pytest.raises(InvariantViolation) as exc:
+            check_index_invariants(index)
+        assert exc.value.invariant == "skip-pointer-range"
+        assert "skip-pointer-range" in str(exc.value)
+
+    def test_in_range_but_wrong_skip_pointer(self, snapshot):
+        index = load_snapshot(snapshot)
+        assert index.use_skipping
+        entries = index.leaflist.entries
+        mutated = False
+        for position, entry in enumerate(entries[:-2]):
+            current = entry.skip_pointer("left")
+            if current not in (-1, position + 1):
+                entry.set_skip_pointer("left", position + 1)
+                mutated = True
+                break
+        assert mutated, "workload should produce at least one long left pointer"
+        with pytest.raises(InvariantViolation) as exc:
+            check_index_invariants(index)
+        assert exc.value.invariant == "skip-pointer-rebuild"
+
+    def test_shrunken_leaf_box(self, snapshot):
+        index = load_snapshot(snapshot)
+        packed = index.leaflist.packed()
+        packed._ensure_writable()
+        row = int(np.flatnonzero(np.asarray(packed.nonempty))[0])
+        packed.boxes[row, 2] -= 1e-3
+        with pytest.raises(InvariantViolation) as exc:
+            check_index_invariants(index)
+        assert exc.value.invariant == "leaf-boxes-tight"
+
+    def test_inconsistent_nonempty_flag(self, snapshot):
+        index = load_snapshot(snapshot)
+        packed = index.leaflist.packed()
+        packed._ensure_writable()
+        row = int(np.flatnonzero(np.asarray(packed.nonempty))[0])
+        packed.nonempty[row] = False
+        with pytest.raises(InvariantViolation) as exc:
+            check_index_invariants(index)
+        assert exc.value.invariant == "leaf-nonempty-consistent"
+
+    def test_stale_flat_cache(self, wazi):
+        wazi.range_query(Rect(0.2, 0.2, 0.7, 0.7))  # installs the flat cache
+        assert wazi._flat_x is not None
+        # Mutate a page behind the cache's back (promote first so the write
+        # hits a private buffer, leaving the cached column stale).
+        entry = next(e for e in wazi.leaflist.entries if len(e.page) > 0)
+        page = entry.page
+        page._promote()
+        page._xs[0] += 0.5
+        with pytest.raises(InvariantViolation) as exc:
+            check_index_invariants(wazi)
+        assert exc.value.invariant in ("flat-cache-coherent", "leaf-boxes-tight")
+
+    def test_writable_readonly_store_column(self, snapshot):
+        index = load_snapshot(snapshot, mmap=True)
+        # Forge a writeable column inside the read-only store.
+        name = index._store.names()[0]
+        index._store._columns[name] = np.array(index._store[name])
+        with pytest.raises(InvariantViolation) as exc:
+            check_index_invariants(index)
+        assert exc.value.invariant == "mmap-read-only"
+
+
+class TestShardConservation:
+    def test_counters_conserved_and_corruption_caught(self, wazi, tmp_path):
+        directory = tmp_path / "shards"
+        build_shards(wazi, directory, num_shards=3)
+        with open_sharded(directory, workers=0) as sharded:
+            sharded.reset_counters()
+            for query in (Rect(0.1, 0.1, 0.6, 0.6), Rect(0.4, 0.2, 0.9, 0.8)):
+                sharded.range_query(query)
+            check_shard_conservation(sharded)
+            sharded.counters.pages_scanned += 1  # simulate a lost delta
+            with pytest.raises(InvariantViolation) as exc:
+                check_shard_conservation(sharded)
+            assert exc.value.invariant == "shard-conservation"
+
+
+@pytest.fixture()
+def pristine_sanitizer():
+    """Start the test with the sanitizer uninstalled; restore after.
+
+    Under a REPRO_SANITIZE=1 run the session fixture installed it already —
+    these tests exercise install/uninstall themselves, so they need the
+    pristine entry points to compare against.
+    """
+    was_installed = sanitizer_installed()
+    if was_installed:
+        uninstall_sanitizer()
+    yield
+    uninstall_sanitizer()
+    if was_installed:
+        install_sanitizer()
+
+
+class TestInstallation:
+    def test_install_checks_builds_and_loads(
+        self, points, workload, tmp_path, pristine_sanitizer
+    ):
+        pristine_build = ZIndex._build
+        install_sanitizer()
+        try:
+            assert sanitizer_installed()
+            assert ZIndex._build is not pristine_build
+            index = build_index("wazi", points[:300], workload, leaf_capacity=8, seed=0)
+            path = tmp_path / "s.snapshot"
+            save_snapshot(index, path)
+            load_snapshot(path, mmap=True)
+            install_sanitizer()  # idempotent
+        finally:
+            uninstall_sanitizer()
+        assert not sanitizer_installed()
+        assert ZIndex._build is pristine_build
+
+    def test_installed_sanitizer_rejects_corrupt_snapshot_state(
+        self, wazi, pristine_sanitizer
+    ):
+        # An in-range but *wrong* skip pointer: the loader's own validation
+        # (range, monotone starts, tight boxes) cannot see it — only the
+        # sanitizer's fresh Algorithm 4 rebuild does.
+        from dataclasses import replace
+
+        state = wazi.snapshot_state()
+        arrays = dict(state.arrays)
+        skip_left = np.array(arrays["skip_left"], dtype=np.int64)
+        row = next(
+            i for i, target in enumerate(skip_left[:-2].tolist())
+            if target not in (-1, i + 1)
+        )
+        skip_left[row] = row + 1
+        arrays["skip_left"] = skip_left
+        corrupt = replace(state, arrays=arrays)
+        install_sanitizer()
+        try:
+            with pytest.raises(InvariantViolation) as exc:
+                ZIndex.from_snapshot_state(corrupt)
+            assert exc.value.invariant == "skip-pointer-rebuild"
+        finally:
+            uninstall_sanitizer()
+
+    def test_enabled_flag_reads_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitize_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize_enabled()
+
+    def test_expected_pointers_match_builder(self, wazi):
+        expected = invariants.expected_skip_pointers(wazi.leaflist.entries)
+        for criterion, pointers in expected.items():
+            stored = [e.skip_pointer(criterion) for e in wazi.leaflist.entries]
+            assert pointers == stored

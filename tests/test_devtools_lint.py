@@ -1,0 +1,182 @@
+"""repro-lint: every rule fires on its failing fixture and stays quiet on
+the passing one; suppressions, strict hygiene, and the CLI contract."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    RULES,
+    SUPPRESSION_RULE,
+    lint_paths,
+    lint_source,
+    main,
+)
+from repro.devtools.lint import rules as _rules  # noqa: F401  (registers rules)
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+#: rule name -> (passing fixture, failing fixture), relative to FIXTURES.
+FIXTURE_PAIRS = {
+    "mutation-must-invalidate": (
+        "zindex/mutation_must_invalidate_ok.py",
+        "zindex/mutation_must_invalidate_bad.py",
+    ),
+    "cow-before-write": (
+        "storage/cow_before_write_ok.py",
+        "storage/cow_before_write_bad.py",
+    ),
+    "no-hidden-rng": ("no_hidden_rng_ok.py", "no_hidden_rng_bad.py"),
+    "error-taxonomy": (
+        "persistence/error_taxonomy_ok.py",
+        "persistence/error_taxonomy_bad.py",
+    ),
+    "no-boxing-in-hot-path": ("hot_path_ok.py", "hot_path_bad.py"),
+    "keyword-only-api-growth": ("public_api_ok.py", "public_api_bad.py"),
+    "pickle-safety": ("pickle_safety_ok.py", "pickle_safety_bad.py"),
+    "deterministic-io": (
+        "persistence/deterministic_io_ok.py",
+        "persistence/deterministic_io_bad.py",
+    ),
+}
+
+
+class TestRuleCatalog:
+    def test_at_least_eight_rules_registered(self):
+        assert len(RULES) >= 8
+
+    def test_every_rule_has_a_fixture_pair(self):
+        assert set(FIXTURE_PAIRS) == set(RULES)
+
+    def test_descriptions_are_nonempty(self):
+        for rule in RULES.values():
+            assert rule.description
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("rule_name", sorted(FIXTURE_PAIRS))
+    def test_failing_fixture_fires(self, rule_name):
+        _, bad = FIXTURE_PAIRS[rule_name]
+        findings = lint_paths([FIXTURES / bad])
+        assert any(f.rule == rule_name for f in findings), (
+            f"{bad} should trigger {rule_name}; got "
+            f"{[f.rule for f in findings]}"
+        )
+
+    @pytest.mark.parametrize("rule_name", sorted(FIXTURE_PAIRS))
+    def test_passing_fixture_is_clean(self, rule_name):
+        ok, _ = FIXTURE_PAIRS[rule_name]
+        findings = lint_paths([FIXTURES / ok], strict=True)
+        assert findings == [], [f.render() for f in findings]
+
+    def test_select_restricts_rules(self):
+        _, bad = FIXTURE_PAIRS["no-hidden-rng"]
+        findings = lint_paths([FIXTURES / bad], select=["error-taxonomy"])
+        assert findings == []
+
+    def test_unknown_select_raises(self):
+        with pytest.raises(KeyError):
+            lint_paths([FIXTURES / "no_hidden_rng_bad.py"], select=["nope"])
+
+
+class TestSpecificFirings:
+    def test_hot_path_flags_both_boxing_forms(self):
+        findings = lint_paths([FIXTURES / "hot_path_bad.py"])
+        messages = " ".join(f.message for f in findings)
+        assert "Point" in messages
+        assert ".points()" in messages
+
+    def test_error_taxonomy_flags_classmethod_load_paths(self):
+        findings = lint_paths([FIXTURES / "persistence/error_taxonomy_bad.py"])
+        assert any("Plan.from_manifest" in f.message for f in findings)
+
+    def test_deterministic_io_flags_set_iteration(self):
+        findings = lint_paths([FIXTURES / "persistence/deterministic_io_bad.py"])
+        assert any("set" in f.message for f in findings)
+        assert any("os.urandom" in f.message for f in findings)
+        assert any("time.time" in f.message for f in findings)
+
+    def test_scope_is_path_sensitive(self):
+        # The same bare-ValueError load path outside persistence/serving is fine.
+        source = FIXTURES.joinpath("persistence/error_taxonomy_bad.py").read_text()
+        assert lint_source(source, relpath="workloads/loader.py") == []
+        assert lint_source(source, relpath="serving/loader.py") != []
+
+    def test_untagged_module_skips_tag_scoped_rules(self):
+        source = "def f(a=1, b=2):\n    return a + b\n"
+        assert lint_source(source, relpath="m.py") == []
+        tagged = "# repro-lint: public-api\n" + source
+        assert [f.rule for f in lint_source(tagged, relpath="m.py")] == [
+            "keyword-only-api-growth"
+        ]
+
+
+class TestSuppressions:
+    BAD_LINE = "rng = default_rng(7)"
+
+    def test_reasoned_suppression_silences(self):
+        source = (
+            f"from numpy.random import default_rng\n"
+            f"{self.BAD_LINE}  # repro-lint: disable=no-hidden-rng -- test-only default\n"
+        )
+        assert lint_source(source, strict=True) == []
+
+    def test_unreasoned_suppression_fails_strict(self):
+        source = (
+            f"from numpy.random import default_rng\n"
+            f"{self.BAD_LINE}  # repro-lint: disable=no-hidden-rng\n"
+        )
+        assert lint_source(source) == []  # silenced, but...
+        strict = lint_source(source, strict=True)
+        assert [f.rule for f in strict] == [SUPPRESSION_RULE]
+
+    def test_suppression_for_other_rule_does_not_silence(self):
+        source = (
+            f"from numpy.random import default_rng\n"
+            f"{self.BAD_LINE}  # repro-lint: disable=error-taxonomy -- wrong rule\n"
+        )
+        assert any(f.rule == "no-hidden-rng" for f in lint_source(source))
+
+    def test_unknown_rule_suppression_flagged_in_strict(self):
+        source = "x = 1  # repro-lint: disable=made-up-rule -- because\n"
+        strict = lint_source(source, strict=True)
+        assert any("unknown rule" in f.message for f in strict)
+
+    def test_directives_in_strings_are_ignored(self):
+        source = 'MESSAGE = "# repro-lint: disable=<rule> -- <why>"\n'
+        assert lint_source(source, strict=True) == []
+
+
+class TestTreeIsClean:
+    def test_src_repro_passes_strict(self):
+        findings = lint_paths([SRC], strict=True)
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestCli:
+    def test_exit_zero_on_clean_tree(self):
+        assert main([str(SRC), "--strict"]) == 0
+
+    def test_exit_one_on_findings(self, capsys):
+        assert main([str(FIXTURES / "no_hidden_rng_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "no-hidden-rng" in out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for name in RULES:
+            assert name in out
+
+    def test_module_entry_point(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint", str(SRC), "--strict"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -16,10 +16,8 @@ Covers the redesigned public surface:
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-import repro.api as api
 from repro.api import (
     build_index,
     compare_indexes,
@@ -29,7 +27,7 @@ from repro.api import (
     run_snapshot_roundtrip,
     workload_summary,
 )
-from repro.engine import INDEX_NAMES, SpatialEngine, as_engine
+from repro.engine import SpatialEngine, as_engine
 from repro.geometry import Point, Rect
 from repro.interfaces import brute_force_range
 from repro.joins import box_join, knn_join, radius_join

@@ -15,7 +15,6 @@ from repro.evaluation import (
     percent_improvement,
 )
 from repro.evaluation.reporting import INDEX_PROPERTIES, improvement_table
-from repro.geometry import Point, Rect
 from repro.zindex import BaseZIndex
 from repro.core import WaZI
 

@@ -6,7 +6,7 @@ import pickle
 import pytest
 
 from repro import WaZI, build_index
-from repro.geometry import Point, Rect
+from repro.geometry import Point
 from repro.interfaces import brute_force_range
 from repro.persistence import (
     IndexLoadError,

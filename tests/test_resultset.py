@@ -19,7 +19,7 @@ from repro.api import INDEX_NAMES, build_index
 from repro.engine import SpatialEngine
 from repro.geometry import Point, Rect
 from repro.interfaces import brute_force_knn, brute_force_range
-from repro.query import KnnQuery, RangeQuery
+from repro.query import RangeQuery
 from repro.results import ResultSet
 from repro.zindex import ZIndex
 

@@ -11,7 +11,7 @@ import pytest
 
 from repro.geometry import Point, Rect
 from repro.joins import box_join, radius_join
-from repro.serving import ShardedIndex, build_shards, open_sharded
+from repro.serving import build_shards, open_sharded
 from repro.zindex import ZIndex
 
 

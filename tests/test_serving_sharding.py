@@ -13,6 +13,7 @@ import pytest
 
 from repro.geometry import Point, Rect
 from repro.persistence import save_snapshot
+from repro.persistence.errors import SnapshotFormatError
 from repro.serving import (
     SHARDS_MANIFEST,
     ShardPlan,
@@ -239,8 +240,8 @@ class TestBuildShards:
         directory = tmp_path / "shards"
         directory.mkdir()
         (directory / SHARDS_MANIFEST).write_text(json.dumps({"format": "nope"}))
-        with pytest.raises(ValueError):
+        with pytest.raises(SnapshotFormatError):
             ShardPlan.load(directory)
         (directory / SHARDS_MANIFEST).unlink()
-        with pytest.raises((ValueError, OSError)):
+        with pytest.raises(SnapshotFormatError):
             ShardPlan.load(directory)

@@ -1,7 +1,6 @@
 """Unit tests for split strategies and quadrant partitioning helpers."""
 
 import numpy as np
-import pytest
 
 from repro.geometry import Rect
 from repro.zindex.node import ORDER_ABCD

@@ -48,6 +48,11 @@ from pathlib import Path
 
 import numpy as np
 
+# Allow both `python benchmarks/bench_adapt.py` and `python -m benchmarks...`:
+# script mode puts benchmarks/ (not the repo root) on sys.path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import warm_query_caches
 from repro.engine import SpatialEngine
 from repro.query import RangeQuery
 from repro.workloads import drift_scenario, generate_dataset
@@ -147,6 +152,7 @@ def main(argv=None) -> int:
     )
     build_seconds = time.perf_counter() - start
     lines.append(f"serving layout built for {phases[0].name}: {build_seconds:6.2f} s")
+    warm_query_caches(engine.index, replay_rects)
 
     # -- observe: recording overhead on the batched count path -------------
     def replay_plain():
@@ -207,6 +213,12 @@ def main(argv=None) -> int:
               f"results across swap: {'byte-identical' if before == after else 'MISMATCH'}"]
 
     # -- stale vs adapted replay latency -----------------------------------
+    # Warm both legs identically: the adapt above rebuilt engine.index with
+    # cold flat-scan caches while stale_index kept its warm ones, so timing
+    # without this would charge the adapted leg the one-off cache build.
+    warm_query_caches(stale_index, replay_rects)
+    warm_query_caches(engine.index, replay_rects)
+
     def run_on(index):
         def replay():
             results = index.batch_range_query(replay_rects)

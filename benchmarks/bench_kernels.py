@@ -1,0 +1,240 @@
+"""Kernel tier + plan cache benchmark: the sub-10µs exact-repeat hot path.
+
+Four legs, each a correctness assertion as much as a timing:
+
+1. **Parity** — the batched count and gather replays (the same
+   ``scan_heavy`` drifted phase :mod:`bench_adapt` replays) must be
+   byte-identical under ``REPRO_KERNELS=numpy`` and
+   ``REPRO_KERNELS=numba``.  On a machine without Numba both resolve to
+   the NumPy reference and the leg degenerates to a self-check; with
+   Numba installed it is the real differential gate (CI runs both).
+2. **Plan cache** — an exact-repeat replay through a
+   :class:`~repro.engine.SpatialEngine` with ``plan_cache=True`` must
+   beat the same replay through an uncached engine on the same index by
+   at least ``--min-speedup`` (default **5x**), with identical counts.
+   Hits must also stay under 10µs/query — the title claim.
+3. **float32 columns** — ``adopt_coord_dtype(np.float32)`` must halve
+   the flat coordinate footprint (reported; the count drift, if any, is
+   reported too — the mode is value-lossy by design).
+4. **Scale** (skipped under ``--quick``) — a 10M-point single-process
+   build + replay, proving the kernel path holds up three orders of
+   magnitude above the test sizes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py          # full, incl. 10M leg
+    PYTHONPATH=src python benchmarks/bench_kernels.py --quick  # CI-sized
+
+Exit status is non-zero on any failed assertion.  The report lands in
+``results/bench_kernels.txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+# Script mode puts benchmarks/ (not the repo root) on sys.path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.bench_adapt import canonical_result_bytes, timeit_pair
+from benchmarks.common import warm_query_caches
+from repro import kernels
+from repro.engine import SpatialEngine, build_index
+from repro.query import RangeQuery
+from repro.workloads import drift_scenario, generate_dataset
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "results" / "bench_kernels.txt"
+
+
+def replay_bytes(index, rects):
+    """The full replay as canonical bytes: counts plus gathered results."""
+    counts = np.asarray(index.batch_range_count(rects), dtype=np.int64)
+    gathered = b"".join(
+        canonical_result_bytes(result) for result in index.batch_range_query(rects)
+    )
+    return counts.tobytes() + gathered
+
+
+def coord_footprint(index, rects):
+    """Bytes held by the flat coordinate columns (primed first)."""
+    warm_query_caches(index, rects[:1])
+    return index._flat_x.nbytes + index._flat_y.nbytes
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: fewer queries/repeats, no 10M leg "
+                             "(same 100k points — the speedup bound is defined there)")
+    parser.add_argument("--region", default="newyork")
+    parser.add_argument("--num-points", type=int, default=None)
+    parser.add_argument("--num-queries", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="Required uncached/cached ratio on the exact-repeat "
+                             "batched count replay (default 5.0)")
+    parser.add_argument("--scale-points", type=int, default=10_000_000,
+                        help="Size of the single-process scale leg (default 10M)")
+    args = parser.parse_args(argv)
+
+    num_points = args.num_points if args.num_points is not None else 100_000
+    num_queries = args.num_queries if args.num_queries is not None else (
+        400 if args.quick else 800
+    )
+    repeats = 5 if args.quick else 7
+
+    lines = [
+        f"kernel benchmark: {args.region} n={num_points} "
+        f"queries={num_queries} seed={args.seed} (scan_heavy replay, WaZI)",
+        f"kernel tier: requested={kernels.requested_backend() or 'auto'} "
+        f"active={kernels.backend_name()} "
+        f"numba={'available' if kernels.numba_available() else 'absent'}",
+        "",
+    ]
+    print(lines[0])
+    print(lines[1])
+    failures = 0
+
+    points = generate_dataset(args.region, num_points, seed=1)
+    phases = drift_scenario(
+        "scan_heavy", args.region, num_queries=num_queries, seed=args.seed
+    )
+    replay_rects = phases[1].workload.queries
+    replay_plans = [RangeQuery(rect) for rect in replay_rects]
+
+    start = time.perf_counter()
+    index = build_index(
+        "wazi", points, phases[0].workload.queries, leaf_capacity=64, seed=1
+    )
+    lines.append(f"index built: {time.perf_counter() - start:6.2f} s")
+    warm_query_caches(index, replay_rects)
+
+    # -- leg 1: kernel-tier parity on the full replay ----------------------
+    payloads = {}
+    for mode in ("numpy", "numba"):
+        with kernels.use(mode) as backend:
+            resolved = getattr(backend, "BACKEND", mode)
+            payloads[mode] = replay_bytes(index, replay_rects)
+        lines.append(f"replay under REPRO_KERNELS={mode:<5} -> {resolved} tier")
+    identical = payloads["numpy"] == payloads["numba"]
+    lines.append(
+        f"kernel-tier parity (counts + gathered results): "
+        f"{'byte-identical' if identical else 'MISMATCH'}"
+    )
+    if not identical:
+        print("FAIL: kernel tiers disagree on the replay")
+        failures += 1
+
+    # -- leg 2: plan cache on exact repeats --------------------------------
+    # Two engines over the SAME index: timing isolates the cache itself.
+    uncached = SpatialEngine(index)
+    cached = SpatialEngine(index, plan_cache=True)
+
+    def replay_uncached():
+        return uncached.execute_many(replay_plans, count_only=True)
+
+    def replay_cached():
+        return cached.execute_many(replay_plans, count_only=True)
+
+    replay_cached()  # warm pass: populates the cache (every later pass hits)
+    uncached_seconds, uncached_counts, cached_seconds, cached_counts = timeit_pair(
+        replay_uncached, replay_cached, repeats
+    )
+    if cached_counts != uncached_counts:
+        print("FAIL: cached replay returned different counts")
+        failures += 1
+    stats = cached.plan_cache.stats
+    if stats.misses != len(replay_plans):
+        print(f"FAIL: expected exactly one miss per plan, got {stats.misses}")
+        failures += 1
+    ratio = uncached_seconds / cached_seconds
+    per_hit_us = cached_seconds / len(replay_plans) * 1e6
+    verdict = "ok" if ratio >= args.min_speedup else "BELOW THRESHOLD"
+    hit_verdict = "ok" if per_hit_us < 10.0 else "ABOVE 10us"
+    lines += [
+        "",
+        f"exact-repeat batched count replay ({len(replay_plans)} plans):",
+        f"  uncached engine {uncached_seconds * 1e3:9.2f} ms  "
+        f"({uncached_seconds / len(replay_plans) * 1e6:8.2f} us/query)",
+        f"  plan cache      {cached_seconds * 1e3:9.2f} ms  "
+        f"({per_hit_us:8.2f} us/query) {hit_verdict}",
+        f"  speedup         {ratio:8.2f}x  (threshold {args.min_speedup:.1f}x) {verdict}",
+        f"  cache stats: {stats.hits} hits, {stats.misses} misses, "
+        f"hit rate {stats.hit_rate:.3f}",
+    ]
+    if ratio < args.min_speedup:
+        failures += 1
+    if per_hit_us >= 10.0:
+        failures += 1
+
+    # -- leg 3: float32 column mode ----------------------------------------
+    counts64 = list(index.batch_range_count(replay_rects))
+    before_bytes = coord_footprint(index, replay_rects)
+    index.adopt_coord_dtype(np.float32)
+    after_bytes = coord_footprint(index, replay_rects)
+    counts32 = list(index.batch_range_count(replay_rects))
+    drift = sum(1 for a, b in zip(counts64, counts32) if a != b)
+    lines += [
+        "",
+        "float32 coordinate columns:",
+        f"  footprint {before_bytes} -> {after_bytes} bytes "
+        f"({after_bytes / before_bytes:.2f}x)",
+        f"  count drift vs float64: {drift}/{len(counts64)} queries "
+        f"(value-lossy mode; drift is expected, not a failure)",
+    ]
+    if after_bytes >= before_bytes:
+        print("FAIL: float32 columns did not shrink the footprint")
+        failures += 1
+    index.adopt_coord_dtype(np.float64)
+
+    # -- leg 4: 10M-point single-process run (full mode only) --------------
+    if not args.quick:
+        n = args.scale_points
+        start = time.perf_counter()
+        big_points = generate_dataset(args.region, n, seed=1)
+        gen_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        big = build_index("wazi", big_points, leaf_capacity=256, seed=1)
+        build_seconds = time.perf_counter() - start
+        del big_points
+        scale_rects = replay_rects[:64]
+        warm_query_caches(big, scale_rects)
+        start = time.perf_counter()
+        scale_counts = big.batch_range_count(scale_rects)
+        scan_seconds = time.perf_counter() - start
+        with kernels.use("numpy"):
+            reference_counts = big.batch_range_count(scale_rects)
+        scale_ok = scale_counts == reference_counts
+        lines += [
+            "",
+            f"scale leg ({n:,} points, single process):",
+            f"  dataset {gen_seconds:7.1f} s   build {build_seconds:7.1f} s",
+            f"  {len(scale_rects)}-query count replay {scan_seconds * 1e3:9.1f} ms "
+            f"({scan_seconds / len(scale_rects) * 1e6:9.1f} us/query, "
+            f"{sum(scale_counts):,} rows)",
+            f"  counts vs numpy tier: {'identical' if scale_ok else 'MISMATCH'}",
+        ]
+        if not scale_ok:
+            print("FAIL: scale-leg counts differ between tiers")
+            failures += 1
+
+    report_text = "\n".join(lines) + "\n"
+    print("\n".join(lines[2:]))
+    REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    REPORT_PATH.write_text(report_text)
+    print(f"\nreport written to {REPORT_PATH}")
+
+    if failures:
+        print(f"\nFAILED: {failures} failure(s)")
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

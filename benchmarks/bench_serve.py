@@ -44,6 +44,9 @@ from pathlib import Path
 
 import numpy as np
 
+# Script mode puts benchmarks/ (not the repo root) on sys.path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
 from benchmarks.common import DEFAULT_SEED, worker_seed
 from repro.serving import build_shards, open_sharded
 from repro.workloads import generate_dataset, generate_range_workload

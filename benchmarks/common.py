@@ -132,6 +132,21 @@ def build_named_index(
     )
 
 
+def warm_query_caches(index, rects: Sequence[Rect]) -> None:
+    """Prime an index's lazy query-path caches with one untimed replay.
+
+    The first range query on a freshly built (or freshly adapted) index
+    pays one-off costs that have nothing to do with the layout being
+    measured: packing the leaf list into the flat scan columns and
+    allocating the reusable mask buffers.  A/B layout comparisons must
+    call this on *both* indexes before entering the timed region,
+    otherwise whichever leg happens to run its first query inside the
+    timer absorbs the warm-up and the reported ratio flatters the other
+    leg.
+    """
+    index.batch_range_count(list(rects))
+
+
 def measure_index(
     display_name: str,
     points: Sequence[Point],

@@ -25,6 +25,9 @@ flat-cache-coherent     the cached flat columns equal a fresh gather from
 shard-conservation      the dispatcher's accumulated counters equal the sum
                         of the per-shard counters (scatter/gather loses no
                         delta), measured from a shared counter reset
+kernel-parity           a sampled fraction of kernel-tier calls re-executed
+                        on the pure-NumPy reference returns byte-identical
+                        values (same dtype, shape, bytes and ordering)
 ======================  ====================================================
 
 Enabling
@@ -32,9 +35,12 @@ Enabling
 Nothing here runs unless asked.  Set ``REPRO_SANITIZE=1`` and the test
 suite's conftest calls :func:`install_sanitizer`, which wraps
 ``ZIndex._build`` and ``ZIndex.from_snapshot_state`` to run
-:func:`check_index_invariants` on every index the tests construct.  With
-the variable unset, the library functions are left untouched — zero
-overhead (``benchmarks/bench_sanitize.py`` asserts this).
+:func:`check_index_invariants` on every index the tests construct, and
+interposes a :class:`KernelParityChecker` on the active kernel backend
+so one in every ``kernel_sample_every`` hot-path kernel calls is
+differentially re-executed on the reference tier.  With the variable
+unset, the library functions are left untouched — zero overhead
+(``benchmarks/bench_sanitize.py`` asserts this).
 """
 
 from __future__ import annotations
@@ -46,6 +52,8 @@ import numpy as np
 
 __all__ = [
     "InvariantViolation",
+    "KernelParityChecker",
+    "assert_kernel_parity",
     "check_index_invariants",
     "check_shard_conservation",
     "expected_skip_pointers",
@@ -285,6 +293,104 @@ def check_shard_conservation(sharded: Any) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Kernel parity (differential re-execution)
+# ---------------------------------------------------------------------------
+
+
+def _kernel_value_mismatch(got: Any, want: Any) -> Optional[str]:
+    """Why two kernel return values are not byte-identical, or ``None``."""
+    if isinstance(want, np.ndarray) or isinstance(got, np.ndarray):
+        got_array = np.asarray(got)
+        want_array = np.asarray(want)
+        if got_array.dtype != want_array.dtype:
+            return f"dtype {got_array.dtype} != reference {want_array.dtype}"
+        if got_array.shape != want_array.shape:
+            return f"shape {got_array.shape} != reference {want_array.shape}"
+        if got_array.tobytes() != want_array.tobytes():
+            diff = np.flatnonzero(
+                got_array.view(np.uint8) != want_array.view(np.uint8)
+            )
+            return (
+                f"values differ from the reference starting at byte "
+                f"{int(diff[0])} of {got_array.nbytes}"
+            )
+        return None
+    if got != want:
+        return f"value {got!r} != reference {want!r}"
+    return None
+
+
+def assert_kernel_parity(kernel: str, got: Any, want: Any) -> None:
+    """Raise ``InvariantViolation('kernel-parity', ...)`` naming the kernel
+    unless ``got`` is byte-identical (dtype, shape, bytes, ordering) to the
+    reference result ``want``."""
+    if isinstance(want, tuple):
+        if not isinstance(got, tuple) or len(got) != len(want):
+            raise InvariantViolation(
+                "kernel-parity",
+                f"{kernel}() returned {type(got).__name__} where the "
+                f"reference returns a {len(want)}-tuple",
+            )
+        for position, (got_part, want_part) in enumerate(zip(got, want)):
+            mismatch = _kernel_value_mismatch(got_part, want_part)
+            if mismatch is not None:
+                raise InvariantViolation(
+                    "kernel-parity",
+                    f"{kernel}() element {position}: {mismatch}",
+                )
+        return
+    mismatch = _kernel_value_mismatch(got, want)
+    if mismatch is not None:
+        raise InvariantViolation("kernel-parity", f"{kernel}() {mismatch}")
+
+
+class KernelParityChecker:
+    """A kernel backend that differentially re-executes sampled calls.
+
+    Wraps the active backend: every call is served by the wrapped tier,
+    and one in every ``sample_every`` (deterministically — a call
+    counter, no RNG, so a failing run replays exactly) is re-executed on
+    the pure-NumPy reference and compared byte-for-byte by
+    :func:`assert_kernel_parity`.  Install with
+    :func:`repro.kernels.set_kernels`; :func:`install_sanitizer` does so
+    under ``REPRO_SANITIZE=1``.
+    """
+
+    def __init__(self, backend: Any, reference: Any, sample_every: int = 4) -> None:
+        if sample_every <= 0:
+            raise ValueError(f"sample_every must be positive, got {sample_every}")
+        self.wrapped = backend
+        self.reference = reference
+        self.sample_every = int(sample_every)
+        self.calls = 0
+        self.checked = 0
+        from repro.kernels import KERNEL_NAMES
+
+        for name in KERNEL_NAMES:
+            setattr(self, name, self._checked_kernel(name))
+
+    @property
+    def BACKEND(self) -> str:  # noqa: N802  (kernel-backend protocol name)
+        return getattr(self.wrapped, "BACKEND", "unknown")
+
+    def _checked_kernel(self, name: str):
+        fast = getattr(self.wrapped, name)
+        reference = getattr(self.reference, name)
+
+        def checked(*args, **kwargs):
+            result = fast(*args, **kwargs)
+            self.calls += 1
+            if self.calls % self.sample_every == 0:
+                self.checked += 1
+                expected = reference(*args, **kwargs)
+                assert_kernel_parity(name, result, expected)
+            return result
+
+        checked.__name__ = name
+        return checked
+
+
+# ---------------------------------------------------------------------------
 # Installation (test-suite hook)
 # ---------------------------------------------------------------------------
 
@@ -295,8 +401,9 @@ def sanitizer_installed() -> bool:
     return _ORIGINALS is not None
 
 
-def install_sanitizer() -> None:
-    """Wrap ``ZIndex._build`` / ``from_snapshot_state`` with deep checks.
+def install_sanitizer(*, kernel_sample_every: int = 4) -> None:
+    """Wrap ``ZIndex._build`` / ``from_snapshot_state`` with deep checks
+    and interpose the kernel-parity checker on the active kernel backend.
 
     Idempotent.  With the sanitizer never installed, the wrapped functions
     are the pristine originals — the disabled-mode overhead is exactly
@@ -305,6 +412,7 @@ def install_sanitizer() -> None:
     global _ORIGINALS
     if _ORIGINALS is not None:
         return
+    from repro import kernels
     from repro.zindex.base import ZIndex
 
     original_build = ZIndex._build
@@ -323,16 +431,27 @@ def install_sanitizer() -> None:
     checked_build.__wrapped__ = original_build  # type: ignore[attr-defined]
     ZIndex._build = checked_build
     ZIndex.from_snapshot_state = classmethod(checked_from_state)
-    _ORIGINALS = {"_build": original_build, "from_snapshot_state": original_from_state}
+    parity = KernelParityChecker(
+        kernels.get_kernels(), kernels.reference_kernels(),
+        sample_every=kernel_sample_every,
+    )
+    original_kernels = kernels.set_kernels(parity)
+    _ORIGINALS = {
+        "_build": original_build,
+        "from_snapshot_state": original_from_state,
+        "kernels": original_kernels,
+    }
 
 
 def uninstall_sanitizer() -> None:
-    """Restore the pristine ``ZIndex`` entry points."""
+    """Restore the pristine ``ZIndex`` entry points and kernel backend."""
     global _ORIGINALS
     if _ORIGINALS is None:
         return
+    from repro import kernels
     from repro.zindex.base import ZIndex
 
     ZIndex._build = _ORIGINALS["_build"]
     ZIndex.from_snapshot_state = classmethod(_ORIGINALS["from_snapshot_state"])
+    kernels.set_kernels(_ORIGINALS["kernels"])
     _ORIGINALS = None

@@ -52,7 +52,7 @@ _DIRECTIVE_RE = re.compile(r"#\s*repro-lint:\s*(?P<body>.+?)\s*$")
 _DISABLE_RE = re.compile(r"disable=(?P<rules>[\w,-]+)(?P<reason>\s+--\s+.+)?$")
 
 #: Module tags a file may declare on a comment-only line.
-MODULE_TAGS = ("hot-path", "public-api")
+MODULE_TAGS = ("hot-path", "public-api", "kernel-parity")
 
 
 @dataclass(frozen=True)

@@ -415,3 +415,64 @@ def check_deterministic_io(ctx: ModuleContext) -> Iterator[Finding]:
                         f"{where}() iterates a set while writing; hash order "
                         "varies per process — sort first",
                     )
+
+
+# ---------------------------------------------------------------------------
+# kernel-parity
+# ---------------------------------------------------------------------------
+
+#: Sorts whose default algorithm (introsort) is not stable: without
+#: ``kind="stable"`` equal keys land in unspecified order, breaking the
+#: byte-identical tie-break the kernel tiers share.
+_UNSTABLE_SORTS = {"argsort", "sort"}
+#: JIT decorators whose ``fastmath`` option licenses reassociation — the
+#: compiled tier would stop being IEEE-identical to the NumPy reference.
+_JIT_DECORATORS = {"njit", "jit"}
+
+
+@rule(
+    "kernel-parity",
+    "kernel-tier modules must stay bitwise reproducible: sorts need "
+    'kind="stable" and JIT decorators must not enable fastmath',
+)
+def check_kernel_parity(ctx: ModuleContext) -> Iterator[Finding]:
+    if "kernel-parity" not in ctx.tags:
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        name = target.attr if isinstance(target, ast.Attribute) else (
+            target.id if isinstance(target, ast.Name) else None
+        )
+        if name in _UNSTABLE_SORTS:
+            kind = next(
+                (kw for kw in node.keywords if kw.arg == "kind"), None
+            )
+            stable = (
+                kind is not None
+                and isinstance(kind.value, ast.Constant)
+                and kind.value.value == "stable"
+            )
+            if not stable:
+                yield ctx.finding(
+                    node, "kernel-parity",
+                    f'{name}() without kind="stable" in a kernel-parity '
+                    "module; the default introsort breaks the shared "
+                    "tie-break on equal keys",
+                )
+        elif name in _JIT_DECORATORS:
+            for keyword in node.keywords:
+                if keyword.arg != "fastmath":
+                    continue
+                disabled = (
+                    isinstance(keyword.value, ast.Constant)
+                    and not keyword.value.value
+                )
+                if not disabled:
+                    yield ctx.finding(
+                        node, "kernel-parity",
+                        f"{name}(fastmath=...) in a kernel-parity module; "
+                        "fastmath licenses reassociation and the compiled "
+                        "tier stops being IEEE-identical to the reference",
+                    )

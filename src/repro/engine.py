@@ -78,6 +78,7 @@ from repro.persistence import (
     workload_fingerprint,
 )
 from repro.persistence.snapshot import json_clone
+from repro.plancache import MISS, PlanCache
 from repro.query import JoinQuery, KnnQuery, PointQuery, Query, RadiusQuery, RangeQuery
 from repro.results import ResultSet
 from repro.workload_log import WorkloadLog
@@ -494,6 +495,24 @@ def _read_history(path):
         return None
 
 
+def _as_plan_cache(
+    plan_cache: Union[None, bool, int, "PlanCache"]
+) -> Optional[PlanCache]:
+    """Normalize the ``plan_cache`` constructor argument to a cache or None."""
+    if plan_cache is None or plan_cache is False:
+        return None
+    if plan_cache is True:
+        return PlanCache()
+    if isinstance(plan_cache, PlanCache):
+        return plan_cache
+    if isinstance(plan_cache, int):
+        return PlanCache(capacity=plan_cache)
+    raise TypeError(
+        f"plan_cache must be None, bool, int or PlanCache, "
+        f"got {type(plan_cache).__name__}"
+    )
+
+
 class SpatialEngine:
     """Facade owning one index's lifecycle and executing query plans on it.
 
@@ -523,6 +542,7 @@ class SpatialEngine:
         index: SpatialIndex,
         *,
         record: bool = False,
+        plan_cache: Union[None, bool, int, PlanCache] = None,
         _recipe: Optional[Dict] = None,
         _workload_log: Optional[WorkloadLog] = None,
         _build_seconds: Optional[float] = None,
@@ -532,6 +552,12 @@ class SpatialEngine:
                 f"SpatialEngine wraps a SpatialIndex, got {type(index).__name__}"
             )
         self.index = index
+        #: The query-plan cache (see :mod:`repro.plancache`), or ``None``
+        #: (the default — repeats re-execute, counters count every query).
+        #: ``plan_cache=True`` attaches one with the default capacity, an
+        #: ``int`` sets the capacity, and a :class:`PlanCache` instance is
+        #: adopted as-is (sharable between engines serving the same index).
+        self.plan_cache = _as_plan_cache(plan_cache)
         #: The build request, when this engine built the index itself —
         #: lets :meth:`save` write rebuild recipes for the non-Z-index zoo.
         self._recipe = _recipe
@@ -557,6 +583,7 @@ class SpatialEngine:
         leaf_capacity: int = 64,
         seed: Optional[int] = 0,
         record: bool = False,
+        plan_cache: Union[None, bool, int, PlanCache] = None,
         **kwargs,
     ) -> "SpatialEngine":
         """Build an index by name (see :data:`INDEX_NAMES`) and wrap it.
@@ -571,7 +598,7 @@ class SpatialEngine:
         )
         build_seconds = time.perf_counter() - start
         return cls(
-            index, record=record,
+            index, record=record, plan_cache=plan_cache,
             _recipe=_make_recipe(
                 index, name, points, workload, leaf_capacity, seed, kwargs
             ),
@@ -586,6 +613,7 @@ class SpatialEngine:
         record: bool = False,
         mmap: bool = False,
         validate: bool = True,
+        plan_cache: Union[None, bool, int, PlanCache] = None,
     ) -> "SpatialEngine":
         """Restore an engine from a snapshot written by :meth:`save`.
 
@@ -602,7 +630,7 @@ class SpatialEngine:
         index, history = load_snapshot_with_history(path, mmap=mmap, validate=validate)
         log = WorkloadLog.from_workload(history) if history is not None else None
         return cls(
-            index, record=record, _workload_log=log,
+            index, record=record, plan_cache=plan_cache, _workload_log=log,
             _recipe=_recipe_from_loaded_index(index),
         )
 
@@ -618,6 +646,7 @@ class SpatialEngine:
         seed: Optional[int] = 0,
         rebuild: bool = False,
         record: bool = False,
+        plan_cache: Union[None, bool, int, PlanCache] = None,
         **kwargs,
     ) -> "SpatialEngine":
         """Build-once / serve-many (see :func:`build_or_load_index`).
@@ -649,7 +678,7 @@ class SpatialEngine:
                 index, name, points, workload, leaf_capacity, seed, kwargs
             )
         return cls(
-            index, record=record, _workload_log=log,
+            index, record=record, plan_cache=plan_cache, _workload_log=log,
             _recipe=recipe, _build_seconds=build_seconds,
         )
 
@@ -913,32 +942,72 @@ class SpatialEngine:
         """
         self._check_limit(limit)
         recording = self._recording
+        cache = self.plan_cache
         if isinstance(query, RangeQuery):
+            rect = query.rect
             if count_only:
-                count = self.index.range_count(query.rect)
+                # Cached values are always *uncapped* counts — the cap is
+                # applied per call, so one entry serves every ``limit`` of
+                # its key and recording sees the true count, like a miss.
+                count = MISS
+                if cache is not None:
+                    key = ("range", rect.xmin, rect.ymin, rect.xmax, rect.ymax,
+                           True, limit)
+                    count = cache.lookup(key, self.index)
+                if count is MISS:
+                    count = self.index.range_count(rect)
+                    if cache is not None:
+                        cache.store(key, self.index, count)
                 if recording:
-                    self.workload_log.record_range(query.rect, count)
+                    self.workload_log.record_range(rect, count)
                 return self._capped(count, limit)
             if recording:
-                self.workload_log.record_range(query.rect)
-            return self._truncated(self.index.range_query(query.rect), limit)
+                self.workload_log.record_range(rect)
+            result = MISS
+            if cache is not None:
+                key = ("range", rect.xmin, rect.ymin, rect.xmax, rect.ymax,
+                       False, limit)
+                result = cache.lookup(key, self.index)
+            if result is MISS:
+                result = self._truncated(self.index.range_query(rect), limit)
+                if cache is not None:
+                    cache.store(key, self.index, result)
+            return result
         if isinstance(query, PointQuery):
             found = self.index.point_query(query.point)
             return int(found) if count_only else found
         if isinstance(query, KnnQuery):
             if recording and query.k > 0:
                 self.workload_log.record_knn(query.center, query.k)
-            result = self.index.knn(query.center, query.k, query.initial_radius)
+            value = MISS
+            if cache is not None:
+                key = ("knn", query.center.x, query.center.y, query.k,
+                       query.initial_radius, count_only, limit)
+                value = cache.lookup(key, self.index)
+            if value is MISS:
+                result = self.index.knn(query.center, query.k, query.initial_radius)
+                value = result.count() if count_only else self._truncated(result, limit)
+                if cache is not None:
+                    cache.store(key, self.index, value)
             if count_only:
-                return self._capped(result.count(), limit)
-            return self._truncated(result, limit)
+                return self._capped(value, limit)
+            return value
         if isinstance(query, RadiusQuery):
             if recording:
                 self.workload_log.record_radius(query.center, query.radius)
-            result = self.index.radius_query(query.center, query.radius)
+            value = MISS
+            if cache is not None:
+                key = ("radius", query.center.x, query.center.y, query.radius,
+                       count_only, limit)
+                value = cache.lookup(key, self.index)
+            if value is MISS:
+                result = self.index.radius_query(query.center, query.radius)
+                value = result.count() if count_only else self._truncated(result, limit)
+                if cache is not None:
+                    cache.store(key, self.index, value)
             if count_only:
-                return self._capped(result.count(), limit)
-            return self._truncated(result, limit)
+                return self._capped(value, limit)
+            return value
         if isinstance(query, JoinQuery):
             return self._execute_join(query, count_only=count_only, limit=limit)
         raise TypeError(f"Unknown query plan type {type(query).__name__}")
@@ -966,10 +1035,28 @@ class SpatialEngine:
             return []
         index = self.index
         recording = self._recording
+        cache = self.plan_cache
         if all(type(q) is RangeQuery for q in queries):
             rects = [q.rect for q in queries]
             if count_only:
-                counts = index.batch_range_count(rects)
+                if cache is None:
+                    counts = list(index.batch_range_count(rects))
+                else:
+                    # Serve exact repeats from the cache and run only the
+                    # misses through the batch kernel, merging back in
+                    # workload order.  Counters and recording see true
+                    # (uncapped) counts for hits and misses alike.
+                    keys = [
+                        ("range", r.xmin, r.ymin, r.xmax, r.ymax, True, limit)
+                        for r in rects
+                    ]
+                    counts = [cache.lookup(key, index) for key in keys]
+                    missing = [i for i, c in enumerate(counts) if c is MISS]
+                    if missing:
+                        fresh = index.batch_range_count([rects[i] for i in missing])
+                        for i, count in zip(missing, fresh):
+                            cache.store(keys[i], index, count)
+                            counts[i] = count
                 if recording:
                     self.workload_log.record_ranges(rects, counts)
                 return [self._capped(c, limit) for c in counts]
@@ -977,9 +1064,23 @@ class SpatialEngine:
                 # One vectorised block append for the whole batch — the
                 # recording cost the production path actually pays.
                 self.workload_log.record_ranges(rects)
-            return [
-                self._truncated(r, limit) for r in index.batch_range_query(rects)
+            if cache is None:
+                return [
+                    self._truncated(r, limit) for r in index.batch_range_query(rects)
+                ]
+            keys = [
+                ("range", r.xmin, r.ymin, r.xmax, r.ymax, False, limit)
+                for r in rects
             ]
+            results = [cache.lookup(key, index) for key in keys]
+            missing = [i for i, r in enumerate(results) if r is MISS]
+            if missing:
+                fresh = index.batch_range_query([rects[i] for i in missing])
+                for i, result in zip(missing, fresh):
+                    truncated = self._truncated(result, limit)
+                    cache.store(keys[i], index, truncated)
+                    results[i] = truncated
+            return results
         if all(type(q) is KnnQuery for q in queries):
             first = queries[0]
             if all(
@@ -989,20 +1090,63 @@ class SpatialEngine:
                 centers = [q.center for q in queries]
                 if recording and first.k > 0:
                     self.workload_log.record_knns(centers, first.k)
-                results = index.batch_knn(centers, first.k, first.initial_radius)
+                if cache is None:
+                    results = index.batch_knn(centers, first.k, first.initial_radius)
+                    if count_only:
+                        return [self._capped(r.count(), limit) for r in results]
+                    return [self._truncated(r, limit) for r in results]
+                keys = [
+                    ("knn", c.x, c.y, first.k, first.initial_radius,
+                     count_only, limit)
+                    for c in centers
+                ]
+                values = [cache.lookup(key, index) for key in keys]
+                missing = [i for i, v in enumerate(values) if v is MISS]
+                if missing:
+                    fresh = index.batch_knn(
+                        [centers[i] for i in missing], first.k, first.initial_radius
+                    )
+                    for i, result in zip(missing, fresh):
+                        value = (
+                            result.count() if count_only
+                            else self._truncated(result, limit)
+                        )
+                        cache.store(keys[i], index, value)
+                        values[i] = value
                 if count_only:
-                    return [self._capped(r.count(), limit) for r in results]
-                return [self._truncated(r, limit) for r in results]
+                    return [self._capped(v, limit) for v in values]
+                return values
         if all(type(q) is RadiusQuery for q in queries):
             first = queries[0]
             if all(q.radius == first.radius for q in queries):
                 centers = [q.center for q in queries]
                 if recording:
                     self.workload_log.record_radii(centers, first.radius)
-                results = index.batch_radius_query(centers, first.radius)
+                if cache is None:
+                    results = index.batch_radius_query(centers, first.radius)
+                    if count_only:
+                        return [self._capped(r.count(), limit) for r in results]
+                    return [self._truncated(r, limit) for r in results]
+                keys = [
+                    ("radius", c.x, c.y, first.radius, count_only, limit)
+                    for c in centers
+                ]
+                values = [cache.lookup(key, index) for key in keys]
+                missing = [i for i, v in enumerate(values) if v is MISS]
+                if missing:
+                    fresh = index.batch_radius_query(
+                        [centers[i] for i in missing], first.radius
+                    )
+                    for i, result in zip(missing, fresh):
+                        value = (
+                            result.count() if count_only
+                            else self._truncated(result, limit)
+                        )
+                        cache.store(keys[i], index, value)
+                        values[i] = value
                 if count_only:
-                    return [self._capped(r.count(), limit) for r in results]
-                return [self._truncated(r, limit) for r in results]
+                    return [self._capped(v, limit) for v in values]
+                return values
         return [
             self.execute(query, count_only=count_only, limit=limit)
             for query in queries

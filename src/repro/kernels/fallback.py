@@ -1,0 +1,234 @@
+# repro-lint: hot-path
+# repro-lint: kernel-parity
+"""Pure-NumPy reference kernels for the compiled hot-path tier.
+
+These are the *semantics* of the kernel tier: every other backend (today
+the Numba one, tomorrow anything else) must return byte-identical values
+— same matches, same ordering, same dtypes — and the differential
+harness in ``tests/test_kernel_parity.py`` plus the ``kernel-parity``
+runtime sanitizer hold them to it.  The implementations mirror the
+vectorized expressions that previously lived inline in
+``zindex/base.py`` operation for operation (same ufuncs, same ``out=``
+buffers, same in-place shifts), so routing the index through this module
+is a refactor, not a behaviour change.
+
+Every function takes the *full* flat coordinate columns plus a
+``[lo, hi)`` row span — the contiguous slice the projection phase
+selected — and returns **absolute** row indices so callers never adjust
+offsets.  ``mask`` / ``scratch`` are optional reusable boolean buffers
+(at least ``hi - lo`` long) that the window chain writes into instead of
+allocating four fresh temporaries per query; backends that do not need
+them ignore them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "BACKEND",
+    "range_count",
+    "range_select",
+    "batch_range_count",
+    "batch_range_select",
+    "knn_candidates",
+    "radius_select",
+]
+
+#: Name reported by :func:`repro.kernels.backend_name` when active.
+BACKEND = "numpy"
+
+
+def _window_mask(
+    flat_x: np.ndarray,
+    flat_y: np.ndarray,
+    lo: int,
+    hi: int,
+    xmin: float,
+    ymin: float,
+    xmax: float,
+    ymax: float,
+    mask: Optional[np.ndarray],
+    scratch: Optional[np.ndarray],
+) -> np.ndarray:
+    """Containment mask of flat rows ``[lo, hi)`` against the window.
+
+    Writes into ``mask`` / ``scratch`` when they are large enough; the
+    returned view is only valid until the next call that reuses them.
+    """
+    xs = flat_x[lo:hi]
+    ys = flat_y[lo:hi]
+    length = hi - lo
+    if mask is None or scratch is None or mask.shape[0] < length:
+        mask = np.empty(length, dtype=bool)
+        scratch = np.empty(length, dtype=bool)
+    else:
+        mask = mask[:length]
+        scratch = scratch[:length]
+    np.greater_equal(xs, xmin, out=mask)
+    np.logical_and(mask, np.less_equal(xs, xmax, out=scratch), out=mask)
+    np.logical_and(mask, np.greater_equal(ys, ymin, out=scratch), out=mask)
+    np.logical_and(mask, np.less_equal(ys, ymax, out=scratch), out=mask)
+    return mask
+
+
+def range_count(
+    flat_x: np.ndarray,
+    flat_y: np.ndarray,
+    lo: int,
+    hi: int,
+    xmin: float,
+    ymin: float,
+    xmax: float,
+    ymax: float,
+    mask: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> int:
+    """Number of rows of ``[lo, hi)`` inside the window (fused mask+count)."""
+    window = _window_mask(flat_x, flat_y, lo, hi, xmin, ymin, xmax, ymax, mask, scratch)
+    return int(np.count_nonzero(window))
+
+
+def range_select(
+    flat_x: np.ndarray,
+    flat_y: np.ndarray,
+    lo: int,
+    hi: int,
+    xmin: float,
+    ymin: float,
+    xmax: float,
+    ymax: float,
+    mask: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Ascending absolute row indices of the window matches (``int64``)."""
+    window = _window_mask(flat_x, flat_y, lo, hi, xmin, ymin, xmax, ymax, mask, scratch)
+    sel = np.flatnonzero(window)
+    sel += lo  # flatnonzero allocates a fresh array: safe to shift in place
+    return sel.astype(np.int64, copy=False)
+
+
+def batch_range_count(
+    flat_x: np.ndarray,
+    flat_y: np.ndarray,
+    los: np.ndarray,
+    his: np.ndarray,
+    bounds: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Fused counts for a batch of windows: ``bounds[i]`` is
+    ``(xmin, ymin, xmax, ymax)`` evaluated over rows ``[los[i], his[i])``.
+    Returns one ``int64`` count per window.
+    """
+    num = len(los)
+    counts = np.empty(num, dtype=np.int64)
+    for i in range(num):
+        xmin, ymin, xmax, ymax = bounds[i]
+        counts[i] = range_count(
+            flat_x, flat_y, int(los[i]), int(his[i]),
+            xmin, ymin, xmax, ymax, mask, scratch,
+        )
+    return counts
+
+
+def batch_range_select(
+    flat_x: np.ndarray,
+    flat_y: np.ndarray,
+    los: np.ndarray,
+    his: np.ndarray,
+    bounds: np.ndarray,
+    mask: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused selections for a batch of windows.
+
+    Returns ``(sel, offsets)`` where window ``i``'s ascending absolute
+    row indices are ``sel[offsets[i]:offsets[i + 1]]``.
+    """
+    num = len(los)
+    selections = []
+    offsets = np.empty(num + 1, dtype=np.int64)
+    offsets[0] = 0
+    for i in range(num):
+        xmin, ymin, xmax, ymax = bounds[i]
+        part = range_select(
+            flat_x, flat_y, int(los[i]), int(his[i]),
+            xmin, ymin, xmax, ymax, mask, scratch,
+        )
+        selections.append(part)
+        offsets[i + 1] = offsets[i] + part.size
+    if selections:
+        sel = np.concatenate(selections)
+    else:
+        sel = np.empty(0, dtype=np.int64)
+    return sel, offsets
+
+
+def knn_candidates(
+    flat_x: np.ndarray,
+    flat_y: np.ndarray,
+    lo: int,
+    hi: int,
+    xmin: float,
+    ymin: float,
+    xmax: float,
+    ymax: float,
+    cx: float,
+    cy: float,
+    mask: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One expanding-window kNN probe: window matches plus their distances.
+
+    Returns ``(sel, d2)``: ascending absolute row indices of the window
+    matches and their squared distances to ``(cx, cy)`` in the columns'
+    dtype.  The neighbour ordering itself (a stable argsort of ``d2``)
+    stays with the caller so every backend shares one tie-break.
+    """
+    sel = range_select(flat_x, flat_y, lo, hi, xmin, ymin, xmax, ymax, mask, scratch)
+    candidate_x = flat_x[sel]
+    candidate_y = flat_y[sel]
+    dx = candidate_x - cx
+    dy = candidate_y - cy
+    d2 = dx * dx
+    d2 += dy * dy
+    return sel, d2
+
+
+def radius_select(
+    flat_x: np.ndarray,
+    flat_y: np.ndarray,
+    lo: int,
+    hi: int,
+    xmin: float,
+    ymin: float,
+    xmax: float,
+    ymax: float,
+    cx: float,
+    cy: float,
+    radius_squared: float,
+    mask: Optional[np.ndarray] = None,
+    scratch: Optional[np.ndarray] = None,
+) -> Tuple[int, np.ndarray]:
+    """One within-radius query: window filter and distance refine, fused.
+
+    Returns ``(window_matches, sel)`` — how many rows passed the window
+    filter (the ``points_returned`` accounting of the filter-and-refine
+    decomposition) and the ascending absolute row indices that also
+    passed the exact squared-distance test.
+    """
+    sel = range_select(flat_x, flat_y, lo, hi, xmin, ymin, xmax, ymax, mask, scratch)
+    window_matches = int(sel.size)
+    if not window_matches:
+        return 0, sel
+    candidate_x = flat_x[sel]
+    candidate_y = flat_y[sel]
+    dx = candidate_x - cx
+    dy = candidate_y - cy
+    d2 = dx * dx
+    d2 += dy * dy
+    keep = d2 <= radius_squared
+    return window_matches, sel[keep]

@@ -33,6 +33,7 @@ unchanged by the vectorization.
 """
 
 # repro-lint: hot-path
+# repro-lint: kernel-parity
 from __future__ import annotations
 
 import weakref
@@ -44,6 +45,7 @@ import numpy as np
 from repro.evaluation.metrics import PhaseTimer
 from repro.geometry import Point, Rect, bounding_box, points_from_arrays, points_to_arrays
 from repro.interfaces import SpatialIndex, require_finite_center, require_valid_radius
+from repro.kernels import get_kernels
 from repro.results import ResultSet
 from repro.storage import LeafEntry, LeafList, PackedLeaves, Page
 from repro.storage.buffers import MemoryColumnStore
@@ -351,6 +353,35 @@ class ZIndex(SpatialIndex):
         self._flat_starts = starts
         self._flat_starts_list = starts_list
 
+    def adopt_coord_dtype(self, dtype) -> None:
+        """Re-serve the flat scan cache at a narrower coordinate width.
+
+        The float32 storage mode for memory-bound read-mostly serving:
+        the column store is re-materialised via
+        :meth:`~repro.storage.buffers.ColumnStore.astype_coords` and the
+        pages re-pointed at the narrowed slices, halving the resident
+        coordinate footprint.  Matching then evaluates the *rounded*
+        values — results are no longer byte-identical to the float64
+        tier (see ``docs/KERNELS.md`` for the tradeoff), which is why
+        this is a method you call, never a default.  The flat generation
+        advances so retained result sets and cached plans computed at
+        full width are never served for the narrowed index.
+
+        Narrowing is **one-way**: the pages themselves are re-pointed at
+        the narrowed columns (that is what halves the resident
+        footprint), so widening back — explicitly, or via the float64
+        rebuild a later mutation triggers — restores the *dtype*, not
+        the original values.  Reload the pre-narrowing snapshot to
+        recover full precision.
+        """
+        self._prime_query_caches()
+        store = self._store
+        narrowed = store.astype_coords(dtype)
+        if narrowed["flat_x"] is store["flat_x"]:
+            return  # already served at this width
+        self._invalidate_flat()
+        self._adopt_store(narrowed)
+
     def _ensure_flat(self) -> None:
         """(Re)build the concatenated coordinate columns when stale.
 
@@ -477,9 +508,41 @@ class ZIndex(SpatialIndex):
         if self.root is None:
             return [ResultSet.empty() for _ in queries]
         self._prime_query_caches()
-        scan = self._scan_pages
+        counters = self.counters
         project = self._project
-        return [scan(project(query)[2], query) for query in queries]
+        results: List[Optional[ResultSet]] = [None] * len(queries)
+        slots: List[int] = []
+        los: List[int] = []
+        his: List[int] = []
+        bounds: List[Tuple[float, float, float, float]] = []
+        for slot, query in enumerate(queries):
+            relevant = project(query)[2]
+            if not relevant:
+                results[slot] = ResultSet.empty()
+                continue
+            lo, hi, total = self._flat_span(relevant)
+            counters.pages_scanned += len(relevant)
+            counters.points_filtered += total
+            slots.append(slot)
+            los.append(lo)
+            his.append(hi)
+            bounds.append((query.xmin, query.ymin, query.xmax, query.ymax))
+        if slots:
+            sel, offsets = get_kernels().batch_range_select(
+                self._flat_x,
+                self._flat_y,
+                np.asarray(los, dtype=np.int64),
+                np.asarray(his, dtype=np.int64),
+                np.asarray(bounds, dtype=np.float64),
+                self._mask_a,
+                self._mask_b,
+            )
+            offsets_list = offsets.tolist()
+            for position, slot in enumerate(slots):
+                part = sel[offsets_list[position]:offsets_list[position + 1]]
+                counters.points_returned += int(part.size)
+                results[slot] = self._result_from_selection(part)
+        return results  # type: ignore[return-value]
 
     def range_count(self, query: Rect) -> int:
         """Count-only range query evaluated purely on the flat columns.
@@ -507,9 +570,39 @@ class ZIndex(SpatialIndex):
             # flat rebuild the budget exists to defer.
             return [self.range_count(query) for query in queries]
         self._prime_query_caches()
-        count = self._count_pages
+        counters = self.counters
         project = self._project
-        return [count(project(query)[2], query) for query in queries]
+        counts = [0] * len(queries)
+        slots: List[int] = []
+        los: List[int] = []
+        his: List[int] = []
+        bounds: List[Tuple[float, float, float, float]] = []
+        for slot, query in enumerate(queries):
+            relevant = project(query)[2]
+            if not relevant:
+                continue
+            lo, hi, total = self._flat_span(relevant)
+            counters.pages_scanned += len(relevant)
+            counters.points_filtered += total
+            slots.append(slot)
+            los.append(lo)
+            his.append(hi)
+            bounds.append((query.xmin, query.ymin, query.xmax, query.ymax))
+        if not slots:
+            return counts
+        matched = get_kernels().batch_range_count(
+            self._flat_x,
+            self._flat_y,
+            np.asarray(los, dtype=np.int64),
+            np.asarray(his, dtype=np.int64),
+            np.asarray(bounds, dtype=np.float64),
+            self._mask_a,
+            self._mask_b,
+        )
+        for slot, count in zip(slots, matched.tolist()):
+            counters.points_returned += count
+            counts[slot] = count
+        return counts
 
     def _count_pages(self, indices: Sequence[int], query: Rect) -> int:
         """Counting twin of :meth:`_scan_pages` (same counter accounting)."""
@@ -519,7 +612,11 @@ class ZIndex(SpatialIndex):
         lo, hi, total = self._flat_span(indices)
         counters.pages_scanned += len(indices)
         counters.points_filtered += total
-        matched = int(np.count_nonzero(self._window_mask(lo, hi, query)))
+        matched = get_kernels().range_count(
+            self._flat_x, self._flat_y, lo, hi,
+            query.xmin, query.ymin, query.xmax, query.ymax,
+            self._mask_a, self._mask_b,
+        )
         counters.points_returned += matched
         return matched
 
@@ -589,6 +686,7 @@ class ZIndex(SpatialIndex):
             return [ResultSet.empty() for _ in centers]
         self._prime_query_caches()
         counters = self.counters
+        kernels = get_kernels()
         radius_squared = radius * radius
         results: List[ResultSet] = []
         for center in centers:
@@ -602,20 +700,16 @@ class ZIndex(SpatialIndex):
             lo, hi, total = self._flat_span(relevant)
             counters.pages_scanned += len(relevant)
             counters.points_filtered += total
-            sel = np.flatnonzero(self._window_mask(lo, hi, window))
-            sel += lo
-            counters.points_returned += int(sel.size)
-            if not sel.size:
+            window_matches, sel = kernels.radius_select(
+                self._flat_x, self._flat_y, lo, hi,
+                window.xmin, window.ymin, window.xmax, window.ymax,
+                cx, cy, radius_squared, self._mask_a, self._mask_b,
+            )
+            counters.points_returned += window_matches
+            if not window_matches:
                 results.append(ResultSet.empty())
                 continue
-            candidate_x = self._flat_x[sel]
-            candidate_y = self._flat_y[sel]
-            dx = candidate_x - cx
-            dy = candidate_y - cy
-            d2 = dx * dx
-            d2 += dy * dy
-            keep = d2 <= radius_squared
-            results.append(self._result_from_selection(sel[keep]))
+            results.append(self._result_from_selection(sel))
         return results
 
     def _prime_query_caches(self) -> None:
@@ -637,6 +731,7 @@ class ZIndex(SpatialIndex):
         cx = float(center.x)
         cy = float(center.y)
         counters = self.counters
+        kernels = get_kernels()
         while True:
             window = Rect(cx - radius, cy - radius, cx + radius, cy + radius)
             covers = self._window_covers_everything(window)
@@ -645,17 +740,14 @@ class ZIndex(SpatialIndex):
                 lo, hi, total = self._flat_span(relevant)
                 counters.pages_scanned += len(relevant)
                 counters.points_filtered += total
-                sel = np.flatnonzero(self._window_mask(lo, hi, window))
-                sel += lo
+                sel, d2 = kernels.knn_candidates(
+                    self._flat_x, self._flat_y, lo, hi,
+                    window.xmin, window.ymin, window.xmax, window.ymax,
+                    cx, cy, self._mask_a, self._mask_b,
+                )
                 num_candidates = int(sel.size)
                 counters.points_returned += num_candidates
                 if num_candidates >= k or covers:
-                    candidate_x = self._flat_x[sel]
-                    candidate_y = self._flat_y[sel]
-                    dx = candidate_x - cx
-                    dy = candidate_y - cy
-                    d2 = dx * dx
-                    d2 += dy * dy
                     # Stable sort ⇒ ties keep candidate (curve) order, the
                     # exact tie-break of the scalar ``list.sort``.  The
                     # scalar path returns the distance-sorted candidate
@@ -846,8 +938,11 @@ class ZIndex(SpatialIndex):
         # exactly the points of the relevant pages that fall in the query —
         # without a per-leaf gather.  (points_filtered above still counts
         # only the relevant pages, preserving the Figure 13 metric.)
-        sel = np.flatnonzero(self._window_mask(lo, hi, query))
-        sel += lo  # flatnonzero allocates a fresh array: safe to shift in place
+        sel = get_kernels().range_select(
+            self._flat_x, self._flat_y, lo, hi,
+            query.xmin, query.ymin, query.xmax, query.ymax,
+            self._mask_a, self._mask_b,
+        )
         counters.points_returned += int(sel.size)
         return self._result_from_selection(sel)
 
@@ -873,22 +968,6 @@ class ZIndex(SpatialIndex):
             idx = np.asarray(indices, dtype=np.int64)
             total = int((starts[idx + 1] - starts[idx]).sum())
         return lo, hi, total
-
-    def _window_mask(self, lo: int, hi: int, query: Rect) -> np.ndarray:
-        """Containment mask of flat rows ``[lo, hi)`` against ``query``.
-
-        Writes into the reusable mask buffers; the returned view is only
-        valid until the next call.
-        """
-        xs = self._flat_x[lo:hi]
-        ys = self._flat_y[lo:hi]
-        mask = self._mask_a[: hi - lo]
-        scratch = self._mask_b[: hi - lo]
-        np.greater_equal(xs, query.xmin, out=mask)
-        np.logical_and(mask, np.less_equal(xs, query.xmax, out=scratch), out=mask)
-        np.logical_and(mask, np.greater_equal(ys, query.ymin, out=scratch), out=mask)
-        np.logical_and(mask, np.less_equal(ys, query.ymax, out=scratch), out=mask)
-        return mask
 
     def _scan_pages_direct(self, indices: Sequence[int], query: Rect) -> List[Point]:
         """Per-page scan used while the flat cache is stale after updates.

@@ -1,0 +1,15 @@
+# repro-lint: kernel-parity
+"""Failing fixture: an unstable default sort and a fastmath JIT kernel."""
+
+import numpy as np
+
+
+def njit(**kwargs):
+    def wrap(fn):
+        return fn
+    return wrap
+
+
+@njit(cache=True, fastmath=True)
+def ranked(d2):
+    return np.argsort(d2)

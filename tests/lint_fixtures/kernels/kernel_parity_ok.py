@@ -1,0 +1,20 @@
+# repro-lint: kernel-parity
+"""Passing fixture: stable sorts, fastmath left off."""
+
+import numpy as np
+
+
+def njit(**kwargs):
+    def wrap(fn):
+        return fn
+    return wrap
+
+
+@njit(cache=True)
+def ranked(d2):
+    return np.argsort(d2, kind="stable")
+
+
+@njit(cache=True, fastmath=False)
+def ordered(values):
+    return np.sort(values, kind="stable")

@@ -67,6 +67,41 @@ class TestMeasurement:
         assert common.micros(0.001) == pytest.approx(1000.0)
 
 
+class TestWarmQueryCaches:
+    """warm_query_caches must leave an index with no first-query work left."""
+
+    def _fresh_index(self):
+        points = common.dataset("newyork", 800)
+        workload = common.range_workload("newyork", 0.0256, 10)
+        index = common.build_named_index("WaZI", points, workload.queries,
+                                         leaf_capacity=32)
+        return index, list(workload.queries)
+
+    def test_primes_flat_scan_cache(self):
+        index, rects = self._fresh_index()
+        assert index._flat_x is None  # freshly built: lazy caches empty
+        common.warm_query_caches(index, rects)
+        assert index._flat_x is not None
+        assert index._flat_starts is not None
+
+    def test_primes_reusable_mask_buffers(self):
+        index, rects = self._fresh_index()
+        common.warm_query_caches(index, rects)
+        assert index._mask_a is not None
+
+    def test_warming_does_not_change_results(self):
+        index, rects = self._fresh_index()
+        cold = [r.count() for r in index.batch_range_query(rects)]
+        common.warm_query_caches(index, rects)
+        warm = [r.count() for r in index.batch_range_query(rects)]
+        assert cold == warm
+
+    def test_accepts_tuple_of_rects(self):
+        index, rects = self._fresh_index()
+        common.warm_query_caches(index, tuple(rects))
+        assert index._flat_x is not None
+
+
 class TestWorkerSeeds:
     def test_distinct_per_shard_and_deterministic(self):
         seeds = [common.worker_seed(common.DEFAULT_SEED, shard) for shard in range(16)]

@@ -227,3 +227,187 @@ class TestInstallation:
         for criterion, pointers in expected.items():
             stored = [e.skip_pointer(criterion) for e in wazi.leaflist.entries]
             assert pointers == stored
+
+
+# ---------------------------------------------------------------------------
+# kernel-parity: sampled differential re-execution of the kernel tier
+# ---------------------------------------------------------------------------
+
+
+def _backend_copy(**overrides):
+    """A standalone backend namespace cloned from the reference kernels."""
+    import types
+
+    from repro.kernels import KERNEL_NAMES, fallback
+
+    backend = types.SimpleNamespace(BACKEND="numpy")
+    for name in KERNEL_NAMES:
+        setattr(backend, name, getattr(fallback, name))
+    for name, fn in overrides.items():
+        setattr(backend, name, fn)
+    return backend
+
+
+def _dropping_range_select(*args, **kwargs):
+    # A miscompiled kernel in miniature: silently drops the last match.
+    from repro.kernels import fallback
+
+    sel = fallback.range_select(*args, **kwargs)
+    return sel[:-1] if sel.size else sel
+
+
+def _wrong_dtype_range_select(*args, **kwargs):
+    from repro.kernels import fallback
+
+    return fallback.range_select(*args, **kwargs).astype(np.int32)
+
+
+def _off_by_one_range_count(*args, **kwargs):
+    from repro.kernels import fallback
+
+    return fallback.range_count(*args, **kwargs) + 1
+
+
+class TestKernelParityChecker:
+    COLUMNS = (
+        np.linspace(0.0, 1.0, 32),
+        np.linspace(1.0, 0.0, 32),
+    )
+
+    def _call_select(self, checker):
+        x, y = self.COLUMNS
+        return checker.range_select(x, y, 0, 32, 0.0, 0.0, 1.0, 1.0)
+
+    def test_sample_every_must_be_positive(self):
+        from repro.devtools.invariants import KernelParityChecker
+        from repro.kernels import fallback
+
+        with pytest.raises(ValueError):
+            KernelParityChecker(fallback, fallback, sample_every=0)
+
+    def test_clean_backend_passes_and_counts_checks(self):
+        from repro.devtools.invariants import KernelParityChecker
+        from repro.kernels import fallback
+
+        checker = KernelParityChecker(_backend_copy(), fallback, sample_every=3)
+        for _ in range(9):
+            self._call_select(checker)
+        assert checker.calls == 9
+        assert checker.checked == 3  # deterministic 1-in-3, no RNG
+
+    def test_dropped_match_fires_named_violation(self):
+        from repro.devtools.invariants import KernelParityChecker
+        from repro.kernels import fallback
+
+        checker = KernelParityChecker(
+            _backend_copy(range_select=_dropping_range_select),
+            fallback, sample_every=1,
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            self._call_select(checker)
+        assert exc.value.invariant == "kernel-parity"
+        assert "range_select()" in str(exc.value)
+
+    def test_wrong_dtype_fires(self):
+        from repro.devtools.invariants import KernelParityChecker
+        from repro.kernels import fallback
+
+        checker = KernelParityChecker(
+            _backend_copy(range_select=_wrong_dtype_range_select),
+            fallback, sample_every=1,
+        )
+        with pytest.raises(InvariantViolation) as exc:
+            self._call_select(checker)
+        assert "dtype" in str(exc.value)
+
+    def test_wrong_scalar_fires(self):
+        from repro.devtools.invariants import KernelParityChecker
+        from repro.kernels import fallback
+
+        checker = KernelParityChecker(
+            _backend_copy(range_count=_off_by_one_range_count),
+            fallback, sample_every=1,
+        )
+        x, y = self.COLUMNS
+        with pytest.raises(InvariantViolation) as exc:
+            checker.range_count(x, y, 0, 32, 0.0, 0.0, 1.0, 1.0)
+        assert exc.value.invariant == "kernel-parity"
+        assert "range_count()" in str(exc.value)
+
+    def test_sampling_skips_unsampled_calls(self):
+        from repro.devtools.invariants import KernelParityChecker
+        from repro.kernels import fallback
+
+        checker = KernelParityChecker(
+            _backend_copy(range_select=_dropping_range_select),
+            fallback, sample_every=2,
+        )
+        self._call_select(checker)  # call 1 of 2: unsampled, passes through
+        with pytest.raises(InvariantViolation):
+            self._call_select(checker)  # call 2 of 2: sampled, caught
+
+    def test_tuple_kernel_mismatch_names_element(self):
+        from repro.devtools.invariants import assert_kernel_parity
+
+        good = (np.array([1, 2], dtype=np.int64), np.array([0.5, 0.25]))
+        bad = (np.array([1, 2], dtype=np.int64), np.array([0.5, 0.75]))
+        with pytest.raises(InvariantViolation) as exc:
+            assert_kernel_parity("knn_candidates", bad, good)
+        assert "element 1" in str(exc.value)
+
+
+class TestKernelParityInstallation:
+    def test_install_interposes_and_uninstall_restores(self, pristine_sanitizer):
+        from repro import kernels
+        from repro.devtools.invariants import KernelParityChecker
+
+        original = kernels.get_kernels()
+        install_sanitizer()
+        try:
+            active = kernels.get_kernels()
+            assert isinstance(active, KernelParityChecker)
+            assert active.wrapped is original
+            # The wrapped backend's name still shows through.
+            assert kernels.backend_name() == getattr(
+                original, "BACKEND", kernels.backend_name()
+            )
+        finally:
+            uninstall_sanitizer()
+        assert kernels.get_kernels() is original
+
+    def test_sanitized_queries_catch_corrupt_backend(
+        self, points, workload, pristine_sanitizer
+    ):
+        from repro import kernels
+
+        original = kernels.set_kernels(
+            _backend_copy(range_select=_dropping_range_select)
+        )
+        try:
+            install_sanitizer(kernel_sample_every=1)
+            try:
+                index = build_index(
+                    "wazi", points[:200], workload, leaf_capacity=8, seed=0
+                )
+                with pytest.raises(InvariantViolation) as exc:
+                    index.range_query(Rect(0.1, 0.1, 0.9, 0.9))
+                assert exc.value.invariant == "kernel-parity"
+            finally:
+                uninstall_sanitizer()
+        finally:
+            kernels.set_kernels(original)
+
+    def test_sanitized_clean_queries_pass(self, points, workload, pristine_sanitizer):
+        from repro import kernels
+
+        install_sanitizer(kernel_sample_every=1)
+        try:
+            checker = kernels.get_kernels()
+            index = build_index(
+                "wazi", points[:200], workload, leaf_capacity=8, seed=0
+            )
+            result = index.range_query(Rect(0.1, 0.1, 0.9, 0.9))
+            assert len(result) == index.range_count(Rect(0.1, 0.1, 0.9, 0.9))
+            assert checker.checked >= 1  # every call was differentially checked
+        finally:
+            uninstall_sanitizer()

@@ -43,6 +43,10 @@ FIXTURE_PAIRS = {
         "persistence/deterministic_io_ok.py",
         "persistence/deterministic_io_bad.py",
     ),
+    "kernel-parity": (
+        "kernels/kernel_parity_ok.py",
+        "kernels/kernel_parity_bad.py",
+    ),
 }
 
 
@@ -85,6 +89,20 @@ class TestFixtures:
 
 
 class TestSpecificFirings:
+    def test_kernel_parity_flags_both_hazards(self):
+        findings = lint_paths([FIXTURES / "kernels/kernel_parity_bad.py"])
+        messages = " ".join(f.message for f in findings)
+        assert 'kind="stable"' in messages
+        assert "fastmath" in messages
+
+    def test_kernel_parity_is_tag_scoped(self):
+        source = "import numpy as np\norder = np.argsort([3, 1])\n"
+        assert lint_source(source, relpath="m.py") == []
+        tagged = "# repro-lint: kernel-parity\n" + source
+        assert [f.rule for f in lint_source(tagged, relpath="m.py")] == [
+            "kernel-parity"
+        ]
+
     def test_hot_path_flags_both_boxing_forms(self):
         findings = lint_paths([FIXTURES / "hot_path_bad.py"])
         messages = " ".join(f.message for f in findings)

@@ -1,0 +1,438 @@
+"""Differential equivalence harness for the compiled kernel tier.
+
+The kernel tier (``repro.kernels``) is only allowed to exist because it is
+*provably* a refactor: whatever backend is active, every query must return
+byte-identical results — same matches, same ordering, same dtypes, same
+cost counters — as the pure-NumPy reference, which in turn must match the
+scalar decomposition (brute force over boxed points) the test suite has
+always held the indexes to.
+
+Three layers of checking, each parametrized over both ``REPRO_KERNELS``
+modes (``numba`` resolves to the reference when Numba is not installed,
+so the harness is meaningful on any machine and strictest on one with
+Numba):
+
+1. kernel-level: every kernel function against the reference backend and
+   against a scalar re-implementation, under Hypothesis-generated
+   columns, spans and windows (including empty spans and tie-heavy
+   duplicate coordinates);
+2. index-level: all 12 index types answering range/kNN/radius workloads,
+   compared against brute force and across modes (results *and*
+   counters);
+3. lifecycle: parity must survive inserts, deletes and duplicate points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import kernels
+from repro.engine import INDEX_NAMES, build_index
+from repro.geometry import Point, Rect
+from repro.interfaces import brute_force_knn, brute_force_range
+from repro.kernels import fallback
+from repro.workloads import generate_dataset, generate_range_workload
+
+KERNEL_MODES = ("numpy", "numba")
+
+#: Indexes with mutation support (for the post-mutation parity tests).
+MUTABLE_INDEXES = ("base", "wazi")
+
+
+# ---------------------------------------------------------------------------
+# Byte-identical comparison helpers
+# ---------------------------------------------------------------------------
+
+
+def assert_bytes_equal(got, want, context=""):
+    """Byte-identical equality: dtype, shape and raw buffer for arrays."""
+    if isinstance(want, tuple):
+        assert isinstance(got, tuple) and len(got) == len(want), context
+        for i, (g, w) in enumerate(zip(got, want)):
+            assert_bytes_equal(g, w, f"{context}[{i}]")
+        return
+    if isinstance(want, np.ndarray):
+        assert isinstance(got, np.ndarray), context
+        assert got.dtype == want.dtype, f"{context}: dtype {got.dtype} != {want.dtype}"
+        assert got.shape == want.shape, f"{context}: shape {got.shape} != {want.shape}"
+        assert got.tobytes() == want.tobytes(), f"{context}: buffers differ"
+        return
+    assert type(got) is type(want) and got == want, context
+
+
+def result_bytes(result):
+    xs, ys = result.as_arrays()
+    return xs.tobytes() + ys.tobytes()
+
+
+def sorted_coords(points):
+    return sorted((p.x, p.y) for p in points)
+
+
+# ---------------------------------------------------------------------------
+# Scalar decompositions of the kernels (the per-row oracle)
+# ---------------------------------------------------------------------------
+
+
+def scalar_range_select(flat_x, flat_y, lo, hi, xmin, ymin, xmax, ymax):
+    return np.array(
+        [
+            row
+            for row in range(lo, hi)
+            if xmin <= flat_x[row] <= xmax and ymin <= flat_y[row] <= ymax
+        ],
+        dtype=np.int64,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies: columns, spans, windows
+# ---------------------------------------------------------------------------
+
+# Tie-heavy by construction: coordinates drawn from a small grid so
+# duplicates and boundary-exact hits are the common case, not the corner.
+grid_coord = st.integers(min_value=0, max_value=7).map(lambda v: v / 4.0)
+
+
+@st.composite
+def columns_and_window(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    flat_x = np.array([draw(grid_coord) for _ in range(n)], dtype=np.float64)
+    flat_y = np.array([draw(grid_coord) for _ in range(n)], dtype=np.float64)
+    lo = draw(st.integers(min_value=0, max_value=n))
+    hi = draw(st.integers(min_value=lo, max_value=n))
+    xa, xb = sorted((draw(grid_coord), draw(grid_coord)))
+    ya, yb = sorted((draw(grid_coord), draw(grid_coord)))
+    return flat_x, flat_y, lo, hi, (xa, ya, xb, yb)
+
+
+@st.composite
+def columns_and_batch(draw):
+    n = draw(st.integers(min_value=0, max_value=40))
+    flat_x = np.array([draw(grid_coord) for _ in range(n)], dtype=np.float64)
+    flat_y = np.array([draw(grid_coord) for _ in range(n)], dtype=np.float64)
+    num_windows = draw(st.integers(min_value=0, max_value=5))
+    los, his, bounds = [], [], []
+    for _ in range(num_windows):
+        lo = draw(st.integers(min_value=0, max_value=n))
+        hi = draw(st.integers(min_value=lo, max_value=n))
+        xa, xb = sorted((draw(grid_coord), draw(grid_coord)))
+        ya, yb = sorted((draw(grid_coord), draw(grid_coord)))
+        los.append(lo)
+        his.append(hi)
+        bounds.append((xa, ya, xb, yb))
+    return (
+        flat_x,
+        flat_y,
+        np.array(los, dtype=np.int64),
+        np.array(his, dtype=np.int64),
+        np.array(bounds, dtype=np.float64).reshape(num_windows, 4),
+    )
+
+
+@pytest.fixture(params=KERNEL_MODES)
+def kernel_mode(request):
+    with kernels.use(request.param) as backend:
+        yield request.param, backend
+
+
+# ---------------------------------------------------------------------------
+# 1. Kernel-level parity (backend vs reference vs scalar oracle)
+# ---------------------------------------------------------------------------
+
+
+class TestKernelFunctionParity:
+    @settings(max_examples=60, deadline=None)
+    @given(data=columns_and_window())
+    def test_range_select_matches_reference_and_scalar(self, data):
+        flat_x, flat_y, lo, hi, (xmin, ymin, xmax, ymax) = data
+        want = fallback.range_select(flat_x, flat_y, lo, hi, xmin, ymin, xmax, ymax)
+        oracle = scalar_range_select(flat_x, flat_y, lo, hi, xmin, ymin, xmax, ymax)
+        assert_bytes_equal(want, oracle, "reference vs scalar oracle")
+        for mode in KERNEL_MODES:
+            with kernels.use(mode) as backend:
+                got = backend.range_select(
+                    flat_x, flat_y, lo, hi, xmin, ymin, xmax, ymax
+                )
+            assert_bytes_equal(got, want, f"range_select[{mode}] vs reference")
+
+    @settings(max_examples=60, deadline=None)
+    @given(data=columns_and_window())
+    def test_range_count_matches_reference_and_scalar(self, data):
+        flat_x, flat_y, lo, hi, window = data
+        want = fallback.range_count(flat_x, flat_y, lo, hi, *window)
+        assert want == scalar_range_select(flat_x, flat_y, lo, hi, *window).size
+        for mode in KERNEL_MODES:
+            with kernels.use(mode) as backend:
+                got = backend.range_count(flat_x, flat_y, lo, hi, *window)
+            assert got == want and isinstance(got, int)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=columns_and_batch())
+    def test_batch_kernels_match_reference(self, data):
+        flat_x, flat_y, los, his, bounds = data
+        want_counts = fallback.batch_range_count(flat_x, flat_y, los, his, bounds)
+        want_sel = fallback.batch_range_select(flat_x, flat_y, los, his, bounds)
+        for mode in KERNEL_MODES:
+            with kernels.use(mode) as backend:
+                got_counts = backend.batch_range_count(flat_x, flat_y, los, his, bounds)
+                got_sel = backend.batch_range_select(flat_x, flat_y, los, his, bounds)
+            assert_bytes_equal(got_counts, want_counts, f"batch_range_count[{mode}]")
+            assert_bytes_equal(got_sel, want_sel, f"batch_range_select[{mode}]")
+        # The two batch kernels must agree with each other too.
+        sel, offsets = want_sel
+        assert_bytes_equal(np.diff(offsets), want_counts, "offsets vs counts")
+        # And with the scalar oracle, window by window.
+        for i in range(len(los)):
+            part = sel[offsets[i]:offsets[i + 1]]
+            oracle = scalar_range_select(
+                flat_x, flat_y, int(los[i]), int(his[i]), *bounds[i]
+            )
+            assert_bytes_equal(part, oracle, f"batch window {i}")
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=columns_and_window(), cx=grid_coord, cy=grid_coord)
+    def test_knn_candidates_matches_reference(self, data, cx, cy):
+        flat_x, flat_y, lo, hi, window = data
+        want = fallback.knn_candidates(flat_x, flat_y, lo, hi, *window, cx, cy)
+        for mode in KERNEL_MODES:
+            with kernels.use(mode) as backend:
+                got = backend.knn_candidates(flat_x, flat_y, lo, hi, *window, cx, cy)
+            assert_bytes_equal(got, want, f"knn_candidates[{mode}]")
+        sel, d2 = want
+        for row, dist in zip(sel, d2):
+            dx, dy = flat_x[row] - cx, flat_y[row] - cy
+            assert dist == dx * dx + dy * dy
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=columns_and_window(), cx=grid_coord, cy=grid_coord,
+           r2=st.sampled_from([0.0, 0.0625, 0.25, 1.0, 4.0]))
+    def test_radius_select_matches_reference(self, data, cx, cy, r2):
+        flat_x, flat_y, lo, hi, window = data
+        want = fallback.radius_select(flat_x, flat_y, lo, hi, *window, cx, cy, r2)
+        for mode in KERNEL_MODES:
+            with kernels.use(mode) as backend:
+                got = backend.radius_select(
+                    flat_x, flat_y, lo, hi, *window, cx, cy, r2
+                )
+            assert_bytes_equal(got, want, f"radius_select[{mode}]")
+        window_matches, sel = want
+        oracle = scalar_range_select(flat_x, flat_y, lo, hi, *window)
+        assert window_matches == oracle.size
+        keep = [
+            row for row in oracle
+            if (flat_x[row] - cx) ** 2 + (flat_y[row] - cy) ** 2 <= r2
+        ]
+        assert_bytes_equal(sel, np.array(keep, dtype=np.int64), "radius refine")
+
+    def test_empty_span_returns_empty_int64(self, kernel_mode):
+        _, backend = kernel_mode
+        x = np.array([0.5], dtype=np.float64)
+        y = np.array([0.5], dtype=np.float64)
+        sel = backend.range_select(x, y, 1, 1, 0.0, 0.0, 1.0, 1.0)
+        assert sel.dtype == np.int64 and sel.size == 0
+        assert backend.range_count(x, y, 0, 0, 0.0, 0.0, 1.0, 1.0) == 0
+
+    def test_reusable_buffers_do_not_change_results(self, kernel_mode):
+        _, backend = kernel_mode
+        rng = np.random.default_rng(7)
+        x = rng.random(256)
+        y = rng.random(256)
+        mask = np.empty(256, dtype=bool)
+        scratch = np.empty(256, dtype=bool)
+        plain = backend.range_select(x, y, 0, 256, 0.2, 0.2, 0.8, 0.8)
+        buffered = backend.range_select(
+            x, y, 0, 256, 0.2, 0.2, 0.8, 0.8, mask, scratch
+        )
+        assert_bytes_equal(buffered, plain, "buffered vs allocating")
+
+
+# ---------------------------------------------------------------------------
+# 2. Index-level parity: all 12 indexes, both modes, results + counters
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def parity_scenario():
+    data = generate_dataset("newyork", 700, seed=11)
+    workload = generate_range_workload(
+        "newyork", 12, selectivity_percent=0.0256, seed=11
+    )
+    return data, list(workload.queries)
+
+
+@pytest.fixture(scope="module")
+def parity_indexes(parity_scenario):
+    data, rects = parity_scenario
+    return {
+        name: build_index(name, data, rects, leaf_capacity=32, seed=5)
+        for name in INDEX_NAMES
+    }
+
+
+def _run_workload(index, rects, center, k):
+    """One fixed mixed workload; returns (bytes-per-result, counters)."""
+    index.reset_counters()
+    payload = [result_bytes(r) for r in index.batch_range_query(rects)]
+    payload.append(bytes(np.array(index.batch_range_count(rects), dtype=np.int64)))
+    payload.append(result_bytes(index.knn(center, k)))
+    payload.append(result_bytes(index.radius_query(center, 0.1)))
+    return payload, index.counters.snapshot()
+
+
+class TestIndexParityAcrossModes:
+    @pytest.mark.parametrize("name", INDEX_NAMES)
+    def test_results_and_counters_identical_across_modes(
+        self, name, parity_scenario, parity_indexes
+    ):
+        data, rects = parity_scenario
+        index = parity_indexes[name]
+        center = Point(data[len(data) // 2].x, data[len(data) // 2].y)
+        runs = {}
+        for mode in KERNEL_MODES:
+            with kernels.use(mode):
+                runs[mode] = _run_workload(index, rects, center, 9)
+        reference_payload, reference_counters = runs["numpy"]
+        for mode in KERNEL_MODES:
+            payload, counters = runs[mode]
+            assert payload == reference_payload, f"{name}: {mode} results differ"
+            assert counters == reference_counters, f"{name}: {mode} counters differ"
+
+    @pytest.mark.parametrize("name", INDEX_NAMES)
+    def test_matches_scalar_decomposition(self, name, parity_scenario, parity_indexes, kernel_mode):
+        data, rects = parity_scenario
+        index = parity_indexes[name]
+        for rect in rects[:6]:
+            assert sorted_coords(index.range_query(rect)) == sorted_coords(
+                brute_force_range(data, rect)
+            )
+        center = Point(data[0].x, data[0].y)
+        got = [(p.x, p.y) for p in index.knn(center, 7)]
+        want = [(p.x, p.y) for p in brute_force_knn(data, center, 7)]
+        assert [center.distance_squared(Point(*g)) for g in got] == [
+            center.distance_squared(Point(*w)) for w in want
+        ]
+
+
+class TestTieHeavyParity:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_duplicate_grid_knn_identical_across_modes(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = [
+            Point(x / 5.0, y / 5.0)
+            for x, y in rng.integers(0, 5, size=(80, 2))
+        ]
+        index = build_index("wazi", pts, leaf_capacity=8, seed=3)
+        center = Point(0.4, 0.4)
+        outputs = []
+        for mode in KERNEL_MODES:
+            with kernels.use(mode):
+                outputs.append(
+                    (
+                        result_bytes(index.knn(center, 10)),
+                        result_bytes(index.radius_query(center, 0.3)),
+                    )
+                )
+        assert outputs[0] == outputs[1]
+
+
+class TestPostMutationParity:
+    @pytest.mark.parametrize("name", MUTABLE_INDEXES)
+    def test_parity_survives_inserts_and_deletes(self, name):
+        data = generate_dataset("iberia", 300, seed=4)
+        index = build_index(name, data, leaf_capacity=16, seed=2)
+        live = list(data)
+        extra = generate_dataset("iberia", 40, seed=9)
+        for point in extra[:20]:
+            index.insert(point)
+            live.append(point)
+        for point in list(live[:10]):
+            assert index.delete(point)
+            live.remove(point)
+        rect = Rect(
+            min(p.x for p in live), min(p.y for p in live),
+            float(np.median([p.x for p in live])),
+            float(np.median([p.y for p in live])),
+        )
+        payloads = []
+        for mode in KERNEL_MODES:
+            with kernels.use(mode):
+                result = index.range_query(rect)
+                assert sorted_coords(result) == sorted_coords(
+                    brute_force_range(live, rect)
+                )
+                payloads.append(result_bytes(result))
+        assert payloads[0] == payloads[1]
+
+
+# ---------------------------------------------------------------------------
+# 3. Backend selection machinery
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_numpy_mode_is_the_reference(self):
+        backend, resolved = kernels.resolve_backend("numpy")
+        assert backend is kernels.reference_kernels()
+        assert resolved == "numpy"
+
+    def test_auto_and_unset_resolve_consistently(self):
+        expected = "numba" if kernels.numba_available() else "numpy"
+        for request_name in (None, "", "auto", "AUTO", " auto "):
+            _, resolved = kernels.resolve_backend(request_name)
+            assert resolved == expected
+
+    def test_numba_request_degrades_gracefully_when_absent(self):
+        backend, resolved = kernels.resolve_backend("numba")
+        if kernels.numba_available():
+            assert resolved == "numba" and backend is not kernels.reference_kernels()
+        else:
+            assert resolved == "numpy" and backend is kernels.reference_kernels()
+
+    def test_bogus_tier_name_raises(self):
+        with pytest.raises(ValueError, match="REPRO_KERNELS"):
+            kernels.resolve_backend("cuda")
+
+    def test_use_restores_previous_backend(self):
+        before = kernels.get_kernels()
+        with kernels.use("numpy") as backend:
+            assert kernels.get_kernels() is backend
+        assert kernels.get_kernels() is before
+
+    def test_use_restores_after_exception(self):
+        before = kernels.get_kernels()
+        with pytest.raises(RuntimeError):
+            with kernels.use("numpy"):
+                raise RuntimeError("boom")
+        assert kernels.get_kernels() is before
+
+    def test_set_kernels_rejects_incomplete_backends(self):
+        class Partial:
+            def range_count(self, *a):
+                return 0
+
+        with pytest.raises(TypeError, match="lacks"):
+            kernels.set_kernels(Partial())
+        # A rejected install must leave the active backend untouched.
+        assert all(
+            callable(getattr(kernels.get_kernels(), k)) for k in kernels.KERNEL_NAMES
+        )
+
+    def test_backend_name_reports_wrapped_backend(self):
+        class Wrapper:
+            BACKEND = "numpy"
+
+        for kernel in kernels.KERNEL_NAMES:
+            setattr(Wrapper, kernel, staticmethod(getattr(fallback, kernel)))
+        previous = kernels.set_kernels(Wrapper())
+        try:
+            assert kernels.backend_name() == "numpy"
+        finally:
+            kernels.set_kernels(previous)
+
+    def test_every_kernel_name_exists_on_reference(self):
+        for kernel in kernels.KERNEL_NAMES:
+            assert callable(getattr(fallback, kernel))

@@ -52,7 +52,7 @@ import numpy as np
 # script mode puts benchmarks/ (not the repo root) on sys.path.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from benchmarks.common import warm_query_caches
+from benchmarks.common import warm_query_caches, write_json_report
 from repro.engine import SpatialEngine
 from repro.query import RangeQuery
 from repro.workloads import drift_scenario, generate_dataset
@@ -278,6 +278,16 @@ def main(argv=None) -> int:
     REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
     REPORT_PATH.write_text(report_text)
     print(f"\nreport written to {REPORT_PATH}")
+    write_json_report("bench_adapt", {
+        "num_points": num_points,
+        "num_queries": num_queries,
+        "record_overhead": overhead,
+        "max_record_overhead": args.max_record_overhead,
+        "adapt_seconds": adapt_seconds,
+        "adapt_speedup": ratio,
+        "min_speedup_threshold": args.min_speedup,
+        "failures": failures,
+    })
 
     if failures:
         print(f"\nFAILED: {failures} failure(s)")

@@ -36,6 +36,10 @@ import time
 from contextlib import contextmanager
 from pathlib import Path
 
+# Script mode puts benchmarks/ (not the repo root) on sys.path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import write_json_report
 from repro.engine import SpatialEngine
 from repro.query import KnnQuery, RangeQuery
 from repro.workloads import (
@@ -207,6 +211,15 @@ def main(argv=None) -> int:
     REPORT_PATH.write_text(report)
     print(f"\nreport written to {REPORT_PATH.relative_to(Path.cwd())}"
           if REPORT_PATH.is_relative_to(Path.cwd()) else f"\nreport written to {REPORT_PATH}")
+
+    write_json_report("bench_engine", {
+        "num_points": len(points),
+        "num_range_queries": len(queries),
+        "num_knn_probes": len(probes),
+        "speedups": speedups,
+        "min_speedup_threshold": min_speedup,
+        "failures": failures,
+    })
 
     if failures:
         print(f"\nFAILED: {failures} correctness failure(s)")

@@ -42,7 +42,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks.bench_adapt import canonical_result_bytes, timeit_pair
-from benchmarks.common import warm_query_caches
+from benchmarks.common import warm_query_caches, write_json_report
 from repro import kernels
 from repro.engine import SpatialEngine, build_index
 from repro.query import RangeQuery
@@ -228,6 +228,13 @@ def main(argv=None) -> int:
     REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
     REPORT_PATH.write_text(report_text)
     print(f"\nreport written to {REPORT_PATH}")
+    write_json_report("bench_kernels", {
+        "plan_cache_speedup": ratio,
+        "plan_cache_hit_us": per_hit_us,
+        "min_speedup_threshold": args.min_speedup,
+        "float32_footprint_ratio": after_bytes / before_bytes,
+        "failures": failures,
+    })
 
     if failures:
         print(f"\nFAILED: {failures} failure(s)")

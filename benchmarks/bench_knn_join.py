@@ -35,6 +35,11 @@ from contextlib import contextmanager
 
 import numpy as np
 
+# Script mode puts benchmarks/ (not the repo root) on sys.path.
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import write_json_report
 from repro.core import WaZI
 from repro.geometry import Rect
 from repro.interfaces import SpatialIndex
@@ -240,6 +245,15 @@ def main(argv=None) -> int:
         with open(report_path, "w") as handle:
             handle.write("\n".join(lines) + "\n")
         print(f"report written to {report_path}")
+
+    write_json_report("bench_knn_join", {
+        "num_points": num_points,
+        "num_probes": num_probes,
+        "k": args.k,
+        "aggregate_speedup": speedup,
+        "min_speedup_threshold": min_speedup,
+        "failures": failures,
+    })
 
     if failures:
         print(f"\nFAILED: {failures} correctness failure(s)")

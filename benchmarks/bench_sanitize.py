@@ -35,6 +35,10 @@ import tempfile
 import time
 from pathlib import Path
 
+# Script mode puts benchmarks/ (not the repo root) on sys.path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import write_json_report
 from repro.engine import build_index
 from repro.persistence import load_snapshot, save_snapshot
 from repro.workloads import generate_dataset, generate_range_workload
@@ -142,6 +146,12 @@ def main(argv=None) -> int:
     print(report, end="")
     RESULTS.mkdir(exist_ok=True)
     (RESULTS / "bench_sanitize.txt").write_text(report)
+    write_json_report("bench_sanitize", {
+        "build_overhead_ratio": ratio(san_build_s, base_build_s),
+        "load_overhead_ratio": ratio(san_load_s, base_load_s),
+        "check_seconds": check_s,
+        "failures": len(failures),
+    })
 
     if failures:
         print(f"bench_sanitize: FAIL ({len(failures)} failure(s))", file=sys.stderr)

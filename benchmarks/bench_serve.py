@@ -47,7 +47,7 @@ import numpy as np
 # Script mode puts benchmarks/ (not the repo root) on sys.path.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
-from benchmarks.common import DEFAULT_SEED, worker_seed
+from benchmarks.common import DEFAULT_SEED, worker_seed, write_json_report
 from repro.serving import build_shards, open_sharded
 from repro.workloads import generate_dataset, generate_range_workload
 from repro.zindex import ZIndex
@@ -260,6 +260,13 @@ def main(argv=None) -> int:
     report.parent.mkdir(parents=True, exist_ok=True)
     report.write_text("\n".join(lines) + "\n")
     print(f"report written to {report}")
+    write_json_report("bench_serve", {
+        "scatter_wall_seconds": scatter_wall,
+        "busy_seconds_sum": sum(busy),
+        "model_speedups": {str(w): s for w, s in model_speedups.items()},
+        "min_speedup_threshold": args.min_speedup,
+        "failures": len(failures),
+    })
     return status
 
 

@@ -1,0 +1,357 @@
+"""Service benchmark: the HTTP front end over a sharded mmap backend.
+
+The end-to-end demo of the serving stack: a WaZI engine is built for the
+interactive phase of the ``scan_heavy`` drift scenario, sharded
+workload-aware into a directory, and served by a *real* ``python -m
+repro serve`` subprocess (worker processes + mmap snapshots).  The
+drifted analytical phase is then replayed through the HTTP JSON API and
+three properties are asserted:
+
+1. **Byte identity** — every HTTP response body is byte-identical to the
+   same request executed in-process on the unsharded engine and rendered
+   through the same deterministic JSON encoder.  This closes the loop
+   over PR-6's shard-merge guarantee *and* the transport.
+2. **Exact reconciliation** — ``/metrics`` per-kind histogram counts
+   equal the queries sent, and the ``repro_scan_cost_total`` counters
+   equal the engine's own CostCounters as reported by ``/stats``; the
+   observability layer double-counts nothing and drops nothing.
+3. **Overhead bound** — attaching a MetricsRegistry to an engine costs
+   **under 10%** on the batched count replay (same bound, same
+   methodology as the PR-5 WorkloadLog observe stage).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py          # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick  # CI canary
+
+Exit status is non-zero on any failed assertion.  The report lands in
+``results/bench_service.txt`` / ``bench_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import select
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.request
+from contextlib import contextmanager
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+# Script mode puts benchmarks/ (not the repo root) on sys.path.
+sys.path.insert(0, str(ROOT))
+
+from benchmarks.common import write_json_report
+from repro.engine import SpatialEngine
+from repro.obs import COST_FIELDS, MetricsRegistry
+from repro.query import RangeQuery
+from repro.service import SpatialService, render_json_bytes
+from repro.serving import build_shards
+from repro.workloads import drift_scenario, generate_dataset
+
+REPORT_PATH = ROOT / "results" / "bench_service.txt"
+
+
+@contextmanager
+def _gc_paused():
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+
+
+def timeit_pair(fn_a, fn_b, repeats):
+    """Interleaved best-of timing (see bench_adapt for the rationale)."""
+    best_a = best_b = float("inf")
+    result_a = result_b = None
+    with _gc_paused():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result_a = fn_a()
+            best_a = min(best_a, time.perf_counter() - start)
+            start = time.perf_counter()
+            result_b = fn_b()
+            best_b = min(best_b, time.perf_counter() - start)
+    return best_a, result_a, best_b, result_b
+
+
+def start_server(shard_dir: Path, workers: int, timeout: float = 120.0):
+    """Spawn ``python -m repro serve`` and wait for its ready line."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(shard_dir),
+         "--port", "0", "--workers", str(workers), "--mmap", "--quiet"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        cwd=ROOT,
+    )
+    deadline = time.time() + timeout
+    captured = ""
+    while time.time() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"serve exited early (rc={proc.returncode}): {captured!r}"
+            )
+        ready, _, _ = select.select([proc.stdout], [], [], 0.5)
+        if not ready:
+            continue
+        line = proc.stdout.readline()
+        captured += line
+        if '"event"' in line and '"ready"' in line:
+            return proc, json.loads(line)["url"]
+    proc.kill()
+    raise RuntimeError(f"serve did not become ready in {timeout}s: {captured!r}")
+
+
+def http_post(url: str, path: str, payload: dict) -> bytes:
+    request = urllib.request.Request(
+        url + path, data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request) as response:
+        return response.read()
+
+
+def http_get(url: str, path: str) -> bytes:
+    with urllib.request.urlopen(url + path) as response:
+        return response.read()
+
+
+def parse_prometheus(text: str) -> dict:
+    """Prometheus exposition text -> ``{"name{labels}": float}``."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, value = line.rsplit(" ", 1)
+        samples[series] = float(value)
+    return samples
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: fewer queries/repeats (same 100k "
+                             "points — the overhead bound is defined there)")
+    parser.add_argument("--region", default="newyork")
+    parser.add_argument("--num-points", type=int, default=None)
+    parser.add_argument("--num-queries", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--max-metrics-overhead", type=float, default=0.10,
+                        help="Allowed relative slowdown of the batched count "
+                             "replay with metrics attached (default 10%%)")
+    args = parser.parse_args(argv)
+
+    num_points = args.num_points if args.num_points is not None else 100_000
+    num_queries = args.num_queries if args.num_queries is not None else (
+        200 if args.quick else 400
+    )
+    num_probes = 32
+    repeats = 5 if args.quick else 7
+    failures = 0
+
+    lines = [
+        f"service benchmark: {args.region} n={num_points} "
+        f"queries/phase={num_queries} shards={args.shards} "
+        f"workers={args.workers} seed={args.seed} (scan_heavy, WaZI)",
+        "",
+    ]
+    print(lines[0])
+
+    points = generate_dataset(args.region, num_points, seed=1)
+    phases = drift_scenario(
+        "scan_heavy", args.region, num_queries=num_queries, seed=args.seed
+    )
+    train = phases[0].workload
+    drifted = phases[1].workload
+    rects = drifted.queries
+
+    start = time.perf_counter()
+    engine = SpatialEngine.build(
+        "wazi", points, train.queries, leaf_capacity=64, seed=1
+    )
+    lines.append(f"serving layout built: {time.perf_counter() - start:6.2f} s")
+
+    # The request workload: the drifted ranges, plus knn/radius probes
+    # derived from them (scan_heavy is range-only; the service must still
+    # prove all three plan kinds over HTTP).
+    range_batch = {
+        "queries": [
+            {"kind": "range", "rect": [r.xmin, r.ymin, r.xmax, r.ymax]}
+            for r in rects
+        ],
+        "count_only": True,
+    }
+    row_batch = {
+        "queries": range_batch["queries"][:num_probes],
+    }
+    knn_batch = {
+        "queries": [
+            {"kind": "knn",
+             "center": [(r.xmin + r.xmax) / 2.0, (r.ymin + r.ymax) / 2.0],
+             "k": 8}
+            for r in rects[:num_probes]
+        ],
+    }
+    radius_batch = {
+        "queries": [
+            {"kind": "radius",
+             "center": [(r.xmin + r.xmax) / 2.0, (r.ymin + r.ymax) / 2.0],
+             "radius": (r.xmax - r.xmin) / 2.0}
+            for r in rects[:num_probes]
+        ],
+    }
+    single_requests = [
+        {"kind": "range", "rect": [rects[0].xmin, rects[0].ymin,
+                                   rects[0].xmax, rects[0].ymax],
+         "limit": 16},
+        dict(knn_batch["queries"][0]),
+        dict(radius_batch["queries"][0]),
+    ]
+    expected_kind_counts = {
+        "range": len(rects) + num_probes + 1,
+        "knn": num_probes + 1,
+        "radius": num_probes + 1,
+    }
+    all_payloads = [range_batch, row_batch, knn_batch, radius_batch,
+                    *single_requests]
+
+    with tempfile.TemporaryDirectory(prefix="bench_service_") as tmp:
+        shard_dir = Path(tmp) / "shards"
+        start = time.perf_counter()
+        build_shards(engine.index, shard_dir, args.shards,
+                     workload=train.queries)
+        lines.append(
+            f"sharded {args.shards} ways (workload-weighted): "
+            f"{time.perf_counter() - start:6.2f} s"
+        )
+
+        proc, url = start_server(shard_dir, args.workers)
+        try:
+            # -- 1. byte identity vs in-process execution ----------------
+            twin = SpatialService(
+                SpatialEngine(engine.index), record=False
+            )
+            mismatches = 0
+            http_seconds = 0.0
+            for payload in all_payloads:
+                start = time.perf_counter()
+                body = http_post(url, "/query", payload)
+                http_seconds += time.perf_counter() - start
+                expect = render_json_bytes(twin.handle_query(payload))
+                if body != expect:
+                    mismatches += 1
+            total_queries = sum(expected_kind_counts.values())
+            lines += [
+                "",
+                f"HTTP replay: {total_queries} queries in "
+                f"{len(all_payloads)} requests, {http_seconds * 1e3:.1f} ms",
+                f"responses vs in-process unsharded execution: "
+                f"{'byte-identical' if mismatches == 0 else f'{mismatches} MISMATCHED'}",
+            ]
+            if mismatches:
+                print(f"FAIL: {mismatches} response(s) not byte-identical")
+                failures += 1
+
+            # -- 2. /metrics reconciles exactly --------------------------
+            samples = parse_prometheus(http_get(url, "/metrics").decode())
+            stats = json.loads(http_get(url, "/stats"))
+            for kind, expected in sorted(expected_kind_counts.items()):
+                total = samples.get(
+                    f'repro_queries_total{{kind="{kind}"}}', 0.0
+                )
+                hist = samples.get(
+                    f'repro_query_latency_micros_count{{kind="{kind}"}}', 0.0
+                )
+                ok = total == expected and hist == expected
+                lines.append(
+                    f"  {kind:>6}: sent {expected}, counted {total:.0f}, "
+                    f"histogram {hist:.0f}  {'ok' if ok else 'MISMATCH'}"
+                )
+                if not ok:
+                    print(f"FAIL: /metrics {kind} counts do not reconcile")
+                    failures += 1
+            counter_mismatches = []
+            for field in COST_FIELDS:
+                metric = samples.get(
+                    f'repro_scan_cost_total{{counter="{field}"}}', 0.0
+                )
+                counters = stats["counters"].get(field, 0)
+                if metric != counters:
+                    counter_mismatches.append((field, metric, counters))
+            lines.append(
+                "scan-cost counters vs /stats CostCounters: "
+                + ("exact" if not counter_mismatches
+                   else f"MISMATCH {counter_mismatches}")
+            )
+            if counter_mismatches:
+                print(f"FAIL: scan-cost counters diverge: {counter_mismatches}")
+                failures += 1
+        finally:
+            proc.terminate()
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    # -- 3. metrics overhead on the batched count replay -----------------
+    plans = [RangeQuery(rect) for rect in rects]
+    plain = SpatialEngine(engine.index)
+    metered = SpatialEngine(engine.index, metrics=MetricsRegistry())
+    plain.batch_range_count(rects)  # warm the flat-scan caches once
+
+    plain_seconds, plain_counts, metered_seconds, metered_counts = timeit_pair(
+        lambda: plain.execute_many(plans, count_only=True),
+        lambda: metered.execute_many(plans, count_only=True),
+        repeats,
+    )
+    if plain_counts != metered_counts:
+        print("FAIL: metrics recording changed query results")
+        failures += 1
+    overhead = metered_seconds / plain_seconds - 1.0
+    verdict = "ok" if overhead < args.max_metrics_overhead else "ABOVE BOUND"
+    lines += [
+        "",
+        f"metrics overhead (batched count replay, {len(plans)} queries):",
+        f"  metrics off {plain_seconds * 1e3:9.1f} ms",
+        f"  metrics on  {metered_seconds * 1e3:9.1f} ms   "
+        f"{overhead * 100:+.1f}% (bound {args.max_metrics_overhead * 100:.0f}%) "
+        f"{verdict}",
+    ]
+    if overhead >= args.max_metrics_overhead:
+        failures += 1
+
+    report_text = "\n".join(lines) + "\n"
+    print("\n".join(lines[1:]))
+    REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    REPORT_PATH.write_text(report_text)
+    print(f"\nreport written to {REPORT_PATH}")
+    write_json_report("bench_service", {
+        "num_points": num_points,
+        "num_queries": num_queries,
+        "shards": args.shards,
+        "workers": args.workers,
+        "byte_identical_responses": mismatches == 0,
+        "metrics_overhead": overhead,
+        "max_metrics_overhead": args.max_metrics_overhead,
+        "failures": failures,
+    })
+
+    if failures:
+        print(f"\nFAILED: {failures} failure(s)")
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

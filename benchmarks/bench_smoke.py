@@ -34,6 +34,11 @@ from contextlib import contextmanager
 
 import numpy as np
 
+# Script mode puts benchmarks/ (not the repo root) on sys.path.
+from pathlib import Path
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import write_json_report
 from repro.core import WaZI
 from repro.evaluation.metrics import CostCounters
 from repro.geometry import Point
@@ -304,6 +309,15 @@ def main(argv=None) -> int:
     insert_us = (time.perf_counter() - start) / burst * 1e6
     print(f"inserts: {burst} in {insert_us:.1f} us/insert "
           f"(incremental leaf-split repair)")
+
+    write_json_report("bench_smoke", {
+        "num_points": num_points,
+        "num_queries": num_queries,
+        "mean_speedup": mean_speedup,
+        "min_speedup_threshold": min_speedup,
+        "insert_us": insert_us,
+        "failures": failures,
+    })
 
     if failures:
         print(f"\nFAILED: {failures} correctness failure(s)")

@@ -34,6 +34,10 @@ import tempfile
 import time
 from pathlib import Path
 
+# Script mode puts benchmarks/ (not the repo root) on sys.path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import write_json_report
 from repro.api import build_index
 from repro.evaluation import measure_snapshot_roundtrip
 from repro.persistence import load_snapshot, save_rebuild_snapshot
@@ -185,6 +189,12 @@ def _run(args, points, queries, probes, tmpdir, num_points,
     report.parent.mkdir(parents=True, exist_ok=True)
     report.write_text("\n".join(lines) + "\n")
     print(f"report written to {report}")
+    write_json_report("bench_snapshot", {
+        "num_points": num_points,
+        "wazi_load_speedup": wazi_speedup,
+        "min_speedup_threshold": min_speedup,
+        "failures": len(failures),
+    })
     return status
 
 

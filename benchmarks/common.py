@@ -198,3 +198,25 @@ def print_results_table(title: str, headers: List[str], rows: List[List[object]]
 
 def micros(seconds: float) -> float:
     return seconds * 1e6
+
+
+def write_json_report(name: str, payload: dict) -> str:
+    """Write a benchmark's machine-readable summary next to its .txt report.
+
+    ``name`` is the module-style benchmark name (``"bench_adapt"``); the
+    summary lands in ``results/<name>.json`` with sorted keys so the perf
+    trajectory diffs cleanly across commits.  Callers pass whatever
+    metrics/speedups/thresholds they assert on; this helper only adds the
+    benchmark name and returns the path written.
+    """
+    import json
+
+    directory = os.path.dirname(REPORT_PATH)
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.json")
+    document = {"benchmark": name}
+    document.update(payload)
+    with open(path, "w") as handle:
+        json.dump(document, handle, sort_keys=True, indent=2, default=float)
+        handle.write("\n")
+    return path

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -153,6 +153,14 @@ class TuningReport:
             )
         lines.append(f"  verdict: {'ADAPT' if self.should_adapt else 'KEEP'} — {self.reason}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """The report as JSON-shaped plain data (the ``/advise`` body).
+
+        The nested :class:`CostRedemption` flattens to a dict too; every
+        value is an int, float, str, bool or ``None``.
+        """
+        return asdict(self)
 
 
 def _index_coordinates(index) -> np.ndarray:

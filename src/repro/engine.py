@@ -77,6 +77,7 @@ from repro.persistence import (
     save_snapshot,
     workload_fingerprint,
 )
+from repro.obs.instrument import EngineMetrics, plan_kind
 from repro.persistence.snapshot import json_clone
 from repro.plancache import MISS, PlanCache
 from repro.query import JoinQuery, KnnQuery, PointQuery, Query, RadiusQuery, RangeQuery
@@ -543,6 +544,7 @@ class SpatialEngine:
         *,
         record: bool = False,
         plan_cache: Union[None, bool, int, PlanCache] = None,
+        metrics=None,
         _recipe: Optional[Dict] = None,
         _workload_log: Optional[WorkloadLog] = None,
         _build_seconds: Optional[float] = None,
@@ -552,6 +554,13 @@ class SpatialEngine:
                 f"SpatialEngine wraps a SpatialIndex, got {type(index).__name__}"
             )
         self.index = index
+        #: The observability sink (see :mod:`repro.obs`), or ``None`` (the
+        #: default — execution pays nothing).  Accepts a MetricsRegistry
+        #: (an :class:`~repro.obs.instrument.EngineMetrics` adapter is
+        #: created over it) or a ready-made adapter.
+        self.metrics: Optional[EngineMetrics] = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
         #: The query-plan cache (see :mod:`repro.plancache`), or ``None``
         #: (the default — repeats re-execute, counters count every query).
         #: ``plan_cache=True`` attaches one with the default capacity, an
@@ -584,6 +593,7 @@ class SpatialEngine:
         seed: Optional[int] = 0,
         record: bool = False,
         plan_cache: Union[None, bool, int, PlanCache] = None,
+        metrics=None,
         **kwargs,
     ) -> "SpatialEngine":
         """Build an index by name (see :data:`INDEX_NAMES`) and wrap it.
@@ -598,7 +608,7 @@ class SpatialEngine:
         )
         build_seconds = time.perf_counter() - start
         return cls(
-            index, record=record, plan_cache=plan_cache,
+            index, record=record, plan_cache=plan_cache, metrics=metrics,
             _recipe=_make_recipe(
                 index, name, points, workload, leaf_capacity, seed, kwargs
             ),
@@ -614,6 +624,7 @@ class SpatialEngine:
         mmap: bool = False,
         validate: bool = True,
         plan_cache: Union[None, bool, int, PlanCache] = None,
+        metrics=None,
     ) -> "SpatialEngine":
         """Restore an engine from a snapshot written by :meth:`save`.
 
@@ -630,8 +641,8 @@ class SpatialEngine:
         index, history = load_snapshot_with_history(path, mmap=mmap, validate=validate)
         log = WorkloadLog.from_workload(history) if history is not None else None
         return cls(
-            index, record=record, plan_cache=plan_cache, _workload_log=log,
-            _recipe=_recipe_from_loaded_index(index),
+            index, record=record, plan_cache=plan_cache, metrics=metrics,
+            _workload_log=log, _recipe=_recipe_from_loaded_index(index),
         )
 
     @classmethod
@@ -647,6 +658,7 @@ class SpatialEngine:
         rebuild: bool = False,
         record: bool = False,
         plan_cache: Union[None, bool, int, PlanCache] = None,
+        metrics=None,
         **kwargs,
     ) -> "SpatialEngine":
         """Build-once / serve-many (see :func:`build_or_load_index`).
@@ -678,8 +690,8 @@ class SpatialEngine:
                 index, name, points, workload, leaf_capacity, seed, kwargs
             )
         return cls(
-            index, record=record, plan_cache=plan_cache, _workload_log=log,
-            _recipe=recipe, _build_seconds=build_seconds,
+            index, record=record, plan_cache=plan_cache, metrics=metrics,
+            _workload_log=log, _recipe=recipe, _build_seconds=build_seconds,
         )
 
     def save(self, path: Union[str, Path]) -> None:
@@ -724,6 +736,49 @@ class SpatialEngine:
             workload_history=history,
             adapted=self._recipe.get("adapted", False),
             **self._recipe["kwargs"],
+        )
+
+    # ------------------------------------------------------------------
+    # observability (see repro.obs)
+    # ------------------------------------------------------------------
+    def attach_metrics(self, registry) -> Optional[EngineMetrics]:
+        """Attach (or detach, with ``None``) a metrics sink.
+
+        Accepts a :class:`~repro.obs.registry.MetricsRegistry` — the usual
+        case, an :class:`~repro.obs.instrument.EngineMetrics` adapter is
+        created over it — or a ready-made adapter (sharable labels).
+        Returns the active adapter.  From then on every
+        :meth:`execute` / :meth:`execute_many` call records its latency,
+        per-kind query total, scan-cost counter deltas and plan-cache
+        hit/miss deltas; :meth:`advise` and :meth:`adapt` record the
+        lifecycle series.
+        """
+        if registry is None:
+            self.metrics = None
+        elif isinstance(registry, EngineMetrics):
+            self.metrics = registry
+        else:
+            self.metrics = EngineMetrics(registry)
+        return self.metrics
+
+    def _cache_mark(self) -> Optional[tuple]:
+        """The plan cache's (hits, misses) totals, or None without a cache."""
+        if self.plan_cache is None:
+            return None
+        stats = self.plan_cache.stats
+        return (stats.hits, stats.misses)
+
+    def _observe(
+        self, kind: str, seconds: float, count: int,
+        counters_before: Dict, cache_mark: Optional[tuple],
+    ) -> None:
+        cache_delta = None
+        if cache_mark is not None:
+            stats = self.plan_cache.stats
+            cache_delta = (stats.hits - cache_mark[0], stats.misses - cache_mark[1])
+        self.metrics.observe_query(
+            kind, seconds, count,
+            counters_before, vars(self.index.counters), cache_delta,
         )
 
     # ------------------------------------------------------------------
@@ -815,7 +870,7 @@ class SpatialEngine:
         if self._recipe is not None and self._recipe.get("workload"):
             reference = self._recipe["workload"]
         extra = {} if sample is None else {"sample": sample}
-        return advise_layout(
+        report = advise_layout(
             self.index, resolved,
             reference=reference, density=density,
             min_improvement=min_improvement,
@@ -823,6 +878,9 @@ class SpatialEngine:
             expected_future_queries=expected_future_queries,
             **extra,
         )
+        if self.metrics is not None:
+            self.metrics.observe_advise(report)
+        return report
 
     # ------------------------------------------------------------------
     # adapt
@@ -924,6 +982,8 @@ class SpatialEngine:
         self.index = new_index
         self._recipe = new_recipe
         self._build_seconds = build_seconds
+        if self.metrics is not None:
+            self.metrics.observe_adapt(build_seconds)
         return self
 
     # ------------------------------------------------------------------
@@ -940,6 +1000,21 @@ class SpatialEngine:
         ``count_only=True`` every plan returns an ``int`` instead, computed
         without materialising results wherever the index allows it.
         """
+        if self.metrics is None:
+            return self._execute(query, count_only=count_only, limit=limit)
+        counters_before = vars(self.index.counters).copy()
+        cache_mark = self._cache_mark()
+        start = time.perf_counter()
+        result = self._execute(query, count_only=count_only, limit=limit)
+        self._observe(
+            plan_kind(query), time.perf_counter() - start, 1,
+            counters_before, cache_mark,
+        )
+        return result
+
+    def _execute(
+        self, query: Query, *, count_only: bool = False, limit: Optional[int] = None
+    ):
         self._check_limit(limit)
         recording = self._recording
         cache = self.plan_cache
@@ -1029,6 +1104,35 @@ class SpatialEngine:
         optimises.  Anything else falls back to one :meth:`execute` per
         plan.  Results come back in workload order either way.
         """
+        if self.metrics is None:
+            return self._execute_many(queries, count_only=count_only, limit=limit)
+        queries = list(queries)
+        if not queries:
+            return []
+        first_type = type(queries[0])
+        if any(type(q) is not first_type for q in queries):
+            # Mixed plans: instrument per plan so the kind labels stay exact.
+            return [
+                self.execute(query, count_only=count_only, limit=limit)
+                for query in queries
+            ]
+        counters_before = vars(self.index.counters).copy()
+        cache_mark = self._cache_mark()
+        start = time.perf_counter()
+        results = self._execute_many(queries, count_only=count_only, limit=limit)
+        self._observe(
+            plan_kind(queries[0]), time.perf_counter() - start, len(queries),
+            counters_before, cache_mark,
+        )
+        return results
+
+    def _execute_many(
+        self,
+        queries: Sequence[Query],
+        *,
+        count_only: bool = False,
+        limit: Optional[int] = None,
+    ) -> List:
         self._check_limit(limit)
         queries = list(queries)
         if not queries:
@@ -1148,7 +1252,7 @@ class SpatialEngine:
                     return [self._capped(v, limit) for v in values]
                 return values
         return [
-            self.execute(query, count_only=count_only, limit=limit)
+            self._execute(query, count_only=count_only, limit=limit)
             for query in queries
         ]
 

@@ -1,0 +1,45 @@
+"""Zero-dependency observability: metrics registry, adapters, exporters.
+
+The package is a leaf — it imports NumPy and the standard library only —
+so the service layer, the CLI and offline analysis scripts can all share
+one metrics vocabulary without coupling to the engine.  See
+``docs/OBSERVABILITY.md`` for the metric names and label conventions.
+"""
+
+from repro.obs.exporters import (
+    dump_workload,
+    render_csv,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.instrument import (
+    COST_FIELDS,
+    EngineMetrics,
+    ShardMetrics,
+    plan_kind,
+    shard_method_kind,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    log_spaced_buckets,
+)
+
+__all__ = [
+    "COST_FIELDS",
+    "Counter",
+    "EngineMetrics",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "ShardMetrics",
+    "dump_workload",
+    "log_spaced_buckets",
+    "plan_kind",
+    "render_csv",
+    "render_json",
+    "render_prometheus",
+    "shard_method_kind",
+]

@@ -1,0 +1,179 @@
+"""Render a :class:`~repro.obs.registry.MetricsRegistry` for the outside world.
+
+Three text renderings (Prometheus exposition format, JSON, CSV) plus a
+columnar dump of observed workload traffic to ``.npy``/``.csv`` files.
+Everything is deterministic: series are emitted in sorted ``(name,
+labels)`` order and JSON keys are sorted, so two renders of the same
+registry are byte-identical — the service benchmark relies on that.
+
+This module deliberately imports nothing from the rest of ``repro``:
+the workload dump duck-types anything exposing the
+:class:`~repro.workload_log.WorkloadLog` table accessors, which keeps
+``repro.obs`` a leaf package (zero non-NumPy dependencies).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import os
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.obs.registry import LatencyHistogram, MetricsRegistry
+
+__all__ = [
+    "render_prometheus",
+    "render_json",
+    "render_csv",
+    "dump_workload",
+]
+
+
+def _format_value(value: Union[int, float]) -> str:
+    # Prometheus prints integers without an exponent and floats via repr;
+    # repr round-trips float64 exactly, which the reconciliation checks use.
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def _label_text(labels, extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4).
+
+    Histograms expand to cumulative ``_bucket{le=...}`` series plus
+    ``_sum`` and ``_count``, counters and gauges to single samples; each
+    family gets one ``# TYPE`` line.
+    """
+    lines: List[str] = []
+    seen_types: Dict[str, str] = {}
+    for instrument in registry.collect():
+        name = instrument.name
+        if name not in seen_types:
+            seen_types[name] = instrument.kind
+            lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, LatencyHistogram):
+            cumulative = 0
+            for bound, count in zip(
+                instrument.bucket_bounds, instrument.bucket_counts
+            ):
+                cumulative += int(count)
+                le = _format_value(float(bound))
+                labels = _label_text(instrument.labels, f'le="{le}"')
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+            cumulative += int(instrument.bucket_counts[-1])
+            labels = _label_text(instrument.labels, 'le="+Inf"')
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+            labels = _label_text(instrument.labels)
+            lines.append(f"{name}_sum{labels} {_format_value(instrument.sum_micros)}")
+            lines.append(f"{name}_count{labels} {instrument.count}")
+        else:
+            labels = _label_text(instrument.labels)
+            lines.append(f"{name}{labels} {_format_value(instrument.value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_json(registry: MetricsRegistry) -> str:
+    """The registry as a sorted-key JSON document (one object per series)."""
+    return json.dumps({"metrics": registry.snapshot()}, sort_keys=True, indent=2) + "\n"
+
+
+def render_csv(registry: MetricsRegistry) -> str:
+    """The registry as flat CSV rows: ``name,kind,labels,field,value``.
+
+    Histograms contribute one row per bucket (field ``le=<bound>``) plus
+    ``sum_micros`` and ``count`` rows, so the whole registry stays
+    greppable/spreadsheet-importable without nesting.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["name", "kind", "labels", "field", "value"])
+    for instrument in registry.collect():
+        labels = ";".join(f"{key}={value}" for key, value in instrument.labels)
+        if isinstance(instrument, LatencyHistogram):
+            for bound, count in zip(
+                instrument.bucket_bounds, instrument.bucket_counts
+            ):
+                writer.writerow(
+                    [instrument.name, "histogram", labels,
+                     f"le={_format_value(float(bound))}", int(count)]
+                )
+            writer.writerow(
+                [instrument.name, "histogram", labels, "le=+Inf",
+                 int(instrument.bucket_counts[-1])]
+            )
+            writer.writerow(
+                [instrument.name, "histogram", labels, "sum_micros",
+                 _format_value(instrument.sum_micros)]
+            )
+            writer.writerow(
+                [instrument.name, "histogram", labels, "count", instrument.count]
+            )
+        else:
+            writer.writerow(
+                [instrument.name, instrument.kind, labels, "value",
+                 _format_value(instrument.value)]
+            )
+    return buffer.getvalue()
+
+
+def _workload_tables(log) -> Dict[str, np.ndarray]:
+    """The observed-traffic tables of a WorkloadLog-like object.
+
+    ``ranges`` is ``(n, 5)`` float64 ``[xmin, ymin, xmax, ymax, count]``,
+    ``knn`` is ``(n, 3)`` ``[x, y, k]``, ``radius`` is ``(n, 3)``
+    ``[x, y, radius]``.  Only non-empty tables are returned.
+    """
+    tables: Dict[str, np.ndarray] = {}
+    if log.num_ranges:
+        rects = np.asarray(log.range_rects, dtype=np.float64)
+        counts = np.asarray(log.range_counts, dtype=np.float64).reshape(-1, 1)
+        tables["ranges"] = np.hstack([rects, counts])
+    if log.num_knn:
+        tables["knn"] = np.asarray(log.knn_probes, dtype=np.float64)
+    if log.num_radius:
+        tables["radius"] = np.asarray(log.radius_probes, dtype=np.float64)
+    return tables
+
+
+_WORKLOAD_HEADERS = {
+    "ranges": ["xmin", "ymin", "xmax", "ymax", "count"],
+    "knn": ["x", "y", "k"],
+    "radius": ["x", "y", "radius"],
+}
+
+
+def dump_workload(log, directory, *, prefix: str = "workload", fmt: str = "both"):
+    """Dump a WorkloadLog's observed traffic to NPY and/or CSV files.
+
+    Writes ``<prefix>_ranges.npy`` / ``.csv`` (and ``_knn``/``_radius``
+    when present) into ``directory`` and returns the list of paths
+    written.  ``fmt`` is ``"npy"``, ``"csv"`` or ``"both"``.
+    """
+    if fmt not in ("npy", "csv", "both"):
+        raise ValueError(f"fmt must be 'npy', 'csv' or 'both', got {fmt!r}")
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+    for table_name, table in sorted(_workload_tables(log).items()):
+        base = os.path.join(str(directory), f"{prefix}_{table_name}")
+        if fmt in ("npy", "both"):
+            path = base + ".npy"
+            np.save(path, table)
+            written.append(path)
+        if fmt in ("csv", "both"):
+            path = base + ".csv"
+            with open(path, "w", newline="") as handle:
+                writer = csv.writer(handle, lineterminator="\n")
+                writer.writerow(_WORKLOAD_HEADERS[table_name])
+                writer.writerows(table.tolist())
+            written.append(path)
+    return written

@@ -1,0 +1,316 @@
+# repro-lint: hot-path
+"""A zero-dependency metrics registry: counters, gauges, histograms.
+
+The serving layer needs to answer "what has this engine been doing?"
+without dragging in a metrics client library: the container bakes in
+NumPy and the standard library, nothing else.  This module provides the
+three classic instrument kinds with the smallest useful surface:
+
+* :class:`Counter` — a monotonically increasing integer/float total.
+* :class:`Gauge` — a last-written value (drift score, RSS, ...).
+* :class:`LatencyHistogram` — fixed log-spaced microsecond buckets plus
+  a NumPy ring buffer of recent raw samples for percentile estimates.
+
+Instruments are owned by a :class:`MetricsRegistry` and keyed by
+``(name, labels)`` exactly like Prometheus time series, so the exporters
+in :mod:`repro.obs.exporters` can render the registry in Prometheus text
+exposition format without any per-metric glue.
+
+Everything here sits on the query hot path when instrumentation is
+enabled (the engine's ``execute`` observes into a histogram per call),
+so the recording primitives are a handful of scalar operations:
+``observe_block`` — the batched path — is one ``searchsorted`` into the
+bucket bounds and two scalar adds, mirroring how the PR-5 WorkloadLog
+keeps its <10% overhead bound.
+
+Thread-safety: instrument updates are single bytecode-level NumPy/int
+operations guarded by the GIL; the service layer additionally serializes
+query execution (see :mod:`repro.service.server`), which is what makes
+the exported totals reconcile *exactly* with the engine's CostCounters.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "log_spaced_buckets",
+]
+
+#: ``(name, sorted (key, value) label pairs)`` — the identity of a series.
+SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def log_spaced_buckets(
+    *, start: float = 1.0, stop: float = 1e7, per_decade: int = 4
+) -> np.ndarray:
+    """Log-spaced histogram bucket upper bounds (inclusive), in microseconds.
+
+    The defaults span 1µs .. 10s at four buckets per decade — wide enough
+    to hold both a 3µs cached count and a multi-second adapt, precise
+    enough (78% bucket ratio) that a 1.3x latency regression moves mass
+    into a different bucket.
+    """
+    if start <= 0 or stop <= start:
+        raise ValueError(f"need 0 < start < stop, got ({start}, {stop})")
+    if per_decade < 1:
+        raise ValueError(f"per_decade must be >= 1, got {per_decade}")
+    decades = np.log10(stop / start)
+    num = int(round(decades * per_decade)) + 1
+    return np.geomspace(start, stop, num)
+
+
+def _label_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value: Union[int, float] = 0
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._value
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease by {amount}")
+        self._value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"value": self._value}
+
+
+class Gauge:
+    """A last-written value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: Tuple[Tuple[str, str], ...] = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value: float = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"value": self._value}
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with a ring buffer of raw samples.
+
+    Buckets are *upper bounds in microseconds*, closed on the right
+    (Prometheus ``le`` semantics); one extra overflow bucket catches
+    anything above the last bound.  The ring buffer keeps the most
+    recent ``ring_size`` raw samples so :meth:`percentile` can answer
+    "what is p99 right now" without unbounded memory.
+    """
+
+    kind = "histogram"
+    __slots__ = (
+        "name",
+        "labels",
+        "_bounds",
+        "_counts",
+        "_sum_micros",
+        "_count",
+        "_ring",
+        "_ring_pos",
+        "_ring_filled",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        labels: Tuple[Tuple[str, str], ...] = (),
+        *,
+        buckets: Optional[Sequence[float]] = None,
+        ring_size: int = 512,
+    ) -> None:
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        bounds = np.asarray(
+            log_spaced_buckets() if buckets is None else list(buckets), dtype=np.float64
+        )
+        if bounds.ndim != 1 or bounds.size == 0:
+            raise ValueError("buckets must be a non-empty 1-d sequence")
+        if not np.all(np.diff(bounds) > 0):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.labels = labels
+        self._bounds = bounds
+        # One count per bound plus the overflow bucket (> bounds[-1]).
+        self._counts = np.zeros(bounds.size + 1, dtype=np.int64)
+        self._sum_micros = 0.0
+        self._count = 0
+        self._ring = np.zeros(ring_size, dtype=np.float64)
+        self._ring_pos = 0
+        self._ring_filled = 0
+
+    # -- recording (hot path) -----------------------------------------
+    def observe(self, seconds: float) -> None:
+        """Record one latency sample, given in seconds."""
+        self.observe_block(seconds, 1)
+
+    def observe_block(self, total_seconds: float, count: int) -> None:
+        """Record ``count`` queries that together took ``total_seconds``.
+
+        The batched execute path times the whole block; attributing the
+        *mean* to every query keeps the totals exact (``_sum``/``_count``
+        are) while costing one bucket lookup per block instead of one
+        per query.  The ring buffer receives the mean as one sample.
+        """
+        if count <= 0:
+            return
+        micros = total_seconds * 1e6
+        mean = micros / count
+        self._counts[int(np.searchsorted(self._bounds, mean, side="left"))] += count
+        self._sum_micros += micros
+        self._count += count
+        self._ring[self._ring_pos] = mean
+        self._ring_pos = (self._ring_pos + 1) % self._ring.size
+        if self._ring_filled < self._ring.size:
+            self._ring_filled += 1
+
+    # -- reading ------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum_micros(self) -> float:
+        return self._sum_micros
+
+    @property
+    def mean_micros(self) -> float:
+        return self._sum_micros / self._count if self._count else 0.0
+
+    @property
+    def bucket_bounds(self) -> np.ndarray:
+        bounds = self._bounds.view()
+        bounds.flags.writeable = False
+        return bounds
+
+    @property
+    def bucket_counts(self) -> np.ndarray:
+        counts = self._counts.view()
+        counts.flags.writeable = False
+        return counts
+
+    def samples(self) -> np.ndarray:
+        """The raw samples currently held by the ring buffer (unordered)."""
+        return self._ring[: self._ring_filled].copy()
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) of the ring-buffer samples."""
+        if self._ring_filled == 0:
+            return 0.0
+        return float(np.percentile(self._ring[: self._ring_filled], q))
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "buckets": [float(b) for b in self._bounds],
+            "counts": [int(c) for c in self._counts],
+            "count": self._count,
+            "sum_micros": self._sum_micros,
+        }
+
+
+Instrument = Union[Counter, Gauge, LatencyHistogram]
+
+
+class MetricsRegistry:
+    """A get-or-create store of instruments keyed by ``(name, labels)``.
+
+    The same name must always refer to the same instrument kind (a
+    Prometheus family is homogeneous); violating that raises
+    ``ValueError`` at creation time rather than at export time.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: Dict[SeriesKey, Instrument] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Instrument]:
+        return iter(self.collect())
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, object], **kwargs):
+        key: SeriesKey = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is not None:
+            return instrument
+        known = self._kinds.get(name)
+        if known is not None and known != cls.kind:
+            raise ValueError(
+                f"metric {name!r} is already registered as a {known}, "
+                f"cannot re-register as a {cls.kind}"
+            )
+        instrument = cls(name, key[1], **kwargs)
+        self._instruments[key] = instrument
+        self._kinds[name] = cls.kind
+        return instrument
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        *,
+        buckets: Optional[Sequence[float]] = None,
+        ring_size: int = 512,
+        **labels: object,
+    ) -> LatencyHistogram:
+        return self._get_or_create(
+            LatencyHistogram, name, labels, buckets=buckets, ring_size=ring_size
+        )
+
+    def get(self, name: str, **labels: object) -> Optional[Instrument]:
+        """The existing instrument for ``(name, labels)``, or ``None``."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def collect(self) -> List[Instrument]:
+        """All instruments, deterministically ordered by (name, labels)."""
+        return [self._instruments[key] for key in sorted(self._instruments)]
+
+    def snapshot(self) -> List[Dict[str, object]]:
+        """A plain-data dump of every series (used by the JSON exporter)."""
+        out: List[Dict[str, object]] = []
+        for instrument in self.collect():
+            entry: Dict[str, object] = {
+                "name": instrument.name,
+                "kind": instrument.kind,
+                "labels": dict(instrument.labels),
+            }
+            entry.update(instrument.snapshot())
+            out.append(entry)
+        return out

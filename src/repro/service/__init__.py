@@ -1,0 +1,31 @@
+"""HTTP serving front end: JSON query API + observability endpoints."""
+
+from repro.service.errors import (
+    BadRequestError,
+    ConflictError,
+    InternalError,
+    MethodNotAllowedError,
+    NotFoundError,
+    ServiceError,
+    UnsupportedError,
+)
+from repro.service.server import (
+    ServiceServer,
+    SpatialService,
+    render_json_bytes,
+    serve,
+)
+
+__all__ = [
+    "BadRequestError",
+    "ConflictError",
+    "InternalError",
+    "MethodNotAllowedError",
+    "NotFoundError",
+    "ServiceError",
+    "ServiceServer",
+    "SpatialService",
+    "UnsupportedError",
+    "render_json_bytes",
+    "serve",
+]

@@ -1,0 +1,81 @@
+# repro-lint: public-api
+"""The service error taxonomy, mapped onto HTTP status codes.
+
+Every failure the JSON API can produce is one of these exception types;
+the handler catches :class:`ServiceError` and renders the structured
+body ``{"error": {"code": ..., "status": ..., "message": ...}}``.
+Anything else escaping a handler is a bug and surfaces as a 500
+``internal`` error, so clients can always parse the body.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = [
+    "ServiceError",
+    "BadRequestError",
+    "NotFoundError",
+    "MethodNotAllowedError",
+    "ConflictError",
+    "UnsupportedError",
+    "InternalError",
+]
+
+
+class ServiceError(Exception):
+    """Base class: a failure with an HTTP status and a stable error code."""
+
+    status = 500
+    code = "internal"
+
+    def to_payload(self) -> Dict[str, Dict[str, object]]:
+        return {
+            "error": {
+                "code": self.code,
+                "status": self.status,
+                "message": str(self),
+            }
+        }
+
+
+class BadRequestError(ServiceError):
+    """Malformed JSON, an unknown plan kind, or invalid plan parameters."""
+
+    status = 400
+    code = "bad-request"
+
+
+class NotFoundError(ServiceError):
+    """No route at the requested path."""
+
+    status = 404
+    code = "not-found"
+
+
+class MethodNotAllowedError(ServiceError):
+    """The route exists but not for this HTTP method."""
+
+    status = 405
+    code = "method-not-allowed"
+
+
+class ConflictError(ServiceError):
+    """A lifecycle precondition failed (e.g. adapt with nothing observed)."""
+
+    status = 409
+    code = "conflict"
+
+
+class UnsupportedError(ServiceError):
+    """The backend cannot perform the operation (e.g. adapt a sharded one)."""
+
+    status = 501
+    code = "unsupported"
+
+
+class InternalError(ServiceError):
+    """An unexpected failure inside the service."""
+
+    status = 500
+    code = "internal"

@@ -123,6 +123,9 @@ class ShardedIndex(SpatialIndex):
         self._backends = list(backends)
         self._size_bytes: Optional[int] = None
         self.shard_busy_seconds = [0.0] * plan.num_shards
+        #: Optional per-shard observability sink (see :mod:`repro.obs`);
+        #: attach with :meth:`attach_metrics`, ``None`` costs nothing.
+        self.metrics = None
         self._closed = False
 
     # -- plumbing ----------------------------------------------------------
@@ -130,11 +133,35 @@ class ShardedIndex(SpatialIndex):
     def num_shards(self) -> int:
         return self.plan.num_shards
 
-    def _absorb(self, shard_id: int, delta: Dict[str, int], busy: float) -> None:
+    def attach_metrics(self, registry):
+        """Attach (or detach, with ``None``) a per-shard metrics sink.
+
+        Accepts a :class:`~repro.obs.registry.MetricsRegistry` (a
+        :class:`~repro.obs.instrument.ShardMetrics` adapter is created
+        over it) or a ready-made adapter; returns the active adapter.
+        Every scatter round then records each shard's busy time and exact
+        counter delta, labelled by shard id and plan kind.
+        """
+        if registry is None:
+            self.metrics = None
+        else:
+            from repro.obs.instrument import ShardMetrics
+
+            self.metrics = (
+                registry if isinstance(registry, ShardMetrics)
+                else ShardMetrics(registry)
+            )
+        return self.metrics
+
+    def _absorb(
+        self, shard_id: int, delta: Dict[str, int], busy: float, method: str = ""
+    ) -> None:
         counters = self.counters
         for name, value in delta.items():
             setattr(counters, name, getattr(counters, name) + value)
         self.shard_busy_seconds[shard_id] += busy
+        if self.metrics is not None:
+            self.metrics.observe_shard(shard_id, method, busy, delta)
 
     def _scatter(
         self, targets: Sequence[Tuple[int, Any]], method: str
@@ -151,7 +178,7 @@ class ShardedIndex(SpatialIndex):
         replies = []
         for shard_id, _payload in targets:
             data, delta, busy = self._backends[shard_id].collect()
-            self._absorb(shard_id, delta, busy)
+            self._absorb(shard_id, delta, busy, method)
             replies.append(data)
         return replies
 

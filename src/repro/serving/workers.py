@@ -36,6 +36,8 @@ exercise.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import sys
 import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
@@ -57,22 +59,44 @@ QUERY_METHODS = (
 
 
 def process_rss(field: str = "Rss") -> Optional[int]:
-    """This process's resident set (bytes) from ``/proc/self/smaps_rollup``.
+    """This process's resident set (bytes), from the best available source.
 
-    ``field`` selects the rollup line — ``Rss``, ``Pss``, ``Shared_Clean``,
-    ``Private_Dirty``, ...  ``Pss`` (proportional set size) is the honest
-    per-worker cost of shared mmap pages.  Returns ``None`` when the file
-    is unavailable (non-Linux).
+    ``field`` selects the ``/proc/self/smaps_rollup`` line — ``Rss``,
+    ``Pss``, ``Shared_Clean``, ``Private_Dirty``, ...  ``Pss``
+    (proportional set size) is the honest per-worker cost of shared mmap
+    pages.  ``smaps_rollup`` needs Linux >= 4.14; for plain ``Rss`` the
+    function falls back to ``/proc/self/statm`` (any Linux) and then to
+    ``resource.getrusage`` (POSIX — peak rather than current, kilobytes
+    on Linux, bytes on macOS), so callers on older kernels or macOS still
+    get a usable figure.  Only the rollup knows the other fields; those
+    return ``None`` when it is absent.
     """
     try:
         text = Path("/proc/self/smaps_rollup").read_text()
     except OSError:
+        text = None
+    if text is not None:
+        prefix = field + ":"
+        for line in text.splitlines():
+            if line.startswith(prefix):
+                return int(line.split()[1]) * 1024
         return None
-    prefix = field + ":"
-    for line in text.splitlines():
-        if line.startswith(prefix):
-            return int(line.split()[1]) * 1024
-    return None
+    if field != "Rss":
+        return None
+    try:
+        statm = Path("/proc/self/statm").read_text()
+        resident_pages = int(statm.split()[1])
+        return resident_pages * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, IndexError, ValueError):
+        pass
+    try:
+        import resource
+
+        ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except (ImportError, OSError):
+        return None
+    # ru_maxrss is kilobytes on Linux/BSD but bytes on macOS.
+    return ru_maxrss if sys.platform == "darwin" else ru_maxrss * 1024
 
 
 class ShardEngine:

@@ -227,6 +227,24 @@ class WorkloadLog:
         view.setflags(write=False)
         return view
 
+    @property
+    def knn_probes(self) -> np.ndarray:
+        """Read-only view of the recorded ``(n, 3)`` knn rows ``[x, y, k]``.
+
+        Like :attr:`range_rects`, the view aliases the live buffer; take a
+        copy (or :meth:`snapshot`) before holding on to it.
+        """
+        view = self._knn[:self._num_knn]
+        view.setflags(write=False)
+        return view
+
+    @property
+    def radius_probes(self) -> np.ndarray:
+        """Read-only view of the ``(n, 3)`` radius rows ``[x, y, radius]``."""
+        view = self._radius[:self._num_radius]
+        view.setflags(write=False)
+        return view
+
     def nbytes(self) -> int:
         """Bytes held by the log's buffers (capacity, not just used rows)."""
         return (

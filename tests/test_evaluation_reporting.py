@@ -1,0 +1,113 @@
+"""Unit tests for the plain-text reporting helpers (tables, Figure 7 math)."""
+
+import pytest
+
+from repro.evaluation.reporting import (
+    INDEX_PROPERTIES,
+    format_table,
+    improvement_table,
+    index_properties_table,
+    percent_improvement,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].split(" | ") == ["name", "value"]
+        assert set(lines[1]) <= {"-", "+"}
+        assert lines[2].startswith("a ")
+        assert lines[3].startswith("bb")
+
+    def test_title_is_first_line(self):
+        text = format_table(["h"], [["x"]], title="Table N: things")
+        assert text.splitlines()[0] == "Table N: things"
+
+    def test_floats_use_float_format(self):
+        text = format_table(["v"], [[1.23456]], float_format="{:.2f}")
+        assert "1.23" in text
+        assert "1.234" not in text
+
+    def test_ints_and_strings_use_str(self):
+        text = format_table(["a", "b"], [[7, "seven"]])
+        assert "7" in text and "seven" in text
+
+    def test_columns_align_across_rows(self):
+        text = format_table(["h1", "h2"], [["long-cell", "x"], ["s", "y"]])
+        header, _, row1, row2 = text.splitlines()
+        # Every row renders to the same width: columns are padded.
+        assert len(header) == len(row1) == len(row2)
+        assert row1.index(" | ") == row2.index(" | ")
+
+    def test_wide_header_sets_column_width(self):
+        text = format_table(["a-very-wide-header"], [["x"]])
+        header, rule, row = text.splitlines()
+        assert len(rule) == len(header)
+        assert len(row) == len(header)
+
+
+class TestPercentImprovement:
+    def test_twice_as_fast_is_plus_fifty(self):
+        assert percent_improvement(10.0, 5.0) == pytest.approx(50.0)
+
+    def test_twice_as_slow_is_minus_hundred(self):
+        assert percent_improvement(10.0, 20.0) == pytest.approx(-100.0)
+
+    def test_equal_is_zero(self):
+        assert percent_improvement(3.0, 3.0) == 0.0
+
+    def test_zero_baseline_is_zero_not_inf(self):
+        assert percent_improvement(0.0, 5.0) == 0.0
+
+
+class TestIndexPropertiesTable:
+    def test_covers_every_index_of_table_1(self):
+        text = index_properties_table()
+        for name in INDEX_PROPERTIES:
+            assert name in text
+
+    def test_wazi_row_is_yes_yes_yes(self):
+        row = next(
+            line for line in index_properties_table().splitlines()
+            if line.startswith("WaZI")
+        )
+        assert row.count("yes") == 3
+
+    def test_str_row_is_no_no_no(self):
+        row = next(
+            line for line in index_properties_table().splitlines()
+            if line.startswith("STR")
+        )
+        assert row.count("no") == 3
+        assert "yes" not in row
+
+    def test_has_title_and_headers(self):
+        text = index_properties_table()
+        assert text.splitlines()[0].startswith("Table 1:")
+        for header in ("Index", "SFC-based", "Query-Aware", "Learned"):
+            assert header in text
+
+
+class TestImprovementTable:
+    def test_baseline_scores_zero(self):
+        text = improvement_table("Base", {"Base": 10.0, "WaZI": 5.0})
+        base_row = next(
+            line for line in text.splitlines() if line.startswith("Base")
+        )
+        assert "0.000" in base_row
+
+    def test_candidate_improvement_value(self):
+        text = improvement_table("Base", {"Base": 10.0, "WaZI": 5.0})
+        wazi_row = next(
+            line for line in text.splitlines() if line.startswith("WaZI")
+        )
+        assert "50.000" in wazi_row
+
+    def test_header_names_baseline(self):
+        text = improvement_table("Base", {"Base": 1.0})
+        assert "% improvement over Base" in text
+
+    def test_missing_baseline_raises(self):
+        with pytest.raises(KeyError):
+            improvement_table("Nope", {"Base": 1.0})

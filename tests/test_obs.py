@@ -1,0 +1,343 @@
+"""Unit tests for the metrics subsystem (repro.obs) and its engine wiring."""
+
+import numpy as np
+import pytest
+
+from repro.engine import SpatialEngine
+from repro.obs import (
+    COST_FIELDS,
+    Counter,
+    EngineMetrics,
+    Gauge,
+    LatencyHistogram,
+    MetricsRegistry,
+    dump_workload,
+    log_spaced_buckets,
+    plan_kind,
+    render_csv,
+    render_json,
+    render_prometheus,
+    shard_method_kind,
+)
+from repro.query import KnnQuery, PointQuery, RadiusQuery, RangeQuery
+
+
+class TestLogSpacedBuckets:
+    def test_default_span(self):
+        bounds = log_spaced_buckets()
+        assert bounds[0] == pytest.approx(1.0)
+        assert bounds[-1] == pytest.approx(1e7)
+        assert np.all(np.diff(bounds) > 0)
+
+    def test_per_decade_density(self):
+        bounds = log_spaced_buckets(start=1.0, stop=1000.0, per_decade=2)
+        assert bounds.size == 7  # 3 decades * 2 + 1
+
+    def test_rejects_bad_ranges(self):
+        with pytest.raises(ValueError):
+            log_spaced_buckets(start=0.0)
+        with pytest.raises(ValueError):
+            log_spaced_buckets(start=10.0, stop=1.0)
+        with pytest.raises(ValueError):
+            log_spaced_buckets(per_decade=0)
+
+
+class TestCounterAndGauge:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_gauge_set_and_inc(self):
+        gauge = Gauge("g")
+        gauge.set(2.5)
+        gauge.inc(0.5)
+        assert gauge.value == pytest.approx(3.0)
+
+
+class TestLatencyHistogram:
+    def test_observe_lands_in_le_bucket(self):
+        hist = LatencyHistogram("h", buckets=[10.0, 100.0, 1000.0])
+        hist.observe(50e-6)  # 50us -> the le=100 bucket
+        assert list(hist.bucket_counts) == [0, 1, 0, 0]
+
+    def test_le_is_inclusive(self):
+        hist = LatencyHistogram("h", buckets=[10.0, 100.0])
+        hist.observe(10e-6)  # exactly the bound: le semantics include it
+        assert list(hist.bucket_counts) == [1, 0, 0]
+
+    def test_overflow_bucket(self):
+        hist = LatencyHistogram("h", buckets=[10.0])
+        hist.observe(1.0)  # 1s >> 10us
+        assert list(hist.bucket_counts) == [0, 1]
+
+    def test_observe_block_keeps_totals_exact(self):
+        hist = LatencyHistogram("h")
+        hist.observe_block(0.004, 8)  # 4ms over 8 queries
+        assert hist.count == 8
+        assert hist.sum_micros == pytest.approx(4000.0)
+        assert hist.mean_micros == pytest.approx(500.0)
+
+    def test_observe_block_ignores_empty(self):
+        hist = LatencyHistogram("h")
+        hist.observe_block(1.0, 0)
+        assert hist.count == 0
+
+    def test_ring_buffer_and_percentile(self):
+        hist = LatencyHistogram("h", ring_size=4)
+        for micros in (10.0, 20.0, 30.0, 40.0, 50.0):
+            hist.observe(micros * 1e-6)
+        samples = hist.samples()
+        assert samples.size == 4  # oldest sample evicted
+        assert 10.0 not in samples
+        assert hist.percentile(100) == pytest.approx(50.0)
+
+    def test_empty_percentile_is_zero(self):
+        assert LatencyHistogram("h").percentile(99) == 0.0
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram("h", buckets=[])
+        with pytest.raises(ValueError):
+            LatencyHistogram("h", buckets=[10.0, 5.0])
+        with pytest.raises(ValueError):
+            LatencyHistogram("h", ring_size=0)
+
+    def test_views_are_read_only(self):
+        hist = LatencyHistogram("h")
+        with pytest.raises(ValueError):
+            hist.bucket_counts[0] = 1
+        with pytest.raises(ValueError):
+            hist.bucket_bounds[0] = 1.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_queries_total", kind="range")
+        second = registry.counter("repro_queries_total", kind="range")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_distinct_labels_are_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="range")
+        registry.counter("c", kind="knn")
+        assert len(registry) == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", shard=1, kind="range")
+        b = registry.counter("c", kind="range", shard=1)
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("series")
+        with pytest.raises(ValueError):
+            registry.gauge("series", other="label")
+
+    def test_get_returns_none_for_missing(self):
+        assert MetricsRegistry().get("nope") is None
+
+    def test_collect_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a", z="2")
+        registry.counter("a", z="1")
+        names = [(i.name, i.labels) for i in registry.collect()]
+        assert names == sorted(names)
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("c", kind="range").inc(3)
+        (entry,) = registry.snapshot()
+        assert entry == {
+            "name": "c", "kind": "counter",
+            "labels": {"kind": "range"}, "value": 3,
+        }
+
+
+class TestExporters:
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_queries_total", kind="range").inc(7)
+        registry.gauge("repro_drift_score").set(0.25)
+        registry.histogram(
+            "repro_query_latency_micros", kind="range", buckets=[10.0, 100.0]
+        ).observe(50e-6)
+        return registry
+
+    def test_prometheus_families_and_samples(self):
+        text = render_prometheus(self._populated())
+        assert "# TYPE repro_queries_total counter" in text
+        assert 'repro_queries_total{kind="range"} 7' in text
+        assert "# TYPE repro_drift_score gauge" in text
+        assert "repro_drift_score 0.25" in text
+
+    def test_prometheus_histogram_is_cumulative(self):
+        text = render_prometheus(self._populated())
+        assert 'le="10.0"} 0' in text
+        assert 'le="100.0"} 1' in text
+        assert 'le="+Inf"} 1' in text
+        assert 'repro_query_latency_micros_count{kind="range"} 1' in text
+        assert 'repro_query_latency_micros_sum{kind="range"} 50.0' in text
+
+    def test_prometheus_empty_registry(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_render_is_deterministic(self):
+        assert render_prometheus(self._populated()) == render_prometheus(
+            self._populated()
+        )
+        assert render_json(self._populated()) == render_json(self._populated())
+
+    def test_json_parses_back(self):
+        import json
+
+        doc = json.loads(render_json(self._populated()))
+        names = {entry["name"] for entry in doc["metrics"]}
+        assert "repro_queries_total" in names
+
+    def test_csv_has_header_and_rows(self):
+        lines = render_csv(self._populated()).splitlines()
+        assert lines[0] == "name,kind,labels,field,value"
+        assert any("le=+Inf" in line for line in lines)
+        assert any(line.startswith("repro_queries_total,counter") for line in lines)
+
+
+class TestPlanKinds:
+    def test_plan_kind_labels(self, unit_square):
+        from repro.geometry import Point
+
+        assert plan_kind(RangeQuery(unit_square)) == "range"
+        assert plan_kind(PointQuery(Point(0.0, 0.0))) == "point"
+        assert plan_kind(KnnQuery(Point(0.0, 0.0), 3)) == "knn"
+        assert plan_kind(RadiusQuery(Point(0.0, 0.0), 0.1)) == "radius"
+        assert plan_kind(object()) == "other"
+
+    def test_shard_method_kind(self):
+        assert shard_method_kind("batch_range_rows") == "range"
+        assert shard_method_kind("batch_range_count") == "range"
+        assert shard_method_kind("batch_knn_rows") == "knn"
+        assert shard_method_kind("batch_radius_rows") == "radius"
+        assert shard_method_kind("point_query") == "point"
+        assert shard_method_kind("mystery") == "other"
+
+
+class TestEngineIntegration:
+    @pytest.fixture()
+    def engine(self, clustered_points, small_workload):
+        registry = MetricsRegistry()
+        return SpatialEngine.build(
+            "wazi", clustered_points, small_workload.queries,
+            leaf_capacity=64, seed=1, metrics=registry,
+        )
+
+    def test_execute_records_kind_and_latency(self, engine, small_workload):
+        registry = engine.metrics.registry
+        engine.execute(RangeQuery(small_workload.queries[0]))
+        assert registry.get("repro_queries_total", kind="range").value == 1
+        hist = registry.get("repro_query_latency_micros", kind="range")
+        assert hist.count == 1 and hist.sum_micros > 0
+
+    def test_execute_many_records_block(self, engine, small_workload):
+        plans = [RangeQuery(rect) for rect in small_workload.queries[:10]]
+        engine.execute_many(plans, count_only=True)
+        registry = engine.metrics.registry
+        assert registry.get("repro_queries_total", kind="range").value == 10
+        assert registry.get("repro_query_latency_micros", kind="range").count == 10
+
+    def test_scan_cost_counters_reconcile(self, engine, small_workload):
+        plans = [RangeQuery(rect) for rect in small_workload.queries[:10]]
+        engine.index.counters.reset()
+        engine.execute_many(plans, count_only=True)
+        registry = engine.metrics.registry
+        snapshot = engine.index.counters.snapshot()
+        for field in COST_FIELDS:
+            series = registry.get("repro_scan_cost_total", counter=field)
+            recorded = series.value if series is not None else 0
+            assert recorded == snapshot[field], field
+
+    def test_detached_engine_records_nothing(self, clustered_points, small_workload):
+        engine = SpatialEngine.build(
+            "wazi", clustered_points, small_workload.queries,
+            leaf_capacity=64, seed=1,
+        )
+        assert engine.metrics is None
+        engine.execute(RangeQuery(small_workload.queries[0]))  # must not raise
+
+    def test_attach_metrics_accepts_adapter_and_none(self, engine):
+        adapter = engine.metrics
+        assert isinstance(adapter, EngineMetrics)
+        assert engine.attach_metrics(adapter) is adapter
+        engine.attach_metrics(None)
+        assert engine.metrics is None
+
+    def test_results_identical_with_and_without_metrics(
+        self, engine, clustered_points, small_workload
+    ):
+        bare = SpatialEngine(engine.index)
+        plans = [RangeQuery(rect) for rect in small_workload.queries[:10]]
+        assert engine.execute_many(plans, count_only=True) == bare.execute_many(
+            plans, count_only=True
+        )
+
+    def test_advise_and_adapt_observed(self, engine, small_workload):
+        registry = engine.metrics.registry
+        engine.start_recording()
+        engine.execute_many(
+            [RangeQuery(rect) for rect in small_workload.queries],
+            count_only=True,
+        )
+        report = engine.advise()
+        verdict = "adapt" if report.should_adapt else "keep"
+        assert (
+            registry.get("repro_advise_verdicts_total", verdict=verdict).value == 1
+        )
+        engine.adapt()
+        assert registry.get("repro_adapts_total").value == 1
+        assert registry.get("repro_last_adapt_seconds").value > 0
+
+
+class TestDumpWorkload:
+    def test_dump_roundtrip(self, tmp_path, clustered_points, small_workload):
+        engine = SpatialEngine.build(
+            "wazi", clustered_points, small_workload.queries,
+            leaf_capacity=64, seed=1,
+        )
+        engine.start_recording()
+        engine.execute_many(
+            [RangeQuery(rect) for rect in small_workload.queries[:12]],
+            count_only=True,
+        )
+        from repro.geometry import Point
+
+        engine.execute(KnnQuery(Point(0.5, 0.5), 3))
+        written = dump_workload(engine.workload_log, tmp_path, fmt="both")
+        names = sorted(p.split("/")[-1] for p in written)
+        assert names == [
+            "workload_knn.csv", "workload_knn.npy",
+            "workload_ranges.csv", "workload_ranges.npy",
+        ]
+        ranges = np.load(tmp_path / "workload_ranges.npy")
+        assert ranges.shape == (12, 5)
+        knn = np.load(tmp_path / "workload_knn.npy")
+        assert knn.shape == (1, 3)
+        assert knn[0].tolist() == [0.5, 0.5, 3.0]
+        header = (tmp_path / "workload_ranges.csv").read_text().splitlines()[0]
+        assert header == "xmin,ymin,xmax,ymax,count"
+
+    def test_dump_rejects_bad_fmt(self, clustered_points, small_workload):
+        engine = SpatialEngine.build(
+            "wazi", clustered_points, small_workload.queries,
+            leaf_capacity=64, seed=1,
+        )
+        engine.start_recording()
+        with pytest.raises(ValueError):
+            dump_workload(engine.workload_log, "/tmp", fmt="xml")

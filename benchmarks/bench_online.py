@@ -1,0 +1,356 @@
+"""Online ingest + continuous adaptation under a continuously drifting workload.
+
+The adaptation benchmark (``bench_adapt.py``) measures one stop-the-world
+re-derive after one abrupt regime change.  This benchmark measures the
+*online* lifecycle against the traffic it was built for: a hotspot that
+never stops moving (:func:`repro.workloads.drift.moving_hotspot`) over a
+dataset that keeps growing, where a one-shot adapted layout decays a
+little more every step.
+
+Two engines serve identical data throughout:
+
+- **stale** — a WaZI layout derived once for step 0, wrapped in an
+  :class:`~repro.online.OnlineIndex` whose maintenance loop only
+  *compacts* (ingest works, the layout never changes); the
+  one-shot-adapted serving system.
+- **online** — the same initial layout behind the full
+  ``SpatialEngine.online()`` lifecycle: per-step ingest through the
+  service's ``/ingest`` handler, queries recorded into the sliding
+  window, and one ``run_once()`` maintenance tick per step that compacts
+  the delta and incrementally re-derives regressed subtrees.
+
+Each drift step serves ``--waves`` rounds of fresh queries drawn from
+the step's hotspot (a hotspot *dwells* for a few batches before moving
+on), with a maintenance tick between rounds — so the online engine pays
+the decayed cost for the first wave of a step, adapts, and serves the
+remaining waves from the re-derived layout, while the stale engine pays
+the decayed cost for every wave.  Both engines replay every wave
+count-only and the *logical scan cost* (the ``points_filtered`` counter
+delta — rows touched, immune to cache warm-up) is accumulated.  Checks,
+each fatal to the exit status:
+
+1. **Adaptation pays** — total stale scan cost must be at least
+   ``--min-scan-ratio`` (default **1.3x**) the online engine's.
+2. **Byte-identical serving** — at every checkpoint the online engine's
+   full result sets equal a stop-the-world rebuild from the current live
+   multiset, compared as canonically sorted coordinate bytes; both
+   engines must also agree on every count at every step.
+3. **Strictly scoped re-derives** — every incremental adapt touches a
+   strict subset of the leaf layer (0 < scope < 1), asserted from the
+   tick summaries and from the ``repro_incremental_adapt_scope`` gauge
+   served by the in-process ``/metrics`` endpoint.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_online.py          # full
+    PYTHONPATH=src python benchmarks/bench_online.py --quick  # CI canary
+
+Both run at 100k+ points (the drift/ingest trade-off is defined there);
+``--quick`` shortens the drift.  The report lands in
+``results/bench_online.txt`` / ``.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+# Allow both `python benchmarks/bench_online.py` and `python -m benchmarks...`:
+# script mode puts benchmarks/ (not the repo root) on sys.path.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.common import write_json_report
+from repro.engine import SpatialEngine, build_index
+from repro.geometry import Point, Rect
+from repro.online import MaintenanceLoop, MaintenancePolicy, OnlineIndex
+from repro.query import RangeQuery
+from repro.service import SpatialService
+from repro.workloads import dataset_extent, generate_dataset, moving_hotspot
+from repro.zindex.base import ZIndex
+
+REPORT_PATH = Path(__file__).resolve().parent.parent / "results" / "bench_online.txt"
+
+
+def canonical_result_bytes(result) -> bytes:
+    """Order-independent canonical bytes of one result set."""
+    xs, ys = result.as_arrays()
+    xs = np.asarray(xs, dtype=np.float64)
+    ys = np.asarray(ys, dtype=np.float64)
+    order = np.lexsort((ys, xs))
+    return xs[order].tobytes() + ys[order].tobytes()
+
+
+def hotspot_rect(extent: Rect, center, fraction: float) -> Rect:
+    """The (relative-coordinate) hotspot sub-rectangle of the extent."""
+    cx = extent.xmin + center[0] * extent.width
+    cy = extent.ymin + center[1] * extent.height
+    half_w = extent.width * fraction / 2.0
+    half_h = extent.height * fraction / 2.0
+    xmin = min(max(extent.xmin, cx - half_w), extent.xmax - 2 * half_w)
+    ymin = min(max(extent.ymin, cy - half_h), extent.ymax - 2 * half_h)
+    return Rect(xmin, ymin, xmin + 2 * half_w, ymin + 2 * half_h)
+
+
+def scan_cost(index, rects) -> int:
+    """Logical rows touched by a count-only replay (counter delta)."""
+    before = index.counters.points_filtered
+    index.batch_range_count(list(rects))
+    return index.counters.points_filtered - before
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: fewer steps/queries (same 100k "
+                             "points — the drift trade-off is defined there)")
+    parser.add_argument("--region", default="newyork")
+    parser.add_argument("--num-points", type=int, default=100_000)
+    parser.add_argument("--steps", type=int, default=None)
+    parser.add_argument("--queries-per-step", type=int, default=None)
+    parser.add_argument("--waves", type=int, default=3,
+                        help="Query rounds served per drift step, with a "
+                             "maintenance tick between rounds (default 3)")
+    parser.add_argument("--inserts-per-step", type=int, default=120)
+    parser.add_argument("--deletes-per-step", type=int, default=40)
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--min-scan-ratio", type=float, default=1.3,
+                        help="Required stale/online total replay scan-cost "
+                             "ratio (default 1.3)")
+    args = parser.parse_args(argv)
+
+    steps = args.steps if args.steps is not None else (5 if args.quick else 10)
+    queries_per_step = args.queries_per_step if args.queries_per_step is not None \
+        else (100 if args.quick else 200)
+    hotspot_fraction = 0.12
+    checkpoint_every = max(2, steps // 3)
+
+    header = (
+        f"online benchmark: {args.region} n={args.num_points} steps={steps} "
+        f"waves/step={args.waves} queries/wave={queries_per_step} "
+        f"ingest={args.inserts_per_step}+/{args.deletes_per_step}- "
+        f"seed={args.seed} (moving_hotspot, WaZI)"
+    )
+    lines = [header, ""]
+    print(header)
+    failures = 0
+
+    points = generate_dataset(args.region, args.num_points, seed=1)
+    extent = dataset_extent(args.region)
+    # One drift trajectory, --waves independent query batches per step:
+    # identical centers (the geometry is deterministic), fresh rects.
+    phase_waves = [
+        moving_hotspot(
+            args.region, steps, queries_per_step,
+            selectivity_percent=0.002, hotspot_fraction=hotspot_fraction,
+            start=(0.25, 0.25), end=(0.70, 0.37),
+            seed=args.seed + 101 * wave,
+        )
+        for wave in range(args.waves)
+    ]
+    phases = phase_waves[0]
+
+    # One expensive workload-aware build for step 0, cloned for the twin so
+    # both engines start from the byte-identical layout.
+    start = time.perf_counter()
+    initial = build_index(
+        "wazi", points, phases[0].workload.queries, leaf_capacity=64, seed=1
+    )
+    build_seconds = time.perf_counter() - start
+    twin = ZIndex.from_snapshot_state(initial.snapshot_state(), validate=False)
+    lines.append(f"step-0 layout built: {build_seconds:6.2f} s "
+                 f"({len(initial.leaflist)} leaves)")
+
+    # -- stale: one-shot adapted, maintenance compacts but never adapts ----
+    stale = OnlineIndex(initial)
+    stale_loop = MaintenanceLoop(stale, policy=MaintenancePolicy(compact_min_rows=1))
+
+    # -- online: the full engine lifecycle ---------------------------------
+    engine = SpatialEngine(twin)
+    policy = MaintenancePolicy(
+        compact_min_rows=1,
+        adapt_min_queries=min(64, queries_per_step),
+        window_size=2 * queries_per_step,
+        scope_depth=5,   # depth-2 cells hold ~25% of the data each — far
+        min_leaf_capacity=8,  # too coarse to isolate a 0.12-wide hotspot
+    )
+    loop = engine.online(policy, start=False)  # ticks driven per step below
+    service = SpatialService(engine, record=False)
+
+    # Live multiset tracking for the stop-the-world parity rebuilds.
+    inserted: list = []
+    deleted_coords: set = set()
+    rng = np.random.default_rng(args.seed + 1009)
+
+    online_cost = 0
+    stale_cost = 0
+    per_step_ratio = []
+    scopes = []
+    parity_checkpoints = 0
+    parity_failures = 0
+
+    for step, phase in enumerate(phases):
+        workload = phase.workload
+        rects = workload.queries
+        hotspot = hotspot_rect(
+            extent, workload.extra["hotspot_center"], hotspot_fraction
+        )
+
+        # -- ingest: the data drifts with the workload ---------------------
+        xs = rng.uniform(hotspot.xmin, hotspot.xmax, size=args.inserts_per_step)
+        ys = rng.uniform(hotspot.ymin, hotspot.ymax, size=args.inserts_per_step)
+        fresh = [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+        doomed = []
+        if step >= 2 and args.deletes_per_step:
+            base = (step - 2) * args.inserts_per_step
+            doomed = inserted[base : base + args.deletes_per_step]
+        service.handle_ingest({
+            "insert": [[p.x, p.y] for p in fresh],
+            "delete": [[p.x, p.y] for p in doomed],
+        })
+        for p in fresh:
+            stale.insert(p)
+        for p in doomed:
+            stale.delete(p)
+        inserted.extend(fresh)
+        deleted_coords.update((p.x, p.y) for p in doomed)
+
+        # -- replay: --waves query rounds, a maintenance tick after each ---
+        # The online leg goes through the engine so the plans land in the
+        # sliding workload window the tick adapts from; the stale leg's
+        # loop only ever compacts.
+        step_online = 0
+        step_stale = 0
+        step_adapts = 0
+        for wave in range(args.waves):
+            rects = phase_waves[wave][step].workload.queries
+            plans = [RangeQuery(rect) for rect in rects]
+            before = engine.index.counters.points_filtered
+            online_counts = engine.execute_many(plans, count_only=True)
+            step_online += engine.index.counters.points_filtered - before
+            step_stale += scan_cost(stale, rects)
+
+            if online_counts != stale.batch_range_count(rects):
+                print(f"FAIL: step {step} wave {wave}: engines disagree "
+                      f"on result counts")
+                failures += 1
+
+            summary = loop.run_once()
+            stale_loop.run_once()
+            if summary["adapted"]:
+                step_adapts += 1
+                scopes.append(summary["scope"])
+
+        online_cost += step_online
+        stale_cost += step_stale
+        per_step_ratio.append(step_stale / max(1, step_online))
+
+        # -- checkpoint: byte-identical to a stop-the-world rebuild --------
+        if step % checkpoint_every == checkpoint_every - 1 or step == steps - 1:
+            parity_checkpoints += 1
+            live = [
+                p for p in points + inserted
+                if (p.x, p.y) not in deleted_coords
+            ]
+            rebuilt = ZIndex(live, leaf_capacity=64)
+            want = [canonical_result_bytes(r) for r in rebuilt.batch_range_query(rects)]
+            got = [
+                canonical_result_bytes(r)
+                for r in engine.index.batch_range_query(rects)
+            ]
+            if got != want:
+                parity_failures += 1
+                print(f"FAIL: step {step}: results differ from a fresh rebuild")
+                failures += 1
+
+        lines.append(
+            f"step {step:2d}: scan cost stale {step_stale:>12,} / online "
+            f"{step_online:>12,}  ({per_step_ratio[-1]:5.2f}x)  "
+            f"{'adapted x%d scope<=%.3f' % (step_adapts, max(scopes[-step_adapts:])) if step_adapts else '-'}"
+        )
+
+    # -- verdicts ----------------------------------------------------------
+    ratio = stale_cost / max(1, online_cost)
+    verdict = "ok" if ratio >= args.min_scan_ratio else "BELOW THRESHOLD"
+    lines += [
+        "",
+        f"total replay scan cost ({steps} steps x {args.waves} waves x "
+        f"{queries_per_step} queries):",
+        f"  stale (one-shot adapted) {stale_cost:>14,} rows",
+        f"  online (continuous)      {online_cost:>14,} rows",
+        f"  ratio                    {ratio:6.2f}x  "
+        f"(threshold {args.min_scan_ratio:.1f}x) {verdict}",
+    ]
+    if ratio < args.min_scan_ratio:
+        failures += 1
+
+    if not scopes:
+        print("FAIL: no maintenance tick performed an incremental adapt")
+        failures += 1
+    if any(not (0.0 < scope < 1.0) for scope in scopes):
+        print("FAIL: an incremental adapt was not a strict subset of the leaves")
+        failures += 1
+    lines.append(
+        f"incremental adapts: {len(scopes)} "
+        f"(scope min {min(scopes):.3f} max {max(scopes):.3f})"
+        if scopes else "incremental adapts: none"
+    )
+    lines.append(
+        f"parity checkpoints: {parity_checkpoints} "
+        f"({'all byte-identical' if parity_failures == 0 else f'{parity_failures} MISMATCHED'})"
+    )
+    lines.append(
+        f"compactions: online {loop.compactions}, stale {stale_loop.compactions}"
+    )
+    if loop.compactions == 0:
+        print("FAIL: the online maintenance loop never compacted")
+        failures += 1
+
+    # The scope metric as the service exports it (the /metrics route body).
+    metrics_text = service.metrics_text()
+    if "repro_incremental_adapt_scope" not in metrics_text:
+        print("FAIL: /metrics does not export repro_incremental_adapt_scope")
+        failures += 1
+    adapt_lines = [
+        line for line in metrics_text.splitlines()
+        if line.startswith("repro_incremental_adapt") or line.startswith("repro_ingest")
+    ]
+    lines += ["", "/metrics (online families):"] + [f"  {line}" for line in adapt_lines]
+
+    engine.offline()
+
+    report_text = "\n".join(lines) + "\n"
+    print("\n".join(lines[1:]))
+    REPORT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    REPORT_PATH.write_text(report_text)
+    print(f"\nreport written to {REPORT_PATH}")
+    write_json_report("bench_online", {
+        "num_points": args.num_points,
+        "steps": steps,
+        "queries_per_step": queries_per_step,
+        "waves_per_step": args.waves,
+        "inserts_per_step": args.inserts_per_step,
+        "deletes_per_step": args.deletes_per_step,
+        "stale_scan_cost": stale_cost,
+        "online_scan_cost": online_cost,
+        "scan_ratio": ratio,
+        "min_scan_ratio_threshold": args.min_scan_ratio,
+        "incremental_adapts": len(scopes),
+        "max_scope": max(scopes) if scopes else None,
+        "compactions": loop.compactions,
+        "parity_checkpoints": parity_checkpoints,
+        "failures": failures,
+    })
+
+    if failures:
+        print(f"\nFAILED: {failures} failure(s)")
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

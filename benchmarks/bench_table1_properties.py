@@ -5,7 +5,7 @@ verifies the property matrix renders and is keyed by the same six indexes
 used throughout the evaluation.
 """
 
-from benchmarks.common import MAIN_INDEXES, print_section
+from benchmarks.common import MAIN_INDEXES, print_section, write_json_report
 from repro.evaluation import index_properties_table
 from repro.evaluation.reporting import INDEX_PROPERTIES
 
@@ -14,6 +14,10 @@ def test_table1_index_properties(benchmark):
     table = benchmark(index_properties_table)
     print_section("Table 1: key properties of the indexes in the experiments")
     print(table)
+    write_json_report(
+        "bench_table1_properties",
+        {"properties": {name: dict(props) for name, props in INDEX_PROPERTIES.items()}},
+    )
     assert set(INDEX_PROPERTIES) == set(MAIN_INDEXES)
     assert INDEX_PROPERTIES["WaZI"]["sfc_based"]
     assert INDEX_PROPERTIES["WaZI"]["query_aware"]

@@ -191,9 +191,42 @@ def print_section(title: str) -> None:
     _emit("=" * 72)
 
 
+#: While a benchmark module runs under pytest, every table it prints is
+#: also captured here (``{"module": str|None, "tables": [...]}``) so the
+#: per-module JSON report can be written without each figure/table module
+#: re-describing its own result structure.  ``benchmarks/conftest.py``
+#: brackets each module with begin/flush.
+_TABLE_CAPTURE: dict = {"module": None, "tables": []}
+
+
+def begin_table_capture(module: str) -> None:
+    """Start collecting printed tables on behalf of ``module``."""
+    _TABLE_CAPTURE["module"] = module
+    _TABLE_CAPTURE["tables"] = []
+
+
+def flush_table_capture(module: str) -> str | None:
+    """Write ``results/<module>.json`` from the captured tables, if any.
+
+    Modules that assemble a bespoke payload call :func:`write_json_report`
+    directly and never print tables, so the two paths cannot clobber each
+    other's file.
+    """
+    tables = _TABLE_CAPTURE["tables"]
+    _TABLE_CAPTURE["module"] = None
+    _TABLE_CAPTURE["tables"] = []
+    if not tables:
+        return None
+    return write_json_report(module, {"tables": tables})
+
+
 def print_results_table(title: str, headers: List[str], rows: List[List[object]]) -> None:
     _emit("")
     _emit(format_table(headers, rows, title=title))
+    if _TABLE_CAPTURE["module"] is not None:
+        _TABLE_CAPTURE["tables"].append(
+            {"title": title, "headers": list(headers), "rows": [list(row) for row in rows]}
+        )
 
 
 def micros(seconds: float) -> float:

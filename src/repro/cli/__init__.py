@@ -118,18 +118,39 @@ def cmd_serve(args) -> int:
         mmap=args.mmap, record=args.record, plan_cache=args.plan_cache,
     )
     service = SpatialService(engine, record=args.record, verbose=not args.quiet)
+    if args.online:
+        from repro.online import MaintenancePolicy
+        from repro.zindex import ZIndex
+
+        if not isinstance(engine.index, ZIndex):
+            print(json.dumps({
+                "event": "error",
+                "message": "--online requires a Z-index-family snapshot "
+                           "(sharded backends serve read-only)",
+            }, sort_keys=True), file=sys.stderr)
+            return 2
+        policy = MaintenancePolicy(
+            interval_seconds=args.maintenance_interval,
+            compact_min_rows=args.compact_min_rows,
+            window_size=args.window_size or None,
+        )
+        engine.online(policy)
     server = ServiceServer(service, host=args.host, port=args.port)
     if not args.quiet:
-        print(f"serving {engine.name} ({len(engine):,} points) at {server.url}",
+        mode = " online" if args.online else ""
+        print(f"serving{mode} {engine.name} ({len(engine):,} points) at {server.url}",
               file=sys.stderr)
-    print(json.dumps({"event": "ready", "url": server.url}, sort_keys=True),
-          flush=True)
+    print(json.dumps({
+        "event": "ready", "url": server.url, "online": bool(args.online),
+    }, sort_keys=True), flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.close()
+        if args.online:
+            engine.offline()
         close = getattr(engine.index, "close", None)
         if callable(close):
             close()
@@ -321,6 +342,16 @@ def _add_serve_parser(sub) -> None:
                    help="record observed traffic (enables /advise, /adapt)")
     p.add_argument("--plan-cache", type=int, default=0,
                    help="attach a query-plan cache with this capacity")
+    p.add_argument("--online", action="store_true",
+                   help="enable the online lifecycle: /ingest + background "
+                        "maintenance (LSM delta buffer, incremental adapt)")
+    p.add_argument("--maintenance-interval", type=float, default=1.0,
+                   help="background maintenance cadence in seconds (with --online)")
+    p.add_argument("--compact-min-rows", type=int, default=4096,
+                   help="delta rows that trigger compaction (with --online)")
+    p.add_argument("--window-size", type=int, default=2048,
+                   help="sliding workload-window size driving incremental "
+                        "adapt (0 = unbounded, with --online)")
     p.add_argument("--quiet", action="store_true")
     p.set_defaults(func=cmd_serve)
 

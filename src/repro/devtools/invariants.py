@@ -25,6 +25,10 @@ flat-cache-coherent     the cached flat columns equal a fresh gather from
 shard-conservation      the dispatcher's accumulated counters equal the sum
                         of the per-shard counters (scatter/gather loses no
                         delta), measured from a shared counter reset
+delta-conservation      an online index's merged row count equals the LSM
+                        arithmetic ``len(base) + delta live − tombstones``
+                        over both the active and frozen buffers — every
+                        tombstone consumed exactly one matching row
 kernel-parity           a sampled fraction of kernel-tier calls re-executed
                         on the pure-NumPy reference returns byte-identical
                         values (same dtype, shape, bytes and ordering)
@@ -54,6 +58,7 @@ __all__ = [
     "InvariantViolation",
     "KernelParityChecker",
     "assert_kernel_parity",
+    "check_delta_conservation",
     "check_index_invariants",
     "check_shard_conservation",
     "expected_skip_pointers",
@@ -293,6 +298,41 @@ def check_shard_conservation(sharded: Any) -> None:
 
 
 # ---------------------------------------------------------------------------
+# Delta conservation (online ingest)
+# ---------------------------------------------------------------------------
+
+
+def check_delta_conservation(online: Any) -> None:
+    """The LSM merge arithmetic must balance exactly.
+
+    For an :class:`~repro.online.index.OnlineIndex`, the number of rows
+    the merged view actually produces must equal ``len(base) + delta
+    live − tombstones`` summed over the active and frozen buffers: the
+    delete path validates every tombstone against a live occurrence at
+    record time, so at *any* point — mid-ingest, mid-compaction, after a
+    swap — each tombstone consumes exactly one matching row and no row
+    is double-counted.  A mismatch means an acknowledged write was lost
+    or resurrected.
+    """
+    with online._lock:
+        state = online._state
+        base_count = len(state.base)
+        expected = base_count + state.delta.live_count - state.delta.tombstone_count
+        if state.frozen is not None:
+            expected += state.frozen.live_count - state.frozen.tombstone_count
+        xs, _ys = online._merged_rows_full(state)
+        actual = int(xs.shape[0])
+        compacting = state.frozen is not None
+    if actual != expected:
+        raise InvariantViolation(
+            "delta-conservation",
+            f"merged view holds {actual} rows but the LSM arithmetic says "
+            f"{expected} (base {base_count}, compacting={compacting}) — a "
+            "tombstone missed its matching row or a row was double-counted",
+        )
+
+
+# ---------------------------------------------------------------------------
 # Kernel parity (differential re-execution)
 # ---------------------------------------------------------------------------
 
@@ -401,9 +441,17 @@ def sanitizer_installed() -> bool:
     return _ORIGINALS is not None
 
 
-def install_sanitizer(*, kernel_sample_every: int = 4) -> None:
-    """Wrap ``ZIndex._build`` / ``from_snapshot_state`` with deep checks
-    and interpose the kernel-parity checker on the active kernel backend.
+def install_sanitizer(
+    *, kernel_sample_every: int = 4, delta_sample_every: int = 64
+) -> None:
+    """Wrap ``ZIndex._build`` / ``from_snapshot_state`` with deep checks,
+    interpose the kernel-parity checker on the active kernel backend, and
+    hook the online write path with the delta-conservation check.
+
+    Online hooks: every ``delta_sample_every``-th ``OnlineIndex`` insert
+    or delete (a shared deterministic counter — a failing run replays
+    exactly) and *every* compaction re-derive the merged row count and
+    compare it to the LSM arithmetic.
 
     Idempotent.  With the sanitizer never installed, the wrapped functions
     are the pristine originals — the disabled-mode overhead is exactly
@@ -412,11 +460,19 @@ def install_sanitizer(*, kernel_sample_every: int = 4) -> None:
     global _ORIGINALS
     if _ORIGINALS is not None:
         return
+    if delta_sample_every <= 0:
+        raise ValueError(
+            f"delta_sample_every must be positive, got {delta_sample_every}"
+        )
     from repro import kernels
+    from repro.online.index import OnlineIndex
     from repro.zindex.base import ZIndex
 
     original_build = ZIndex._build
     original_from_state = ZIndex.from_snapshot_state.__func__
+    original_insert = OnlineIndex.insert
+    original_delete = OnlineIndex.delete
+    original_compact = OnlineIndex.compact
 
     def checked_build(self, *args, **kwargs):
         result = original_build(self, *args, **kwargs)
@@ -428,9 +484,39 @@ def install_sanitizer(*, kernel_sample_every: int = 4) -> None:
         check_index_invariants(index)
         return index
 
+    mutation_clock = {"count": 0}
+
+    def checked_insert(self, *args, **kwargs):
+        result = original_insert(self, *args, **kwargs)
+        mutation_clock["count"] += 1
+        if mutation_clock["count"] % delta_sample_every == 0:
+            check_delta_conservation(self)
+        return result
+
+    def checked_delete(self, *args, **kwargs):
+        result = original_delete(self, *args, **kwargs)
+        mutation_clock["count"] += 1
+        if mutation_clock["count"] % delta_sample_every == 0:
+            check_delta_conservation(self)
+        return result
+
+    def checked_compact(self, *args, **kwargs):
+        result = original_compact(self, *args, **kwargs)
+        if result is not None:
+            check_delta_conservation(self)
+        return result
+
     checked_build.__wrapped__ = original_build  # type: ignore[attr-defined]
     ZIndex._build = checked_build
     ZIndex.from_snapshot_state = classmethod(checked_from_state)
+    for name, wrapper, original in (
+        ("insert", checked_insert, original_insert),
+        ("delete", checked_delete, original_delete),
+        ("compact", checked_compact, original_compact),
+    ):
+        wrapper.__name__ = name
+        wrapper.__wrapped__ = original  # type: ignore[attr-defined]
+        setattr(OnlineIndex, name, wrapper)
     parity = KernelParityChecker(
         kernels.get_kernels(), kernels.reference_kernels(),
         sample_every=kernel_sample_every,
@@ -439,19 +525,27 @@ def install_sanitizer(*, kernel_sample_every: int = 4) -> None:
     _ORIGINALS = {
         "_build": original_build,
         "from_snapshot_state": original_from_state,
+        "online_insert": original_insert,
+        "online_delete": original_delete,
+        "online_compact": original_compact,
         "kernels": original_kernels,
     }
 
 
 def uninstall_sanitizer() -> None:
-    """Restore the pristine ``ZIndex`` entry points and kernel backend."""
+    """Restore the pristine ``ZIndex``/``OnlineIndex`` entry points and
+    kernel backend."""
     global _ORIGINALS
     if _ORIGINALS is None:
         return
     from repro import kernels
+    from repro.online.index import OnlineIndex
     from repro.zindex.base import ZIndex
 
     ZIndex._build = _ORIGINALS["_build"]
     ZIndex.from_snapshot_state = classmethod(_ORIGINALS["from_snapshot_state"])
+    OnlineIndex.insert = _ORIGINALS["online_insert"]
+    OnlineIndex.delete = _ORIGINALS["online_delete"]
+    OnlineIndex.compact = _ORIGINALS["online_compact"]
     kernels.set_kernels(_ORIGINALS["kernels"])
     _ORIGINALS = None

@@ -77,7 +77,8 @@ from repro.persistence import (
     save_snapshot,
     workload_fingerprint,
 )
-from repro.obs.instrument import EngineMetrics, plan_kind
+from repro.obs.instrument import EngineMetrics, OnlineMetrics, plan_kind
+from repro.online import MaintenanceLoop, MaintenancePolicy, OnlineIndex
 from repro.persistence.snapshot import json_clone
 from repro.plancache import MISS, PlanCache
 from repro.query import JoinQuery, KnnQuery, PointQuery, Query, RadiusQuery, RangeQuery
@@ -578,6 +579,9 @@ class SpatialEngine:
         #: Wall-clock seconds of the last build/adapt this engine ran
         #: itself; feeds the advise stage's break-even arithmetic.
         self._build_seconds = _build_seconds
+        #: The maintenance loop while the engine is online (see
+        #: :meth:`online`), or ``None``.
+        self._online_loop: Optional[MaintenanceLoop] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -707,6 +711,11 @@ class SpatialEngine:
         is marked as such so :meth:`open` serves it instead of rebuilding
         for the stale build-time workload.
         """
+        if isinstance(self.index, OnlineIndex):
+            raise ValueError(
+                "engine is online — call offline() to stop maintenance and "
+                "drain the delta buffer before save()"
+            )
         history = None
         if self.workload_log is not None and len(self.workload_log):
             history = self.workload_log.snapshot()
@@ -799,6 +808,75 @@ class SpatialEngine:
     def stop_recording(self) -> None:
         """Stop appending executed plans (the log and its contents remain)."""
         self._recording = False
+
+    # ------------------------------------------------------------------
+    # online lifecycle (see repro.online)
+    # ------------------------------------------------------------------
+    @property
+    def is_online(self) -> bool:
+        """Whether the engine is serving through an online (LSM) index."""
+        return isinstance(self.index, OnlineIndex)
+
+    @property
+    def online_loop(self) -> Optional[MaintenanceLoop]:
+        """The maintenance loop while online, or ``None``."""
+        return self._online_loop
+
+    def online(
+        self, policy: Optional[MaintenancePolicy] = None, *, start: bool = True
+    ) -> MaintenanceLoop:
+        """Switch to the online lifecycle: LSM writes + continuous adaptation.
+
+        Wraps the current index in an
+        :class:`~repro.online.OnlineIndex` (inserts and deletes land in
+        its delta buffer; queries serve the merged view), turns recording
+        on with the policy's sliding window installed on the workload
+        log, and attaches a :class:`~repro.online.MaintenanceLoop` that
+        compacts the delta and incrementally re-derives regressed
+        subtrees.  With ``start=True`` (default) the loop's background
+        thread starts ticking; either way the returned loop's
+        ``run_once()`` drives maintenance deterministically.
+
+        Idempotent: calling it again returns the existing loop (starting
+        it if asked).
+        """
+        if isinstance(self.index, OnlineIndex) and self._online_loop is not None:
+            if start:
+                self._online_loop.start()
+            return self._online_loop
+        policy = policy or MaintenancePolicy()
+        if not isinstance(self.index, OnlineIndex):
+            self.index = OnlineIndex(self.index)
+        log = self.start_recording()
+        if policy.window_size is not None:
+            log.window_size = policy.window_size
+        metrics = None
+        if self.metrics is not None:
+            metrics = OnlineMetrics(self.metrics.registry)
+        loop = MaintenanceLoop(self.index, log, policy, metrics=metrics)
+        self._online_loop = loop
+        if start:
+            loop.start()
+        return loop
+
+    def offline(self, *, compact: bool = True) -> "SpatialEngine":
+        """Leave the online lifecycle: stop maintenance, drain, unwrap.
+
+        Stops the background loop, compacts any buffered writes into the
+        columnar core, and rebinds the engine to the plain base index.
+        With ``compact=False`` buffered writes are *discarded* (the base
+        reverts to its last compacted contents).  No-op when not online.
+        """
+        loop = self._online_loop
+        if loop is not None:
+            loop.stop()
+            self._online_loop = None
+        index = self.index
+        if isinstance(index, OnlineIndex):
+            if compact:
+                index.compact()
+            self.index = index.base
+        return self
 
     @contextmanager
     def recording(self, enabled: bool = True):
@@ -951,7 +1029,34 @@ class SpatialEngine:
         leaf_capacity = recipe["leaf_capacity"]
         if tune_leaf_capacity:
             leaf_capacity = self._tuned_leaf_capacity(rects)
-        if isinstance(self.index, ZIndex):
+        if in_place and isinstance(self.index, OnlineIndex):
+            # The online path re-derives through the freeze → build →
+            # swap protocol, so writes arriving during the build stay
+            # visible and land in the new active delta.
+            captured: Dict = {}
+
+            def builder(points: List[Point]) -> SpatialIndex:
+                captured["points"] = points
+                return build_index(
+                    recipe["name"], points, rects,
+                    leaf_capacity=leaf_capacity, seed=recipe["seed"],
+                    **recipe["kwargs"],
+                )
+
+            start = time.perf_counter()
+            new_base = self.index.rebuild(builder)
+            build_seconds = time.perf_counter() - start
+            new_recipe = _make_recipe(
+                new_base, recipe["name"], captured["points"], rects,
+                leaf_capacity, recipe["seed"], recipe["kwargs"],
+            )
+            new_recipe["adapted"] = True
+            self._recipe = new_recipe
+            self._build_seconds = build_seconds
+            if self.metrics is not None:
+                self.metrics.observe_adapt(build_seconds)
+            return self
+        if isinstance(self.index, (ZIndex, OnlineIndex)):
             points = self.index.all_points()
         else:
             points = recipe["points"]

@@ -185,6 +185,60 @@ class EngineMetrics:
         self.registry.gauge("repro_last_adapt_seconds", **self._labels).set(seconds)
 
 
+class OnlineMetrics:
+    """Records the online write path: delta occupancy, compactions, adapt scope."""
+
+    __slots__ = ("registry", "_labels", "_ingest")
+
+    def __init__(self, registry: MetricsRegistry, **labels: object) -> None:
+        self.registry = registry
+        self._labels = {str(k): str(v) for k, v in labels.items()}
+        self._ingest: Dict[str, Counter] = {}
+
+    def observe_ingest(self, kind: str, count: int = 1) -> None:
+        """Record accepted writes (``kind`` is ``insert`` or ``delete``)."""
+        counter = self._ingest.get(kind)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_ingest_total", kind=kind, **self._labels
+            )
+            self._ingest[kind] = counter
+        counter.inc(count)
+
+    def observe_delta(self, stats: Mapping[str, object]) -> None:
+        """Record the delta buffer's current occupancy."""
+        self.registry.gauge("repro_delta_live_rows", **self._labels).set(
+            int(stats.get("live", 0))
+        )
+        self.registry.gauge("repro_delta_tombstones", **self._labels).set(
+            int(stats.get("tombstones", 0))
+        )
+
+    def observe_compaction(self, result: Mapping[str, object]) -> None:
+        """Record one completed compaction."""
+        self.registry.counter("repro_compactions_total", **self._labels).inc()
+        self.registry.gauge("repro_last_compaction_seconds", **self._labels).set(
+            float(result.get("seconds", 0.0))
+        )
+
+    def observe_tick(self) -> None:
+        """Record one maintenance-loop tick (manual or background)."""
+        self.registry.counter("repro_maintenance_ticks_total", **self._labels).inc()
+
+    def observe_incremental_adapt(self, report) -> None:
+        """Record one incremental-adapt pass and the fraction of leaves touched."""
+        if report.selected:
+            self.registry.counter(
+                "repro_incremental_adapts_total", **self._labels
+            ).inc()
+        self.registry.gauge("repro_incremental_adapt_scope", **self._labels).set(
+            report.scope
+        )
+        self.registry.gauge(
+            "repro_incremental_adapt_selected", **self._labels
+        ).set(report.selected)
+
+
 class ShardMetrics:
     """Records per-shard busy time and scan-cost deltas for a ShardedIndex."""
 

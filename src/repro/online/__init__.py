@@ -1,0 +1,42 @@
+"""Online ingest and continuous adaptation.
+
+The subsystem splits into three layers:
+
+- :mod:`repro.online.delta` — the LSM write path: a columnar memtable
+  (:class:`DeltaBuffer`) absorbing inserts and tombstoned deletes without
+  touching the built index, frozen into immutable :class:`DeltaView`
+  snapshots at compaction time.
+- :mod:`repro.online.index` — :class:`OnlineIndex`, a
+  :class:`~repro.interfaces.SpatialIndex` that merges base-index results
+  with the delta columns (byte-identical to an eagerly rebuilt index)
+  and compacts the buffer into the columnar core under the atomic
+  hot-swap + generation-counter machinery.
+- :mod:`repro.online.incremental` / :mod:`repro.online.maintenance` —
+  per-leaf cost attribution over a sliding workload window, scoped
+  subtree re-derive, and the background loop that drives compaction and
+  incremental adapt on cadence and thresholds.
+"""
+
+from repro.online.delta import DeltaBuffer, DeltaView
+from repro.online.incremental import (
+    IncrementalAdaptReport,
+    SubtreeRef,
+    incremental_adapt,
+    leaf_scan_costs,
+    subtree_candidates,
+)
+from repro.online.index import OnlineIndex
+from repro.online.maintenance import MaintenanceLoop, MaintenancePolicy
+
+__all__ = [
+    "DeltaBuffer",
+    "DeltaView",
+    "IncrementalAdaptReport",
+    "MaintenanceLoop",
+    "MaintenancePolicy",
+    "OnlineIndex",
+    "SubtreeRef",
+    "incremental_adapt",
+    "leaf_scan_costs",
+    "subtree_candidates",
+]

@@ -1,0 +1,231 @@
+"""The maintenance loop: compaction and incremental adapt on cadence.
+
+The online index absorbs writes into its delta buffer and keeps serving,
+but two jobs have to happen *eventually*: the delta must be compacted
+into the columnar core (size/age policy), and the layout must follow the
+workload (incremental adapt over the sliding window).
+:class:`MaintenanceLoop` owns both, either as a daemon thread ticking on
+an interval (:meth:`~MaintenanceLoop.start`) or driven explicitly
+(:meth:`~MaintenanceLoop.run_once` — what tests and benchmarks use, so
+the schedule is deterministic).
+
+Every tick consults :class:`MaintenancePolicy`:
+
+- **compact** when the delta holds at least ``compact_min_rows`` rows, or
+  holds anything older than ``compact_max_age_seconds``;
+- **incremental adapt** when the sliding workload window has at least
+  ``adapt_min_queries`` recorded queries — the window's equivalent
+  rectangles drive per-leaf cost attribution and only regressed subtrees
+  are re-derived (see :mod:`repro.online.incremental`).
+
+Per-subtree baselines persist across ticks in :attr:`MaintenanceLoop.
+baselines`, which is what keeps the loop convergent: a subtree that is
+hot because the workload lives there *and the layout already tracks it*
+is not rebuilt again until it regresses.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.online.incremental import (
+    DEFAULT_MIN_LEAF_CAPACITY,
+    DEFAULT_SCOPE_DEPTH,
+)
+from repro.online.index import OnlineIndex
+from repro.workload_log import WorkloadLog
+
+__all__ = ["MaintenanceLoop", "MaintenancePolicy"]
+
+
+@dataclass
+class MaintenancePolicy:
+    """When the loop compacts and when it adapts."""
+
+    #: Cadence of the background thread (ignored by :meth:`run_once`).
+    interval_seconds: float = 1.0
+    #: Compact once the delta buffer holds this many rows (inserts +
+    #: tombstones).
+    compact_min_rows: int = 4096
+    #: ... or once any buffered write is this old, whichever comes first.
+    compact_max_age_seconds: float = 30.0
+    #: Consider incremental adapt only with at least this many queries in
+    #: the sliding window (below it the cost attribution chases noise).
+    adapt_min_queries: int = 64
+    #: Sliding-window size installed on the engine's workload log by
+    #: ``SpatialEngine.online()`` (None leaves the log unbounded).
+    window_size: Optional[int] = 2048
+    #: Candidate-enumeration cut depth (see repro.online.incremental).
+    scope_depth: int = DEFAULT_SCOPE_DEPTH
+    #: Subtree cost density must exceed this multiple of the tree average.
+    hot_factor: float = 1.5
+    #: ... and this multiple of its post-re-derive baseline density.
+    regress_factor: float = 1.1
+    #: Floor for re-derived subtrees' tuned page size.
+    min_leaf_capacity: int = DEFAULT_MIN_LEAF_CAPACITY
+    #: Greedy split candidates per node during scoped re-derive.
+    num_candidates: int = 16
+    #: Seed of the scoped re-derive's candidate sampling.
+    seed: Optional[int] = 0
+
+
+class MaintenanceLoop:
+    """Drives compaction and incremental adapt for one online index."""
+
+    def __init__(
+        self,
+        index: OnlineIndex,
+        workload_log: Optional[WorkloadLog] = None,
+        policy: Optional[MaintenancePolicy] = None,
+        *,
+        metrics=None,
+    ) -> None:
+        self.index = index
+        self.workload_log = workload_log
+        self.policy = policy or MaintenancePolicy()
+        #: Optional :class:`repro.obs.instrument.OnlineMetrics` sink.
+        self.metrics = metrics
+        #: Per-subtree post-re-derive cost densities, shared across ticks.
+        self.baselines: dict = {}
+        self.ticks = 0
+        self.compactions = 0
+        self.incremental_adapts = 0
+        self.last_compaction: Optional[dict] = None
+        self.last_adapt_report = None
+        self.last_error: Optional[BaseException] = None
+        self._tick_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # one deterministic tick
+    # ------------------------------------------------------------------
+    def _should_compact(self) -> bool:
+        stats = self.index.delta_stats()
+        rows = stats["rows"]
+        if rows == 0:
+            return False
+        if rows >= self.policy.compact_min_rows:
+            return True
+        return self.index.delta_age_seconds() >= self.policy.compact_max_age_seconds
+
+    def _window_rects(self):
+        log = self.workload_log
+        if log is None:
+            return None
+        if (log.num_ranges + log.num_knn + log.num_radius) < self.policy.adapt_min_queries:
+            return None
+        workload = log.snapshot()
+        return workload.equivalent_rects(len(self.index), self.index.extent())
+
+    def run_once(self) -> dict:
+        """One maintenance tick: compact if due, adapt if the window says so.
+
+        Deterministic and synchronous — benchmarks and tests call this on
+        their own clock instead of racing the background thread.
+        """
+        with self._tick_lock:
+            summary = {"compacted": False, "adapted": False, "scope": 0.0}
+            policy = self.policy
+            if self._should_compact():
+                result = self.index.compact()
+                if result is not None:
+                    self.compactions += 1
+                    self.last_compaction = result
+                    summary["compacted"] = True
+                    summary["compaction"] = result
+                    if self.metrics is not None:
+                        self.metrics.observe_compaction(result)
+            rects = self._window_rects()
+            if rects:
+                report = self.index.incremental_adapt(
+                    rects,
+                    scope_depth=policy.scope_depth,
+                    hot_factor=policy.hot_factor,
+                    regress_factor=policy.regress_factor,
+                    baselines=self.baselines,
+                    num_candidates=policy.num_candidates,
+                    seed=policy.seed,
+                    min_leaf_capacity=policy.min_leaf_capacity,
+                )
+                self.last_adapt_report = report
+                summary["scope"] = report.scope
+                if report.selected:
+                    self.incremental_adapts += 1
+                    summary["adapted"] = True
+                if self.metrics is not None:
+                    self.metrics.observe_incremental_adapt(report)
+            self.ticks += 1
+            if self.metrics is not None:
+                self.metrics.observe_tick()
+                self.metrics.observe_delta(self.index.delta_stats())
+            return summary
+
+    # ------------------------------------------------------------------
+    # background thread
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "MaintenanceLoop":
+        """Start the daemon thread (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-maintenance", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.policy.interval_seconds):
+            try:
+                self.run_once()
+            except Exception as exc:  # keep the loop alive; surface via status()
+                self.last_error = exc
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Signal the thread and join it (no-op when not running)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+        self._thread = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """A JSON-ready snapshot of the loop (the /maintenance route body)."""
+        report = self.last_adapt_report
+        return {
+            "running": self.running,
+            "ticks": self.ticks,
+            "compactions": self.compactions,
+            "incremental_adapts": self.incremental_adapts,
+            "delta": self.index.delta_stats(),
+            "delta_age_seconds": self.index.delta_age_seconds(),
+            "last_compaction": self.last_compaction,
+            "last_adapt": None if report is None else {
+                "candidates": report.candidates,
+                "selected": report.selected,
+                "leaves_total": report.leaves_total,
+                "leaves_rederived": report.leaves_rederived,
+                "new_leaves": report.new_leaves,
+                "scope": report.scope,
+                "seconds": report.seconds,
+            },
+            "last_error": None if self.last_error is None else repr(self.last_error),
+            "policy": {
+                "interval_seconds": self.policy.interval_seconds,
+                "compact_min_rows": self.policy.compact_min_rows,
+                "compact_max_age_seconds": self.policy.compact_max_age_seconds,
+                "adapt_min_queries": self.policy.adapt_min_queries,
+                "window_size": self.policy.window_size,
+                "scope_depth": self.policy.scope_depth,
+            },
+        }

@@ -10,6 +10,10 @@ The service exposes the engine's whole serving lifecycle over HTTP:
 * ``GET /metrics`` — the attached registry in Prometheus text format.
 * ``POST /advise`` — score the current layout against observed traffic.
 * ``POST /adapt``  — re-derive the layout and hot-swap it atomically.
+* ``POST /ingest`` — absorb inserts/deletes into the online delta buffer
+  (409 unless the engine is online, see :meth:`SpatialEngine.online`).
+* ``GET/POST /maintenance`` — the maintenance loop's status, or drive it
+  (``run_once`` / ``start`` / ``stop``; POST is 409 when not online).
 * ``GET /healthz`` — liveness.
 
 Failures follow the :mod:`repro.service.errors` taxonomy, so clients
@@ -124,6 +128,14 @@ class SpatialService:
             index, "attach_metrics"
         ):
             index.attach_metrics(registry)
+        # An engine taken online before the service attached its registry
+        # has a maintenance loop with no metrics sink — backfill it so
+        # /ingest and /maintenance observations land in /metrics.
+        loop = getattr(self.engine, "online_loop", None)
+        if loop is not None and loop.metrics is None:
+            from repro.obs.instrument import OnlineMetrics
+
+            loop.metrics = OnlineMetrics(registry)
         if record:
             self.engine.start_recording()
         self.verbose = verbose
@@ -281,6 +293,105 @@ class SpatialService:
             "seconds": engine._build_seconds,
         }
 
+    # -- online lifecycle (repro.online) -------------------------------
+    def _require_online(self):
+        """The engine's maintenance loop, or 409 when not online."""
+        loop = self.engine.online_loop
+        if not self.engine.is_online or loop is None:
+            raise ConflictError(
+                "engine is not online — start the service with --online "
+                "(or call engine.online()) to enable ingest and maintenance"
+            )
+        return loop
+
+    @staticmethod
+    def _parse_coord_list(payload: Dict, key: str) -> list:
+        rows = payload.get(key, [])
+        if rows is None:
+            return []
+        if not isinstance(rows, list):
+            raise BadRequestError(f"'{key}' must be a list of [x, y] pairs")
+        points = []
+        for row in rows:
+            if not isinstance(row, (list, tuple)) or len(row) != 2:
+                raise BadRequestError(
+                    f"'{key}' entries must be [x, y] pairs, got {row!r}"
+                )
+            try:
+                points.append(Point(float(row[0]), float(row[1])))
+            except (TypeError, ValueError) as exc:
+                raise BadRequestError(f"invalid {key} entry {row!r}: {exc}") from exc
+        return points
+
+    def handle_ingest(self, payload: Dict) -> Dict[str, object]:
+        """Absorb inserts/deletes into the online index's delta buffer."""
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        loop = self._require_online()
+        inserts = self._parse_coord_list(payload, "insert")
+        deletes = self._parse_coord_list(payload, "delete")
+        if not inserts and not deletes:
+            raise BadRequestError("nothing to ingest: provide 'insert' and/or 'delete'")
+        index = self.engine.index
+        deleted = 0
+        with self._lock:
+            for point in inserts:
+                try:
+                    index.insert(point)
+                except ValueError as exc:
+                    raise BadRequestError(str(exc)) from exc
+            for point in deletes:
+                if index.delete(point):
+                    deleted += 1
+        metrics = loop.metrics
+        if metrics is not None:
+            if inserts:
+                metrics.observe_ingest("insert", len(inserts))
+            if deleted:
+                metrics.observe_ingest("delete", deleted)
+            metrics.observe_delta(index.delta_stats())
+        return {
+            "inserted": len(inserts),
+            "deleted": deleted,
+            "delete_misses": len(deletes) - deleted,
+            "num_points": len(index),
+            "delta": index.delta_stats(),
+        }
+
+    def handle_maintenance_status(self) -> Dict[str, object]:
+        """The maintenance loop's status (``online: false`` when offline)."""
+        loop = self.engine.online_loop
+        if not self.engine.is_online or loop is None:
+            return {"online": False}
+        status = loop.status()
+        status["online"] = True
+        return status
+
+    def handle_maintenance(self, payload: Dict) -> Dict[str, object]:
+        """Drive the maintenance loop: run_once (default), start, or stop."""
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        loop = self._require_online()
+        action = payload.get("action", "run_once")
+        if action == "run_once":
+            with self._lock:
+                summary = loop.run_once()
+            body: Dict[str, object] = {"action": action, "summary": summary}
+        elif action == "start":
+            loop.start()
+            body = {"action": action}
+        elif action == "stop":
+            loop.stop()
+            body = {"action": action}
+        else:
+            raise BadRequestError(
+                f"unknown action {action!r} (expected run_once/start/stop)"
+            )
+        status = loop.status()
+        status["online"] = True
+        body["status"] = status
+        return body
+
     def handle_healthz(self) -> Dict[str, object]:
         return {
             "status": "ok",
@@ -341,7 +452,10 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 self._send_json(200, handler())
                 return
-            if path in ("/query", "/advise", "/adapt"):
+            if path == "/maintenance" and method == "GET":
+                self._send_json(200, service.handle_maintenance_status())
+                return
+            if path in ("/query", "/advise", "/adapt", "/ingest", "/maintenance"):
                 if method != "POST":
                     raise MethodNotAllowedError(f"{path} only supports POST")
                 payload = self._read_json()
@@ -349,6 +463,8 @@ class _Handler(BaseHTTPRequestHandler):
                     "/query": service.handle_query,
                     "/advise": service.handle_advise,
                     "/adapt": service.handle_adapt,
+                    "/ingest": service.handle_ingest,
+                    "/maintenance": service.handle_maintenance,
                 }[path]
                 self._send_json(200, handler(payload))
                 return

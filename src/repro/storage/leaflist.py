@@ -431,6 +431,46 @@ class LeafList:
                     entry.right += shift
         self._packed = None
 
+    def splice_span(self, low: int, high: int, replacements: Sequence[LeafEntry]) -> None:
+        """Replace the contiguous span ``[low, high]`` with ``replacements``.
+
+        The span generalization of :meth:`splice`, used by incremental
+        subtree re-derive: a subtree's leaves occupy a contiguous run of
+        the curve-ordered list, and the rebuilt subtree's leaves take their
+        place in one structural edit.  The same pointer invariants apply —
+        suffix look-ahead targets always aimed *past* ``high`` (pointers
+        only ever go forward), so they survive under a uniform shift, while
+        prefix and replacement pointers are left for
+        :func:`repro.zindex.skipping.repair_lookahead_pointers`.
+        """
+        if not replacements:
+            raise ValueError("splice_span requires at least one replacement entry")
+        if low < 0 or high >= len(self.entries) or low > high:
+            raise IndexError(f"invalid splice span [{low}, {high}] for {len(self.entries)} entries")
+        shift = len(replacements) - (high - low + 1)
+        entries = self.entries
+        entries[low : high + 1] = list(replacements)
+        n = len(entries)
+        for position in range(low, n):
+            entry = entries[position]
+            entry.order = position
+            entry.next_index = position + 1 if position + 1 < n else END_OF_LIST
+            node = entry.node
+            if node is not None:
+                node.leaf_index = position
+        if shift:
+            for position in range(low + len(replacements), n):
+                entry = entries[position]
+                if entry.below != END_OF_LIST:
+                    entry.below += shift
+                if entry.above != END_OF_LIST:
+                    entry.above += shift
+                if entry.left != END_OF_LIST:
+                    entry.left += shift
+                if entry.right != END_OF_LIST:
+                    entry.right += shift
+        self._packed = None
+
     # -- consistency checks (used by tests and debug assertions) ----------
     def check_linked(self) -> bool:
         """Verify the next pointers form a single chain in list order."""

@@ -15,9 +15,19 @@ leave on in production (the adapt benchmark asserts < 10% overhead on the
 batched range path at 100k points), which is what turns the paper's
 build-time "anticipated workload" into a runtime *observed* one.
 
-:meth:`WorkloadLog.snapshot` freezes the current contents into a
-first-class :class:`~repro.workloads.Workload`, the object the advise and
-adapt stages (and the persistence layer) consume.
+Every recorded row is stamped with a monotonically increasing sequence
+number, and the log can run in a **bounded sliding-window mode**
+(``window_size=N``): only the most recent ``N`` rows per kind stay live,
+older rows are evicted ring-style as new traffic arrives.  That is what
+lets the online maintenance loop advise over *recent* traffic instead of
+the whole history, and what bounds the log's footprint under
+``record=True`` in a long-lived server.  :meth:`evict_before` drops rows
+older than a sequence number explicitly (e.g. after an adapt consumed
+them).
+
+:meth:`WorkloadLog.snapshot` freezes the current (windowed) contents into
+a first-class :class:`~repro.workloads.Workload`, the object the advise
+and adapt stages (and the persistence layer) consume.
 """
 
 from __future__ import annotations
@@ -35,53 +45,155 @@ __all__ = ["WorkloadLog"]
 _INITIAL_CAPACITY = 256
 
 
-def _grown(array: np.ndarray, used: int, needed: int) -> np.ndarray:
-    """Return ``array`` with capacity for ``used + needed`` rows (amortised)."""
-    capacity = array.shape[0]
-    required = used + needed
-    if required <= capacity:
-        return array
-    new_capacity = max(required, capacity * 2, _INITIAL_CAPACITY)
-    shape = (new_capacity,) + array.shape[1:]
-    grown = np.empty(shape, dtype=array.dtype)
-    grown[:used] = array[:used]
-    return grown
+def _compacted(arrays, lo: int, used: int, needed: int):
+    """Give the parallel ``arrays`` room for ``needed`` rows past ``used``.
+
+    Evicted rows (before ``lo``) are reclaimed first: when the append would
+    overflow but the *live* rows plus the new ones fit in the existing
+    capacity, the live region is shifted to the front in place; otherwise
+    the buffers grow geometrically and only the live rows are copied.
+    Returns ``(arrays, lo, used)`` with the (possibly moved) live region.
+    """
+    capacity = arrays[0].shape[0]
+    if used + needed <= capacity:
+        return arrays, lo, used
+    live = used - lo
+    if live + needed <= capacity:
+        for array in arrays:
+            array[:live] = array[lo:used].copy()
+        return arrays, 0, live
+    new_capacity = max(live + needed, capacity * 2, _INITIAL_CAPACITY)
+    grown = []
+    for array in arrays:
+        shape = (new_capacity,) + array.shape[1:]
+        fresh = np.empty(shape, dtype=array.dtype)
+        fresh[:live] = array[lo:used]
+        grown.append(fresh)
+    return grown, 0, live
 
 
 class WorkloadLog:
-    """Columnar append-only log of observed range / kNN / radius queries."""
+    """Columnar append-only log of observed range / kNN / radius queries.
+
+    Parameters
+    ----------
+    window_size:
+        ``None`` (the default) keeps every recorded row — the original
+        unbounded behaviour.  A positive integer keeps only the most
+        recent ``window_size`` rows *per kind* live; older rows are
+        evicted as new ones arrive (ring semantics).  The bound can be
+        changed later through the :attr:`window_size` property.
+    """
 
     __slots__ = (
-        "_ranges", "_range_counts", "_num_ranges",
-        "_knn", "_num_knn",
-        "_radius", "_num_radius",
+        "_ranges", "_range_counts", "_range_seq", "_num_ranges", "_range_lo",
+        "_knn", "_knn_seq", "_num_knn", "_knn_lo",
+        "_radius", "_radius_seq", "_num_radius", "_radius_lo",
+        "_window", "_next_seq",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, window_size: Optional[int] = None) -> None:
         self._ranges = np.empty((_INITIAL_CAPACITY, 4), dtype=np.float64)
         self._range_counts = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._range_seq = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
         self._num_ranges = 0
+        self._range_lo = 0
         # kNN rows are [x, y, k]; radius rows are [x, y, radius].
         self._knn = np.empty((_INITIAL_CAPACITY, 3), dtype=np.float64)
+        self._knn_seq = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
         self._num_knn = 0
+        self._knn_lo = 0
         self._radius = np.empty((_INITIAL_CAPACITY, 3), dtype=np.float64)
+        self._radius_seq = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
         self._num_radius = 0
+        self._radius_lo = 0
+        self._window = None
+        self._next_seq = 0
+        if window_size is not None:
+            self.window_size = window_size
+
+    # ------------------------------------------------------------------
+    # sliding window
+    # ------------------------------------------------------------------
+    @property
+    def window_size(self) -> Optional[int]:
+        """The per-kind retention bound (``None`` = unbounded)."""
+        return self._window
+
+    @window_size.setter
+    def window_size(self, value: Optional[int]) -> None:
+        if value is not None:
+            value = int(value)
+            if value <= 0:
+                raise ValueError(f"window_size must be positive, got {value}")
+        self._window = value
+        self._enforce_window()
+
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next recorded row will receive."""
+        return self._next_seq
+
+    def _enforce_window(self) -> None:
+        window = self._window
+        if window is None:
+            return
+        if self._num_ranges - self._range_lo > window:
+            self._range_lo = self._num_ranges - window
+        if self._num_knn - self._knn_lo > window:
+            self._knn_lo = self._num_knn - window
+        if self._num_radius - self._radius_lo > window:
+            self._radius_lo = self._num_radius - window
+
+    def evict_before(self, seq: int) -> int:
+        """Drop every recorded row with sequence number below ``seq``.
+
+        Returns the number of rows evicted.  Used by consumers that have
+        fully digested a prefix of the log (e.g. the maintenance loop
+        after an adapt) — the buffers are reclaimed lazily by the next
+        appends.
+        """
+        evicted = 0
+        lo = self._range_lo + int(np.searchsorted(
+            self._range_seq[self._range_lo:self._num_ranges], seq, side="left"))
+        evicted += lo - self._range_lo
+        self._range_lo = lo
+        lo = self._knn_lo + int(np.searchsorted(
+            self._knn_seq[self._knn_lo:self._num_knn], seq, side="left"))
+        evicted += lo - self._knn_lo
+        self._knn_lo = lo
+        lo = self._radius_lo + int(np.searchsorted(
+            self._radius_seq[self._radius_lo:self._num_radius], seq, side="left"))
+        evicted += lo - self._radius_lo
+        self._radius_lo = lo
+        return evicted
+
+    def _claim_seqs(self, num: int) -> np.ndarray:
+        first = self._next_seq
+        self._next_seq = first + num
+        return np.arange(first, first + num, dtype=np.int64)
 
     # ------------------------------------------------------------------
     # appends
     # ------------------------------------------------------------------
     def record_range(self, rect: Rect, count: int = -1) -> None:
         """Append one observed range query (``count`` = result size, -1 unknown)."""
-        n = self._num_ranges
-        self._ranges = _grown(self._ranges, n, 1)
-        self._range_counts = _grown(self._range_counts, n, 1)
+        (self._ranges, self._range_counts, self._range_seq), self._range_lo, n = (
+            _compacted(
+                (self._ranges, self._range_counts, self._range_seq),
+                self._range_lo, self._num_ranges, 1,
+            )
+        )
         row = self._ranges[n]
         row[0] = rect.xmin
         row[1] = rect.ymin
         row[2] = rect.xmax
         row[3] = rect.ymax
         self._range_counts[n] = count
+        self._range_seq[n] = self._next_seq
+        self._next_seq += 1
         self._num_ranges = n + 1
+        self._enforce_window()
 
     def record_ranges(
         self,
@@ -102,89 +214,115 @@ class WorkloadLog:
         num = block.shape[0]
         if num == 0:
             return
-        n = self._num_ranges
-        self._ranges = _grown(self._ranges, n, num)
-        self._range_counts = _grown(self._range_counts, n, num)
+        (self._ranges, self._range_counts, self._range_seq), self._range_lo, n = (
+            _compacted(
+                (self._ranges, self._range_counts, self._range_seq),
+                self._range_lo, self._num_ranges, num,
+            )
+        )
         self._ranges[n:n + num] = block
         if counts is None:
             self._range_counts[n:n + num] = -1
         else:
             self._range_counts[n:n + num] = np.asarray(counts, dtype=np.int64)
+        self._range_seq[n:n + num] = self._claim_seqs(num)
         self._num_ranges = n + num
+        self._enforce_window()
 
     def record_knn(self, center: Point, k: int) -> None:
         """Append one observed kNN probe."""
-        n = self._num_knn
-        self._knn = _grown(self._knn, n, 1)
+        (self._knn, self._knn_seq), self._knn_lo, n = _compacted(
+            (self._knn, self._knn_seq), self._knn_lo, self._num_knn, 1
+        )
         row = self._knn[n]
         row[0] = center.x
         row[1] = center.y
         row[2] = k
+        self._knn_seq[n] = self._next_seq
+        self._next_seq += 1
         self._num_knn = n + 1
+        self._enforce_window()
 
     def record_knns(self, centers: Sequence[Point], k: int) -> None:
         """Append a batch of observed kNN probes sharing one ``k``."""
         num = len(centers)
         if num == 0:
             return
-        n = self._num_knn
-        self._knn = _grown(self._knn, n, num)
+        (self._knn, self._knn_seq), self._knn_lo, n = _compacted(
+            (self._knn, self._knn_seq), self._knn_lo, self._num_knn, num
+        )
         block = self._knn[n:n + num]
         for i, center in enumerate(centers):
             row = block[i]
             row[0] = center.x
             row[1] = center.y
         block[:, 2] = k
+        self._knn_seq[n:n + num] = self._claim_seqs(num)
         self._num_knn = n + num
+        self._enforce_window()
 
     def record_radius(self, center: Point, radius: float) -> None:
         """Append one observed radius probe."""
-        n = self._num_radius
-        self._radius = _grown(self._radius, n, 1)
+        (self._radius, self._radius_seq), self._radius_lo, n = _compacted(
+            (self._radius, self._radius_seq), self._radius_lo, self._num_radius, 1
+        )
         row = self._radius[n]
         row[0] = center.x
         row[1] = center.y
         row[2] = radius
+        self._radius_seq[n] = self._next_seq
+        self._next_seq += 1
         self._num_radius = n + 1
+        self._enforce_window()
 
     def record_radii(self, centers: Sequence[Point], radius: float) -> None:
         """Append a batch of observed radius probes sharing one radius."""
         num = len(centers)
         if num == 0:
             return
-        n = self._num_radius
-        self._radius = _grown(self._radius, n, num)
+        (self._radius, self._radius_seq), self._radius_lo, n = _compacted(
+            (self._radius, self._radius_seq), self._radius_lo, self._num_radius, num
+        )
         block = self._radius[n:n + num]
         for i, center in enumerate(centers):
             row = block[i]
             row[0] = center.x
             row[1] = center.y
         block[:, 2] = radius
+        self._radius_seq[n:n + num] = self._claim_seqs(num)
         self._num_radius = n + num
+        self._enforce_window()
 
     def extend(self, workload: Workload) -> None:
         """Append every query of a :class:`Workload` (restoring history)."""
         if workload.num_ranges:
             self.record_ranges(workload.ranges)
         if workload.num_knn:
-            n = self._num_knn
             num = workload.num_knn
-            self._knn = _grown(self._knn, n, num)
+            (self._knn, self._knn_seq), self._knn_lo, n = _compacted(
+                (self._knn, self._knn_seq), self._knn_lo, self._num_knn, num
+            )
             self._knn[n:n + num, :2] = workload.knn_probes
             self._knn[n:n + num, 2] = workload.knn_k
+            self._knn_seq[n:n + num] = self._claim_seqs(num)
             self._num_knn = n + num
         if workload.num_radius:
-            n = self._num_radius
             num = workload.num_radius
-            self._radius = _grown(self._radius, n, num)
+            (self._radius, self._radius_seq), self._radius_lo, n = _compacted(
+                (self._radius, self._radius_seq), self._radius_lo, self._num_radius, num
+            )
             self._radius[n:n + num, :2] = workload.radius_probes
             self._radius[n:n + num, 2] = workload.radius_radii
+            self._radius_seq[n:n + num] = self._claim_seqs(num)
             self._num_radius = n + num
+        self._enforce_window()
 
     @classmethod
-    def from_workload(cls, workload: Workload) -> "WorkloadLog":
+    def from_workload(
+        cls, workload: Workload, window_size: Optional[int] = None
+    ) -> "WorkloadLog":
         """A log pre-seeded with a workload (e.g. restored history)."""
-        log = cls()
+        log = cls(window_size=window_size)
         log.extend(workload)
         return log
 
@@ -193,76 +331,91 @@ class WorkloadLog:
     # ------------------------------------------------------------------
     @property
     def num_ranges(self) -> int:
-        return self._num_ranges
+        return self._num_ranges - self._range_lo
 
     @property
     def num_knn(self) -> int:
-        return self._num_knn
+        return self._num_knn - self._knn_lo
 
     @property
     def num_radius(self) -> int:
-        return self._num_radius
+        return self._num_radius - self._radius_lo
 
     def __len__(self) -> int:
-        return self._num_ranges + self._num_knn + self._num_radius
+        return self.num_ranges + self.num_knn + self.num_radius
 
     def __bool__(self) -> bool:
         return len(self) > 0
 
     @property
     def range_rects(self) -> np.ndarray:
-        """Read-only view of the recorded ``(n, 4)`` rectangle rows.
+        """Read-only view of the live ``(n, 4)`` rectangle rows.
 
         The view aliases the log's buffer and is invalidated by the next
         append that grows it; snapshot() for a stable copy.
         """
-        view = self._ranges[:self._num_ranges]
+        view = self._ranges[self._range_lo:self._num_ranges]
         view.setflags(write=False)
         return view
 
     @property
     def range_counts(self) -> np.ndarray:
-        """Read-only view of the recorded result counts (-1 = unknown)."""
-        view = self._range_counts[:self._num_ranges]
+        """Read-only view of the live result counts (-1 = unknown)."""
+        view = self._range_counts[self._range_lo:self._num_ranges]
+        view.setflags(write=False)
+        return view
+
+    @property
+    def range_seqs(self) -> np.ndarray:
+        """Read-only view of the live range rows' sequence numbers."""
+        view = self._range_seq[self._range_lo:self._num_ranges]
         view.setflags(write=False)
         return view
 
     @property
     def knn_probes(self) -> np.ndarray:
-        """Read-only view of the recorded ``(n, 3)`` knn rows ``[x, y, k]``.
+        """Read-only view of the live ``(n, 3)`` knn rows ``[x, y, k]``.
 
         Like :attr:`range_rects`, the view aliases the live buffer; take a
         copy (or :meth:`snapshot`) before holding on to it.
         """
-        view = self._knn[:self._num_knn]
+        view = self._knn[self._knn_lo:self._num_knn]
         view.setflags(write=False)
         return view
 
     @property
     def radius_probes(self) -> np.ndarray:
         """Read-only view of the ``(n, 3)`` radius rows ``[x, y, radius]``."""
-        view = self._radius[:self._num_radius]
+        view = self._radius[self._radius_lo:self._num_radius]
         view.setflags(write=False)
         return view
 
     def nbytes(self) -> int:
         """Bytes held by the log's buffers (capacity, not just used rows)."""
         return (
-            self._ranges.nbytes + self._range_counts.nbytes
-            + self._knn.nbytes + self._radius.nbytes
+            self._ranges.nbytes + self._range_counts.nbytes + self._range_seq.nbytes
+            + self._knn.nbytes + self._knn_seq.nbytes
+            + self._radius.nbytes + self._radius_seq.nbytes
         )
 
     def clear(self) -> None:
-        """Drop every recorded query (buffers are kept for reuse)."""
+        """Drop every recorded query (buffers are kept for reuse).
+
+        Sequence numbers keep increasing across a clear so that
+        :meth:`evict_before` cursors held by consumers stay meaningful.
+        """
         self._num_ranges = 0
+        self._range_lo = 0
         self._num_knn = 0
+        self._knn_lo = 0
         self._num_radius = 0
+        self._radius_lo = 0
 
     # ------------------------------------------------------------------
     # snapshot
     # ------------------------------------------------------------------
     def snapshot(self, **metadata) -> Workload:
-        """Freeze the current contents into an immutable :class:`Workload`.
+        """Freeze the current (windowed) contents into a :class:`Workload`.
 
         Extra keyword arguments become the workload's metadata fields
         (``region``, ``description``, ...).  Result counts are summarised
@@ -280,7 +433,7 @@ class WorkloadLog:
         that coercion ever learns to adopt arrays.
         """
         extra = dict(metadata.pop("extra", ()) or {})
-        counts = self._range_counts[:self._num_ranges]
+        counts = self._range_counts[self._range_lo:self._num_ranges]
         known = counts >= 0
         extra.setdefault("observed_range_counts_known", int(np.count_nonzero(known)))
         if known.any():
@@ -288,16 +441,17 @@ class WorkloadLog:
         metadata.setdefault("description", "observed workload")
         return Workload(
             extra=extra,
-            ranges=self._ranges[:self._num_ranges].copy(),
-            knn_probes=self._knn[:self._num_knn, :2].copy(),
-            knn_k=self._knn[:self._num_knn, 2].astype(np.int64, copy=True),
-            radius_probes=self._radius[:self._num_radius, :2].copy(),
-            radius_radii=self._radius[:self._num_radius, 2].copy(),
+            ranges=self._ranges[self._range_lo:self._num_ranges].copy(),
+            knn_probes=self._knn[self._knn_lo:self._num_knn, :2].copy(),
+            knn_k=self._knn[self._knn_lo:self._num_knn, 2].astype(np.int64, copy=True),
+            radius_probes=self._radius[self._radius_lo:self._num_radius, :2].copy(),
+            radius_radii=self._radius[self._radius_lo:self._num_radius, 2].copy(),
             **metadata,
         )
 
     def __repr__(self) -> str:
+        bound = "" if self._window is None else f", window={self._window}"
         return (
-            f"WorkloadLog({self._num_ranges} ranges, {self._num_knn} knn, "
-            f"{self._num_radius} radius)"
+            f"WorkloadLog({self.num_ranges} ranges, {self.num_knn} knn, "
+            f"{self.num_radius} radius{bound})"
         )

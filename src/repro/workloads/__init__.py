@@ -51,6 +51,7 @@ from repro.workloads.drift import (
     DriftPhase,
     drift_scenario,
     hotspot_workload,
+    moving_hotspot,
     uniform_centers_workload,
 )
 
@@ -62,6 +63,7 @@ __all__ = [
     "DriftPhase",
     "drift_scenario",
     "hotspot_workload",
+    "moving_hotspot",
     "uniform_centers_workload",
     "REGION_NAMES",
     "RegionSpec",

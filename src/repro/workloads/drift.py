@@ -43,6 +43,7 @@ __all__ = [
     "DriftPhase",
     "drift_scenario",
     "hotspot_workload",
+    "moving_hotspot",
     "uniform_centers_workload",
 ]
 
@@ -169,6 +170,55 @@ def _knn_heavy_workload(
         knn_probes=probes,
         knn_k=k if num_knn else None,
     )
+
+
+def moving_hotspot(
+    region: str = "newyork",
+    num_steps: int = 10,
+    queries_per_step: int = 100,
+    selectivity_percent: float = 0.0064,
+    *,
+    start: Tuple[float, float] = (0.15, 0.15),
+    end: Tuple[float, float] = (0.85, 0.85),
+    hotspot_fraction: float = 0.12,
+    seed: int = 0,
+) -> List[DriftPhase]:
+    """Continuous drift: a hotspot translating smoothly across the extent.
+
+    Where the piecewise-stationary scenarios model abrupt regime changes,
+    this one models the traffic a *continuously* adapting engine must
+    track: every step the hotspot's (relative) center moves one linear
+    interpolation increment from ``start`` towards ``end``, and a fresh
+    batch of ``queries_per_step`` small range queries concentrates around
+    the new position.  A one-shot adapted layout fits step 0 and decays
+    as the hotspot walks away from it — exactly the gap
+    ``benchmarks/bench_online.py`` measures.
+
+    Returns ``num_steps`` single-batch :class:`DriftPhase` objects
+    (``step-00``, ``step-01``, …), deterministic given ``seed``.
+    """
+    if num_steps <= 0:
+        raise ValueError(f"num_steps must be positive, got {num_steps}")
+    if queries_per_step <= 0:
+        raise ValueError(
+            f"queries_per_step must be positive, got {queries_per_step}"
+        )
+    phases: List[DriftPhase] = []
+    for step in range(num_steps):
+        t = step / (num_steps - 1) if num_steps > 1 else 0.0
+        center = (
+            start[0] + t * (end[0] - start[0]),
+            start[1] + t * (end[1] - start[1]),
+        )
+        phases.append(DriftPhase(
+            f"step-{step:02d}",
+            hotspot_workload(
+                region, queries_per_step, selectivity_percent,
+                hotspot_center=center, hotspot_fraction=hotspot_fraction,
+                seed=seed + step,
+            ),
+        ))
+    return phases
 
 
 def drift_scenario(

@@ -1075,6 +1075,73 @@ class ZIndex(SpatialIndex):
             repair_lookahead_pointers(self.leaflist, index, len(new_entries))
         self._invalidate_flat(stale_budget=self._STALE_SCAN_BUDGET)
 
+    def rederive_subtree(
+        self,
+        node: ZNode,
+        parent: Optional[InternalNode],
+        quadrant: int,
+        *,
+        split_strategy: Optional[SplitStrategy] = None,
+        leaf_capacity: Optional[int] = None,
+    ) -> int:
+        """Rebuild one subtree under a (possibly different) split policy and splice it in.
+
+        The incremental-adapt primitive: instead of rebuilding the whole
+        layout when the workload drifts, only the subtree whose observed
+        scan cost regressed is re-derived — its points are gathered from
+        the contiguous run of curve-ordered leaves it owns, rebuilt with
+        ``split_strategy``/``leaf_capacity`` scoped to this call, and the
+        new leaves replace the old run via
+        :meth:`~repro.storage.LeafList.splice_span`.  ``parent`` is the
+        subtree's parent node (``None`` when ``node`` is the root) and
+        ``quadrant`` its child slot in ``parent``.
+
+        Returns the number of leaves in the re-derived subtree.
+        """
+        leaves = list(iter_leaves_in_curve_order(node))
+        if not leaves:
+            return 0
+        low = leaves[0].leaf_index
+        high = leaves[-1].leaf_index
+        if [leaf.leaf_index for leaf in leaves] != list(range(low, high + 1)):
+            raise AssertionError("subtree leaves are not a contiguous curve-order span")
+        total = sum(self.leaflist[i].num_points for i in range(low, high + 1))
+        array = np.empty((total, 2), dtype=np.float64)
+        offset = 0
+        for i in range(low, high + 1):
+            page = self.leaflist[i].page
+            n = len(page)
+            array[offset : offset + n, 0] = page.xs
+            array[offset : offset + n, 1] = page.ys
+            offset += n
+        saved_strategy = self.split_strategy
+        saved_capacity = self.leaf_capacity
+        try:
+            if split_strategy is not None:
+                self.split_strategy = split_strategy
+            if leaf_capacity is not None:
+                self.leaf_capacity = leaf_capacity
+            replacement = self._build_node(node.cell, array, depth=0)
+        finally:
+            self.split_strategy = saved_strategy
+            self.leaf_capacity = saved_capacity
+        if parent is None:
+            self.root = replacement
+        else:
+            parent.children[quadrant] = replacement
+        new_entries: List[LeafEntry] = []
+        for new_leaf in iter_leaves_in_curve_order(replacement):
+            new_page = new_leaf._pending_page  # type: ignore[attr-defined]
+            del new_leaf._pending_page  # type: ignore[attr-defined]
+            new_entry = LeafEntry(cell=new_leaf.cell, page=new_page, node=new_leaf)
+            new_leaf._entry = new_entry  # type: ignore[attr-defined]
+            new_entries.append(new_entry)
+        self.leaflist.splice_span(low, high, new_entries)
+        if self.use_skipping:
+            repair_lookahead_pointers(self.leaflist, low, len(new_entries))
+        self._invalidate_flat()
+        return len(new_entries)
+
     def delete(self, point: Point) -> bool:
         """Delete one occurrence of ``point``; merges underfull sibling leaves.
 

@@ -171,3 +171,84 @@ class TestServeSubprocess:
         with urllib.request.urlopen(server + "/stats") as response:
             stats = json.loads(response.read())
         assert stats["num_shards"] == 2
+
+
+class TestServeOnlineSubprocess:
+    @pytest.fixture(scope="class")
+    def server(self, tmp_path_factory):
+        tmp = tmp_path_factory.mktemp("serve_online")
+        snapshot = tmp / "online.snapshot"
+        assert main(["build", str(snapshot), "--num-points", "3000",
+                     "--workload-queries", "40"]) == 0
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(snapshot),
+             "--port", "0", "--quiet", "--online",
+             "--maintenance-interval", "0.05", "--compact-min-rows", "8"],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+            text=True, env=env,
+        )
+        url = None
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            line = proc.stdout.readline()
+            if not line:
+                if proc.poll() is not None:
+                    break
+                continue
+            event = json.loads(line)
+            if event.get("event") == "ready":
+                assert event["online"] is True
+                url = event["url"]
+                break
+        if url is None:
+            proc.kill()
+            pytest.fail("repro serve --online did not announce readiness")
+        yield url
+        proc.terminate()
+        proc.wait(timeout=10)
+
+    @staticmethod
+    def _post(url, path, payload):
+        request = urllib.request.Request(
+            url + path, data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+
+    def test_ingest_maintenance_round_trip(self, server):
+        status, body = self._post(server, "/ingest", {
+            "insert": [[10.0 + i, 10.0] for i in range(12)],
+        })
+        assert status == 200
+        assert body["inserted"] == 12
+        status, body = self._post(server, "/maintenance", {"action": "run_once"})
+        assert status == 200
+        assert body["status"]["online"] is True
+        with urllib.request.urlopen(server + "/maintenance") as response:
+            maintenance = json.loads(response.read())
+        assert maintenance["online"] is True
+        # 12 buffered rows >= compact-min-rows 8: some tick compacted them
+        assert maintenance["compactions"] >= 1
+        with urllib.request.urlopen(server + "/healthz") as response:
+            assert json.loads(response.read())["num_points"] == 3012
+
+    def test_metrics_include_online_families(self, server):
+        with urllib.request.urlopen(server + "/metrics") as response:
+            text = response.read().decode()
+        assert "repro_ingest_total" in text
+        assert "repro_maintenance_ticks_total" in text
+
+
+def test_serve_online_rejects_sharded_backend(tmp_path, capsys):
+    snapshot = tmp_path / "guard.snapshot"
+    assert main(["build", str(snapshot), "--num-points", "1000",
+                 "--workload-queries", "20"]) == 0
+    code = main(["serve", str(snapshot), "--port", "0", "--quiet",
+                 "--online", "--shards", "2"])
+    assert code == 2
+    err = json.loads(capsys.readouterr().err.strip().splitlines()[-1])
+    assert err["event"] == "error"
+    assert "--online" in err["message"]

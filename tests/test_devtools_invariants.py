@@ -152,6 +152,59 @@ class TestShardConservation:
             assert exc.value.invariant == "shard-conservation"
 
 
+class TestDeltaConservation:
+    def _online(self, points):
+        from repro.online import OnlineIndex
+
+        return OnlineIndex(ZIndex(points[:300], leaf_capacity=16))
+
+    def test_clean_online_index_passes(self, points):
+        from repro.devtools.invariants import check_delta_conservation
+
+        online = self._online(points)
+        check_delta_conservation(online)
+        online.insert(Point(0.5, 0.5))
+        online.insert(Point(0.5, 0.5))
+        online.delete(points[0])
+        online.delete(Point(0.5, 0.5))
+        check_delta_conservation(online)
+        online.compact()
+        check_delta_conservation(online)
+
+    def test_unmatched_tombstone_is_caught(self, points):
+        from repro.devtools.invariants import check_delta_conservation
+
+        online = self._online(points)
+        # corrupt behind the API: a tombstone no delete() ever validated
+        online._state.delta.tombstone(99.0, 99.0)
+        with pytest.raises(InvariantViolation) as exc:
+            check_delta_conservation(online)
+        assert exc.value.invariant == "delta-conservation"
+
+    def test_installed_sanitizer_samples_the_write_path(
+        self, points, pristine_sanitizer
+    ):
+        from repro.online.index import OnlineIndex
+
+        install_sanitizer(delta_sample_every=2)
+        try:
+            online = self._online(points)
+            online._state.delta.tombstone(99.0, 99.0)
+            with pytest.raises(InvariantViolation) as exc:
+                online.insert(Point(0.1, 0.1))
+                online.insert(Point(0.2, 0.2))  # second mutation samples
+            assert exc.value.invariant == "delta-conservation"
+        finally:
+            uninstall_sanitizer()
+        assert not hasattr(OnlineIndex.insert, "__wrapped__")
+        assert not hasattr(OnlineIndex.delete, "__wrapped__")
+        assert not hasattr(OnlineIndex.compact, "__wrapped__")
+
+    def test_sample_every_must_be_positive(self, pristine_sanitizer):
+        with pytest.raises(ValueError):
+            install_sanitizer(delta_sample_every=0)
+
+
 @pytest.fixture()
 def pristine_sanitizer():
     """Start the test with the sanitizer uninstalled; restore after.

@@ -436,3 +436,70 @@ class TestWorkloadSummaryCoverage:
     def test_rejects_unknown_shapes(self):
         with pytest.raises(TypeError):
             workload_summary(42)
+
+
+class TestOnlineLifecycle:
+    def test_online_wraps_offline_drains(self, engine, uniform_points):
+        from repro.online import MaintenancePolicy, OnlineIndex
+
+        plain = engine.index
+        before = len(engine)
+        loop = engine.online(MaintenancePolicy(window_size=128), start=False)
+        assert engine.is_online
+        assert isinstance(engine.index, OnlineIndex)
+        assert engine.index.base is plain
+        assert engine.online_loop is loop
+        assert engine.workload_log.window_size == 128
+        # idempotent: a second call returns the same loop
+        assert engine.online(start=False) is loop
+
+        engine.index.insert(Point(0.123, 0.987))
+        assert engine.index.delete(uniform_points[0])
+        assert len(engine) == before
+
+        engine.offline()
+        assert not engine.is_online
+        assert not isinstance(engine.index, OnlineIndex)
+        assert engine.online_loop is None
+        assert len(engine.index) == before  # buffered writes were compacted in
+        assert engine.index.point_query(Point(0.123, 0.987))
+        assert not engine.index.point_query(uniform_points[0])
+
+    def test_offline_without_compact_discards(self, engine):
+        from repro.online import OnlineIndex
+
+        before = len(engine)
+        engine.online(start=False)
+        engine.index.insert(Point(0.222, 0.333))
+        engine.offline(compact=False)
+        assert len(engine.index) == before
+        assert not engine.index.point_query(Point(0.222, 0.333))
+        # offline on an offline engine is a no-op
+        engine.offline()
+        assert not isinstance(engine.index, OnlineIndex)
+
+    def test_save_refuses_online_engine(self, engine, tmp_path):
+        engine.online(start=False)
+        try:
+            with pytest.raises(ValueError):
+                engine.save(tmp_path / "x.snapshot")
+        finally:
+            engine.offline()
+        engine.save(tmp_path / "x.snapshot")  # fine once offline
+
+    def test_adapt_keeps_online_wrapper(self, engine, sample_queries):
+        from repro.online import OnlineIndex
+
+        engine.online(start=False)
+        try:
+            engine.index.insert(Point(0.456, 0.654))
+            with engine.recording():
+                for query in sample_queries[:20]:
+                    engine.execute(RangeQuery(query))
+            engine.advise()
+            engine.adapt()
+            assert isinstance(engine.index, OnlineIndex)
+            assert engine.index.point_query(Point(0.456, 0.654))
+            assert engine.index.delta_stats()["rows"] == 0  # folded into rebuild
+        finally:
+            engine.offline()

@@ -1,0 +1,255 @@
+"""Threaded online-index properties: queries during ingest, maintenance
+during ingest, and final state byte-identical to a serialized execution.
+
+The op schedules are designed so the final multiset is independent of
+interleaving — inserts add distinct fresh points, deletes target distinct
+base points that exist throughout — which is what makes "concurrent run
+ends byte-identical to the serial run" a sound assertion no matter how
+the scheduler slices the threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.online import MaintenanceLoop, MaintenancePolicy, OnlineIndex
+from repro.workload_log import WorkloadLog
+from repro.zindex.base import ZIndex
+
+from test_online_index import canonical_points, canonical_result
+
+
+@pytest.fixture(scope="module")
+def base_points():
+    rng = np.random.default_rng(77)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0.0, 1.0, (3000, 2))]
+
+
+@pytest.fixture(scope="module")
+def fresh_points():
+    rng = np.random.default_rng(78)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0.0, 1.0, (600, 2))]
+
+
+@pytest.fixture(scope="module")
+def query_rects():
+    rng = np.random.default_rng(79)
+    rects = []
+    for _ in range(30):
+        x, y = rng.uniform(0.0, 0.8, size=2)
+        w, h = rng.uniform(0.05, 0.2, size=2)
+        rects.append(Rect(float(x), float(y), float(x + w), float(y + h)))
+    return rects
+
+
+def run_threads(*targets):
+    """Run the callables as threads; re-raise the first failure."""
+    errors = []
+
+    def guarded(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 — surfaced to pytest
+                errors.append(exc)
+
+        return run
+
+    threads = [threading.Thread(target=guarded(fn)) for fn in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30.0)
+        assert not t.is_alive(), "worker thread did not finish"
+    if errors:
+        raise errors[0]
+
+
+def expected_multiset(base_points, inserted, deleted):
+    removed = {(p.x, p.y) for p in deleted}
+    kept = [p for p in base_points if (p.x, p.y) not in removed]
+    return kept + list(inserted)
+
+
+class TestIngestDuringQuery:
+    def test_queries_stay_consistent_and_final_state_is_serial(
+        self, base_points, fresh_points, query_rects
+    ):
+        online = OnlineIndex(ZIndex(list(base_points), leaf_capacity=32))
+        deleted = base_points[:200]
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for insert, delete in zip(fresh_points, deleted):
+                    online.insert(insert)
+                    assert online.delete(delete)
+            finally:
+                stop.set()
+
+        def reader():
+            while not stop.is_set():
+                for rect in query_rects:
+                    xs, ys = online.range_query(rect).as_arrays()
+                    inside = (
+                        (np.asarray(xs) >= rect.xmin) & (np.asarray(xs) <= rect.xmax)
+                        & (np.asarray(ys) >= rect.ymin) & (np.asarray(ys) <= rect.ymax)
+                    )
+                    assert bool(np.all(inside))
+                    assert online.range_count(rect) >= 0
+
+        run_threads(writer, reader, reader)
+        expected = expected_multiset(base_points, fresh_points[:200], deleted)
+        assert canonical_points(online.all_points()) == canonical_points(expected)
+
+    def test_concurrent_writers_match_serialized(self, base_points, fresh_points):
+        online = OnlineIndex(ZIndex(list(base_points), leaf_capacity=32))
+        half = len(fresh_points) // 2
+        deleted = base_points[:150]
+
+        def inserter(batch):
+            def run():
+                for p in batch:
+                    online.insert(p)
+
+            return run
+
+        def deleter():
+            for p in deleted:
+                assert online.delete(p)
+
+        run_threads(inserter(fresh_points[:half]), inserter(fresh_points[half:]), deleter)
+        expected = expected_multiset(base_points, fresh_points, deleted)
+        assert canonical_points(online.all_points()) == canonical_points(expected)
+        # the serialized reference: one thread, same ops, eager rebuild
+        serial = ZIndex(expected, leaf_capacity=32)
+        probe = Rect(0.2, 0.2, 0.6, 0.6)
+        assert canonical_result(online.range_query(probe)) == canonical_result(
+            serial.range_query(probe)
+        )
+
+
+class TestCompactionDuringTraffic:
+    def test_compactions_never_lose_or_duplicate_writes(
+        self, base_points, fresh_points, query_rects
+    ):
+        online = OnlineIndex(ZIndex(list(base_points), leaf_capacity=32))
+        deleted = base_points[:100]
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i, p in enumerate(fresh_points):
+                    online.insert(p)
+                    if i < len(deleted):
+                        assert online.delete(deleted[i])
+            finally:
+                stop.set()
+
+        def compactor():
+            compacted = 0
+            while not stop.is_set() or compacted == 0:
+                if online.compact() is not None:
+                    compacted += 1
+                time.sleep(0.001)
+
+        def reader():
+            while not stop.is_set():
+                for rect in query_rects[:8]:
+                    count = online.range_count(rect)
+                    assert count >= 0
+
+        run_threads(writer, compactor, reader)
+        online.compact()
+        assert online.compactions >= 1
+        assert online.delta_stats()["rows"] == 0
+        expected = expected_multiset(base_points, fresh_points, deleted)
+        assert canonical_points(online.all_points()) == canonical_points(expected)
+
+
+class TestMaintenanceDuringIngest:
+    def test_background_loop_with_live_traffic(
+        self, base_points, fresh_points, query_rects
+    ):
+        online = OnlineIndex(ZIndex(list(base_points), leaf_capacity=128))
+        log = WorkloadLog(window_size=512)
+        rng = np.random.default_rng(80)
+        hot = [
+            Rect(float(x), float(y), float(x) + 0.03, float(y) + 0.03)
+            for x, y in rng.uniform(0.05, 0.17, (120, 2))
+        ]
+        for rect in hot:
+            log.record_range(rect)
+        loop = MaintenanceLoop(
+            online, workload_log=log,
+            policy=MaintenancePolicy(
+                interval_seconds=0.005, compact_min_rows=64,
+                adapt_min_queries=32, min_leaf_capacity=8,
+            ),
+        )
+        deleted = base_points[:100]
+        stop = threading.Event()
+
+        def writer():
+            try:
+                for i, p in enumerate(fresh_points):
+                    online.insert(p)
+                    if i < len(deleted):
+                        assert online.delete(deleted[i])
+                    time.sleep(0.0002)
+            finally:
+                stop.set()
+
+        def reader():
+            while not stop.is_set():
+                for rect in hot[:20]:
+                    online.range_count(rect)
+                for rect in query_rects[:5]:
+                    xs, ys = online.range_query(rect).as_arrays()
+                    assert np.asarray(xs).shape == np.asarray(ys).shape
+
+        loop.start()
+        try:
+            run_threads(writer, reader)
+            deadline = time.monotonic() + 5.0
+            while loop.ticks < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            loop.stop()
+        assert loop.ticks >= 1
+        assert loop.last_error is None
+        online.compact()
+        expected = expected_multiset(base_points, fresh_points, deleted)
+        assert canonical_points(online.all_points()) == canonical_points(expected)
+
+    def test_incremental_adapt_against_concurrent_ingest(
+        self, base_points, fresh_points
+    ):
+        online = OnlineIndex(ZIndex(list(base_points), leaf_capacity=256))
+        rng = np.random.default_rng(81)
+        hot = [
+            Rect(float(x), float(y), float(x) + 0.03, float(y) + 0.03)
+            for x, y in rng.uniform(0.05, 0.17, (120, 2))
+        ]
+        reports = []
+
+        def adapter():
+            reports.append(online.incremental_adapt(hot, min_leaf_capacity=8))
+
+        def writer():
+            for p in fresh_points:
+                online.insert(p)
+
+        # two writer threads insert the same batch: the merged multiset
+        # holds every point twice, whatever the interleaving
+        run_threads(adapter, writer, writer)
+        expected = expected_multiset(
+            base_points, list(fresh_points) + list(fresh_points), []
+        )
+        assert canonical_points(online.all_points()) == canonical_points(expected)
+        assert reports and reports[0].leaves_total > 0

@@ -1,0 +1,280 @@
+"""Maintenance loop and incremental adapt: compaction triggers, scoped
+subtree re-derive, convergent baselines, background thread lifecycle."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.obs import MetricsRegistry, render_prometheus
+from repro.obs.instrument import OnlineMetrics
+from repro.online import (
+    MaintenanceLoop,
+    MaintenancePolicy,
+    OnlineIndex,
+    incremental_adapt,
+    leaf_scan_costs,
+    subtree_candidates,
+)
+from repro.workload_log import WorkloadLog
+from repro.zindex.base import ZIndex
+
+from test_online_index import assert_query_parity, canonical_points, canonical_result
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(31)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0.0, 1.0, (6000, 2))]
+
+
+@pytest.fixture(scope="module")
+def hot_rects():
+    """Small windows concentrated in one corner of the unit square."""
+    rng = np.random.default_rng(8)
+    return [
+        Rect(float(x), float(y), float(x) + 0.03, float(y) + 0.03)
+        for x, y in rng.uniform(0.05, 0.17, (120, 2))
+    ]
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(6)
+    rects = []
+    for _ in range(10):
+        x1, x2 = sorted(rng.uniform(0.0, 1.0, size=2))
+        y1, y2 = sorted(rng.uniform(0.0, 1.0, size=2))
+        rects.append(Rect(float(x1), float(y1), float(x2), float(y2)))
+    return rects
+
+
+def coarse_index(points):
+    """A layout deliberately too coarse for small hotspot windows."""
+    return ZIndex(list(points), leaf_capacity=256)
+
+
+class TestIncrementalModule:
+    def test_leaf_scan_costs_shape_and_floor(self, points):
+        index = coarse_index(points)
+        costs = leaf_scan_costs(index, [])
+        assert costs.shape[0] == len(index.leaflist)
+        assert np.all(costs > 0)  # one row per leaf keeps a nonzero floor
+
+    def test_subtree_candidates_cover_leaf_layer(self, points):
+        index = coarse_index(points)
+        candidates = subtree_candidates(index, scope_depth=2)
+        assert 1 <= len(candidates) <= 16
+        spans = [(ref.low, ref.high) for ref in candidates]
+        assert spans[0][0] == 0
+        assert spans[-1][1] == len(index.leaflist) - 1
+        for (_, prev_high), (low, _) in zip(spans, spans[1:]):
+            assert low == prev_high + 1  # disjoint, contiguous cover
+        for ref in candidates:
+            assert ref.depth <= 2
+
+    def test_adapt_selects_hot_subtree_and_preserves_results(
+        self, points, hot_rects, queries
+    ):
+        index = coarse_index(points)
+        before = canonical_points(index.all_points())
+        baselines = {}
+        report = incremental_adapt(
+            index, hot_rects, baselines=baselines, min_leaf_capacity=8
+        )
+        assert report.selected >= 1
+        assert report.leaves_rederived < report.leaves_total  # strict subset
+        assert 0.0 < report.scope < 1.0
+        assert len(report.subtree_keys) == report.selected
+        assert set(report.subtree_keys) <= set(baselines)
+        assert canonical_points(index.all_points()) == before
+        # the re-derived layout actually serves the hot windows cheaper
+        stale = coarse_index(points)
+        index.reset_counters()
+        stale.reset_counters()
+        for rect in hot_rects:
+            index.range_count(rect)
+            stale.range_count(rect)
+        assert index.counters.points_filtered < stale.counters.points_filtered
+
+    def test_baselines_suppress_repeat_rederive(self, points, hot_rects):
+        index = coarse_index(points)
+        baselines = {}
+        first = incremental_adapt(
+            index, hot_rects, baselines=baselines, min_leaf_capacity=8
+        )
+        assert first.selected >= 1
+        second = incremental_adapt(
+            index, hot_rects, baselines=baselines, min_leaf_capacity=8
+        )
+        assert second.selected == 0
+
+    def test_empty_window_is_a_noop(self, points):
+        index = coarse_index(points)
+        report = incremental_adapt(index, [])
+        assert report.selected == 0
+        assert report.leaves_rederived == 0
+
+    def test_multiple_disjoint_subtrees_rederived_in_one_pass(self, points, queries):
+        # Two far-apart hot corners select two subtrees; the first
+        # re-derive renumbers every later leaf index, so the second
+        # subtree's pages must be gathered through its node, not through
+        # the span captured at enumeration time.
+        index = coarse_index(points)
+        before = canonical_result(index.range_query(Rect(0.0, 0.0, 1.0, 1.0)))
+        rng = np.random.default_rng(9)
+        two_corners = [
+            Rect(float(x), float(y), float(x) + 0.03, float(y) + 0.03)
+            for base in (0.05, 0.80)
+            for x, y in rng.uniform(base, base + 0.12, (60, 2))
+        ]
+        report = incremental_adapt(
+            index, two_corners, scope_depth=4, min_leaf_capacity=8
+        )
+        assert report.selected >= 2
+        assert 0.0 < report.scope < 1.0
+        after = canonical_result(index.range_query(Rect(0.0, 0.0, 1.0, 1.0)))
+        assert after == before
+        for rect in queries:
+            assert index.range_count(rect) >= 0  # structure still queryable
+
+
+class TestPolicy:
+    def test_defaults(self):
+        policy = MaintenancePolicy()
+        assert policy.interval_seconds == 1.0
+        assert policy.compact_min_rows == 4096
+        assert policy.compact_max_age_seconds == 30.0
+        assert policy.adapt_min_queries == 64
+        assert policy.window_size == 2048
+        assert policy.scope_depth == 2
+
+
+class TestRunOnce:
+    def test_clean_index_ticks_without_work(self, points):
+        online = OnlineIndex(coarse_index(points))
+        loop = MaintenanceLoop(online)
+        summary = loop.run_once()
+        assert summary == {"compacted": False, "adapted": False, "scope": 0.0}
+        assert loop.ticks == 1
+
+    def test_compacts_on_row_threshold(self, points):
+        online = OnlineIndex(coarse_index(points))
+        loop = MaintenanceLoop(online, policy=MaintenancePolicy(compact_min_rows=4))
+        for i in range(3):
+            online.insert(Point(0.5 + i * 0.01, 0.5))
+        assert not loop.run_once()["compacted"]  # 3 rows < 4
+        online.insert(Point(0.9, 0.9))
+        summary = loop.run_once()
+        assert summary["compacted"]
+        assert summary["compaction"]["merged_inserts"] == 4
+        assert loop.compactions == 1
+        assert online.delta_stats()["rows"] == 0
+
+    def test_compacts_on_age_threshold(self, points):
+        online = OnlineIndex(coarse_index(points))
+        loop = MaintenanceLoop(
+            online,
+            policy=MaintenancePolicy(compact_min_rows=10_000,
+                                     compact_max_age_seconds=0.0),
+        )
+        online.insert(Point(0.5, 0.5))
+        assert loop.run_once()["compacted"]
+
+    def test_adapts_from_window(self, points, hot_rects, queries):
+        online = OnlineIndex(coarse_index(points))
+        log = WorkloadLog(window_size=512)
+        for rect in hot_rects:
+            log.record_range(rect)
+        loop = MaintenanceLoop(
+            online, workload_log=log,
+            policy=MaintenancePolicy(adapt_min_queries=32, min_leaf_capacity=8),
+        )
+        summary = loop.run_once()
+        assert summary["adapted"]
+        assert 0.0 < summary["scope"] < 1.0
+        assert loop.incremental_adapts == 1
+        assert_query_parity(online, points, queries)
+        # the shared baselines make the second tick a no-op
+        assert not loop.run_once()["adapted"]
+
+    def test_below_min_queries_skips_adapt(self, points, hot_rects):
+        online = OnlineIndex(coarse_index(points))
+        log = WorkloadLog()
+        for rect in hot_rects[:10]:
+            log.record_range(rect)
+        loop = MaintenanceLoop(
+            online, workload_log=log, policy=MaintenancePolicy(adapt_min_queries=32)
+        )
+        assert not loop.run_once()["adapted"]
+        assert loop.incremental_adapts == 0
+
+    def test_metrics_observed(self, points, hot_rects):
+        registry = MetricsRegistry()
+        online = OnlineIndex(coarse_index(points))
+        log = WorkloadLog()
+        for rect in hot_rects:
+            log.record_range(rect)
+        loop = MaintenanceLoop(
+            online, workload_log=log,
+            policy=MaintenancePolicy(adapt_min_queries=32, compact_min_rows=1,
+                                     min_leaf_capacity=8),
+            metrics=OnlineMetrics(registry),
+        )
+        online.insert(Point(0.5, 0.5))
+        loop.run_once()
+        text = render_prometheus(registry)
+        assert "repro_maintenance_ticks_total 1" in text
+        assert "repro_compactions_total 1" in text
+        assert "repro_incremental_adapt_scope" in text
+
+
+class TestBackgroundThread:
+    def test_start_stop_and_ticks(self, points):
+        online = OnlineIndex(coarse_index(points))
+        loop = MaintenanceLoop(
+            online,
+            policy=MaintenancePolicy(interval_seconds=0.01, compact_min_rows=8),
+        )
+        assert not loop.running
+        loop.start()
+        assert loop.start() is loop  # idempotent
+        try:
+            assert loop.running
+            for i in range(32):
+                online.insert(Point(0.25 + i * 1e-4, 0.75))
+            deadline = time.monotonic() + 5.0
+            while loop.compactions == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            loop.stop()
+        assert not loop.running
+        assert loop.ticks > 0
+        assert loop.compactions >= 1
+        assert loop.last_error is None
+        assert online.delta_stats()["rows"] == 0
+
+    def test_status_shape(self, points, hot_rects):
+        online = OnlineIndex(coarse_index(points))
+        log = WorkloadLog()
+        for rect in hot_rects:
+            log.record_range(rect)
+        loop = MaintenanceLoop(
+            online, workload_log=log,
+            policy=MaintenancePolicy(adapt_min_queries=32, min_leaf_capacity=8),
+        )
+        loop.run_once()
+        status = loop.status()
+        assert status["running"] is False
+        assert status["ticks"] == 1
+        assert status["incremental_adapts"] == 1
+        assert status["delta"]["rows"] == 0
+        assert status["last_error"] is None
+        adapt = status["last_adapt"]
+        assert adapt is not None
+        assert adapt["selected"] >= 1
+        assert 0.0 < adapt["scope"] < 1.0
+        assert status["policy"]["adapt_min_queries"] == 32

@@ -304,3 +304,99 @@ class TestHTTPServer:
                 assert stats["num_shards"] == 2
                 metrics = urllib.request.urlopen(server.url + "/metrics").read()
                 assert b"repro_shard_busy_micros" in metrics
+
+
+class TestOnlineRoutes:
+    @pytest.fixture()
+    def online_service(self, engine):
+        from repro.online import MaintenancePolicy
+
+        engine.online(
+            MaintenancePolicy(adapt_min_queries=16, compact_min_rows=64),
+            start=False,
+        )
+        try:
+            yield SpatialService(engine, record=False)
+        finally:
+            engine.offline()
+
+    def test_offline_engine_conflicts(self, service):
+        with pytest.raises(ConflictError):
+            service.handle_ingest({"insert": [[0.5, 0.5]]})
+        with pytest.raises(ConflictError):
+            service.handle_maintenance({})
+        assert service.handle_maintenance_status() == {"online": False}
+
+    def test_ingest_round_trip(self, online_service, engine, clustered_points):
+        before = len(engine)
+        body = online_service.handle_ingest(
+            {
+                "insert": [[0.11, 0.22], [0.33, 0.44]],
+                "delete": [
+                    [clustered_points[0].x, clustered_points[0].y],
+                    [123.0, 456.0],
+                ],
+            }
+        )
+        assert body["inserted"] == 2
+        assert body["deleted"] == 1
+        assert body["delete_misses"] == 1
+        assert body["num_points"] == before + 1
+        assert body["delta"]["live"] == 2
+        assert body["delta"]["tombstones"] == 1
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"insert": "nope"},
+            {"insert": [[1.0]]},
+            {"insert": [[1.0, "x"]]},
+            {"insert": [[float("nan"), 0.5]]},
+        ],
+    )
+    def test_ingest_bad_payloads(self, online_service, payload):
+        with pytest.raises(BadRequestError):
+            online_service.handle_ingest(payload)
+
+    def test_maintenance_run_once_and_status(self, online_service):
+        online_service.handle_ingest({"insert": [[0.61, 0.62]]})
+        body = online_service.handle_maintenance({})
+        assert body["action"] == "run_once"
+        assert body["status"]["online"] is True
+        assert body["status"]["ticks"] == 1
+        status = online_service.handle_maintenance_status()
+        assert status["online"] is True
+        assert status["delta"]["live"] == 1  # below compact_min_rows: kept
+
+    def test_maintenance_start_stop_and_bad_action(self, online_service, engine):
+        assert online_service.handle_maintenance({"action": "start"})["status"]["running"]
+        online_service.handle_maintenance({"action": "stop"})
+        assert not engine.online_loop.running
+        with pytest.raises(BadRequestError):
+            online_service.handle_maintenance({"action": "explode"})
+
+    def test_ingest_metrics_rendered(self, online_service):
+        online_service.handle_ingest({"insert": [[0.5, 0.5]]})
+        text = online_service.metrics_text()
+        assert 'repro_ingest_total{kind="insert"} 1' in text
+        assert "repro_delta_live_rows 1" in text
+
+    def test_http_ingest_and_maintenance(self, engine):
+        from repro.online import MaintenancePolicy
+
+        engine.online(MaintenancePolicy(compact_min_rows=2), start=False)
+        try:
+            with serve(engine, record=False).start() as server:
+                status, body = TestHTTPServer._post(
+                    server, "/ingest", {"insert": [[0.4, 0.4], [0.6, 0.6]]}
+                )
+                assert status == 200
+                assert json.loads(body)["inserted"] == 2
+                status, body = TestHTTPServer._post(server, "/maintenance", {})
+                assert status == 200
+                assert json.loads(body)["summary"]["compacted"] is True
+                with urllib.request.urlopen(server.url + "/maintenance") as response:
+                    assert json.loads(response.read())["online"] is True
+        finally:
+            engine.offline()

@@ -13,6 +13,7 @@ from repro.workloads import (
     generate_knn_workload,
     generate_range_workload,
     hotspot_workload,
+    moving_hotspot,
     uniform_centers_workload,
 )
 from repro.workloads.drift import SCENARIO_KINDS
@@ -335,3 +336,41 @@ class TestDriftScenarios:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError):
             drift_scenario("sideways", "newyork")
+
+
+class TestMovingHotspot:
+    def test_generates_one_phase_per_step(self):
+        phases = moving_hotspot("newyork", 6, 25, 0.01, seed=4)
+        assert [p.name for p in phases] == [f"step-{i:02d}" for i in range(6)]
+        for phase in phases:
+            assert len(phase.workload) == 25
+            assert isinstance(phase.workload, Workload)
+
+    def test_center_translates_linearly(self):
+        phases = moving_hotspot(
+            "newyork", 5, 10, 0.01, start=(0.1, 0.2), end=(0.9, 0.6), seed=4
+        )
+        centers = [tuple(p.workload.extra["hotspot_center"]) for p in phases]
+        assert centers[0] == (0.1, 0.2)
+        assert centers[-1] == (0.9, 0.6)
+        xs = [c[0] for c in centers]
+        steps = np.diff(xs)
+        assert np.allclose(steps, steps[0])  # uniform increments
+
+    def test_single_step_sits_at_start(self):
+        phases = moving_hotspot("newyork", 1, 10, 0.01, start=(0.3, 0.7), seed=0)
+        assert len(phases) == 1
+        assert tuple(phases[0].workload.extra["hotspot_center"]) == (0.3, 0.7)
+
+    def test_deterministic_and_steps_differ(self):
+        a = moving_hotspot("newyork", 4, 15, 0.01, seed=9)
+        b = moving_hotspot("newyork", 4, 15, 0.01, seed=9)
+        for pa, pb in zip(a, b):
+            assert pa.workload == pb.workload
+        assert a[0].workload != a[-1].workload  # the hotspot actually moved
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            moving_hotspot(num_steps=0)
+        with pytest.raises(ValueError):
+            moving_hotspot(queries_per_step=0)
